@@ -1,0 +1,277 @@
+// Benchmark harness regenerating the paper's evaluation figures. Each
+// BenchmarkFigureN runs the sweep behind one figure on a representative
+// benchmark (sort — the full five-benchmark sweep lives in cmd/figures) and
+// prints the table once. Run with:
+//
+//	go test -bench=Figure -benchtime=1x
+//
+// BenchmarkAblation* measure the design choices DESIGN.md calls out:
+// run-time memory disambiguation, static hints, BTB capacity, window depth,
+// and enlargement thresholds.
+package fgpsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/exp"
+	"fgpsim/internal/machine"
+)
+
+var (
+	prepOnce sync.Once
+	prepWL   *Workload
+	prepErr  error
+)
+
+// workload prepares the sort benchmark once per process.
+func workload(b *testing.B) *Workload {
+	prepOnce.Do(func() {
+		prepWL, prepErr = PrepareBenchmark(BenchmarkByName("sort"), DefaultEnlargeOptions())
+	})
+	if prepErr != nil {
+		b.Fatal(prepErr)
+	}
+	return prepWL
+}
+
+func runConfigs(b *testing.B, w *Workload, cfgs []Config) *Results {
+	b.Helper()
+	res, err := exp.Grid([]*exp.Prepared{w}, cfgs, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func names(w *Workload) []string { return []string{w.Bench.Name} }
+
+// BenchmarkFigure2 regenerates the block-size histograms (single vs
+// enlarged basic blocks).
+func BenchmarkFigure2(b *testing.B) {
+	w := workload(b)
+	cfgs := []Config{
+		exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A'),
+		exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'),
+	}
+	for i := 0; i < b.N; i++ {
+		res := runConfigs(b, w, cfgs)
+		if i == 0 {
+			fmt.Println(exp.Figure2(res, names(w)))
+		}
+		single := res.Get(exp.KeyOf(w.Bench.Name, cfgs[0]))
+		enlarged := res.Get(exp.KeyOf(w.Bench.Name, cfgs[1]))
+		b.ReportMetric(single.MeanBlockSize(), "single-mean-nodes")
+		b.ReportMetric(enlarged.MeanBlockSize(), "enlarged-mean-nodes")
+	}
+}
+
+// figureSweep runs the ten curves across one axis and reports the headline
+// numbers.
+func figureSweep(b *testing.B, cfgs []Config, render func(*Results, []string) string, metric func(*Results) (string, float64)) {
+	w := workload(b)
+	for i := 0; i < b.N; i++ {
+		res := runConfigs(b, w, cfgs)
+		if i == 0 {
+			fmt.Println(render(res, names(w)))
+		}
+		name, v := metric(res)
+		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkFigure3 regenerates nodes/cycle vs issue model (memory A).
+func BenchmarkFigure3(b *testing.B) {
+	var cfgs []Config
+	for _, c := range exp.Curves() {
+		for _, im := range IssueModels {
+			cfgs = append(cfgs, exp.ConfigFor(c, im.ID, 'A'))
+		}
+	}
+	w := workload(b)
+	figureSweep(b, cfgs, exp.Figure3, func(res *Results) (string, float64) {
+		top := res.GeoMeanNPC(names(w), exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A'))
+		base := res.GeoMeanNPC(names(w), exp.ConfigFor(exp.Curve{Disc: Static, Branch: SingleBB}, 8, 'A'))
+		return "speedup-at-8", top / base
+	})
+}
+
+// BenchmarkFigure4 regenerates nodes/cycle vs memory configuration (issue
+// model 8).
+func BenchmarkFigure4(b *testing.B) {
+	var cfgs []Config
+	for _, c := range exp.Curves() {
+		for _, mc := range MemConfigs {
+			cfgs = append(cfgs, exp.ConfigFor(c, 8, mc.ID))
+		}
+	}
+	w := workload(b)
+	figureSweep(b, cfgs, exp.Figure4, func(res *Results) (string, float64) {
+		fast := res.GeoMeanNPC(names(w), exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'))
+		slow := res.GeoMeanNPC(names(w), exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'C'))
+		return "latency-tolerance", fast / slow
+	})
+}
+
+// BenchmarkFigure5 regenerates the per-benchmark composite-configuration
+// series (dyn-w4, enlarged blocks).
+func BenchmarkFigure5(b *testing.B) {
+	var cfgs []Config
+	for _, fc := range machine.Figure5Configs {
+		cfgs = append(cfgs, exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, fc.Issue, fc.Mem))
+	}
+	w := workload(b)
+	figureSweep(b, cfgs, exp.Figure5, func(res *Results) (string, float64) {
+		last := machine.Figure5Configs[len(machine.Figure5Configs)-1]
+		s := res.Get(exp.KeyOf(w.Bench.Name, exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, last.Issue, last.Mem)))
+		return "npc-at-8G", s.Speed()
+	})
+}
+
+// BenchmarkFigure6 regenerates operation redundancy vs issue model.
+func BenchmarkFigure6(b *testing.B) {
+	var cfgs []Config
+	for _, c := range exp.Curves() {
+		for _, im := range IssueModels {
+			cfgs = append(cfgs, exp.ConfigFor(c, im.ID, 'A'))
+		}
+	}
+	w := workload(b)
+	figureSweep(b, cfgs, exp.Figure6, func(res *Results) (string, float64) {
+		return "redundancy-w256-enl", res.MeanRedundancy(names(w),
+			exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A'))
+	})
+}
+
+// BenchmarkAblationDisambiguation measures the value of run-time memory
+// disambiguation: conservative loads (wait for all older stores) vs
+// run-time address checking.
+func BenchmarkAblationDisambiguation(b *testing.B) {
+	w := workload(b)
+	base := exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
+	conservative := base
+	conservative.ConservativeMem = true
+	for i := 0; i < b.N; i++ {
+		sFast, err := w.Run(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sSlow, err := w.Run(conservative)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sFast.Speed(), "npc-runtime-disambig")
+		b.ReportMetric(sSlow.Speed(), "npc-conservative")
+		b.ReportMetric(sFast.Speed()/sSlow.Speed(), "disambiguation-gain")
+	}
+}
+
+// BenchmarkAblationWindow sweeps the window size at fixed width.
+func BenchmarkAblationWindow(b *testing.B) {
+	w := workload(b)
+	for i := 0; i < b.N; i++ {
+		for _, d := range []Discipline{Dyn1, Dyn4, Dyn256} {
+			s, err := w.Run(exp.ConfigFor(exp.Curve{Disc: d, Branch: EnlargedBB}, 8, 'A'))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(s.Speed(), fmt.Sprintf("npc-%s", d))
+		}
+	}
+}
+
+// BenchmarkAblationFillUnit compares run-time (hardware) enlargement
+// against compiler enlargement and plain single blocks: software needs a
+// profiling run, hardware learns on the fly.
+func BenchmarkAblationFillUnit(b *testing.B) {
+	w := workload(b)
+	for i := 0; i < b.N; i++ {
+		for _, bm := range []BranchMode{SingleBB, FillUnit, EnlargedBB} {
+			cfg := exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: bm}, 8, 'A')
+			s, err := w.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(s.Speed(), "npc-"+bm.String())
+		}
+	}
+}
+
+// BenchmarkAblationPredictor compares the paper's 2-bit counter against the
+// gshare extension (the "better branch prediction" the conclusions call an
+// unexplored avenue).
+func BenchmarkAblationPredictor(b *testing.B) {
+	w := workload(b)
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []machine.PredictorKind{TwoBit, GShare} {
+			cfg := exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
+			cfg.Predictor = kind
+			s, err := w.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := "2bit"
+			if kind == GShare {
+				label = "gshare"
+			}
+			b.ReportMetric(s.Speed(), "npc-"+label)
+			b.ReportMetric(s.PredictionAccuracy(), "accuracy-"+label)
+		}
+	}
+}
+
+// BenchmarkAblationWindowDepth sweeps intermediate window sizes beyond the
+// paper's 1/4/256 points.
+func BenchmarkAblationWindowDepth(b *testing.B) {
+	w := workload(b)
+	for i := 0; i < b.N; i++ {
+		for _, win := range []int{2, 8, 16, 64} {
+			cfg := exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: SingleBB}, 8, 'A')
+			cfg.WindowOverride = win
+			s, err := w.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(s.Speed(), fmt.Sprintf("npc-w%d", win))
+		}
+	}
+}
+
+// BenchmarkAblationBTB sweeps the branch target buffer size.
+func BenchmarkAblationBTB(b *testing.B) {
+	w := workload(b)
+	for i := 0; i < b.N; i++ {
+		for _, entries := range []int{16, 64, 512} {
+			cfg := exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
+			cfg.BTBEntries = entries
+			s, err := w.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(s.PredictionAccuracy(), fmt.Sprintf("accuracy-btb%d", entries))
+		}
+	}
+}
+
+// BenchmarkAblationEnlargement sweeps chain-length limits to locate the
+// paper's "optimal point between the enlargement of basic blocks and the
+// use of dynamic scheduling".
+func BenchmarkAblationEnlargement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, maxLen := range []int{2, 4, 8} {
+			o := enlarge.DefaultOptions()
+			o.MaxChainLen = maxLen
+			w, err := PrepareBenchmark(BenchmarkByName("sort"), o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := w.Run(exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(s.Speed(), fmt.Sprintf("npc-chainlen%d", maxLen))
+		}
+	}
+}

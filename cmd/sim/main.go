@@ -1,0 +1,160 @@
+// Command sim is the run-time simulator: it executes an image produced by
+// cmd/tld cycle by cycle and reports the paper's statistics. With
+// -functional it runs the untimed interpreter instead, which is how
+// profiles (for cmd/bbe) and traces (for perfect-prediction simulations)
+// are collected — the second half of the paper's two-part simulator.
+//
+// Usage:
+//
+//	sim -img prog.img -in0 input.txt [-in1 other.txt]
+//	    [-hintsfrom prof.json] [-usetrace prog.trc]
+//	    [-out output.bin] [-stats]
+//	sim -img prog.img -in0 input.txt -functional
+//	    [-profile prof.json] [-trace prog.trc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fgpsim/internal/branch"
+	"fgpsim/internal/core"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+)
+
+func main() {
+	var (
+		imgPath    = flag.String("img", "", "image file from cmd/tld (required)")
+		in0Path    = flag.String("in0", "", "input stream 0 file")
+		in1Path    = flag.String("in1", "", "input stream 1 file")
+		outPath    = flag.String("out", "", "write program output to this file (default stdout)")
+		showStats  = flag.Bool("stats", true, "print run statistics to stderr")
+		functional = flag.Bool("functional", false, "run the untimed interpreter instead of the timed engine")
+		profPath   = flag.String("profile", "", "functional mode: write the branch profile here")
+		tracePath  = flag.String("trace", "", "functional mode: write the dynamic block trace here")
+		useTrace   = flag.String("usetrace", "", "timed mode: trace file for perfect prediction")
+		hintsFrom  = flag.String("hintsfrom", "", "timed mode: profile file supplying static prediction hints")
+		pipeCycles = flag.Int64("pipe", 0, "timed dynamic mode: print pipeline events for the first N cycles")
+	)
+	flag.Parse()
+	if err := run(*imgPath, *in0Path, *in1Path, *outPath, *profPath, *tracePath,
+		*useTrace, *hintsFrom, *functional, *showStats, *pipeCycles); err != nil {
+		fmt.Fprintln(os.Stderr, "sim:", err)
+		os.Exit(1)
+	}
+}
+
+func readOptional(path string) ([]byte, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return os.ReadFile(path)
+}
+
+func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hintsFrom string, functional, showStats bool, pipeCycles int64) error {
+	if imgPath == "" {
+		return fmt.Errorf("-img is required")
+	}
+	img, err := loader.ReadFile(imgPath)
+	if err != nil {
+		return err
+	}
+	in0, err := readOptional(in0Path)
+	if err != nil {
+		return err
+	}
+	in1, err := readOptional(in1Path)
+	if err != nil {
+		return err
+	}
+
+	var output []byte
+	if functional {
+		opts := interp.Options{RecordTrace: tracePath != ""}
+		if profPath != "" {
+			opts.Profile = interp.NewProfile()
+		}
+		res, err := interp.Run(img.Prog, in0, in1, opts)
+		if err != nil {
+			return err
+		}
+		output = res.Output
+		if profPath != "" {
+			data, err := opts.Profile.Marshal()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(profPath, data, 0o644); err != nil {
+				return err
+			}
+		}
+		if tracePath != "" {
+			if err := os.WriteFile(tracePath, interp.MarshalTrace(res.Trace), 0o644); err != nil {
+				return err
+			}
+		}
+		if showStats {
+			fmt.Fprintf(os.Stderr, "functional: %d nodes, %d blocks retired\n",
+				res.RetiredNodes, res.RetiredBlocks)
+		}
+	} else {
+		var pipe *core.PipeLog
+		if pipeCycles > 0 {
+			pipe = &core.PipeLog{MaxCycles: pipeCycles}
+		}
+		res, err := timedRun(img, in0, in1, useTrace, hintsFrom, pipe)
+		if err != nil {
+			return err
+		}
+		output = res.Output
+		if pipe != nil {
+			fmt.Fprint(os.Stderr, pipe.String())
+		}
+		if showStats {
+			fmt.Fprintf(os.Stderr, "configuration: %s\n%s", img.Cfg, res.Stats)
+		}
+	}
+
+	if outPath != "" {
+		return os.WriteFile(outPath, output, 0o644)
+	}
+	_, err = os.Stdout.Write(output)
+	return err
+}
+
+func timedRun(img *loader.Image, in0, in1 []byte, useTrace, hintsFrom string, pipe *core.PipeLog) (*core.RunResult, error) {
+	var trace []ir.BlockID
+	if useTrace != "" {
+		data, err := os.ReadFile(useTrace)
+		if err != nil {
+			return nil, err
+		}
+		trace, err = interp.UnmarshalTrace(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	hints, err := decodeHints(hintsFrom)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(img, in0, in1, trace, hints, core.Limits{Pipe: pipe})
+}
+
+func decodeHints(path string) (map[ir.BlockID]bool, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := interp.UnmarshalProfile(data)
+	if err != nil {
+		return nil, err
+	}
+	return branch.HintsFromProfile(prof.Taken, prof.NotTaken), nil
+}

@@ -1,0 +1,101 @@
+// Command tld is the translating loader: it compiles MiniC source, applies
+// an optional basic block enlargement file, performs per-configuration code
+// generation (multinodeword scheduling for static machines), and writes the
+// executable image that cmd/sim runs — the first half of the paper's
+// two-part simulator.
+//
+// Usage:
+//
+//	tld -src prog.mc -out prog.img [-enlarge prog.bbe]
+//	    [-disc dyn4] [-issue 8] [-mem A] [-branch single] [-dump]
+//
+// Sources ending in .ir or .asm are parsed as node-program assembly (the
+// format internal/ir's Disassemble emits) instead of MiniC.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+)
+
+func main() {
+	var (
+		src    = flag.String("src", "", "MiniC source file (required)")
+		out    = flag.String("out", "", "output image file (required unless -dump)")
+		ef     = flag.String("enlarge", "", "basic block enlargement file from cmd/bbe")
+		disc   = flag.String("disc", "dyn4", "scheduling discipline: static, dyn1, dyn4, dyn256")
+		issue  = flag.Int("issue", 8, "issue model number, 1..8")
+		memID  = flag.String("mem", "A", "memory configuration letter, A..G")
+		brMode = flag.String("branch", "single", "branch handling: single, enlarged, perfect")
+		noOpt  = flag.Bool("O0", false, "disable the block-local optimizer")
+		dump   = flag.Bool("dump", false, "print the loaded program as text")
+	)
+	flag.Parse()
+	if err := run(*src, *out, *ef, *disc, *issue, *memID, *brMode, *noOpt, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "tld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(src, out, efPath, disc string, issue int, memID, brMode string, noOpt, dump bool) error {
+	if src == "" {
+		return fmt.Errorf("-src is required")
+	}
+	cfg, err := machine.ParseConfig(disc, issue, memID, brMode)
+	if err != nil {
+		return err
+	}
+	source, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	var prog *ir.Program
+	if strings.HasSuffix(src, ".ir") || strings.HasSuffix(src, ".asm") {
+		// Node-program assembly (see internal/ir's Disassemble format).
+		prog, err = ir.Assemble(string(source))
+	} else {
+		prog, err = minic.Compile(src, string(source), minic.Options{Optimize: !noOpt})
+	}
+	if err != nil {
+		return err
+	}
+	var ef *enlarge.File
+	if efPath != "" {
+		data, err := os.ReadFile(efPath)
+		if err != nil {
+			return err
+		}
+		ef, err = enlarge.Unmarshal(data)
+		if err != nil {
+			return err
+		}
+	}
+	img, err := loader.Load(prog, cfg, ef)
+	if err != nil {
+		return err
+	}
+	if dump {
+		fmt.Print(img.Prog.Dump())
+	}
+	if out == "" {
+		if dump {
+			return nil
+		}
+		return fmt.Errorf("-out is required")
+	}
+	if err := img.WriteFile(out); err != nil {
+		return err
+	}
+	mem, alu := img.Prog.StaticMix()
+	fmt.Printf("tld: %s -> %s (%s): %d blocks, %d nodes (%d ALU, %d MEM)\n",
+		src, out, cfg, len(img.Prog.Blocks), img.Prog.NumNodes(), alu, mem)
+	return nil
+}

@@ -1,0 +1,143 @@
+// Customlang: bring your own workload. Write a program in MiniC (here: a
+// toy spell-checker-style lookup of input words against a dictionary),
+// compile it, profile it, enlarge it, and measure it across branch modes —
+// the full toolchain on non-benchmark code, including perfect prediction.
+//
+//	go run ./examples/customlang
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fgpsim "fgpsim"
+)
+
+const src = `
+// A chained-hash word-membership filter.
+char dictbuf[4096];
+int dictoff[256];
+int dictlen[256];
+int heads[64];
+int links[256];
+int ndict = 0;
+char word[64];
+
+int hash(char *s, int n) {
+	int h = 5381;
+	int i;
+	for (i = 0; i < n; i++) h = h * 33 + s[i];
+	return (h ^ (h >> 8)) & 63;
+}
+
+void adddict(char *s, int n) {
+	int i;
+	int off = 0;
+	if (ndict > 0) off = dictoff[ndict - 1] + dictlen[ndict - 1];
+	for (i = 0; i < n; i++) dictbuf[off + i] = s[i];
+	dictoff[ndict] = off;
+	dictlen[ndict] = n;
+	int h = hash(s, n);
+	links[ndict] = heads[h];
+	heads[h] = ndict + 1;
+	ndict++;
+}
+
+int indict(char *s, int n) {
+	int e = heads[hash(s, n)];
+	while (e > 0) {
+		int d = e - 1;
+		if (dictlen[d] == n) {
+			int i = 0;
+			while (i < n && dictbuf[dictoff[d] + i] == s[i]) i++;
+			if (i == n) return 1;
+		}
+		e = links[d];
+	}
+	return 0;
+}
+
+int main() {
+	int i;
+	int c;
+	int n;
+	int misses = 0;
+	for (i = 0; i < 64; i++) heads[i] = 0;
+	// Stream 1 is the dictionary: one word per line, ending with a blank
+	// line. Stream 0 is the text to check.
+	n = 0;
+	c = getc(1);
+	while (c >= 0) {
+		if (c == '\n') {
+			if (n == 0) break;
+			adddict(word, n);
+			n = 0;
+		} else if (n < 63) {
+			word[n] = c;
+			n++;
+		}
+		c = getc(1);
+	}
+	// Check the text; echo unknown words.
+	n = 0;
+	c = getc(0);
+	while (c >= 0) {
+		if (c == ' ' || c == '\n') {
+			if (n > 0 && !indict(word, n)) {
+				for (i = 0; i < n; i++) putc(word[i]);
+				putc('\n');
+				misses++;
+			}
+			n = 0;
+		} else if (n < 63) {
+			word[n] = c;
+			n++;
+		}
+		c = getc(0);
+	}
+	return misses;
+}
+`
+
+func main() {
+	prog, err := fgpsim.Compile("spell.mc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := []byte("the\nquick\nbrown\nfox\njumps\nover\nlazy\ndog\n\n")
+	text1 := []byte("the quick red fox leaps over the lazy dog\nthe dog naps\n")
+	text2 := []byte("a quick brown cat jumps over the sleepy dog\nfoxes jump\n")
+
+	// Profile with text1, measure with text2 (the paper's methodology).
+	prof, err := fgpsim.Profile(prog, text1, dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ef := fgpsim.BuildEnlargement(prog, prof, fgpsim.DefaultEnlargeOptions())
+	hints := fgpsim.HintsFromProfile(prof)
+	trace, err := fgpsim.Trace(prog, text2, dict)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	im8, _ := fgpsim.IssueModelByID(8)
+	memE, _ := fgpsim.MemConfigByID('E')
+	fmt.Println("unknown-word filter on a 4M12A machine, 16K cache (config E):")
+	for _, mode := range []fgpsim.BranchMode{fgpsim.SingleBB, fgpsim.EnlargedBB, fgpsim.Perfect} {
+		cfg := fgpsim.Config{Disc: fgpsim.Dyn4, Issue: im8, Mem: memE, Branch: mode}
+		img, err := fgpsim.Load(prog, cfg, ef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := fgpsim.Simulate(img, text2, dict, fgpsim.SimOptions{Hints: hints, Trace: trace})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s %6d cycles  %5.2f nodes/cycle  redundancy %.3f\n",
+			mode, res.Stats.Cycles, res.Stats.Speed(), res.Stats.Redundancy())
+		if mode == fgpsim.SingleBB {
+			fmt.Printf("  program output:\n")
+			fmt.Printf("    %q\n", res.Output)
+		}
+	}
+}

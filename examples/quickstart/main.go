@@ -1,0 +1,80 @@
+// Quickstart: compile a MiniC program, load it for two machine
+// configurations, simulate both, and compare cycle counts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fgpsim "fgpsim"
+)
+
+const src = `
+// Count word and line frequencies in the input and print a summary.
+int counts[128];
+
+int main() {
+	int c;
+	int words = 0;
+	int lines = 0;
+	int inword = 0;
+	c = getc(0);
+	while (c >= 0) {
+		counts[c & 127]++;
+		if (c == '\n') lines++;
+		if (c == ' ' || c == '\n' || c == '\t') {
+			inword = 0;
+		} else if (!inword) {
+			inword = 1;
+			words++;
+		}
+		c = getc(0);
+	}
+	// Print "<lines> <words>".
+	int v = lines;
+	int digits[10];
+	int n = 0;
+	if (v == 0) { putc('0'); }
+	while (v > 0) { digits[n] = v % 10; v = v / 10; n++; }
+	while (n > 0) { n--; putc('0' + digits[n]); }
+	putc(' ');
+	v = words;
+	n = 0;
+	if (v == 0) { putc('0'); }
+	while (v > 0) { digits[n] = v % 10; v = v / 10; n++; }
+	while (n > 0) { n--; putc('0' + digits[n]); }
+	putc('\n');
+	return 0;
+}
+`
+
+func main() {
+	prog, err := fgpsim.Compile("wc.mc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := []byte("the quick brown fox\njumps over the lazy dog\npack my box with five dozen liquor jugs\n")
+
+	// A narrow in-order machine vs a wide dynamically scheduled one.
+	im2, _ := fgpsim.IssueModelByID(2)
+	im8, _ := fgpsim.IssueModelByID(8)
+	memA, _ := fgpsim.MemConfigByID('A')
+	narrow := fgpsim.Config{Disc: fgpsim.Static, Issue: im2, Mem: memA, Branch: fgpsim.SingleBB}
+	wide := fgpsim.Config{Disc: fgpsim.Dyn4, Issue: im8, Mem: memA, Branch: fgpsim.SingleBB}
+
+	for _, cfg := range []fgpsim.Config{narrow, wide} {
+		img, err := fgpsim.Load(prog, cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := fgpsim.Simulate(img, input, nil, fgpsim.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", cfg)
+		fmt.Printf("program output: %s", res.Output)
+		fmt.Printf("cycles: %d, nodes/cycle: %.2f\n\n", res.Stats.Cycles, res.Stats.NPC())
+	}
+}

@@ -1,0 +1,242 @@
+// Package fgpsim is a reproduction of Melvin & Patt, "Exploiting
+// Fine-Grained Parallelism Through a Combination of Hardware and Software
+// Techniques" (ISCA 1991): a complete toolchain for studying dynamic
+// scheduling, speculative execution, and basic block enlargement on
+// general-purpose code.
+//
+// The pipeline mirrors the paper's:
+//
+//	source (MiniC) ──Compile──▶ node program
+//	node program + input set 1 ──Profile──▶ branch-arc profile
+//	profile ──BuildEnlargement──▶ enlargement file
+//	program + config (+ enlargement) ──(translating loader)──▶ image
+//	image + input set 2 ──Simulate──▶ cycles, nodes/cycle, redundancy, ...
+//
+// The five benchmarks of the paper's evaluation (sort, grep, diff, cpp,
+// compress) ship with the package; see Benchmarks and PrepareBenchmark.
+// The exported names are aliases of the internal packages' types, so the
+// full machinery (engines, loader, scheduler, optimizer) stays in
+// internal/ while this package provides the supported surface.
+package fgpsim
+
+import (
+	"fgpsim/internal/bench"
+	"fgpsim/internal/branch"
+	"fgpsim/internal/core"
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/exp"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+	"fgpsim/internal/stats"
+)
+
+// Core model types.
+type (
+	// Program is a compiled node-IR program.
+	Program = ir.Program
+	// BlockID names a basic block.
+	BlockID = ir.BlockID
+
+	// Config is one machine configuration: scheduling discipline, issue
+	// model, memory configuration, and branch handling mode.
+	Config = machine.Config
+	// Discipline is the scheduling discipline (static or dynamic with a
+	// window of 1, 4, or 256 basic blocks).
+	Discipline = machine.Discipline
+	// IssueModel is the multinodeword format (memory and ALU slots).
+	IssueModel = machine.IssueModel
+	// MemConfig is the memory system configuration.
+	MemConfig = machine.MemConfig
+	// BranchMode selects single blocks, enlarged blocks, or perfect
+	// prediction.
+	BranchMode = machine.BranchMode
+
+	// ProfileData holds branch-arc statistics from a profiling run.
+	ProfileData = interp.Profile
+	// EnlargementFile is a planned set of basic block enlargement chains.
+	EnlargementFile = enlarge.File
+	// EnlargeOptions are the enlargement thresholds.
+	EnlargeOptions = enlarge.Options
+	// Image is a loaded executable for one machine configuration.
+	Image = loader.Image
+	// Stats holds the measurements of one run.
+	Stats = stats.Run
+	// Benchmark is one of the paper's five workloads.
+	Benchmark = bench.Benchmark
+	// Workload is a benchmark prepared for measurement (profiled, with an
+	// enlargement file, static hints, and a recorded trace).
+	Workload = exp.Prepared
+	// Results holds a measured configuration grid.
+	Results = exp.Results
+	// PipeLog records dynamic-engine pipeline events (issue, execute,
+	// complete, retire, squash) for the first cycles of a run.
+	PipeLog = core.PipeLog
+)
+
+// Scheduling disciplines.
+const (
+	Static = machine.Static
+	Dyn1   = machine.Dyn1
+	Dyn4   = machine.Dyn4
+	Dyn256 = machine.Dyn256
+)
+
+// Branch handling modes. SingleBB, EnlargedBB, and Perfect are the paper's
+// three; FillUnit is the hardware run-time enlargement the paper references
+// ([MeSP88]) — it needs no enlargement file or profiling run.
+const (
+	SingleBB   = machine.SingleBB
+	EnlargedBB = machine.EnlargedBB
+	Perfect    = machine.Perfect
+	FillUnit   = machine.FillUnit
+)
+
+// Branch direction predictors. TwoBit is the paper's scheme; GShare is the
+// future-work extension its conclusions suggest.
+const (
+	TwoBit = machine.TwoBit
+	GShare = machine.GSharePredictor
+)
+
+// IssueModels lists the paper's eight issue models;
+// MemConfigs the seven memory configurations.
+var (
+	IssueModels = machine.IssueModels
+	MemConfigs  = machine.MemConfigs
+)
+
+// IssueModelByID returns the issue model numbered 1..8.
+func IssueModelByID(id int) (IssueModel, bool) { return machine.IssueModelByID(id) }
+
+// MemConfigByID returns the memory configuration lettered 'A'..'G'.
+func MemConfigByID(id byte) (MemConfig, bool) { return machine.MemConfigByID(id) }
+
+// Compile compiles MiniC source (the toolchain's input language) into a
+// node program, with the block-local optimizer enabled.
+func Compile(filename, source string) (*Program, error) {
+	return minic.Compile(filename, source, minic.Options{Optimize: true})
+}
+
+// CompileUnoptimized compiles without the block-local optimizer, for
+// studying what the optimizer contributes.
+func CompileUnoptimized(filename, source string) (*Program, error) {
+	return minic.Compile(filename, source, minic.Options{})
+}
+
+// Assemble parses a node program written in the textual assembly format
+// (the format Disassemble emits), for hand-written or generated node code
+// that bypasses MiniC.
+func Assemble(src string) (*Program, error) { return ir.Assemble(src) }
+
+// Disassemble renders a program as assembly text; Assemble parses it back.
+func Disassemble(p *Program) string { return ir.Disassemble(p) }
+
+// Interpret runs a program functionally (no timing) and returns its output.
+func Interpret(p *Program, in0, in1 []byte) ([]byte, error) {
+	res, err := interp.Run(p, in0, in1, interp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Output, nil
+}
+
+// Profile runs a program functionally while collecting the branch-arc
+// statistics that drive basic block enlargement.
+func Profile(p *Program, in0, in1 []byte) (*ProfileData, error) {
+	prof := interp.NewProfile()
+	if _, err := interp.Run(p, in0, in1, interp.Options{Profile: prof}); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// DefaultEnlargeOptions returns the enlargement thresholds used throughout
+// the reproduction.
+func DefaultEnlargeOptions() EnlargeOptions { return enlarge.DefaultOptions() }
+
+// BuildEnlargement plans basic block enlargement chains from a profile.
+func BuildEnlargement(p *Program, prof *ProfileData, o EnlargeOptions) *EnlargementFile {
+	return enlarge.Build(p, prof, o)
+}
+
+// Load runs the translating loader: program + configuration (+ optional
+// enlargement file) to executable image.
+func Load(p *Program, cfg Config, ef *EnlargementFile) (*Image, error) {
+	return loader.Load(p, cfg, ef)
+}
+
+// SimOptions carry the optional inputs of a simulation run.
+type SimOptions struct {
+	// Trace is the dynamic block trace required by Perfect branch mode
+	// (record one with Trace).
+	Trace []BlockID
+	// Hints are static branch prediction hints that seed the 2-bit
+	// predictor (derive them with HintsFromProfile).
+	Hints map[BlockID]bool
+	// MaxCycles aborts a runaway simulation (0 = a very large default).
+	MaxCycles int64
+	// Pipe, when non-nil, records pipeline events of the run's first
+	// cycles (dynamic engines only).
+	Pipe *PipeLog
+}
+
+// SimResult is a simulation's outcome.
+type SimResult struct {
+	Output []byte
+	Stats  *Stats
+}
+
+// Simulate runs a loaded image cycle by cycle.
+func Simulate(img *Image, in0, in1 []byte, o SimOptions) (*SimResult, error) {
+	res, err := core.Run(img, in0, in1, o.Trace, o.Hints, core.Limits{MaxCycles: o.MaxCycles, Pipe: o.Pipe})
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{Output: res.Output, Stats: res.Stats}, nil
+}
+
+// Trace records the dynamic basic-block trace of a functional run, for
+// perfect-prediction simulations with the same input.
+func Trace(p *Program, in0, in1 []byte) ([]BlockID, error) {
+	res, err := interp.Run(p, in0, in1, interp.Options{RecordTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+// HintsFromProfile derives static branch prediction hints (majority
+// direction per branch) from a profile.
+func HintsFromProfile(prof *ProfileData) map[BlockID]bool {
+	return branch.HintsFromProfile(prof.Taken, prof.NotTaken)
+}
+
+// Benchmarks returns the paper's five workloads: sort, grep, diff, cpp,
+// compress.
+func Benchmarks() []*Benchmark { return bench.All() }
+
+// BenchmarkByName returns one of the five workloads, or nil.
+func BenchmarkByName(name string) *Benchmark { return bench.ByName(name) }
+
+// PrepareBenchmark applies the paper's methodology to one benchmark:
+// profile on input set 1, build the enlargement file and static hints,
+// record the reference output and trace on input set 2.
+func PrepareBenchmark(b *Benchmark, o EnlargeOptions) (*Workload, error) {
+	return exp.Prepare(b, o)
+}
+
+// RunGrid measures every configuration for every prepared workload in
+// parallel and verifies each run against the functional interpreter.
+func RunGrid(ws []*Workload, cfgs []Config, workers int, progress func(done, total int)) (*Results, error) {
+	return exp.Grid(ws, cfgs, workers, progress)
+}
+
+// FullGrid returns the paper's 560-point configuration grid.
+func FullGrid() []Config { return machine.Grid() }
+
+// FigureConfigs returns the subset of the grid needed to regenerate all
+// five figures.
+func FigureConfigs() []Config { return exp.FigureConfigs() }

@@ -1,0 +1,150 @@
+package fgpsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const apiSrc = `
+int main() {
+	int c = getc(0);
+	int n = 0;
+	while (c >= 0) {
+		if (c == 'x') n++;
+		c = getc(0);
+	}
+	putc('0' + n);
+	putc('\n');
+	return 0;
+}
+`
+
+func TestCompileAndInterpret(t *testing.T) {
+	p, err := Compile("count.mc", apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Interpret(p, []byte("axbxcx"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "3\n" {
+		t.Fatalf("output = %q, want 3", out)
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	_, err := Compile("bad.mc", "int main() { return x; }")
+	if err == nil {
+		t.Fatal("expected a compile error")
+	}
+	if !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUnoptimizedBigger(t *testing.T) {
+	p1, err := Compile("c.mc", apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := CompileUnoptimized("c.mc", apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.NumNodes() <= p1.NumNodes() {
+		t.Errorf("unoptimized (%d nodes) should exceed optimized (%d)", p0.NumNodes(), p1.NumNodes())
+	}
+}
+
+func TestFullPipeline(t *testing.T) {
+	p, err := Compile("count.mc", apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1 := []byte("xxaxbx")
+	in2 := []byte("yyxyyxyyy")
+
+	prof, err := Profile(p, in1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := BuildEnlargement(p, prof, DefaultEnlargeOptions())
+	hints := HintsFromProfile(prof)
+	trace, err := Trace(p, in2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Interpret(p, in2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	im8, _ := IssueModelByID(8)
+	memA, _ := MemConfigByID('A')
+	for _, mode := range []BranchMode{SingleBB, EnlargedBB, Perfect} {
+		cfg := Config{Disc: Dyn4, Issue: im8, Mem: memA, Branch: mode}
+		img, err := Load(p, cfg, ef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(img, in2, nil, SimOptions{Hints: hints, Trace: trace})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Output, want) {
+			t.Errorf("%v: output %q, want %q", mode, res.Output, want)
+		}
+		if res.Stats.Cycles <= 0 {
+			t.Errorf("%v: no cycles", mode)
+		}
+	}
+}
+
+func TestBenchmarksExposed(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 5 {
+		t.Fatalf("got %d benchmarks, want 5", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"sort", "grep", "diff", "cpp", "compress"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+	if BenchmarkByName("sort") == nil {
+		t.Error("BenchmarkByName failed")
+	}
+	if BenchmarkByName("nope") != nil {
+		t.Error("BenchmarkByName accepted junk")
+	}
+}
+
+func TestGridsExposed(t *testing.T) {
+	if n := len(FullGrid()); n != 560 {
+		t.Errorf("FullGrid has %d points, want 560", n)
+	}
+	if n := len(FigureConfigs()); n == 0 || n >= 560 {
+		t.Errorf("FigureConfigs has %d points, want a proper subset", n)
+	}
+}
+
+func TestSimulateCycleLimit(t *testing.T) {
+	p, err := Compile("loop.mc", "int main() { while (1) {} return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, _ := IssueModelByID(2)
+	memA, _ := MemConfigByID('A')
+	img, err := Load(p, Config{Disc: Dyn4, Issue: im2, Mem: memA, Branch: SingleBB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(img, nil, nil, SimOptions{MaxCycles: 5000}); err == nil {
+		t.Fatal("runaway loop should hit the cycle limit")
+	}
+}

@@ -1,0 +1,3 @@
+module fgpsim
+
+go 1.22

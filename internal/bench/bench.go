@@ -1,0 +1,102 @@
+// Package bench provides the five benchmark programs of the paper's
+// evaluation — sort, grep, diff, cpp, and compress — re-implemented in
+// MiniC, together with deterministic generators for the two input sets each
+// benchmark needs (set 1 profiles and drives enlargement-file creation; set
+// 2 is measured, so the branch statistics are not overly biased — the
+// paper's methodology).
+package bench
+
+import (
+	"sync"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/minic"
+)
+
+// Benchmark is one of the paper's five UNIX-utility workloads.
+type Benchmark struct {
+	Name   string
+	Source string
+
+	// Inputs returns the two input streams for the given input set (1 or
+	// 2). Stream 1 is nil for single-input benchmarks.
+	Inputs func(set int) (in0, in1 []byte)
+
+	once sync.Once
+	prog *ir.Program
+	err  error
+}
+
+// Program compiles (once) and returns the benchmark's node-IR program.
+func (b *Benchmark) Program() (*ir.Program, error) {
+	b.once.Do(func() {
+		b.prog, b.err = minic.Compile(b.Name+".mc", b.Source, minic.Options{Optimize: true})
+	})
+	return b.prog, b.err
+}
+
+// All returns the five benchmarks in the paper's order.
+func All() []*Benchmark {
+	return []*Benchmark{Sort(), Grep(), Diff(), Cpp(), Compress()}
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// rng is a small deterministic generator (xorshift32) so input sets are
+// reproducible across runs and platforms.
+type rng uint32
+
+func newRng(seed uint32) *rng {
+	r := rng(seed*2654435761 + 1)
+	return &r
+}
+
+func (r *rng) next() uint32 {
+	x := uint32(*r)
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*r = rng(x)
+	return x
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint32(n)) }
+
+var words = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+	"window", "branch", "issue", "node", "cache", "miss", "block", "fault",
+	"static", "dynamic", "schedule", "predict", "retire", "squash",
+	"memory", "latency", "port", "register", "buffer", "trace", "profile",
+}
+
+// line generates one pseudo-text line of 1..8 words.
+func (r *rng) line(buf []byte) []byte {
+	n := 1 + r.intn(8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, words[r.intn(len(words))]...)
+		if r.intn(6) == 0 {
+			buf = append(buf, byte('0'+r.intn(10)))
+		}
+	}
+	return append(buf, '\n')
+}
+
+func (r *rng) text(lines int) []byte {
+	var buf []byte
+	for i := 0; i < lines; i++ {
+		buf = r.line(buf)
+	}
+	return buf
+}

@@ -1,0 +1,87 @@
+package bench
+
+// Compress returns the paper's fifth benchmark: file compression. The
+// program is an LZW compressor in the style of compress(1): 12-bit codes, a
+// hash table dictionary with linear probing, codes emitted as two bytes.
+func Compress() *Benchmark {
+	return &Benchmark{
+		Name:   "compress",
+		Source: compressSrc,
+		Inputs: func(set int) ([]byte, []byte) {
+			r := newRng(uint32(0xc0de * set))
+			// Text with repetition compresses interestingly.
+			base := r.text(40)
+			var in []byte
+			for len(in) < 2600+400*set {
+				if r.intn(3) == 0 {
+					in = r.line(in)
+				} else {
+					start := r.intn(len(base) / 2)
+					end := start + 40 + r.intn(120)
+					if end > len(base) {
+						end = len(base)
+					}
+					in = append(in, base[start:end]...)
+				}
+			}
+			return in, nil
+		},
+	}
+}
+
+const compressSrc = `
+int htKey[8192];
+int htVal[8192];
+int nextCode = 256;
+
+int hash(int key) {
+	int h = key * 40503;
+	h = h ^ (h >> 9);
+	return h & 8191;
+}
+
+// find returns the dictionary slot for key; the slot holds -1 if absent.
+int find(int key) {
+	int h = hash(key);
+	while (htKey[h] != -1 && htKey[h] != key) {
+		h = (h + 1) & 8191;
+	}
+	return h;
+}
+
+void emit(int code) {
+	putc((code >> 8) & 255);
+	putc(code & 255);
+}
+
+int main() {
+	int i;
+	int w;
+	int c;
+	for (i = 0; i < 8192; i++) {
+		htKey[i] = -1;
+		htVal[i] = 0;
+	}
+	w = getc(0);
+	if (w < 0) return 0;
+	c = getc(0);
+	while (c >= 0) {
+		int key = (w << 8) | c;
+		int slot = find(key);
+		if (htKey[slot] == key) {
+			w = htVal[slot];
+		} else {
+			emit(w);
+			if (nextCode < 4096) {
+				htKey[slot] = key;
+				htVal[slot] = nextCode;
+				nextCode++;
+			}
+			w = c;
+		}
+		c = getc(0);
+	}
+	emit(w);
+	return 0;
+}
+`

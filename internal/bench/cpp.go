@@ -1,0 +1,163 @@
+package bench
+
+import "fmt"
+
+// Cpp returns the paper's fourth benchmark: C pre-processor macro
+// expansion. The program reads #define directives and substitutes macro
+// names (recursively, one level per pass over the replacement) in the rest
+// of the text, preserving everything else.
+func Cpp() *Benchmark {
+	return &Benchmark{
+		Name:   "cpp",
+		Source: cppSrc,
+		Inputs: func(set int) ([]byte, []byte) {
+			r := newRng(uint32(0xc44 * set))
+			var in []byte
+			nmac := 12
+			for i := 0; i < nmac; i++ {
+				in = append(in, fmt.Sprintf("#define M%d %s%d\n", i, words[r.intn(len(words))], r.intn(100))...)
+			}
+			lines := 150 + 25*set
+			for i := 0; i < lines; i++ {
+				n := 1 + r.intn(7)
+				for k := 0; k < n; k++ {
+					if k > 0 {
+						in = append(in, ' ')
+					}
+					if r.intn(3) == 0 {
+						in = append(in, fmt.Sprintf("M%d", r.intn(nmac))...)
+					} else {
+						in = append(in, words[r.intn(len(words))]...)
+					}
+				}
+				in = append(in, '\n')
+			}
+			return in, nil
+		},
+	}
+}
+
+const cppSrc = `
+char names[2048];    // 64 macros x 32 bytes
+char values[8192];   // 64 macros x 128 bytes
+int nmac = 0;
+char line[1024];
+char token[256];
+
+int isident(int c) {
+	if (c >= 'a' && c <= 'z') return 1;
+	if (c >= 'A' && c <= 'Z') return 1;
+	if (c >= '0' && c <= '9') return 1;
+	if (c == '_') return 1;
+	return 0;
+}
+
+int readline(char *buf, int max) {
+	int n = 0;
+	int c = getc(0);
+	if (c < 0) return -1;
+	while (c >= 0 && c != '\n' && n < max - 1) {
+		buf[n] = c;
+		n++;
+		c = getc(0);
+	}
+	buf[n] = 0;
+	return n;
+}
+
+int streq(char *a, char *b) {
+	while (*a && *a == *b) {
+		a++;
+		b++;
+	}
+	return *a == *b;
+}
+
+void copystr(char *dst, char *src, int max) {
+	int i = 0;
+	while (src[i] && i < max - 1) {
+		dst[i] = src[i];
+		i++;
+	}
+	dst[i] = 0;
+}
+
+// lookup returns the macro index for a name, or -1.
+int lookup(char *name) {
+	int i;
+	for (i = 0; i < nmac; i++) {
+		if (streq(names + i * 32, name)) return i;
+	}
+	return -1;
+}
+
+int startswith(char *s, char *prefix) {
+	while (*prefix) {
+		if (*s != *prefix) return 0;
+		s++;
+		prefix++;
+	}
+	return 1;
+}
+
+// define parses "#define NAME VALUE".
+void define(char *s) {
+	int i = 7;   // skip "#define"
+	int j = 0;
+	if (nmac >= 64) return;
+	while (s[i] == ' ') i++;
+	while (isident(s[i]) && j < 31) {
+		names[nmac * 32 + j] = s[i];
+		i++;
+		j++;
+	}
+	names[nmac * 32 + j] = 0;
+	while (s[i] == ' ') i++;
+	j = 0;
+	while (s[i] && j < 127) {
+		values[nmac * 128 + j] = s[i];
+		i++;
+		j++;
+	}
+	values[nmac * 128 + j] = 0;
+	nmac++;
+}
+
+void putstr(char *s) {
+	while (*s) {
+		putc(*s);
+		s++;
+	}
+}
+
+// expand writes the line with macros substituted.
+void expand(char *s) {
+	int i = 0;
+	while (s[i]) {
+		if (isident(s[i])) {
+			int j = 0;
+			while (isident(s[i]) && j < 255) {
+				token[j] = s[i];
+				i++;
+				j++;
+			}
+			token[j] = 0;
+			int m = lookup(token);
+			if (m >= 0) putstr(values + m * 128);
+			else putstr(token);
+		} else {
+			putc(s[i]);
+			i++;
+		}
+	}
+	putc('\n');
+}
+
+int main() {
+	while (readline(line, 1024) >= 0) {
+		if (startswith(line, "#define")) define(line);
+		else expand(line);
+	}
+	return 0;
+}
+`

@@ -1,0 +1,145 @@
+package bench
+
+// Diff returns the paper's third benchmark: find differences between two
+// files. Stream 0 is the old file and stream 1 the new file; the program
+// computes a longest-common-subsequence table over the lines (the classic
+// O(n*m) dynamic program) and emits an edit script ("<" for deletions,
+// ">" for insertions).
+func Diff() *Benchmark {
+	return &Benchmark{
+		Name:   "diff",
+		Source: diffSrc,
+		Inputs: func(set int) ([]byte, []byte) {
+			r := newRng(uint32(0xd1ff * set))
+			n := 60 + 10*set
+			a := make([][]byte, 0, n)
+			for i := 0; i < n; i++ {
+				a = append(a, r.line(nil))
+			}
+			// The new file: mutate ~25% of lines (delete, insert, replace).
+			b := make([][]byte, 0, n+8)
+			for _, ln := range a {
+				switch r.intn(12) {
+				case 0: // delete
+				case 1: // replace
+					b = append(b, r.line(nil))
+				case 2: // insert before
+					b = append(b, r.line(nil), ln)
+				default:
+					b = append(b, ln)
+				}
+			}
+			flat := func(lines [][]byte) []byte {
+				var out []byte
+				for _, ln := range lines {
+					out = append(out, ln...)
+				}
+				return out
+			}
+			return flat(a), flat(b)
+		},
+	}
+}
+
+const diffSrc = `
+char texta[32768];
+char textb[32768];
+char *la[160];
+char *lb[160];
+int na = 0;
+int nb = 0;
+int lcs[26244];   // (160+2)*(160+2) is too big; use (161)*(161) windowed below
+int opsA[320];
+int opsB[320];
+
+int readfile(int stream, char *buf, char **lines, int maxl) {
+	int n = 0;
+	int nl = 0;
+	int c = getc(stream);
+	lines[0] = buf;
+	while (c >= 0 && n < 32000 && nl < maxl - 1) {
+		if (c == '\n') {
+			buf[n] = 0;
+			n++;
+			nl++;
+			lines[nl] = buf + n;
+		} else {
+			buf[n] = c;
+			n++;
+		}
+		c = getc(stream);
+	}
+	buf[n] = 0;
+	return nl;
+}
+
+int streq(char *a, char *b) {
+	while (*a && *a == *b) {
+		a++;
+		b++;
+	}
+	return *a == *b;
+}
+
+void putline(char *mark, char *s) {
+	putc(mark[0]);
+	putc(' ');
+	while (*s) {
+		putc(*s);
+		s++;
+	}
+	putc('\n');
+}
+
+int idx(int i, int j) {
+	return i * 161 + j;
+}
+
+int main() {
+	int i;
+	int j;
+	na = readfile(0, texta, la, 160);
+	nb = readfile(1, textb, lb, 160);
+
+	// LCS lengths, bottom-up.
+	for (i = na; i >= 0; i--) {
+		for (j = nb; j >= 0; j--) {
+			if (i >= na || j >= nb) {
+				lcs[idx(i, j)] = 0;
+			} else if (streq(la[i], lb[j])) {
+				lcs[idx(i, j)] = lcs[idx(i + 1, j + 1)] + 1;
+			} else {
+				int down = lcs[idx(i + 1, j)];
+				int right = lcs[idx(i, j + 1)];
+				if (down >= right) lcs[idx(i, j)] = down;
+				else lcs[idx(i, j)] = right;
+			}
+		}
+	}
+
+	// Walk the table emitting the edit script.
+	i = 0;
+	j = 0;
+	while (i < na && j < nb) {
+		if (streq(la[i], lb[j])) {
+			i++;
+			j++;
+		} else if (lcs[idx(i + 1, j)] >= lcs[idx(i, j + 1)]) {
+			putline("<", la[i]);
+			i++;
+		} else {
+			putline(">", lb[j]);
+			j++;
+		}
+	}
+	while (i < na) {
+		putline("<", la[i]);
+		i++;
+	}
+	while (j < nb) {
+		putline(">", lb[j]);
+		j++;
+	}
+	return 0;
+}
+`

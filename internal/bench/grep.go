@@ -1,0 +1,64 @@
+package bench
+
+// Grep returns the paper's second benchmark: print lines with a matching
+// string. Stream 0 carries the pattern on its first line followed by the
+// text to search; matching uses the classic naive substring scan.
+func Grep() *Benchmark {
+	return &Benchmark{
+		Name:   "grep",
+		Source: grepSrc,
+		Inputs: func(set int) ([]byte, []byte) {
+			r := newRng(uint32(0x93e9 * set))
+			pattern := words[r.intn(len(words))]
+			in := append([]byte(pattern), '\n')
+			in = append(in, r.text(260+40*set)...)
+			return in, nil
+		},
+	}
+}
+
+const grepSrc = `
+char pat[256];
+char line[1024];
+
+int readline(char *buf, int max) {
+	int n = 0;
+	int c = getc(0);
+	if (c < 0) return -1;
+	while (c >= 0 && c != '\n' && n < max - 1) {
+		buf[n] = c;
+		n++;
+		c = getc(0);
+	}
+	buf[n] = 0;
+	return n;
+}
+
+int match(char *text, char *p) {
+	int i = 0;
+	while (text[i]) {
+		int j = 0;
+		while (p[j] && text[i + j] == p[j]) j++;
+		if (!p[j]) return 1;
+		i++;
+	}
+	return 0;
+}
+
+void putline(char *s) {
+	while (*s) {
+		putc(*s);
+		s++;
+	}
+	putc('\n');
+}
+
+int main() {
+	int n = readline(pat, 256);
+	if (n <= 0) return 1;
+	while (readline(line, 1024) >= 0) {
+		if (match(line, pat)) putline(line);
+	}
+	return 0;
+}
+`

@@ -1,0 +1,108 @@
+package bench
+
+// Sort returns the paper's first benchmark: sort lines in a file. The MiniC
+// program reads all of stream 0, splits it into lines, quicksorts an array
+// of line pointers (with insertion sort below a cutoff, the classic
+// implementation), and writes the lines back out in order.
+func Sort() *Benchmark {
+	return &Benchmark{
+		Name:   "sort",
+		Source: sortSrc,
+		Inputs: func(set int) ([]byte, []byte) {
+			r := newRng(uint32(0x5011 * set))
+			return r.text(140 + 20*set), nil
+		},
+	}
+}
+
+const sortSrc = `
+char text[65536];
+char *lines[4096];
+int nlines = 0;
+
+int readall() {
+	int n = 0;
+	int c = getc(0);
+	while (c >= 0 && n < 65000) {
+		text[n] = c;
+		n++;
+		c = getc(0);
+	}
+	text[n] = 0;
+	return n;
+}
+
+void split(int n) {
+	int i = 0;
+	while (i < n && nlines < 4095) {
+		lines[nlines] = text + i;
+		nlines++;
+		while (i < n && text[i] != '\n') i++;
+		if (i < n) {
+			text[i] = 0;   // terminate the line
+			i++;
+		}
+	}
+}
+
+int cmp(char *a, char *b) {
+	while (*a && *a == *b) {
+		a++;
+		b++;
+	}
+	return *a - *b;
+}
+
+void isort(int lo, int hi) {
+	int i;
+	for (i = lo + 1; i <= hi; i++) {
+		char *key = lines[i];
+		int j = i - 1;
+		while (j >= lo && cmp(lines[j], key) > 0) {
+			lines[j + 1] = lines[j];
+			j--;
+		}
+		lines[j + 1] = key;
+	}
+}
+
+void qsortl(int lo, int hi) {
+	if (hi - lo < 8) {
+		isort(lo, hi);
+		return;
+	}
+	char *pivot = lines[lo + (hi - lo) / 2];
+	int i = lo;
+	int j = hi;
+	while (i <= j) {
+		while (cmp(lines[i], pivot) < 0) i++;
+		while (cmp(lines[j], pivot) > 0) j--;
+		if (i <= j) {
+			char *t = lines[i];
+			lines[i] = lines[j];
+			lines[j] = t;
+			i++;
+			j--;
+		}
+	}
+	if (lo < j) qsortl(lo, j);
+	if (i < hi) qsortl(i, hi);
+}
+
+void putline(char *s) {
+	while (*s) {
+		putc(*s);
+		s++;
+	}
+	putc('\n');
+}
+
+int main() {
+	int n = readall();
+	int i;
+	split(n);
+	if (nlines > 0) qsortl(0, nlines - 1);
+	for (i = 0; i < nlines; i++) putline(lines[i]);
+	return 0;
+}
+`

@@ -1,0 +1,93 @@
+// Package branch implements the run-time simulator's branch prediction: a
+// branch target buffer of 2-bit saturating counters, optionally supplemented
+// by static prediction hints that are consulted the first time a branch is
+// encountered (and again whenever its entry has been evicted), exactly as
+// described in section 3.1 of the paper. Perfect (trace-driven) prediction
+// is implemented by the engines themselves, since it interacts with
+// speculative issue state.
+package branch
+
+import "fgpsim/internal/ir"
+
+// BTB is a direct-mapped branch target buffer of 2-bit counters, indexed
+// and tagged by the branch's basic block ID (our stand-in for the branch
+// PC, which is unique per block since blocks have one terminator).
+type BTB struct {
+	size  int
+	tags  []int32 // blockID+1; 0 = invalid
+	ctr   []uint8 // 0..3; >=2 predicts taken
+	hints map[ir.BlockID]bool
+
+	Lookups int64
+	Hits    int64 // lookups that found a matching entry
+}
+
+// New builds a BTB with the given number of entries. hints maps branch
+// blocks to their statically predicted direction; it may be nil.
+func New(entries int, hints map[ir.BlockID]bool) *BTB {
+	if entries < 1 {
+		entries = 1
+	}
+	return &BTB{
+		size:  entries,
+		tags:  make([]int32, entries),
+		ctr:   make([]uint8, entries),
+		hints: hints,
+	}
+}
+
+func (b *BTB) slot(blk ir.BlockID) int { return int(uint32(blk)) % b.size }
+
+// Predict returns the predicted direction of the conditional branch ending
+// block blk: the 2-bit counter when the entry is present, the static hint
+// when not, and not-taken as the last resort.
+func (b *BTB) Predict(blk ir.BlockID) bool {
+	b.Lookups++
+	s := b.slot(blk)
+	if b.tags[s] == int32(blk)+1 {
+		b.Hits++
+		return b.ctr[s] >= 2
+	}
+	if h, ok := b.hints[blk]; ok {
+		return h
+	}
+	return false
+}
+
+// Update trains the predictor with the resolved direction, allocating an
+// entry (and evicting whatever aliased there) when absent.
+func (b *BTB) Update(blk ir.BlockID, taken bool) {
+	s := b.slot(blk)
+	if b.tags[s] != int32(blk)+1 {
+		b.tags[s] = int32(blk) + 1
+		if taken {
+			b.ctr[s] = 2
+		} else {
+			b.ctr[s] = 1
+		}
+		return
+	}
+	switch {
+	case taken && b.ctr[s] < 3:
+		b.ctr[s]++
+	case !taken && b.ctr[s] > 0:
+		b.ctr[s]--
+	}
+}
+
+// HintsFromProfile derives static prediction hints from a profiling run:
+// the majority direction of each conditional branch.
+func HintsFromProfile(taken, notTaken map[ir.BlockID]int64) map[ir.BlockID]bool {
+	hints := make(map[ir.BlockID]bool, len(taken)+len(notTaken))
+	seen := make(map[ir.BlockID]bool, len(taken)+len(notTaken))
+	for blk := range taken {
+		seen[blk] = true
+	}
+	for blk := range notTaken {
+		seen[blk] = true
+	}
+	for blk := range seen {
+		hints[blk] = taken[blk] >= notTaken[blk]
+	}
+	return hints
+}

@@ -1,0 +1,142 @@
+package branch
+
+import "fgpsim/internal/ir"
+
+// DirectionPredictor is the engine-facing predictor interface. Because the
+// dynamic engine predicts at issue time, many branches deep into
+// speculation, history-based predictors need speculative state management:
+//
+//   - Predict returns the direction plus an opaque token capturing the
+//     predictor state the prediction was made under (and may push the
+//     predicted direction into speculative history);
+//   - Update trains the predictor at retirement, keyed by the token;
+//   - Checkpoint/Restore snapshot and repair speculative state around
+//     block-level squashes;
+//   - Push records a resolved direction into speculative history after a
+//     misprediction repair.
+//
+// The 2-bit counter BTB is stateless across branches, so its tokens and
+// checkpoints are zero.
+type DirectionPredictor interface {
+	Predict(blk ir.BlockID) (taken bool, token uint64)
+	Update(blk ir.BlockID, taken bool, token uint64)
+	Checkpoint() uint64
+	Restore(token uint64)
+	Push(taken bool)
+}
+
+// TwoBitAdapter lifts the BTB into the DirectionPredictor interface.
+type TwoBitAdapter struct{ *BTB }
+
+// Predict returns the BTB prediction; the token is unused.
+func (a TwoBitAdapter) Predict(blk ir.BlockID) (bool, uint64) {
+	return a.BTB.Predict(blk), 0
+}
+
+// Update trains the BTB.
+func (a TwoBitAdapter) Update(blk ir.BlockID, taken bool, _ uint64) {
+	a.BTB.Update(blk, taken)
+}
+
+// Checkpoint is a no-op for the history-free BTB.
+func (TwoBitAdapter) Checkpoint() uint64 { return 0 }
+
+// Restore is a no-op for the history-free BTB.
+func (TwoBitAdapter) Restore(uint64) {}
+
+// Push is a no-op for the history-free BTB.
+func (TwoBitAdapter) Push(bool) {}
+
+// GShare is a two-level adaptive predictor: a global branch history
+// register XOR-ed with the branch identifier indexes a table of 2-bit
+// counters. The paper's conclusions call the 2-bit counter "a fairly
+// simple scheme" and suggest that "more sophisticated techniques could
+// yield better prediction"; this is the canonical such technique
+// (two-level adaptive prediction is Yeh & Patt's, published the same year;
+// the XOR hashing is McFarling's gshare), provided as the reproduction's
+// future-work extension.
+//
+// History is speculative: Predict pushes the predicted direction, squashes
+// restore a checkpoint, and a misprediction repair pushes the corrected
+// direction. Counters train at retirement using the fetch-time history
+// carried in the token.
+type GShare struct {
+	bits    int
+	mask    uint32
+	history uint32
+	ctr     []uint8
+	seen    map[ir.BlockID]bool
+	hints   map[ir.BlockID]bool
+
+	Lookups int64
+}
+
+// NewGShare builds a gshare predictor with a 2^bits-entry counter table.
+func NewGShare(bits int, hints map[ir.BlockID]bool) *GShare {
+	if bits < 2 {
+		bits = 2
+	}
+	if bits > 24 {
+		bits = 24
+	}
+	return &GShare{
+		bits:  bits,
+		mask:  1<<bits - 1,
+		ctr:   make([]uint8, 1<<bits),
+		seen:  make(map[ir.BlockID]bool),
+		hints: hints,
+	}
+}
+
+func (g *GShare) index(blk ir.BlockID, hist uint32) uint32 {
+	return (uint32(blk) ^ hist) & g.mask
+}
+
+// Predict returns the predicted direction under the current speculative
+// history, then pushes the prediction into it. The token is the history the
+// prediction used.
+func (g *GShare) Predict(blk ir.BlockID) (bool, uint64) {
+	g.Lookups++
+	token := uint64(g.history)
+	var taken bool
+	if !g.seen[blk] {
+		taken = g.hints[blk]
+	} else {
+		taken = g.ctr[g.index(blk, g.history)] >= 2
+	}
+	g.push(taken)
+	return taken, token
+}
+
+func (g *GShare) push(taken bool) {
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Update trains the counter the prediction indexed (at retirement).
+func (g *GShare) Update(blk ir.BlockID, taken bool, token uint64) {
+	g.seen[blk] = true
+	i := g.index(blk, uint32(token))
+	switch {
+	case taken && g.ctr[i] < 3:
+		g.ctr[i]++
+	case !taken && g.ctr[i] > 0:
+		g.ctr[i]--
+	}
+}
+
+// Checkpoint returns the speculative history.
+func (g *GShare) Checkpoint() uint64 { return uint64(g.history) }
+
+// Restore rewinds the speculative history to a checkpoint or token.
+func (g *GShare) Restore(token uint64) { g.history = uint32(token) & g.mask }
+
+// Push records a resolved direction (misprediction repair).
+func (g *GShare) Push(taken bool) { g.push(taken) }
+
+var (
+	_ DirectionPredictor = TwoBitAdapter{}
+	_ DirectionPredictor = (*GShare)(nil)
+)

@@ -1,0 +1,90 @@
+package branch
+
+import (
+	"testing"
+
+	"fgpsim/internal/ir"
+)
+
+func TestGShareLearnsPeriodicPattern(t *testing.T) {
+	g := NewGShare(10, nil)
+	blk := ir.BlockID(7)
+	// Pattern with period 4: T N N N. Train sequentially (predict, then
+	// update with the truth, as retirement would).
+	correct, total := 0, 0
+	for i := 0; i < 400; i++ {
+		want := i%4 == 0
+		got, tok := g.Predict(blk)
+		if got != want {
+			// Repair speculative history like a mispredict squash does.
+			g.Restore(tok)
+			g.Push(want)
+		}
+		g.Update(blk, want, tok)
+		if i >= 100 { // after warmup
+			total++
+			if got == want {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("gshare accuracy on period-4 pattern = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestGShareCheckpointRestore(t *testing.T) {
+	g := NewGShare(8, nil)
+	g.Push(true)
+	g.Push(false)
+	cp := g.Checkpoint()
+	g.Push(true)
+	g.Push(true)
+	if g.Checkpoint() == cp {
+		t.Fatal("pushes should change the history")
+	}
+	g.Restore(cp)
+	if g.Checkpoint() != cp {
+		t.Fatal("restore did not rewind the history")
+	}
+}
+
+func TestGShareHintsOnFirstEncounter(t *testing.T) {
+	g := NewGShare(8, map[ir.BlockID]bool{3: true})
+	got, tok := g.Predict(3)
+	if !got {
+		t.Error("unseen branch should follow the taken hint")
+	}
+	g.Update(3, false, tok)
+	g.Update(3, false, tok)
+	if got, _ := g.Predict(3); got {
+		t.Error("trained counter should override the hint")
+	}
+}
+
+func TestGShareBitsClamped(t *testing.T) {
+	small := NewGShare(0, nil)
+	if len(small.ctr) != 4 {
+		t.Errorf("bits clamp low: table %d, want 4", len(small.ctr))
+	}
+	big := NewGShare(40, nil)
+	if len(big.ctr) != 1<<24 {
+		t.Errorf("bits clamp high: table %d, want 2^24", len(big.ctr))
+	}
+}
+
+func TestTwoBitAdapter(t *testing.T) {
+	var p DirectionPredictor = TwoBitAdapter{BTB: New(16, nil)}
+	got, tok := p.Predict(5)
+	if got || tok != 0 {
+		t.Errorf("cold adapter predict = (%v, %d), want (false, 0)", got, tok)
+	}
+	p.Update(5, true, 0)
+	p.Update(5, true, 0)
+	if got, _ := p.Predict(5); !got {
+		t.Error("adapter should train the underlying BTB")
+	}
+	// No-ops must not panic.
+	p.Restore(p.Checkpoint())
+	p.Push(true)
+}

@@ -1,0 +1,139 @@
+// Package core contains the run-time simulator engines (the paper's sim):
+// a statically scheduled in-order engine with hardware interlocks, and a
+// dynamically scheduled restricted-dataflow engine with an instruction
+// window, checkpointed speculative execution, run-time memory
+// disambiguation, and a write buffer. Both engines execute programs
+// functionally while modeling timing cycle by cycle, and both must produce
+// output byte-identical to the functional interpreter — that invariant is
+// the test suite's backbone.
+package core
+
+import (
+	"fmt"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/stats"
+)
+
+// RunResult bundles a finished simulation.
+type RunResult struct {
+	Output []byte
+	Stats  *stats.Run
+}
+
+// Limits guards simulations against runaway configurations and carries
+// optional observability hooks.
+type Limits struct {
+	// MaxCycles aborts the run when exceeded (0 = default of 2^40).
+	MaxCycles int64
+
+	// Pipe, when non-nil, records pipeline events of the first cycles
+	// (dynamic engines only).
+	Pipe *PipeLog
+}
+
+func (l Limits) maxCycles() int64 {
+	if l.MaxCycles > 0 {
+		return l.MaxCycles
+	}
+	return 1 << 40
+}
+
+// Run simulates a loaded image on the two input streams. trace supplies
+// the dynamic basic-block trace for perfect-prediction configurations (and
+// is ignored otherwise); hints supplies static branch prediction hints
+// keyed by original block IDs, used to seed the 2-bit predictor.
+func Run(img *loader.Image, in0, in1 []byte, trace []ir.BlockID, hints map[ir.BlockID]bool, lim Limits) (*RunResult, error) {
+	if img.Cfg.Branch == machine.Perfect && trace == nil {
+		return nil, fmt.Errorf("core: perfect prediction requires a recorded trace")
+	}
+	if img.Cfg.Disc == machine.Static {
+		e := newStaticEngine(img, in0, in1, lim)
+		return e.run()
+	}
+	e := newDynamicEngine(img, in0, in1, trace, lim)
+	if hints != nil {
+		e.SetHints(hints)
+	}
+	return e.run()
+}
+
+// env is the architectural state shared by both engines: flat memory, the
+// input streams, and collected output. Its address clamping is identical to
+// the functional interpreter's so that runs are bit-for-bit comparable.
+type env struct {
+	prog *ir.Program
+	mem  []byte
+
+	in    [2][]byte
+	inPos [2]int
+	out   []byte
+}
+
+func newEnv(p *ir.Program, in0, in1 []byte) *env {
+	e := &env{prog: p, in: [2][]byte{in0, in1}}
+	e.mem = make([]byte, p.MemSize)
+	copy(e.mem[p.DataBase:], p.Data)
+	return e
+}
+
+func (e *env) clampAddr(a int32, size int64) int64 {
+	addr := int64(uint32(a))
+	if addr+size > int64(len(e.mem)) {
+		return 0
+	}
+	return addr
+}
+
+func (e *env) load(a int32, size int64) int32 {
+	addr := e.clampAddr(a, size)
+	if size == 1 {
+		return int32(e.mem[addr])
+	}
+	return int32(uint32(e.mem[addr]) | uint32(e.mem[addr+1])<<8 |
+		uint32(e.mem[addr+2])<<16 | uint32(e.mem[addr+3])<<24)
+}
+
+func (e *env) store(a int32, size int64, v int32) {
+	addr := e.clampAddr(a, size)
+	e.mem[addr] = byte(v)
+	if size == 4 {
+		e.mem[addr+1] = byte(v >> 8)
+		e.mem[addr+2] = byte(v >> 16)
+		e.mem[addr+3] = byte(v >> 24)
+	}
+}
+
+func (e *env) syscall(no int64, a, b int32) int32 {
+	switch no {
+	case ir.SysGetc:
+		s := int(a) & 1
+		if e.inPos[s] >= len(e.in[s]) {
+			return -1
+		}
+		c := e.in[s][e.inPos[s]]
+		e.inPos[s]++
+		return int32(c)
+	case ir.SysPutc:
+		e.out = append(e.out, byte(a))
+		return 0
+	}
+	return -1
+}
+
+// sizeOf returns the access width of a memory node.
+func sizeOf(op ir.Op) int64 {
+	if op == ir.LdB || op == ir.StB {
+		return 1
+	}
+	return 4
+}
+
+// ErrCycleLimit is returned when a simulation exceeds its cycle budget.
+type ErrCycleLimit struct{ Cycles int64 }
+
+func (e *ErrCycleLimit) Error() string {
+	return fmt.Sprintf("core: cycle limit exceeded (%d cycles)", e.Cycles)
+}

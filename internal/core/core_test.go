@@ -1,0 +1,241 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fgpsim/internal/branch"
+	"fgpsim/internal/core"
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+)
+
+// testProgram is a deliberately branchy, memory-heavy program: it reads
+// bytes, maintains a frequency table, sorts it with insertion sort (data
+// dependent branches), and emits a digest. It exercises calls, recursion,
+// loops, arrays, byte and word memory traffic, and I/O.
+const testSrc = `
+int freq[256];
+int order[256];
+
+int weight(int c) {
+	if (c >= 'a' && c <= 'z') return 2;
+	if (c >= '0' && c <= '9') return 3;
+	return 1;
+}
+
+int gcd(int a, int b) {
+	if (b == 0) return a;
+	return gcd(b, a % b);
+}
+
+void emit(int n) {
+	if (n < 0) { putc('-'); n = -n; }
+	if (n >= 10) emit(n / 10);
+	putc('0' + n % 10);
+}
+
+int main() {
+	int i;
+	int c;
+	int n = 0;
+	int hash = 7;
+	for (i = 0; i < 256; i++) { freq[i] = 0; order[i] = i; }
+	c = getc(0);
+	while (c >= 0) {
+		freq[c & 255] += weight(c);
+		hash = hash * 31 + c;
+		hash = hash ^ (hash >> 7);
+		n++;
+		c = getc(0);
+	}
+	// Insertion sort of order[] by descending freq.
+	for (i = 1; i < 256; i++) {
+		int key = order[i];
+		int j = i - 1;
+		while (j >= 0 && freq[order[j]] < freq[key]) {
+			order[j + 1] = order[j];
+			j--;
+		}
+		order[j + 1] = key;
+	}
+	for (i = 0; i < 5; i++) {
+		if (freq[order[i]] > 0) {
+			putc(order[i]);
+			putc(':');
+			emit(freq[order[i]]);
+			putc(' ');
+		}
+	}
+	emit(n);
+	putc(' ');
+	emit(gcd(hash & 0x7fffffff, 360360));
+	putc('\n');
+	return 0;
+}
+`
+
+func input(seed byte, n int) []byte {
+	buf := make([]byte, n)
+	x := uint32(seed) + 17
+	for i := range buf {
+		x = x*1664525 + 1013904223
+		buf[i] = byte('a' + (x>>24)%30)
+	}
+	return buf
+}
+
+func TestEnginesMatchInterpreter(t *testing.T) {
+	prog, err := minic.Compile("digest.mc", testSrc, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1 := input(1, 1500) // profiling input
+	in2 := input(9, 1500) // measurement input
+
+	prof := interp.NewProfile()
+	if _, err := interp.Run(prog, in1, nil, interp.Options{Profile: prof, MaxNodes: 100_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	ef := enlarge.Build(prog, prof, enlarge.DefaultOptions())
+	if len(ef.Chains) == 0 {
+		t.Fatal("enlargement produced no chains")
+	}
+	hints := branch.HintsFromProfile(prof.Taken, prof.NotTaken)
+
+	ref, err := interp.Run(prog, in2, nil, interp.Options{RecordTrace: true, MaxNodes: 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Output) == 0 {
+		t.Fatal("reference run produced no output")
+	}
+
+	// Sanity: the enlarged program still computes the same function.
+	for _, cfg := range []machine.Config{
+		{Disc: machine.Dyn4, Issue: machine.IssueModels[7], Mem: machine.MemConfigs[0], Branch: machine.EnlargedBB},
+	} {
+		img, err := loader.Load(prog, cfg, ef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := interp.Run(img.Prog, in2, nil, interp.Options{MaxNodes: 100_000_000})
+		if err != nil {
+			t.Fatalf("interp on enlarged program: %v", err)
+		}
+		if !bytes.Equal(res.Output, ref.Output) {
+			t.Fatalf("enlarged program output differs:\n got %q\nwant %q", res.Output, ref.Output)
+		}
+	}
+
+	var cfgs []machine.Config
+	for _, d := range machine.Disciplines {
+		for _, imID := range []int{1, 2, 5, 8} {
+			im, _ := machine.IssueModelByID(imID)
+			for _, mcID := range []byte{'A', 'C', 'D', 'G'} {
+				mc, _ := machine.MemConfigByID(mcID)
+				modes := []machine.BranchMode{machine.SingleBB, machine.EnlargedBB}
+				if d == machine.Dyn4 || d == machine.Dyn256 {
+					modes = append(modes, machine.Perfect)
+				}
+				for _, bm := range modes {
+					cfgs = append(cfgs, machine.Config{Disc: d, Issue: im, Mem: mc, Branch: bm})
+				}
+			}
+		}
+	}
+
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			img, err := loader.Load(prog, cfg, ef)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(img, in2, nil, ref.Trace, hints, core.Limits{MaxCycles: 20_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(res.Output, ref.Output) {
+				t.Fatalf("output mismatch:\n got %q\nwant %q", res.Output, ref.Output)
+			}
+			if res.Stats.Cycles <= 0 {
+				t.Error("no cycles recorded")
+			}
+			if res.Stats.RetiredNodes <= 0 {
+				t.Error("no nodes retired")
+			}
+			if res.Stats.NPC() > float64(cfg.Issue.Total()) {
+				t.Errorf("NPC %.2f exceeds issue width %d", res.Stats.NPC(), cfg.Issue.Total())
+			}
+			if cfg.Branch == machine.Perfect && res.Stats.Mispredicts != 0 {
+				t.Errorf("perfect prediction recorded %d mispredicts", res.Stats.Mispredicts)
+			}
+		})
+	}
+}
+
+// TestPerformanceOrdering checks the qualitative relationships the paper
+// reports on a wide machine: dyn-w4 >= dyn-w1 >= static (approximately),
+// enlargement helps, and perfect prediction is an upper bound.
+func TestPerformanceOrdering(t *testing.T) {
+	prog, err := minic.Compile("digest.mc", testSrc, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1 := input(3, 2000)
+	in2 := input(7, 2000)
+	prof := interp.NewProfile()
+	if _, err := interp.Run(prog, in1, nil, interp.Options{Profile: prof, MaxNodes: 100_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	ef := enlarge.Build(prog, prof, enlarge.DefaultOptions())
+	hints := branch.HintsFromProfile(prof.Taken, prof.NotTaken)
+	ref, err := interp.Run(prog, in2, nil, interp.Options{RecordTrace: true, MaxNodes: 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	im8, _ := machine.IssueModelByID(8)
+	mcA, _ := machine.MemConfigByID('A')
+	npc := func(d machine.Discipline, bm machine.BranchMode) float64 {
+		img, err := loader.Load(prog, machine.Config{Disc: d, Issue: im8, Mem: mcA, Branch: bm}, ef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, in2, nil, ref.Trace, hints, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.NPC()
+	}
+
+	static := npc(machine.Static, machine.SingleBB)
+	w1 := npc(machine.Dyn1, machine.SingleBB)
+	w4 := npc(machine.Dyn4, machine.SingleBB)
+	w256 := npc(machine.Dyn256, machine.SingleBB)
+	w4e := npc(machine.Dyn4, machine.EnlargedBB)
+	w4p := npc(machine.Dyn4, machine.Perfect)
+
+	t.Logf("NPC: static=%.2f w1=%.2f w4=%.2f w256=%.2f w4-enl=%.2f w4-perf=%.2f",
+		static, w1, w4, w256, w4e, w4p)
+
+	if w4 <= w1 {
+		t.Errorf("window 4 (%.2f) should beat window 1 (%.2f)", w4, w1)
+	}
+	if w256 < w4*0.95 {
+		t.Errorf("window 256 (%.2f) should not fall below window 4 (%.2f)", w256, w4)
+	}
+	if w4e <= w4*0.9 {
+		t.Errorf("enlargement (%.2f) should help dyn-w4 (%.2f)", w4e, w4)
+	}
+	if w4p < w4e*0.95 {
+		t.Errorf("perfect prediction (%.2f) should be an upper bound near enlarged (%.2f)", w4p, w4e)
+	}
+	if static > w1*1.25 {
+		t.Errorf("static (%.2f) should not beat dyn-w1 (%.2f) by much", static, w1)
+	}
+}

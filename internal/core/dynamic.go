@@ -1,0 +1,689 @@
+package core
+
+import (
+	"container/heap"
+
+	"fgpsim/internal/branch"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/mem"
+	"fgpsim/internal/stats"
+)
+
+// The dynamic engine implements HPS-style restricted dataflow: nodes are
+// issued in predicted program order into an instruction window bounded by a
+// number of active basic blocks, decoupled from each other through register
+// renaming (producer links), and scheduled to function units the cycle
+// their operands become ready. Memory addresses are disambiguated at run
+// time: a load executes once every older store's address is known, reading
+// memory overlaid with older write-buffer entries. Stores execute into the
+// write buffer and drain to memory when their block retires. Speculation is
+// checkpointed per basic block; branch mispredictions squash all younger
+// blocks, and assert faults (enlarged blocks) additionally discard the
+// faulting block itself and restart at its fault-to target.
+
+type nstate uint8
+
+const (
+	nsWaiting nstate = iota
+	nsReady          // in a ready queue
+	nsExecuting
+	nsDone
+)
+
+// dnode is one in-flight node.
+type dnode struct {
+	n     *ir.Node
+	blk   *ablock
+	seq   int64
+	idx   int // index in block (len(body) = terminator)
+	state nstate
+
+	srcA, srcB *dnode // producers still relevant at issue (nil = immediate)
+	valA, valB int32
+	pendingOps int
+
+	val    int32
+	doneAt int64
+
+	addr     int64 // memory effective address (valid once executing)
+	memSize  int64
+	squashed bool
+	handled  bool // offender (mispredict/fault) already processed
+
+	// consumers to wake when this node's value becomes available.
+	consumers []*dnode
+
+	// Terminator bookkeeping.
+	predictedTaken bool
+	isBranch       bool
+	predToken      uint64 // predictor state the prediction was made under
+}
+
+// renEntry is one rename-table entry: the in-flight producer of a
+// register's current value, or the value itself.
+type renEntry struct {
+	prod *dnode
+	val  int32
+}
+
+// rsNode is a persistent (immutable) speculative return stack.
+type rsNode struct {
+	target ir.BlockID
+	parent *rsNode
+	depth  int
+}
+
+// ablock is an active (issued, unretired) basic block.
+type ablock struct {
+	xb    *ir.Block
+	seq0  int64
+	nodes []*dnode
+	// issuedAll is set once the terminator has been issued.
+	issuedAll bool
+	nDone     int
+
+	// asserts in issue order, for oldest-first fault gating.
+	asserts []*dnode
+	stores  []*dnode
+
+	// Checkpoints taken at block entry.
+	renSnap    [ir.NumRegs]renEntry
+	rsSnap     *rsNode
+	cursorSnap int
+	predSnap   uint64
+
+	flags issueFlags
+	term  *dnode
+}
+
+func (ab *ablock) complete() bool {
+	return ab.issuedAll && ab.nDone == len(ab.nodes)
+}
+
+// seqHeap is a min-heap of dnodes ordered by program order.
+type seqHeap []*dnode
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(*dnode)) }
+func (h *seqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// wbEntry is a write-buffer entry: an executed, uncommitted store.
+type wbEntry struct {
+	nd   *dnode
+	addr int64
+	size int64
+	val  int32
+}
+
+// timelineSlots sizes the completion ring; it must exceed the largest
+// possible node latency (the 10-cycle cache miss).
+const timelineSlots = 16
+
+type dynamicEngine struct {
+	img  *loader.Image
+	env  *env
+	ms   *mem.System
+	pred branch.DirectionPredictor
+	st   *stats.Run
+	lim  Limits
+
+	window int
+	imem   int // memory ports
+	ialu   int // ALU units
+	itotal int // total issue/schedule cap (sequential model: 1)
+
+	cycle int64
+	seq   int64
+
+	active []*ablock // oldest first
+
+	// Issue state.
+	rename      [ir.NumRegs]renEntry
+	rs          *rsNode
+	issueBlock  *ablock    // block currently being issued into
+	issueIdx    int        // next node index in issueBlock
+	nextBlockID ir.BlockID // where issue continues once a new block opens
+	issueStall  bool       // stop issuing (halt seen, empty return stack, oracle fault)
+
+	// Perfect-prediction state.
+	trace  []ir.BlockID
+	cursor int
+
+	// Ready queues by function-unit class.
+	readyMem seqHeap
+	readyALU seqHeap
+
+	// Completion timeline: a ring of per-cycle completion lists. Slot
+	// cycle%timelineSlots holds the nodes completing at that cycle; the
+	// maximum latency (a 10-cycle miss) is well below the ring size.
+	timeline [timelineSlots][]*dnode
+
+	// liveNodes counts issued, unretired nodes (window occupancy stats).
+	liveNodes int64
+
+	// Memory disambiguation state. unknownQ holds issued stores in seq
+	// order; entries leave lazily once executed or squashed, so the head
+	// yields the minimum unknown-address store seq in O(1) amortized.
+	wb           map[int64][]*wbEntry // granule (addr>>2) -> entries, seq order
+	unknownQ     []*dnode
+	blockedLoads []*dnode // loads waiting for disambiguation
+	blockedSys   []*dnode // syscalls waiting to be non-speculative
+
+	// memEpoch increments whenever store state changes in a way that could
+	// unblock a waiting load; blocked loads retry only then.
+	memEpoch      int64
+	lastLoadRetry int64
+
+	// Offenders discovered this cycle / pending faults.
+	mispredicted  []*dnode
+	pendingFaults []*dnode
+
+	// fill is the run-time enlargement state (FillUnit mode only).
+	fill *fillUnit
+
+	// pipe records pipeline events when attached via Limits.
+	pipe *PipeLog
+
+	finished bool
+}
+
+func newDynamicEngine(img *loader.Image, in0, in1 []byte, trace []ir.BlockID, lim Limits) *dynamicEngine {
+	cfg := img.Cfg
+	e := &dynamicEngine{
+		img:    img,
+		env:    newEnv(img.Prog, in0, in1),
+		ms:     mem.New(cfg.Mem),
+		st:     stats.New(),
+		lim:    lim,
+		window: cfg.EffectiveWindow(),
+		imem:   cfg.Issue.Mem,
+		ialu:   cfg.Issue.ALU,
+		itotal: cfg.Issue.Total(),
+		trace:  trace,
+		wb:     make(map[int64][]*wbEntry),
+	}
+	if cfg.Branch != machine.Perfect {
+		e.pred = e.newPredictor(nil)
+	}
+	if cfg.Branch == machine.FillUnit {
+		e.fill = newFillUnit()
+	}
+	e.pipe = lim.Pipe
+	for r := range e.rename {
+		e.rename[r] = renEntry{val: 0}
+	}
+	e.rename[ir.RegSP] = renEntry{val: ir.InitialSP(img.Prog.MemSize)}
+	e.nextBlockID = img.Prog.Func(img.Prog.Entry).Entry
+	return e
+}
+
+// SetHints installs static branch prediction hints (keyed by original
+// block IDs; the image's TermOrig mapping is applied internally).
+func (e *dynamicEngine) SetHints(hints map[ir.BlockID]bool) {
+	if e.pred == nil {
+		return
+	}
+	mapped := make(map[ir.BlockID]bool, len(hints))
+	for _, b := range e.img.Prog.Blocks {
+		if b.Term.Op == ir.Br {
+			if h, ok := hints[e.img.TermOrigOf(b.ID)]; ok {
+				mapped[b.ID] = h
+			}
+		}
+	}
+	e.pred = e.newPredictor(mapped)
+}
+
+// newPredictor builds the configured direction predictor.
+func (e *dynamicEngine) newPredictor(hints map[ir.BlockID]bool) branch.DirectionPredictor {
+	cfg := e.img.Cfg
+	if cfg.Predictor == machine.GSharePredictor {
+		bits := cfg.GShareBits
+		if bits == 0 {
+			bits = machine.DefaultGShareBits
+		}
+		return branch.NewGShare(bits, hints)
+	}
+	entries := cfg.BTBEntries
+	if entries == 0 {
+		entries = machine.DefaultBTBEntries
+	}
+	return branch.TwoBitAdapter{BTB: branch.New(entries, hints)}
+}
+
+func (e *dynamicEngine) run() (*RunResult, error) {
+	maxCycles := e.lim.maxCycles()
+	for !e.finished {
+		if e.cycle > maxCycles {
+			return nil, &ErrCycleLimit{e.cycle}
+		}
+		e.completions()
+		e.retire()
+		if e.finished {
+			break
+		}
+		// Issue before schedule: a node issued this cycle whose operands
+		// are already available may be scheduled in the same cycle, so a
+		// window-1 machine keeps pace with the statically scheduled one
+		// (the paper's "does little better than static scheduling").
+		e.issue()
+		e.schedule()
+		e.squashOldestOffender()
+		e.st.WindowBlockSum += int64(len(e.active))
+		e.st.WindowNodeSum += e.liveNodes
+		e.cycle++
+	}
+	e.st.Cycles = e.cycle
+	if e.ms.Cache != nil {
+		e.st.CacheHits = e.ms.Cache.Hits
+		e.st.CacheMisses = e.ms.Cache.Misses
+	}
+	return &RunResult{Output: e.env.out, Stats: e.st}, nil
+}
+
+// ---------- completion ----------
+
+func (e *dynamicEngine) completions() {
+	slot := int(e.cycle % timelineSlots)
+	nodes := e.timeline[slot]
+	if nodes == nil {
+		return
+	}
+	e.timeline[slot] = nodes[:0]
+	for _, nd := range nodes {
+		if nd.squashed {
+			continue
+		}
+		nd.state = nsDone
+		nd.blk.nDone++
+		e.logDone(nd)
+		if nd.n.Op.IsStore() {
+			e.memEpoch++ // conservative-mode loads wait for store completion
+		}
+		for _, c := range nd.consumers {
+			if c.squashed {
+				continue
+			}
+			c.pendingOps--
+			if c.pendingOps == 0 && c.state == nsWaiting {
+				e.makeReady(c)
+			}
+		}
+		nd.consumers = nil
+	}
+}
+
+func (e *dynamicEngine) makeReady(nd *dnode) {
+	nd.state = nsReady
+	if nd.n.Op.IsMem() {
+		heap.Push(&e.readyMem, nd)
+	} else {
+		heap.Push(&e.readyALU, nd)
+	}
+}
+
+// ---------- retire ----------
+
+func (e *dynamicEngine) retire() {
+	for len(e.active) > 0 {
+		ab := e.active[0]
+		if !ab.complete() || e.hasPendingFault(ab) {
+			return
+		}
+		// Drain the block's write-buffer entries to memory in order.
+		for _, snd := range ab.stores {
+			if snd.state != nsDone {
+				continue
+			}
+			e.commitStore(snd)
+		}
+		size := len(ab.nodes)
+		e.st.RetiredNodes += int64(size)
+		e.liveNodes -= int64(size)
+		e.st.RecordBlock(size)
+		if ab.term != nil && ab.term.isBranch {
+			actual := ab.term.val != 0
+			e.st.Branches++
+			if actual == ab.term.predictedTaken {
+				e.st.BranchesCorrect++
+			}
+			if e.pred != nil {
+				e.pred.Update(ab.xb.ID, actual, ab.term.predToken)
+			}
+		}
+		if ab.term != nil && ab.term.n.Op == ir.Halt {
+			e.finished = true
+		}
+		if e.fill != nil {
+			e.observeRetire(ab)
+		}
+		e.logRetire(ab)
+		e.active = e.active[1:]
+		// Retirement may make blocked syscalls non-speculative.
+		e.wakeBlockedSys()
+	}
+}
+
+func (e *dynamicEngine) hasPendingFault(ab *ablock) bool {
+	for _, a := range ab.asserts {
+		if a.state == nsDone && a.faulted() {
+			return true
+		}
+	}
+	return false
+}
+
+func (nd *dnode) faulted() bool {
+	return nd.n.Op == ir.Assert && (nd.val != 0) != nd.n.Expect
+}
+
+func (e *dynamicEngine) commitStore(snd *dnode) {
+	for _, gr := range granulesOf(snd.addr, snd.memSize) {
+		if gr < 0 {
+			continue
+		}
+		list := e.wb[gr]
+		for i, en := range list {
+			if en.nd == snd {
+				e.wb[gr] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+	e.env.store(int32(snd.addr), snd.memSize, snd.val)
+	e.ms.StoreTouch(snd.addr)
+}
+
+// granulesOf returns the word-granules an access touches.
+func granulesOf(addr, size int64) [2]int64 {
+	g0 := addr >> 2
+	g1 := (addr + size - 1) >> 2
+	if g1 == g0 {
+		g1 = -1
+	}
+	return [2]int64{g0, g1}
+}
+
+// ---------- scheduling / execution ----------
+
+func (e *dynamicEngine) schedule() {
+	memSlots, aluSlots, total := e.imem, e.ialu, e.itotal
+
+	// Retry loads previously blocked on disambiguation, but only when some
+	// store's state has changed since the last retry.
+	if len(e.blockedLoads) > 0 && e.memEpoch != e.lastLoadRetry {
+		e.lastLoadRetry = e.memEpoch
+		retry := e.blockedLoads
+		e.blockedLoads = e.blockedLoads[:0]
+		for _, nd := range retry {
+			if nd.squashed {
+				continue
+			}
+			heap.Push(&e.readyMem, nd)
+		}
+	}
+	if len(e.blockedSys) > 0 {
+		retry := e.blockedSys
+		e.blockedSys = e.blockedSys[:0]
+		for _, nd := range retry {
+			if nd.squashed {
+				continue
+			}
+			heap.Push(&e.readyALU, nd)
+		}
+	}
+
+	for total > 0 && memSlots > 0 && e.readyMem.Len() > 0 {
+		nd := e.readyMem[0]
+		if nd.squashed {
+			heap.Pop(&e.readyMem)
+			continue
+		}
+		if nd.n.Op.IsLoad() && !e.loadCanExecute(nd) {
+			heap.Pop(&e.readyMem)
+			e.blockedLoads = append(e.blockedLoads, nd)
+			continue
+		}
+		heap.Pop(&e.readyMem)
+		e.execute(nd)
+		memSlots--
+		total--
+	}
+	for total > 0 && aluSlots > 0 && e.readyALU.Len() > 0 {
+		nd := e.readyALU[0]
+		if nd.squashed {
+			heap.Pop(&e.readyALU)
+			continue
+		}
+		if nd.n.Op == ir.Sys && !e.sysCanExecute(nd) {
+			heap.Pop(&e.readyALU)
+			e.blockedSys = append(e.blockedSys, nd)
+			continue
+		}
+		heap.Pop(&e.readyALU)
+		e.execute(nd)
+		aluSlots--
+		total--
+	}
+}
+
+// minUnknownStoreSeq returns the sequence number of the oldest issued store
+// whose address is still unknown, popping finished entries off the queue.
+func (e *dynamicEngine) minUnknownStoreSeq() int64 {
+	for len(e.unknownQ) > 0 {
+		h := e.unknownQ[0]
+		if h.squashed || (h.state != nsWaiting && h.state != nsReady) {
+			e.unknownQ = e.unknownQ[1:]
+			continue
+		}
+		return h.seq
+	}
+	return 1 << 62
+}
+
+// loadCanExecute checks run-time memory disambiguation: every older store
+// must have a known address. Under the ConservativeMem ablation the load
+// additionally waits for every older in-flight store to have executed,
+// modeling a machine without run-time disambiguation hardware.
+func (e *dynamicEngine) loadCanExecute(nd *dnode) bool {
+	if e.minUnknownStoreSeq() < nd.seq {
+		return false
+	}
+	if e.img.Cfg.ConservativeMem {
+		for _, ab := range e.active {
+			if ab.seq0 > nd.seq {
+				break
+			}
+			for _, snd := range ab.stores {
+				if snd.seq < nd.seq && snd.state != nsDone {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// sysCanExecute: system calls execute only when non-speculative — the block
+// is the oldest active one and everything older inside it has executed.
+func (e *dynamicEngine) sysCanExecute(nd *dnode) bool {
+	if len(e.active) == 0 || e.active[0] != nd.blk {
+		return false
+	}
+	for _, other := range nd.blk.nodes {
+		if other.seq >= nd.seq {
+			break
+		}
+		if other.state != nsDone {
+			return false
+		}
+		if other.faulted() {
+			return false // the fault will discard this block
+		}
+	}
+	return true
+}
+
+func (e *dynamicEngine) operand(src *dnode, imm int32) int32 {
+	if src == nil {
+		return imm
+	}
+	return src.val
+}
+
+func (e *dynamicEngine) execute(nd *dnode) {
+	nd.state = nsExecuting
+	e.st.ExecutedNodes++
+	e.logExec(nd)
+	a := e.operand(nd.srcA, nd.valA)
+	b := e.operand(nd.srcB, nd.valB)
+	lat := int64(1)
+	op := nd.n.Op
+
+	switch {
+	case op.IsPure():
+		nd.val = ir.EvalALU(op, a, b, nd.n.Imm)
+
+	case op.IsLoad():
+		nd.memSize = sizeOf(op)
+		nd.addr = e.env.clampAddr(a+int32(nd.n.Imm), nd.memSize)
+		val, forwarded := e.loadValue(nd)
+		nd.val = val
+		if forwarded {
+			lat = mem.ForwardLatency
+		} else {
+			lat = int64(e.ms.LoadLatency(nd.addr))
+		}
+
+	case op.IsStore():
+		nd.memSize = sizeOf(op)
+		nd.addr = e.env.clampAddr(a+int32(nd.n.Imm), nd.memSize)
+		nd.val = b
+		e.memEpoch++
+		en := &wbEntry{nd: nd, addr: nd.addr, size: nd.memSize, val: nd.val}
+		for _, g := range granulesOf(nd.addr, nd.memSize) {
+			if g >= 0 {
+				e.wb[g] = insertBySeq(e.wb[g], en)
+			}
+		}
+		// A newly known store address may unblock younger loads.
+		// (They are rechecked at the top of the next schedule phase.)
+
+	case op == ir.Sys:
+		nd.val = e.env.syscall(nd.n.Imm, a, b)
+
+	case op == ir.Assert:
+		nd.val = a
+		if (nd.val != 0) != nd.n.Expect {
+			e.pendingFaults = append(e.pendingFaults, nd)
+		}
+
+	case op == ir.Br:
+		nd.val = a
+		actual := a != 0
+		if actual != nd.predictedTaken && !nd.blk.flags.willFault {
+			// A will-fault block's terminator never redirects fetch: the
+			// assert fault discards the whole block anyway.
+			e.mispredicted = append(e.mispredicted, nd)
+		}
+
+	default: // Jmp, Call, Ret, Halt: control already handled at issue
+		nd.val = 0
+	}
+
+	nd.doneAt = e.cycle + lat
+	slot := int(nd.doneAt % timelineSlots)
+	e.timeline[slot] = append(e.timeline[slot], nd)
+}
+
+func insertBySeq(list []*wbEntry, en *wbEntry) []*wbEntry {
+	i := len(list)
+	for i > 0 && list[i-1].nd.seq > en.nd.seq {
+		i--
+	}
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = en
+	return list
+}
+
+// loadValue reads memory as of this load's position in program order:
+// memory contents overlaid with all older write-buffer entries, oldest
+// first. It reports whether any write-buffer entry contributed (store
+// forwarding).
+func (e *dynamicEngine) loadValue(nd *dnode) (int32, bool) {
+	var bytes [4]byte
+	size := nd.memSize
+	base := e.env.load(int32(nd.addr), size)
+	bytes[0] = byte(base)
+	bytes[1] = byte(base >> 8)
+	bytes[2] = byte(base >> 16)
+	bytes[3] = byte(base >> 24)
+
+	forwarded := false
+	overlay := func(en *wbEntry) {
+		lo := en.addr
+		hi := en.addr + en.size
+		for i := int64(0); i < size; i++ {
+			p := nd.addr + i
+			if p >= lo && p < hi {
+				bytes[i] = byte(en.val >> (8 * (p - lo)))
+				forwarded = true
+			}
+		}
+	}
+	seen := map[*wbEntry]bool{}
+	var overlaps []*wbEntry
+	for _, g := range granulesOf(nd.addr, size) {
+		if g < 0 {
+			continue
+		}
+		for _, en := range e.wb[g] {
+			if en.nd.seq < nd.seq && !en.nd.squashed && !seen[en] {
+				seen[en] = true
+				overlaps = append(overlaps, en)
+			}
+		}
+	}
+	// Apply in seq order (wb lists are sorted; merging two granules needs
+	// a stable order).
+	for i := 1; i < len(overlaps); i++ {
+		for j := i; j > 0 && overlaps[j].nd.seq < overlaps[j-1].nd.seq; j-- {
+			overlaps[j], overlaps[j-1] = overlaps[j-1], overlaps[j]
+		}
+	}
+	for _, en := range overlaps {
+		overlay(en)
+	}
+	v := int32(bytes[0])
+	if size == 4 {
+		v |= int32(bytes[1])<<8 | int32(bytes[2])<<16 | int32(bytes[3])<<24
+	}
+	return v, forwarded
+}
+
+// wakeBlockedSys re-queues blocked system calls after retirement events.
+func (e *dynamicEngine) wakeBlockedSys() {
+	if len(e.blockedSys) == 0 {
+		return
+	}
+	retry := e.blockedSys
+	e.blockedSys = e.blockedSys[:0]
+	for _, nd := range retry {
+		if nd.squashed {
+			continue
+		}
+		heap.Push(&e.readyALU, nd)
+	}
+}

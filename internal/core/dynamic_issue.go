@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fgpsim/internal/ir"
+	"fgpsim/internal/machine"
+)
+
+// This file holds the issue engine and the squash machinery of the dynamic
+// engine: in-order issue of nodes along the predicted path into the
+// instruction window, per-block checkpointing (rename table, speculative
+// return stack, perfect-prediction trace cursor), and end-of-cycle
+// processing of the oldest offender (mispredicted branch or assert fault).
+
+// willFault marks blocks whose chain is known (perfect mode only) to
+// diverge from the recorded trace; their terminators never register
+// mispredictions, since the coming fault discards the block anyway.
+type issueFlags struct {
+	willFault bool
+}
+
+func (e *dynamicEngine) issue() {
+	if e.issueStall {
+		return
+	}
+	memSlots, aluSlots, total := e.imem, e.ialu, e.itotal
+	for total > 0 {
+		if e.issueBlock == nil {
+			if e.nextBlockID == ir.NoBlock {
+				return
+			}
+			if len(e.active) >= e.window {
+				return // window full: cannot activate another basic block
+			}
+			e.openBlock(e.nextBlockID)
+		}
+		ab := e.issueBlock
+		b := ab.xb
+		isTerm := e.issueIdx == len(b.Body)
+		var n *ir.Node
+		if isTerm {
+			n = &b.Term
+		} else {
+			n = &b.Body[e.issueIdx]
+		}
+		// Strict in-order issue: when the next node's slot class is
+		// exhausted, issue stops for this cycle.
+		if n.Op.IsMem() {
+			if memSlots == 0 {
+				return
+			}
+			memSlots--
+		} else {
+			if aluSlots == 0 {
+				return
+			}
+			aluSlots--
+		}
+		total--
+		e.issueNode(ab, n, isTerm)
+		e.issueIdx++
+		if isTerm {
+			ab.issuedAll = true
+			e.issueBlock = nil
+			if ab.flags.willFault {
+				// Perfect mode: the chain diverges from the trace; the
+				// assert fault will redirect, so fetch pauses here instead
+				// of fabricating a wrong path.
+				e.issueStall = true
+				e.nextBlockID = ir.NoBlock
+				return
+			}
+		}
+	}
+}
+
+// openBlock activates a new basic block for issue, checkpointing the
+// speculative state needed to squash back to its entry.
+func (e *dynamicEngine) openBlock(id ir.BlockID) {
+	if e.fill != nil {
+		id = e.fillRedirect(id)
+	}
+	ab := &ablock{
+		xb:         e.img.Prog.Block(id),
+		seq0:       e.seq,
+		rsSnap:     e.rs,
+		cursorSnap: e.cursor,
+	}
+	if e.pred != nil {
+		ab.predSnap = e.pred.Checkpoint()
+	}
+	ab.renSnap = e.rename
+	if e.img.Cfg.Branch == machine.Perfect {
+		chain := e.img.ChainOf(id)
+		match := 0
+		for match < len(chain) && e.cursor+match < len(e.trace) &&
+			chain[match] == e.trace[e.cursor+match] {
+			match++
+		}
+		if match < len(chain) {
+			ab.flags.willFault = true
+		}
+		if match == 0 {
+			match = 1 // desynced (transient wrong path): keep moving
+		}
+		e.cursor += match
+	}
+	e.active = append(e.active, ab)
+	e.issueBlock = ab
+	e.issueIdx = 0
+}
+
+// wireOperand resolves a source register against the rename table,
+// returning either an immediate value or a producer link.
+func (e *dynamicEngine) wireOperand(nd *dnode, r ir.Reg) (src *dnode, val int32) {
+	if r == ir.NoReg {
+		return nil, 0
+	}
+	en := &e.rename[r]
+	if en.prod == nil {
+		return nil, en.val
+	}
+	if en.prod.state == nsDone {
+		return nil, en.prod.val
+	}
+	en.prod.consumers = append(en.prod.consumers, nd)
+	nd.pendingOps++
+	return en.prod, 0
+}
+
+func (e *dynamicEngine) issueNode(ab *ablock, n *ir.Node, isTerm bool) {
+	nd := &dnode{
+		n:   n,
+		blk: ab,
+		seq: e.seq,
+		idx: e.issueIdx,
+	}
+	e.seq++
+	e.liveNodes++
+	nd.srcA, nd.valA = e.wireOperand(nd, n.A)
+	nd.srcB, nd.valB = e.wireOperand(nd, n.B)
+	ab.nodes = append(ab.nodes, nd)
+
+	switch {
+	case n.Op.IsStore():
+		e.unknownQ = append(e.unknownQ, nd)
+		ab.stores = append(ab.stores, nd)
+	case n.Op == ir.Assert:
+		ab.asserts = append(ab.asserts, nd)
+	}
+	if n.Op.HasDst() {
+		e.rename[n.Dst] = renEntry{prod: nd}
+	}
+	if isTerm {
+		ab.term = nd
+		e.resolveTerminator(ab, nd)
+	}
+	if nd.pendingOps == 0 {
+		e.makeReady(nd)
+	}
+	e.logIssue(nd)
+}
+
+// resolveTerminator decides where issue continues after a terminator,
+// predicting conditional branches (BTB or trace oracle) and tracking the
+// speculative return stack.
+func (e *dynamicEngine) resolveTerminator(ab *ablock, nd *dnode) {
+	b := ab.xb
+	switch nd.n.Op {
+	case ir.Br:
+		nd.isBranch = true
+		var predTaken bool
+		if e.img.Cfg.Branch == machine.Perfect {
+			predTaken = e.oraclePredict(b)
+		} else {
+			predTaken, nd.predToken = e.pred.Predict(b.ID)
+		}
+		nd.predictedTaken = predTaken
+		if predTaken {
+			e.nextBlockID = nd.n.Target
+		} else {
+			e.nextBlockID = b.Fall
+		}
+	case ir.Jmp:
+		e.nextBlockID = nd.n.Target
+	case ir.Call:
+		depth := 1
+		if e.rs != nil {
+			depth = e.rs.depth + 1
+		}
+		e.rs = &rsNode{target: b.Fall, parent: e.rs, depth: depth}
+		e.nextBlockID = e.img.Prog.Func(nd.n.Callee).Entry
+	case ir.Ret:
+		if e.rs == nil {
+			// Return with an empty speculative stack: only reachable on a
+			// wrong path; pause fetch until the squash redirects.
+			e.issueStall = true
+			e.nextBlockID = ir.NoBlock
+			return
+		}
+		e.nextBlockID = e.rs.target
+		e.rs = e.rs.parent
+	case ir.Halt:
+		e.issueStall = true
+		e.nextBlockID = ir.NoBlock
+	}
+}
+
+// oraclePredict derives the true direction of a conditional branch from the
+// recorded trace: the next original entry block to execute.
+func (e *dynamicEngine) oraclePredict(b *ir.Block) bool {
+	if e.cursor >= len(e.trace) {
+		return false
+	}
+	next := e.trace[e.cursor]
+	takenStart := e.img.ChainOf(b.Term.Target)[0]
+	fallStart := e.img.ChainOf(b.Fall)[0]
+	switch {
+	case takenStart == next && fallStart != next:
+		return true
+	case fallStart == next && takenStart != next:
+		return false
+	default:
+		return takenStart == next
+	}
+}
+
+// ---------- squash ----------
+
+// squashOldestOffender processes at most one control-flow violation per
+// cycle: the oldest among resolved mispredicted branches and actionable
+// assert faults. Oldest-first fault processing is what lets the loader
+// omit asserts from fault-recovery prefix blocks.
+func (e *dynamicEngine) squashOldestOffender() {
+	var best *dnode
+	bestFault := false
+
+	live := e.mispredicted[:0]
+	for _, nd := range e.mispredicted {
+		if nd.squashed || nd.handled {
+			continue
+		}
+		live = append(live, nd)
+		if best == nil || nd.seq < best.seq {
+			best, bestFault = nd, false
+		}
+	}
+	e.mispredicted = live
+
+	liveF := e.pendingFaults[:0]
+	for _, nd := range e.pendingFaults {
+		if nd.squashed || nd.handled {
+			continue
+		}
+		liveF = append(liveF, nd)
+		if e.faultActionable(nd) && (best == nil || nd.seq < best.seq) {
+			best, bestFault = nd, true
+		}
+	}
+	e.pendingFaults = liveF
+
+	if best == nil {
+		return
+	}
+	best.handled = true
+	if bestFault {
+		e.processFault(best)
+	} else {
+		e.processMispredict(best)
+	}
+}
+
+// faultActionable reports whether every older assert in the same block has
+// executed (so this fault is the block's oldest divergence).
+func (e *dynamicEngine) faultActionable(nd *dnode) bool {
+	for _, a := range nd.blk.asserts {
+		if a.seq >= nd.seq {
+			break
+		}
+		if a.state != nsDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *dynamicEngine) processMispredict(nd *dnode) {
+	ab := nd.blk
+	// Find the offender's position among active blocks.
+	pos := e.blockIndex(ab)
+	if pos < 0 {
+		return // block already gone (should not happen)
+	}
+	if pos+1 < len(e.active) {
+		restore := e.active[pos+1]
+		e.rename = restore.renSnap
+		e.rs = restore.rsSnap
+		e.cursor = restore.cursorSnap
+		e.squashFrom(pos + 1)
+	}
+	if e.pred != nil {
+		// Repair speculative history: rewind to the fetch-time state and
+		// push the now-known direction.
+		e.pred.Restore(nd.predToken)
+		e.pred.Push(nd.val != 0)
+	}
+	e.logOffender(PipeMispredict, nd)
+	e.st.Mispredicts++
+	actual := nd.val != 0
+	if actual {
+		e.nextBlockID = nd.n.Target
+	} else {
+		e.nextBlockID = ab.xb.Fall
+	}
+	e.issueBlock = nil
+	e.issueStall = false
+}
+
+func (e *dynamicEngine) processFault(nd *dnode) {
+	ab := nd.blk
+	pos := e.blockIndex(ab)
+	if pos < 0 {
+		return
+	}
+	e.rename = ab.renSnap
+	e.rs = ab.rsSnap
+	e.cursor = ab.cursorSnap
+	e.squashFrom(pos)
+	if e.pred != nil {
+		e.pred.Restore(ab.predSnap)
+	}
+	if e.fill != nil {
+		e.observeFault(ab)
+	}
+	e.logOffender(PipeFault, nd)
+	e.st.Faults++
+	e.nextBlockID = nd.n.Target
+	e.issueBlock = nil
+	e.issueStall = false
+}
+
+func (e *dynamicEngine) blockIndex(ab *ablock) int {
+	for i, a := range e.active {
+		if a == ab {
+			return i
+		}
+	}
+	return -1
+}
+
+// squashFrom discards active[from:]: their executed nodes become the
+// redundant work Figure 6 measures, their write-buffer entries and
+// disambiguation state vanish, and their dnodes are tombstoned so queue
+// and timeline references skip them.
+func (e *dynamicEngine) squashFrom(from int) {
+	e.logSquash(len(e.active) - from)
+	for _, ab := range e.active[from:] {
+		e.liveNodes -= int64(len(ab.nodes))
+		for _, nd := range ab.nodes {
+			nd.squashed = true
+			if nd.state == nsExecuting || nd.state == nsDone {
+				e.st.DiscardedNodes++
+			}
+			if nd.n.Op.IsStore() {
+				e.memEpoch++ // a squashed store may have been blocking a load
+				if nd.state == nsExecuting || nd.state == nsDone {
+					e.removeWBEntries(nd)
+				}
+			}
+		}
+	}
+	e.active = e.active[:from]
+}
+
+func (e *dynamicEngine) removeWBEntries(snd *dnode) {
+	for _, g := range granulesOf(snd.addr, snd.memSize) {
+		if g < 0 {
+			continue
+		}
+		list := e.wb[g]
+		for i, en := range list {
+			if en.nd == snd {
+				e.wb[g] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+}

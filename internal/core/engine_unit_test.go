@@ -1,0 +1,351 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+func mkCfg(d machine.Discipline, issueID int, memID byte) machine.Config {
+	im, _ := machine.IssueModelByID(issueID)
+	mc, _ := machine.MemConfigByID(memID)
+	return machine.Config{Disc: d, Issue: im, Mem: mc, Branch: machine.SingleBB}
+}
+
+// randomProgram builds a random (but well-formed) program: a few blocks of
+// random arithmetic and memory traffic over a small arena, a data-dependent
+// loop, and a checksum printed at the end. Seeded, so failures reproduce.
+func randomProgram(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+
+	const arena = 8192 // word-aligned scratch space
+	regs := []ir.Reg{5, 6, 7, 8, 9, 10, 11, 12}
+	pick := func() ir.Reg { return regs[rng.Intn(len(regs))] }
+
+	randomBody := func(n int) []ir.Node {
+		var body []ir.Node
+		// Seed registers with constants.
+		for i, r := range regs {
+			body = append(body, ir.Node{Op: ir.Const, Dst: r, Imm: int64(seed + int64(i*17) + 1)})
+		}
+		ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Eq, ir.Lt}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(10) {
+			case 0, 1: // store word to a random arena slot
+				slot := int64(arena + 4*rng.Intn(64))
+				body = append(body,
+					ir.Node{Op: ir.Const, Dst: 13, Imm: slot},
+					ir.Node{Op: ir.St, A: 13, B: pick()})
+			case 2, 3: // load word back
+				slot := int64(arena + 4*rng.Intn(64))
+				body = append(body,
+					ir.Node{Op: ir.Const, Dst: 13, Imm: slot},
+					ir.Node{Op: ir.Ld, Dst: pick(), A: 13})
+			case 4: // byte store overlapping the words
+				slot := int64(arena + rng.Intn(256))
+				body = append(body,
+					ir.Node{Op: ir.Const, Dst: 13, Imm: slot},
+					ir.Node{Op: ir.StB, A: 13, B: pick()})
+			case 5: // byte load
+				slot := int64(arena + rng.Intn(256))
+				body = append(body,
+					ir.Node{Op: ir.Const, Dst: 13, Imm: slot},
+					ir.Node{Op: ir.LdB, Dst: pick(), A: 13})
+			default:
+				op := ops[rng.Intn(len(ops))]
+				body = append(body, ir.Node{Op: op, Dst: pick(), A: pick(), B: pick()})
+			}
+		}
+		return body
+	}
+
+	// b0: random body, then init loop counter r14 and jump to loop.
+	b0 := &ir.Block{
+		Body: append(randomBody(30+rng.Intn(40)),
+			ir.Node{Op: ir.Const, Dst: 14, Imm: int64(3 + rng.Intn(6))}),
+		Term: ir.Node{Op: ir.Jmp, Target: 1},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b0)
+
+	// b1 (loop): more random work, decrement r14, branch back while > 0.
+	loopBody := randomBody(10 + rng.Intn(20))
+	loopBody = append(loopBody,
+		ir.Node{Op: ir.AddI, Dst: 14, A: 14, Imm: -1},
+		ir.Node{Op: ir.Const, Dst: 15, Imm: 0},
+		ir.Node{Op: ir.Gt, Dst: 16, A: 14, B: 15},
+	)
+	b1 := &ir.Block{
+		Body: loopBody,
+		Term: ir.Node{Op: ir.Br, A: 16, Target: 1},
+		Fall: 2,
+	}
+	p.AddBlock(0, b1)
+
+	// b2: checksum = xor of regs and a few arena words; print 4 bytes.
+	var sum []ir.Node
+	sum = append(sum, ir.Node{Op: ir.Mov, Dst: 20, A: regs[0]})
+	for _, r := range regs[1:] {
+		sum = append(sum, ir.Node{Op: ir.Xor, Dst: 20, A: 20, B: r})
+	}
+	for i := 0; i < 8; i++ {
+		sum = append(sum,
+			ir.Node{Op: ir.Const, Dst: 13, Imm: int64(arena + 4*i*7)},
+			ir.Node{Op: ir.Ld, Dst: 21, A: 13},
+			ir.Node{Op: ir.Xor, Dst: 20, A: 20, B: 21})
+	}
+	for shift := 0; shift < 32; shift += 8 {
+		sum = append(sum,
+			ir.Node{Op: ir.Const, Dst: 22, Imm: int64(shift)},
+			ir.Node{Op: ir.Shr, Dst: 23, A: 20, B: 22},
+			ir.Node{Op: ir.Sys, Dst: 24, A: 23, B: ir.NoReg, Imm: ir.SysPutc})
+	}
+	b2 := &ir.Block{Body: sum, Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b2)
+	f.Entry = 0
+	return p
+}
+
+// TestRandomProgramsDifferential cross-checks both engines against the
+// interpreter on randomly generated programs (register dataflow, memory
+// disambiguation with mixed widths, loops).
+func TestRandomProgramsDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		p := randomProgram(seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := interp.Run(p, nil, nil, interp.Options{MaxNodes: 1 << 22})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, cfg := range []machine.Config{
+			mkCfg(machine.Static, 8, 'A'),
+			mkCfg(machine.Static, 2, 'D'),
+			mkCfg(machine.Dyn4, 8, 'A'),
+			mkCfg(machine.Dyn256, 8, 'G'),
+			mkCfg(machine.Dyn1, 1, 'C'),
+		} {
+			img, err := loader.Load(p, cfg, nil)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cfg, err)
+			}
+			res, err := core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: 1 << 24})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cfg, err)
+			}
+			if !bytes.Equal(res.Output, ref.Output) {
+				t.Errorf("seed %d %s: checksum %v, want %v", seed, cfg, res.Output, ref.Output)
+			}
+			checkStatsConsistency(t, cfg, res)
+		}
+	}
+}
+
+// checkStatsConsistency asserts the accounting invariants every run obeys.
+func checkStatsConsistency(t *testing.T, cfg machine.Config, res *core.RunResult) {
+	t.Helper()
+	s := res.Stats
+	if s.ExecutedNodes < s.RetiredNodes {
+		t.Errorf("%s: executed %d < retired %d", cfg, s.ExecutedNodes, s.RetiredNodes)
+	}
+	if s.ExecutedNodes < s.RetiredNodes+s.DiscardedNodes {
+		t.Errorf("%s: executed %d < retired %d + discarded %d",
+			cfg, s.ExecutedNodes, s.RetiredNodes, s.DiscardedNodes)
+	}
+	if s.BranchesCorrect > s.Branches {
+		t.Errorf("%s: correct %d > branches %d", cfg, s.BranchesCorrect, s.Branches)
+	}
+	if acc := s.PredictionAccuracy(); acc < 0 || acc > 1 {
+		t.Errorf("%s: accuracy %v out of range", cfg, acc)
+	}
+	if red := s.Redundancy(); red < 0 || red > 1 {
+		t.Errorf("%s: redundancy %v out of range", cfg, red)
+	}
+	var blocks int64
+	for _, c := range s.BlockSizes {
+		blocks += c
+	}
+	if blocks != s.RetiredBlocks {
+		t.Errorf("%s: histogram mass %d != retired blocks %d", cfg, blocks, s.RetiredBlocks)
+	}
+}
+
+// TestConservativeMemMatchesAndIsSlower checks the disambiguation ablation:
+// identical output, no faster than the run-time-disambiguated machine.
+func TestConservativeMemMatchesAndIsSlower(t *testing.T) {
+	p := randomProgram(7)
+	ref, err := interp.Run(p, nil, nil, interp.Options{MaxNodes: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mkCfg(machine.Dyn4, 8, 'A')
+	cons := base
+	cons.ConservativeMem = true
+
+	imgB, _ := loader.Load(p, base, nil)
+	imgC, _ := loader.Load(p, cons, nil)
+	rb, err := core.Run(imgB, nil, nil, nil, nil, core.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := core.Run(imgC, nil, nil, nil, nil, core.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rb.Output, ref.Output) || !bytes.Equal(rc.Output, ref.Output) {
+		t.Fatal("ablation changed program semantics")
+	}
+	if rc.Stats.Cycles < rb.Stats.Cycles {
+		t.Errorf("conservative memory (%d cycles) beat run-time disambiguation (%d)",
+			rc.Stats.Cycles, rb.Stats.Cycles)
+	}
+}
+
+// TestSequentialModelNeverExceedsOneNPC: the sequential issue model retires
+// at most one node per cycle by construction.
+func TestSequentialModelNeverExceedsOneNPC(t *testing.T) {
+	p := randomProgram(3)
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn4, machine.Dyn256} {
+		img, _ := loader.Load(p, mkCfg(d, 1, 'A'), nil)
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.NPC() > 1.0001 {
+			t.Errorf("%s sequential NPC = %.3f > 1", d, res.Stats.NPC())
+		}
+	}
+}
+
+// TestWindowOccupancyBounded: mean active blocks never exceeds the window.
+func TestWindowOccupancyBounded(t *testing.T) {
+	p := randomProgram(5)
+	for _, d := range []machine.Discipline{machine.Dyn1, machine.Dyn4, machine.Dyn256} {
+		img, _ := loader.Load(p, mkCfg(d, 8, 'A'), nil)
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Stats.MeanWindowBlocks(); got > float64(d.Window())+1e-9 {
+			t.Errorf("%s: mean window %.2f exceeds %d blocks", d, got, d.Window())
+		}
+	}
+}
+
+// TestStoreForwardingWithinBlock: a load immediately after a store to the
+// same address must see the stored value in every engine, even though the
+// store has not committed.
+func TestStoreForwardingWithinBlock(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	b := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Const, Dst: 5, Imm: 4096},
+			{Op: ir.Const, Dst: 6, Imm: 77},
+			{Op: ir.St, A: 5, B: 6},
+			{Op: ir.Ld, Dst: 7, A: 5},
+			{Op: ir.Sys, Dst: 8, A: 7, B: ir.NoReg, Imm: ir.SysPutc},
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b)
+	f.Entry = 0
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn4} {
+		img, _ := loader.Load(p, mkCfg(d, 8, 'A'), nil)
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Output) != 1 || res.Output[0] != 77 {
+			t.Errorf("%s: forwarded load produced %v, want [77]", d, res.Output)
+		}
+	}
+}
+
+// TestPartialOverlapForwarding: a byte store overlapping a later word load
+// composes correctly with memory contents in the dynamic engine.
+func TestPartialOverlapForwarding(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	b := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Const, Dst: 5, Imm: 4096},
+			{Op: ir.Const, Dst: 6, Imm: 0x11223344},
+			{Op: ir.St, A: 5, B: 6},
+			{Op: ir.Const, Dst: 7, Imm: 0xAB},
+			{Op: ir.StB, A: 5, B: 7, Imm: 1}, // overwrite byte 1
+			{Op: ir.Ld, Dst: 8, A: 5},        // expect 0x1122AB44
+			{Op: ir.Const, Dst: 9, Imm: 16},
+			{Op: ir.Shr, Dst: 10, A: 8, B: 9},
+			{Op: ir.Sys, Dst: 11, A: 10, B: ir.NoReg, Imm: ir.SysPutc}, // 0x22
+			{Op: ir.Const, Dst: 9, Imm: 8},
+			{Op: ir.Shr, Dst: 10, A: 8, B: 9},
+			{Op: ir.Sys, Dst: 11, A: 10, B: ir.NoReg, Imm: ir.SysPutc}, // 0xAB
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b)
+	f.Entry = 0
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn4, machine.Dyn256} {
+		img, _ := loader.Load(p, mkCfg(d, 8, 'A'), nil)
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Output) != 2 || res.Output[0] != 0x22 || res.Output[1] != 0xAB {
+			t.Errorf("%s: composed load gave %x, want [22 ab]", d, res.Output)
+		}
+	}
+}
+
+// TestCycleLimit aborts runaway simulations.
+func TestCycleLimit(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	b := &ir.Block{Term: ir.Node{Op: ir.Jmp, Target: 0}, Fall: ir.NoBlock}
+	p.AddBlock(0, b) // infinite empty loop
+	f.Entry = 0
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn4} {
+		img, _ := loader.Load(p, mkCfg(d, 8, 'A'), nil)
+		_, err := core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: 10_000})
+		if _, ok := err.(*core.ErrCycleLimit); !ok {
+			t.Errorf("%s: err = %v, want ErrCycleLimit", d, err)
+		}
+	}
+}
+
+// TestMispredictsAreCounted: an unpredictable branch pattern must show
+// mispredicts and discarded work on a speculative machine.
+func TestMispredictsAreCounted(t *testing.T) {
+	p := randomProgram(11)
+	img, _ := loader.Load(p, mkCfg(machine.Dyn256, 8, 'A'), nil)
+	res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop's final iteration always mispredicts under a 2-bit counter.
+	if res.Stats.Mispredicts == 0 {
+		t.Error("expected at least one mispredict")
+	}
+	if res.Stats.DiscardedNodes == 0 {
+		t.Error("mispredicts should discard executed nodes")
+	}
+	if res.Stats.ExecutedNodes < res.Stats.RetiredNodes {
+		t.Error("executed count must cover retired nodes")
+	}
+}

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+)
+
+// alternating is a program whose hot branch follows a strict
+// pattern correlated with loop position: a 2-bit counter does poorly, a
+// history-based predictor learns it.
+const alternatingSrc = `
+int main() {
+	int i;
+	int x = 0;
+	for (i = 0; i < 4000; i++) {
+		if ((i & 3) == 3) x += 2;   // taken every 4th iteration
+		else x -= 1;
+		if (x < 0) x = -x;
+	}
+	putc('0' + x % 10);
+	putc('\n');
+	return 0;
+}
+`
+
+func TestGSharePredictorBeatsTwoBitOnPatterns(t *testing.T) {
+	p, err := minic.Compile("alt.mc", alternatingSrc, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.Run(p, nil, nil, interp.Options{MaxNodes: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(kind machine.PredictorKind) *core.RunResult {
+		cfg := mkCfg(machine.Dyn4, 8, 'A')
+		cfg.Predictor = kind
+		img, err := loader.Load(p, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Output, ref.Output) {
+			t.Fatalf("%v: wrong output %q", kind, res.Output)
+		}
+		return res
+	}
+
+	twoBit := run(machine.TwoBit)
+	gshare := run(machine.GSharePredictor)
+	t.Logf("accuracy: 2-bit %.3f, gshare %.3f", twoBit.Stats.PredictionAccuracy(), gshare.Stats.PredictionAccuracy())
+	if gshare.Stats.PredictionAccuracy() <= twoBit.Stats.PredictionAccuracy() {
+		t.Errorf("gshare (%.3f) should beat the 2-bit counter (%.3f) on a periodic pattern",
+			gshare.Stats.PredictionAccuracy(), twoBit.Stats.PredictionAccuracy())
+	}
+	if gshare.Stats.Cycles >= twoBit.Stats.Cycles {
+		t.Errorf("better prediction should save cycles: gshare %d, 2-bit %d",
+			gshare.Stats.Cycles, twoBit.Stats.Cycles)
+	}
+}
+
+// TestWindowOverrideSweep checks that intermediate window sizes order
+// sensibly between the paper's points and compute identically.
+func TestWindowOverrideSweep(t *testing.T) {
+	p := randomProgram(21)
+	ref, err := interp.Run(p, nil, nil, interp.Options{MaxNodes: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, w := range []int{1, 2, 8, 32, 128} {
+		cfg := mkCfg(machine.Dyn256, 8, 'A')
+		cfg.WindowOverride = w
+		img, err := loader.Load(p, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Output, ref.Output) {
+			t.Fatalf("window %d: wrong output", w)
+		}
+		if got := res.Stats.MeanWindowBlocks(); got > float64(w)+1e-9 {
+			t.Errorf("window %d: occupancy %.2f exceeds bound", w, got)
+		}
+		npc := res.Stats.NPC()
+		if npc < prev*0.85 {
+			t.Errorf("window %d NPC %.2f fell well below window predecessor %.2f", w, npc, prev)
+		}
+		if npc > prev {
+			prev = npc
+		}
+	}
+}

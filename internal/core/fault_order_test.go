@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// TestOldestFirstFaultOrdering constructs an enlarged-style block where the
+// YOUNGER assert's condition is ready immediately but the OLDER assert
+// depends on a slow (cache-missing) load — and both would fault. A naive
+// engine processes the younger fault first and resumes at the wrong
+// recovery block; the correct engine waits and resumes at the older
+// assert's fault target. The functional interpreter defines the truth.
+func TestOldestFirstFaultOrdering(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+
+	// Block 0 (the "enlarged" block):
+	//   r5 = 8192; r6 = ld [r5]      (cold miss, value 0)
+	//   assert r6 expects true  -> fault to block 1   (WILL fault, older)
+	//   r7 = 0
+	//   assert r7 expects true  -> fault to block 2   (would fault, younger)
+	//   putc('P'); halt                                (never reached)
+	b0 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Const, Dst: 5, Imm: 8192},
+			{Op: ir.Ld, Dst: 6, A: 5},
+			{Op: ir.Assert, A: 6, Expect: true, Target: 1},
+			{Op: ir.Const, Dst: 7, Imm: 0},
+			{Op: ir.Assert, A: 7, Expect: true, Target: 2},
+			{Op: ir.Const, Dst: 8, Imm: 'P'},
+			{Op: ir.Sys, Dst: 9, A: 8, B: ir.NoReg, Imm: ir.SysPutc},
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b0)
+	// Block 1: the correct recovery — putc('A'); halt.
+	b1 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Const, Dst: 8, Imm: 'A'},
+			{Op: ir.Sys, Dst: 9, A: 8, B: ir.NoReg, Imm: ir.SysPutc},
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b1)
+	// Block 2: the wrong recovery — putc('B'); halt.
+	b2 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Const, Dst: 8, Imm: 'B'},
+			{Op: ir.Sys, Dst: 9, A: 8, B: ir.NoReg, Imm: ir.SysPutc},
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b2)
+	f.Entry = 0
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := interp.Run(p, nil, nil, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref.Output) != "A" {
+		t.Fatalf("interpreter output = %q, want A (fault at the older assert)", ref.Output)
+	}
+
+	// Memory config D: cold loads take 10 cycles, so the younger assert
+	// resolves first in the dynamic engine.
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn1, machine.Dyn4, machine.Dyn256} {
+		img, err := loader.Load(p, mkCfg(d, 8, 'D'), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Output, ref.Output) {
+			t.Errorf("%s: output %q, want %q (fault processed out of order?)", d, res.Output, ref.Output)
+		}
+		if res.Stats.Faults != 1 {
+			t.Errorf("%s: faults = %d, want exactly 1", d, res.Stats.Faults)
+		}
+	}
+}
+
+// TestFaultDiscardsSpeculativeSyscall: a system call after an assert in the
+// same block must not execute when the assert faults, in every engine.
+func TestFaultDiscardsSpeculativeSyscall(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	b0 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Const, Dst: 5, Imm: 8192},
+			{Op: ir.Ld, Dst: 6, A: 5}, // slow 0
+			{Op: ir.Assert, A: 6, Expect: true, Target: 1},
+			{Op: ir.Const, Dst: 8, Imm: 'X'},
+			{Op: ir.Sys, Dst: 9, A: 8, B: ir.NoReg, Imm: ir.SysPutc},
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b0)
+	b1 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Const, Dst: 8, Imm: 'Y'},
+			{Op: ir.Sys, Dst: 9, A: 8, B: ir.NoReg, Imm: ir.SysPutc},
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b1)
+	f.Entry = 0
+
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn4, machine.Dyn256} {
+		img, err := loader.Load(p, mkCfg(d, 8, 'D'), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(res.Output) != "Y" {
+			t.Errorf("%s: output %q, want Y (speculative syscall leaked?)", d, res.Output)
+		}
+	}
+}

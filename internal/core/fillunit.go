@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/ir"
+)
+
+// The fill unit: run-time basic block enlargement, this reproduction's
+// implementation of the hardware mechanism the paper references ([MeSP88]).
+// Instead of a profiling run and a compiler pass, the engine itself counts
+// branch arcs as blocks retire; when enough behavior has accumulated it
+// plans chains with the same thresholds the software enlarger uses and asks
+// the loader to materialize them into the (engine-private) program image.
+// Future fetches of an enlarged entry are redirected through the image's
+// entry map; blocks already in flight are unaffected, and the original
+// blocks stay in place as fault-recovery and cold paths.
+
+// fillUnit holds the engine's run-time enlargement state.
+type fillUnit struct {
+	prof    *interp.Profile
+	pending int // retired blocks since the last chain-formation pass
+	opts    enlarge.Options
+	builds  int
+
+	// Fault-directed adaptation (the paper's suggestion that "repeated
+	// faults would cause branches to start with other basic blocks"):
+	// entries whose enlarged blocks fault too often are torn down and
+	// banned, so fetches fall back to the original code.
+	entryRetires map[ir.BlockID]int64
+	entryFaults  map[ir.BlockID]int64
+	banned       map[ir.BlockID]bool
+}
+
+// fillRebuildPeriod is how many retired blocks accumulate between
+// chain-formation passes.
+const fillRebuildPeriod = 2048
+
+// maxFillBuilds caps how many chain-formation passes run per simulation
+// (behavior stabilizes quickly; this bounds the rebuild cost).
+const maxFillBuilds = 32
+
+// Fault-directed teardown thresholds: with at least fillMinSamples
+// retire+fault events, an entry whose blocks fault more than
+// fillMaxFaultRate of the time is de-enlarged.
+const (
+	fillMinSamples   = 24
+	fillMaxFaultRate = 0.20
+)
+
+func newFillUnit() *fillUnit {
+	return &fillUnit{
+		prof:         interp.NewProfile(),
+		opts:         enlarge.DefaultOptions(),
+		entryRetires: make(map[ir.BlockID]int64),
+		entryFaults:  make(map[ir.BlockID]int64),
+		banned:       make(map[ir.BlockID]bool),
+	}
+}
+
+// observeRetire feeds one retired block into the fill unit's statistics.
+func (e *dynamicEngine) observeRetire(ab *ablock) {
+	fu := e.fill
+	for _, orig := range e.img.ChainOf(ab.xb.ID) {
+		fu.prof.Blocks[orig]++
+	}
+	if ab.xb.Orig != ab.xb.ID {
+		// A materialized block retired: credit its entry, and tear the
+		// entry down if its fault rate proved too high.
+		entry := ab.xb.Orig
+		fu.entryRetires[entry]++
+		e.maybeTearDown(entry)
+	}
+	if ab.term != nil && ab.term.isBranch {
+		from := e.img.TermOrigOf(ab.xb.ID)
+		taken := ab.term.val != 0
+		var to ir.BlockID
+		if taken {
+			fu.prof.Taken[from]++
+			to = ab.term.n.Target
+		} else {
+			fu.prof.NotTaken[from]++
+			to = ab.xb.Fall
+		}
+		// In fill mode the program's targets still name original blocks.
+		fu.prof.Arcs[interp.Arc{From: from, To: to}]++
+	}
+	fu.pending++
+	if fu.pending >= fillRebuildPeriod && fu.builds < maxFillBuilds {
+		fu.pending = 0
+		fu.builds++
+		e.formChains()
+	}
+}
+
+// observeFault attributes an assert fault to its enlarged entry.
+func (e *dynamicEngine) observeFault(ab *ablock) {
+	if e.fill == nil || ab.xb.Orig == ab.xb.ID {
+		return
+	}
+	entry := ab.xb.Orig
+	e.fill.entryFaults[entry]++
+	e.maybeTearDown(entry)
+}
+
+// maybeTearDown removes an enlarged entry whose fault rate exceeds the
+// threshold, banning it from re-formation.
+func (e *dynamicEngine) maybeTearDown(entry ir.BlockID) {
+	fu := e.fill
+	if fu.banned[entry] {
+		return
+	}
+	r, f := fu.entryRetires[entry], fu.entryFaults[entry]
+	if r+f < fillMinSamples {
+		return
+	}
+	if float64(f)/float64(r+f) > fillMaxFaultRate {
+		fu.banned[entry] = true
+		delete(e.img.EntryMap, entry)
+	}
+}
+
+// formChains plans chains from the accumulated statistics and materializes
+// the new ones.
+func (e *dynamicEngine) formChains() {
+	ef := enlarge.Build(e.img.Prog, e.fill.prof, e.fill.opts)
+	for _, c := range ef.Chains {
+		if _, done := e.img.EntryMap[c.Entry]; done {
+			continue
+		}
+		if e.fill.banned[c.Entry] {
+			continue
+		}
+		if len(c.Steps) < 2 {
+			continue
+		}
+		// Materialization can only fail on malformed chains, which Build
+		// does not produce; treat failure as "skip this entry".
+		_, _ = e.img.AddChain(c)
+	}
+}
+
+// fillRedirect maps a fetch target through the run-time entry map.
+func (e *dynamicEngine) fillRedirect(id ir.BlockID) ir.BlockID {
+	if enl, ok := e.img.EntryMap[id]; ok {
+		return enl
+	}
+	return id
+}

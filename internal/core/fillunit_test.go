@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fgpsim/internal/bench"
+	"fgpsim/internal/core"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// TestFillUnitCorrectAndEffective runs the fill-unit mode (run-time
+// hardware enlargement, no profile) on a real benchmark and checks that it
+// (a) computes the right answer, (b) actually forms enlarged blocks, and
+// (c) recovers a useful share of the compiler-enlargement speedup.
+func TestFillUnitCorrectAndEffective(t *testing.T) {
+	b := bench.ByName("grep")
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in0, in1 := b.Inputs(2)
+	ref, err := interp.Run(p, in0, in1, interp.Options{MaxNodes: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(bm machine.BranchMode) (*core.RunResult, *loader.Image) {
+		cfg := mkCfg(machine.Dyn4, 8, 'A')
+		cfg.Branch = bm
+		img, err := loader.Load(p, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, in0, in1, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Output, ref.Output) {
+			t.Fatalf("%s: wrong output", bm)
+		}
+		return res, img
+	}
+
+	single, _ := run(machine.SingleBB)
+	fill, img := run(machine.FillUnit)
+
+	if len(img.EntryMap) == 0 {
+		t.Fatal("fill unit never materialized a chain")
+	}
+	t.Logf("fill unit: %d entries enlarged, %d cycles vs %d single (%.2fx), mean block %.2f vs %.2f",
+		len(img.EntryMap), fill.Stats.Cycles, single.Stats.Cycles,
+		float64(single.Stats.Cycles)/float64(fill.Stats.Cycles),
+		fill.Stats.MeanBlockSize(), single.Stats.MeanBlockSize())
+
+	if fill.Stats.Cycles >= single.Stats.Cycles {
+		t.Errorf("fill unit (%d cycles) should beat single blocks (%d)",
+			fill.Stats.Cycles, single.Stats.Cycles)
+	}
+	if fill.Stats.MeanBlockSize() <= single.Stats.MeanBlockSize() {
+		t.Error("fill unit should raise the mean retired block size")
+	}
+}
+
+// TestFillUnitRejectsStatic: the fill unit needs a dynamic machine.
+func TestFillUnitRejectsStatic(t *testing.T) {
+	b := bench.ByName("compress")
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mkCfg(machine.Static, 8, 'A')
+	cfg.Branch = machine.FillUnit
+	if _, err := loader.Load(p, cfg, nil); err == nil {
+		t.Fatal("static + fill unit should be rejected")
+	}
+}
+
+// TestFillUnitOnAllBenchmarks cross-validates outputs on the whole suite.
+func TestFillUnitOnAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, b := range bench.All() {
+		p, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		in0, in1 := b.Inputs(2)
+		ref, err := interp.Run(p, in0, in1, interp.Options{MaxNodes: 1 << 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mkCfg(machine.Dyn4, 8, 'A')
+		cfg.Branch = machine.FillUnit
+		img, err := loader.Load(p, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, in0, in1, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !bytes.Equal(res.Output, ref.Output) {
+			t.Errorf("%s: fill-unit output differs from reference", b.Name)
+		}
+	}
+}

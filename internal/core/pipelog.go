@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PipeLog records dynamic-engine pipeline events for the first cycles of a
+// run — an observability aid for debugging machine configurations and for
+// teaching what the window is doing (issue, execute, complete, retire,
+// squash). Attach one through Limits.Pipe; rendering is bounded, so it is
+// safe on long runs.
+type PipeLog struct {
+	// MaxCycles bounds recording (0 = 200 cycles).
+	MaxCycles int64
+
+	Events []PipeEvent
+}
+
+// PipeEvent is one pipeline occurrence.
+type PipeEvent struct {
+	Cycle int64
+	Kind  PipeKind
+	Seq   int64  // node sequence number (or block seq0 for block events)
+	What  string // rendered node or block description
+}
+
+// PipeKind classifies pipeline events.
+type PipeKind uint8
+
+const (
+	PipeIssue PipeKind = iota
+	PipeExec
+	PipeDone
+	PipeRetire
+	PipeMispredict
+	PipeFault
+	PipeSquash
+)
+
+func (k PipeKind) String() string {
+	switch k {
+	case PipeIssue:
+		return "issue"
+	case PipeExec:
+		return "exec"
+	case PipeDone:
+		return "done"
+	case PipeRetire:
+		return "retire"
+	case PipeMispredict:
+		return "mispredict"
+	case PipeFault:
+		return "fault"
+	case PipeSquash:
+		return "squash"
+	}
+	return "?"
+}
+
+func (l *PipeLog) limit() int64 {
+	if l.MaxCycles > 0 {
+		return l.MaxCycles
+	}
+	return 200
+}
+
+func (l *PipeLog) add(cycle int64, kind PipeKind, seq int64, what string) {
+	if cycle >= l.limit() {
+		return
+	}
+	l.Events = append(l.Events, PipeEvent{Cycle: cycle, Kind: kind, Seq: seq, What: what})
+}
+
+// String renders the log grouped by cycle.
+func (l *PipeLog) String() string {
+	var sb strings.Builder
+	last := int64(-1)
+	for _, e := range l.Events {
+		if e.Cycle != last {
+			fmt.Fprintf(&sb, "cycle %d:\n", e.Cycle)
+			last = e.Cycle
+		}
+		fmt.Fprintf(&sb, "  %-10s #%-5d %s\n", e.Kind, e.Seq, e.What)
+	}
+	return sb.String()
+}
+
+// Hooks called by the dynamic engine (no-ops when the log is nil).
+
+func (e *dynamicEngine) logIssue(nd *dnode) {
+	if e.pipe != nil {
+		e.pipe.add(e.cycle, PipeIssue, nd.seq, nd.n.String())
+	}
+}
+
+func (e *dynamicEngine) logExec(nd *dnode) {
+	if e.pipe != nil {
+		e.pipe.add(e.cycle, PipeExec, nd.seq, nd.n.String())
+	}
+}
+
+func (e *dynamicEngine) logDone(nd *dnode) {
+	if e.pipe != nil {
+		e.pipe.add(e.cycle, PipeDone, nd.seq, nd.n.String())
+	}
+}
+
+func (e *dynamicEngine) logRetire(ab *ablock) {
+	if e.pipe != nil {
+		e.pipe.add(e.cycle, PipeRetire, ab.seq0, fmt.Sprintf("block b%d (%d nodes)", ab.xb.ID, len(ab.nodes)))
+	}
+}
+
+func (e *dynamicEngine) logOffender(kind PipeKind, nd *dnode) {
+	if e.pipe != nil {
+		e.pipe.add(e.cycle, kind, nd.seq, nd.n.String())
+	}
+}
+
+func (e *dynamicEngine) logSquash(count int) {
+	if e.pipe != nil && count > 0 {
+		e.pipe.add(e.cycle, PipeSquash, -1, fmt.Sprintf("%d blocks discarded", count))
+	}
+}

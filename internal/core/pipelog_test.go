@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+func TestPipeLogRecordsLifecycle(t *testing.T) {
+	p := chainProgram(5)
+	img, err := loader.Load(p, mkCfg(machine.Dyn4, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &core.PipeLog{MaxCycles: 50}
+	if _, err := core.Run(img, nil, nil, nil, nil, core.Limits{Pipe: pipe}); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[core.PipeKind]int{}
+	for _, e := range pipe.Events {
+		kinds[e.Kind]++
+	}
+	// 7 nodes (const + 5 addi + halt): each issues, executes, completes;
+	// the single block retires.
+	if kinds[core.PipeIssue] != 7 {
+		t.Errorf("issue events = %d, want 7", kinds[core.PipeIssue])
+	}
+	if kinds[core.PipeExec] != 7 {
+		t.Errorf("exec events = %d, want 7", kinds[core.PipeExec])
+	}
+	if kinds[core.PipeDone] != 7 {
+		t.Errorf("done events = %d, want 7", kinds[core.PipeDone])
+	}
+	if kinds[core.PipeRetire] != 1 {
+		t.Errorf("retire events = %d, want 1", kinds[core.PipeRetire])
+	}
+	s := pipe.String()
+	for _, w := range []string{"cycle 0:", "issue", "exec", "retire", "addi"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("rendered log missing %q:\n%s", w, s)
+		}
+	}
+	// Events are cycle-ordered.
+	last := int64(-1)
+	for _, e := range pipe.Events {
+		if e.Cycle < last {
+			t.Fatal("events out of cycle order")
+		}
+		last = e.Cycle
+	}
+}
+
+func TestPipeLogRecordsSquashes(t *testing.T) {
+	p := randomProgram(11) // has a loop with a mispredicting exit
+	img, err := loader.Load(p, mkCfg(machine.Dyn256, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &core.PipeLog{MaxCycles: 10_000}
+	if _, err := core.Run(img, nil, nil, nil, nil, core.Limits{Pipe: pipe}); err != nil {
+		t.Fatal(err)
+	}
+	var saw struct{ mis, squash bool }
+	for _, e := range pipe.Events {
+		if e.Kind == core.PipeMispredict {
+			saw.mis = true
+		}
+		if e.Kind == core.PipeSquash {
+			saw.squash = true
+		}
+	}
+	if !saw.mis || !saw.squash {
+		t.Errorf("expected mispredict+squash events, got mis=%v squash=%v", saw.mis, saw.squash)
+	}
+}
+
+func TestPipeLogBounded(t *testing.T) {
+	p := chainProgram(500)
+	img, _ := loader.Load(p, mkCfg(machine.Dyn4, 8, 'A'), nil)
+	pipe := &core.PipeLog{MaxCycles: 10}
+	if _, err := core.Run(img, nil, nil, nil, nil, core.Limits{Pipe: pipe}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range pipe.Events {
+		if e.Cycle >= 10 {
+			t.Fatalf("event at cycle %d despite 10-cycle bound", e.Cycle)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+)
+
+// TestEnginesUnderRegisterPressure runs a program that forces spilling
+// (more live values than registers) through both engines, optimized and
+// unoptimized, verifying against the interpreter. Spill loads/stores are
+// exactly the kind of memory traffic that exposes disambiguation and
+// forwarding bugs.
+func TestEnginesUnderRegisterPressure(t *testing.T) {
+	var sb strings.Builder
+	n := 70
+	sb.WriteString("int mix(int a, int b) { return a * 31 + b; }\n")
+	sb.WriteString("int main() {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "\tint v%d = %d;\n", i, i*7+1)
+	}
+	// Calls interleaved with uses keep values live across call sites.
+	sb.WriteString("\tint acc = 0;\n")
+	for i := 0; i < n; i += 2 {
+		fmt.Fprintf(&sb, "\tacc = mix(acc, v%d - v%d);\n", i, i+1)
+	}
+	sb.WriteString("\tputc('A' + (acc % 26 + 26) % 26);\n\tputc('\\n');\n\treturn 0;\n}\n")
+
+	for _, optimize := range []bool{false, true} {
+		p, err := minic.Compile("spill.mc", sb.String(), minic.Options{Optimize: optimize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := interp.Run(p, nil, nil, interp.Options{MaxNodes: 1 << 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []machine.Config{
+			mkCfg(machine.Static, 8, 'D'),
+			mkCfg(machine.Dyn4, 8, 'D'),
+			mkCfg(machine.Dyn256, 8, 'G'),
+		} {
+			img, err := loader.Load(p, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(res.Output, ref.Output) {
+				t.Errorf("optimize=%v %s: output %q, want %q", optimize, cfg, res.Output, ref.Output)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package core_test
+
+import (
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// chainProgram builds a single block of n dependent AddI nodes (a pure
+// serial chain) ending in Halt.
+func chainProgram(n int) *ir.Program {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	body := []ir.Node{{Op: ir.Const, Dst: 5, Imm: 1}}
+	for i := 0; i < n; i++ {
+		body = append(body, ir.Node{Op: ir.AddI, Dst: 5, A: 5, Imm: 1})
+	}
+	b := &ir.Block{Body: body, Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b)
+	f.Entry = 0
+	return p
+}
+
+// independentProgram builds a single block of n independent Const nodes.
+func independentProgram(n int) *ir.Program {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	var body []ir.Node
+	for i := 0; i < n; i++ {
+		body = append(body, ir.Node{Op: ir.Const, Dst: ir.Reg(5 + i%50), Imm: int64(i)})
+	}
+	b := &ir.Block{Body: body, Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b)
+	f.Entry = 0
+	return p
+}
+
+func cyclesOf(t *testing.T, p *ir.Program, cfg machine.Config) int64 {
+	t.Helper()
+	img, err := loader.Load(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Stats.Cycles
+}
+
+// TestSerialChainTakesOneCyclePerNode: a dependent chain cannot go faster
+// than one node per cycle on any machine, and a wide machine should achieve
+// almost exactly that (no overhead per link).
+func TestSerialChainTakesOneCyclePerNode(t *testing.T) {
+	const n = 200
+	p := chainProgram(n)
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn4, machine.Dyn256} {
+		c := cyclesOf(t, p, mkCfg(d, 8, 'A'))
+		if c < n {
+			t.Errorf("%s: %d cycles for a %d-node chain (impossible)", d, c, n)
+		}
+		if c > n+20 {
+			t.Errorf("%s: %d cycles for a %d-node chain (too much overhead)", d, c, n)
+		}
+	}
+}
+
+// TestIndependentWorkScalesWithWidth: n independent nodes take about
+// n/width cycles on wide machines.
+func TestIndependentWorkScalesWithWidth(t *testing.T) {
+	const n = 240
+	p := independentProgram(n)
+	c2 := cyclesOf(t, p, mkCfg(machine.Dyn4, 2, 'A')) // 2 ALU... model 2 = 1M1A -> 1 ALU
+	c8 := cyclesOf(t, p, mkCfg(machine.Dyn4, 8, 'A')) // 12 ALU slots
+	if c2 < n {
+		t.Errorf("1 ALU slot: %d cycles for %d ALU nodes", c2, n)
+	}
+	// 12 ALU slots: at least n/12 cycles, and close to it.
+	if c8 > int64(n/12)+20 {
+		t.Errorf("12 ALU slots: %d cycles for %d independent nodes, want about %d", c8, n, n/12)
+	}
+	if c8*3 > c2 {
+		t.Errorf("width barely helped: %d vs %d cycles", c8, c2)
+	}
+}
+
+// TestMissLatencyVisible: a dependent load chain with a cold cache pays
+// the 10-cycle miss; with perfect 1-cycle memory it pays 1 per load.
+func TestMissLatencyVisible(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	// Pointer-chase style: each load's address depends on the previous
+	// load's (zero) result, defeating overlap. Addresses stride by 64 so
+	// every access is a fresh cache block.
+	body := []ir.Node{{Op: ir.Const, Dst: 5, Imm: 0}}
+	const loads = 20
+	for i := 0; i < loads; i++ {
+		body = append(body,
+			ir.Node{Op: ir.AddI, Dst: 6, A: 5, Imm: int64(8192 + i*64)},
+			ir.Node{Op: ir.Ld, Dst: 5, A: 6},
+		)
+	}
+	b := &ir.Block{Body: body, Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b)
+	f.Entry = 0
+
+	fast := cyclesOf(t, p, mkCfg(machine.Dyn256, 8, 'A'))
+	slow := cyclesOf(t, p, mkCfg(machine.Dyn256, 8, 'D')) // cold 1K cache: all misses
+	// Serial chain: each load adds ~2 cycles (addi+ld) fast, ~11 slow.
+	if slow < fast+int64(loads*8) {
+		t.Errorf("misses not visible: fast %d, slow %d cycles", fast, slow)
+	}
+}
+
+// TestPipelinedMemoryOverlapsMisses: independent loads to distinct blocks
+// overlap their miss latencies (the paper's fully pipelined memory), so
+// total time is far below loads*missLatency.
+func TestPipelinedMemoryOverlapsMisses(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	var body []ir.Node
+	const loads = 40
+	body = append(body, ir.Node{Op: ir.Const, Dst: 5, Imm: 8192})
+	for i := 0; i < loads; i++ {
+		body = append(body, ir.Node{Op: ir.Ld, Dst: ir.Reg(6 + i%40), A: 5, Imm: int64(i * 64)})
+	}
+	b := &ir.Block{Body: body, Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b)
+	f.Entry = 0
+
+	c := cyclesOf(t, p, mkCfg(machine.Dyn256, 8, 'D'))
+	serial := int64(loads * 10)
+	if c > serial/3 {
+		t.Errorf("independent misses did not pipeline: %d cycles (serial would be ~%d)", c, serial)
+	}
+}
+
+// TestStaticInterlockStallsOnMiss: the static engine's consumer of a
+// missing load stalls, but the stall does not change the answer.
+func TestStaticInterlockStallsOnMiss(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	body := []ir.Node{
+		{Op: ir.Const, Dst: 5, Imm: 8192},
+		{Op: ir.Ld, Dst: 6, A: 5},           // miss: 10 cycles
+		{Op: ir.AddI, Dst: 7, A: 6, Imm: 1}, // stalls on r6
+		{Op: ir.Sys, Dst: 8, A: 7, B: ir.NoReg, Imm: ir.SysPutc},
+	}
+	b := &ir.Block{Body: body, Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b)
+	f.Entry = 0
+
+	cMiss := cyclesOf(t, p, mkCfg(machine.Static, 8, 'D'))
+	cHit := cyclesOf(t, p, mkCfg(machine.Static, 8, 'A'))
+	if cMiss < cHit+8 {
+		t.Errorf("interlock stall invisible: hit %d vs miss %d cycles", cHit, cMiss)
+	}
+}

@@ -1,0 +1,214 @@
+// Package enlarge builds basic block enlargement files from branch-arc
+// profiles, implementing the paper's procedure (section 3.1): the branch
+// arc densities from a profiling run are sorted by use; starting from the
+// most heavily used, basic blocks are enlarged until either the weight on
+// the most common arc out of a block falls below a threshold or the ratio
+// between the two arcs out of a block falls below a threshold. Only two-way
+// conditional branches to explicit destinations are optimized, loops are
+// unrolled by letting chains revisit their entry, and at most MaxInstances
+// copies of any original block are materialized.
+//
+// The file produced here is consumed by the translating loader, which
+// materializes each chain as an enlarged block (internal branches become
+// assert/fault nodes) and re-optimizes it as a unit.
+package enlarge
+
+import (
+	"encoding/json"
+	"sort"
+
+	"fgpsim/internal/interp"
+	"fgpsim/internal/ir"
+)
+
+// Step is one block of a chain. TakenToNext records which arm of the
+// block's conditional terminator the chain follows (meaningless for the
+// final step and for unconditional terminators).
+type Step struct {
+	Block       ir.BlockID
+	TakenToNext bool
+}
+
+// Chain is a planned enlarged block: the entry block followed along its hot
+// arcs. A chain of length 1 performs no enlargement and is not emitted.
+type Chain struct {
+	Entry ir.BlockID
+	Steps []Step
+}
+
+// Options are the enlargement thresholds.
+type Options struct {
+	// MinArcWeight is the minimum dynamic count of the followed arc.
+	MinArcWeight int64
+	// MinRatio is the minimum share the followed arc must have of both
+	// arcs out of a conditional branch.
+	MinRatio float64
+	// MaxChainLen caps the number of original blocks per chain.
+	MaxChainLen int
+	// MaxInstances caps how many materialized copies of one original block
+	// may exist across all chains (the paper's limit of 16 per original PC).
+	MaxInstances int
+}
+
+// DefaultOptions returns the thresholds used throughout the reproduction.
+func DefaultOptions() Options {
+	return Options{MinArcWeight: 16, MinRatio: 0.66, MaxChainLen: 8, MaxInstances: 16}
+}
+
+// File is a basic block enlargement file.
+type File struct {
+	Chains  []Chain
+	Options Options
+}
+
+// Marshal serializes the file (the cmd/bbe <-> cmd/tld interchange format).
+func (f *File) Marshal() ([]byte, error) { return json.MarshalIndent(f, "", "  ") }
+
+// Unmarshal parses a serialized enlargement file.
+func Unmarshal(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// blockHasSys reports whether the block performs a system call. System
+// calls cannot be re-executed after an assert fault, so a Sys-containing
+// block may only ever be the final element of a chain.
+func blockHasSys(b *ir.Block) bool {
+	for i := range b.Body {
+		if b.Body[i].Op == ir.Sys {
+			return true
+		}
+	}
+	return false
+}
+
+// Build plans enlargement chains for a profiled program.
+func Build(p *ir.Program, prof *interp.Profile, o Options) *File {
+	if o.MaxChainLen == 0 {
+		o = DefaultOptions()
+	}
+	f := &File{Options: o}
+
+	// Hot blocks first: they get the instance budget.
+	var entries []ir.BlockID
+	for id, n := range prof.Blocks {
+		if n > 0 {
+			entries = append(entries, id)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if prof.Blocks[entries[i]] != prof.Blocks[entries[j]] {
+			return prof.Blocks[entries[i]] > prof.Blocks[entries[j]]
+		}
+		return entries[i] < entries[j]
+	})
+
+	instances := make(map[ir.BlockID]int)
+	for _, entry := range entries {
+		chain := buildChain(p, prof, o, entry)
+		chain = trimToBudget(p, chain, instances, o.MaxInstances)
+		if len(chain.Steps) < 2 {
+			continue
+		}
+		addInstances(p, chain, instances)
+		f.Chains = append(f.Chains, chain)
+	}
+	return f
+}
+
+// buildChain follows hot arcs from entry until a threshold fails.
+func buildChain(p *ir.Program, prof *interp.Profile, o Options, entry ir.BlockID) Chain {
+	c := Chain{Entry: entry, Steps: []Step{{Block: entry}}}
+	cur := entry
+	for len(c.Steps) < o.MaxChainLen {
+		b := p.Block(cur)
+		if blockHasSys(b) {
+			break // a Sys block must be the final element
+		}
+		var next ir.BlockID
+		var takenToNext bool
+		switch b.Term.Op {
+		case ir.Jmp:
+			next = b.Term.Target
+			if prof.Blocks[cur] < o.MinArcWeight {
+				return c
+			}
+		case ir.Br:
+			if b.Term.Target == b.Fall {
+				// Degenerate two-way branch (both arms identical): an
+				// assert for it could fault spuriously, so stop here.
+				return c
+			}
+			wt := prof.Arcs[interp.Arc{From: cur, To: b.Term.Target}]
+			wf := prof.Arcs[interp.Arc{From: cur, To: b.Fall}]
+			total := wt + wf
+			if total == 0 {
+				return c
+			}
+			max, to, taken := wf, b.Fall, false
+			if wt >= wf {
+				max, to, taken = wt, b.Term.Target, true
+			}
+			if max < o.MinArcWeight || float64(max)/float64(total) < o.MinRatio {
+				return c
+			}
+			next, takenToNext = to, taken
+		default:
+			return c // calls, returns, and halts end chains
+		}
+		c.Steps[len(c.Steps)-1].TakenToNext = takenToNext
+		c.Steps = append(c.Steps, Step{Block: next})
+		cur = next
+	}
+	return c
+}
+
+// instancesOf computes how many materialized copies of each original block
+// one chain creates: every step appears in the primary enlarged block, and
+// step i additionally appears in the fault-recovery prefix block of every
+// conditional step j >= i (the prefix re-executes steps 0..j).
+func instancesOf(p *ir.Program, c Chain) map[ir.BlockID]int {
+	m := len(c.Steps)
+	counts := make(map[ir.BlockID]int, m)
+	// assertAfter[i] = number of conditional (assert-generating) steps at
+	// positions >= i among the non-final steps.
+	assertAfter := make([]int, m+1)
+	for i := m - 2; i >= 0; i-- {
+		assertAfter[i] = assertAfter[i+1]
+		if p.Block(c.Steps[i].Block).Term.Op == ir.Br {
+			assertAfter[i]++
+		}
+	}
+	for i, s := range c.Steps {
+		counts[s.Block] += 1 + assertAfter[i]
+	}
+	return counts
+}
+
+// trimToBudget shortens a chain until no member exceeds its instance
+// budget.
+func trimToBudget(p *ir.Program, c Chain, instances map[ir.BlockID]int, maxInst int) Chain {
+	for len(c.Steps) >= 2 {
+		over := false
+		for id, n := range instancesOf(p, c) {
+			if instances[id]+n > maxInst {
+				over = true
+				break
+			}
+		}
+		if !over {
+			return c
+		}
+		c.Steps = c.Steps[:len(c.Steps)-1]
+	}
+	return c
+}
+
+func addInstances(p *ir.Program, c Chain, instances map[ir.BlockID]int) {
+	for id, n := range instancesOf(p, c) {
+		instances[id] += n
+	}
+}

@@ -1,0 +1,194 @@
+package enlarge
+
+import (
+	"testing"
+
+	"fgpsim/internal/interp"
+	"fgpsim/internal/ir"
+)
+
+// loopProgram builds: b0 (entry) -> b1 (loop body) -br-> b1 ... -> b2 halt,
+// with b1's terminator mostly taken (looping).
+func loopProgram() *ir.Program {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	b0 := &ir.Block{
+		Body: []ir.Node{{Op: ir.Const, Dst: 5, Imm: 10}},
+		Term: ir.Node{Op: ir.Jmp, Target: 1},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b0)
+	b1 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.AddI, Dst: 5, A: 5, Imm: -1},
+			{Op: ir.Gt, Dst: 6, A: 5, B: 7}, // r7 == 0
+		},
+		Term: ir.Node{Op: ir.Br, A: 6, Target: 1},
+		Fall: 2,
+	}
+	p.AddBlock(0, b1)
+	b2 := &ir.Block{Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b2)
+	f.Entry = 0
+	return p
+}
+
+func profileOf(t *testing.T, p *ir.Program) *interp.Profile {
+	t.Helper()
+	prof := interp.NewProfile()
+	if _, err := interp.Run(p, nil, nil, interp.Options{Profile: prof, MaxNodes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestBuildUnrollsHotLoop(t *testing.T) {
+	p := loopProgram()
+	prof := profileOf(t, p)
+	f := Build(p, prof, Options{MinArcWeight: 2, MinRatio: 0.5, MaxChainLen: 4, MaxInstances: 16})
+	var loopChain *Chain
+	for i := range f.Chains {
+		if f.Chains[i].Entry == 1 {
+			loopChain = &f.Chains[i]
+		}
+	}
+	if loopChain == nil {
+		t.Fatal("hot loop head not enlarged")
+	}
+	if len(loopChain.Steps) < 2 {
+		t.Fatalf("loop chain too short: %d", len(loopChain.Steps))
+	}
+	for _, s := range loopChain.Steps {
+		if s.Block != 1 {
+			t.Errorf("loop chain should revisit block 1, found %d", s.Block)
+		}
+	}
+	if !loopChain.Steps[0].TakenToNext {
+		t.Error("the loop back-arc is the taken arm")
+	}
+}
+
+func TestThresholdsStopChains(t *testing.T) {
+	p := loopProgram()
+	prof := profileOf(t, p)
+	// An absurd weight threshold suppresses all enlargement.
+	f := Build(p, prof, Options{MinArcWeight: 1 << 40, MinRatio: 0.5, MaxChainLen: 8, MaxInstances: 16})
+	if len(f.Chains) != 0 {
+		t.Errorf("no chain should pass a weight threshold of 2^40, got %d", len(f.Chains))
+	}
+	// A ratio threshold above 1 likewise stops conditional extension.
+	f = Build(p, prof, Options{MinArcWeight: 1, MinRatio: 1.1, MaxChainLen: 8, MaxInstances: 16})
+	for _, c := range f.Chains {
+		for i, s := range c.Steps[:len(c.Steps)-1] {
+			if p.Block(s.Block).Term.Op == ir.Br {
+				t.Errorf("chain %d extends through a conditional at step %d despite ratio > 1", c.Entry, i)
+			}
+		}
+	}
+}
+
+func TestInstanceBudget(t *testing.T) {
+	p := loopProgram()
+	prof := profileOf(t, p)
+	f := Build(p, prof, Options{MinArcWeight: 1, MinRatio: 0.5, MaxChainLen: 8, MaxInstances: 16})
+	counts := make(map[ir.BlockID]int)
+	for _, c := range f.Chains {
+		for id, n := range instancesOf(p, c) {
+			counts[id] += n
+		}
+	}
+	for id, n := range counts {
+		if n > 16 {
+			t.Errorf("block %d materialized %d times, budget 16", id, n)
+		}
+	}
+}
+
+func TestInstancesOfAccounting(t *testing.T) {
+	p := loopProgram()
+	// Chain [1, 1, 1]: two conditional steps (both ending in Br).
+	c := Chain{Entry: 1, Steps: []Step{
+		{Block: 1, TakenToNext: true},
+		{Block: 1, TakenToNext: true},
+		{Block: 1},
+	}}
+	counts := instancesOf(p, c)
+	// Primary holds 3 copies; prefix blocks for step 0 (1 copy) and step 1
+	// (2 copies): total 6.
+	if counts[1] != 6 {
+		t.Errorf("instancesOf = %d, want 6", counts[1])
+	}
+}
+
+func TestSysBlocksEndChains(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	// b0: sys, then unconditional jump to b1; b1 jumps back to b0 — a hot
+	// jump-loop where b0 contains a Sys.
+	b0 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Sys, Dst: 5, A: 6, B: ir.NoReg, Imm: ir.SysGetc},
+			{Op: ir.Ge, Dst: 7, A: 5, B: 8},
+		},
+		Term: ir.Node{Op: ir.Br, A: 7, Target: 1},
+		Fall: 2,
+	}
+	p.AddBlock(0, b0)
+	b1 := &ir.Block{Term: ir.Node{Op: ir.Jmp, Target: 0}, Fall: ir.NoBlock}
+	p.AddBlock(0, b1)
+	b2 := &ir.Block{Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b2)
+	f.Entry = 0
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	prof := interp.NewProfile()
+	if _, err := interp.Run(p, []byte("abcdefgh"), nil, interp.Options{Profile: prof, MaxNodes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	ef := Build(p, prof, Options{MinArcWeight: 1, MinRatio: 0.5, MaxChainLen: 8, MaxInstances: 16})
+	for _, c := range ef.Chains {
+		for i, s := range c.Steps {
+			if s.Block == 0 && i != len(c.Steps)-1 {
+				t.Errorf("Sys-containing block 0 appears mid-chain (entry %d step %d)", c.Entry, i)
+			}
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := loopProgram()
+	prof := profileOf(t, p)
+	f := Build(p, prof, DefaultOptions())
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Chains) != len(f.Chains) {
+		t.Fatalf("round trip lost chains: %d -> %d", len(f.Chains), len(g.Chains))
+	}
+	for i := range f.Chains {
+		if f.Chains[i].Entry != g.Chains[i].Entry || len(f.Chains[i].Steps) != len(g.Chains[i].Steps) {
+			t.Errorf("chain %d differs after round trip", i)
+		}
+	}
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Error("Unmarshal should reject garbage")
+	}
+}
+
+func TestZeroOptionsUseDefaults(t *testing.T) {
+	p := loopProgram()
+	prof := profileOf(t, p)
+	f := Build(p, prof, Options{})
+	if f.Options.MaxChainLen == 0 {
+		t.Error("zero options should be replaced by defaults")
+	}
+}

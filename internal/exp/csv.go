@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+
+	"fgpsim/internal/machine"
+)
+
+// WriteCSV dumps every measured grid point as one CSV row, for external
+// plotting. Columns cover the configuration key and the main measurements.
+func (r *Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"bench", "discipline", "issue", "mem", "branch",
+		"cycles", "retired_nodes", "executed_nodes", "discarded_nodes",
+		"retired_blocks", "mispredicts", "faults",
+		"npc", "speed", "redundancy", "prediction_accuracy",
+		"cache_hit_ratio", "mean_block_size", "mean_window_blocks",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	keys := make([]Key, 0, len(r.Runs))
+	for k := range r.Runs {
+		keys = append(keys, k)
+	}
+	r.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		switch {
+		case a.Bench != b.Bench:
+			return a.Bench < b.Bench
+		case a.Disc != b.Disc:
+			return a.Disc < b.Disc
+		case a.Issue != b.Issue:
+			return a.Issue < b.Issue
+		case a.Mem != b.Mem:
+			return a.Mem < b.Mem
+		default:
+			return a.Branch < b.Branch
+		}
+	})
+
+	f := func(v float64) string { return fmt.Sprintf("%.6g", v) }
+	for _, k := range keys {
+		s := r.Get(k)
+		if s == nil {
+			continue
+		}
+		row := []string{
+			k.Bench,
+			machine.Discipline(k.Disc).String(),
+			fmt.Sprintf("%d", k.Issue),
+			string(rune(k.Mem)),
+			machine.BranchMode(k.Branch).String(),
+			fmt.Sprintf("%d", s.Cycles),
+			fmt.Sprintf("%d", s.RetiredNodes),
+			fmt.Sprintf("%d", s.ExecutedNodes),
+			fmt.Sprintf("%d", s.DiscardedNodes),
+			fmt.Sprintf("%d", s.RetiredBlocks),
+			fmt.Sprintf("%d", s.Mispredicts),
+			fmt.Sprintf("%d", s.Faults),
+			f(s.NPC()),
+			f(s.Speed()),
+			f(s.Redundancy()),
+			f(s.PredictionAccuracy()),
+			f(s.CacheHitRatio()),
+			f(s.MeanBlockSize()),
+			f(s.MeanWindowBlocks()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,60 @@
+package exp_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"fgpsim/internal/bench"
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/exp"
+	"fgpsim/internal/machine"
+)
+
+func TestWriteCSV(t *testing.T) {
+	b := bench.ByName("compress")
+	p, err := exp.Prepare(b, enlarge.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, _ := machine.IssueModelByID(2)
+	im8, _ := machine.IssueModelByID(8)
+	mcA, _ := machine.MemConfigByID('A')
+	cfgs := []machine.Config{
+		{Disc: machine.Static, Issue: im2, Mem: mcA, Branch: machine.SingleBB},
+		{Disc: machine.Dyn4, Issue: im8, Mem: mcA, Branch: machine.EnlargedBB},
+	}
+	res, err := exp.Grid([]*exp.Prepared{p}, cfgs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 3 { // header + 2 points
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	header := rows[0]
+	if header[0] != "bench" || header[12] != "npc" {
+		t.Errorf("unexpected header: %v", header)
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Errorf("row width %d != header %d", len(row), len(header))
+		}
+		if row[0] != "compress" {
+			t.Errorf("bench column = %q", row[0])
+		}
+	}
+	// Sorted: static row before dyn-w4.
+	if rows[1][1] != "static" || rows[2][1] != "dyn-w4" {
+		t.Errorf("rows not sorted by discipline: %v / %v", rows[1][1], rows[2][1])
+	}
+}

@@ -1,0 +1,160 @@
+package exp_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fgpsim/internal/bench"
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/exp"
+	"fgpsim/internal/machine"
+)
+
+func prepareOne(t *testing.T, name string) *exp.Prepared {
+	t.Helper()
+	b := bench.ByName(name)
+	if b == nil {
+		t.Fatalf("no benchmark %s", name)
+	}
+	p, err := exp.Prepare(b, enlarge.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPrepare(t *testing.T) {
+	p := prepareOne(t, "compress")
+	if len(p.EF.Chains) == 0 {
+		t.Error("no enlargement chains")
+	}
+	if len(p.Trace) == 0 {
+		t.Error("no trace")
+	}
+	if len(p.RefOutput) == 0 {
+		t.Error("no reference output")
+	}
+	if len(p.Hints) == 0 {
+		t.Error("no static hints")
+	}
+}
+
+func TestGridSmall(t *testing.T) {
+	p := prepareOne(t, "compress")
+	im2, _ := machine.IssueModelByID(2)
+	im8, _ := machine.IssueModelByID(8)
+	mcA, _ := machine.MemConfigByID('A')
+	cfgs := []machine.Config{
+		{Disc: machine.Static, Issue: im2, Mem: mcA, Branch: machine.SingleBB},
+		{Disc: machine.Dyn4, Issue: im8, Mem: mcA, Branch: machine.SingleBB},
+		{Disc: machine.Dyn4, Issue: im8, Mem: mcA, Branch: machine.EnlargedBB},
+		{Disc: machine.Dyn4, Issue: im8, Mem: mcA, Branch: machine.Perfect},
+	}
+	res, err := exp.Grid([]*exp.Prepared{p}, cfgs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		s := res.Get(exp.KeyOf("compress", cfg))
+		if s == nil {
+			t.Fatalf("missing result for %s", cfg)
+		}
+		if s.NPC() <= 0 {
+			t.Errorf("%s: NPC = %v", cfg, s.NPC())
+		}
+	}
+	narrow := res.Get(exp.KeyOf("compress", cfgs[0])).NPC()
+	wide := res.Get(exp.KeyOf("compress", cfgs[2])).NPC()
+	if wide <= narrow {
+		t.Errorf("wide dynamic machine (%.2f) should beat narrow static (%.2f)", wide, narrow)
+	}
+	gm := res.GeoMeanNPC([]string{"compress"}, cfgs[1])
+	if math.IsNaN(gm) || gm <= 0 {
+		t.Errorf("GeoMeanNPC = %v", gm)
+	}
+	if !math.IsNaN(res.GeoMeanNPC([]string{"missing"}, cfgs[1])) {
+		t.Error("GeoMeanNPC of missing benchmark should be NaN")
+	}
+}
+
+func TestCurvesOrder(t *testing.T) {
+	cs := exp.Curves()
+	if len(cs) != 10 {
+		t.Fatalf("got %d curves, want 10", len(cs))
+	}
+	if cs[0].Disc != machine.Static || cs[0].Branch != machine.SingleBB {
+		t.Errorf("first curve = %v", cs[0])
+	}
+	if cs[9].Disc != machine.Dyn256 || cs[9].Branch != machine.Perfect {
+		t.Errorf("last curve = %v", cs[9])
+	}
+}
+
+func TestFigureConfigsCoverFigures(t *testing.T) {
+	cfgs := exp.FigureConfigs()
+	if len(cfgs) == 0 || len(cfgs) > 560 {
+		t.Fatalf("unexpected figure config count %d", len(cfgs))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cfgs {
+		if seen[c.String()] {
+			t.Errorf("duplicate config %s", c)
+		}
+		seen[c.String()] = true
+	}
+	// Figure 3 needs every curve at every issue model with memory A.
+	for _, c := range exp.Curves() {
+		for _, im := range machine.IssueModels {
+			if !seen[exp.ConfigFor(c, im.ID, 'A').String()] {
+				t.Errorf("figure 3 config missing: %s at issue %d", c, im.ID)
+			}
+		}
+	}
+	// Figure 5's composites.
+	for _, fc := range machine.Figure5Configs {
+		cfg := exp.ConfigFor(exp.Curve{Disc: machine.Dyn4, Branch: machine.EnlargedBB}, fc.Issue, fc.Mem)
+		if !seen[cfg.String()] {
+			t.Errorf("figure 5 config missing: %s", cfg)
+		}
+	}
+}
+
+func TestGridCountIs560(t *testing.T) {
+	if n := len(machine.Grid()); n != 560 {
+		t.Errorf("full grid has %d points, want 560 (the paper's count)", n)
+	}
+}
+
+// TestFigureRendering runs a tiny sweep and checks the formatters produce
+// tables containing the measured numbers.
+func TestFigureRendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	p := prepareOne(t, "grep")
+	res, err := exp.Grid([]*exp.Prepared{p}, exp.FigureConfigs(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := []string{"grep"}
+	for name, table := range map[string]string{
+		"fig2": exp.Figure2(res, benches),
+		"fig3": exp.Figure3(res, benches),
+		"fig4": exp.Figure4(res, benches),
+		"fig5": exp.Figure5(res, benches),
+		"fig6": exp.Figure6(res, benches),
+	} {
+		if !strings.Contains(table, "Figure") {
+			t.Errorf("%s: missing header", name)
+		}
+		if strings.Contains(table, "NaN") {
+			t.Errorf("%s: contains NaN:\n%s", name, table)
+		}
+		if strings.Count(table, "\n") < 5 {
+			t.Errorf("%s: too few rows:\n%s", name, table)
+		}
+	}
+	t.Logf("\n%s", exp.Figure3(res, benches))
+	t.Logf("\n%s", exp.Figure2(res, benches))
+}

@@ -1,0 +1,237 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fgpsim/internal/machine"
+	"fgpsim/internal/stats"
+)
+
+// ConfigFor builds the configuration for one curve at one grid point.
+func ConfigFor(c Curve, issueID int, memID byte) machine.Config {
+	im, ok := machine.IssueModelByID(issueID)
+	if !ok {
+		panic(fmt.Sprintf("exp: bad issue model %d", issueID))
+	}
+	mc, ok := machine.MemConfigByID(memID)
+	if !ok {
+		panic(fmt.Sprintf("exp: bad memory config %c", memID))
+	}
+	return machine.Config{Disc: c.Disc, Issue: im, Mem: mc, Branch: c.Branch}
+}
+
+// FigureConfigs returns the minimal configuration set that regenerates all
+// five figures (a subset of the full 560-point grid).
+func FigureConfigs() []machine.Config {
+	seen := make(map[string]bool)
+	var out []machine.Config
+	add := func(cfg machine.Config) {
+		k := cfg.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, cfg)
+		}
+	}
+	// Figures 3 and 6: every issue model at memory config A, ten curves.
+	for _, c := range Curves() {
+		for _, im := range machine.IssueModels {
+			add(ConfigFor(c, im.ID, 'A'))
+		}
+	}
+	// Figure 4: every memory config at issue model 8, ten curves.
+	for _, c := range Curves() {
+		for _, mc := range machine.MemConfigs {
+			add(ConfigFor(c, 8, mc.ID))
+		}
+	}
+	// Figure 5: the 14 composite configurations, dyn-w4 with enlargement.
+	for _, fc := range machine.Figure5Configs {
+		add(ConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, fc.Issue, fc.Mem))
+	}
+	// Figure 2 uses dyn-w4 at 8/A single vs enlarged, already included.
+	return out
+}
+
+func fmtCell(v float64) string {
+	if math.IsNaN(v) {
+		return "     -"
+	}
+	return fmt.Sprintf("%6.2f", v)
+}
+
+// Figure3 renders retired nodes per cycle versus issue model (memory
+// configuration A), one column per curve — the paper's Figure 3.
+func Figure3(r *Results, benches []string) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: nodes/cycle vs issue model (memory config A, geometric mean over benchmarks)\n")
+	curves := Curves()
+	sb.WriteString("issue ")
+	for _, c := range curves {
+		fmt.Fprintf(&sb, " %16s", c)
+	}
+	sb.WriteByte('\n')
+	for _, im := range machine.IssueModels {
+		fmt.Fprintf(&sb, "%-6s", im)
+		for _, c := range curves {
+			v := r.GeoMeanNPC(benches, ConfigFor(c, im.ID, 'A'))
+			fmt.Fprintf(&sb, " %16s", fmtCell(v))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure4 renders retired nodes per cycle versus memory configuration
+// (issue model 8) in the paper's axis order A D E B F G C.
+func Figure4(r *Results, benches []string) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: nodes/cycle vs memory config (issue model 8, geometric mean over benchmarks)\n")
+	curves := Curves()
+	sb.WriteString("mem   ")
+	for _, c := range curves {
+		fmt.Fprintf(&sb, " %16s", c)
+	}
+	sb.WriteByte('\n')
+	for _, id := range machine.FigureOrderMem {
+		mc, _ := machine.MemConfigByID(id)
+		fmt.Fprintf(&sb, "%-6s", mc)
+		for _, c := range curves {
+			v := r.GeoMeanNPC(benches, ConfigFor(c, 8, id))
+			fmt.Fprintf(&sb, " %16s", fmtCell(v))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure5 renders per-benchmark performance across the 14 composite
+// configurations (dynamic scheduling, window 4, enlarged blocks).
+func Figure5(r *Results, benches []string) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: nodes/cycle per benchmark across composite configurations (dyn-w4, enlarged)\n")
+	sb.WriteString("config")
+	for _, b := range benches {
+		fmt.Fprintf(&sb, " %10s", b)
+	}
+	sb.WriteByte('\n')
+	for _, fc := range machine.Figure5Configs {
+		cfg := ConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, fc.Issue, fc.Mem)
+		fmt.Fprintf(&sb, "%d%c    ", fc.Issue, fc.Mem)
+		for _, b := range benches {
+			s := r.Get(KeyOf(b, cfg))
+			if s == nil {
+				fmt.Fprintf(&sb, " %10s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %10.2f", s.Speed())
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure6 renders operation redundancy (discarded/executed) versus issue
+// model (memory configuration A) — the paper's Figure 6, whose curve order
+// is the reverse of Figure 3's.
+func Figure6(r *Results, benches []string) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: operation redundancy vs issue model (memory config A, mean over benchmarks)\n")
+	curves := Curves()
+	sb.WriteString("issue ")
+	for _, c := range curves {
+		fmt.Fprintf(&sb, " %16s", c)
+	}
+	sb.WriteByte('\n')
+	for _, im := range machine.IssueModels {
+		fmt.Fprintf(&sb, "%-6s", im)
+		for _, c := range curves {
+			v := r.MeanRedundancy(benches, ConfigFor(c, im.ID, 'A'))
+			fmt.Fprintf(&sb, " %16s", fmtCell(v))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WindowSweep lists the window depths of the extension figure.
+var WindowSweep = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// WindowConfigs returns the configurations behind FigureWindow.
+func WindowConfigs() []machine.Config {
+	var out []machine.Config
+	for _, w := range WindowSweep {
+		for _, bm := range []machine.BranchMode{machine.SingleBB, machine.EnlargedBB} {
+			for _, pk := range []machine.PredictorKind{machine.TwoBit, machine.GSharePredictor} {
+				cfg := ConfigFor(Curve{machine.Dyn256, bm}, 8, 'A')
+				cfg.WindowOverride = w
+				cfg.Predictor = pk
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// FigureWindow renders the extension figure this reproduction adds: work-
+// normalized nodes/cycle versus window depth at issue model 8, memory A,
+// for single/enlarged blocks under the 2-bit and gshare predictors. It
+// interpolates between the paper's 1/4/256 window points.
+func FigureWindow(r *Results, benches []string) string {
+	var sb strings.Builder
+	sb.WriteString("Extension figure: nodes/cycle vs window depth (issue model 8, memory A)\n")
+	sb.WriteString("window   single/2bit  single/gshare  enlarged/2bit  enlarged/gshare\n")
+	for _, w := range WindowSweep {
+		fmt.Fprintf(&sb, "%-8d", w)
+		for _, bm := range []machine.BranchMode{machine.SingleBB, machine.EnlargedBB} {
+			for _, pk := range []machine.PredictorKind{machine.TwoBit, machine.GSharePredictor} {
+				cfg := ConfigFor(Curve{machine.Dyn256, bm}, 8, 'A')
+				cfg.WindowOverride = w
+				cfg.Predictor = pk
+				fmt.Fprintf(&sb, " %14s", fmtCell(r.GeoMeanNPC(benches, cfg)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure2Bins is the histogram bin width in nodes.
+const Figure2Bins = 5
+
+// Figure2 renders the dynamic basic block size histograms for single and
+// enlarged blocks (dyn-w4, issue model 8, memory configuration A),
+// aggregated over the benchmarks — the paper's Figure 2.
+func Figure2(r *Results, benches []string) string {
+	agg := func(bm machine.BranchMode) *stats.Run {
+		total := stats.New()
+		cfg := ConfigFor(Curve{machine.Dyn4, bm}, 8, 'A')
+		for _, b := range benches {
+			if s := r.Get(KeyOf(b, cfg)); s != nil {
+				total.Merge(s)
+			}
+		}
+		return total
+	}
+	single := agg(machine.SingleBB)
+	enlarged := agg(machine.EnlargedBB)
+	const maxSize = 60
+	hs := single.Histogram(Figure2Bins, maxSize)
+	he := enlarged.Histogram(Figure2Bins, maxSize)
+
+	var sb strings.Builder
+	sb.WriteString("Figure 2: dynamic basic block size histogram (fraction of retired blocks)\n")
+	sb.WriteString("size        single  enlarged\n")
+	for i := range hs {
+		lo := i * Figure2Bins
+		hi := lo + Figure2Bins - 1
+		label := fmt.Sprintf("%d-%d", lo, hi)
+		if i == len(hs)-1 {
+			label = fmt.Sprintf("%d+", lo)
+		}
+		fmt.Fprintf(&sb, "%-10s %7.3f %9.3f\n", label, hs[i], he[i])
+	}
+	fmt.Fprintf(&sb, "mean size  %7.2f %9.2f\n", single.MeanBlockSize(), enlarged.MeanBlockSize())
+	return sb.String()
+}

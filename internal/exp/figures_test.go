@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"fgpsim/internal/machine"
+	"fgpsim/internal/stats"
+)
+
+// fakeResults builds a synthetic grid where speed is a known function of
+// the configuration, so figure extraction can be checked cell by cell.
+func fakeResults(benches []string) *Results {
+	r := &Results{Runs: make(map[Key]*stats.Run)}
+	for _, b := range benches {
+		for _, cfg := range machine.Grid() {
+			s := stats.New()
+			s.Cycles = 1000
+			// speed = issue id + position of mem config + a branch bonus.
+			bonus := int64(0)
+			if cfg.Branch == machine.EnlargedBB {
+				bonus = 100
+			}
+			s.RetiredNodes = int64(cfg.Issue.ID)*1000 + bonus
+			s.ExecutedNodes = s.RetiredNodes + 50
+			s.DiscardedNodes = 50
+			s.RecordBlock(int(5 + bonus/20))
+			r.Runs[KeyOf(b, cfg)] = s
+		}
+	}
+	return r
+}
+
+func TestGeoMeanAndRedundancyExtraction(t *testing.T) {
+	benches := []string{"a", "b"}
+	r := fakeResults(benches)
+	cfg := ConfigFor(Curve{machine.Dyn4, machine.SingleBB}, 4, 'A')
+	if got := r.GeoMeanNPC(benches, cfg); got != 4.0 {
+		t.Errorf("GeoMeanNPC = %v, want 4.0", got)
+	}
+	cfgE := ConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, 4, 'A')
+	if got := r.GeoMeanNPC(benches, cfgE); got != 4.1 {
+		t.Errorf("GeoMeanNPC enlarged = %v, want 4.1", got)
+	}
+	red := r.MeanRedundancy(benches, cfg)
+	want := 50.0 / 4050.0
+	if red < want*0.99 || red > want*1.01 {
+		t.Errorf("MeanRedundancy = %v, want %v", red, want)
+	}
+}
+
+func TestFigureTablesContainExpectedCells(t *testing.T) {
+	benches := []string{"x"}
+	r := fakeResults(benches)
+	f3 := Figure3(r, benches)
+	if !strings.Contains(f3, "8.00") || !strings.Contains(f3, "1.00") {
+		t.Errorf("figure 3 missing expected cells:\n%s", f3)
+	}
+	// Row order: the first data row is the sequential model.
+	lines := strings.Split(f3, "\n")
+	if !strings.HasPrefix(lines[2], "seq") {
+		t.Errorf("figure 3 first row = %q, want seq", lines[2])
+	}
+	if !strings.HasPrefix(lines[9], "4M12A") {
+		t.Errorf("figure 3 last row = %q, want 4M12A", lines[9])
+	}
+
+	f4 := Figure4(r, benches)
+	rows := strings.Split(f4, "\n")
+	wantOrder := []string{"A", "D", "E", "B", "F", "G", "C"}
+	for i, w := range wantOrder {
+		if !strings.HasPrefix(rows[2+i], w) {
+			t.Errorf("figure 4 row %d = %q, want config %s first", i, rows[2+i], w)
+		}
+	}
+
+	f5 := Figure5(r, benches)
+	if !strings.Contains(f5, "1A") || !strings.Contains(f5, "8G") {
+		t.Errorf("figure 5 missing composite configs:\n%s", f5)
+	}
+
+	f6 := Figure6(r, benches)
+	if !strings.Contains(f6, "0.01") {
+		t.Errorf("figure 6 missing redundancy cells:\n%s", f6)
+	}
+
+	f2 := Figure2(r, benches)
+	if !strings.Contains(f2, "mean size") {
+		t.Errorf("figure 2 missing mean row:\n%s", f2)
+	}
+}
+
+func TestMissingDataRendersDash(t *testing.T) {
+	r := &Results{Runs: make(map[Key]*stats.Run)}
+	f3 := Figure3(r, []string{"none"})
+	if !strings.Contains(f3, "-") {
+		t.Error("missing data should render as dashes")
+	}
+}

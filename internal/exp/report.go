@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"fgpsim/internal/machine"
+)
+
+// WriteReport renders a markdown report of a measured figure sweep: every
+// figure table plus an automated check of the paper's headline claims
+// against the measured numbers. cmd/figures -report writes it; it is how
+// EXPERIMENTS.md-style documents are regenerated from fresh runs.
+func (r *Results) WriteReport(w io.Writer, benches []string) error {
+	var b strings.Builder
+	b.WriteString("# Measured reproduction report\n\n")
+	fmt.Fprintf(&b, "Benchmarks: %s. Metric: work-normalized nodes/cycle\n", strings.Join(benches, ", "))
+	b.WriteString("(original-program nodes / cycles), geometric mean across benchmarks.\n\n")
+
+	for _, fig := range []struct {
+		title  string
+		render func(*Results, []string) string
+	}{
+		{"Figure 2", Figure2},
+		{"Figure 3", Figure3},
+		{"Figure 4", Figure4},
+		{"Figure 5", Figure5},
+		{"Figure 6", Figure6},
+	} {
+		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n", fig.title, fig.render(r, benches))
+	}
+
+	b.WriteString("## Claim checks\n\n")
+	for _, c := range r.CheckClaims(benches) {
+		mark := "PASS"
+		if !c.Holds {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "- [%s] %s — %s\n", mark, c.Claim, c.Detail)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ClaimResult is one automated check of a paper claim.
+type ClaimResult struct {
+	Claim  string
+	Detail string
+	Holds  bool
+}
+
+// CheckClaims evaluates the paper's qualitative claims against the
+// measured figure data. NaN cells (missing runs) fail their claims.
+func (r *Results) CheckClaims(benches []string) []ClaimResult {
+	at := func(c Curve, issue int, mem byte) float64 {
+		return r.GeoMeanNPC(benches, ConfigFor(c, issue, mem))
+	}
+	red := func(c Curve, issue int, mem byte) float64 {
+		return r.MeanRedundancy(benches, ConfigFor(c, issue, mem))
+	}
+	var out []ClaimResult
+	add := func(claim string, holds bool, detail string) {
+		out = append(out, ClaimResult{Claim: claim, Detail: detail, Holds: holds})
+	}
+	ok := func(vs ...float64) bool {
+		for _, v := range vs {
+			if math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+
+	staticS := Curve{machine.Static, machine.SingleBB}
+	dyn1S := Curve{machine.Dyn1, machine.SingleBB}
+	dyn4S := Curve{machine.Dyn4, machine.SingleBB}
+	dyn1E := Curve{machine.Dyn1, machine.EnlargedBB}
+	dyn4E := Curve{machine.Dyn4, machine.EnlargedBB}
+	dyn256E := Curve{machine.Dyn256, machine.EnlargedBB}
+	dyn256P := Curve{machine.Dyn256, machine.Perfect}
+
+	// Narrow words: little variation.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range Curves() {
+		v := at(c, 2, 'A')
+		if math.IsNaN(v) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	add("narrow words show little variation among schemes",
+		hi > 0 && hi/lo < 1.6,
+		fmt.Sprintf("issue model 2 spread %.2f-%.2f (%.2fx)", lo, hi, hi/lo))
+
+	// Wide words: large variation.
+	wideLo, wideHi := at(staticS, 8, 'A'), at(dyn256P, 8, 'A')
+	add("wide words show large variation",
+		ok(wideLo, wideHi) && wideHi/wideLo > 2,
+		fmt.Sprintf("issue model 8: %.2f vs %.2f", wideLo, wideHi))
+
+	// Window 1 does little better than static.
+	s, w1 := at(staticS, 8, 'A'), at(dyn1S, 8, 'A')
+	add("window 1 does little better than static",
+		ok(s, w1) && w1 >= s*0.95 && w1 <= s*1.5,
+		fmt.Sprintf("static %.2f, dyn-w1 %.2f", s, w1))
+
+	// Window 4 close to window 256.
+	w4, w256 := at(dyn4E, 8, 'A'), at(dyn256E, 8, 'A')
+	add("window 4 comes close to window 256 (enlarged)",
+		ok(w4, w256) && w4 >= w256*0.9,
+		fmt.Sprintf("w4 %.2f vs w256 %.2f", w4, w256))
+
+	// Enlargement helps every discipline at wide issue.
+	helps := true
+	detail := ""
+	for _, d := range machine.Disciplines {
+		sv := at(Curve{d, machine.SingleBB}, 8, 'A')
+		ev := at(Curve{d, machine.EnlargedBB}, 8, 'A')
+		if !ok(sv, ev) || ev <= sv {
+			helps = false
+		}
+		detail += fmt.Sprintf("%s %.2f->%.2f ", d, sv, ev)
+	}
+	add("enlargement benefits every discipline at issue 8", helps, strings.TrimSpace(detail))
+
+	// Enlarged window-1 below single window-4.
+	e1, s4 := at(dyn1E, 8, 'A'), at(dyn4S, 8, 'A')
+	add("enlarged window-1 stays below single window-4",
+		ok(e1, s4) && e1 < s4,
+		fmt.Sprintf("enlarged w1 %.2f vs single w4 %.2f", e1, s4))
+
+	// Latency tolerance: percentage drop A->C similar for top and bottom.
+	topA, topC := at(dyn256E, 8, 'A'), at(dyn256E, 8, 'C')
+	botA, botC := at(staticS, 8, 'A'), at(staticS, 8, 'C')
+	if ok(topA, topC, botA, botC) {
+		dropTop := 1 - topC/topA
+		dropBot := 1 - botC/botA
+		add("memory-latency slopes are similar percentage-wise",
+			math.Abs(dropTop-dropBot) < 0.15,
+			fmt.Sprintf("A->C drop: top curve %.0f%%, bottom curve %.0f%%", dropTop*100, dropBot*100))
+	} else {
+		add("memory-latency slopes are similar percentage-wise", false, "missing data")
+	}
+
+	// Redundancy ordering: deep speculation discards more.
+	r4, r256 := red(dyn4E, 8, 'A'), red(dyn256E, 8, 'A')
+	add("deeper windows discard more work at similar performance",
+		ok(r4, r256) && r256 > r4 && ok(w4, w256) && w4 >= w256*0.9,
+		fmt.Sprintf("redundancy w4 %.2f vs w256 %.2f at %.2f vs %.2f nodes/cycle", r4, r256, w4, w256))
+
+	// Speedup band: best realistic machine over sequential static.
+	seq := at(staticS, 1, 'A')
+	best := at(dyn256E, 8, 'A')
+	add("speedups of 3-6x on realistic processors",
+		ok(seq, best) && best/seq >= 3 && best/seq <= 7,
+		fmt.Sprintf("%.1fx over the sequential static machine", best/seq))
+
+	return out
+}

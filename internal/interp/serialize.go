@@ -1,0 +1,81 @@
+package interp
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"fgpsim/internal/ir"
+)
+
+// profileJSON is the on-disk form of a Profile (map keys with struct types
+// cannot be JSON object keys, so arcs are flattened).
+type profileJSON struct {
+	Arcs     []arcJSON            `json:"arcs"`
+	Taken    map[ir.BlockID]int64 `json:"taken"`
+	NotTaken map[ir.BlockID]int64 `json:"notTaken"`
+	Blocks   map[ir.BlockID]int64 `json:"blocks"`
+}
+
+type arcJSON struct {
+	From ir.BlockID `json:"from"`
+	To   ir.BlockID `json:"to"`
+	N    int64      `json:"n"`
+}
+
+// Marshal serializes a profile (the statistics file the paper's tools pass
+// between the simulator and the enlargement builder).
+func (p *Profile) Marshal() ([]byte, error) {
+	pj := profileJSON{
+		Taken:    p.Taken,
+		NotTaken: p.NotTaken,
+		Blocks:   p.Blocks,
+	}
+	for a, n := range p.Arcs {
+		pj.Arcs = append(pj.Arcs, arcJSON{a.From, a.To, n})
+	}
+	return json.MarshalIndent(&pj, "", " ")
+}
+
+// UnmarshalProfile parses a serialized profile.
+func UnmarshalProfile(data []byte) (*Profile, error) {
+	var pj profileJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return nil, err
+	}
+	p := NewProfile()
+	if pj.Taken != nil {
+		p.Taken = pj.Taken
+	}
+	if pj.NotTaken != nil {
+		p.NotTaken = pj.NotTaken
+	}
+	if pj.Blocks != nil {
+		p.Blocks = pj.Blocks
+	}
+	for _, a := range pj.Arcs {
+		p.Arcs[Arc{a.From, a.To}] = a.N
+	}
+	return p, nil
+}
+
+// MarshalTrace encodes a dynamic block trace as little-endian 32-bit IDs.
+func MarshalTrace(trace []ir.BlockID) []byte {
+	out := make([]byte, 4*len(trace))
+	for i, id := range trace {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(id))
+	}
+	return out
+}
+
+// UnmarshalTrace decodes a trace written by MarshalTrace.
+func UnmarshalTrace(data []byte) ([]ir.BlockID, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("interp: trace length %d not a multiple of 4", len(data))
+	}
+	trace := make([]ir.BlockID, len(data)/4)
+	for i := range trace {
+		trace[i] = ir.BlockID(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return trace, nil
+}

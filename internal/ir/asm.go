@@ -1,0 +1,611 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Textual node-program format ("assembly"). Disassemble renders a complete
+// program — header, data segment, functions, blocks — and Assemble parses
+// it back; the two round-trip exactly. The per-node syntax matches
+// Node.String, so dumps are valid assembly bodies. The format exists so
+// node programs can be written by hand, diffed, and fed to cmd/tld without
+// going through MiniC.
+//
+//	program memsize=8388608 entry=f1 database=4096
+//	data 0 "hello\x00world"
+//	func main (f0) args=1 frame=16 entry=b0
+//	b0:
+//		r5 = const 42
+//		r6 = ld [r5+0]
+//		st [r5+4] = r6
+//		assert r6==true else b2
+//		br r6 -> b1 | fall b2
+//	b1:
+//		ret
+//	b2:
+//		halt
+
+// Disassemble renders the program as assembly text.
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program memsize=%d entry=f%d database=%d\n", p.MemSize, p.Entry, p.DataBase)
+	// Data in bounded-width chunks, skipping zero runs.
+	const chunk = 32
+	for off := 0; off < len(p.Data); off += chunk {
+		end := off + chunk
+		if end > len(p.Data) {
+			end = len(p.Data)
+		}
+		seg := p.Data[off:end]
+		allZero := true
+		for _, b := range seg {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		fmt.Fprintf(&sb, "data %d %s\n", off, strconv.QuoteToASCII(string(seg)))
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(p.DumpFunc(f))
+	}
+	return sb.String()
+}
+
+// asmParser parses assembly text. Blocks may appear in any order and with
+// gaps in their IDs (dumps of optimized programs have both: pruning leaves
+// holes, enlargement appends high IDs to earlier functions); the arena is
+// assembled in a second phase, with unreferenced holes filled by inert
+// halt blocks.
+type asmParser struct {
+	lines  []string
+	pos    int
+	prog   *Program
+	blocks map[BlockID]*Block
+	owner  map[BlockID]FuncID
+	order  map[FuncID][]BlockID
+	maxID  BlockID
+}
+
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e *asmError) Error() string { return fmt.Sprintf("ir: asm line %d: %s", e.line, e.msg) }
+
+// Assemble parses assembly text into a program and validates it.
+func Assemble(src string) (*Program, error) {
+	ap := &asmParser{
+		lines:  strings.Split(src, "\n"),
+		blocks: make(map[BlockID]*Block),
+		owner:  make(map[BlockID]FuncID),
+		order:  make(map[FuncID][]BlockID),
+	}
+	if err := ap.parse(); err != nil {
+		return nil, err
+	}
+	if err := ap.link(); err != nil {
+		return nil, err
+	}
+	if err := ap.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return ap.prog, nil
+}
+
+// link builds the block arena and per-function lists from the parsed map.
+func (ap *asmParser) link() error {
+	p := ap.prog
+	if len(ap.blocks) == 0 {
+		return ap.errf("program has no blocks")
+	}
+	p.Blocks = make([]*Block, int(ap.maxID)+1)
+	for id, b := range ap.blocks {
+		b.ID = id
+		b.Fn = ap.owner[id]
+		if b.Orig < 0 {
+			b.Orig = id
+		}
+		p.Blocks[id] = b
+	}
+	for id := range p.Blocks {
+		if p.Blocks[id] == nil {
+			// Hole: fill with an inert block owned by function 0.
+			p.Blocks[id] = &Block{
+				ID: BlockID(id), Orig: BlockID(id),
+				Term: Node{Op: Halt}, Fall: NoBlock,
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		f.Blocks = ap.order[f.ID]
+	}
+	return nil
+}
+
+func (ap *asmParser) errf(format string, args ...any) error {
+	return &asmError{line: ap.pos, msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next significant line (trimmed), or "" at EOF.
+func (ap *asmParser) next() string {
+	for ap.pos < len(ap.lines) {
+		line := strings.TrimSpace(ap.lines[ap.pos])
+		ap.pos++
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line
+	}
+	return ""
+}
+
+func (ap *asmParser) peek() string {
+	save := ap.pos
+	line := ap.next()
+	ap.pos = save
+	return line
+}
+
+// kvInt extracts "key=<int>" from a fields list.
+func kvInt(fields []string, key string) (int64, bool) {
+	for _, f := range fields {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			n, err := strconv.ParseInt(strings.TrimPrefix(v, "b"), 10, 64)
+			if err != nil {
+				return 0, false
+			}
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+func kvID(fields []string, key string, prefix string) (int64, bool) {
+	for _, f := range fields {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			v = strings.TrimPrefix(v, prefix)
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return 0, false
+			}
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+func (ap *asmParser) parse() error {
+	header := ap.next()
+	if !strings.HasPrefix(header, "program ") {
+		return ap.errf("expected 'program' header, got %q", header)
+	}
+	fields := strings.Fields(header)[1:]
+	memSize, ok := kvInt(fields, "memsize")
+	if !ok {
+		return ap.errf("program header needs memsize=")
+	}
+	entry, ok := kvID(fields, "entry", "f")
+	if !ok {
+		return ap.errf("program header needs entry=fN")
+	}
+	dataBase, ok := kvInt(fields, "database")
+	if !ok {
+		return ap.errf("program header needs database=")
+	}
+	ap.prog = &Program{MemSize: memSize, Entry: FuncID(entry), DataBase: dataBase}
+
+	for {
+		line := ap.next()
+		if line == "" {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "data "):
+			if err := ap.parseData(line); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "func "):
+			if err := ap.parseFunc(line); err != nil {
+				return err
+			}
+		default:
+			return ap.errf("unexpected line %q", line)
+		}
+	}
+	if int(ap.prog.Entry) >= len(ap.prog.Funcs) {
+		return ap.errf("entry function f%d undefined", ap.prog.Entry)
+	}
+	return nil
+}
+
+func (ap *asmParser) parseData(line string) error {
+	rest := strings.TrimPrefix(line, "data ")
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return ap.errf("data needs offset and string")
+	}
+	off, err := strconv.Atoi(rest[:sp])
+	if err != nil || off < 0 {
+		return ap.errf("bad data offset %q", rest[:sp])
+	}
+	s, err := strconv.Unquote(strings.TrimSpace(rest[sp+1:]))
+	if err != nil {
+		return ap.errf("bad data string: %v", err)
+	}
+	p := ap.prog
+	if need := off + len(s); need > len(p.Data) {
+		p.Data = append(p.Data, make([]byte, need-len(p.Data))...)
+	}
+	copy(p.Data[off:], s)
+	return nil
+}
+
+// funcHeaderRE-ish parsing: "func NAME (fN) args=N frame=N entry=bN".
+func (ap *asmParser) parseFunc(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return ap.errf("malformed func header %q", line)
+	}
+	name := fields[1]
+	idStr := strings.Trim(fields[2], "()")
+	if !strings.HasPrefix(idStr, "f") {
+		return ap.errf("func header needs (fN)")
+	}
+	id, err := strconv.Atoi(idStr[1:])
+	if err != nil {
+		return ap.errf("bad function id %q", idStr)
+	}
+	if id != len(ap.prog.Funcs) {
+		return ap.errf("function ids must be dense and ordered: got f%d, want f%d", id, len(ap.prog.Funcs))
+	}
+	args, _ := kvInt(fields[3:], "args")
+	frame, _ := kvInt(fields[3:], "frame")
+	entry, ok := kvID(fields[3:], "entry", "b")
+	if !ok {
+		return ap.errf("func header needs entry=bN")
+	}
+	f := &Func{
+		ID:        FuncID(id),
+		Name:      name,
+		NumArgs:   int(args),
+		FrameSize: int32(frame),
+		Entry:     BlockID(entry),
+	}
+	ap.prog.Funcs = append(ap.prog.Funcs, f)
+
+	// Blocks until the next func/data/EOF.
+	for {
+		line := ap.peek()
+		if line == "" || strings.HasPrefix(line, "func ") || strings.HasPrefix(line, "data ") {
+			return nil
+		}
+		ap.next()
+		if err := ap.parseBlock(f, line); err != nil {
+			return err
+		}
+	}
+}
+
+// parseBlock parses "bN:" plus its nodes and terminator.
+func (ap *asmParser) parseBlock(f *Func, label string) error {
+	orig := BlockID(-1)
+	if i := strings.Index(label, " "); i > 0 {
+		// Optional "(from bN)" annotation on enlarged blocks.
+		ann := strings.TrimSpace(label[i:])
+		if from, ok := strings.CutPrefix(ann, "(from b"); ok {
+			n, err := strconv.Atoi(strings.TrimSuffix(from, ")"))
+			if err == nil {
+				orig = BlockID(n)
+			}
+		}
+		label = label[:i]
+	}
+	label = strings.TrimSuffix(label, ":")
+	if !strings.HasPrefix(label, "b") {
+		return ap.errf("expected block label, got %q", label)
+	}
+	id, err := strconv.Atoi(label[1:])
+	if err != nil || id < 0 {
+		return ap.errf("bad block label %q", label)
+	}
+	if _, dup := ap.blocks[BlockID(id)]; dup {
+		return ap.errf("duplicate block b%d", id)
+	}
+	b := &Block{Fall: NoBlock, Orig: orig} // -1 = "self", resolved at link
+	ap.blocks[BlockID(id)] = b
+	ap.owner[BlockID(id)] = f.ID
+	ap.order[f.ID] = append(ap.order[f.ID], BlockID(id))
+	if BlockID(id) > ap.maxID {
+		ap.maxID = BlockID(id)
+	}
+
+	for {
+		line := ap.peek()
+		if line == "" {
+			return ap.errf("block b%d has no terminator", id)
+		}
+		ap.next()
+		node, fall, isTerm, err := ap.parseNode(line)
+		if err != nil {
+			return err
+		}
+		if isTerm {
+			b.Term = node
+			b.Fall = fall
+			return nil
+		}
+		b.Body = append(b.Body, node)
+	}
+}
+
+func parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseBlockRef(s string) (BlockID, error) {
+	if !strings.HasPrefix(s, "b") {
+		return 0, fmt.Errorf("expected block ref, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad block ref %q", s)
+	}
+	return BlockID(n), nil
+}
+
+// parseMemOperand parses "[rA+imm]" / "[rA-imm]".
+func parseMemOperand(s string) (Reg, int64, error) {
+	s = strings.TrimPrefix(strings.TrimSuffix(s, "]"), "[")
+	i := strings.IndexAny(s, "+-")
+	if i < 0 {
+		r, err := parseReg(s)
+		return r, 0, err
+	}
+	r, err := parseReg(s[:i])
+	if err != nil {
+		return 0, 0, err
+	}
+	imm, err := strconv.ParseInt(s[i:], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad memory offset in %q", s)
+	}
+	return r, imm, nil
+}
+
+var asmBinOps = map[string]Op{
+	"add": Add, "sub": Sub, "mul": Mul, "div": Div, "rem": Rem,
+	"and": And, "or": Or, "xor": Xor, "shl": Shl, "shr": Shr,
+	"eq": Eq, "ne": Ne, "lt": Lt, "le": Le, "gt": Gt, "ge": Ge,
+}
+
+// parseNode parses one node line (terminator lines also yield the fall
+// block).
+func (ap *asmParser) parseNode(line string) (n Node, fall BlockID, isTerm bool, err error) {
+	fall = NoBlock
+	fail := func(format string, args ...any) (Node, BlockID, bool, error) {
+		return Node{}, NoBlock, false, ap.errf(format, args...)
+	}
+
+	// Terminator fall annotation: "... | fall bN".
+	if i := strings.Index(line, " | fall "); i >= 0 {
+		fb, err := parseBlockRef(strings.TrimSpace(line[i+8:]))
+		if err != nil {
+			return fail("%v", err)
+		}
+		fall = fb
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return fail("empty node")
+	}
+
+	switch fields[0] {
+	case "jmp":
+		if len(fields) != 2 {
+			return fail("jmp needs a target")
+		}
+		t, err := parseBlockRef(fields[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Node{Op: Jmp, Target: t}, fall, true, nil
+	case "br":
+		// br rA -> bN
+		if len(fields) != 4 || fields[2] != "->" {
+			return fail("br syntax: br rA -> bN")
+		}
+		a, err := parseReg(fields[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		t, err := parseBlockRef(fields[3])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Node{Op: Br, A: a, Target: t}, fall, true, nil
+	case "call":
+		if len(fields) != 2 || !strings.HasPrefix(fields[1], "f") {
+			return fail("call syntax: call fN")
+		}
+		id, err := strconv.Atoi(fields[1][1:])
+		if err != nil {
+			return fail("bad callee %q", fields[1])
+		}
+		return Node{Op: Call, Callee: FuncID(id)}, fall, true, nil
+	case "ret":
+		return Node{Op: Ret}, fall, true, nil
+	case "halt":
+		return Node{Op: Halt}, fall, true, nil
+	case "st", "stb":
+		// st [rA+imm] = rB
+		if len(fields) != 4 || fields[2] != "=" {
+			return fail("store syntax: st [rA+imm] = rB")
+		}
+		a, imm, err := parseMemOperand(fields[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		b, err := parseReg(fields[3])
+		if err != nil {
+			return fail("%v", err)
+		}
+		op := St
+		if fields[0] == "stb" {
+			op = StB
+		}
+		return Node{Op: op, A: a, B: b, Imm: imm}, fall, false, nil
+	case "assert":
+		// assert rA==true else bN
+		if len(fields) != 4 || fields[2] != "else" {
+			return fail("assert syntax: assert rA==BOOL else bN")
+		}
+		cond, expectStr, ok := strings.Cut(fields[1], "==")
+		if !ok {
+			return fail("assert syntax: assert rA==BOOL else bN")
+		}
+		a, err := parseReg(cond)
+		if err != nil {
+			return fail("%v", err)
+		}
+		expect := expectStr == "true"
+		if !expect && expectStr != "false" {
+			return fail("assert expects true or false, got %q", expectStr)
+		}
+		t, err := parseBlockRef(fields[3])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Node{Op: Assert, A: a, B: NoReg, Expect: expect, Target: t}, fall, false, nil
+	}
+
+	// Assignment forms: "rD = ...".
+	if len(fields) < 3 || fields[1] != "=" {
+		return fail("unrecognized node %q", line)
+	}
+	dst, err := parseReg(fields[0])
+	if err != nil {
+		return fail("%v", err)
+	}
+	rhs := fields[2:]
+	switch rhs[0] {
+	case "const":
+		if len(rhs) != 2 {
+			return fail("const needs a value")
+		}
+		imm, err := strconv.ParseInt(rhs[1], 10, 64)
+		if err != nil {
+			return fail("bad const %q", rhs[1])
+		}
+		return Node{Op: Const, Dst: dst, A: NoReg, B: NoReg, Imm: imm}, fall, false, nil
+	case "ld", "ldb":
+		if len(rhs) != 2 {
+			return fail("load needs an address")
+		}
+		a, imm, err := parseMemOperand(rhs[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		op := Ld
+		if rhs[0] == "ldb" {
+			op = LdB
+		}
+		return Node{Op: op, Dst: dst, A: a, B: NoReg, Imm: imm}, fall, false, nil
+	case "neg", "not":
+		if len(rhs) != 2 {
+			return fail("%s needs one operand", rhs[0])
+		}
+		a, err := parseReg(rhs[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		op := Neg
+		if rhs[0] == "not" {
+			op = Not
+		}
+		return Node{Op: op, Dst: dst, A: a, B: NoReg}, fall, false, nil
+	case "addi":
+		if len(rhs) != 3 {
+			return fail("addi syntax: rD = addi rA, imm")
+		}
+		a, err := parseReg(strings.TrimSuffix(rhs[1], ","))
+		if err != nil {
+			return fail("%v", err)
+		}
+		imm, err := strconv.ParseInt(rhs[2], 10, 64)
+		if err != nil {
+			return fail("bad addi immediate %q", rhs[2])
+		}
+		return Node{Op: AddI, Dst: dst, A: a, B: NoReg, Imm: imm}, fall, false, nil
+	case "sys":
+		// rD = sys N(rA, rB)
+		rest := strings.Join(rhs[1:], " ")
+		open := strings.IndexByte(rest, '(')
+		closeP := strings.IndexByte(rest, ')')
+		if open < 0 || closeP < open {
+			return fail("sys syntax: rD = sys N(rA, rB)")
+		}
+		no, err := strconv.ParseInt(strings.TrimSpace(rest[:open]), 10, 64)
+		if err != nil {
+			return fail("bad sys number")
+		}
+		args := strings.Split(rest[open+1:closeP], ",")
+		if len(args) != 2 {
+			return fail("sys needs two argument slots")
+		}
+		parseOpt := func(s string) (Reg, error) {
+			s = strings.TrimSpace(s)
+			if s == "r-1" {
+				return NoReg, nil
+			}
+			return parseReg(s)
+		}
+		a, err := parseOpt(args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		b, err := parseOpt(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Node{Op: Sys, Dst: dst, A: a, B: b, Imm: no}, fall, false, nil
+	}
+	// Binary and mov forms.
+	if op, ok := asmBinOps[rhs[0]]; ok {
+		if len(rhs) != 3 {
+			return fail("%s syntax: rD = %s rA, rB", rhs[0], rhs[0])
+		}
+		a, err := parseReg(strings.TrimSuffix(rhs[1], ","))
+		if err != nil {
+			return fail("%v", err)
+		}
+		b, err := parseReg(rhs[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Node{Op: op, Dst: dst, A: a, B: b}, fall, false, nil
+	}
+	// "rD = rA" is a move.
+	if len(rhs) == 1 {
+		a, err := parseReg(rhs[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return Node{Op: Mov, Dst: dst, A: a, B: NoReg}, fall, false, nil
+	}
+	return fail("unrecognized node %q", line)
+}

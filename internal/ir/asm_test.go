@@ -1,0 +1,144 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const asmSample = `
+# A hand-written node program: sum input bytes, emit the low byte.
+program memsize=65536 entry=f0 database=4096
+data 0 "\x07\x00\x00\x00"
+func main (f0) args=0 frame=0 entry=b0
+b0:
+	r5 = const 0
+	r6 = const 4096
+	r7 = ld [r6+0]
+	jmp b1
+b1:
+	r8 = const 0
+	r9 = sys 1(r8, r-1)
+	r10 = ge r9, r8
+	br r10 -> b2 | fall b3
+b2:
+	r5 = add r5, r9
+	jmp b1
+b3:
+	r11 = add r5, r7
+	r12 = sys 2(r11, r-1)
+	halt
+`
+
+func TestAssembleHandWritten(t *testing.T) {
+	p, err := Assemble(asmSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 1 || p.Funcs[0].Name != "main" {
+		t.Fatalf("funcs = %v", p.Funcs)
+	}
+	if len(p.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(p.Blocks))
+	}
+	if p.Data[0] != 7 {
+		t.Errorf("data[0] = %d, want 7", p.Data[0])
+	}
+	b0 := p.Blocks[0]
+	if len(b0.Body) != 3 || b0.Term.Op != Jmp || b0.Term.Target != 1 {
+		t.Errorf("b0 parsed wrong: %v / %v", b0.Body, b0.Term)
+	}
+	b1 := p.Blocks[1]
+	if b1.Term.Op != Br || b1.Term.Target != 2 || b1.Fall != 3 {
+		t.Errorf("b1 terminator wrong: %v fall %d", b1.Term, b1.Fall)
+	}
+	if b1.Body[1].Op != Sys || b1.Body[1].Imm != 1 || b1.Body[1].B != NoReg {
+		t.Errorf("sys node wrong: %v", b1.Body[1])
+	}
+}
+
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	p, err := Assemble(asmSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := Disassemble(p)
+	p2, err := Assemble(text1)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text1)
+	}
+	text2 := Disassemble(p2)
+	if text1 != text2 {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestAssembleGapsAndAnnotations(t *testing.T) {
+	src := `
+program memsize=65536 entry=f0 database=4096
+func main (f0) args=0 frame=0 entry=b0
+b0:
+	r5 = const 1
+	jmp b7
+b7: (from b0)
+	assert r5==true else b3
+	halt
+b3:
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 8 {
+		t.Fatalf("arena size %d, want 8 (holes filled)", len(p.Blocks))
+	}
+	if p.Blocks[7].Orig != 0 {
+		t.Errorf("annotation lost: Orig = %d, want 0", p.Blocks[7].Orig)
+	}
+	// Holes are inert.
+	for _, id := range []BlockID{1, 2, 4, 5, 6} {
+		if p.Blocks[id].Term.Op != Halt {
+			t.Errorf("hole b%d not inert", id)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no header", "func main (f0) entry=b0\nb0:\n\thalt\n"},
+		{"bad entry", "program memsize=1024 entry=f9 database=0\nfunc main (f0) args=0 frame=0 entry=b0\nb0:\n\thalt\n"},
+		{"no terminator", "program memsize=1024 entry=f0 database=0\nfunc main (f0) args=0 frame=0 entry=b0\nb0:\n\tr5 = const 1\n"},
+		{"bad reg", "program memsize=1024 entry=f0 database=0\nfunc main (f0) args=0 frame=0 entry=b0\nb0:\n\tr99 = const 1\n\thalt\n"},
+		{"dup block", "program memsize=1024 entry=f0 database=0\nfunc main (f0) args=0 frame=0 entry=b0\nb0:\n\thalt\nb0:\n\thalt\n"},
+		{"garbage node", "program memsize=1024 entry=f0 database=0\nfunc main (f0) args=0 frame=0 entry=b0\nb0:\n\twibble\n\thalt\n"},
+		{"bad branch", "program memsize=1024 entry=f0 database=0\nfunc main (f0) args=0 frame=0 entry=b0\nb0:\n\tbr r5 b1\n"},
+		{"sparse funcs", "program memsize=1024 entry=f0 database=0\nfunc main (f3) args=0 frame=0 entry=b0\nb0:\n\thalt\n"},
+		{"bad data", "program memsize=1024 entry=f0 database=0\ndata 0 notquoted\nfunc main (f0) args=0 frame=0 entry=b0\nb0:\n\thalt\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Errorf("Assemble accepted %q", c.src)
+			}
+		})
+	}
+}
+
+func TestDisassembleSkipsZeroRuns(t *testing.T) {
+	p := makeTestProgram()
+	p.Data = make([]byte, 4096)
+	p.Data[100] = 0xAB
+	text := Disassemble(p)
+	if strings.Count(text, "data ") != 1 {
+		t.Errorf("expected exactly one data chunk:\n%s", text)
+	}
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Data) <= 100 || p2.Data[100] != 0xAB {
+		t.Error("sparse data lost in round trip")
+	}
+}

@@ -1,0 +1,235 @@
+// Package ir defines the node-level intermediate representation shared by
+// every tool in the reproduction: the MiniC compiler emits it, the
+// translating loader transforms and schedules it, the enlargement pass
+// rewrites it, and both simulation engines execute it.
+//
+// A Node is what the paper calls a node: an individual micro-operation.
+// Nodes are grouped into basic blocks, blocks into functions, and functions
+// into a Program. Memory nodes (loads and stores) occupy memory issue slots
+// in a multinodeword; every other node occupies an ALU slot.
+package ir
+
+import "fmt"
+
+// Reg names an architectural register. The abstract machine has NumRegs
+// general-purpose 32-bit registers. NoReg marks an unused operand slot.
+type Reg int16
+
+// Register-file geometry and the software conventions the MiniC compiler
+// follows. The simulators only care about NumRegs; the conventions live here
+// so that every tool agrees on them.
+const (
+	NumRegs = 64      // architectural register count
+	NoReg   = -1      // "no register" sentinel for unused Dst/A/B slots
+	RegRet  = Reg(1)  // function return value
+	RegSP   = Reg(63) // stack pointer
+)
+
+// BlockID names a basic block. IDs are global across the whole program (they
+// index Program.Blocks), which is what lets branch arcs, profiles, and
+// enlargement files refer to blocks without naming functions.
+type BlockID int32
+
+// FuncID names a function; it indexes Program.Funcs.
+type FuncID int32
+
+// NoBlock marks "no successor" (e.g. the fallthrough slot of a Ret).
+const NoBlock = BlockID(-1)
+
+// InitialSP is the stack pointer value at program entry for a machine with
+// the given memory size. Every engine and the functional interpreter must
+// agree on it so runs are bit-identical.
+func InitialSP(memSize int64) int32 { return int32(memSize - 64) }
+
+// Node is a single micro-operation. The operand fields are interpreted
+// per-opcode; see the Op constants. A node either occupies a memory slot
+// (loads and stores) or an ALU slot (everything else) of a multinodeword.
+type Node struct {
+	Op  Op
+	Dst Reg // result register, or NoReg
+	A   Reg // first source, or NoReg
+	B   Reg // second source, or NoReg
+
+	// Imm is the immediate: the literal for Const, the address offset for
+	// memory nodes, and the system-call number for Sys.
+	Imm int64
+
+	// Target is the taken target for Br, the target for Jmp, and the
+	// fault-to block for Assert.
+	Target BlockID
+
+	// Expect is the direction an Assert asserts: true means "A must be
+	// nonzero (branch would have been taken)". An Assert whose condition
+	// disagrees with Expect signals a fault and control transfers to Target
+	// after the enclosing block's work is discarded.
+	Expect bool
+
+	// Callee is the called function for Call terminators.
+	Callee FuncID
+}
+
+// Block is a basic block: a straight-line body (which may contain Assert
+// nodes in enlarged code) ended by exactly one terminator node.
+type Block struct {
+	ID   BlockID
+	Fn   FuncID
+	Body []Node
+
+	// Term is the terminator: Br, Jmp, Call, Ret, or Halt.
+	Term Node
+
+	// Fall is the not-taken successor of a Br and the return-continuation
+	// block of a Call; NoBlock otherwise.
+	Fall BlockID
+
+	// Orig is the entry block this block was enlarged from, or the block's
+	// own ID for original code. Profiling and the block-size histograms key
+	// on it.
+	Orig BlockID
+}
+
+// NumNodes reports how many nodes the block contributes to the dynamic node
+// count: its body plus the terminator.
+func (b *Block) NumNodes() int { return len(b.Body) + 1 }
+
+// Succs returns the possible control successors of the block's terminator
+// (not counting Assert fault edges, which are recorded per-node). Call
+// returns the callee entry implicitly; here it reports the continuation.
+func (b *Block) Succs() []BlockID {
+	switch b.Term.Op {
+	case Br:
+		return []BlockID{b.Term.Target, b.Fall}
+	case Jmp:
+		return []BlockID{b.Term.Target}
+	case Call:
+		return []BlockID{b.Fall}
+	default:
+		return nil
+	}
+}
+
+// Func is a compiled function.
+type Func struct {
+	ID    FuncID
+	Name  string
+	Entry BlockID
+	// Blocks lists the function's blocks in layout order (entry first).
+	Blocks []BlockID
+	// FrameSize is the byte size of the stack frame the prologue allocates.
+	FrameSize int32
+	// NumArgs is the number of word-sized arguments passed on the stack.
+	NumArgs int
+}
+
+// Program is a complete translated program: the unit the translating loader
+// consumes and the simulators execute.
+type Program struct {
+	Funcs  []*Func
+	Blocks []*Block // indexed by BlockID
+	Entry  FuncID
+
+	// Data is the initial data segment image, loaded at DataBase.
+	Data     []byte
+	DataBase int64
+
+	// MemSize is the size of the flat simulated memory in bytes; the stack
+	// grows down from MemSize.
+	MemSize int64
+}
+
+// Block returns the block with the given ID.
+func (p *Program) Block(id BlockID) *Block { return p.Blocks[id] }
+
+// Func returns the function with the given ID.
+func (p *Program) Func(id FuncID) *Func { return p.Funcs[id] }
+
+// FuncByName returns the function with the given name, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// AddBlock appends a block to the program arena, assigns its ID, and
+// registers it with its function. Orig is set to the block's own ID; passes
+// that clone blocks (the enlarger) overwrite it afterwards.
+func (p *Program) AddBlock(fn FuncID, b *Block) BlockID {
+	id := BlockID(len(p.Blocks))
+	b.ID = id
+	b.Fn = fn
+	b.Orig = id
+	p.Blocks = append(p.Blocks, b)
+	if int(fn) < len(p.Funcs) {
+		p.Funcs[fn].Blocks = append(p.Funcs[fn].Blocks, id)
+	}
+	return id
+}
+
+// NumNodes reports the static node count of the whole program.
+func (p *Program) NumNodes() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += b.NumNodes()
+	}
+	return n
+}
+
+// StaticMix reports the static counts of memory-slot and ALU-slot nodes,
+// the ratio the paper reports as "about 2.5 to one" (ALU to memory).
+func (p *Program) StaticMix() (mem, alu int) {
+	for _, b := range p.Blocks {
+		for i := range b.Body {
+			if b.Body[i].Op.IsMem() {
+				mem++
+			} else {
+				alu++
+			}
+		}
+		alu++ // terminator
+	}
+	return mem, alu
+}
+
+func (n Node) String() string {
+	switch n.Op {
+	case Const:
+		return fmt.Sprintf("r%d = const %d", n.Dst, n.Imm)
+	case Mov:
+		return fmt.Sprintf("r%d = r%d", n.Dst, n.A)
+	case Ld:
+		return fmt.Sprintf("r%d = ld [r%d%+d]", n.Dst, n.A, n.Imm)
+	case LdB:
+		return fmt.Sprintf("r%d = ldb [r%d%+d]", n.Dst, n.A, n.Imm)
+	case St:
+		return fmt.Sprintf("st [r%d%+d] = r%d", n.A, n.Imm, n.B)
+	case StB:
+		return fmt.Sprintf("stb [r%d%+d] = r%d", n.A, n.Imm, n.B)
+	case Br:
+		return fmt.Sprintf("br r%d -> b%d", n.A, n.Target)
+	case Jmp:
+		return fmt.Sprintf("jmp b%d", n.Target)
+	case Call:
+		return fmt.Sprintf("call f%d", n.Callee)
+	case Ret:
+		return "ret"
+	case Halt:
+		return "halt"
+	case Assert:
+		return fmt.Sprintf("assert r%d==%v else b%d", n.A, n.Expect, n.Target)
+	case Sys:
+		return fmt.Sprintf("r%d = sys %d(r%d, r%d)", n.Dst, n.Imm, n.A, n.B)
+	case AddI:
+		return fmt.Sprintf("r%d = addi r%d, %d", n.Dst, n.A, n.Imm)
+	default:
+		if n.B == NoReg {
+			if n.A == NoReg {
+				return fmt.Sprintf("r%d = %s %d", n.Dst, n.Op, n.Imm)
+			}
+			return fmt.Sprintf("r%d = %s r%d", n.Dst, n.Op, n.A)
+		}
+		return fmt.Sprintf("r%d = %s r%d, r%d", n.Dst, n.Op, n.A, n.B)
+	}
+}

@@ -1,0 +1,261 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	memOps := map[Op]bool{Ld: true, LdB: true, St: true, StB: true}
+	termOps := map[Op]bool{Br: true, Jmp: true, Call: true, Ret: true, Halt: true}
+	for op := Op(1); op < numOps; op++ {
+		if got := op.IsMem(); got != memOps[op] {
+			t.Errorf("%s.IsMem() = %v, want %v", op, got, memOps[op])
+		}
+		if got := op.IsTerm(); got != termOps[op] {
+			t.Errorf("%s.IsTerm() = %v, want %v", op, got, termOps[op])
+		}
+		if op.IsLoad() && !op.IsMem() {
+			t.Errorf("%s is a load but not a memory op", op)
+		}
+		if op.IsStore() && !op.IsMem() {
+			t.Errorf("%s is a store but not a memory op", op)
+		}
+		if op.IsPure() && (op.IsMem() || op.IsTerm() || op == Assert || op == Sys) {
+			t.Errorf("%s claims purity", op)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		if op.String() == "op?" {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if Op(200).String() != "op?" {
+		t.Errorf("out-of-range opcode should print op?")
+	}
+}
+
+func TestEvalALUBasics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int32
+		imm  int64
+		want int32
+	}{
+		{Const, 0, 0, 42, 42},
+		{Const, 0, 0, math.MaxInt64, -1}, // truncates to 32 bits
+		{Mov, 7, 0, 0, 7},
+		{Add, 2, 3, 0, 5},
+		{Add, math.MaxInt32, 1, 0, math.MinInt32}, // wraps
+		{Sub, 2, 3, 0, -1},
+		{Mul, -4, 3, 0, -12},
+		{Div, 7, 2, 0, 3},
+		{Div, -7, 2, 0, -3},
+		{Div, 7, 0, 0, 0},                          // defined: no crash
+		{Div, math.MinInt32, -1, 0, math.MinInt32}, // overflow defined
+		{Rem, 7, 3, 0, 1},
+		{Rem, 7, 0, 0, 7},
+		{Rem, math.MinInt32, -1, 0, 0},
+		{And, 0b1100, 0b1010, 0, 0b1000},
+		{Or, 0b1100, 0b1010, 0, 0b1110},
+		{Xor, 0b1100, 0b1010, 0, 0b0110},
+		{Shl, 1, 4, 0, 16},
+		{Shl, 1, 36, 0, 16}, // shift count masked to 5 bits
+		{Shr, -16, 2, 0, -4},
+		{AddI, 10, 0, -3, 7},
+		{Neg, 5, 0, 0, -5},
+		{Not, 0, 0, 0, -1},
+		{Eq, 3, 3, 0, 1},
+		{Eq, 3, 4, 0, 0},
+		{Ne, 3, 4, 0, 1},
+		{Lt, -1, 0, 0, 1},
+		{Le, 0, 0, 0, 1},
+		{Gt, 1, 0, 0, 1},
+		{Ge, -1, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b, c.imm); got != c.want {
+			t.Errorf("EvalALU(%s, %d, %d, %d) = %d, want %d", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUPanicsOnImpureOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalALU(Ld, ...) should panic")
+		}
+	}()
+	EvalALU(Ld, 0, 0, 0)
+}
+
+// Property: comparison operators return only 0 or 1, and each pairs
+// correctly with its negation.
+func TestComparisonProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		eq := EvalALU(Eq, a, b, 0)
+		ne := EvalALU(Ne, a, b, 0)
+		lt := EvalALU(Lt, a, b, 0)
+		ge := EvalALU(Ge, a, b, 0)
+		le := EvalALU(Le, a, b, 0)
+		gt := EvalALU(Gt, a, b, 0)
+		for _, v := range []int32{eq, ne, lt, ge, le, gt} {
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+		return eq+ne == 1 && lt+ge == 1 && le+gt == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: commutative ops really commute.
+func TestCommutativityProperty(t *testing.T) {
+	ops := []Op{Add, Mul, And, Or, Xor, Eq, Ne}
+	f := func(a, b int32) bool {
+		for _, op := range ops {
+			if !op.Commutes() {
+				return false
+			}
+			if EvalALU(op, a, b, 0) != EvalALU(op, b, a, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Div/Rem satisfy a*q + r == a when b != 0 (Go division identity).
+func TestDivRemIdentity(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			return EvalALU(Div, a, b, 0) == 0 && EvalALU(Rem, a, b, 0) == a
+		}
+		if a == math.MinInt32 && b == -1 {
+			return true // defined separately to avoid overflow
+		}
+		q := EvalALU(Div, a, b, 0)
+		r := EvalALU(Rem, a, b, 0)
+		return q*b+r == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func makeTestProgram() *Program {
+	p := &Program{MemSize: 1 << 20}
+	f := &Func{ID: 0, Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	b0 := &Block{
+		Body: []Node{
+			{Op: Const, Dst: 2, Imm: 1},
+			{Op: Add, Dst: 3, A: 2, B: 2},
+		},
+		Term: Node{Op: Br, A: 3, Target: 1},
+		Fall: 1,
+	}
+	p.AddBlock(0, b0)
+	b1 := &Block{Term: Node{Op: Halt}, Fall: NoBlock}
+	p.AddBlock(0, b1)
+	f.Entry = 0
+	return p
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	p := makeTestProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	break1 := func(p *Program) { p.Blocks[0].Body[0].Op = Nop }
+	break2 := func(p *Program) { p.Blocks[0].Term = Node{Op: Add, Dst: 1, A: 1, B: 1} }
+	break3 := func(p *Program) { p.Blocks[0].Body[0].Dst = NumRegs }
+	break4 := func(p *Program) { p.Blocks[0].Term.Target = 99 }
+	break5 := func(p *Program) { p.Blocks[0].Fall = 99 }
+	break6 := func(p *Program) { p.Blocks[0].Body = append(p.Blocks[0].Body, Node{Op: Jmp, Target: 1}) }
+	break7 := func(p *Program) { p.Funcs[0].Entry = 99 }
+	break8 := func(p *Program) { p.Blocks[1].Term = Node{Op: Call, Callee: 42} }
+	for i, breakIt := range []func(*Program){break1, break2, break3, break4, break5, break6, break7, break8} {
+		p := makeTestProgram()
+		breakIt(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate() accepted a broken program", i+1)
+		}
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	p := makeTestProgram()
+	succs := p.Blocks[0].Succs()
+	if len(succs) != 2 || succs[0] != 1 || succs[1] != 1 {
+		t.Errorf("Succs() = %v, want [1 1]", succs)
+	}
+	if got := p.Blocks[1].Succs(); got != nil {
+		t.Errorf("halt block Succs() = %v, want nil", got)
+	}
+	jb := &Block{Term: Node{Op: Jmp, Target: 0}, Fall: NoBlock}
+	p.AddBlock(0, jb)
+	if got := jb.Succs(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("jmp Succs() = %v, want [0]", got)
+	}
+}
+
+func TestStaticMixAndNumNodes(t *testing.T) {
+	p := makeTestProgram()
+	if got := p.NumNodes(); got != 4 {
+		t.Errorf("NumNodes() = %d, want 4", got)
+	}
+	mem, alu := p.StaticMix()
+	if mem != 0 || alu != 4 {
+		t.Errorf("StaticMix() = (%d, %d), want (0, 4)", mem, alu)
+	}
+	p.Blocks[0].Body = append(p.Blocks[0].Body, Node{Op: Ld, Dst: 4, A: 2})
+	mem, alu = p.StaticMix()
+	if mem != 1 || alu != 4 {
+		t.Errorf("StaticMix() = (%d, %d), want (1, 4)", mem, alu)
+	}
+}
+
+func TestDumpIsStable(t *testing.T) {
+	p := makeTestProgram()
+	d1, d2 := p.Dump(), p.Dump()
+	if d1 != d2 {
+		t.Error("Dump() not deterministic")
+	}
+	if len(d1) == 0 {
+		t.Error("Dump() empty")
+	}
+}
+
+func TestFuncByName(t *testing.T) {
+	p := makeTestProgram()
+	if p.FuncByName("main") == nil {
+		t.Error("FuncByName(main) = nil")
+	}
+	if p.FuncByName("nope") != nil {
+		t.Error("FuncByName(nope) != nil")
+	}
+}
+
+func TestNodeUses(t *testing.T) {
+	n := Node{Op: Add, Dst: 1, A: 2, B: 3}
+	if got := n.Uses(nil); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Uses = %v", got)
+	}
+	c := Node{Op: Const, Dst: 1, A: NoReg, B: NoReg}
+	if got := c.Uses(nil); len(got) != 0 {
+		t.Errorf("const Uses = %v, want empty", got)
+	}
+}

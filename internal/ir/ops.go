@@ -1,0 +1,186 @@
+package ir
+
+// Op is a node opcode. The set is deliberately small and RISC-like: it is
+// the intermediate form the translating loader decompiles into, not an
+// instruction set a real front end would expose.
+type Op uint8
+
+const (
+	// Nop never appears in generated code; the zero value is invalid on
+	// purpose so that forgotten initialization is caught by Validate.
+	Nop Op = iota
+
+	// ALU-slot nodes.
+	Const // Dst = Imm
+	Mov   // Dst = A
+	Add   // Dst = A + B
+	Sub   // Dst = A - B
+	Mul   // Dst = A * B
+	Div   // Dst = A / B (quotient 0 when B == 0)
+	Rem   // Dst = A % B (remainder A when B == 0)
+	And   // Dst = A & B
+	Or    // Dst = A | B
+	Xor   // Dst = A ^ B
+	Shl   // Dst = A << (B & 31)
+	Shr   // Dst = A >> (B & 31), arithmetic
+	AddI  // Dst = A + Imm
+	Neg   // Dst = -A
+	Not   // Dst = ^A
+	Eq    // Dst = A == B ? 1 : 0
+	Ne    // Dst = A != B ? 1 : 0
+	Lt    // Dst = A <  B ? 1 : 0 (signed)
+	Le    // Dst = A <= B ? 1 : 0 (signed)
+	Gt    // Dst = A >  B ? 1 : 0 (signed)
+	Ge    // Dst = A >= B ? 1 : 0 (signed)
+
+	// Memory-slot nodes. Effective address is A + Imm.
+	Ld  // Dst = mem32[A+Imm]
+	LdB // Dst = zero-extended mem8[A+Imm]
+	St  // mem32[A+Imm] = B
+	StB // mem8[A+Imm] = low byte of B
+
+	// Control. Br/Jmp/Call/Ret/Halt are terminators; Assert appears in
+	// block bodies of enlarged code and occupies an ALU slot.
+	Br     // if A != 0 goto Target else fall through
+	Jmp    // goto Target
+	Call   // call Callee; continue at the block's Fall on return
+	Ret    // return to caller
+	Halt   // end of program
+	Assert // fault to Target unless (A != 0) == Expect
+
+	// Sys is a system call executed by the host outside the timed
+	// simulation (the paper's statistics are user-level only). It occupies
+	// an ALU slot and is never executed speculatively.
+	Sys // Dst = syscall Imm (A, B)
+
+	numOps
+)
+
+var opNames = [...]string{
+	Nop: "nop", Const: "const", Mov: "mov", Add: "add", Sub: "sub",
+	Mul: "mul", Div: "div", Rem: "rem", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", Shr: "shr", AddI: "addi", Neg: "neg", Not: "not",
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+	Ld: "ld", LdB: "ldb", St: "st", StB: "stb",
+	Br: "br", Jmp: "jmp", Call: "call", Ret: "ret", Halt: "halt",
+	Assert: "assert", Sys: "sys",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// IsMem reports whether the node occupies a memory slot of a multinodeword.
+func (op Op) IsMem() bool { return op >= Ld && op <= StB }
+
+// IsLoad reports whether the node reads memory.
+func (op Op) IsLoad() bool { return op == Ld || op == LdB }
+
+// IsStore reports whether the node writes memory.
+func (op Op) IsStore() bool { return op == St || op == StB }
+
+// IsTerm reports whether the opcode is a block terminator.
+func (op Op) IsTerm() bool { return op >= Br && op <= Halt }
+
+// IsPure reports whether the node has no side effects beyond writing Dst,
+// so it may be eliminated when Dst is dead and duplicated freely.
+func (op Op) IsPure() bool { return op >= Const && op <= Ge }
+
+// HasDst reports whether the opcode writes a destination register.
+func (op Op) HasDst() bool {
+	return op.IsPure() || op.IsLoad() || op == Sys
+}
+
+// Commutes reports whether swapping A and B preserves the result.
+func (op Op) Commutes() bool {
+	switch op {
+	case Add, Mul, And, Or, Xor, Eq, Ne:
+		return true
+	}
+	return false
+}
+
+// Uses appends the registers the node reads to dst and returns it.
+func (n *Node) Uses(dst []Reg) []Reg {
+	if n.A != NoReg {
+		dst = append(dst, n.A)
+	}
+	if n.B != NoReg {
+		dst = append(dst, n.B)
+	}
+	return dst
+}
+
+// EvalALU computes the value of a pure ALU node given its operand values.
+// All arithmetic is 32-bit two's complement; division by zero is defined
+// (quotient 0, remainder A) so that wrong-path speculative execution can
+// never crash the simulator. It panics on non-pure opcodes.
+func EvalALU(op Op, a, b int32, imm int64) int32 {
+	switch op {
+	case Const:
+		return int32(imm)
+	case Mov:
+		return a
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		if a == -1<<31 && b == -1 {
+			return a
+		}
+		return a / b
+	case Rem:
+		if b == 0 {
+			return a
+		}
+		if a == -1<<31 && b == -1 {
+			return 0
+		}
+		return a % b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (uint32(b) & 31)
+	case Shr:
+		return a >> (uint32(b) & 31)
+	case AddI:
+		return a + int32(imm)
+	case Neg:
+		return -a
+	case Not:
+		return ^a
+	case Eq:
+		return b2i(a == b)
+	case Ne:
+		return b2i(a != b)
+	case Lt:
+		return b2i(a < b)
+	case Le:
+		return b2i(a <= b)
+	case Gt:
+		return b2i(a > b)
+	case Ge:
+		return b2i(a >= b)
+	}
+	panic("ir: EvalALU on non-pure op " + op.String())
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

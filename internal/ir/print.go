@@ -1,0 +1,41 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the whole program as readable text, for debugging and for
+// golden tests of the compiler and the loader.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	for _, f := range p.Funcs {
+		sb.WriteString(p.DumpFunc(f))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DumpFunc renders one function.
+func (p *Program) DumpFunc(f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (f%d) args=%d frame=%d entry=b%d\n",
+		f.Name, f.ID, f.NumArgs, f.FrameSize, f.Entry)
+	for _, id := range f.Blocks {
+		b := p.Blocks[id]
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if b.Orig != b.ID {
+			fmt.Fprintf(&sb, " (from b%d)", b.Orig)
+		}
+		sb.WriteByte('\n')
+		for i := range b.Body {
+			fmt.Fprintf(&sb, "\t%s\n", &b.Body[i])
+		}
+		fmt.Fprintf(&sb, "\t%s", &b.Term)
+		if b.Fall != NoBlock {
+			fmt.Fprintf(&sb, " | fall b%d", b.Fall)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

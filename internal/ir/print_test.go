@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNodeStringsCoverEveryKind renders one node of each opcode and checks
+// the output mentions its operands (catching stale format strings).
+func TestNodeStringsCoverEveryKind(t *testing.T) {
+	cases := []struct {
+		n    Node
+		want []string
+	}{
+		{Node{Op: Const, Dst: 5, Imm: 42}, []string{"r5", "42", "const"}},
+		{Node{Op: Mov, Dst: 5, A: 6}, []string{"r5", "r6"}},
+		{Node{Op: Add, Dst: 5, A: 6, B: 7}, []string{"add", "r6", "r7"}},
+		{Node{Op: AddI, Dst: 5, A: 6, Imm: -3}, []string{"addi", "r6"}},
+		{Node{Op: Neg, Dst: 5, A: 6}, []string{"neg", "r6"}},
+		{Node{Op: Ld, Dst: 5, A: 6, Imm: 8}, []string{"ld", "[r6+8]"}},
+		{Node{Op: LdB, Dst: 5, A: 6}, []string{"ldb"}},
+		{Node{Op: St, A: 6, B: 7, Imm: -4}, []string{"st", "[r6-4]", "r7"}},
+		{Node{Op: StB, A: 6, B: 7}, []string{"stb"}},
+		{Node{Op: Br, A: 5, Target: 3}, []string{"br", "r5", "b3"}},
+		{Node{Op: Jmp, Target: 9}, []string{"jmp", "b9"}},
+		{Node{Op: Call, Callee: 2}, []string{"call", "f2"}},
+		{Node{Op: Ret}, []string{"ret"}},
+		{Node{Op: Halt}, []string{"halt"}},
+		{Node{Op: Assert, A: 5, Expect: true, Target: 4}, []string{"assert", "r5", "b4", "true"}},
+		{Node{Op: Sys, Dst: 5, A: 6, B: NoReg, Imm: 2}, []string{"sys", "2", "r6"}},
+	}
+	for _, c := range cases {
+		s := c.n.String()
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("%v renders as %q, missing %q", c.n.Op, s, w)
+			}
+		}
+	}
+}
+
+func TestDumpFuncMentionsStructure(t *testing.T) {
+	p := makeTestProgram()
+	s := p.DumpFunc(p.Funcs[0])
+	for _, w := range []string{"func main", "b0:", "b1:", "entry=b0", "fall b1"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("DumpFunc missing %q:\n%s", w, s)
+		}
+	}
+}
+
+func TestDumpMarksEnlargedOrigins(t *testing.T) {
+	p := makeTestProgram()
+	nb := &Block{Term: Node{Op: Halt}, Fall: NoBlock}
+	p.AddBlock(0, nb)
+	nb.Orig = 0 // pretend it was enlarged from block 0
+	s := p.Dump()
+	if !strings.Contains(s, "(from b0)") {
+		t.Errorf("Dump should mark enlarged blocks:\n%s", s)
+	}
+}

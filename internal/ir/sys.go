@@ -1,0 +1,14 @@
+package ir
+
+// System call numbers. Sys nodes carry the number in Imm. The host executes
+// them outside the timed simulation, mirroring the paper's treatment of
+// system calls (executed by the host operating system, excluded from the
+// collected statistics).
+const (
+	// SysGetc reads one byte from input stream A (0 or 1) and returns it,
+	// or -1 at end of stream.
+	SysGetc = 1
+
+	// SysPutc writes the low byte of A to the output stream and returns 0.
+	SysPutc = 2
+)

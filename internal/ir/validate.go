@@ -1,0 +1,139 @@
+package ir
+
+import "fmt"
+
+// NormalizeNode clears operand fields the opcode does not read, so that
+// builders which leave them zero-valued (register 0) do not introduce
+// phantom operands into dumps, liveness, or rename wiring.
+func NormalizeNode(n *Node) {
+	switch n.Op {
+	case Const:
+		n.A, n.B = NoReg, NoReg
+	case Mov, Neg, Not, AddI, Ld, LdB, Br, Assert:
+		n.B = NoReg
+	case Jmp, Ret, Halt, Call:
+		n.Dst, n.A, n.B = NoReg, NoReg, NoReg
+	}
+}
+
+// Normalize applies NormalizeNode to every node of the program.
+func (p *Program) Normalize() {
+	for _, b := range p.Blocks {
+		for i := range b.Body {
+			NormalizeNode(&b.Body[i])
+		}
+		NormalizeNode(&b.Term)
+	}
+}
+
+// Validate checks structural well-formedness of a program: every block has a
+// real terminator, every referenced block and function exists, register
+// numbers are in range, asserts only appear in bodies, and terminators only
+// appear as terminators. The tools call it after every transformation so a
+// broken rewrite fails loudly instead of miscomputing silently.
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("ir: program has no functions")
+	}
+	if int(p.Entry) >= len(p.Funcs) {
+		return fmt.Errorf("ir: entry function %d out of range", p.Entry)
+	}
+	for id, b := range p.Blocks {
+		if b == nil {
+			return fmt.Errorf("ir: nil block %d", id)
+		}
+		if b.ID != BlockID(id) {
+			return fmt.Errorf("ir: block %d has ID %d", id, b.ID)
+		}
+		if int(b.Fn) >= len(p.Funcs) {
+			return fmt.Errorf("ir: block %d has bad function %d", id, b.Fn)
+		}
+		for i := range b.Body {
+			n := &b.Body[i]
+			if err := p.checkNode(n, false); err != nil {
+				return fmt.Errorf("ir: block %d node %d (%s): %w", id, i, n, err)
+			}
+		}
+		if err := p.checkNode(&b.Term, true); err != nil {
+			return fmt.Errorf("ir: block %d terminator (%s): %w", id, b.Term, err)
+		}
+		switch b.Term.Op {
+		case Br, Call:
+			if !p.validBlock(b.Fall) {
+				return fmt.Errorf("ir: block %d: %s needs a valid Fall, got %d", id, b.Term.Op, b.Fall)
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		if !p.validBlock(f.Entry) {
+			return fmt.Errorf("ir: function %s has bad entry %d", f.Name, f.Entry)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validBlock(id BlockID) bool {
+	return id >= 0 && int(id) < len(p.Blocks)
+}
+
+func validReg(r Reg, allowNone bool) bool {
+	if r == NoReg {
+		return allowNone
+	}
+	return r >= 0 && r < NumRegs
+}
+
+func (p *Program) checkNode(n *Node, isTerm bool) error {
+	if n.Op == Nop || n.Op >= numOps {
+		return fmt.Errorf("invalid opcode")
+	}
+	if n.Op.IsTerm() != isTerm {
+		if isTerm {
+			return fmt.Errorf("non-terminator used as terminator")
+		}
+		return fmt.Errorf("terminator in block body")
+	}
+	if n.Op.HasDst() && !validReg(n.Dst, false) {
+		return fmt.Errorf("bad destination register %d", n.Dst)
+	}
+	switch n.Op {
+	case Const, Halt, Ret:
+		// no register sources
+	case Jmp:
+		if !p.validBlock(n.Target) {
+			return fmt.Errorf("bad jump target %d", n.Target)
+		}
+	case Br, Assert:
+		if !validReg(n.A, false) {
+			return fmt.Errorf("bad condition register")
+		}
+		if !p.validBlock(n.Target) {
+			return fmt.Errorf("bad target %d", n.Target)
+		}
+	case Call:
+		if int(n.Callee) >= len(p.Funcs) || n.Callee < 0 {
+			return fmt.Errorf("bad callee %d", n.Callee)
+		}
+	case Ld, LdB:
+		if !validReg(n.A, false) {
+			return fmt.Errorf("bad address register")
+		}
+	case St, StB:
+		if !validReg(n.A, false) || !validReg(n.B, false) {
+			return fmt.Errorf("bad store operands")
+		}
+	case Sys:
+		if !validReg(n.A, true) || !validReg(n.B, true) {
+			return fmt.Errorf("bad sys operands")
+		}
+	default:
+		if !validReg(n.A, false) {
+			return fmt.Errorf("bad A operand")
+		}
+		twoSrc := n.Op != Mov && n.Op != Neg && n.Op != Not && n.Op != AddI
+		if twoSrc && !validReg(n.B, false) {
+			return fmt.Errorf("bad B operand")
+		}
+	}
+	return nil
+}

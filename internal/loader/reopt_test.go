@@ -1,0 +1,96 @@
+package loader_test
+
+import (
+	"testing"
+
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// TestCrossBranchCSE reproduces the paper's section 2.3 example: a value
+// computed before a branch is recomputed after it; merging the two blocks
+// across the branch and re-optimizing as a unit eliminates the second
+// computation ("the artificial flow dependency through R0 can be
+// eliminated").
+func TestCrossBranchCSE(t *testing.T) {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+
+	// b0:  r5 = ld [r9]          (opaque value)
+	//      r6 = r5 < r7          (the compare)
+	//      br r6 -> b1 else b2
+	b0 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Ld, Dst: 5, A: 9},
+			{Op: ir.Lt, Dst: 6, A: 5, B: 7},
+		},
+		Term: ir.Node{Op: ir.Br, A: 6, Target: 1},
+		Fall: 2,
+	}
+	p.AddBlock(0, b0)
+	// b1:  r8 = r5 < r7          (recomputed!)
+	//      st [r9+4] = r8
+	//      halt
+	b1 := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Lt, Dst: 8, A: 5, B: 7},
+			{Op: ir.St, A: 9, B: 8, Imm: 4},
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b1)
+	b2 := &ir.Block{Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b2)
+	f.Entry = 0
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ef := &enlarge.File{
+		Chains: []enlarge.Chain{{
+			Entry: 0,
+			Steps: []enlarge.Step{{Block: 0, TakenToNext: true}, {Block: 1}},
+		}},
+		Options: enlarge.DefaultOptions(),
+	}
+	im8, _ := machine.IssueModelByID(8)
+	mcA, _ := machine.MemConfigByID('A')
+	cfg := machine.Config{Disc: machine.Dyn4, Issue: im8, Mem: mcA, Branch: machine.EnlargedBB}
+	img, err := loader.Load(p, cfg, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enl, ok := img.EntryMap[0]
+	if !ok {
+		t.Fatal("chain not materialized")
+	}
+	eb := img.Prog.Block(enl)
+
+	// The merged block originally holds: ld, lt, assert, lt, st.
+	// Re-optimization must CSE the second compare away (it may survive as
+	// nothing at all: the store can use the first result directly).
+	compares := 0
+	for i := range eb.Body {
+		if eb.Body[i].Op == ir.Lt {
+			compares++
+		}
+	}
+	if compares != 1 {
+		t.Errorf("merged block has %d compares, want 1 (cross-branch CSE failed):\n%s",
+			compares, img.Prog.DumpFunc(img.Prog.Funcs[0]))
+	}
+	// And the assert must still guard the merged work.
+	asserts := 0
+	for i := range eb.Body {
+		if eb.Body[i].Op == ir.Assert {
+			asserts++
+		}
+	}
+	if asserts != 1 {
+		t.Errorf("merged block has %d asserts, want 1", asserts)
+	}
+}

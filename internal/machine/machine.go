@@ -1,0 +1,288 @@
+// Package machine defines the abstract processor model's configuration
+// space, exactly as parameterized in section 3.1 of the paper: scheduling
+// discipline (static, or dynamic with a window of 1/4/256 basic blocks),
+// the eight issue models, the seven memory configurations, and the
+// branch-handling modes (single basic blocks, enlarged basic blocks,
+// perfect prediction — plus this reproduction's run-time fill unit).
+// Extension knobs beyond the paper (predictor kind, window override,
+// conservative memory) keep their zero values for the paper's grid.
+package machine
+
+import "fmt"
+
+// Discipline is the scheduling discipline.
+type Discipline uint8
+
+const (
+	// Static: the translating loader packs nodes into multinodewords; the
+	// engine issues one word per cycle in order with hardware interlocks.
+	Static Discipline = iota
+	// Dyn1, Dyn4, Dyn256: dynamic (restricted-dataflow) scheduling with an
+	// instruction window of 1, 4, or 256 active basic blocks.
+	Dyn1
+	Dyn4
+	Dyn256
+)
+
+// Window returns the instruction window size in basic blocks (0 for static
+// scheduling).
+func (d Discipline) Window() int {
+	switch d {
+	case Dyn1:
+		return 1
+	case Dyn4:
+		return 4
+	case Dyn256:
+		return 256
+	}
+	return 0
+}
+
+// Dynamic reports whether the discipline is dynamically scheduled.
+func (d Discipline) Dynamic() bool { return d != Static }
+
+func (d Discipline) String() string {
+	switch d {
+	case Static:
+		return "static"
+	case Dyn1:
+		return "dyn-w1"
+	case Dyn4:
+		return "dyn-w4"
+	case Dyn256:
+		return "dyn-w256"
+	}
+	return "disc?"
+}
+
+// Disciplines lists all four scheduling disciplines in the paper's order.
+var Disciplines = []Discipline{Static, Dyn1, Dyn4, Dyn256}
+
+// IssueModel describes the multinodeword format: how many memory nodes and
+// ALU nodes may be issued (and begin execution) per cycle. The Sequential
+// model issues one node of either class per cycle.
+type IssueModel struct {
+	ID         int // paper's issue model number, 1..8
+	Mem        int // memory slots per word
+	ALU        int // ALU slots per word
+	Sequential bool
+}
+
+// Total returns the maximum nodes issued per cycle.
+func (m IssueModel) Total() int {
+	if m.Sequential {
+		return 1
+	}
+	return m.Mem + m.ALU
+}
+
+func (m IssueModel) String() string {
+	if m.Sequential {
+		return "seq"
+	}
+	return fmt.Sprintf("%dM%dA", m.Mem, m.ALU)
+}
+
+// IssueModels lists the paper's eight issue models.
+var IssueModels = []IssueModel{
+	{ID: 1, Mem: 1, ALU: 1, Sequential: true},
+	{ID: 2, Mem: 1, ALU: 1},
+	{ID: 3, Mem: 1, ALU: 2},
+	{ID: 4, Mem: 1, ALU: 3},
+	{ID: 5, Mem: 2, ALU: 4},
+	{ID: 6, Mem: 2, ALU: 6},
+	{ID: 7, Mem: 4, ALU: 8},
+	{ID: 8, Mem: 4, ALU: 12},
+}
+
+// MemConfig describes the memory system. All memory is fully pipelined: a
+// new access may begin on each port every cycle. A zero CacheSize means
+// perfect memory with a fixed HitLatency.
+type MemConfig struct {
+	ID          byte // paper's letter, 'A'..'G'
+	HitLatency  int  // cycles for a hit (or every access when no cache)
+	MissLatency int  // cycles for a miss
+	CacheSize   int  // bytes; 0 = perfect memory
+}
+
+// HasCache reports whether a cache is modeled.
+func (m MemConfig) HasCache() bool { return m.CacheSize > 0 }
+
+func (m MemConfig) String() string {
+	if !m.HasCache() {
+		return fmt.Sprintf("%c(%dcyc)", m.ID, m.HitLatency)
+	}
+	return fmt.Sprintf("%c(%d/%d,%dK)", m.ID, m.HitLatency, m.MissLatency, m.CacheSize/1024)
+}
+
+// MemConfigs lists the paper's seven memory configurations.
+var MemConfigs = []MemConfig{
+	{ID: 'A', HitLatency: 1},
+	{ID: 'B', HitLatency: 2},
+	{ID: 'C', HitLatency: 3},
+	{ID: 'D', HitLatency: 1, MissLatency: 10, CacheSize: 1 << 10},
+	{ID: 'E', HitLatency: 1, MissLatency: 10, CacheSize: 16 << 10},
+	{ID: 'F', HitLatency: 2, MissLatency: 10, CacheSize: 1 << 10},
+	{ID: 'G', HitLatency: 2, MissLatency: 10, CacheSize: 16 << 10},
+}
+
+// MemConfigByID returns the memory configuration with the given letter.
+func MemConfigByID(id byte) (MemConfig, bool) {
+	for _, m := range MemConfigs {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return MemConfig{}, false
+}
+
+// IssueModelByID returns the issue model with the given number.
+func IssueModelByID(id int) (IssueModel, bool) {
+	for _, m := range IssueModels {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return IssueModel{}, false
+}
+
+// FigureOrderMem is the horizontal-axis order of memory configurations in
+// the paper's Figure 4: single-cycle configurations first (perfect, then
+// 1K and 16K caches), then two-cycle, then three-cycle.
+var FigureOrderMem = []byte{'A', 'D', 'E', 'B', 'F', 'G', 'C'}
+
+// BranchMode is the branch-handling mode.
+type BranchMode uint8
+
+const (
+	// SingleBB: original basic blocks, 2-bit counter prediction seeded with
+	// static hints.
+	SingleBB BranchMode = iota
+	// EnlargedBB: profile-driven enlarged basic blocks, same predictor.
+	EnlargedBB
+	// Perfect: the paper's upper-limit study — enlarged basic blocks with
+	// trace-driven (always correct) terminator prediction. Assert faults
+	// inside enlarged blocks still occur: the hardware always executes the
+	// enlarged block it enters. Run only for Dyn4/Dyn256.
+	Perfect
+
+	// FillUnit is this reproduction's implementation of the hardware
+	// alternative the paper references ([MeSP88], "Hardware Support for
+	// Large Atomic Units in Dynamically Scheduled Machines"): a fill unit
+	// that enlarges basic blocks at run time from observed retirement
+	// behavior — no profiling run or enlargement file needed. Dynamic
+	// disciplines only; not part of the paper's 560-point grid.
+	FillUnit
+)
+
+func (b BranchMode) String() string {
+	switch b {
+	case SingleBB:
+		return "single"
+	case EnlargedBB:
+		return "enlarged"
+	case Perfect:
+		return "perfect"
+	case FillUnit:
+		return "fillunit"
+	}
+	return "branch?"
+}
+
+// Config is one complete machine configuration (one data point).
+type Config struct {
+	Disc   Discipline
+	Issue  IssueModel
+	Mem    MemConfig
+	Branch BranchMode
+
+	// BTBEntries sizes the branch target buffer (2-bit counters plus
+	// static-hint seeding live there). Zero selects DefaultBTBEntries.
+	BTBEntries int
+
+	// ConservativeMem is an ablation switch: when set, a dynamic engine's
+	// loads wait until every older store has executed (as a compiler must
+	// assume at compile time) instead of executing as soon as all older
+	// store addresses are known and provably disjoint. It isolates the
+	// value of run-time memory disambiguation.
+	ConservativeMem bool
+
+	// Predictor selects the branch direction predictor. The paper uses the
+	// 2-bit counter BTB; GShare is the future-work extension its
+	// conclusions point at ("more sophisticated techniques could yield
+	// better prediction").
+	Predictor PredictorKind
+
+	// GShareBits sizes the gshare counter table (2^bits entries); zero
+	// selects DefaultGShareBits.
+	GShareBits int
+
+	// WindowOverride, when nonzero on a dynamic discipline, replaces the
+	// discipline's window size (in active basic blocks), enabling window
+	// sweeps beyond the paper's 1/4/256 points.
+	WindowOverride int
+}
+
+// PredictorKind selects the branch direction predictor.
+type PredictorKind uint8
+
+const (
+	// TwoBit is the paper's 2-bit saturating counter in a BTB.
+	TwoBit PredictorKind = iota
+	// GSharePredictor is the two-level adaptive extension.
+	GSharePredictor
+)
+
+// DefaultGShareBits sizes the gshare table at 2^12 counters.
+const DefaultGShareBits = 12
+
+// EffectiveWindow returns the instruction window in basic blocks for this
+// configuration (honoring WindowOverride).
+func (c Config) EffectiveWindow() int {
+	if c.Disc.Dynamic() && c.WindowOverride > 0 {
+		return c.WindowOverride
+	}
+	return c.Disc.Window()
+}
+
+// DefaultBTBEntries is the branch target buffer size used throughout.
+const DefaultBTBEntries = 512
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s", c.Disc, c.Issue, c.Mem, c.Branch)
+}
+
+// Grid returns the paper's full 560-point configuration grid: the four
+// scheduling disciplines crossed with all issue models and memory
+// configurations for single and enlarged basic blocks (448 points), plus
+// perfect prediction for the dynamic window sizes 4 and 256 (112 points).
+func Grid() []Config {
+	var grid []Config
+	for _, d := range Disciplines {
+		for _, im := range IssueModels {
+			for _, mc := range MemConfigs {
+				grid = append(grid,
+					Config{Disc: d, Issue: im, Mem: mc, Branch: SingleBB},
+					Config{Disc: d, Issue: im, Mem: mc, Branch: EnlargedBB})
+			}
+		}
+	}
+	for _, d := range []Discipline{Dyn4, Dyn256} {
+		for _, im := range IssueModels {
+			for _, mc := range MemConfigs {
+				grid = append(grid, Config{Disc: d, Issue: im, Mem: mc, Branch: Perfect})
+			}
+		}
+	}
+	return grid
+}
+
+// Figure5Configs are the 14 composite configurations of Figure 5, slicing
+// diagonally through the 8x7 issue-model x memory-configuration matrix.
+var Figure5Configs = []struct {
+	Issue int
+	Mem   byte
+}{
+	{1, 'A'}, {2, 'A'}, {2, 'B'}, {3, 'B'}, {3, 'D'}, {4, 'D'}, {4, 'E'},
+	{5, 'B'}, {5, 'D'}, {5, 'E'}, {6, 'E'}, {7, 'F'}, {7, 'G'}, {8, 'G'},
+}

@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridCount(t *testing.T) {
+	// 4 disciplines x 8 issue x 7 memory x 2 branch modes = 448, plus
+	// perfect prediction on Dyn4/Dyn256 x 8 x 7 = 112: the paper's 560
+	// data points per benchmark.
+	g := Grid()
+	if len(g) != 560 {
+		t.Fatalf("grid has %d points, want 560", len(g))
+	}
+	seen := make(map[string]bool, len(g))
+	perfect := 0
+	for _, c := range g {
+		if seen[c.String()] {
+			t.Errorf("duplicate grid point %s", c)
+		}
+		seen[c.String()] = true
+		if c.Branch == Perfect {
+			perfect++
+			if c.Disc != Dyn4 && c.Disc != Dyn256 {
+				t.Errorf("perfect prediction on %s", c.Disc)
+			}
+		}
+	}
+	if perfect != 112 {
+		t.Errorf("%d perfect points, want 112", perfect)
+	}
+}
+
+func TestIssueModels(t *testing.T) {
+	if len(IssueModels) != 8 {
+		t.Fatalf("%d issue models, want 8", len(IssueModels))
+	}
+	wantMem := []int{1, 1, 1, 1, 2, 2, 4, 4}
+	wantALU := []int{1, 1, 2, 3, 4, 6, 8, 12}
+	for i, im := range IssueModels {
+		if im.ID != i+1 {
+			t.Errorf("issue model %d has ID %d", i, im.ID)
+		}
+		if im.Mem != wantMem[i] || im.ALU != wantALU[i] {
+			t.Errorf("issue model %d = %dM%dA, want %dM%dA", im.ID, im.Mem, im.ALU, wantMem[i], wantALU[i])
+		}
+	}
+	if !IssueModels[0].Sequential {
+		t.Error("model 1 should be sequential")
+	}
+	if IssueModels[0].Total() != 1 {
+		t.Errorf("sequential Total() = %d, want 1", IssueModels[0].Total())
+	}
+	if IssueModels[7].Total() != 16 {
+		t.Errorf("model 8 Total() = %d, want 16", IssueModels[7].Total())
+	}
+}
+
+func TestMemConfigs(t *testing.T) {
+	if len(MemConfigs) != 7 {
+		t.Fatalf("%d memory configs, want 7", len(MemConfigs))
+	}
+	for _, mc := range MemConfigs {
+		got, ok := MemConfigByID(mc.ID)
+		if !ok || got.ID != mc.ID {
+			t.Errorf("MemConfigByID(%c) failed", mc.ID)
+		}
+	}
+	if _, ok := MemConfigByID('Z'); ok {
+		t.Error("MemConfigByID(Z) should fail")
+	}
+	a, _ := MemConfigByID('A')
+	if a.HasCache() || a.HitLatency != 1 {
+		t.Errorf("config A = %+v", a)
+	}
+	d, _ := MemConfigByID('D')
+	if !d.HasCache() || d.CacheSize != 1024 || d.MissLatency != 10 || d.HitLatency != 1 {
+		t.Errorf("config D = %+v", d)
+	}
+	g, _ := MemConfigByID('G')
+	if g.CacheSize != 16384 || g.HitLatency != 2 {
+		t.Errorf("config G = %+v", g)
+	}
+}
+
+func TestDisciplineWindow(t *testing.T) {
+	cases := map[Discipline]int{Static: 0, Dyn1: 1, Dyn4: 4, Dyn256: 256}
+	for d, w := range cases {
+		if d.Window() != w {
+			t.Errorf("%s.Window() = %d, want %d", d, d.Window(), w)
+		}
+		if d.Dynamic() != (w > 0) {
+			t.Errorf("%s.Dynamic() = %v", d, d.Dynamic())
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig("dyn4", 8, "a", "enlarged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Disc != Dyn4 || cfg.Issue.ID != 8 || cfg.Mem.ID != 'A' || cfg.Branch != EnlargedBB {
+		t.Errorf("ParseConfig = %+v", cfg)
+	}
+	bad := []struct {
+		d  string
+		i  int
+		m  string
+		bm string
+	}{
+		{"nope", 8, "A", "single"},
+		{"dyn4", 0, "A", "single"},
+		{"dyn4", 9, "A", "single"},
+		{"dyn4", 8, "Z", "single"},
+		{"dyn4", 8, "AB", "single"},
+		{"dyn4", 8, "A", "wrong"},
+	}
+	for _, c := range bad {
+		if _, err := ParseConfig(c.d, c.i, c.m, c.bm); err == nil {
+			t.Errorf("ParseConfig(%q,%d,%q,%q) should fail", c.d, c.i, c.m, c.bm)
+		}
+	}
+	for _, name := range []string{"static", "dyn1", "dyn4", "dyn256", "w1", "w4", "w256"} {
+		if _, err := ParseDiscipline(name); err != nil {
+			t.Errorf("ParseDiscipline(%q): %v", name, err)
+		}
+	}
+}
+
+func TestFigure5ConfigsValid(t *testing.T) {
+	if len(Figure5Configs) != 14 {
+		t.Fatalf("%d composite configs, want 14", len(Figure5Configs))
+	}
+	for _, fc := range Figure5Configs {
+		if _, ok := IssueModelByID(fc.Issue); !ok {
+			t.Errorf("bad issue model %d", fc.Issue)
+		}
+		if _, ok := MemConfigByID(fc.Mem); !ok {
+			t.Errorf("bad memory config %c", fc.Mem)
+		}
+	}
+}
+
+func TestStringsAreStable(t *testing.T) {
+	f := func(d uint8, bmRaw uint8) bool {
+		// Strings never return empty even for invalid values.
+		return Discipline(d).String() != "" && BranchMode(bmRaw).String() != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveWindow(t *testing.T) {
+	im, _ := IssueModelByID(8)
+	mc, _ := MemConfigByID('A')
+	cfg := Config{Disc: Dyn4, Issue: im, Mem: mc}
+	if cfg.EffectiveWindow() != 4 {
+		t.Errorf("default window = %d, want 4", cfg.EffectiveWindow())
+	}
+	cfg.WindowOverride = 17
+	if cfg.EffectiveWindow() != 17 {
+		t.Errorf("override window = %d, want 17", cfg.EffectiveWindow())
+	}
+	cfg.Disc = Static
+	if cfg.EffectiveWindow() != 0 {
+		t.Errorf("static window = %d, want 0 (override ignored)", cfg.EffectiveWindow())
+	}
+}
+
+func TestBranchModeStrings(t *testing.T) {
+	want := map[BranchMode]string{
+		SingleBB: "single", EnlargedBB: "enlarged",
+		Perfect: "perfect", FillUnit: "fillunit",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseDiscipline parses a discipline name: static, dyn1, dyn4, dyn256.
+func ParseDiscipline(s string) (Discipline, error) {
+	switch strings.ToLower(s) {
+	case "static":
+		return Static, nil
+	case "dyn1", "dyn-w1", "w1":
+		return Dyn1, nil
+	case "dyn4", "dyn-w4", "w4":
+		return Dyn4, nil
+	case "dyn256", "dyn-w256", "w256":
+		return Dyn256, nil
+	}
+	return Static, fmt.Errorf("machine: unknown discipline %q (static, dyn1, dyn4, dyn256)", s)
+}
+
+// ParseBranchMode parses a branch handling mode: single, enlarged, perfect.
+func ParseBranchMode(s string) (BranchMode, error) {
+	switch strings.ToLower(s) {
+	case "single":
+		return SingleBB, nil
+	case "enlarged":
+		return EnlargedBB, nil
+	case "perfect":
+		return Perfect, nil
+	}
+	return SingleBB, fmt.Errorf("machine: unknown branch mode %q (single, enlarged, perfect)", s)
+}
+
+// ParseConfig assembles a configuration from command-line style fields:
+// discipline name, issue model number 1..8, memory configuration letter
+// A..G, and branch mode name.
+func ParseConfig(disc string, issue int, memID string, branchMode string) (Config, error) {
+	var cfg Config
+	d, err := ParseDiscipline(disc)
+	if err != nil {
+		return cfg, err
+	}
+	im, ok := IssueModelByID(issue)
+	if !ok {
+		return cfg, fmt.Errorf("machine: issue model %d out of range 1..8", issue)
+	}
+	if len(memID) != 1 {
+		return cfg, fmt.Errorf("machine: memory config must be a letter A..G, got %q", memID)
+	}
+	mc, ok := MemConfigByID(strings.ToUpper(memID)[0])
+	if !ok {
+		return cfg, fmt.Errorf("machine: unknown memory config %q (A..G)", memID)
+	}
+	bm, err := ParseBranchMode(branchMode)
+	if err != nil {
+		return cfg, err
+	}
+	return Config{Disc: d, Issue: im, Mem: mc, Branch: bm}, nil
+}

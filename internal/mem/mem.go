@@ -1,0 +1,110 @@
+// Package mem models the memory system of the abstract processor: a two-way
+// set-associative cache with 16-byte blocks (1K or 16K bytes), fully
+// pipelined access ports, a fixed 10-cycle miss penalty, and perfect-memory
+// configurations with 1/2/3-cycle latency. Values live elsewhere (the
+// engines keep the actual byte array); this package answers only the timing
+// question "how many cycles does the access at this address take?" and
+// keeps hit/miss statistics.
+package mem
+
+import "fgpsim/internal/machine"
+
+// BlockSize is the cache block size in bytes (paper: 16-byte blocks).
+const BlockSize = 16
+
+// Ways is the cache associativity (paper: two-way set associative).
+const Ways = 2
+
+// Cache is a tag-only cache model with LRU replacement within each set.
+type Cache struct {
+	sets   int
+	tags   []uint32 // sets*Ways entries; 0 means invalid
+	lru    []uint8  // index of the least-recently-used way per set
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds a cache of the given total size in bytes.
+func NewCache(size int) *Cache {
+	sets := size / (BlockSize * Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		sets: sets,
+		tags: make([]uint32, sets*Ways),
+		lru:  make([]uint8, sets),
+	}
+}
+
+// Access probes the cache for the block containing addr, allocating it on a
+// miss, and reports whether it hit. The stored tag is offset by one so that
+// tag 0 always means "invalid".
+func (c *Cache) Access(addr int64) bool {
+	blk := uint32(addr) / BlockSize
+	set := int(blk) % c.sets
+	tag := blk + 1
+	base := set * Ways
+	for w := 0; w < Ways; w++ {
+		if c.tags[base+w] == tag {
+			c.Hits++
+			c.lru[set] = uint8(1 - w)
+			return true
+		}
+	}
+	c.Misses++
+	victim := int(c.lru[set])
+	c.tags[base+victim] = tag
+	c.lru[set] = uint8(1 - victim)
+	return false
+}
+
+// HitRatio returns hits/(hits+misses), or 1 when the cache is unused.
+func (c *Cache) HitRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// System is the timing model for one memory configuration.
+type System struct {
+	Cfg   machine.MemConfig
+	Cache *Cache // nil for perfect-memory configurations
+}
+
+// New builds the memory system for a configuration.
+func New(cfg machine.MemConfig) *System {
+	s := &System{Cfg: cfg}
+	if cfg.HasCache() {
+		s.Cache = NewCache(cfg.CacheSize)
+	}
+	return s
+}
+
+// LoadLatency returns the latency in cycles of a load from addr, updating
+// cache state. The memory system is fully pipelined: a new access can start
+// on every port every cycle regardless of outstanding misses.
+func (s *System) LoadLatency(addr int64) int {
+	if s.Cache == nil {
+		return s.Cfg.HitLatency
+	}
+	if s.Cache.Access(addr) {
+		return s.Cfg.HitLatency
+	}
+	return s.Cfg.MissLatency
+}
+
+// StoreTouch updates cache state for a store to addr (write-allocate).
+// Stores drain from the write buffer in the background and never stall the
+// pipeline, so there is no latency to report.
+func (s *System) StoreTouch(addr int64) {
+	if s.Cache != nil {
+		s.Cache.Access(addr)
+	}
+}
+
+// ForwardLatency is the latency of a load satisfied by the write buffer,
+// which sits in front of the cache as a small fully-associative store.
+const ForwardLatency = 1

@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fgpsim/internal/machine"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(1 << 10) // 32 sets x 2 ways x 16 bytes
+	if c.Access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0) {
+		t.Error("repeat access should hit")
+	}
+	if !c.Access(12) {
+		t.Error("same-block access should hit")
+	}
+	if c.Access(16) {
+		t.Error("next block should miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheTwoWayAssociativity(t *testing.T) {
+	c := NewCache(1 << 10)
+	sets := 1 << 10 / (BlockSize * Ways) // 32
+	stride := int64(sets * BlockSize)    // same set, different tags
+	a, b, d := int64(0), stride, 2*stride
+	c.Access(a)
+	c.Access(b)
+	if !c.Access(a) || !c.Access(b) {
+		t.Fatal("two blocks should coexist in a 2-way set")
+	}
+	// Access order a, b makes a the LRU; inserting d must evict a, not b.
+	c.Access(d)
+	if !c.Access(b) {
+		t.Error("b (recently used) should have survived the insertion of d")
+	}
+	if c.Access(a) {
+		t.Error("a (least recently used) should have been evicted")
+	}
+}
+
+func TestCacheHitRatio(t *testing.T) {
+	c := NewCache(1 << 10)
+	if c.HitRatio() != 1 {
+		t.Error("unused cache should report ratio 1")
+	}
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	if r := c.HitRatio(); r != 0.75 {
+		t.Errorf("HitRatio = %v, want 0.75", r)
+	}
+}
+
+func TestSystemLatencies(t *testing.T) {
+	for _, mc := range machine.MemConfigs {
+		s := New(mc)
+		first := s.LoadLatency(0x1000)
+		second := s.LoadLatency(0x1000)
+		if !mc.HasCache() {
+			if first != mc.HitLatency || second != mc.HitLatency {
+				t.Errorf("%s: perfect memory latencies %d/%d, want %d", mc, first, second, mc.HitLatency)
+			}
+			continue
+		}
+		if first != mc.MissLatency {
+			t.Errorf("%s: cold load latency %d, want miss %d", mc, first, mc.MissLatency)
+		}
+		if second != mc.HitLatency {
+			t.Errorf("%s: warm load latency %d, want hit %d", mc, second, mc.HitLatency)
+		}
+	}
+}
+
+func TestStoreTouchAllocates(t *testing.T) {
+	mc, _ := machine.MemConfigByID('D')
+	s := New(mc)
+	s.StoreTouch(0x2000)
+	if lat := s.LoadLatency(0x2000); lat != mc.HitLatency {
+		t.Errorf("load after store-allocate took %d cycles, want hit %d", lat, mc.HitLatency)
+	}
+}
+
+// Property: a second access to any address always hits (temporal locality
+// is never lost immediately).
+func TestRepeatAccessAlwaysHits(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewCache(16 << 10)
+		for _, a := range addrs {
+			c.Access(int64(a))
+			if !c.Access(int64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit+miss counts equal accesses.
+func TestAccessAccounting(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := NewCache(1 << 10)
+		for _, a := range addrs {
+			c.Access(int64(a))
+		}
+		return c.Hits+c.Misses == int64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTinyCache(t *testing.T) {
+	c := NewCache(8) // smaller than one set: clamps to 1 set
+	c.Access(0)
+	if !c.Access(0) {
+		t.Error("tiny cache should still function")
+	}
+}

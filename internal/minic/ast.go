@@ -1,0 +1,298 @@
+package minic
+
+// Type describes a MiniC type. Base types are int and char; Ptr counts
+// levels of indirection. Arrays appear only in declarations and decay to
+// pointers in expressions.
+type Type struct {
+	Base BaseType
+	Ptr  int // levels of indirection
+}
+
+// BaseType is a scalar base type.
+type BaseType uint8
+
+const (
+	BaseInt BaseType = iota
+	BaseChar
+	BaseVoid
+)
+
+// Common types.
+var (
+	TInt     = Type{Base: BaseInt}
+	TChar    = Type{Base: BaseChar}
+	TVoid    = Type{Base: BaseVoid}
+	TCharPtr = Type{Base: BaseChar, Ptr: 1}
+)
+
+// IsPtr reports whether the type is a pointer.
+func (t Type) IsPtr() bool { return t.Ptr > 0 }
+
+// Elem returns the pointee type. It panics on non-pointers.
+func (t Type) Elem() Type {
+	if t.Ptr == 0 {
+		panic("minic: Elem of non-pointer")
+	}
+	return Type{Base: t.Base, Ptr: t.Ptr - 1}
+}
+
+// AddrOf returns a pointer to t.
+func (t Type) AddrOf() Type { return Type{Base: t.Base, Ptr: t.Ptr + 1} }
+
+// Size returns the byte size of a value of the type.
+func (t Type) Size() int32 {
+	if t.Ptr > 0 || t.Base == BaseInt {
+		return 4
+	}
+	if t.Base == BaseChar {
+		return 1
+	}
+	return 0
+}
+
+func (t Type) String() string {
+	s := ""
+	switch t.Base {
+	case BaseInt:
+		s = "int"
+	case BaseChar:
+		s = "char"
+	case BaseVoid:
+		s = "void"
+	}
+	for i := 0; i < t.Ptr; i++ {
+		s += "*"
+	}
+	return s
+}
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+type (
+	// IntExpr is an integer or char literal.
+	IntExpr struct {
+		Line int
+		Val  int32
+	}
+
+	// StrExpr is a string literal; it evaluates to a char* into the data
+	// segment (NUL-terminated).
+	StrExpr struct {
+		Line int
+		Val  string
+	}
+
+	// VarExpr references a variable by name. Sym is filled by sema.
+	VarExpr struct {
+		Line int
+		Name string
+		Sym  *Symbol
+	}
+
+	// UnExpr is a unary operation: - ~ ! * (deref) & (address-of).
+	UnExpr struct {
+		Line int
+		Op   Kind
+		X    Expr
+	}
+
+	// BinExpr is a binary operation.
+	BinExpr struct {
+		Line int
+		Op   Kind
+		X, Y Expr
+	}
+
+	// AssignExpr is = or an op-assignment; Op is Assign or the compound
+	// operator token (PlusEq etc.).
+	AssignExpr struct {
+		Line int
+		Op   Kind
+		LHS  Expr
+		RHS  Expr
+	}
+
+	// IncDecExpr is ++ or -- in prefix or postfix position.
+	IncDecExpr struct {
+		Line int
+		Op   Kind // Inc or Dec
+		X    Expr
+		Post bool
+	}
+
+	// IndexExpr is X[Idx].
+	IndexExpr struct {
+		Line int
+		X    Expr
+		Idx  Expr
+	}
+
+	// CallExpr is a function call or builtin (getc, putc).
+	CallExpr struct {
+		Line int
+		Name string
+		Args []Expr
+		Fn   *FuncDecl // filled by sema; nil for builtins
+	}
+)
+
+func (e *IntExpr) exprLine() int    { return e.Line }
+func (e *StrExpr) exprLine() int    { return e.Line }
+func (e *VarExpr) exprLine() int    { return e.Line }
+func (e *UnExpr) exprLine() int     { return e.Line }
+func (e *BinExpr) exprLine() int    { return e.Line }
+func (e *AssignExpr) exprLine() int { return e.Line }
+func (e *IncDecExpr) exprLine() int { return e.Line }
+func (e *IndexExpr) exprLine() int  { return e.Line }
+func (e *CallExpr) exprLine() int   { return e.Line }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+type (
+	// DeclStmt declares a local variable, optionally with an initializer.
+	DeclStmt struct {
+		Line   int
+		Name   string
+		Type   Type
+		ArrLen int32 // 0 for scalars; element count for local arrays
+		Init   Expr
+		Sym    *Symbol
+	}
+
+	// ExprStmt evaluates an expression for its side effects.
+	ExprStmt struct {
+		Line int
+		X    Expr
+	}
+
+	// IfStmt is if/else.
+	IfStmt struct {
+		Line int
+		Cond Expr
+		Then Stmt
+		Else Stmt // may be nil
+	}
+
+	// WhileStmt is a while loop.
+	WhileStmt struct {
+		Line int
+		Cond Expr
+		Body Stmt
+	}
+
+	// ForStmt is a C for loop; Init/Cond/Post may be nil.
+	ForStmt struct {
+		Line int
+		Init Stmt
+		Cond Expr
+		Post Expr
+		Body Stmt
+	}
+
+	// ReturnStmt returns from the function; X may be nil for void.
+	ReturnStmt struct {
+		Line int
+		X    Expr
+	}
+
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Line int }
+
+	// ContinueStmt continues the innermost loop.
+	ContinueStmt struct{ Line int }
+
+	// BlockStmt is a brace-delimited statement list with its own scope.
+	BlockStmt struct {
+		Line int
+		List []Stmt
+	}
+
+	// EmptyStmt is a lone semicolon.
+	EmptyStmt struct{ Line int }
+)
+
+func (s *DeclStmt) stmtLine() int     { return s.Line }
+func (s *ExprStmt) stmtLine() int     { return s.Line }
+func (s *IfStmt) stmtLine() int       { return s.Line }
+func (s *WhileStmt) stmtLine() int    { return s.Line }
+func (s *ForStmt) stmtLine() int      { return s.Line }
+func (s *ReturnStmt) stmtLine() int   { return s.Line }
+func (s *BreakStmt) stmtLine() int    { return s.Line }
+func (s *ContinueStmt) stmtLine() int { return s.Line }
+func (s *BlockStmt) stmtLine() int    { return s.Line }
+func (s *EmptyStmt) stmtLine() int    { return s.Line }
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Line   int
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *BlockStmt
+
+	// paramSyms maps parameter names to their resolved symbols (filled by
+	// semantic analysis, consumed by the code generator's prologue).
+	paramSyms map[string]*Symbol
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Line    int
+	Name    string
+	Type    Type
+	ArrLen  int32  // 0 for scalars
+	Init    int32  // scalar initializer (0 if absent)
+	InitStr string // string initializer for char arrays / char* ("" if absent)
+	HasInit bool
+	Sym     *Symbol
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// SymKind classifies a resolved symbol.
+type SymKind uint8
+
+const (
+	SymGlobal SymKind = iota // data-segment scalar or array
+	SymLocal                 // register-allocated local scalar
+	SymFrame                 // frame-resident local (array or addressed)
+	SymParam                 // incoming argument
+)
+
+// Symbol is a resolved variable created by semantic analysis.
+type Symbol struct {
+	Name   string
+	Kind   SymKind
+	Type   Type  // value type (for arrays, the element type)
+	IsArr  bool  // declared as an array
+	ArrLen int32 // element count when IsArr
+
+	// Addr is the data-segment address for globals and the frame offset for
+	// frame-resident locals (assigned by codegen).
+	Addr int32
+
+	// ArgIdx is the incoming argument index for symbols that started life
+	// as parameters (including addressed params demoted to SymFrame);
+	// -1 otherwise.
+	ArgIdx int
+
+	// VReg is the virtual register for SymLocal (and for SymParam after the
+	// prologue copies the argument in). Assigned by codegen.
+	VReg int16
+
+	// Addressed is set when & is applied to the symbol (forces SymFrame).
+	Addressed bool
+}

@@ -1,0 +1,584 @@
+package minic
+
+import (
+	"fmt"
+
+	"fgpsim/internal/ir"
+)
+
+// frameSentinel is the placeholder magnitude used in prologue/epilogue
+// stack-pointer adjustments until the final frame size is known (spill slots
+// are added by the register allocator). patchFrames replaces it.
+const frameSentinel = int64(1) << 40
+
+// firstVReg is the first virtual register number. Registers below it are
+// architectural; the code generator only uses ir.RegSP and ir.RegRet from
+// that range, and the register allocator assigns the rest.
+const firstVReg = ir.Reg(ir.NumRegs)
+
+// cg generates node IR for one function.
+type cg struct {
+	unit *Unit
+	prog *ir.Program
+	fids map[string]ir.FuncID
+
+	fn  *ir.Func
+	fd  *FuncDecl
+	cur *ir.Block // block being filled; nil when the point is unreachable
+
+	nextV    ir.Reg
+	frameOff int32
+
+	breakTo []ir.BlockID
+	contTo  []ir.BlockID
+}
+
+func (g *cg) newVReg() ir.Reg {
+	v := g.nextV
+	g.nextV++
+	if g.nextV <= 0 {
+		panic("minic: virtual register space exhausted")
+	}
+	return v
+}
+
+func (g *cg) newBlock() *ir.Block {
+	b := &ir.Block{Fall: ir.NoBlock}
+	g.prog.AddBlock(g.fn.ID, b)
+	return b
+}
+
+// emit appends a node to the current block, materializing an unreachable
+// block if control cannot reach this point (it is pruned later).
+func (g *cg) emit(n ir.Node) {
+	if g.cur == nil {
+		g.cur = g.newBlock()
+	}
+	g.cur.Body = append(g.cur.Body, n)
+}
+
+// setTerm ends the current block.
+func (g *cg) setTerm(term ir.Node, fall ir.BlockID) {
+	if g.cur == nil {
+		g.cur = g.newBlock()
+	}
+	g.cur.Term = term
+	g.cur.Fall = fall
+	g.cur = nil
+}
+
+// jump ends the current block with a jump to target and leaves the point
+// unreachable.
+func (g *cg) jump(target ir.BlockID) {
+	g.setTerm(ir.Node{Op: ir.Jmp, Target: target}, ir.NoBlock)
+}
+
+// enter makes b the current block (b must be un-terminated).
+func (g *cg) enter(b *ir.Block) { g.cur = b }
+
+func (g *cg) constReg(v int32) ir.Reg {
+	r := g.newVReg()
+	g.emit(ir.Node{Op: ir.Const, Dst: r, Imm: int64(v)})
+	return r
+}
+
+func (g *cg) typeOf(e Expr) Type {
+	if t, ok := g.unit.Types[e]; ok {
+		return t
+	}
+	return TInt
+}
+
+// widthOps returns the load/store opcodes for a value of type t.
+func widthOps(t Type) (ld, st ir.Op) {
+	if t.Size() == 1 {
+		return ir.LdB, ir.StB
+	}
+	return ir.Ld, ir.St
+}
+
+// lvalue describes a generated storage location: either a register-resident
+// local (reg set) or a memory address (base+off with a value type).
+type lvalue struct {
+	reg  ir.Reg // valid when kind == lvReg
+	base ir.Reg
+	off  int32
+	typ  Type
+	kind lvKind
+}
+
+type lvKind uint8
+
+const (
+	lvReg lvKind = iota
+	lvMem
+)
+
+// genAddr generates the storage location of an lvalue expression.
+func (g *cg) genAddr(e Expr) lvalue {
+	switch e := e.(type) {
+	case *VarExpr:
+		sym := e.Sym
+		switch sym.Kind {
+		case SymLocal, SymParam:
+			if sym.VReg == 0 {
+				panic("minic: local " + sym.Name + " has no vreg")
+			}
+			return lvalue{kind: lvReg, reg: ir.Reg(sym.VReg), typ: sym.Type}
+		case SymFrame:
+			return lvalue{kind: lvMem, base: ir.RegSP, off: sym.Addr, typ: sym.Type}
+		case SymGlobal:
+			base := g.constReg(sym.Addr)
+			return lvalue{kind: lvMem, base: base, off: 0, typ: sym.Type}
+		}
+
+	case *IndexExpr:
+		elem := g.typeOf(e)
+		base := g.genExpr(e.X)
+		idx := g.genExpr(e.Idx)
+		addr := g.newVReg()
+		if elem.Size() == 4 {
+			two := g.constReg(2)
+			scaled := g.newVReg()
+			g.emit(ir.Node{Op: ir.Shl, Dst: scaled, A: idx, B: two})
+			idx = scaled
+		}
+		g.emit(ir.Node{Op: ir.Add, Dst: addr, A: base, B: idx})
+		return lvalue{kind: lvMem, base: addr, off: 0, typ: elem}
+
+	case *UnExpr:
+		if e.Op == Star {
+			base := g.genExpr(e.X)
+			return lvalue{kind: lvMem, base: base, off: 0, typ: g.typeOf(e)}
+		}
+	}
+	panic(fmt.Sprintf("minic: genAddr on non-lvalue %T", e))
+}
+
+// loadLV produces the value of a storage location in a register.
+func (g *cg) loadLV(lv lvalue) ir.Reg {
+	if lv.kind == lvReg {
+		return lv.reg
+	}
+	ld, _ := widthOps(lv.typ)
+	dst := g.newVReg()
+	g.emit(ir.Node{Op: ld, Dst: dst, A: lv.base, Imm: int64(lv.off)})
+	return dst
+}
+
+// storeLV writes a register value to a storage location.
+func (g *cg) storeLV(lv lvalue, v ir.Reg) {
+	if lv.kind == lvReg {
+		if lv.reg != v {
+			g.emit(ir.Node{Op: ir.Mov, Dst: lv.reg, A: v})
+		}
+		return
+	}
+	_, st := widthOps(lv.typ)
+	g.emit(ir.Node{Op: st, A: lv.base, B: v, Imm: int64(lv.off)})
+}
+
+var binOpTab = map[Kind]ir.Op{
+	Plus: ir.Add, Minus: ir.Sub, Star: ir.Mul, Slash: ir.Div, Percent: ir.Rem,
+	Amp: ir.And, Pipe: ir.Or, Caret: ir.Xor, Shl: ir.Shl, Shr: ir.Shr,
+	EqEq: ir.Eq, NotEq: ir.Ne, Lt: ir.Lt, Le: ir.Le, Gt: ir.Gt, Ge: ir.Ge,
+}
+
+var compoundTab = map[Kind]Kind{
+	PlusEq: Plus, MinusEq: Minus, StarEq: Star, SlashEq: Slash,
+	PercentEq: Percent, AmpEq: Amp, PipeEq: Pipe, CaretEq: Caret,
+	ShlEq: Shl, ShrEq: Shr,
+}
+
+// scalePtr multiplies v by the pointee size of pt when pt is a pointer to a
+// word-sized element; byte pointers need no scaling.
+func (g *cg) scalePtr(pt Type, v ir.Reg) ir.Reg {
+	if !pt.IsPtr() || pt.Elem().Size() == 1 {
+		return v
+	}
+	two := g.constReg(2)
+	scaled := g.newVReg()
+	g.emit(ir.Node{Op: ir.Shl, Dst: scaled, A: v, B: two})
+	return scaled
+}
+
+// genBinValue generates X op Y with pointer scaling.
+func (g *cg) genBinValue(op Kind, xt, yt Type, x, y ir.Reg) ir.Reg {
+	dst := g.newVReg()
+	switch {
+	case op == Plus && xt.IsPtr():
+		y = g.scalePtr(xt, y)
+	case op == Plus && yt.IsPtr():
+		x = g.scalePtr(yt, x)
+	case op == Minus && xt.IsPtr() && !yt.IsPtr():
+		y = g.scalePtr(xt, y)
+	}
+	g.emit(ir.Node{Op: binOpTab[op], Dst: dst, A: x, B: y})
+	if op == Minus && xt.IsPtr() && yt.IsPtr() && xt.Elem().Size() == 4 {
+		// Pointer difference in elements: divide the byte delta by 4.
+		two := g.constReg(2)
+		q := g.newVReg()
+		g.emit(ir.Node{Op: ir.Shr, Dst: q, A: dst, B: two})
+		return q
+	}
+	return dst
+}
+
+// genExpr generates code computing e and returns the register holding it.
+func (g *cg) genExpr(e Expr) ir.Reg {
+	switch e := e.(type) {
+	case *IntExpr:
+		return g.constReg(e.Val)
+
+	case *StrExpr:
+		return g.constReg(g.unit.StringAddr(e.Val))
+
+	case *VarExpr:
+		if e.Sym.IsArr {
+			// Array decays to its address.
+			if e.Sym.Kind == SymGlobal {
+				return g.constReg(e.Sym.Addr)
+			}
+			dst := g.newVReg()
+			g.emit(ir.Node{Op: ir.AddI, Dst: dst, A: ir.RegSP, Imm: int64(e.Sym.Addr)})
+			return dst
+		}
+		return g.loadLV(g.genAddr(e))
+
+	case *UnExpr:
+		switch e.Op {
+		case Minus:
+			x := g.genExpr(e.X)
+			dst := g.newVReg()
+			g.emit(ir.Node{Op: ir.Neg, Dst: dst, A: x})
+			return dst
+		case Tilde:
+			x := g.genExpr(e.X)
+			dst := g.newVReg()
+			g.emit(ir.Node{Op: ir.Not, Dst: dst, A: x})
+			return dst
+		case Bang:
+			x := g.genExpr(e.X)
+			z := g.constReg(0)
+			dst := g.newVReg()
+			g.emit(ir.Node{Op: ir.Eq, Dst: dst, A: x, B: z})
+			return dst
+		case Star:
+			return g.loadLV(g.genAddr(e))
+		case Amp:
+			lv := g.genAddr(e.X)
+			if lv.kind == lvReg {
+				panic("minic: address of register local (sema should have demoted it)")
+			}
+			if lv.off == 0 {
+				return lv.base
+			}
+			dst := g.newVReg()
+			g.emit(ir.Node{Op: ir.AddI, Dst: dst, A: lv.base, Imm: int64(lv.off)})
+			return dst
+		}
+
+	case *BinExpr:
+		if e.Op == AndAnd || e.Op == OrOr {
+			return g.genShortCircuitValue(e)
+		}
+		x := g.genExpr(e.X)
+		y := g.genExpr(e.Y)
+		return g.genBinValue(e.Op, g.typeOf(e.X), g.typeOf(e.Y), x, y)
+
+	case *AssignExpr:
+		lv := g.genAddr(e.LHS)
+		var v ir.Reg
+		if e.Op == Assign {
+			v = g.genExpr(e.RHS)
+		} else {
+			old := g.loadLV(lv)
+			rhs := g.genExpr(e.RHS)
+			v = g.genBinValue(compoundTab[e.Op], g.typeOf(e.LHS), g.typeOf(e.RHS), old, rhs)
+		}
+		g.storeLV(lv, v)
+		return v
+
+	case *IncDecExpr:
+		lv := g.genAddr(e.X)
+		old := g.loadLV(lv)
+		t := g.typeOf(e.X)
+		step := int32(1)
+		if t.IsPtr() && t.Elem().Size() == 4 {
+			step = 4
+		}
+		if e.Op == Dec {
+			step = -step
+		}
+		nv := g.newVReg()
+		g.emit(ir.Node{Op: ir.AddI, Dst: nv, A: old, Imm: int64(step)})
+		if e.Post && lv.kind == lvReg {
+			// The "old" value is the register itself, which the store below
+			// would overwrite; preserve it first.
+			keep := g.newVReg()
+			g.emit(ir.Node{Op: ir.Mov, Dst: keep, A: old})
+			old = keep
+		}
+		g.storeLV(lv, nv)
+		if e.Post {
+			return old
+		}
+		if lv.kind == lvReg {
+			return lv.reg
+		}
+		return nv
+
+	case *IndexExpr:
+		return g.loadLV(g.genAddr(e))
+
+	case *CallExpr:
+		return g.genCall(e)
+	}
+	panic(fmt.Sprintf("minic: genExpr on %T", e))
+}
+
+// genShortCircuitValue materializes && or || as a 0/1 value using control
+// flow, matching the branchy code real compilers of the era produced.
+func (g *cg) genShortCircuitValue(e *BinExpr) ir.Reg {
+	dst := g.newVReg()
+	tBlk := g.newBlock()
+	fBlk := g.newBlock()
+	join := g.newBlock()
+	g.genCond(e, tBlk.ID, fBlk.ID)
+	g.enter(tBlk)
+	g.emit(ir.Node{Op: ir.Const, Dst: dst, Imm: 1})
+	g.jump(join.ID)
+	g.enter(fBlk)
+	g.emit(ir.Node{Op: ir.Const, Dst: dst, Imm: 0})
+	g.jump(join.ID)
+	g.enter(join)
+	return dst
+}
+
+// genCond generates control flow: evaluate e and branch to tBlk when
+// nonzero, fBlk when zero.
+func (g *cg) genCond(e Expr, tBlk, fBlk ir.BlockID) {
+	switch e := e.(type) {
+	case *BinExpr:
+		switch e.Op {
+		case AndAnd:
+			mid := g.newBlock()
+			g.genCond(e.X, mid.ID, fBlk)
+			g.enter(mid)
+			g.genCond(e.Y, tBlk, fBlk)
+			return
+		case OrOr:
+			mid := g.newBlock()
+			g.genCond(e.X, tBlk, mid.ID)
+			g.enter(mid)
+			g.genCond(e.Y, tBlk, fBlk)
+			return
+		}
+	case *UnExpr:
+		if e.Op == Bang {
+			g.genCond(e.X, fBlk, tBlk)
+			return
+		}
+	case *IntExpr:
+		if e.Val != 0 {
+			g.jump(tBlk)
+		} else {
+			g.jump(fBlk)
+		}
+		return
+	}
+	cond := g.genExpr(e)
+	g.setTerm(ir.Node{Op: ir.Br, A: cond, Target: tBlk}, fBlk)
+}
+
+// genCall generates a function or builtin call and returns the result
+// register (a fresh vreg holding garbage for void calls, which sema ensures
+// is never read).
+func (g *cg) genCall(e *CallExpr) ir.Reg {
+	if _, ok := builtins[e.Name]; ok {
+		arg := g.genExpr(e.Args[0])
+		dst := g.newVReg()
+		var sysno int64
+		switch e.Name {
+		case "getc":
+			sysno = ir.SysGetc
+		case "putc":
+			sysno = ir.SysPutc
+		}
+		g.emit(ir.Node{Op: ir.Sys, Dst: dst, A: arg, B: ir.NoReg, Imm: sysno})
+		return dst
+	}
+
+	// Evaluate arguments, then store them into the outgoing argument area
+	// just below the stack pointer, adjust sp, and call.
+	args := make([]ir.Reg, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = g.genExpr(a)
+	}
+	argBytes := int32(4 * len(args))
+	for i, r := range args {
+		g.emit(ir.Node{Op: ir.St, A: ir.RegSP, B: r, Imm: int64(4*int32(i) - argBytes)})
+	}
+	if argBytes > 0 {
+		g.emit(ir.Node{Op: ir.AddI, Dst: ir.RegSP, A: ir.RegSP, Imm: int64(-argBytes)})
+	}
+	cont := g.newBlock()
+	g.setTerm(ir.Node{Op: ir.Call, Callee: g.fids[e.Name]}, cont.ID)
+	g.enter(cont)
+	if argBytes > 0 {
+		g.emit(ir.Node{Op: ir.AddI, Dst: ir.RegSP, A: ir.RegSP, Imm: int64(argBytes)})
+	}
+	dst := g.newVReg()
+	g.emit(ir.Node{Op: ir.Mov, Dst: dst, A: ir.RegRet})
+	return dst
+}
+
+func (g *cg) genStmt(s Stmt) {
+	switch s := s.(type) {
+	case *DeclStmt:
+		sym := s.Sym
+		switch sym.Kind {
+		case SymLocal:
+			sym.VReg = int16(g.newVReg())
+			if s.Init != nil {
+				v := g.genExpr(s.Init)
+				g.emit(ir.Node{Op: ir.Mov, Dst: ir.Reg(sym.VReg), A: v})
+			}
+		case SymFrame:
+			size := sym.Type.Size()
+			if sym.IsArr {
+				size *= sym.ArrLen
+			}
+			sym.Addr = g.allocFrame(size)
+			if s.Init != nil {
+				v := g.genExpr(s.Init)
+				g.storeLV(lvalue{kind: lvMem, base: ir.RegSP, off: sym.Addr, typ: sym.Type}, v)
+			}
+		}
+
+	case *ExprStmt:
+		g.genExpr(s.X)
+
+	case *IfStmt:
+		tBlk := g.newBlock()
+		join := g.newBlock()
+		fTarget := join.ID
+		var fBlk *ir.Block
+		if s.Else != nil {
+			fBlk = g.newBlock()
+			fTarget = fBlk.ID
+		}
+		g.genCond(s.Cond, tBlk.ID, fTarget)
+		g.enter(tBlk)
+		g.genStmt(s.Then)
+		g.jump(join.ID)
+		if s.Else != nil {
+			g.enter(fBlk)
+			g.genStmt(s.Else)
+			g.jump(join.ID)
+		}
+		g.enter(join)
+
+	case *WhileStmt:
+		head := g.newBlock()
+		body := g.newBlock()
+		exit := g.newBlock()
+		g.jump(head.ID)
+		g.enter(head)
+		g.genCond(s.Cond, body.ID, exit.ID)
+		g.breakTo = append(g.breakTo, exit.ID)
+		g.contTo = append(g.contTo, head.ID)
+		g.enter(body)
+		g.genStmt(s.Body)
+		g.jump(head.ID)
+		g.breakTo = g.breakTo[:len(g.breakTo)-1]
+		g.contTo = g.contTo[:len(g.contTo)-1]
+		g.enter(exit)
+
+	case *ForStmt:
+		if s.Init != nil {
+			g.genStmt(s.Init)
+		}
+		head := g.newBlock()
+		body := g.newBlock()
+		post := g.newBlock()
+		exit := g.newBlock()
+		g.jump(head.ID)
+		g.enter(head)
+		if s.Cond != nil {
+			g.genCond(s.Cond, body.ID, exit.ID)
+		} else {
+			g.jump(body.ID)
+		}
+		g.breakTo = append(g.breakTo, exit.ID)
+		g.contTo = append(g.contTo, post.ID)
+		g.enter(body)
+		g.genStmt(s.Body)
+		g.jump(post.ID)
+		g.breakTo = g.breakTo[:len(g.breakTo)-1]
+		g.contTo = g.contTo[:len(g.contTo)-1]
+		g.enter(post)
+		if s.Post != nil {
+			g.genExpr(s.Post)
+		}
+		g.jump(head.ID)
+		g.enter(exit)
+
+	case *ReturnStmt:
+		if s.X != nil {
+			v := g.genExpr(s.X)
+			g.emit(ir.Node{Op: ir.Mov, Dst: ir.RegRet, A: v})
+		}
+		g.emitEpilogue()
+		g.setTerm(ir.Node{Op: ir.Ret}, ir.NoBlock)
+
+	case *BreakStmt:
+		g.jump(g.breakTo[len(g.breakTo)-1])
+
+	case *ContinueStmt:
+		g.jump(g.contTo[len(g.contTo)-1])
+
+	case *BlockStmt:
+		for _, sub := range s.List {
+			g.genStmt(sub)
+		}
+
+	case *EmptyStmt:
+		// nothing
+	}
+}
+
+func (g *cg) allocFrame(size int32) int32 {
+	size = (size + 3) &^ 3
+	off := g.frameOff
+	g.frameOff += size
+	return off
+}
+
+func (g *cg) emitPrologue() {
+	// Allocate the frame first, then copy incoming arguments into their
+	// homes. On entry argument i sits at [sp+4i]; after the adjustment it
+	// is at [sp + frameSize + 4i], expressed with the frame sentinel and
+	// patched once the final frame size is known. Doing the adjustment
+	// first means every later frame access — including spill stores the
+	// register allocator inserts — uses stable non-sentinel offsets.
+	g.emit(ir.Node{Op: ir.AddI, Dst: ir.RegSP, A: ir.RegSP, Imm: -frameSentinel})
+	for _, p := range g.fd.Params {
+		sym := g.fd.paramSyms[p.Name]
+		argImm := frameSentinel + int64(4*sym.ArgIdx)
+		switch sym.Kind {
+		case SymParam, SymLocal:
+			sym.VReg = int16(g.newVReg())
+			g.emit(ir.Node{Op: ir.Ld, Dst: ir.Reg(sym.VReg), A: ir.RegSP, Imm: argImm})
+		case SymFrame:
+			tmp := g.newVReg()
+			g.emit(ir.Node{Op: ir.Ld, Dst: tmp, A: ir.RegSP, Imm: argImm})
+			sym.Addr = g.allocFrame(sym.Type.Size())
+			g.storeLV(lvalue{kind: lvMem, base: ir.RegSP, off: sym.Addr, typ: sym.Type}, tmp)
+		}
+	}
+}
+
+func (g *cg) emitEpilogue() {
+	g.emit(ir.Node{Op: ir.AddI, Dst: ir.RegSP, A: ir.RegSP, Imm: frameSentinel})
+}

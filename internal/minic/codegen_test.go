@@ -1,0 +1,148 @@
+package minic_test
+
+import (
+	"testing"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/minic"
+)
+
+// TestNoSentinelImmediatesSurvive: every frame-sentinel placeholder must be
+// patched away by the time compilation finishes.
+func TestNoSentinelImmediatesSurvive(t *testing.T) {
+	p, err := minic.Compile("h.mc", helloSrc, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound = int64(1) << 39
+	check := func(n *ir.Node) {
+		if n.Imm >= bound || n.Imm <= -bound {
+			t.Errorf("unpatched sentinel immediate in %s", n)
+		}
+	}
+	for _, b := range p.Blocks {
+		for i := range b.Body {
+			check(&b.Body[i])
+		}
+		check(&b.Term)
+	}
+}
+
+// TestFrameDiscipline: every function's stack adjustments are balanced —
+// the prologue subtracts exactly what each epilogue adds.
+func TestFrameDiscipline(t *testing.T) {
+	src := `
+int leaf(int a) { return a + 1; }
+int frame(int a) { int buf[10]; buf[a & 7] = a; return buf[0] + leaf(a); }
+int multi(int a) {
+	if (a > 0) return a;
+	if (a < -10) return -a;
+	return 0;
+}
+int main() { return frame(3) + multi(-1); }
+`
+	p, err := minic.Compile("f.mc", src, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Funcs {
+		if f.Name == "_start" {
+			continue
+		}
+		var subs, adds []int64
+		for _, id := range f.Blocks {
+			b := p.Block(id)
+			for i := range b.Body {
+				n := &b.Body[i]
+				if n.Op == ir.AddI && n.Dst == ir.RegSP && n.A == ir.RegSP {
+					if n.Imm < 0 {
+						subs = append(subs, -n.Imm)
+					} else if n.Imm > 0 {
+						adds = append(adds, n.Imm)
+					}
+				}
+			}
+		}
+		// Calls also adjust sp (argument area), so amounts come in matched
+		// multisets rather than a single frame constant. Balance totals per
+		// function body shape: each sub amount must appear among the adds.
+		counts := map[int64]int{}
+		for _, v := range subs {
+			counts[v]++
+		}
+		for _, v := range adds {
+			counts[v]--
+		}
+		for v, c := range counts {
+			// Prologue sub (frame) is matched by one add per return path,
+			// so adds may exceed subs, never the reverse.
+			if c > 1 {
+				t.Errorf("%s: stack adjustment %d subtracted %d times more than added", f.Name, v, c)
+			}
+		}
+		if int32(len(subs)) > 0 && f.FrameSize > 0 {
+			found := false
+			for _, v := range subs {
+				if v == int64(f.FrameSize) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: FrameSize %d never subtracted (subs %v)", f.Name, f.FrameSize, subs)
+			}
+		}
+	}
+}
+
+// TestLeafFunctionHasNoFrame: a function with no locals, spills, or frame
+// params should not adjust the stack pointer at all.
+func TestLeafFunctionHasNoFrame(t *testing.T) {
+	src := `
+int add3(int a, int b, int c) { return a + b + c; }
+int main() { return add3(1, 2, 3); }
+`
+	p, err := minic.Compile("l.mc", src, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.FuncByName("add3")
+	if f.FrameSize != 0 {
+		t.Fatalf("leaf frame size = %d, want 0", f.FrameSize)
+	}
+	for _, id := range f.Blocks {
+		b := p.Block(id)
+		for i := range b.Body {
+			n := &b.Body[i]
+			if n.Op == ir.AddI && n.Dst == ir.RegSP {
+				t.Errorf("leaf function adjusts sp: %s", n)
+			}
+		}
+	}
+}
+
+// TestArgumentSlotsAreBelowCallerSP: outgoing arguments are stored at
+// negative offsets before the sp adjustment (the red-zone convention).
+func TestArgumentSlotsAreBelowCallerSP(t *testing.T) {
+	src := `
+int f(int a, int b) { return a - b; }
+int main() { return f(10, 4); }
+`
+	p, err := minic.Compile("a.mc", src, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.FuncByName("main")
+	sawArgStore := false
+	for _, id := range main.Blocks {
+		b := p.Block(id)
+		for i := range b.Body {
+			n := &b.Body[i]
+			if n.Op == ir.St && n.A == ir.RegSP && n.Imm < 0 {
+				sawArgStore = true
+			}
+		}
+	}
+	if !sawArgStore {
+		t.Error("no argument stores below sp found in caller")
+	}
+}

@@ -1,0 +1,371 @@
+package minic_test
+
+import (
+	"testing"
+
+	"fgpsim/internal/interp"
+	"fgpsim/internal/minic"
+)
+
+// run compiles src and executes it with the given stdin, returning output.
+func run(t *testing.T, src string, in string, optimize bool) string {
+	t.Helper()
+	p, err := minic.Compile("test.mc", src, minic.Options{Optimize: optimize})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(p, []byte(in), nil, interp.Options{MaxNodes: 50_000_000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return string(res.Output)
+}
+
+// runBoth runs with and without optimization and checks both agree.
+func runBoth(t *testing.T, src, in, want string) {
+	t.Helper()
+	for _, o := range []bool{false, true} {
+		got := run(t, src, in, o)
+		if got != want {
+			t.Errorf("optimize=%v: output = %q, want %q", o, got, want)
+		}
+	}
+}
+
+const helloSrc = `
+void puts(char *s) {
+	int i;
+	i = 0;
+	while (s[i] != 0) {
+		putc(s[i]);
+		i = i + 1;
+	}
+}
+int main() {
+	puts("hello, world\n");
+	return 0;
+}
+`
+
+func TestHello(t *testing.T) {
+	runBoth(t, helloSrc, "", "hello, world\n")
+}
+
+func TestEcho(t *testing.T) {
+	src := `
+int main() {
+	int c;
+	c = getc(0);
+	while (c >= 0) {
+		putc(c);
+		c = getc(0);
+	}
+	return 0;
+}
+`
+	runBoth(t, src, "abc def\nxyz", "abc def\nxyz")
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+void putnum(int n) {
+	char buf[12];
+	int i;
+	if (n < 0) { putc('-'); n = -n; }
+	i = 0;
+	if (n == 0) { buf[0] = '0'; i = 1; }
+	while (n > 0) { buf[i] = '0' + n % 10; n = n / 10; i = i + 1; }
+	while (i > 0) { i = i - 1; putc(buf[i]); }
+	putc('\n');
+}
+int main() {
+	putnum(0);
+	putnum(42);
+	putnum(-17);
+	putnum(6 * 7);
+	putnum(100 / 7);
+	putnum(100 % 7);
+	putnum((1 << 10) - 1);
+	putnum(255 & 0x0F);
+	putnum(0x10 | 0x01);
+	putnum(5 ^ 3);
+	putnum(~0);
+	putnum(-(1 + 2));
+	putnum(10 >> 2);
+	return 0;
+}
+`
+	runBoth(t, src, "", "0\n42\n-17\n42\n14\n2\n1023\n15\n17\n6\n-1\n-3\n2\n")
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	src := `
+void put01(int v) { if (v) putc('1'); else putc('0'); }
+int main() {
+	put01(1 < 2);
+	put01(2 < 1);
+	put01(2 <= 2);
+	put01(3 > 2);
+	put01(2 >= 3);
+	put01(1 == 1);
+	put01(1 != 1);
+	put01(1 && 0);
+	put01(1 && 2);
+	put01(0 || 0);
+	put01(0 || 3);
+	put01(!5);
+	put01(!0);
+	putc('\n');
+	return 0;
+}
+`
+	// 1<2, 2<1, 2<=2, 3>2, 2>=3, 1==1, 1!=1, 1&&0, 1&&2, 0||0, 0||3, !5, !0
+	runBoth(t, src, "", "1011010010101\n")
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	src := `
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+	int x;
+	x = 0 && bump();
+	x = x + calls;          // calls must still be 0
+	x = 1 || bump();
+	putc('0' + calls);      // still 0
+	x = 1 && bump();
+	putc('0' + calls);      // now 1
+	x = 0 || bump();
+	putc('0' + calls);      // now 2
+	putc('\n');
+	return 0;
+}
+`
+	runBoth(t, src, "", "012\n")
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	src := `
+int g[10];
+int main() {
+	int i;
+	int *p;
+	for (i = 0; i < 10; i++) g[i] = i * i;
+	p = g;
+	putc('0' + p[3] % 10);      // 9
+	p = p + 4;
+	putc('0' + *p % 10);        // 16 -> 6
+	p++;
+	putc('0' + *p % 10);        // 25 -> 5
+	putc('0' + (p - g));        // 5 elements
+	putc('\n');
+	return 0;
+}
+`
+	runBoth(t, src, "", "9655\n")
+}
+
+func TestCharsAndStrings(t *testing.T) {
+	src := `
+char *msg = "AB";
+char buf[8];
+int slen(char *s) {
+	int n = 0;
+	while (s[n]) n++;
+	return n;
+}
+int main() {
+	buf[0] = msg[0] + 1;
+	buf[1] = msg[1] + 1;
+	buf[2] = 0;
+	putc(buf[0]);
+	putc(buf[1]);
+	putc('0' + slen(buf));
+	putc('0' + slen("four"));
+	putc('\n');
+	return 0;
+}
+`
+	runBoth(t, src, "", "BC24\n")
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int fact(int n) {
+	if (n <= 1) return 1;
+	return n * fact(n - 1);
+}
+int main() {
+	putc('0' + fib(10) / 10 % 10); // fib(10)=55
+	putc('0' + fib(10) % 10);
+	putc('0' + fact(5) / 100);     // 120
+	putc('0' + fact(5) / 10 % 10);
+	putc('0' + fact(5) % 10);
+	putc('\n');
+	return 0;
+}
+`
+	runBoth(t, src, "", "55120\n")
+}
+
+func TestAddressOfLocal(t *testing.T) {
+	src := `
+void setit(int *p, int v) { *p = v; }
+int main() {
+	int x = 1;
+	setit(&x, 7);
+	putc('0' + x);
+	putc('\n');
+	return 0;
+}
+`
+	runBoth(t, src, "", "7\n")
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	src := `
+int a[4];
+int main() {
+	int x = 10;
+	int i = 0;
+	x += 5; x -= 3; x *= 2; x /= 4; x %= 5; // ((10+5-3)*2/4)%5 = 6%5 = 1
+	putc('0' + x);
+	x = 12;
+	x &= 10; x |= 1; x ^= 2; x <<= 1; x >>= 1; // ((12&10)|1)^2 = 11, <<1 >>1 = 11... wait
+	putc('A' + x % 26);
+	a[i++] = 5;
+	putc('0' + i);
+	putc('0' + a[0]);
+	a[--i] = 3;
+	putc('0' + i);
+	putc('0' + a[0]);
+	i = 2;
+	putc('0' + i++);
+	putc('0' + i);
+	putc('0' + ++i);
+	putc('\n');
+	return 0;
+}
+`
+	// x path: 12&10=8, |1=9, ^2=11, <<1=22, >>1=11 -> 'A'+11='L'
+	runBoth(t, src, "", "1L1503234\n")
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 10; i++) {
+		if (i == 3) continue;
+		if (i == 6) break;
+		sum += i;
+	}
+	// 0+1+2+4+5 = 12
+	putc('0' + sum / 10);
+	putc('0' + sum % 10);
+	putc('\n');
+	return 0;
+}
+`
+	runBoth(t, src, "", "12\n")
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	src := `
+int seven = 7;
+char letter = 'q';
+int neg = -3;
+int main() {
+	putc('0' + seven);
+	putc(letter);
+	putc('0' - neg);
+	putc('\n');
+	return 0;
+}
+`
+	runBoth(t, src, "", "7q3\n")
+}
+
+func TestNestedLoops(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	int j;
+	int n = 0;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < i; j++) {
+			n++;
+		}
+	}
+	putc('0' + n); // 0+1+2+3 = 6
+	putc('\n');
+	return 0;
+}
+`
+	runBoth(t, src, "", "6\n")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"undefined var", `int main() { return x; }`},
+		{"undefined func", `int main() { return f(); }`},
+		{"no main", `int f() { return 0; }`},
+		{"dup function", `int f(){return 0;} int f(){return 0;} int main(){return 0;}`},
+		{"dup global", `int g; int g; int main(){return 0;}`},
+		{"dup local", `int main() { int x; int x; return 0; }`},
+		{"break outside loop", `int main() { break; }`},
+		{"continue outside loop", `int main() { continue; }`},
+		{"void returns value", `void f() { return 1; } int main(){ f(); return 0; }`},
+		{"missing return value", `int f() { return; } int main(){ return f(); }`},
+		{"assign to rvalue", `int main() { 1 = 2; return 0; }`},
+		{"bad arg count", `int f(int a){return a;} int main(){ return f(); }`},
+		{"deref int", `int main() { int x; return *x; }`},
+		{"addr of literal", `int main() { int *p; p = &3; return 0; }`},
+		{"index int", `int main() { int x; return x[0]; }`},
+		{"redefine builtin", `int getc(int s) { return 0; } int main(){ return 0; }`},
+		{"unterminated comment", `int main() { /* oops return 0; }`},
+		{"bad token", "int main() { return 0 @ 1; }"},
+		{"unterminated string", `int main() { putc("a; return 0; }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := minic.Compile("e.mc", c.src, minic.Options{}); err == nil {
+				t.Errorf("Compile accepted bad program")
+			}
+		})
+	}
+}
+
+func TestValidateAfterCompile(t *testing.T) {
+	p, err := minic.Compile("h.mc", helloSrc, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("optimized program invalid: %v", err)
+	}
+	if p.FuncByName("main") == nil || p.FuncByName("_start") == nil {
+		t.Error("missing expected functions")
+	}
+}
+
+func TestOptimizeShrinksCode(t *testing.T) {
+	p0, err := minic.Compile("h.mc", helloSrc, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := minic.Compile("h.mc", helloSrc, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NumNodes() >= p0.NumNodes() {
+		t.Errorf("optimizer did not shrink program: %d -> %d nodes", p0.NumNodes(), p1.NumNodes())
+	}
+}

@@ -1,0 +1,318 @@
+package minic
+
+import "fmt"
+
+// lexer turns MiniC source into tokens. It supports // line comments and
+// /* */ block comments, decimal and 0x hex integers, and the usual C escape
+// sequences in char and string literals.
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &Error{File: lx.file, Line: lx.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos < len(lx.src) {
+		return lx.src[lx.pos]
+	}
+	return 0
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.pos+1 < len(lx.src) {
+		return lx.src[lx.pos+1]
+	}
+	return 0
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		switch c := lx.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.line
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos >= len(lx.src) {
+					lx.line = start
+					return lx.errf("unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// next lexes and returns the next token.
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: lx.line}
+	if lx.pos >= len(lx.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := lx.peek()
+	switch {
+	case isAlpha(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		if kw, ok := keywords[text]; ok {
+			tok.Kind = kw
+		} else {
+			tok.Kind = Ident
+			tok.Text = text
+		}
+		return tok, nil
+
+	case isDigit(c):
+		return lx.lexNumber()
+
+	case c == '\'':
+		return lx.lexChar()
+
+	case c == '"':
+		return lx.lexString()
+	}
+	return lx.lexOperator()
+}
+
+func (lx *lexer) lexNumber() (Token, error) {
+	tok := Token{Kind: IntLit, Line: lx.line}
+	var v int64
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		if !isHexDigit(lx.peek()) {
+			return tok, lx.errf("malformed hex literal")
+		}
+		for lx.pos < len(lx.src) && isHexDigit(lx.peek()) {
+			d := lx.advance()
+			switch {
+			case d <= '9':
+				v = v*16 + int64(d-'0')
+			case d >= 'a':
+				v = v*16 + int64(d-'a'+10)
+			default:
+				v = v*16 + int64(d-'A'+10)
+			}
+			if v > 0xFFFFFFFF {
+				return tok, lx.errf("hex literal too large")
+			}
+		}
+	} else {
+		for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+			v = v*10 + int64(lx.advance()-'0')
+			if v > 1<<31 {
+				return tok, lx.errf("integer literal too large")
+			}
+		}
+	}
+	tok.Val = int32(v)
+	return tok, nil
+}
+
+func (lx *lexer) escape() (byte, error) {
+	if lx.pos >= len(lx.src) {
+		return 0, lx.errf("unterminated escape")
+	}
+	switch c := lx.advance(); c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	default:
+		return 0, lx.errf("unknown escape \\%c", c)
+	}
+}
+
+func (lx *lexer) lexChar() (Token, error) {
+	tok := Token{Kind: CharLit, Line: lx.line}
+	lx.advance() // opening quote
+	if lx.pos >= len(lx.src) {
+		return tok, lx.errf("unterminated char literal")
+	}
+	var b byte
+	if lx.peek() == '\\' {
+		lx.advance()
+		e, err := lx.escape()
+		if err != nil {
+			return tok, err
+		}
+		b = e
+	} else {
+		b = lx.advance()
+	}
+	if lx.pos >= len(lx.src) || lx.peek() != '\'' {
+		return tok, lx.errf("unterminated char literal")
+	}
+	lx.advance()
+	tok.Val = int32(b)
+	return tok, nil
+}
+
+func (lx *lexer) lexString() (Token, error) {
+	tok := Token{Kind: StrLit, Line: lx.line}
+	lx.advance() // opening quote
+	var buf []byte
+	for {
+		if lx.pos >= len(lx.src) {
+			return tok, lx.errf("unterminated string literal")
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return tok, lx.errf("newline in string literal")
+		}
+		if c == '\\' {
+			e, err := lx.escape()
+			if err != nil {
+				return tok, err
+			}
+			c = e
+		}
+		buf = append(buf, c)
+	}
+	tok.Text = string(buf)
+	return tok, nil
+}
+
+// twoCharOps maps a leading operator byte to its two-character extensions.
+var twoCharOps = map[byte][]struct {
+	second byte
+	kind   Kind
+}{
+	'+': {{'+', Inc}, {'=', PlusEq}},
+	'-': {{'-', Dec}, {'=', MinusEq}},
+	'*': {{'=', StarEq}},
+	'/': {{'=', SlashEq}},
+	'%': {{'=', PercentEq}},
+	'&': {{'&', AndAnd}, {'=', AmpEq}},
+	'|': {{'|', OrOr}, {'=', PipeEq}},
+	'^': {{'=', CaretEq}},
+	'=': {{'=', EqEq}},
+	'!': {{'=', NotEq}},
+	'<': {{'=', Le}},
+	'>': {{'=', Ge}},
+}
+
+var oneCharOps = map[byte]Kind{
+	'(': LParen, ')': RParen, '{': LBrace, '}': RBrace,
+	'[': LBrack, ']': RBrack, ';': Semi, ',': Comma,
+	'+': Plus, '-': Minus, '*': Star, '/': Slash, '%': Percent,
+	'&': Amp, '|': Pipe, '^': Caret, '~': Tilde, '!': Bang,
+	'<': Lt, '>': Gt, '=': Assign,
+}
+
+func (lx *lexer) lexOperator() (Token, error) {
+	tok := Token{Line: lx.line}
+	c := lx.advance()
+
+	// Three-character operators: <<= and >>=.
+	if c == '<' && lx.peek() == '<' {
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			tok.Kind = ShlEq
+		} else {
+			tok.Kind = Shl
+		}
+		return tok, nil
+	}
+	if c == '>' && lx.peek() == '>' {
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			tok.Kind = ShrEq
+		} else {
+			tok.Kind = Shr
+		}
+		return tok, nil
+	}
+	for _, ext := range twoCharOps[c] {
+		if lx.peek() == ext.second {
+			lx.advance()
+			tok.Kind = ext.kind
+			return tok, nil
+		}
+	}
+	if k, ok := oneCharOps[c]; ok {
+		tok.Kind = k
+		return tok, nil
+	}
+	return tok, lx.errf("unexpected character %q", c)
+}
+
+// lexAll tokenizes the entire source.
+func lexAll(file, src string) ([]Token, error) {
+	lx := newLexer(file, src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package minic
+
+import (
+	"fmt"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/opt"
+)
+
+// Options control compilation.
+type Options struct {
+	// Optimize enables the block-local optimizer (constant folding, copy
+	// propagation, local CSE, dead code elimination, jump threading).
+	Optimize bool
+
+	// MemSize overrides the simulated memory size (default DefaultMemSize).
+	MemSize int64
+}
+
+// Compile compiles MiniC source into a node-IR program ready for the
+// translating loader. file names the source in error messages.
+func Compile(file, src string, o Options) (*ir.Program, error) {
+	f, err := Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	u, err := Analyze(f)
+	if err != nil {
+		return nil, err
+	}
+	return generate(u, o)
+}
+
+// MustCompile is Compile, panicking on error; for embedded benchmark
+// sources that are compiled at startup and covered by tests.
+func MustCompile(file, src string, o Options) *ir.Program {
+	p, err := Compile(file, src, o)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func generate(u *Unit, o Options) (*ir.Program, error) {
+	memSize := o.MemSize
+	if memSize == 0 {
+		memSize = DefaultMemSize
+	}
+	p := &ir.Program{MemSize: memSize, DataBase: u.DataBase}
+
+	// Assign function IDs up front so calls resolve during generation.
+	fids := make(map[string]ir.FuncID)
+	for _, fd := range u.File.Funcs {
+		id := ir.FuncID(len(p.Funcs))
+		p.Funcs = append(p.Funcs, &ir.Func{ID: id, Name: fd.Name, NumArgs: len(fd.Params)})
+		fids[fd.Name] = id
+	}
+	startID := ir.FuncID(len(p.Funcs))
+	p.Funcs = append(p.Funcs, &ir.Func{ID: startID, Name: "_start"})
+	p.Entry = startID
+
+	for i, fd := range u.File.Funcs {
+		fn := p.Funcs[i]
+		g := &cg{unit: u, prog: p, fids: fids, fn: fn, fd: fd, nextV: firstVReg}
+		entry := g.newBlock()
+		fn.Entry = entry.ID
+		g.enter(entry)
+		g.emitPrologue()
+		g.genStmt(fd.Body)
+		if g.cur != nil {
+			// Fell off the end: implicit return (0 for value functions).
+			if fd.Ret != TVoid {
+				g.emit(ir.Node{Op: ir.Const, Dst: ir.RegRet, Imm: 0})
+			}
+			g.emitEpilogue()
+			g.setTerm(ir.Node{Op: ir.Ret}, ir.NoBlock)
+		}
+		terminateDeadBlocks(p, fn)
+
+		if o.Optimize {
+			opt.Func(p, fn, int(g.nextV))
+		}
+		frameSize, err := allocFunc(p, fn, int(g.nextV-firstVReg), g.frameOff)
+		if err != nil {
+			return nil, err
+		}
+		patchFrames(p, fn, frameSize)
+		fn.FrameSize = frameSize
+	}
+
+	// _start: call main, then halt.
+	start := p.Funcs[startID]
+	cont := &ir.Block{Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	entry := &ir.Block{Term: ir.Node{Op: ir.Call, Callee: fids["main"]}}
+	p.AddBlock(startID, entry)
+	p.AddBlock(startID, cont)
+	entry.Fall = cont.ID
+	start.Entry = entry.ID
+
+	p.Data = append([]byte(nil), u.Data...)
+	p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("minic: generated invalid program: %w", err)
+	}
+	return p, nil
+}
+
+// terminateDeadBlocks gives every block the code generator abandoned (joins
+// after both arms return, loop exits of infinite loops) a valid terminator.
+// They are unreachable, so Halt is safe.
+func terminateDeadBlocks(p *ir.Program, fn *ir.Func) {
+	for _, id := range fn.Blocks {
+		b := p.Blocks[id]
+		if b.Term.Op == ir.Nop {
+			b.Term = ir.Node{Op: ir.Halt}
+			b.Fall = ir.NoBlock
+		}
+	}
+}

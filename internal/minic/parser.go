@@ -1,0 +1,532 @@
+package minic
+
+import "fmt"
+
+// parser is a recursive-descent parser with precedence climbing for binary
+// expressions.
+type parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+// Parse parses a MiniC translation unit.
+func Parse(file, src string) (*File, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	return p.parseFile()
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos+1 < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{File: p.file, Line: p.cur().Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{Name: p.file}
+	for p.cur().Kind != EOF {
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		typ := p.parsePtrSuffix(base)
+		name, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == LParen {
+			fn, err := p.parseFuncRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		} else {
+			g, err := p.parseGlobalRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseBaseType() (Type, error) {
+	switch p.cur().Kind {
+	case KwInt:
+		p.advance()
+		return TInt, nil
+	case KwChar:
+		p.advance()
+		return TChar, nil
+	case KwVoid:
+		p.advance()
+		return TVoid, nil
+	}
+	return Type{}, p.errf("expected type, found %s", p.cur())
+}
+
+func (p *parser) parsePtrSuffix(t Type) Type {
+	for p.accept(Star) {
+		t = t.AddrOf()
+	}
+	return t
+}
+
+func (p *parser) parseGlobalRest(typ Type, name Token) (*GlobalDecl, error) {
+	g := &GlobalDecl{Line: name.Line, Name: name.Text, Type: typ}
+	if typ.Base == BaseVoid && !typ.IsPtr() {
+		return nil, p.errf("variable %s has void type", name.Text)
+	}
+	if p.accept(LBrack) {
+		n, err := p.expect(IntLit)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+		if n.Val <= 0 {
+			return nil, p.errf("array %s has non-positive length", name.Text)
+		}
+		g.ArrLen = n.Val
+	}
+	if p.accept(Assign) {
+		switch t := p.cur(); t.Kind {
+		case IntLit, CharLit:
+			p.advance()
+			g.Init = t.Val
+			g.HasInit = true
+		case Minus:
+			p.advance()
+			n, err := p.expect(IntLit)
+			if err != nil {
+				return nil, err
+			}
+			g.Init = -n.Val
+			g.HasInit = true
+		case StrLit:
+			p.advance()
+			g.InitStr = t.Text
+			g.HasInit = true
+		default:
+			return nil, p.errf("global initializer must be a constant, found %s", t)
+		}
+	}
+	_, err := p.expect(Semi)
+	return g, err
+}
+
+func (p *parser) parseFuncRest(ret Type, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Line: name.Line, Name: name.Text, Ret: ret}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if !p.accept(RParen) {
+		if p.cur().Kind == KwVoid && p.peek().Kind == RParen {
+			p.advance()
+			p.advance()
+		} else {
+			for {
+				base, err := p.parseBaseType()
+				if err != nil {
+					return nil, err
+				}
+				typ := p.parsePtrSuffix(base)
+				if typ.Base == BaseVoid && !typ.IsPtr() {
+					return nil, p.errf("parameter has void type")
+				}
+				pname, err := p.expect(Ident)
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, Param{Name: pname.Text, Type: typ})
+				if !p.accept(Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Line: lb.Line}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.List = append(blk.List, s)
+	}
+	p.advance()
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case KwInt, KwChar:
+		return p.parseDecl()
+	case LBrace:
+		return p.parseBlock()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwFor:
+		return p.parseFor()
+	case KwReturn:
+		line := p.advance().Line
+		if p.accept(Semi) {
+			return &ReturnStmt{Line: line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Line: line, X: x}, nil
+	case KwBreak:
+		line := p.advance().Line
+		_, err := p.expect(Semi)
+		return &BreakStmt{Line: line}, err
+	case KwContinue:
+		line := p.advance().Line
+		_, err := p.expect(Semi)
+		return &ContinueStmt{Line: line}, err
+	case Semi:
+		line := p.advance().Line
+		return &EmptyStmt{Line: line}, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	line := x.exprLine()
+	_, err = p.expect(Semi)
+	return &ExprStmt{Line: line, X: x}, err
+}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	typ := p.parsePtrSuffix(base)
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Line: name.Line, Name: name.Text, Type: typ}
+	if p.accept(LBrack) {
+		n, err := p.expect(IntLit)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+		if n.Val <= 0 {
+			return nil, p.errf("array %s has non-positive length", name.Text)
+		}
+		d.ArrLen = n.Val
+	} else if p.accept(Assign) {
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	_, err = p.expect(Semi)
+	return d, err
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	line := p.advance().Line
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Line: line, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		s.Else, err = p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	line := p.advance().Line
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Line: line, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	line := p.advance().Line
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: line}
+	if !p.accept(Semi) {
+		if p.cur().Kind == KwInt || p.cur().Kind == KwChar {
+			d, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ExprStmt{Line: x.exprLine(), X: x}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(Semi) {
+		var err error
+		s.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().Kind != RParen {
+		var err error
+		s.Post, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Binary operator precedence; higher binds tighter. Assignment is handled
+// separately (right-associative, lowest).
+var binPrec = map[Kind]int{
+	OrOr: 1, AndAnd: 2,
+	Pipe: 3, Caret: 4, Amp: 5,
+	EqEq: 6, NotEq: 6,
+	Lt: 7, Le: 7, Gt: 7, Ge: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+var compoundOps = map[Kind]bool{
+	PlusEq: true, MinusEq: true, StarEq: true, SlashEq: true, PercentEq: true,
+	AmpEq: true, PipeEq: true, CaretEq: true, ShlEq: true, ShrEq: true,
+}
+
+// parseExpr parses an assignment expression.
+func (p *parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	k := p.cur().Kind
+	if k == Assign || compoundOps[k] {
+		line := p.advance().Line
+		rhs, err := p.parseExpr() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Line: line, Op: k, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		line := p.advance().Line
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Line: line, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch k := p.cur().Kind; k {
+	case Minus, Tilde, Bang, Star, Amp:
+		line := p.advance().Line
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Line: line, Op: k, X: x}, nil
+	case Inc, Dec:
+		line := p.advance().Line
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDecExpr{Line: line, Op: k, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case LBrack:
+			line := p.advance().Line
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Line: line, X: x, Idx: idx}
+		case Inc, Dec:
+			t := p.advance()
+			x = &IncDecExpr{Line: t.Line, Op: t.Kind, X: x, Post: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case IntLit, CharLit:
+		p.advance()
+		return &IntExpr{Line: t.Line, Val: t.Val}, nil
+	case StrLit:
+		p.advance()
+		return &StrExpr{Line: t.Line, Val: t.Text}, nil
+	case LParen:
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RParen)
+		return x, err
+	case Ident:
+		p.advance()
+		if p.cur().Kind == LParen {
+			p.advance()
+			call := &CallExpr{Line: t.Line, Name: t.Text}
+			if !p.accept(RParen) {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+				if _, err := p.expect(RParen); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &VarExpr{Line: t.Line, Name: t.Text}, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.cur())
+}

@@ -1,0 +1,229 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("p.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lexAll("l.mc", `int x = 0x1F + 'a'; // comment
+/* block
+comment */ char *s = "a\nb";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]Kind, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []Kind{KwInt, Ident, Assign, IntLit, Plus, CharLit, Semi,
+		KwChar, Star, Ident, Assign, StrLit, Semi, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if toks[3].Val != 0x1F {
+		t.Errorf("hex literal = %d", toks[3].Val)
+	}
+	if toks[5].Val != 'a' {
+		t.Errorf("char literal = %d", toks[5].Val)
+	}
+	if toks[11].Text != "a\nb" {
+		t.Errorf("string literal = %q", toks[11].Text)
+	}
+}
+
+func TestLexerLineNumbers(t *testing.T) {
+	toks, err := lexAll("l.mc", "int\nx\n=\n1;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 3, 4, 4} {
+		if toks[i].Line != want {
+			t.Errorf("token %d on line %d, want %d", i, toks[i].Line, want)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	cases := []string{
+		"'ab'",        // unterminated char
+		"'",           // bare quote
+		`"abc`,        // unterminated string
+		"\"a\nb\"",    // newline in string
+		"'\\q'",       // unknown escape
+		"0x",          // empty hex
+		"99999999999", // overflow
+		"0xFFFFFFFFF", // hex overflow
+		"@",           // junk byte
+		"/* forever",  // unterminated comment
+	}
+	for _, src := range cases {
+		if _, err := lexAll("e.mc", "int x = "+src+";"); err == nil {
+			t.Errorf("lexAll accepted %q", src)
+		}
+	}
+}
+
+// exprOf extracts the expression of "int main() { return <e>; }".
+func exprOf(t *testing.T, e string) Expr {
+	t.Helper()
+	f := parseOK(t, "int main() { return "+e+"; }")
+	ret := f.Funcs[0].Body.List[0].(*ReturnStmt)
+	return ret.X
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b * c parses as a + (b*c).
+	e := exprOf(t, "a + b * c").(*BinExpr)
+	if e.Op != Plus {
+		t.Fatalf("top op = %v, want +", e.Op)
+	}
+	if inner, ok := e.Y.(*BinExpr); !ok || inner.Op != Star {
+		t.Fatal("b*c should bind tighter than +")
+	}
+
+	// a << b + c parses as a << (b+c).
+	e = exprOf(t, "a << b + c").(*BinExpr)
+	if e.Op != Shl {
+		t.Fatalf("top op = %v, want <<", e.Op)
+	}
+
+	// a == b & c parses as (a==b) & c (C's & is below ==).
+	e = exprOf(t, "a == b & c").(*BinExpr)
+	if e.Op != Amp {
+		t.Fatalf("top op = %v, want &", e.Op)
+	}
+	if inner, ok := e.X.(*BinExpr); !ok || inner.Op != EqEq {
+		t.Fatal("== should bind tighter than &")
+	}
+
+	// a || b && c parses as a || (b&&c).
+	e = exprOf(t, "a || b && c").(*BinExpr)
+	if e.Op != OrOr {
+		t.Fatalf("top op = %v, want ||", e.Op)
+	}
+
+	// a - b - c is left-associative: (a-b) - c.
+	e = exprOf(t, "a - b - c").(*BinExpr)
+	if inner, ok := e.X.(*BinExpr); !ok || inner.Op != Minus {
+		t.Fatal("- should be left-associative")
+	}
+}
+
+func TestAssignmentRightAssociative(t *testing.T) {
+	f := parseOK(t, "int main() { int a; int b; a = b = 1; return a; }")
+	st := f.Funcs[0].Body.List[2].(*ExprStmt)
+	outer := st.X.(*AssignExpr)
+	if _, ok := outer.RHS.(*AssignExpr); !ok {
+		t.Fatal("a = b = 1 should parse as a = (b = 1)")
+	}
+}
+
+func TestUnaryBinding(t *testing.T) {
+	// -a * b parses as (-a) * b.
+	e := exprOf(t, "-a * b").(*BinExpr)
+	if e.Op != Star {
+		t.Fatalf("top = %v", e.Op)
+	}
+	if _, ok := e.X.(*UnExpr); !ok {
+		t.Fatal("unary minus should bind to a")
+	}
+	// *p++ parses as *(p++) (postfix binds tighter).
+	u := exprOf(t, "*p++").(*UnExpr)
+	if u.Op != Star {
+		t.Fatal("deref should be on top")
+	}
+	if inc, ok := u.X.(*IncDecExpr); !ok || !inc.Post {
+		t.Fatal("p++ should bind under *")
+	}
+}
+
+func TestPostfixChains(t *testing.T) {
+	// a[1][2] nests index expressions.
+	e := exprOf(t, "a[1][2]").(*IndexExpr)
+	if _, ok := e.X.(*IndexExpr); !ok {
+		t.Fatal("a[1][2] should nest")
+	}
+	// f(1)(…) is not supported (no function pointers): f(1)[2] is.
+	e2 := exprOf(t, "f(1)[2]").(*IndexExpr)
+	if _, ok := e2.X.(*CallExpr); !ok {
+		t.Fatal("call should nest under index")
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		"int main() { return 1 + ; }",
+		"int main() { if (1 { return 0; } }",
+		"int main() { while 1) {} }",
+		"int main() { int x[0]; return 0; }",
+		"int x[0]; int main() { return 0; }",
+		"int main() { for (;; { } }",
+		"int main( { return 0; }",
+		"int main() { return 0 }",
+		"int main() { { return 0; }", // unterminated block
+		"int 5x; int main() { return 0; }",
+		"void; int main() { return 0; }",
+		"int g = f(); int main() { return 0; }", // non-constant global init
+		"int main(void x) { return 0; }",
+	}
+	for _, src := range cases {
+		if _, err := Parse("e.mc", src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestVoidParamList(t *testing.T) {
+	f := parseOK(t, "int main(void) { return 0; }")
+	if len(f.Funcs[0].Params) != 0 {
+		t.Error("(void) should mean no parameters")
+	}
+}
+
+func TestGlobalNegativeInit(t *testing.T) {
+	f := parseOK(t, "int g = -5; int main() { return 0; }")
+	if f.Globals[0].Init != -5 {
+		t.Errorf("init = %d, want -5", f.Globals[0].Init)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TInt.String() != "int" || TCharPtr.String() != "char*" {
+		t.Error("type strings wrong")
+	}
+	pp := TInt.AddrOf().AddrOf()
+	if pp.String() != "int**" {
+		t.Errorf("int** prints as %s", pp)
+	}
+	if pp.Elem().String() != "int*" {
+		t.Error("Elem wrong")
+	}
+	if TInt.Size() != 4 || TChar.Size() != 1 || TCharPtr.Size() != 4 {
+		t.Error("sizes wrong")
+	}
+}
+
+func TestErrorMessagesCarryPosition(t *testing.T) {
+	_, err := Parse("file.mc", "int main() {\n\treturn @;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "file.mc:2") {
+		t.Errorf("error %q should carry file:line", err)
+	}
+}

@@ -1,0 +1,428 @@
+package minic
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"fgpsim/internal/ir"
+)
+
+// Register conventions for the allocator. r0 is left unused (a handy "always
+// zero by convention" register), r1 is the return value, r2..r4 are spill
+// scratch, and r5..r62 are allocatable. r63 is the stack pointer.
+const (
+	scratchA  = ir.Reg(2)
+	scratchB  = ir.Reg(3)
+	scratchD  = ir.Reg(4)
+	firstAllc = ir.Reg(5)
+	lastAllc  = ir.Reg(62)
+)
+
+// interval is a live interval of a virtual register over the linearized
+// node positions of one function.
+type interval struct {
+	v          ir.Reg
+	start, end int
+}
+
+// allocator rewrites one function from virtual to architectural registers.
+// All allocatable registers are caller-saved: any virtual register whose
+// interval crosses a call site is demoted to a stack slot (the classic
+// "assign call-crossing values to memory" discipline of simple compilers,
+// which also models caller-save traffic realistically).
+type allocator struct {
+	prog *ir.Program
+	fn   *ir.Func
+	numV int // virtual register count (vregs are firstVReg..firstVReg+numV)
+
+	blockStart map[ir.BlockID]int
+	blockEnd   map[ir.BlockID]int
+	callPos    []int
+
+	liveIn  map[ir.BlockID][]uint64
+	liveOut map[ir.BlockID][]uint64
+
+	spilled  map[ir.Reg]int32 // vreg -> frame slot offset
+	assigned map[ir.Reg]ir.Reg
+	nextSlot int32
+}
+
+func isVReg(r ir.Reg) bool { return r >= firstVReg }
+
+// alloc performs allocation and rewriting. frameOff is the first free frame
+// offset (after declared locals); it returns the final frame size.
+func (a *allocator) alloc(frameOff int32) (int32, error) {
+	a.nextSlot = frameOff
+	a.spilled = make(map[ir.Reg]int32)
+	a.assigned = make(map[ir.Reg]ir.Reg)
+
+	a.number()
+	a.liveness()
+	ivs := a.intervals()
+
+	// Demote call-crossing vregs to memory.
+	for _, iv := range ivs {
+		for _, c := range a.callPos {
+			if iv.start < c && iv.end > c {
+				a.spill(iv.v)
+				break
+			}
+		}
+	}
+
+	// Linear scan over the rest.
+	var scan []interval
+	for _, iv := range ivs {
+		if _, sp := a.spilled[iv.v]; !sp {
+			scan = append(scan, iv)
+		}
+	}
+	sort.Slice(scan, func(i, j int) bool {
+		if scan[i].start != scan[j].start {
+			return scan[i].start < scan[j].start
+		}
+		return scan[i].v < scan[j].v
+	})
+
+	free := make([]ir.Reg, 0, lastAllc-firstAllc+1)
+	for r := lastAllc; r >= firstAllc; r-- {
+		free = append(free, r) // pop from the end -> lowest registers first
+	}
+	type activeIv struct {
+		end int
+		v   ir.Reg
+		r   ir.Reg
+	}
+	var active []activeIv
+	for _, iv := range scan {
+		// Expire finished intervals.
+		keep := active[:0]
+		for _, act := range active {
+			if act.end < iv.start {
+				free = append(free, act.r)
+			} else {
+				keep = append(keep, act)
+			}
+		}
+		active = keep
+		if len(free) == 0 {
+			// Spill the interval that ends furthest away.
+			victim := -1
+			furthest := iv.end
+			for i, act := range active {
+				if act.end > furthest {
+					furthest = act.end
+					victim = i
+				}
+			}
+			if victim >= 0 {
+				act := active[victim]
+				a.spill(act.v)
+				delete(a.assigned, act.v)
+				active = append(active[:victim], active[victim+1:]...)
+				free = append(free, act.r)
+			} else {
+				a.spill(iv.v)
+				continue
+			}
+		}
+		r := free[len(free)-1]
+		free = free[:len(free)-1]
+		a.assigned[iv.v] = r
+		active = append(active, activeIv{end: iv.end, v: iv.v, r: r})
+	}
+
+	a.rewrite()
+	return a.nextSlot, nil
+}
+
+func (a *allocator) spill(v ir.Reg) {
+	if _, ok := a.spilled[v]; ok {
+		return
+	}
+	a.spilled[v] = a.nextSlot
+	a.nextSlot += 4
+}
+
+// number assigns linear positions to nodes and records call sites.
+func (a *allocator) number() {
+	a.blockStart = make(map[ir.BlockID]int)
+	a.blockEnd = make(map[ir.BlockID]int)
+	pos := 0
+	for _, id := range a.fn.Blocks {
+		b := a.prog.Blocks[id]
+		a.blockStart[id] = pos
+		pos += len(b.Body) + 1
+		a.blockEnd[id] = pos - 1 // terminator position
+		if b.Term.Op == ir.Call {
+			a.callPos = append(a.callPos, pos-1)
+		}
+	}
+}
+
+func (a *allocator) vbit(r ir.Reg) (int, bool) {
+	if !isVReg(r) {
+		return 0, false
+	}
+	return int(r - firstVReg), true
+}
+
+func setBit(bs []uint64, i int)      { bs[i/64] |= 1 << (i % 64) }
+func clearBit(bs []uint64, i int)    { bs[i/64] &^= 1 << (i % 64) }
+func getBit(bs []uint64, i int) bool { return bs[i/64]&(1<<(i%64)) != 0 }
+
+func (a *allocator) nodeUses(n *ir.Node, f func(int)) {
+	if i, ok := a.vbit(n.A); ok {
+		f(i)
+	}
+	if i, ok := a.vbit(n.B); ok {
+		f(i)
+	}
+}
+
+// liveness computes per-block live-in/live-out of virtual registers by
+// iterating backward dataflow to a fixed point.
+func (a *allocator) liveness() {
+	words := (a.numV + 63) / 64
+	a.liveIn = make(map[ir.BlockID][]uint64, len(a.fn.Blocks))
+	a.liveOut = make(map[ir.BlockID][]uint64, len(a.fn.Blocks))
+	for _, id := range a.fn.Blocks {
+		a.liveIn[id] = make([]uint64, words)
+		a.liveOut[id] = make([]uint64, words)
+	}
+	changed := true
+	tmp := make([]uint64, words)
+	for changed {
+		changed = false
+		for i := len(a.fn.Blocks) - 1; i >= 0; i-- {
+			id := a.fn.Blocks[i]
+			b := a.prog.Blocks[id]
+			out := a.liveOut[id]
+			for w := range tmp {
+				tmp[w] = 0
+			}
+			for _, s := range b.Succs() {
+				if in, ok := a.liveIn[s]; ok {
+					for w := range tmp {
+						tmp[w] |= in[w]
+					}
+				}
+			}
+			for w := range out {
+				if out[w] != tmp[w] {
+					out[w] = tmp[w]
+					changed = true
+				}
+			}
+			// in = (out - defs) + uses, scanning backward.
+			copy(tmp, out)
+			nodes := b.Body
+			term := &b.Term
+			if i, ok := a.vbit(term.A); ok {
+				setBit(tmp, i)
+			}
+			if i, ok := a.vbit(term.B); ok {
+				setBit(tmp, i)
+			}
+			for k := len(nodes) - 1; k >= 0; k-- {
+				n := &nodes[k]
+				if n.Op.HasDst() {
+					if i, ok := a.vbit(n.Dst); ok {
+						clearBit(tmp, i)
+					}
+				}
+				a.nodeUses(n, func(i int) { setBit(tmp, i) })
+			}
+			in := a.liveIn[id]
+			for w := range in {
+				if in[w] != tmp[w] {
+					in[w] = tmp[w]
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// intervals builds one conservative live interval per virtual register.
+func (a *allocator) intervals() []interval {
+	ivs := make(map[ir.Reg]*interval)
+	touch := func(r ir.Reg, pos int) {
+		if !isVReg(r) {
+			return
+		}
+		iv, ok := ivs[r]
+		if !ok {
+			ivs[r] = &interval{v: r, start: pos, end: pos}
+			return
+		}
+		if pos < iv.start {
+			iv.start = pos
+		}
+		if pos > iv.end {
+			iv.end = pos
+		}
+	}
+	for _, id := range a.fn.Blocks {
+		b := a.prog.Blocks[id]
+		start, end := a.blockStart[id], a.blockEnd[id]
+		for w, bits := range a.liveIn[id] {
+			for bits != 0 {
+				i := trailingZeros(bits)
+				bits &^= 1 << i
+				touch(firstVReg+ir.Reg(w*64+i), start)
+			}
+		}
+		for w, bits := range a.liveOut[id] {
+			for bits != 0 {
+				i := trailingZeros(bits)
+				bits &^= 1 << i
+				touch(firstVReg+ir.Reg(w*64+i), end)
+			}
+		}
+		pos := start
+		for k := range b.Body {
+			n := &b.Body[k]
+			touch(n.A, pos)
+			touch(n.B, pos)
+			if n.Op.HasDst() {
+				touch(n.Dst, pos)
+			}
+			pos++
+		}
+		touch(b.Term.A, pos)
+		touch(b.Term.B, pos)
+	}
+	out := make([]interval, 0, len(ivs))
+	for _, iv := range ivs {
+		out = append(out, *iv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].v < out[j].v })
+	return out
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// rewrite replaces virtual registers with their assignments, inserting
+// spill loads/stores through the scratch registers.
+func (a *allocator) rewrite() {
+	for _, id := range a.fn.Blocks {
+		b := a.prog.Blocks[id]
+		var out []ir.Node
+		for k := range b.Body {
+			n := b.Body[k]
+			out = a.rewriteNode(out, &n)
+			out = append(out, n)
+			if n.Op.HasDst() {
+				if slot, sp := a.spilled[b.Body[k].Dst]; sp {
+					out[len(out)-1].Dst = scratchD
+					out = append(out, ir.Node{Op: ir.St, A: ir.RegSP, B: scratchD, Imm: int64(slot)})
+				}
+			}
+		}
+		term := b.Term
+		out = a.rewriteNode(out, &term)
+		b.Body = out
+		b.Term = term
+	}
+}
+
+// rewriteNode maps the source operands of n, appending spill reloads to out.
+func (a *allocator) rewriteNode(out []ir.Node, n *ir.Node) []ir.Node {
+	mapSrc := func(r ir.Reg, scratch ir.Reg) (ir.Reg, []ir.Node) {
+		if !isVReg(r) {
+			return r, out
+		}
+		if hw, ok := a.assigned[r]; ok {
+			return hw, out
+		}
+		slot, ok := a.spilled[r]
+		if !ok {
+			// Never defined and never live anywhere we tracked (e.g. the
+			// result register of a void call): read as conventional zero.
+			return ir.Reg(0), out
+		}
+		out = append(out, ir.Node{Op: ir.Ld, Dst: scratch, A: ir.RegSP, Imm: int64(slot)})
+		return scratch, out
+	}
+	if n.A == n.B && isVReg(n.A) {
+		n.A, out = mapSrc(n.A, scratchA)
+		n.B = n.A
+	} else {
+		n.A, out = mapSrc(n.A, scratchA)
+		n.B, out = mapSrc(n.B, scratchB)
+	}
+	if n.Op.HasDst() && isVReg(n.Dst) {
+		if hw, ok := a.assigned[n.Dst]; ok {
+			n.Dst = hw
+		}
+		// Spilled destinations are handled by the caller (store after).
+		if _, sp := a.spilled[n.Dst]; !sp {
+			if isVReg(n.Dst) {
+				// Dead definition that no interval claimed; send it to the
+				// conventional zero register's shadow (r0 is never read).
+				n.Dst = ir.Reg(0)
+			}
+		}
+	}
+	return out
+}
+
+// patchFrames replaces frame-sentinel immediates with the final frame size
+// and drops zero-sized adjustments.
+func patchFrames(p *ir.Program, f *ir.Func, frameSize int32) {
+	fix := func(n *ir.Node) bool {
+		switch {
+		case n.Imm >= frameSentinel/2:
+			n.Imm = n.Imm - frameSentinel + int64(frameSize)
+		case n.Imm <= -frameSentinel/2:
+			n.Imm = n.Imm + frameSentinel - int64(frameSize)
+		default:
+			return false
+		}
+		// A stack adjustment of zero is a no-op; signal droppable.
+		return n.Op == ir.AddI && n.Dst == ir.RegSP && n.A == ir.RegSP && n.Imm == 0
+	}
+	for _, id := range f.Blocks {
+		b := p.Blocks[id]
+		var out []ir.Node
+		for k := range b.Body {
+			n := b.Body[k]
+			if drop := fix(&n); !drop {
+				out = append(out, n)
+			}
+		}
+		b.Body = out
+		fix(&b.Term)
+	}
+}
+
+// allocFunc allocates registers for one function and returns the final
+// frame size in bytes.
+func allocFunc(p *ir.Program, f *ir.Func, numV int, frameOff int32) (int32, error) {
+	a := &allocator{prog: p, fn: f, numV: numV}
+	size, err := a.alloc(frameOff)
+	if err != nil {
+		return 0, err
+	}
+	// Sanity: no virtual registers may remain.
+	for _, id := range f.Blocks {
+		b := p.Blocks[id]
+		check := func(n *ir.Node) error {
+			if isVReg(n.A) || isVReg(n.B) || (n.Op.HasDst() && isVReg(n.Dst)) {
+				return fmt.Errorf("minic: %s: unallocated virtual register in %s", f.Name, n)
+			}
+			return nil
+		}
+		for k := range b.Body {
+			if err := check(&b.Body[k]); err != nil {
+				return 0, err
+			}
+		}
+		if err := check(&b.Term); err != nil {
+			return 0, err
+		}
+	}
+	return size, nil
+}

@@ -1,0 +1,493 @@
+package minic
+
+import "fmt"
+
+// DataBase is the address where the data segment (globals and string
+// literals) is loaded. Addresses below it act as a null-pointer guard.
+const DataBase = 4096
+
+// DefaultMemSize is the flat simulated memory size; the stack grows down
+// from the top.
+const DefaultMemSize = 8 << 20
+
+// Unit is a semantically analyzed translation unit, ready for code
+// generation: symbols are resolved, expression types computed, and the data
+// segment laid out.
+type Unit struct {
+	File  *File
+	Types map[Expr]Type
+	Funcs map[string]*FuncDecl
+
+	Data     []byte
+	DataBase int64
+
+	strings map[string]int32 // literal -> address (deduplicated)
+}
+
+// builtins maps builtin call names to their argument counts.
+var builtins = map[string]int{
+	"getc": 1,
+	"putc": 1,
+}
+
+// Analyze runs semantic analysis over a parsed file.
+func Analyze(f *File) (*Unit, error) {
+	u := &Unit{
+		File:     f,
+		Types:    make(map[Expr]Type),
+		Funcs:    make(map[string]*FuncDecl),
+		DataBase: DataBase,
+		strings:  make(map[string]int32),
+	}
+	c := &checker{unit: u, file: f.Name}
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// StringAddr returns the data-segment address of a string literal, adding it
+// (NUL-terminated) on first use.
+func (u *Unit) StringAddr(s string) int32 {
+	if a, ok := u.strings[s]; ok {
+		return a
+	}
+	addr := int32(u.DataBase) + int32(len(u.Data))
+	u.Data = append(u.Data, s...)
+	u.Data = append(u.Data, 0)
+	u.align(4)
+	u.strings[s] = addr
+	return addr
+}
+
+func (u *Unit) align(n int) {
+	for len(u.Data)%n != 0 {
+		u.Data = append(u.Data, 0)
+	}
+}
+
+func (u *Unit) put32(off int, v int32) {
+	u.Data[off] = byte(v)
+	u.Data[off+1] = byte(v >> 8)
+	u.Data[off+2] = byte(v >> 16)
+	u.Data[off+3] = byte(v >> 24)
+}
+
+type loopCtx struct{ depth int }
+
+type checker struct {
+	unit    *Unit
+	file    string
+	globals map[string]*Symbol
+	scopes  []map[string]*Symbol
+	fn      *FuncDecl
+	loop    loopCtx
+}
+
+func (c *checker) errf(line int, format string, args ...any) error {
+	return &Error{File: c.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) run() error {
+	u := c.unit
+	c.globals = make(map[string]*Symbol)
+
+	// Pass 1: register functions (so forward calls resolve).
+	for _, fn := range u.File.Funcs {
+		if _, dup := u.Funcs[fn.Name]; dup {
+			return c.errf(fn.Line, "duplicate function %s", fn.Name)
+		}
+		if builtins[fn.Name] != 0 {
+			return c.errf(fn.Line, "%s is a builtin and cannot be redefined", fn.Name)
+		}
+		u.Funcs[fn.Name] = fn
+	}
+	if u.Funcs["main"] == nil {
+		return c.errf(1, "no main function")
+	}
+
+	// Pass 2: lay out globals in declaration order.
+	for _, g := range u.File.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return c.errf(g.Line, "duplicate global %s", g.Name)
+		}
+		if _, isFn := u.Funcs[g.Name]; isFn {
+			return c.errf(g.Line, "%s is both a global and a function", g.Name)
+		}
+		if err := c.layoutGlobal(g); err != nil {
+			return err
+		}
+	}
+
+	// Pass 3: check function bodies.
+	for _, fn := range u.File.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) layoutGlobal(g *GlobalDecl) error {
+	u := c.unit
+	sym := &Symbol{Name: g.Name, Kind: SymGlobal, Type: g.Type, ArgIdx: -1}
+	size := g.Type.Size()
+	if g.ArrLen > 0 {
+		sym.IsArr = true
+		sym.ArrLen = g.ArrLen
+		size = g.Type.Size() * g.ArrLen
+	}
+	u.align(4)
+	off := len(u.Data)
+	sym.Addr = int32(u.DataBase) + int32(off)
+	u.Data = append(u.Data, make([]byte, size)...)
+	u.align(4)
+
+	if g.HasInit && g.InitStr == "" {
+		if sym.IsArr {
+			return c.errf(g.Line, "array %s cannot have a scalar initializer", g.Name)
+		}
+		if g.Type.Size() == 4 {
+			u.put32(off, g.Init)
+		} else {
+			u.Data[off] = byte(g.Init)
+		}
+	}
+	if g.InitStr != "" {
+		if !(g.Type == TCharPtr) {
+			return c.errf(g.Line, "string initializer requires char*, %s has type %s", g.Name, g.Type)
+		}
+		addr := u.StringAddr(g.InitStr)
+		u.put32(off, addr)
+	}
+	g.Sym = sym
+	c.globals[g.Name] = sym
+	return nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(line int, sym *Symbol) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return c.errf(line, "duplicate declaration of %s", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.loop = loopCtx{}
+	c.scopes = nil
+	c.pushScope()
+	defer c.popScope()
+	fn.paramSyms = make(map[string]*Symbol, len(fn.Params))
+	for i, p := range fn.Params {
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Type: p.Type, ArgIdx: i}
+		if err := c.declare(fn.Line, sym); err != nil {
+			return err
+		}
+		fn.paramSyms[p.Name] = sym
+	}
+	return c.checkStmt(fn.Body)
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *DeclStmt:
+		if s.Init != nil {
+			if _, err := c.checkExpr(s.Init); err != nil {
+				return err
+			}
+		}
+		sym := &Symbol{Name: s.Name, Type: s.Type, ArgIdx: -1}
+		if s.ArrLen > 0 {
+			sym.Kind = SymFrame
+			sym.IsArr = true
+			sym.ArrLen = s.ArrLen
+		} else {
+			sym.Kind = SymLocal
+		}
+		s.Sym = sym
+		return c.declare(s.Line, sym)
+
+	case *ExprStmt:
+		_, err := c.checkExpr(s.X)
+		return err
+
+	case *IfStmt:
+		if _, err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkSubStmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkSubStmt(s.Else)
+		}
+		return nil
+
+	case *WhileStmt:
+		if _, err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		c.loop.depth++
+		err := c.checkSubStmt(s.Body)
+		c.loop.depth--
+		return err
+
+	case *ForStmt:
+		c.pushScope() // for-scope holds the init declaration
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if _, err := c.checkExpr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if _, err := c.checkExpr(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loop.depth++
+		err := c.checkSubStmt(s.Body)
+		c.loop.depth--
+		return err
+
+	case *ReturnStmt:
+		if s.X == nil {
+			if c.fn.Ret != TVoid {
+				return c.errf(s.Line, "%s must return a value", c.fn.Name)
+			}
+			return nil
+		}
+		if c.fn.Ret == TVoid {
+			return c.errf(s.Line, "void function %s returns a value", c.fn.Name)
+		}
+		_, err := c.checkExpr(s.X)
+		return err
+
+	case *BreakStmt:
+		if c.loop.depth == 0 {
+			return c.errf(s.Line, "break outside loop")
+		}
+		return nil
+
+	case *ContinueStmt:
+		if c.loop.depth == 0 {
+			return c.errf(s.Line, "continue outside loop")
+		}
+		return nil
+
+	case *BlockStmt:
+		c.pushScope()
+		defer c.popScope()
+		for _, sub := range s.List {
+			if err := c.checkStmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *EmptyStmt:
+		return nil
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+// checkSubStmt checks a statement that introduces its own scope when it is
+// not already a block (so `if (c) int x = ...;` scopes x correctly).
+func (c *checker) checkSubStmt(s Stmt) error {
+	if _, isBlock := s.(*BlockStmt); isBlock {
+		return c.checkStmt(s)
+	}
+	c.pushScope()
+	defer c.popScope()
+	return c.checkStmt(s)
+}
+
+// isLvalue reports whether e denotes a storage location.
+func isLvalue(e Expr) bool {
+	switch e := e.(type) {
+	case *VarExpr:
+		return e.Sym != nil && !e.Sym.IsArr
+	case *IndexExpr:
+		return true
+	case *UnExpr:
+		return e.Op == Star
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	t, err := c.typeExpr(e)
+	if err != nil {
+		return t, err
+	}
+	c.unit.Types[e] = t
+	return t, nil
+}
+
+func (c *checker) typeExpr(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntExpr:
+		return TInt, nil
+
+	case *StrExpr:
+		c.unit.StringAddr(e.Val) // intern now so layout is deterministic
+		return TCharPtr, nil
+
+	case *VarExpr:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return TInt, c.errf(e.Line, "undefined variable %s", e.Name)
+		}
+		e.Sym = sym
+		if sym.IsArr {
+			return sym.Type.AddrOf(), nil // array decays to pointer
+		}
+		return sym.Type, nil
+
+	case *UnExpr:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return TInt, err
+		}
+		switch e.Op {
+		case Minus, Tilde:
+			return TInt, nil
+		case Bang:
+			return TInt, nil
+		case Star:
+			if !xt.IsPtr() {
+				return TInt, c.errf(e.Line, "cannot dereference %s", xt)
+			}
+			return xt.Elem(), nil
+		case Amp:
+			if !isLvalue(e.X) {
+				return TInt, c.errf(e.Line, "cannot take address of this expression")
+			}
+			if v, ok := e.X.(*VarExpr); ok {
+				v.Sym.Addressed = true
+				if v.Sym.Kind == SymLocal || v.Sym.Kind == SymParam {
+					v.Sym.Kind = SymFrame
+				}
+			}
+			return xt.AddrOf(), nil
+		}
+		return TInt, c.errf(e.Line, "bad unary operator %s", e.Op)
+
+	case *BinExpr:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return TInt, err
+		}
+		yt, err := c.checkExpr(e.Y)
+		if err != nil {
+			return TInt, err
+		}
+		switch e.Op {
+		case Plus:
+			if xt.IsPtr() && yt.IsPtr() {
+				return TInt, c.errf(e.Line, "cannot add two pointers")
+			}
+			if xt.IsPtr() {
+				return xt, nil
+			}
+			if yt.IsPtr() {
+				return yt, nil
+			}
+			return TInt, nil
+		case Minus:
+			if xt.IsPtr() && yt.IsPtr() {
+				return TInt, nil // element-count difference
+			}
+			if xt.IsPtr() {
+				return xt, nil
+			}
+			if yt.IsPtr() {
+				return TInt, c.errf(e.Line, "cannot subtract pointer from integer")
+			}
+			return TInt, nil
+		default:
+			return TInt, nil
+		}
+
+	case *AssignExpr:
+		// Resolve the LHS first: isLvalue needs VarExpr symbols filled in,
+		// and "undefined variable" should win over "not an lvalue".
+		lt, err := c.checkExpr(e.LHS)
+		if err != nil {
+			return TInt, err
+		}
+		if !isLvalue(e.LHS) {
+			return TInt, c.errf(e.Line, "left side of assignment is not an lvalue")
+		}
+		if _, err := c.checkExpr(e.RHS); err != nil {
+			return TInt, err
+		}
+		return lt, nil
+
+	case *IncDecExpr:
+		t, err := c.checkExpr(e.X)
+		if err != nil {
+			return TInt, err
+		}
+		if !isLvalue(e.X) {
+			return TInt, c.errf(e.Line, "%s requires an lvalue", e.Op)
+		}
+		return t, nil
+
+	case *IndexExpr:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return TInt, err
+		}
+		if _, err := c.checkExpr(e.Idx); err != nil {
+			return TInt, err
+		}
+		if !xt.IsPtr() {
+			return TInt, c.errf(e.Line, "indexing requires a pointer or array, got %s", xt)
+		}
+		return xt.Elem(), nil
+
+	case *CallExpr:
+		for _, a := range e.Args {
+			if _, err := c.checkExpr(a); err != nil {
+				return TInt, err
+			}
+		}
+		if nargs, ok := builtins[e.Name]; ok {
+			if len(e.Args) != nargs {
+				return TInt, c.errf(e.Line, "%s takes %d argument(s), got %d", e.Name, nargs, len(e.Args))
+			}
+			return TInt, nil
+		}
+		fn := c.unit.Funcs[e.Name]
+		if fn == nil {
+			return TInt, c.errf(e.Line, "call to undefined function %s", e.Name)
+		}
+		if len(e.Args) != len(fn.Params) {
+			return TInt, c.errf(e.Line, "%s takes %d argument(s), got %d", e.Name, len(fn.Params), len(e.Args))
+		}
+		e.Fn = fn
+		return fn.Ret, nil
+	}
+	return TInt, fmt.Errorf("minic: unknown expression %T", e)
+}

@@ -1,0 +1,170 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyzeSrc(t *testing.T, src string) (*Unit, error) {
+	t.Helper()
+	f, err := Parse("s.mc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(f)
+}
+
+func TestSemaRejects(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"array scalar init", `int a[4] = 3; int main(){return 0;}`, "initializer"},
+		{"string init non-charptr", `int *p = "x"; int main(){return 0;}`, "char*"},
+		{"void variable", `void v; int main(){return 0;}`, "void"},
+		{"global shadows function", `int f(){return 0;} int f; int main(){return 0;}`, "both"},
+		{"getc arity", `int main(){ return getc(0, 1); }`, "argument"},
+		{"putc arity", `int main(){ putc(); return 0; }`, "argument"},
+		{"add two pointers", `int main(){ int *p; int *q; return p + q; }`, "pointer"},
+		{"int minus pointer", `int main(){ int *p; return 3 - p; }`, "subtract"},
+		{"deref non-pointer", `int main(){ int x; return *x; }`, "dereference"},
+		{"index non-pointer", `int main(){ int x; return x[1]; }`, "pointer"},
+		{"addr of constant", `int main(){ int *p = &1; return 0; }`, "address"},
+		{"incdec rvalue", `int main(){ return (1+2)++; }`, "lvalue"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Rejection may come from the parser or from sema.
+			f, err := Parse("s.mc", c.src)
+			if err == nil {
+				_, err = Analyze(f)
+			}
+			if err == nil {
+				t.Fatalf("front end accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q should mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestSemaDataLayout(t *testing.T) {
+	u, err := analyzeSrc(t, `
+int a = 7;
+char c = 'x';
+int arr[3];
+char *s = "hey";
+int main() { return 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a at DataBase, c word-aligned after, arr after, s last.
+	if u.DataBase != DataBase {
+		t.Errorf("DataBase = %d", u.DataBase)
+	}
+	// a == 7 at offset 0.
+	if got := int32(u.Data[0]) | int32(u.Data[1])<<8; got != 7 {
+		t.Errorf("global a = %d, want 7", got)
+	}
+	// c == 'x' at offset 4.
+	if u.Data[4] != 'x' {
+		t.Errorf("global c = %q, want x", u.Data[4])
+	}
+	// The string "hey" with NUL appears somewhere in the image.
+	if !strings.Contains(string(u.Data), "hey\x00") {
+		t.Error("string literal missing from data segment")
+	}
+}
+
+func TestStringInterning(t *testing.T) {
+	u, err := analyzeSrc(t, `
+char *a = "same";
+char *b = "same";
+int main() { putc(*"same"); return 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(u.Data), "same\x00"); n != 1 {
+		t.Errorf("string interned %d times, want 1", n)
+	}
+	addr := u.StringAddr("same")
+	if u.StringAddr("same") != addr {
+		t.Error("StringAddr not stable")
+	}
+}
+
+func TestAddressedLocalDemotedToFrame(t *testing.T) {
+	f, err := Parse("s.mc", `
+int main() {
+	int x = 1;
+	int *p = &x;
+	return *p;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+	decl := f.Funcs[0].Body.List[0].(*DeclStmt)
+	if decl.Sym.Kind != SymFrame {
+		t.Errorf("addressed local has kind %v, want SymFrame", decl.Sym.Kind)
+	}
+	if !decl.Sym.Addressed {
+		t.Error("Addressed flag not set")
+	}
+}
+
+func TestAddressedParamDemoted(t *testing.T) {
+	f, err := Parse("s.mc", `
+void setz(int *p) { *p = 0; }
+int g(int a) { setz(&a); return a; }
+int main() { return g(5); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(f); err != nil {
+		t.Fatal(err)
+	}
+	var gFn *FuncDecl
+	for _, fn := range f.Funcs {
+		if fn.Name == "g" {
+			gFn = fn
+		}
+	}
+	sym := gFn.paramSyms["a"]
+	if sym.Kind != SymFrame {
+		t.Errorf("addressed param kind %v, want SymFrame", sym.Kind)
+	}
+	if sym.ArgIdx != 0 {
+		t.Errorf("ArgIdx = %d, want 0", sym.ArgIdx)
+	}
+}
+
+func TestPointerTypesThroughExpressions(t *testing.T) {
+	f, err := Parse("s.mc", `
+int arr[4];
+int main() {
+	int *p = arr + 1;
+	int d = (arr + 3) - p;
+	return d + p[0];
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot check: arr decays to int*.
+	decl := f.Funcs[0].Body.List[0].(*DeclStmt)
+	bin := decl.Init.(*BinExpr)
+	if got := u.Types[bin]; got.String() != "int*" {
+		t.Errorf("arr+1 type %s, want int*", got)
+	}
+}

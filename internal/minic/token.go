@@ -1,0 +1,152 @@
+// Package minic implements a small C-like language and its compiler to the
+// node-level IR in internal/ir.
+//
+// The paper's translating loader decompiles VAX-family object code into a
+// node intermediate form. We have no proprietary object code, so MiniC plays
+// the part of the original compiler + decompiler: the five benchmarks are
+// written in MiniC and compiled straight to nodes. The language is a C
+// subset chosen so that general-purpose, pointer-heavy utility code (sort,
+// grep, diff, cpp, compress) can be written naturally:
+//
+//	types:       int (32-bit), char (8-bit), pointers (multi-level), arrays
+//	statements:  if/else, while, for, break, continue, return, blocks
+//	expressions: the usual C operators including short-circuit && and ||,
+//	             prefix/postfix ++ and --, indexing, unary * and &,
+//	             assignment and op-assignment
+//	literals:    decimal/hex ints, 'c' char literals, "..." strings
+//	builtins:    getc(stream), putc(c)
+//
+// Globals (scalars and arrays) live in the data segment; scalar locals are
+// register-allocated unless their address is taken; local arrays and
+// addressed locals live in the stack frame.
+package minic
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	CharLit
+	StrLit
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Semi
+	Comma
+	Assign    // =
+	PlusEq    // +=
+	MinusEq   // -=
+	StarEq    // *=
+	SlashEq   // /=
+	PercentEq // %=
+	AmpEq     // &=
+	PipeEq    // |=
+	CaretEq   // ^=
+	ShlEq     // <<=
+	ShrEq     // >>=
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Bang
+	Shl
+	Shr
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Inc // ++
+	Dec // --
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", Ident: "identifier", IntLit: "integer literal",
+	CharLit: "char literal", StrLit: "string literal",
+	KwInt: "int", KwChar: "char", KwVoid: "void", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue",
+	LParen:     "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBrack: "[", RBrack: "]", Semi: ";", Comma: ",",
+	Assign: "=", PlusEq: "+=", MinusEq: "-=", StarEq: "*=", SlashEq: "/=",
+	PercentEq: "%=", AmpEq: "&=", PipeEq: "|=", CaretEq: "^=",
+	ShlEq: "<<=", ShrEq: ">>=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||", Inc: "++", Dec: "--",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "void": KwVoid, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue,
+}
+
+// Token is a lexed token. Val holds the value of integer and char literals;
+// Text holds identifier names and decoded string literal contents.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int32
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return t.Text
+	case IntLit, CharLit:
+		return fmt.Sprintf("%d", t.Val)
+	case StrLit:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a compile error with a source line.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}

@@ -1,0 +1,214 @@
+// Package opt implements the block-local optimizer the translating loader
+// applies to generated code: constant folding, copy propagation, local
+// common-subexpression elimination (value numbering), redundant-load
+// elimination, dead code elimination, branch folding, and control-flow
+// simplification (jump threading, block merging, unreachable-block removal).
+//
+// The same passes serve two masters: the MiniC compiler runs them on
+// virtual-register code before allocation, and the basic block enlarger
+// re-runs them over merged node sequences — the paper's "combined across a
+// branch into a single piece and then re-optimized as a unit".
+package opt
+
+import (
+	"fgpsim/internal/ir"
+)
+
+// Bits is a fixed-size bitset over a register space.
+type Bits []uint64
+
+// NewBits returns a bitset able to hold n bits.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bits) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i int) { b[i/64] &^= 1 << (i % 64) }
+
+// Get reports bit i.
+func (b Bits) Get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Or merges other into b and reports whether b changed.
+func (b Bits) Or(other Bits) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | other[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy copies other into b.
+func (b Bits) Copy(other Bits) { copy(b, other) }
+
+// Clone returns an independent copy.
+func (b Bits) Clone() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// Func runs the full optimization pipeline on one function until it stops
+// improving. numRegs is the size of the register space in use (ir.NumRegs
+// for allocated code, or the virtual-register high-water mark before
+// allocation).
+func Func(p *ir.Program, fn *ir.Func, numRegs int) {
+	for round := 0; round < 8; round++ {
+		changed := simplifyCFG(p, fn)
+		for _, id := range fn.Blocks {
+			b := p.Blocks[id]
+			if ValueNumberBlock(b) {
+				changed = true
+			}
+		}
+		live := Liveness(p, fn, numRegs)
+		for _, id := range fn.Blocks {
+			b := p.Blocks[id]
+			out := live.Out[id]
+			body := DeadCode(b.Body, &b.Term, out, numRegs)
+			if len(body) != len(b.Body) {
+				b.Body = body
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// LiveInfo holds per-block liveness over a register space.
+type LiveInfo struct {
+	In, Out map[ir.BlockID]Bits
+}
+
+// callClobberLo/Hi bound the registers a Call is treated as defining: the
+// callee may freely overwrite r1..r62 (everything except r0 and the stack
+// pointer). This kill is sound because the calling convention is fully
+// caller-saved: allocated code never reads a register whose definition is on
+// the other side of a call.
+const (
+	callClobberLo = 1
+	callClobberHi = 62
+)
+
+// Liveness computes live-in/live-out register sets for every block of fn.
+// Terminator semantics: Br uses its condition; Ret uses the return-value
+// register and the stack pointer; Call uses the stack pointer and clobbers
+// r1..r62; Halt uses nothing; the stack pointer is pinned live at every
+// exit.
+func Liveness(p *ir.Program, fn *ir.Func, numRegs int) *LiveInfo {
+	li := &LiveInfo{
+		In:  make(map[ir.BlockID]Bits, len(fn.Blocks)),
+		Out: make(map[ir.BlockID]Bits, len(fn.Blocks)),
+	}
+	for _, id := range fn.Blocks {
+		li.In[id] = NewBits(numRegs)
+		li.Out[id] = NewBits(numRegs)
+	}
+	tmp := NewBits(numRegs)
+	for changed := true; changed; {
+		changed = false
+		for i := len(fn.Blocks) - 1; i >= 0; i-- {
+			id := fn.Blocks[i]
+			b := p.Blocks[id]
+			for w := range tmp {
+				tmp[w] = 0
+			}
+			for _, s := range b.Succs() {
+				if in, ok := li.In[s]; ok {
+					tmp.Or(in)
+				}
+			}
+			// Assert fault edges: the fault target re-executes from the
+			// checkpoint, but conservatively keep its live-in alive here.
+			for k := range b.Body {
+				if n := &b.Body[k]; n.Op == ir.Assert {
+					if in, ok := li.In[n.Target]; ok {
+						tmp.Or(in)
+					}
+				}
+			}
+			if li.Out[id].Or(tmp) {
+				changed = true
+			}
+			tmp.Copy(li.Out[id])
+			transferBlock(b, tmp, numRegs)
+			if li.In[id].Or(tmp) {
+				changed = true
+			}
+		}
+	}
+	return li
+}
+
+// transferBlock applies the backward liveness transfer of one whole block to
+// the set in place (set enters holding live-out, leaves holding live-in).
+func transferBlock(b *ir.Block, live Bits, numRegs int) {
+	transferTerm(&b.Term, live)
+	for k := len(b.Body) - 1; k >= 0; k-- {
+		transferNode(&b.Body[k], live, numRegs)
+	}
+}
+
+func transferTerm(t *ir.Node, live Bits) {
+	switch t.Op {
+	case ir.Br:
+		live.Set(int(t.A))
+	case ir.Ret:
+		live.Set(int(ir.RegRet))
+		live.Set(int(ir.RegSP))
+	case ir.Call:
+		for r := callClobberLo; r <= callClobberHi; r++ {
+			live.Clear(r)
+		}
+		live.Set(int(ir.RegSP))
+	case ir.Halt:
+		// nothing
+	case ir.Jmp:
+		// nothing
+	}
+	live.Set(int(ir.RegSP)) // the stack pointer is always observable
+}
+
+func transferNode(n *ir.Node, live Bits, numRegs int) {
+	if n.Op.HasDst() && int(n.Dst) < numRegs {
+		live.Clear(int(n.Dst))
+	}
+	if n.A != ir.NoReg {
+		live.Set(int(n.A))
+	}
+	if n.B != ir.NoReg {
+		live.Set(int(n.B))
+	}
+}
+
+// DeadCode removes pure nodes and loads whose destinations are provably
+// dead, given the live-out set of the sequence. It returns the new body.
+// The terminator is consulted for its uses but never removed.
+func DeadCode(body []ir.Node, term *ir.Node, liveOut Bits, numRegs int) []ir.Node {
+	live := liveOut.Clone()
+	live.Set(int(ir.RegSP))
+	transferTerm(term, live)
+	keep := make([]bool, len(body))
+	for k := len(body) - 1; k >= 0; k-- {
+		n := &body[k]
+		removable := n.Op.IsPure() || n.Op.IsLoad()
+		if removable && int(n.Dst) < numRegs && !live.Get(int(n.Dst)) {
+			continue // dead
+		}
+		keep[k] = true
+		transferNode(n, live, numRegs)
+	}
+	out := body[:0]
+	for k := range body {
+		if keep[k] {
+			out = append(out, body[k])
+		}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package opt
+
+import (
+	"testing"
+
+	"fgpsim/internal/ir"
+)
+
+// seq builds a block from nodes plus a terminator.
+func seq(term ir.Node, nodes ...ir.Node) *ir.Block {
+	return &ir.Block{Body: nodes, Term: term, Fall: ir.NoBlock}
+}
+
+func halt() ir.Node { return ir.Node{Op: ir.Halt} }
+
+func TestConstantFolding(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Const, Dst: 5, Imm: 6},
+		ir.Node{Op: ir.Const, Dst: 6, Imm: 7},
+		ir.Node{Op: ir.Mul, Dst: 7, A: 5, B: 6},
+	)
+	if !ValueNumberBlock(b) {
+		t.Fatal("expected a change")
+	}
+	n := b.Body[2]
+	if n.Op != ir.Const || n.Imm != 42 {
+		t.Errorf("mul of constants folded to %s, want const 42", &n)
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Ld, Dst: 5, A: 9}, // opaque value (not foldable)
+		ir.Node{Op: ir.Mov, Dst: 6, A: 5},
+		ir.Node{Op: ir.Add, Dst: 7, A: 6, B: 6},
+	)
+	ValueNumberBlock(b)
+	if b.Body[2].A != 5 || b.Body[2].B != 5 {
+		t.Errorf("uses of the copy should read the original: %s", &b.Body[2])
+	}
+}
+
+func TestCSE(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Add, Dst: 7, A: 5, B: 6},
+		ir.Node{Op: ir.Add, Dst: 8, A: 5, B: 6},
+	)
+	ValueNumberBlock(b)
+	if b.Body[1].Op != ir.Mov || b.Body[1].A != 7 {
+		t.Errorf("repeated expression should become a copy: %s", &b.Body[1])
+	}
+}
+
+func TestCSECommutative(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Add, Dst: 7, A: 5, B: 6},
+		ir.Node{Op: ir.Add, Dst: 8, A: 6, B: 5},
+	)
+	ValueNumberBlock(b)
+	if b.Body[1].Op != ir.Mov {
+		t.Errorf("commuted expression should CSE: %s", &b.Body[1])
+	}
+}
+
+func TestCSERespectsClobber(t *testing.T) {
+	// The first result is overwritten before the reuse: no CSE home.
+	b := seq(halt(),
+		ir.Node{Op: ir.Add, Dst: 7, A: 5, B: 6},
+		ir.Node{Op: ir.Const, Dst: 7, Imm: 0},
+		ir.Node{Op: ir.Add, Dst: 8, A: 5, B: 6},
+	)
+	ValueNumberBlock(b)
+	if b.Body[2].Op != ir.Add {
+		t.Errorf("clobbered CSE home must not be reused: %s", &b.Body[2])
+	}
+}
+
+func TestRedundantLoadElimination(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Ld, Dst: 6, A: 5, Imm: 8},
+		ir.Node{Op: ir.Ld, Dst: 7, A: 5, Imm: 8},
+	)
+	ValueNumberBlock(b)
+	if b.Body[1].Op != ir.Mov || b.Body[1].A != 6 {
+		t.Errorf("second load of same address should be a copy: %s", &b.Body[1])
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.St, A: 5, B: 6, Imm: 4},
+		ir.Node{Op: ir.Ld, Dst: 7, A: 5, Imm: 4},
+	)
+	ValueNumberBlock(b)
+	if b.Body[1].Op != ir.Mov || b.Body[1].A != 6 {
+		t.Errorf("load after store should forward the stored value: %s", &b.Body[1])
+	}
+}
+
+func TestStoreInvalidatesLoads(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Ld, Dst: 6, A: 5, Imm: 0},
+		ir.Node{Op: ir.St, A: 9, B: 8, Imm: 0}, // may alias
+		ir.Node{Op: ir.Ld, Dst: 7, A: 5, Imm: 0},
+	)
+	ValueNumberBlock(b)
+	if b.Body[2].Op != ir.Ld {
+		t.Errorf("load after an aliasing store must stay a load: %s", &b.Body[2])
+	}
+}
+
+func TestByteStoreDoesNotForwardToWordLoad(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.StB, A: 5, B: 6, Imm: 0},
+		ir.Node{Op: ir.Ld, Dst: 7, A: 5, Imm: 0},
+	)
+	ValueNumberBlock(b)
+	if b.Body[1].Op != ir.Ld {
+		t.Errorf("word load after byte store must stay a load: %s", &b.Body[1])
+	}
+}
+
+func TestBranchFolding(t *testing.T) {
+	b := &ir.Block{
+		Body: []ir.Node{{Op: ir.Const, Dst: 5, Imm: 1}},
+		Term: ir.Node{Op: ir.Br, A: 5, Target: 3},
+		Fall: 4,
+	}
+	ValueNumberBlock(b)
+	if b.Term.Op != ir.Jmp || b.Term.Target != 3 {
+		t.Errorf("constant-true branch should fold to jmp taken: %s", &b.Term)
+	}
+	b2 := &ir.Block{
+		Body: []ir.Node{{Op: ir.Const, Dst: 5, Imm: 0}},
+		Term: ir.Node{Op: ir.Br, A: 5, Target: 3},
+		Fall: 4,
+	}
+	ValueNumberBlock(b2)
+	if b2.Term.Op != ir.Jmp || b2.Term.Target != 4 {
+		t.Errorf("constant-false branch should fold to jmp fallthrough: %s", &b2.Term)
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	liveOut := NewBits(ir.NumRegs)
+	liveOut.Set(7)
+	body := []ir.Node{
+		{Op: ir.Const, Dst: 5, Imm: 1}, // feeds r7: live
+		{Op: ir.Const, Dst: 6, Imm: 2}, // dead
+		{Op: ir.AddI, Dst: 7, A: 5, Imm: 1},
+		{Op: ir.Ld, Dst: 8, A: 5},                 // dead load: removable
+		{Op: ir.St, A: 5, B: 7},                   // store: never removable
+		{Op: ir.Sys, Dst: 9, A: 5, B: -1, Imm: 2}, // side effect: kept
+	}
+	term := ir.Node{Op: ir.Halt}
+	out := DeadCode(body, &term, liveOut, ir.NumRegs)
+	if len(out) != 4 {
+		t.Fatalf("DCE kept %d nodes, want 4: %v", len(out), out)
+	}
+	for _, n := range out {
+		if n.Op == ir.Const && n.Imm == 2 {
+			t.Error("dead const survived")
+		}
+		if n.Op == ir.Ld {
+			t.Error("dead load survived")
+		}
+	}
+}
+
+func TestDCEKeepsBranchCondition(t *testing.T) {
+	liveOut := NewBits(ir.NumRegs)
+	body := []ir.Node{{Op: ir.Lt, Dst: 5, A: 6, B: 7}}
+	term := ir.Node{Op: ir.Br, A: 5, Target: 0}
+	out := DeadCode(body, &term, liveOut, ir.NumRegs)
+	if len(out) != 1 {
+		t.Error("the branch condition producer must survive")
+	}
+}
+
+func TestDCECallClobber(t *testing.T) {
+	// A value in an allocatable register is dead across a call (the
+	// convention is fully caller-saved), so its producer is removable when
+	// its only consumer is after the call.
+	liveOut := NewBits(ir.NumRegs)
+	liveOut.Set(10)
+	body := []ir.Node{{Op: ir.Const, Dst: 10, Imm: 5}}
+	term := ir.Node{Op: ir.Call, Callee: 0}
+	out := DeadCode(body, &term, liveOut, ir.NumRegs)
+	if len(out) != 0 {
+		t.Error("value clobbered by the call should be dead before it")
+	}
+}
+
+func TestLivenessThroughBranch(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "f"}
+	p.Funcs = append(p.Funcs, f)
+	// b0: r5 = const; br r5 -> b1 else b2
+	// b1: r6 = r5 + r5; jmp b2       (r5 live into b1)
+	// b2: halt                        (nothing live in)
+	b0 := &ir.Block{
+		Body: []ir.Node{{Op: ir.Const, Dst: 5, Imm: 1}},
+		Term: ir.Node{Op: ir.Br, A: 5, Target: 1},
+	}
+	p.AddBlock(0, b0)
+	b1 := &ir.Block{
+		Body: []ir.Node{{Op: ir.Add, Dst: 6, A: 5, B: 5}},
+		Term: ir.Node{Op: ir.Jmp, Target: 2},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b1)
+	b2 := &ir.Block{Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b2)
+	b0.Fall = 2
+	f.Entry = 0
+
+	li := Liveness(p, f, ir.NumRegs)
+	if !li.In[1].Get(5) {
+		t.Error("r5 should be live into b1")
+	}
+	if li.In[2].Get(6) {
+		t.Error("r6 should not be live into b2")
+	}
+	if !li.Out[0].Get(5) {
+		t.Error("r5 should be live out of b0")
+	}
+}
+
+func TestSimplifyCFGThreadsAndMerges(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "f"}
+	p.Funcs = append(p.Funcs, f)
+	// b0 jumps to empty b1, which jumps to b2 (single pred after
+	// threading): expect b0 merged with b2 and b1 pruned.
+	// Stores keep the nodes alive through dead-code elimination.
+	b0 := &ir.Block{
+		Body: []ir.Node{{Op: ir.Const, Dst: 5, Imm: 64}, {Op: ir.St, A: 5, B: 5}},
+		Term: ir.Node{Op: ir.Jmp, Target: 1},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b0)
+	b1 := &ir.Block{Term: ir.Node{Op: ir.Jmp, Target: 2}, Fall: ir.NoBlock}
+	p.AddBlock(0, b1)
+	b2 := &ir.Block{
+		Body: []ir.Node{{Op: ir.St, A: 5, B: 5, Imm: 4}},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, b2)
+	f.Entry = 0
+
+	Func(p, f, ir.NumRegs)
+	if len(f.Blocks) != 1 {
+		t.Fatalf("expected 1 block after simplification, got %d", len(f.Blocks))
+	}
+	if got := p.Blocks[f.Entry]; got.Term.Op != ir.Halt || len(got.Body) != 3 {
+		t.Errorf("merged block wrong: %d nodes, term %s", len(got.Body), got.Term.Op)
+	}
+}
+
+func TestSimplifyIdenticalBranchArms(t *testing.T) {
+	p := &ir.Program{}
+	f := &ir.Func{Name: "f"}
+	p.Funcs = append(p.Funcs, f)
+	b0 := &ir.Block{
+		Body: []ir.Node{{Op: ir.Const, Dst: 5, Imm: 1}},
+		Term: ir.Node{Op: ir.Br, A: 5, Target: 1},
+		Fall: 1,
+	}
+	p.AddBlock(0, b0)
+	b1 := &ir.Block{Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	p.AddBlock(0, b1)
+	f.Entry = 0
+	Func(p, f, ir.NumRegs)
+	if p.Blocks[0].Term.Op == ir.Br {
+		t.Error("branch with identical arms should become a jump (and then merge)")
+	}
+}
+
+func TestBitsOps(t *testing.T) {
+	b := NewBits(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int{0, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Error("bit 64 should be clear")
+	}
+	c := b.Clone()
+	c.Set(5)
+	if b.Get(5) {
+		t.Error("clone should be independent")
+	}
+	d := NewBits(130)
+	if d.Or(b) != true {
+		t.Error("Or should report a change")
+	}
+	if d.Or(b) != false {
+		t.Error("second Or should be a no-op")
+	}
+}

@@ -1,0 +1,166 @@
+package opt
+
+import "fgpsim/internal/ir"
+
+// simplifyCFG performs jump threading, straight-line block merging, and
+// unreachable-block removal on one function. It reports whether anything
+// changed. Orphaned blocks stay in the program arena (block IDs are stable)
+// but are emptied and dropped from the function's block list.
+func simplifyCFG(p *ir.Program, fn *ir.Func) bool {
+	changed := false
+	if threadJumps(p, fn) {
+		changed = true
+	}
+	if mergeBlocks(p, fn) {
+		changed = true
+	}
+	if pruneUnreachable(p, fn) {
+		changed = true
+	}
+	return changed
+}
+
+// threadTarget follows chains of empty jump-only blocks to their final
+// destination (with a cycle guard).
+func threadTarget(p *ir.Program, id ir.BlockID) ir.BlockID {
+	seen := 0
+	for {
+		b := p.Blocks[id]
+		if len(b.Body) != 0 || b.Term.Op != ir.Jmp || b.Term.Target == id {
+			return id
+		}
+		id = b.Term.Target
+		if seen++; seen > 64 {
+			return id // pathological cycle of empty jumps
+		}
+	}
+}
+
+func threadJumps(p *ir.Program, fn *ir.Func) bool {
+	changed := false
+	redirect := func(id *ir.BlockID) {
+		if *id == ir.NoBlock {
+			return
+		}
+		if t := threadTarget(p, *id); t != *id {
+			*id = t
+			changed = true
+		}
+	}
+	for _, id := range fn.Blocks {
+		b := p.Blocks[id]
+		for k := range b.Body {
+			if b.Body[k].Op == ir.Assert {
+				redirect(&b.Body[k].Target)
+			}
+		}
+		switch b.Term.Op {
+		case ir.Br:
+			redirect(&b.Term.Target)
+			redirect(&b.Fall)
+			if b.Term.Target == b.Fall {
+				// Both arms land in the same place: the branch is a jump.
+				b.Term = ir.Node{Op: ir.Jmp, Target: b.Fall}
+				b.Fall = ir.NoBlock
+				changed = true
+			}
+		case ir.Jmp:
+			redirect(&b.Term.Target)
+		case ir.Call:
+			redirect(&b.Fall)
+		}
+	}
+	return changed
+}
+
+// predCounts counts in-function control predecessors of each block.
+// Function entries get an extra count (they are call targets from anywhere)
+// so they are never merged away.
+func predCounts(p *ir.Program, fn *ir.Func) map[ir.BlockID]int {
+	preds := make(map[ir.BlockID]int, len(fn.Blocks))
+	preds[fn.Entry]++
+	for _, id := range fn.Blocks {
+		b := p.Blocks[id]
+		for _, s := range b.Succs() {
+			preds[s]++
+		}
+		for k := range b.Body {
+			if b.Body[k].Op == ir.Assert {
+				preds[b.Body[k].Target]++
+			}
+		}
+	}
+	return preds
+}
+
+// mergeBlocks absorbs single-predecessor jump successors: b: ... jmp c, with
+// c having no other predecessor, becomes one block.
+func mergeBlocks(p *ir.Program, fn *ir.Func) bool {
+	preds := predCounts(p, fn)
+	changed := false
+	for _, id := range fn.Blocks {
+		b := p.Blocks[id]
+		for b.Term.Op == ir.Jmp {
+			cid := b.Term.Target
+			if cid == id || preds[cid] != 1 || cid == fn.Entry {
+				break
+			}
+			c := p.Blocks[cid]
+			if c.Fn != b.Fn {
+				break
+			}
+			b.Body = append(b.Body, c.Body...)
+			b.Term = c.Term
+			b.Fall = c.Fall
+			// Orphan the carcass.
+			c.Body = nil
+			c.Term = ir.Node{Op: ir.Halt}
+			c.Fall = ir.NoBlock
+			preds[cid] = 0
+			changed = true
+		}
+	}
+	return changed
+}
+
+// pruneUnreachable drops blocks unreachable from the function entry from
+// the function's block list (keeping arena IDs valid) and empties them.
+func pruneUnreachable(p *ir.Program, fn *ir.Func) bool {
+	reach := make(map[ir.BlockID]bool, len(fn.Blocks))
+	var stack []ir.BlockID
+	push := func(id ir.BlockID) {
+		if id != ir.NoBlock && !reach[id] {
+			reach[id] = true
+			stack = append(stack, id)
+		}
+	}
+	push(fn.Entry)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := p.Blocks[id]
+		for _, s := range b.Succs() {
+			push(s)
+		}
+		for k := range b.Body {
+			if b.Body[k].Op == ir.Assert {
+				push(b.Body[k].Target)
+			}
+		}
+	}
+	kept := fn.Blocks[:0]
+	changed := false
+	for _, id := range fn.Blocks {
+		if reach[id] {
+			kept = append(kept, id)
+			continue
+		}
+		b := p.Blocks[id]
+		b.Body = nil
+		b.Term = ir.Node{Op: ir.Halt}
+		b.Fall = ir.NoBlock
+		changed = true
+	}
+	fn.Blocks = kept
+	return changed
+}

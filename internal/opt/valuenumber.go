@@ -1,0 +1,251 @@
+package opt
+
+import "fgpsim/internal/ir"
+
+// Local value numbering over a straight-line node sequence. Performs, in one
+// pass: constant folding, copy propagation, common-subexpression
+// elimination of pure nodes, store-to-load forwarding, redundant-load
+// elimination, and branch folding when the condition is a known constant.
+//
+// The sequence semantics are preserved exactly; nodes are rewritten in place
+// (a CSE hit becomes a Mov from the canonical home register, which a later
+// dead-code pass removes if the copy is unused).
+
+type exprKey struct {
+	op    ir.Op
+	a, b  int32 // value numbers
+	imm   int64
+	isMem bool
+	width int8
+}
+
+type vnState struct {
+	nextVN int32
+	regVN  map[ir.Reg]int32
+	// home maps a value number to a register currently holding it, plus a
+	// generation check (homeVN) so stale homes are ignored.
+	home   map[int32]ir.Reg
+	consts map[int32]int32 // value number -> constant value
+	constV map[int32]int32 // constant value -> value number
+	exprs  map[exprKey]int32
+	mems   map[exprKey]int32
+}
+
+func newVNState() *vnState {
+	return &vnState{
+		nextVN: 1,
+		regVN:  make(map[ir.Reg]int32),
+		home:   make(map[int32]ir.Reg),
+		consts: make(map[int32]int32),
+		constV: make(map[int32]int32),
+		exprs:  make(map[exprKey]int32),
+		mems:   make(map[exprKey]int32),
+	}
+}
+
+func (s *vnState) fresh() int32 {
+	v := s.nextVN
+	s.nextVN++
+	return v
+}
+
+// vnOf returns the value number currently held by register r.
+func (s *vnState) vnOf(r ir.Reg) int32 {
+	if v, ok := s.regVN[r]; ok {
+		return v
+	}
+	v := s.fresh()
+	s.regVN[r] = v
+	s.home[v] = r
+	return v
+}
+
+// setReg records that r now holds value number v and makes r the home of v
+// if v has no valid home.
+func (s *vnState) setReg(r ir.Reg, v int32) {
+	s.regVN[r] = v
+	if h, ok := s.home[v]; !ok || s.regVN[h] != v {
+		s.home[v] = r
+	}
+}
+
+// canonical returns a register that currently holds value number v, if any.
+func (s *vnState) canonical(v int32) (ir.Reg, bool) {
+	h, ok := s.home[v]
+	if ok && s.regVN[h] == v {
+		return h, true
+	}
+	return 0, false
+}
+
+// constOf returns the constant value of value number v, if known.
+func (s *vnState) constOf(v int32) (int32, bool) {
+	c, ok := s.consts[v]
+	return c, ok
+}
+
+// vnConst returns the value number of a constant.
+func (s *vnState) vnConst(c int32) int32 {
+	if v, ok := s.constV[c]; ok {
+		return v
+	}
+	v := s.fresh()
+	s.constV[c] = v
+	s.consts[v] = c
+	return v
+}
+
+// ValueNumberBlock optimizes one block in place and reports whether
+// anything changed.
+func ValueNumberBlock(b *ir.Block) bool {
+	return ValueNumberSeq(b.Body, &b.Term, b)
+}
+
+// ValueNumberSeq optimizes a node sequence plus its terminator in place.
+// blk, when non-nil, allows branch folding to rewrite the terminator (a Br
+// on a constant condition becomes a Jmp and the Fall edge is updated).
+func ValueNumberSeq(body []ir.Node, term *ir.Node, blk *ir.Block) bool {
+	s := newVNState()
+	changed := false
+
+	rewriteSrc := func(r *ir.Reg) {
+		if *r == ir.NoReg {
+			return
+		}
+		v := s.vnOf(*r)
+		if h, ok := s.canonical(v); ok && h != *r {
+			*r = h
+			changed = true
+		}
+	}
+
+	for i := range body {
+		n := &body[i]
+		switch {
+		case n.Op == ir.Const:
+			v := s.vnConst(int32(n.Imm))
+			if h, ok := s.canonical(v); ok {
+				// The constant is already in a register: make this a copy.
+				*n = ir.Node{Op: ir.Mov, Dst: n.Dst, A: h, B: ir.NoReg}
+				changed = true
+			}
+			s.setReg(n.Dst, v)
+
+		case n.Op == ir.Mov:
+			rewriteSrc(&n.A)
+			v := s.vnOf(n.A)
+			s.setReg(n.Dst, v)
+
+		case n.Op.IsPure():
+			rewriteSrc(&n.A)
+			rewriteSrc(&n.B)
+			va := s.vnOf(n.A)
+			vb := int32(0)
+			if n.B != ir.NoReg {
+				vb = s.vnOf(n.B)
+			}
+			// Constant folding.
+			ca, okA := s.constOf(va)
+			cb, okB := int32(0), n.B == ir.NoReg
+			if n.B != ir.NoReg {
+				cb, okB = s.constOf(vb)
+			}
+			if okA && okB {
+				val := ir.EvalALU(n.Op, ca, cb, n.Imm)
+				*n = ir.Node{Op: ir.Const, Dst: n.Dst, A: ir.NoReg, B: ir.NoReg, Imm: int64(val)}
+				changed = true
+				s.setReg(n.Dst, s.vnConst(val))
+				continue
+			}
+			// CSE.
+			if n.Op.Commutes() && vb < va {
+				va, vb = vb, va
+			}
+			key := exprKey{op: n.Op, a: va, b: vb, imm: n.Imm}
+			if v, ok := s.exprs[key]; ok {
+				if h, hok := s.canonical(v); hok {
+					*n = ir.Node{Op: ir.Mov, Dst: n.Dst, A: h, B: ir.NoReg}
+					changed = true
+					s.setReg(n.Dst, v)
+					continue
+				}
+			}
+			v := s.fresh()
+			s.exprs[key] = v
+			s.setReg(n.Dst, v)
+
+		case n.Op.IsLoad():
+			rewriteSrc(&n.A)
+			va := s.vnOf(n.A)
+			w := int8(4)
+			if n.Op == ir.LdB {
+				w = 1
+			}
+			key := exprKey{a: va, imm: n.Imm, isMem: true, width: w}
+			if v, ok := s.mems[key]; ok {
+				if h, hok := s.canonical(v); hok {
+					*n = ir.Node{Op: ir.Mov, Dst: n.Dst, A: h, B: ir.NoReg}
+					changed = true
+					s.setReg(n.Dst, v)
+					continue
+				}
+			}
+			v := s.fresh()
+			s.mems[key] = v
+			s.setReg(n.Dst, v)
+
+		case n.Op.IsStore():
+			rewriteSrc(&n.A)
+			rewriteSrc(&n.B)
+			// Any store may alias any tracked location: drop them all, then
+			// remember the stored value for store-to-load forwarding.
+			s.mems = make(map[exprKey]int32)
+			w := int8(4)
+			if n.Op == ir.StB {
+				w = 1
+			}
+			if w == 4 {
+				// A byte reloaded after a word store would need masking;
+				// only word stores forward to word loads here.
+				key := exprKey{a: s.vnOf(n.A), imm: n.Imm, isMem: true, width: w}
+				s.mems[key] = s.vnOf(n.B)
+			}
+
+		case n.Op == ir.Sys:
+			rewriteSrc(&n.A)
+			rewriteSrc(&n.B)
+			s.mems = make(map[exprKey]int32) // conservatively clobbers memory
+			if n.Dst != ir.NoReg {
+				s.setReg(n.Dst, s.fresh())
+			}
+
+		case n.Op == ir.Assert:
+			rewriteSrc(&n.A)
+
+		default:
+			// Unknown node kind: invalidate everything reachable.
+			s = newVNState()
+		}
+	}
+
+	// Terminator: propagate copies into the condition, and fold constant
+	// branches when we are allowed to edit the block.
+	if term != nil {
+		switch term.Op {
+		case ir.Br:
+			rewriteSrc(&term.A)
+			if blk != nil {
+				if c, ok := s.constOf(s.vnOf(term.A)); ok {
+					target := term.Target
+					if c == 0 {
+						target = blk.Fall
+					}
+					*term = ir.Node{Op: ir.Jmp, Target: target}
+					blk.Fall = ir.NoBlock
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,125 @@
+package opt
+
+import (
+	"testing"
+
+	"fgpsim/internal/ir"
+)
+
+// TestVNConstReuse: a repeated constant becomes a copy of the register
+// already holding it.
+func TestVNConstReuse(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Const, Dst: 5, Imm: 9},
+		ir.Node{Op: ir.Const, Dst: 6, Imm: 9},
+	)
+	ValueNumberBlock(b)
+	if b.Body[1].Op != ir.Mov || b.Body[1].A != 5 {
+		t.Errorf("repeated const should copy: %s", &b.Body[1])
+	}
+}
+
+// TestVNConstReuseInvalidatedByClobber: when the holding register is
+// overwritten, the constant must be re-materialized, not copied.
+func TestVNConstReuseInvalidatedByClobber(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Const, Dst: 5, Imm: 9},
+		ir.Node{Op: ir.Const, Dst: 5, Imm: 1}, // clobber
+		ir.Node{Op: ir.Const, Dst: 6, Imm: 9},
+	)
+	ValueNumberBlock(b)
+	if b.Body[2].Op != ir.Const {
+		t.Errorf("clobbered const home must not be copied: %s", &b.Body[2])
+	}
+}
+
+// TestVNFoldsThroughCopies: constants propagate through moves into folds.
+func TestVNFoldsThroughCopies(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Const, Dst: 5, Imm: 6},
+		ir.Node{Op: ir.Mov, Dst: 6, A: 5},
+		ir.Node{Op: ir.Mov, Dst: 7, A: 6},
+		ir.Node{Op: ir.Add, Dst: 8, A: 7, B: 5},
+	)
+	ValueNumberBlock(b)
+	if b.Body[3].Op != ir.Const || b.Body[3].Imm != 12 {
+		t.Errorf("add of copied constants should fold to 12: %s", &b.Body[3])
+	}
+}
+
+// TestVNUnaryFolding covers AddI/Neg/Not folding paths (B == NoReg).
+func TestVNUnaryFolding(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Const, Dst: 5, Imm: 10},
+		ir.Node{Op: ir.AddI, Dst: 6, A: 5, B: ir.NoReg, Imm: -3},
+		ir.Node{Op: ir.Neg, Dst: 7, A: 6, B: ir.NoReg},
+		ir.Node{Op: ir.Not, Dst: 8, A: 7, B: ir.NoReg},
+	)
+	ValueNumberBlock(b)
+	if b.Body[1].Op != ir.Const || b.Body[1].Imm != 7 {
+		t.Errorf("addi fold: %s", &b.Body[1])
+	}
+	if b.Body[2].Op != ir.Const || b.Body[2].Imm != -7 {
+		t.Errorf("neg fold: %s", &b.Body[2])
+	}
+	if b.Body[3].Op != ir.Const || b.Body[3].Imm != 6 {
+		t.Errorf("not fold: %s", &b.Body[3])
+	}
+}
+
+// TestVNSysClobbersMemoryValues: a system call invalidates remembered
+// memory values but not register values.
+func TestVNSysClobbersMemoryValues(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Ld, Dst: 6, A: 5, B: ir.NoReg},
+		ir.Node{Op: ir.Sys, Dst: 7, A: 6, B: ir.NoReg, Imm: 2},
+		ir.Node{Op: ir.Ld, Dst: 8, A: 5, B: ir.NoReg},
+	)
+	ValueNumberBlock(b)
+	if b.Body[2].Op != ir.Ld {
+		t.Errorf("load after sys must stay a load: %s", &b.Body[2])
+	}
+}
+
+// TestVNAssertKeepsState: asserts read their condition but do not
+// invalidate value numbering (the whole block rolls back on fault).
+func TestVNAssertKeepsState(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.Ld, Dst: 6, A: 5, B: ir.NoReg, Imm: 4},
+		ir.Node{Op: ir.Assert, A: 6, B: ir.NoReg, Expect: true, Target: 0},
+		ir.Node{Op: ir.Ld, Dst: 7, A: 5, B: ir.NoReg, Imm: 4},
+	)
+	ValueNumberBlock(b)
+	if b.Body[2].Op != ir.Mov || b.Body[2].A != 6 {
+		t.Errorf("load across assert should CSE: %s", &b.Body[2])
+	}
+}
+
+// TestVNStoreForwardOnlyExactWord: offsets must match exactly.
+func TestVNStoreForwardOnlyExactWord(t *testing.T) {
+	b := seq(halt(),
+		ir.Node{Op: ir.St, A: 5, B: 6, Imm: 0},
+		ir.Node{Op: ir.Ld, Dst: 7, A: 5, B: ir.NoReg, Imm: 4},
+	)
+	ValueNumberBlock(b)
+	if b.Body[1].Op != ir.Ld {
+		t.Errorf("different offset must not forward: %s", &b.Body[1])
+	}
+}
+
+// TestVNTermCondPropagation: the branch condition is rewritten to the
+// canonical home like any other use.
+func TestVNTermCondPropagation(t *testing.T) {
+	b := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Ld, Dst: 5, A: 9, B: ir.NoReg},
+			{Op: ir.Mov, Dst: 6, A: 5, B: ir.NoReg},
+		},
+		Term: ir.Node{Op: ir.Br, A: 6, Target: 1},
+		Fall: 2,
+	}
+	ValueNumberBlock(b)
+	if b.Term.A != 5 {
+		t.Errorf("branch condition not canonicalized: %s", &b.Term)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sched is the translating loader's static scheduler: it packs the
+// nodes of one basic block into multinodewords for a given issue model,
+// assuming cache-hit memory latencies and making the worst-case (compile
+// time) assumption about memory address matches, exactly as the paper
+// describes for statically scheduled machines:
+//
+//   - a load may not be scheduled before or beside an earlier store (the
+//     compiler cannot prove the addresses differ), but loads reorder freely
+//     among loads;
+//   - stores stay in program order relative to each other (same word is
+//     allowed; words execute their nodes in program order);
+//   - register flow (RAW) edges carry the producer's assumed latency;
+//     anti/output (WAR/WAW) edges only constrain word order;
+//   - system calls stay ordered among themselves and never move above an
+//     assert (a discarded block must not have performed I/O);
+//   - the terminator goes in the final word.
+//
+// The run-time engine issues one word per cycle, stalling whenever a word's
+// operands are not ready (the hardware interlock), so a schedule is a plan,
+// not a timing promise.
+package sched
+
+import (
+	"fgpsim/internal/ir"
+	"fgpsim/internal/machine"
+)
+
+// Word is one multinodeword: indices into the block's node list, where
+// index len(Body) denotes the terminator. Nodes within a word execute in
+// program (index) order.
+type Word []int
+
+// Schedule is the word packing of one block.
+type Schedule []Word
+
+// edge is a scheduling constraint: word(to) >= word(from) + minGap.
+type edge struct {
+	to     int
+	minGap int
+}
+
+// Block schedules a basic block for the given issue model and hit latency.
+func Block(b *ir.Block, im machine.IssueModel, hitLatency int) Schedule {
+	n := len(b.Body) + 1 // +1: terminator
+	nodeAt := func(i int) *ir.Node {
+		if i == len(b.Body) {
+			return &b.Term
+		}
+		return &b.Body[i]
+	}
+
+	succs := make([][]edge, n)
+	npreds := make([]int, n)
+	addEdge := func(from, to, gap int) {
+		succs[from] = append(succs[from], edge{to, gap})
+		npreds[to]++
+	}
+
+	latency := func(nd *ir.Node) int {
+		if nd.Op.IsLoad() {
+			return hitLatency
+		}
+		return 1
+	}
+
+	// Register dependences.
+	lastDef := make(map[ir.Reg]int)
+	lastUses := make(map[ir.Reg][]int)
+	// Memory and ordering state.
+	lastStore := -1
+	var loadsSinceStore []int
+	lastSys := -1
+	var asserts []int
+
+	for i := 0; i < n; i++ {
+		nd := nodeAt(i)
+		for _, u := range []ir.Reg{nd.A, nd.B} {
+			if u == ir.NoReg {
+				continue
+			}
+			if d, ok := lastDef[u]; ok {
+				addEdge(d, i, latency(nodeAt(d))) // RAW
+			}
+			lastUses[u] = append(lastUses[u], i)
+		}
+		if nd.Op.HasDst() {
+			if d, ok := lastDef[nd.Dst]; ok {
+				addEdge(d, i, 0) // WAW: later word or same word, order wins
+			}
+			for _, u := range lastUses[nd.Dst] {
+				if u != i {
+					addEdge(u, i, 0) // WAR
+				}
+			}
+			lastDef[nd.Dst] = i
+			lastUses[nd.Dst] = nil
+		}
+		switch {
+		case nd.Op.IsLoad():
+			if lastStore >= 0 {
+				addEdge(lastStore, i, 1) // possible match: strictly after
+			}
+			loadsSinceStore = append(loadsSinceStore, i)
+		case nd.Op.IsStore():
+			if lastStore >= 0 {
+				addEdge(lastStore, i, 0)
+			}
+			for _, l := range loadsSinceStore {
+				addEdge(l, i, 0) // memory WAR
+			}
+			loadsSinceStore = nil
+			lastStore = i
+		case nd.Op == ir.Sys:
+			if lastSys >= 0 {
+				addEdge(lastSys, i, 0)
+			}
+			for _, a := range asserts {
+				addEdge(a, i, 0)
+			}
+			lastSys = i
+		case nd.Op == ir.Assert:
+			asserts = append(asserts, i)
+			if len(asserts) > 1 {
+				addEdge(asserts[len(asserts)-2], i, 0)
+			}
+		}
+	}
+
+	// Priorities: critical-path height.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := latency(nodeAt(i))
+		for _, e := range succs[i] {
+			if v := e.minGap + height[e.to]; v > h {
+				h = v
+			}
+		}
+		height[i] = h
+	}
+
+	// List scheduling.
+	earliest := make([]int, n)
+	scheduled := make([]bool, n)
+	pending := make([]int, n)
+	copy(pending, npreds)
+	term := n - 1
+	remaining := n - 1 // body nodes left (terminator placed last)
+
+	var words Schedule
+	word := 0
+	for remaining > 0 {
+		memSlots, aluSlots, totalSlots := im.Mem, im.ALU, im.Total()
+		var w Word
+		for {
+			best := -1
+			for i := 0; i < term; i++ {
+				if scheduled[i] || pending[i] != 0 || earliest[i] > word {
+					continue
+				}
+				nd := nodeAt(i)
+				if nd.Op.IsMem() {
+					if memSlots == 0 {
+						continue
+					}
+				} else if aluSlots == 0 {
+					continue
+				}
+				if best < 0 || height[i] > height[best] || (height[i] == height[best] && i < best) {
+					best = i
+				}
+			}
+			if best < 0 || totalSlots == 0 {
+				break
+			}
+			nd := nodeAt(best)
+			if nd.Op.IsMem() {
+				memSlots--
+			} else {
+				aluSlots--
+			}
+			totalSlots--
+			w = append(w, best)
+			scheduled[best] = true
+			remaining--
+			for _, e := range succs[best] {
+				pending[e.to]--
+				if v := word + e.minGap; v > earliest[e.to] {
+					earliest[e.to] = v
+				}
+			}
+		}
+		if len(w) > 0 {
+			sortWord(w)
+			words = append(words, w)
+		}
+		word++
+	}
+
+	// Place the terminator in the final word when an ALU slot remains;
+	// otherwise open a new word. The engine's interlock enforces operand
+	// readiness at issue, so packing is a plan, not a timing guarantee.
+	lastWord := len(words) - 1
+	if lastWord >= 0 && earliest[term] <= lastWord && wordHasALUSlot(words[lastWord], b, im) {
+		words[lastWord] = append(words[lastWord], term)
+	} else {
+		words = append(words, Word{term})
+	}
+	return words
+}
+
+// sortWord orders a word's nodes by original index so the engine executes
+// them in program order.
+func sortWord(w Word) {
+	for i := 1; i < len(w); i++ {
+		for j := i; j > 0 && w[j] < w[j-1]; j-- {
+			w[j], w[j-1] = w[j-1], w[j]
+		}
+	}
+}
+
+func wordHasALUSlot(w Word, b *ir.Block, im machine.IssueModel) bool {
+	if im.Sequential {
+		return len(w) == 0
+	}
+	alu := 0
+	for _, i := range w {
+		if i < len(b.Body) && b.Body[i].Op.IsMem() {
+			continue
+		}
+		alu++
+	}
+	return alu < im.ALU
+}
+
+// Length returns the schedule length in words.
+func (s Schedule) Length() int { return len(s) }

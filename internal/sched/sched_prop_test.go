@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/machine"
+)
+
+// randomBlock builds a random well-formed block mixing ALU ops, loads,
+// stores, asserts, and system calls.
+func randomBlock(rng *rand.Rand, n int) *ir.Block {
+	regs := []ir.Reg{5, 6, 7, 8, 9, 10}
+	pick := func() ir.Reg { return regs[rng.Intn(len(regs))] }
+	var body []ir.Node
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0, 1:
+			body = append(body, ir.Node{Op: ir.Ld, Dst: pick(), A: pick(), Imm: int64(rng.Intn(64) * 4)})
+		case 2:
+			body = append(body, ir.Node{Op: ir.St, A: pick(), B: pick(), Imm: int64(rng.Intn(64) * 4)})
+		case 3:
+			body = append(body, ir.Node{Op: ir.Sys, Dst: pick(), A: pick(), B: ir.NoReg, Imm: ir.SysPutc})
+		case 4:
+			body = append(body, ir.Node{Op: ir.Assert, A: pick(), Expect: true, Target: 0})
+		case 5:
+			body = append(body, ir.Node{Op: ir.Const, Dst: pick(), Imm: int64(rng.Intn(100))})
+		default:
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Xor, ir.Mul, ir.Lt}
+			body = append(body, ir.Node{Op: ops[rng.Intn(len(ops))], Dst: pick(), A: pick(), B: pick()})
+		}
+	}
+	return &ir.Block{Body: body, Term: ir.Node{Op: ir.Br, A: pick(), Target: 0}, Fall: 0}
+}
+
+// verifySchedule checks every structural constraint a schedule must obey.
+func verifySchedule(t *testing.T, b *ir.Block, s Schedule, im machine.IssueModel, hitLat int) {
+	t.Helper()
+	n := len(b.Body) + 1
+	nodeAt := func(i int) *ir.Node {
+		if i == len(b.Body) {
+			return &b.Term
+		}
+		return &b.Body[i]
+	}
+	word := make([]int, n)
+	pos := make([]int, n) // position within the word
+	for i := range word {
+		word[i] = -1
+	}
+	for w, ws := range s {
+		mem, alu := 0, 0
+		for k, i := range ws {
+			if word[i] != -1 {
+				t.Fatalf("node %d scheduled twice", i)
+			}
+			word[i] = w
+			pos[i] = k
+			if nodeAt(i).Op.IsMem() {
+				mem++
+			} else {
+				alu++
+			}
+			if k > 0 && ws[k-1] > i {
+				t.Fatalf("word %d not in index order: %v", w, ws)
+			}
+		}
+		if im.Sequential {
+			if mem+alu > 1 {
+				t.Fatalf("sequential word %d has %d nodes", w, mem+alu)
+			}
+		} else if mem > im.Mem || alu > im.ALU {
+			t.Fatalf("word %d exceeds slots: %dM%dA > %dM%dA", w, mem, alu, im.Mem, im.ALU)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if word[i] == -1 {
+			t.Fatalf("node %d unscheduled", i)
+		}
+	}
+	if word[n-1] != len(s)-1 {
+		t.Fatal("terminator not in last word")
+	}
+
+	// before(a, b) = a executes before b in the engine's order.
+	before := func(a, c int) bool {
+		return word[a] < word[c] || (word[a] == word[c] && a < c)
+	}
+	lastDef := map[ir.Reg]int{}
+	lastStore := -1
+	lastSys := -1
+	lastAssert := -1
+	for i := 0; i < n; i++ {
+		nd := nodeAt(i)
+		// RAW: the consumer must sit in a strictly later word. (Schedules
+		// are compressed — empty words are dropped — so word distance is
+		// not cycle distance; the engine's interlock supplies the latency.
+		// Compression never merges words, so the planned gap of >= 1 word
+		// guarantees strict ordering survives.)
+		for _, u := range []ir.Reg{nd.A, nd.B} {
+			if u == ir.NoReg {
+				continue
+			}
+			if d, ok := lastDef[u]; ok && word[i] <= word[d] {
+				t.Fatalf("RAW violated: node %d (word %d) uses node %d (word %d)",
+					i, word[i], d, word[d])
+			}
+		}
+		if nd.Op.HasDst() {
+			lastDef[nd.Dst] = i
+		}
+		switch {
+		case nd.Op.IsLoad():
+			if lastStore >= 0 && word[i] <= word[lastStore] {
+				t.Fatalf("load %d not strictly after store %d", i, lastStore)
+			}
+		case nd.Op.IsStore():
+			if lastStore >= 0 && !before(lastStore, i) {
+				t.Fatalf("stores %d and %d reordered", lastStore, i)
+			}
+			lastStore = i
+		case nd.Op == ir.Sys:
+			if lastSys >= 0 && !before(lastSys, i) {
+				t.Fatalf("syscalls %d and %d reordered", lastSys, i)
+			}
+			if lastAssert >= 0 && !before(lastAssert, i) {
+				t.Fatalf("syscall %d moved above assert %d", i, lastAssert)
+			}
+			lastSys = i
+		case nd.Op == ir.Assert:
+			if lastAssert >= 0 && !before(lastAssert, i) {
+				t.Fatalf("asserts %d and %d reordered", lastAssert, i)
+			}
+			lastAssert = i
+		}
+	}
+}
+
+// TestRandomSchedulesRespectAllConstraints is the scheduler's property
+// test: 200 random blocks across all issue models and hit latencies.
+func TestRandomSchedulesRespectAllConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 200; trial++ {
+		b := randomBlock(rng, 1+rng.Intn(40))
+		im := machine.IssueModels[rng.Intn(len(machine.IssueModels))]
+		hitLat := 1 + rng.Intn(3)
+		s := Block(b, im, hitLat)
+		verifySchedule(t, b, s, im, hitLat)
+	}
+}
+
+// TestWAWNeverReordersAcrossWords: later writes to the same register never
+// land in earlier words.
+func TestWAWNeverReordersAcrossWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		b := randomBlock(rng, 20)
+		s := Block(b, machine.IssueModels[7], 1)
+		word := map[int]int{}
+		for w, ws := range s {
+			for _, i := range ws {
+				word[i] = w
+			}
+		}
+		lastDef := map[ir.Reg]int{}
+		for i := 0; i <= len(b.Body); i++ {
+			nd := &b.Term
+			if i < len(b.Body) {
+				nd = &b.Body[i]
+			}
+			if nd.Op.HasDst() {
+				if d, ok := lastDef[nd.Dst]; ok && word[i] < word[d] {
+					t.Fatalf("WAW reordered: node %d before node %d", i, d)
+				}
+				lastDef[nd.Dst] = i
+			}
+		}
+	}
+}

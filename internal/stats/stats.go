@@ -1,0 +1,204 @@
+// Package stats collects the measurements the paper reports: retired nodes
+// per cycle (the main datum of interest), operation redundancy (executed
+// but discarded work, Figure 6), dynamic basic block size histograms
+// (Figure 2), and supporting rates (cache hits, branch prediction accuracy,
+// window occupancy).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Run holds the statistics of one simulation run.
+type Run struct {
+	Cycles int64
+
+	// RetiredNodes counts nodes whose blocks committed; the paper's main
+	// metric is RetiredNodes/Cycles.
+	RetiredNodes int64
+
+	// ExecutedNodes counts nodes scheduled to a function unit, including
+	// those later discarded.
+	ExecutedNodes int64
+
+	// DiscardedNodes counts executed nodes thrown away by branch
+	// misprediction squashes or assert faults.
+	DiscardedNodes int64
+
+	RetiredBlocks int64
+	Mispredicts   int64
+	Faults        int64
+
+	// Branches and BranchesCorrect count retired conditional branches and
+	// how many were predicted correctly.
+	Branches        int64
+	BranchesCorrect int64
+
+	CacheHits   int64
+	CacheMisses int64
+
+	// WindowBlockSum accumulates the number of active basic blocks each
+	// cycle (dynamic engines only); divide by Cycles for mean occupancy.
+	WindowBlockSum int64
+	// WindowNodeSum accumulates in-flight (issued, unretired) nodes.
+	WindowNodeSum int64
+
+	// BlockSizes histograms retired block sizes (nodes per block).
+	BlockSizes map[int]int64
+
+	// Work is the run's work measured in reference nodes: the node count
+	// of the original (single-basic-block) program on the same input.
+	// Enlarged programs retire fewer nodes for the same computation (the
+	// loader's re-optimization eliminates nodes), so cross-configuration
+	// comparisons divide this machine-independent work by cycles. Zero
+	// means "same as RetiredNodes".
+	Work int64
+}
+
+// New returns an empty Run.
+func New() *Run {
+	return &Run{BlockSizes: make(map[int]int64)}
+}
+
+// NPC is the paper's headline metric: average retired nodes per cycle.
+func (r *Run) NPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.RetiredNodes) / float64(r.Cycles)
+}
+
+// Speed is the work-normalized rate: reference nodes per cycle. For
+// single-block programs it equals NPC; for enlarged programs it credits the
+// nodes the re-optimizer eliminated, making configurations comparable.
+func (r *Run) Speed() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	work := r.Work
+	if work == 0 {
+		work = r.RetiredNodes
+	}
+	return float64(work) / float64(r.Cycles)
+}
+
+// Redundancy is the fraction of executed nodes that were discarded
+// (Figure 6).
+func (r *Run) Redundancy() float64 {
+	if r.ExecutedNodes == 0 {
+		return 0
+	}
+	return float64(r.DiscardedNodes) / float64(r.ExecutedNodes)
+}
+
+// PredictionAccuracy is the fraction of retired conditional branches that
+// were predicted correctly.
+func (r *Run) PredictionAccuracy() float64 {
+	if r.Branches == 0 {
+		return 1
+	}
+	return float64(r.BranchesCorrect) / float64(r.Branches)
+}
+
+// CacheHitRatio is hits/(hits+misses), 1 when no cache was modeled.
+func (r *Run) CacheHitRatio() float64 {
+	t := r.CacheHits + r.CacheMisses
+	if t == 0 {
+		return 1
+	}
+	return float64(r.CacheHits) / float64(t)
+}
+
+// MeanBlockSize is the average retired block size in nodes.
+func (r *Run) MeanBlockSize() float64 {
+	if r.RetiredBlocks == 0 {
+		return 0
+	}
+	return float64(r.RetiredNodes) / float64(r.RetiredBlocks)
+}
+
+// MeanWindowBlocks is the average number of active basic blocks per cycle.
+func (r *Run) MeanWindowBlocks() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.WindowBlockSum) / float64(r.Cycles)
+}
+
+// RecordBlock records a retired block of the given size.
+func (r *Run) RecordBlock(size int) {
+	r.RetiredBlocks++
+	r.BlockSizes[size]++
+}
+
+// Histogram bins retired block sizes into fixed-width buckets and returns
+// the fraction of retired blocks per bucket — the form of Figure 2.
+func (r *Run) Histogram(binWidth, maxSize int) []float64 {
+	nbins := maxSize/binWidth + 1
+	bins := make([]float64, nbins)
+	var total int64
+	for size, count := range r.BlockSizes {
+		b := size / binWidth
+		if b >= nbins {
+			b = nbins - 1
+		}
+		bins[b] += float64(count)
+		total += count
+	}
+	if total > 0 {
+		for i := range bins {
+			bins[i] /= float64(total)
+		}
+	}
+	return bins
+}
+
+// Merge adds other's counts into r (used to aggregate across benchmarks).
+func (r *Run) Merge(other *Run) {
+	r.Cycles += other.Cycles
+	r.RetiredNodes += other.RetiredNodes
+	r.ExecutedNodes += other.ExecutedNodes
+	r.DiscardedNodes += other.DiscardedNodes
+	r.RetiredBlocks += other.RetiredBlocks
+	r.Mispredicts += other.Mispredicts
+	r.Faults += other.Faults
+	r.Branches += other.Branches
+	r.BranchesCorrect += other.BranchesCorrect
+	r.CacheHits += other.CacheHits
+	r.CacheMisses += other.CacheMisses
+	r.WindowBlockSum += other.WindowBlockSum
+	r.WindowNodeSum += other.WindowNodeSum
+	for s, c := range other.BlockSizes {
+		r.BlockSizes[s] += c
+	}
+}
+
+// String renders a one-run report.
+func (r *Run) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles            %12d\n", r.Cycles)
+	fmt.Fprintf(&sb, "retired nodes     %12d   (%.3f nodes/cycle)\n", r.RetiredNodes, r.NPC())
+	fmt.Fprintf(&sb, "executed nodes    %12d   (redundancy %.3f)\n", r.ExecutedNodes, r.Redundancy())
+	fmt.Fprintf(&sb, "retired blocks    %12d   (mean size %.2f nodes)\n", r.RetiredBlocks, r.MeanBlockSize())
+	fmt.Fprintf(&sb, "mispredicts       %12d   (accuracy %.3f)\n", r.Mispredicts, r.PredictionAccuracy())
+	fmt.Fprintf(&sb, "assert faults     %12d\n", r.Faults)
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(&sb, "cache hit ratio   %12.3f\n", r.CacheHitRatio())
+	}
+	if r.WindowBlockSum > 0 {
+		fmt.Fprintf(&sb, "mean window       %12.2f blocks\n", r.MeanWindowBlocks())
+	}
+	return sb.String()
+}
+
+// SortedSizes returns the distinct retired block sizes in ascending order.
+func (r *Run) SortedSizes() []int {
+	sizes := make([]int, 0, len(r.BlockSizes))
+	for s := range r.BlockSizes {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	return sizes
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicRates(t *testing.T) {
+	r := New()
+	r.Cycles = 100
+	r.RetiredNodes = 250
+	r.ExecutedNodes = 300
+	r.DiscardedNodes = 50
+	if r.NPC() != 2.5 {
+		t.Errorf("NPC = %v, want 2.5", r.NPC())
+	}
+	if got := r.Redundancy(); math.Abs(got-50.0/300.0) > 1e-12 {
+		t.Errorf("Redundancy = %v", got)
+	}
+	if r.Speed() != 2.5 {
+		t.Errorf("Speed without Work = %v, want NPC", r.Speed())
+	}
+	r.Work = 500
+	if r.Speed() != 5 {
+		t.Errorf("Speed with Work = %v, want 5", r.Speed())
+	}
+}
+
+func TestZeroSafety(t *testing.T) {
+	r := New()
+	if r.NPC() != 0 || r.Speed() != 0 || r.Redundancy() != 0 {
+		t.Error("zero-cycle run should report zero rates")
+	}
+	if r.PredictionAccuracy() != 1 {
+		t.Error("no branches: accuracy 1")
+	}
+	if r.CacheHitRatio() != 1 {
+		t.Error("no cache accesses: ratio 1")
+	}
+	if r.MeanBlockSize() != 0 || r.MeanWindowBlocks() != 0 {
+		t.Error("zero means should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	for i := 0; i < 6; i++ {
+		r.RecordBlock(3) // bin 0
+	}
+	r.RecordBlock(7)   // bin 1
+	r.RecordBlock(12)  // bin 2
+	r.RecordBlock(500) // clamps to last bin
+	h := r.Histogram(5, 20)
+	if len(h) != 5 {
+		t.Fatalf("bins = %d, want 5", len(h))
+	}
+	total := 0.0
+	for _, v := range h {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("histogram sums to %v, want 1", total)
+	}
+	if h[0] != 6.0/9.0 {
+		t.Errorf("bin 0 = %v", h[0])
+	}
+	if h[4] != 1.0/9.0 {
+		t.Errorf("overflow bin = %v", h[4])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := New()
+	h := r.Histogram(5, 20)
+	for _, v := range h {
+		if v != 0 {
+			t.Error("empty histogram should be all zeros")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Cycles, b.Cycles = 10, 20
+	a.RecordBlock(4)
+	b.RecordBlock(4)
+	b.RecordBlock(9)
+	a.Branches, b.Branches = 1, 2
+	a.Merge(b)
+	if a.Cycles != 30 || a.RetiredBlocks != 3 || a.Branches != 3 {
+		t.Errorf("merge wrong: %+v", a)
+	}
+	if a.BlockSizes[4] != 2 || a.BlockSizes[9] != 1 {
+		t.Errorf("histogram merge wrong: %v", a.BlockSizes)
+	}
+}
+
+func TestString(t *testing.T) {
+	r := New()
+	r.Cycles = 10
+	r.RetiredNodes = 25
+	s := r.String()
+	for _, want := range []string{"cycles", "retired nodes", "2.500"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSortedSizes(t *testing.T) {
+	r := New()
+	for _, s := range []int{9, 3, 7, 3} {
+		r.RecordBlock(s)
+	}
+	got := r.SortedSizes()
+	want := []int{3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: histogram fractions are in [0,1] and sum to ~1 for any inputs.
+func TestHistogramProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		r := New()
+		for _, s := range sizes {
+			r.RecordBlock(int(s))
+		}
+		h := r.Histogram(5, 50)
+		total := 0.0
+		for _, v := range h {
+			if v < 0 || v > 1 {
+				return false
+			}
+			total += v
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge is additive on every counter it touches.
+func TestMergeProperty(t *testing.T) {
+	f := func(c1, c2 uint16, n1, n2 uint16) bool {
+		a, b := New(), New()
+		a.Cycles, b.Cycles = int64(c1), int64(c2)
+		a.RetiredNodes, b.RetiredNodes = int64(n1), int64(n2)
+		a.Merge(b)
+		return a.Cycles == int64(c1)+int64(c2) && a.RetiredNodes == int64(n1)+int64(n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
