@@ -27,7 +27,7 @@ var (
 )
 
 // workload prepares the sort benchmark once per process.
-func workload(b *testing.B) *Workload {
+func workload(b testing.TB) *Workload {
 	prepOnce.Do(func() {
 		prepWL, prepErr = PrepareBenchmark(BenchmarkByName("sort"), DefaultEnlargeOptions())
 	})

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -32,12 +34,59 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		csvPath  = flag.String("csv", "", "also dump every measured point as CSV to this file")
 		report   = flag.String("report", "", "write a markdown report (figures + claim checks) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
-	if err := run(*fig, *benchArg, *full, *workers, *quiet, *csvPath, *report); err != nil {
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+	err = run(*fig, *benchArg, *full, *workers, *quiet, *csvPath, *report)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles starts CPU profiling and/or arms a heap snapshot, returning
+// a function that finishes both. Empty paths disable each profile.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(fig int, benchArg string, full bool, workers int, quiet bool, csvPath, reportPath string) error {

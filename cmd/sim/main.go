@@ -9,6 +9,7 @@
 //	sim -img prog.img -in0 input.txt [-in1 other.txt]
 //	    [-hintsfrom prof.json] [-usetrace prog.trc]
 //	    [-out output.bin] [-stats]
+//	    [-cpuprofile cpu.out] [-memprofile mem.out]
 //	sim -img prog.img -in0 input.txt -functional
 //	    [-profile prof.json] [-trace prog.trc]
 package main
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"fgpsim/internal/branch"
 	"fgpsim/internal/core"
@@ -38,13 +41,60 @@ func main() {
 		useTrace   = flag.String("usetrace", "", "timed mode: trace file for perfect prediction")
 		hintsFrom  = flag.String("hintsfrom", "", "timed mode: profile file supplying static prediction hints")
 		pipeCycles = flag.Int64("pipe", 0, "timed dynamic mode: print pipeline events for the first N cycles")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
-	if err := run(*imgPath, *in0Path, *in1Path, *outPath, *profPath, *tracePath,
-		*useTrace, *hintsFrom, *functional, *showStats, *pipeCycles); err != nil {
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sim:", err)
 		os.Exit(1)
 	}
+	err = run(*imgPath, *in0Path, *in1Path, *outPath, *profPath, *tracePath,
+		*useTrace, *hintsFrom, *functional, *showStats, *pipeCycles)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles starts CPU profiling and/or arms a heap snapshot, returning
+// a function that finishes both. Empty paths disable each profile.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func readOptional(path string) ([]byte, error) {

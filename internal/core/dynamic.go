@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"fgpsim/internal/branch"
 	"fgpsim/internal/ir"
 	"fgpsim/internal/loader"
@@ -22,12 +20,16 @@ import (
 // checkpointed per basic block; branch mispredictions squash all younger
 // blocks, and assert faults (enlarged blocks) additionally discard the
 // faulting block itself and restart at its fault-to target.
+//
+// Every per-node and per-block structure is pool-allocated (pool.go), so a
+// run allocates only during warm-up; the recycling safety argument lives
+// with the pools.
 
 type nstate uint8
 
 const (
 	nsWaiting nstate = iota
-	nsReady          // in a ready queue
+	nsReady          // in a ready queue or a blocked list
 	nsExecuting
 	nsDone
 )
@@ -39,6 +41,7 @@ type dnode struct {
 	seq   int64
 	idx   int // index in block (len(body) = terminator)
 	state nstate
+	qpos  int32 // ready-queue heap position + 1 (0 = not queued)
 
 	srcA, srcB *dnode // producers still relevant at issue (nil = immediate)
 	valA, valB int32
@@ -102,30 +105,6 @@ func (ab *ablock) complete() bool {
 	return ab.issuedAll && ab.nDone == len(ab.nodes)
 }
 
-// seqHeap is a min-heap of dnodes ordered by program order.
-type seqHeap []*dnode
-
-func (h seqHeap) Len() int           { return len(h) }
-func (h seqHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
-func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *seqHeap) Push(x any)        { *h = append(*h, x.(*dnode)) }
-func (h *seqHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
-}
-
-// wbEntry is a write-buffer entry: an executed, uncommitted store.
-type wbEntry struct {
-	nd   *dnode
-	addr int64
-	size int64
-	val  int32
-}
-
 // timelineSlots sizes the completion ring; it must exceed the largest
 // possible node latency (the 10-cycle cache miss).
 const timelineSlots = 16
@@ -146,7 +125,12 @@ type dynamicEngine struct {
 	cycle int64
 	seq   int64
 
-	active []*ablock // oldest first
+	active abRing // active blocks, oldest first
+
+	// Allocation pools (see pool.go).
+	npool  nodePool
+	bpool  blockPool
+	rspool rsPool
 
 	// Issue state.
 	rename      [ir.NumRegs]renEntry
@@ -160,25 +144,37 @@ type dynamicEngine struct {
 	trace  []ir.BlockID
 	cursor int
 
-	// Ready queues by function-unit class.
-	readyMem seqHeap
-	readyALU seqHeap
+	// Ready queues by function-unit class: intrusive min-heaps on seq, so
+	// the scheduler always picks the oldest ready node (pool.go).
+	readyMem readyQ
+	readyALU readyQ
 
-	// Completion timeline: a ring of per-cycle completion lists. Slot
-	// cycle%timelineSlots holds the nodes completing at that cycle; the
-	// maximum latency (a 10-cycle miss) is well below the ring size.
+	// Completion timeline: a ring of per-cycle completion lists — the
+	// bucketed event wheel keyed by ready-cycle. Slot cycle%timelineSlots
+	// holds the nodes completing at that cycle; the maximum latency (a
+	// 10-cycle miss) is well below the ring size.
 	timeline [timelineSlots][]*dnode
 
 	// liveNodes counts issued, unretired nodes (window occupancy stats).
 	liveNodes int64
 
 	// Memory disambiguation state. unknownQ holds issued stores in seq
-	// order; entries leave lazily once executed or squashed, so the head
-	// yields the minimum unknown-address store seq in O(1) amortized.
-	wb           map[int64][]*wbEntry // granule (addr>>2) -> entries, seq order
-	unknownQ     []*dnode
+	// order; executed entries leave lazily from the front, squashed ones
+	// eagerly from the back, so the head yields the minimum unknown-address
+	// store seq in O(1) amortized.
+	wb           map[int64][]*dnode // granule (addr>>2) -> executed stores, seq order
+	unknownQ     ndRing
 	blockedLoads []*dnode // loads waiting for disambiguation
 	blockedSys   []*dnode // syscalls waiting to be non-speculative
+	ovScratch    []*dnode // loadValue's overlap workspace
+
+	// blockedLoadGhosts counts squashed entries removed eagerly from
+	// blockedLoads at squash time. The retry gate below must still see
+	// them: with lazy removal they kept the list non-empty, so a retry pass
+	// would run and consume the current memEpoch even when every entry was
+	// dead. Counting them preserves that retry cadence exactly (scheduling
+	// order is part of the engine's contract with the figure tables).
+	blockedLoadGhosts int
 
 	// memEpoch increments whenever store state changes in a way that could
 	// unblock a waiting load; blocked loads retry only then.
@@ -211,7 +207,7 @@ func newDynamicEngine(img *loader.Image, in0, in1 []byte, trace []ir.BlockID, li
 		ialu:   cfg.Issue.ALU,
 		itotal: cfg.Issue.Total(),
 		trace:  trace,
-		wb:     make(map[int64][]*wbEntry),
+		wb:     make(map[int64][]*dnode),
 	}
 	if cfg.Branch != machine.Perfect {
 		e.pred = e.newPredictor(nil)
@@ -262,6 +258,15 @@ func (e *dynamicEngine) newPredictor(hints map[ir.BlockID]bool) branch.Direction
 	return branch.TwoBitAdapter{BTB: branch.New(entries, hints)}
 }
 
+// seqFloor is the oldest active block's entry sequence — no reference to a
+// node freed at or after it can still be held (pool.go's seq watermark).
+func (e *dynamicEngine) seqFloor() int64 {
+	if e.active.len() == 0 {
+		return noSeqFloor
+	}
+	return e.active.front().seq0
+}
+
 func (e *dynamicEngine) run() (*RunResult, error) {
 	maxCycles := e.lim.maxCycles()
 	for !e.finished {
@@ -280,7 +285,7 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 		e.issue()
 		e.schedule()
 		e.squashOldestOffender()
-		e.st.WindowBlockSum += int64(len(e.active))
+		e.st.WindowBlockSum += int64(e.active.len())
 		e.st.WindowNodeSum += e.liveNodes
 		e.cycle++
 	}
@@ -320,24 +325,34 @@ func (e *dynamicEngine) completions() {
 				e.makeReady(c)
 			}
 		}
-		nd.consumers = nil
+		nd.consumers = nd.consumers[:0]
+		// Harvest the rename entry: a completed producer's value is final,
+		// so the table keeps the value instead of the node. This bounds how
+		// long the table can reference the node — a requirement for
+		// recycling it after retirement.
+		if nd.n.Op.HasDst() {
+			if en := &e.rename[nd.n.Dst]; en.prod == nd {
+				en.prod = nil
+				en.val = nd.val
+			}
+		}
 	}
 }
 
 func (e *dynamicEngine) makeReady(nd *dnode) {
 	nd.state = nsReady
 	if nd.n.Op.IsMem() {
-		heap.Push(&e.readyMem, nd)
+		e.readyMem.push(nd)
 	} else {
-		heap.Push(&e.readyALU, nd)
+		e.readyALU.push(nd)
 	}
 }
 
 // ---------- retire ----------
 
 func (e *dynamicEngine) retire() {
-	for len(e.active) > 0 {
-		ab := e.active[0]
+	for e.active.len() > 0 {
+		ab := e.active.front()
 		if !ab.complete() || e.hasPendingFault(ab) {
 			return
 		}
@@ -369,10 +384,29 @@ func (e *dynamicEngine) retire() {
 			e.observeRetire(ab)
 		}
 		e.logRetire(ab)
-		e.active = e.active[1:]
+		e.active.popFront()
+		// The retiring block's stores are all done, so they form the
+		// disambiguation queue's front prefix; drop them now so no queue
+		// entry outlives its node.
+		for e.unknownQ.len() > 0 && e.unknownQ.front().state == nsDone {
+			e.unknownQ.popFront()
+		}
+		e.freeBlock(ab)
 		// Retirement may make blocked syscalls non-speculative.
 		e.wakeBlockedSys()
 	}
+}
+
+// freeBlock recycles a retired or squashed block and its nodes. The nodes
+// enter quarantine under the current watermarks; the block itself is
+// immediately reusable (pool.go).
+func (e *dynamicEngine) freeBlock(ab *ablock) {
+	seqWM := e.seq
+	cycleWM := e.cycle + timelineSlots
+	for _, nd := range ab.nodes {
+		e.npool.put(nd, seqWM, cycleWM)
+	}
+	e.bpool.put(ab)
 }
 
 func (e *dynamicEngine) hasPendingFault(ab *ablock) bool {
@@ -395,7 +429,7 @@ func (e *dynamicEngine) commitStore(snd *dnode) {
 		}
 		list := e.wb[gr]
 		for i, en := range list {
-			if en.nd == snd {
+			if en == snd {
 				e.wb[gr] = append(list[:i], list[i+1:]...)
 				break
 			}
@@ -422,15 +456,16 @@ func (e *dynamicEngine) schedule() {
 
 	// Retry loads previously blocked on disambiguation, but only when some
 	// store's state has changed since the last retry.
-	if len(e.blockedLoads) > 0 && e.memEpoch != e.lastLoadRetry {
+	if len(e.blockedLoads)+e.blockedLoadGhosts > 0 && e.memEpoch != e.lastLoadRetry {
 		e.lastLoadRetry = e.memEpoch
+		e.blockedLoadGhosts = 0
 		retry := e.blockedLoads
 		e.blockedLoads = e.blockedLoads[:0]
 		for _, nd := range retry {
 			if nd.squashed {
 				continue
 			}
-			heap.Push(&e.readyMem, nd)
+			e.readyMem.push(nd)
 		}
 	}
 	if len(e.blockedSys) > 0 {
@@ -440,38 +475,30 @@ func (e *dynamicEngine) schedule() {
 			if nd.squashed {
 				continue
 			}
-			heap.Push(&e.readyALU, nd)
+			e.readyALU.push(nd)
 		}
 	}
 
-	for total > 0 && memSlots > 0 && e.readyMem.Len() > 0 {
-		nd := e.readyMem[0]
-		if nd.squashed {
-			heap.Pop(&e.readyMem)
-			continue
-		}
+	for total > 0 && memSlots > 0 && e.readyMem.len() > 0 {
+		nd := e.readyMem.min()
 		if nd.n.Op.IsLoad() && !e.loadCanExecute(nd) {
-			heap.Pop(&e.readyMem)
+			e.readyMem.pop()
 			e.blockedLoads = append(e.blockedLoads, nd)
 			continue
 		}
-		heap.Pop(&e.readyMem)
+		e.readyMem.pop()
 		e.execute(nd)
 		memSlots--
 		total--
 	}
-	for total > 0 && aluSlots > 0 && e.readyALU.Len() > 0 {
-		nd := e.readyALU[0]
-		if nd.squashed {
-			heap.Pop(&e.readyALU)
-			continue
-		}
+	for total > 0 && aluSlots > 0 && e.readyALU.len() > 0 {
+		nd := e.readyALU.min()
 		if nd.n.Op == ir.Sys && !e.sysCanExecute(nd) {
-			heap.Pop(&e.readyALU)
+			e.readyALU.pop()
 			e.blockedSys = append(e.blockedSys, nd)
 			continue
 		}
-		heap.Pop(&e.readyALU)
+		e.readyALU.pop()
 		e.execute(nd)
 		aluSlots--
 		total--
@@ -480,11 +507,12 @@ func (e *dynamicEngine) schedule() {
 
 // minUnknownStoreSeq returns the sequence number of the oldest issued store
 // whose address is still unknown, popping finished entries off the queue.
+// (Squashed entries never appear: squashFrom discards them eagerly.)
 func (e *dynamicEngine) minUnknownStoreSeq() int64 {
-	for len(e.unknownQ) > 0 {
-		h := e.unknownQ[0]
-		if h.squashed || (h.state != nsWaiting && h.state != nsReady) {
-			e.unknownQ = e.unknownQ[1:]
+	for e.unknownQ.len() > 0 {
+		h := e.unknownQ.front()
+		if h.state != nsWaiting && h.state != nsReady {
+			e.unknownQ.popFront()
 			continue
 		}
 		return h.seq
@@ -501,7 +529,8 @@ func (e *dynamicEngine) loadCanExecute(nd *dnode) bool {
 		return false
 	}
 	if e.img.Cfg.ConservativeMem {
-		for _, ab := range e.active {
+		for i := 0; i < e.active.len(); i++ {
+			ab := e.active.at(i)
 			if ab.seq0 > nd.seq {
 				break
 			}
@@ -518,7 +547,7 @@ func (e *dynamicEngine) loadCanExecute(nd *dnode) bool {
 // sysCanExecute: system calls execute only when non-speculative — the block
 // is the oldest active one and everything older inside it has executed.
 func (e *dynamicEngine) sysCanExecute(nd *dnode) bool {
-	if len(e.active) == 0 || e.active[0] != nd.blk {
+	if e.active.len() == 0 || e.active.front() != nd.blk {
 		return false
 	}
 	for _, other := range nd.blk.nodes {
@@ -571,10 +600,9 @@ func (e *dynamicEngine) execute(nd *dnode) {
 		nd.addr = e.env.clampAddr(a+int32(nd.n.Imm), nd.memSize)
 		nd.val = b
 		e.memEpoch++
-		en := &wbEntry{nd: nd, addr: nd.addr, size: nd.memSize, val: nd.val}
 		for _, g := range granulesOf(nd.addr, nd.memSize) {
 			if g >= 0 {
-				e.wb[g] = insertBySeq(e.wb[g], en)
+				e.wb[g] = insertBySeq(e.wb[g], nd)
 			}
 		}
 		// A newly known store address may unblock younger loads.
@@ -607,14 +635,14 @@ func (e *dynamicEngine) execute(nd *dnode) {
 	e.timeline[slot] = append(e.timeline[slot], nd)
 }
 
-func insertBySeq(list []*wbEntry, en *wbEntry) []*wbEntry {
+func insertBySeq(list []*dnode, snd *dnode) []*dnode {
 	i := len(list)
-	for i > 0 && list[i-1].nd.seq > en.nd.seq {
+	for i > 0 && list[i-1].seq > snd.seq {
 		i--
 	}
 	list = append(list, nil)
 	copy(list[i+1:], list[i:])
-	list[i] = en
+	list[i] = snd
 	return list
 }
 
@@ -631,41 +659,46 @@ func (e *dynamicEngine) loadValue(nd *dnode) (int32, bool) {
 	bytes[2] = byte(base >> 16)
 	bytes[3] = byte(base >> 24)
 
-	forwarded := false
-	overlay := func(en *wbEntry) {
-		lo := en.addr
-		hi := en.addr + en.size
-		for i := int64(0); i < size; i++ {
-			p := nd.addr + i
-			if p >= lo && p < hi {
-				bytes[i] = byte(en.val >> (8 * (p - lo)))
-				forwarded = true
-			}
-		}
-	}
-	seen := map[*wbEntry]bool{}
-	var overlaps []*wbEntry
-	for _, g := range granulesOf(nd.addr, size) {
+	// Collect older overlapping stores. A store spanning both of the
+	// load's granules appears in both granule lists; it is taken from the
+	// list of its own first granule (gs[0], necessarily) and skipped in the
+	// second, so each store contributes once.
+	gs := granulesOf(nd.addr, size)
+	overlaps := e.ovScratch[:0]
+	for gi, g := range gs {
 		if g < 0 {
 			continue
 		}
-		for _, en := range e.wb[g] {
-			if en.nd.seq < nd.seq && !en.nd.squashed && !seen[en] {
-				seen[en] = true
-				overlaps = append(overlaps, en)
+		for _, snd := range e.wb[g] {
+			if snd.seq >= nd.seq || snd.squashed {
+				continue
 			}
+			if gi == 1 && snd.addr>>2 == gs[0] {
+				continue
+			}
+			overlaps = append(overlaps, snd)
 		}
 	}
 	// Apply in seq order (wb lists are sorted; merging two granules needs
 	// a stable order).
 	for i := 1; i < len(overlaps); i++ {
-		for j := i; j > 0 && overlaps[j].nd.seq < overlaps[j-1].nd.seq; j-- {
+		for j := i; j > 0 && overlaps[j].seq < overlaps[j-1].seq; j-- {
 			overlaps[j], overlaps[j-1] = overlaps[j-1], overlaps[j]
 		}
 	}
-	for _, en := range overlaps {
-		overlay(en)
+	forwarded := false
+	for _, snd := range overlaps {
+		lo := snd.addr
+		hi := snd.addr + snd.memSize
+		for i := int64(0); i < size; i++ {
+			p := nd.addr + i
+			if p >= lo && p < hi {
+				bytes[i] = byte(snd.val >> (8 * (p - lo)))
+				forwarded = true
+			}
+		}
 	}
+	e.ovScratch = overlaps
 	v := int32(bytes[0])
 	if size == 4 {
 		v |= int32(bytes[1])<<8 | int32(bytes[2])<<16 | int32(bytes[3])<<24
@@ -684,6 +717,6 @@ func (e *dynamicEngine) wakeBlockedSys() {
 		if nd.squashed {
 			continue
 		}
-		heap.Push(&e.readyALU, nd)
+		e.readyALU.push(nd)
 	}
 }

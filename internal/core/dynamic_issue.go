@@ -28,7 +28,7 @@ func (e *dynamicEngine) issue() {
 			if e.nextBlockID == ir.NoBlock {
 				return
 			}
-			if len(e.active) >= e.window {
+			if e.active.len() >= e.window {
 				return // window full: cannot activate another basic block
 			}
 			e.openBlock(e.nextBlockID)
@@ -79,12 +79,11 @@ func (e *dynamicEngine) openBlock(id ir.BlockID) {
 	if e.fill != nil {
 		id = e.fillRedirect(id)
 	}
-	ab := &ablock{
-		xb:         e.img.Prog.Block(id),
-		seq0:       e.seq,
-		rsSnap:     e.rs,
-		cursorSnap: e.cursor,
-	}
+	ab := e.bpool.get()
+	ab.xb = e.img.Prog.Block(id)
+	ab.seq0 = e.seq
+	ab.rsSnap = e.rs
+	ab.cursorSnap = e.cursor
 	if e.pred != nil {
 		ab.predSnap = e.pred.Checkpoint()
 	}
@@ -104,7 +103,7 @@ func (e *dynamicEngine) openBlock(id ir.BlockID) {
 		}
 		e.cursor += match
 	}
-	e.active = append(e.active, ab)
+	e.active.pushBack(ab)
 	e.issueBlock = ab
 	e.issueIdx = 0
 }
@@ -128,12 +127,11 @@ func (e *dynamicEngine) wireOperand(nd *dnode, r ir.Reg) (src *dnode, val int32)
 }
 
 func (e *dynamicEngine) issueNode(ab *ablock, n *ir.Node, isTerm bool) {
-	nd := &dnode{
-		n:   n,
-		blk: ab,
-		seq: e.seq,
-		idx: e.issueIdx,
-	}
+	nd := e.npool.get(e.seqFloor(), e.cycle)
+	nd.n = n
+	nd.blk = ab
+	nd.seq = e.seq
+	nd.idx = e.issueIdx
 	e.seq++
 	e.liveNodes++
 	nd.srcA, nd.valA = e.wireOperand(nd, n.A)
@@ -142,7 +140,7 @@ func (e *dynamicEngine) issueNode(ab *ablock, n *ir.Node, isTerm bool) {
 
 	switch {
 	case n.Op.IsStore():
-		e.unknownQ = append(e.unknownQ, nd)
+		e.unknownQ.pushBack(nd)
 		ab.stores = append(ab.stores, nd)
 	case n.Op == ir.Assert:
 		ab.asserts = append(ab.asserts, nd)
@@ -187,7 +185,11 @@ func (e *dynamicEngine) resolveTerminator(ab *ablock, nd *dnode) {
 		if e.rs != nil {
 			depth = e.rs.depth + 1
 		}
-		e.rs = &rsNode{target: b.Fall, parent: e.rs, depth: depth}
+		rs := e.rspool.get()
+		rs.target = b.Fall
+		rs.parent = e.rs
+		rs.depth = depth
+		e.rs = rs
 		e.nextBlockID = e.img.Prog.Func(nd.n.Callee).Entry
 	case ir.Ret:
 		if e.rs == nil {
@@ -265,7 +267,22 @@ func (e *dynamicEngine) squashOldestOffender() {
 	if bestFault {
 		e.processFault(best)
 	} else {
+		// Drop the offender from the list now: its block may retire (and
+		// the node be recycled) before the next cycle's sweep would have
+		// removed the handled entry. (A fault offender needs no explicit
+		// removal — processing squashes its own block, and squashFrom
+		// already filters squashed entries out of both offender lists.)
+		e.removeOffender(&e.mispredicted, best)
 		e.processMispredict(best)
+	}
+}
+
+func (e *dynamicEngine) removeOffender(list *[]*dnode, nd *dnode) {
+	for i, o := range *list {
+		if o == nd {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -283,6 +300,19 @@ func (e *dynamicEngine) faultActionable(nd *dnode) bool {
 	return true
 }
 
+// restoreRename restores a checkpointed rename table, harvesting every
+// completed producer it references: a snapshot may be older than the
+// completion-time harvest, so without this the restored table could carry
+// a done node's pointer past its recycling quarantine.
+func (e *dynamicEngine) restoreRename(snap *[ir.NumRegs]renEntry) {
+	e.rename = *snap
+	for r := range e.rename {
+		if p := e.rename[r].prod; p != nil && p.state == nsDone {
+			e.rename[r] = renEntry{val: p.val}
+		}
+	}
+}
+
 func (e *dynamicEngine) processMispredict(nd *dnode) {
 	ab := nd.blk
 	// Find the offender's position among active blocks.
@@ -290,9 +320,9 @@ func (e *dynamicEngine) processMispredict(nd *dnode) {
 	if pos < 0 {
 		return // block already gone (should not happen)
 	}
-	if pos+1 < len(e.active) {
-		restore := e.active[pos+1]
-		e.rename = restore.renSnap
+	if pos+1 < e.active.len() {
+		restore := e.active.at(pos + 1)
+		e.restoreRename(&restore.renSnap)
 		e.rs = restore.rsSnap
 		e.cursor = restore.cursorSnap
 		e.squashFrom(pos + 1)
@@ -321,7 +351,7 @@ func (e *dynamicEngine) processFault(nd *dnode) {
 	if pos < 0 {
 		return
 	}
-	e.rename = ab.renSnap
+	e.restoreRename(&ab.renSnap)
 	e.rs = ab.rsSnap
 	e.cursor = ab.cursorSnap
 	e.squashFrom(pos)
@@ -339,8 +369,8 @@ func (e *dynamicEngine) processFault(nd *dnode) {
 }
 
 func (e *dynamicEngine) blockIndex(ab *ablock) int {
-	for i, a := range e.active {
-		if a == ab {
+	for i := 0; i < e.active.len(); i++ {
+		if e.active.at(i) == ab {
 			return i
 		}
 	}
@@ -349,16 +379,29 @@ func (e *dynamicEngine) blockIndex(ab *ablock) int {
 
 // squashFrom discards active[from:]: their executed nodes become the
 // redundant work Figure 6 measures, their write-buffer entries and
-// disambiguation state vanish, and their dnodes are tombstoned so queue
-// and timeline references skip them.
+// disambiguation state vanish, and every engine-side reference to their
+// dnodes is unlinked eagerly (ready queues, blocked lists, offender lists,
+// disambiguation queue) so the nodes can enter the recycling quarantine.
+// Only the completion timeline may still reference them — its entries are
+// skipped via the squashed flag, and the quarantine's cycle watermark keeps
+// the nodes unreused until the ring has wrapped.
 func (e *dynamicEngine) squashFrom(from int) {
-	e.logSquash(len(e.active) - from)
-	for _, ab := range e.active[from:] {
+	e.logSquash(e.active.len() - from)
+	firstSeq := e.active.at(from).seq0
+	for i := from; i < e.active.len(); i++ {
+		ab := e.active.at(i)
 		e.liveNodes -= int64(len(ab.nodes))
 		for _, nd := range ab.nodes {
 			nd.squashed = true
 			if nd.state == nsExecuting || nd.state == nsDone {
 				e.st.DiscardedNodes++
+			}
+			if nd.qpos != 0 {
+				if nd.n.Op.IsMem() {
+					e.readyMem.remove(nd)
+				} else {
+					e.readyALU.remove(nd)
+				}
 			}
 			if nd.n.Op.IsStore() {
 				e.memEpoch++ // a squashed store may have been blocking a load
@@ -368,7 +411,33 @@ func (e *dynamicEngine) squashFrom(from int) {
 			}
 		}
 	}
-	e.active = e.active[:from]
+	// Squashed stores are exactly the disambiguation queue's tail (issue
+	// order); discard them.
+	for e.unknownQ.len() > 0 && e.unknownQ.back().seq >= firstSeq {
+		e.unknownQ.popBack()
+	}
+	e.blockedLoadGhosts += filterSquashed(&e.blockedLoads)
+	filterSquashed(&e.blockedSys)
+	filterSquashed(&e.mispredicted)
+	filterSquashed(&e.pendingFaults)
+	for i := from; i < e.active.len(); i++ {
+		e.freeBlock(e.active.at(i))
+	}
+	e.active.truncate(from)
+}
+
+// filterSquashed drops squashed nodes from a list in place, preserving
+// order, and returns how many were dropped.
+func filterSquashed(list *[]*dnode) int {
+	live := (*list)[:0]
+	for _, nd := range *list {
+		if !nd.squashed {
+			live = append(live, nd)
+		}
+	}
+	dropped := len(*list) - len(live)
+	*list = live
+	return dropped
 }
 
 func (e *dynamicEngine) removeWBEntries(snd *dnode) {
@@ -378,7 +447,7 @@ func (e *dynamicEngine) removeWBEntries(snd *dnode) {
 		}
 		list := e.wb[g]
 		for i, en := range list {
-			if en.nd == snd {
+			if en == snd {
 				e.wb[g] = append(list[:i], list[i+1:]...)
 				break
 			}

@@ -1,0 +1,356 @@
+package core
+
+import "math"
+
+// This file is the dynamic engine's allocation machinery: slab-backed
+// free-list pools for dnodes and ablocks, a bump allocator for speculative
+// return-stack nodes, an index-tracked ready heap, and the ring buffers
+// behind the active-block window and the store disambiguation queue. At
+// steady state a run recycles everything it issues, so the hot loop stops
+// producing garbage entirely (see DESIGN.md, "Performance notes").
+//
+// Recycling a dnode is only safe once no stale reference to its previous
+// incarnation can be dereferenced. Eager cleanup removes squashed nodes
+// from the ready queues, the blocked lists, the offender lists, and the
+// disambiguation queue at squash time, and retirement drains the
+// disambiguation queue's done prefix; the remaining references (rename
+// snapshots of still-active blocks, producer links, consumer lists, and
+// the completion timeline) are bounded by two watermarks:
+//
+//   - seqWM: the engine's issue sequence at free time. Every block that
+//     could hold a snapshot or producer/consumer reference to the freed
+//     node was opened before this point, so the node stays quarantined
+//     until the oldest active block is younger than seqWM.
+//   - cycleWM: free cycle + timelineSlots. A squashed node's completion
+//     timeline entry fires (and is skipped via its squashed flag) within
+//     the timeline ring's span, so the node stays quarantined until the
+//     ring has provably wrapped past it.
+//
+// Both watermarks are nondecreasing over a run, so a FIFO quarantine queue
+// checked at allocation time implements them exactly.
+
+// slabSize is how many dnodes (or rsNodes) one slab chunk holds.
+const slabSize = 256
+
+// pendingFree is one quarantined dnode awaiting its watermarks.
+type pendingFree struct {
+	nd      *dnode
+	seqWM   int64 // reusable once the oldest active block's seq0 reaches this
+	cycleWM int64 // ... and the cycle counter reaches this
+}
+
+// nodePool allocates dnodes from slabs and recycles them through a
+// watermark-gated quarantine queue feeding a free list.
+type nodePool struct {
+	free       []*dnode
+	quarantine pfQueue
+	slab       []dnode
+	used       int
+}
+
+// get returns a reset dnode. seqFloor is the oldest active block's seq0
+// (math.MaxInt64 when the window is empty) and cycle the current cycle;
+// together they decide which quarantined nodes are safe to promote.
+func (p *nodePool) get(seqFloor, cycle int64) *dnode {
+	if len(p.free) == 0 {
+		for p.quarantine.n > 0 {
+			h := p.quarantine.front()
+			if h.seqWM > seqFloor || h.cycleWM > cycle {
+				break
+			}
+			p.free = append(p.free, h.nd)
+			p.quarantine.popFront()
+		}
+	}
+	if n := len(p.free); n > 0 {
+		nd := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		nd.reset()
+		return nd
+	}
+	if p.used == len(p.slab) {
+		p.slab = make([]dnode, slabSize)
+		p.used = 0
+	}
+	nd := &p.slab[p.used]
+	p.used++
+	return nd
+}
+
+// put quarantines a freed dnode under the given watermarks.
+func (p *nodePool) put(nd *dnode, seqWM, cycleWM int64) {
+	p.quarantine.pushBack(pendingFree{nd: nd, seqWM: seqWM, cycleWM: cycleWM})
+}
+
+// reset returns a dnode to its freshly allocated state. The consumers
+// slice keeps its backing array (truncated) so steady-state wakeup lists
+// stop allocating; everything else must be indistinguishable from a zero
+// value — pool_test.go enforces this with reflection, since a leaked
+// squashed/handled flag or stale producer link would corrupt a later run.
+func (nd *dnode) reset() {
+	*nd = dnode{consumers: nd.consumers[:0]}
+}
+
+// noSeqFloor is the seq floor used when no block is active: every
+// quarantined node's seq watermark is satisfied.
+const noSeqFloor = int64(math.MaxInt64)
+
+// blockPool recycles ablocks. Blocks need no quarantine: every dangling
+// reference to a freed block lives in its own (simultaneously freed)
+// dnodes, which the node watermarks already guard.
+type blockPool struct {
+	free []*ablock
+}
+
+func (p *blockPool) get() *ablock {
+	if n := len(p.free); n > 0 {
+		ab := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		ab.reset()
+		return ab
+	}
+	return &ablock{}
+}
+
+func (p *blockPool) put(ab *ablock) {
+	p.free = append(p.free, ab)
+}
+
+// reset returns an ablock to its freshly allocated state, keeping the
+// backing arrays of its node/assert/store lists.
+func (ab *ablock) reset() {
+	*ab = ablock{
+		nodes:   ab.nodes[:0],
+		asserts: ab.asserts[:0],
+		stores:  ab.stores[:0],
+	}
+}
+
+// rsPool bump-allocates speculative return-stack nodes. rsNodes form a
+// persistent (immutable) linked structure shared by block checkpoints, so
+// individual nodes are never freed; slabs keep the persistent stack at one
+// allocation per slabSize calls instead of one per call.
+type rsPool struct {
+	slab []rsNode
+	used int
+}
+
+func (p *rsPool) get() *rsNode {
+	if p.used == len(p.slab) {
+		p.slab = make([]rsNode, slabSize)
+		p.used = 0
+	}
+	n := &p.slab[p.used]
+	p.used++
+	return n
+}
+
+// ---------- ready queue ----------
+
+// readyQ is a binary min-heap of dnodes keyed by issue sequence — the
+// scheduler always picks the oldest ready node, exactly as the previous
+// container/heap implementation did (sequence numbers are unique, so the
+// pop order is fully determined and the figure tables are bit-identical).
+// The heap is intrusive: each queued node carries its heap position plus
+// one (dnode.qpos, 0 = not queued), so squashed nodes are removed in
+// O(log n) instead of lingering as tombstones.
+type readyQ struct {
+	a []*dnode
+}
+
+func (q *readyQ) len() int { return len(q.a) }
+
+// min returns the oldest ready node without removing it.
+func (q *readyQ) min() *dnode { return q.a[0] }
+
+func (q *readyQ) push(nd *dnode) {
+	q.a = append(q.a, nd)
+	q.up(len(q.a)-1, nd)
+}
+
+// pop removes and returns the oldest ready node.
+func (q *readyQ) pop() *dnode {
+	nd := q.a[0]
+	q.removeAt(0)
+	return nd
+}
+
+// remove unlinks a node from the heap if it is queued.
+func (q *readyQ) remove(nd *dnode) {
+	if nd.qpos != 0 {
+		q.removeAt(int(nd.qpos) - 1)
+	}
+}
+
+func (q *readyQ) removeAt(i int) {
+	last := len(q.a) - 1
+	q.a[i].qpos = 0
+	moved := q.a[last]
+	q.a[last] = nil
+	q.a = q.a[:last]
+	if i == last {
+		return
+	}
+	// Re-seat the displaced element: sift down, then up.
+	if !q.down(i, moved) {
+		q.up(i, moved)
+	}
+}
+
+// up sifts nd toward the root from position i and seats it.
+func (q *readyQ) up(i int, nd *dnode) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.a[parent].seq <= nd.seq {
+			break
+		}
+		q.a[i] = q.a[parent]
+		q.a[i].qpos = int32(i + 1)
+		i = parent
+	}
+	q.a[i] = nd
+	nd.qpos = int32(i + 1)
+}
+
+// down sifts nd toward the leaves from position i and seats it, reporting
+// whether it moved.
+func (q *readyQ) down(i int, nd *dnode) bool {
+	start := i
+	n := len(q.a)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && q.a[r].seq < q.a[child].seq {
+			child = r
+		}
+		if nd.seq <= q.a[child].seq {
+			break
+		}
+		q.a[i] = q.a[child]
+		q.a[i].qpos = int32(i + 1)
+		i = child
+	}
+	q.a[i] = nd
+	nd.qpos = int32(i + 1)
+	return i > start
+}
+
+// ---------- ring buffers ----------
+
+// abRing is the active-block window: a ring buffer of blocks in issue
+// order (oldest first). Unlike the previous slice (re-sliced on retire,
+// reallocated on append), it reuses one backing array for the whole run.
+type abRing struct {
+	buf  []*ablock
+	head int
+	n    int
+}
+
+func (r *abRing) len() int { return r.n }
+
+func (r *abRing) at(i int) *ablock { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *abRing) front() *ablock { return r.buf[r.head] }
+
+func (r *abRing) pushBack(ab *ablock) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = ab
+	r.n++
+}
+
+func (r *abRing) popFront() {
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+// truncate drops blocks [from:] (the squashed suffix).
+func (r *abRing) truncate(from int) {
+	for i := from; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = nil
+	}
+	r.n = from
+}
+
+func (r *abRing) grow() {
+	nb := make([]*ablock, max(2*len(r.buf), 8))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}
+
+// ndRing is a FIFO of dnodes with O(1) operations at both ends, used for
+// the store disambiguation queue (pushBack at issue, popFront as heads
+// resolve, popBack as squashes discard the youngest suffix).
+type ndRing struct {
+	buf  []*dnode
+	head int
+	n    int
+}
+
+func (r *ndRing) len() int { return r.n }
+
+func (r *ndRing) front() *dnode { return r.buf[r.head] }
+
+func (r *ndRing) back() *dnode { return r.buf[(r.head+r.n-1)%len(r.buf)] }
+
+func (r *ndRing) pushBack(nd *dnode) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = nd
+	r.n++
+}
+
+func (r *ndRing) popFront() {
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+func (r *ndRing) popBack() {
+	r.buf[(r.head+r.n-1)%len(r.buf)] = nil
+	r.n--
+}
+
+func (r *ndRing) grow() {
+	nb := make([]*dnode, max(2*len(r.buf), 16))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+// pfQueue is the FIFO behind the node quarantine.
+type pfQueue struct {
+	buf  []pendingFree
+	head int
+	n    int
+}
+
+func (r *pfQueue) front() pendingFree { return r.buf[r.head] }
+
+func (r *pfQueue) pushBack(pf pendingFree) {
+	if r.n == len(r.buf) {
+		nb := make([]pendingFree, max(2*len(r.buf), 16))
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = nb, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = pf
+	r.n++
+}
+
+func (r *pfQueue) popFront() {
+	r.buf[r.head] = pendingFree{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// These tests pin down the pool-reset contract (pool.go): a recycled dnode
+// or ablock must be indistinguishable from a freshly allocated one, except
+// that its slice fields may keep their (truncated) backing arrays. They are
+// reflect-based so a field added to either struct later is covered
+// automatically — a leaked squashed/handled flag or stale producer link on
+// a reused node would silently corrupt a later run.
+
+// settable makes a possibly-unexported struct field assignable.
+func settable(f reflect.Value) reflect.Value {
+	return reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem()
+}
+
+// fillNonZero sets v (addressable) to an arbitrary nonzero value,
+// recursively for structs and arrays. Kinds the pooled structs do not use
+// fail the test, so new field types must be handled here deliberately.
+func fillNonZero(t *testing.T, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(7)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(7)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(1.5)
+	case reflect.String:
+		v.SetString("x")
+	case reflect.Pointer:
+		v.Set(reflect.New(v.Type().Elem()))
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 1, 1)
+		fillNonZero(t, s.Index(0))
+		v.Set(s)
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillNonZero(t, v.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillNonZero(t, settable(v.Field(i)))
+		}
+	default:
+		t.Fatalf("fillNonZero: unhandled kind %v (%v) — teach the pool tests about it", v.Kind(), v.Type())
+	}
+}
+
+// assertFresh checks that every field of the struct v equals its zero
+// value; slice fields need only be empty (their backing arrays are
+// deliberately retained across reuse).
+func assertFresh(t *testing.T, v reflect.Value, what string) {
+	t.Helper()
+	tp := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := tp.Field(i).Name
+		if f.Kind() == reflect.Slice {
+			if f.Len() != 0 {
+				t.Errorf("%s: slice field %s has length %d after reset, want 0", what, name, f.Len())
+			}
+			continue
+		}
+		if !f.IsZero() {
+			t.Errorf("%s: field %s not zero after reset", what, name)
+		}
+	}
+}
+
+func TestDnodeResetIsFieldComplete(t *testing.T) {
+	nd := new(dnode)
+	fillNonZero(t, reflect.ValueOf(nd).Elem())
+	nd.reset()
+	assertFresh(t, reflect.ValueOf(nd).Elem(), "dnode")
+	if cap(nd.consumers) == 0 {
+		t.Error("dnode.reset dropped the consumers backing array")
+	}
+}
+
+func TestAblockResetIsFieldComplete(t *testing.T) {
+	ab := new(ablock)
+	fillNonZero(t, reflect.ValueOf(ab).Elem())
+	ab.reset()
+	assertFresh(t, reflect.ValueOf(ab).Elem(), "ablock")
+	for _, s := range []struct {
+		name string
+		c    int
+	}{{"nodes", cap(ab.nodes)}, {"asserts", cap(ab.asserts)}, {"stores", cap(ab.stores)}} {
+		if s.c == 0 {
+			t.Errorf("ablock.reset dropped the %s backing array", s.name)
+		}
+	}
+}
+
+// TestNodePoolQuarantine checks the watermark gate: a freed node must not
+// be reissued until both the sequence floor and the cycle counter have
+// passed its watermarks, and when it is reissued it must come back fresh.
+func TestNodePoolQuarantine(t *testing.T) {
+	var p nodePool
+	nd := p.get(noSeqFloor, 0)
+	fillNonZero(t, reflect.ValueOf(nd).Elem())
+	p.put(nd, 10, 5)
+
+	if got := p.get(5, 100); got == nd {
+		t.Fatal("node reissued while the oldest active block was older than its seq watermark")
+	}
+	if got := p.get(noSeqFloor, 4); got == nd {
+		t.Fatal("node reissued before the timeline ring wrapped past its cycle watermark")
+	}
+	got := p.get(noSeqFloor, 5)
+	if got != nd {
+		t.Fatal("node not reissued once both watermarks were satisfied")
+	}
+	assertFresh(t, reflect.ValueOf(got).Elem(), "recycled dnode")
+}
+
+func TestBlockPoolReuseResets(t *testing.T) {
+	var p blockPool
+	ab := p.get()
+	fillNonZero(t, reflect.ValueOf(ab).Elem())
+	p.put(ab)
+	got := p.get()
+	if got != ab {
+		t.Fatal("block pool did not reuse the freed block")
+	}
+	assertFresh(t, reflect.ValueOf(got).Elem(), "recycled ablock")
+}

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fgpsim/internal/bench"
 	"fgpsim/internal/branch"
@@ -20,7 +21,6 @@ import (
 	"fgpsim/internal/enlarge"
 	"fgpsim/internal/interp"
 	"fgpsim/internal/ir"
-	"fgpsim/internal/loader"
 	"fgpsim/internal/machine"
 	"fgpsim/internal/stats"
 )
@@ -39,6 +39,9 @@ type Prepared struct {
 	Trace     []ir.BlockID
 	RefOutput []byte
 	RefNodes  int64
+
+	// imgs memoizes translating-loader results across runs (imgcache.go).
+	imgs imageCache
 }
 
 // Prepare runs the paper's two-input methodology for one benchmark.
@@ -72,7 +75,7 @@ func Prepare(b *bench.Benchmark, eo enlarge.Options) (*Prepared, error) {
 
 // Run simulates one machine configuration and verifies its output.
 func (p *Prepared) Run(cfg machine.Config) (*stats.Run, error) {
-	img, err := loader.Load(p.Prog, cfg, p.EF)
+	img, err := p.image(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s %s: %w", p.Bench.Name, cfg, err)
 	}
@@ -143,20 +146,21 @@ func Grid(prepared []*Prepared, cfgs []machine.Config, workers int, progress fun
 	type job struct {
 		p   *Prepared
 		cfg machine.Config
+		idx int
 	}
 	jobs := make([]job, 0, len(prepared)*len(cfgs))
 	for _, p := range prepared {
 		for _, cfg := range cfgs {
-			jobs = append(jobs, job{p, cfg})
+			jobs = append(jobs, job{p, cfg, len(jobs)})
 		}
 	}
 	res := &Results{Runs: make(map[Key]*stats.Run, len(jobs))}
 	var (
-		wg    sync.WaitGroup
-		errMu sync.Mutex
-		first error
-		done  int
-		dMu   sync.Mutex
+		wg       sync.WaitGroup
+		done     atomic.Int64
+		errMu    sync.Mutex
+		first    error
+		firstIdx int
 	)
 	ch := make(chan job)
 	for w := 0; w < workers; w++ {
@@ -166,20 +170,19 @@ func Grid(prepared []*Prepared, cfgs []machine.Config, workers int, progress fun
 			for j := range ch {
 				s, err := j.p.Run(j.cfg)
 				if err != nil {
+					// Keep the error of the lowest job index, so a sweep
+					// with several failures reports the same one no matter
+					// how the workers interleave.
 					errMu.Lock()
-					if first == nil {
-						first = err
+					if first == nil || j.idx < firstIdx {
+						first, firstIdx = err, j.idx
 					}
 					errMu.Unlock()
 					continue
 				}
 				res.put(KeyOf(j.p.Bench.Name, j.cfg), s)
 				if progress != nil {
-					dMu.Lock()
-					done++
-					d := done
-					dMu.Unlock()
-					progress(d, len(jobs))
+					progress(int(done.Add(1)), len(jobs))
 				}
 			}
 		}()

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"sync"
+
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// The translating loader deep-copies the program per Load, and for
+// enlarged-block modes re-runs materialization — work that is identical for
+// every sweep point sharing the codegen-relevant part of the configuration.
+// A Prepared therefore memoizes loader.Load results keyed by exactly the
+// Config fields the loader reads:
+//
+//   - whether blocks are enlarged (Branch is EnlargedBB or Perfect — both
+//     materialize the enlargement file; SingleBB and FillUnit load the
+//     program as-is),
+//   - for statically scheduled machines, the issue model and the cache hit
+//     latency (they shape the precomputed multinodewords).
+//
+// Everything else (window, predictor, BTB size, miss latency, conservative
+// memory, ...) affects only the engine, so e.g. all window depths of one
+// discipline/block-mode sweep share a single image. Cached images are
+// immutable after Load; each hit returns a shallow copy carrying the
+// caller's full Config, since the engines read engine-level fields from
+// img.Cfg. FillUnit runs bypass the cache entirely: the fill unit enlarges
+// its image at run time (AddChain mutates the program), so every run needs
+// a private copy.
+type imageCache struct {
+	mu   sync.Mutex
+	m    map[imgKey]*imageCacheEnt
+	tick int64
+}
+
+// imgKey is the codegen-relevant subset of machine.Config.
+type imgKey struct {
+	enlarged bool
+	static   bool
+	issue    machine.IssueModel // statically scheduled machines only
+	hitLat   int                // statically scheduled machines only
+}
+
+type imageCacheEnt struct {
+	img  *loader.Image
+	used int64 // cache tick of last use, for LRU eviction
+}
+
+// imageCacheCap bounds the cache (an image holds a full program clone).
+// The figure sweeps need well under this many distinct images per
+// benchmark: 2 block modes x (1 dynamic + 8 issue models x 2 hit
+// latencies, static).
+const imageCacheCap = 64
+
+func imgKeyOf(cfg machine.Config) imgKey {
+	k := imgKey{enlarged: cfg.Branch == machine.EnlargedBB || cfg.Branch == machine.Perfect}
+	if cfg.Disc == machine.Static {
+		k.static = true
+		k.issue = cfg.Issue
+		k.hitLat = cfg.Mem.HitLatency
+	}
+	return k
+}
+
+// load returns a cached image for cfg's codegen key, loading it on a miss.
+// The mutex covers the whole load, so concurrent sweep workers asking for
+// the same key do the translation work once.
+func (c *imageCache) load(prog *ir.Program, cfg machine.Config, ef *enlarge.File) (*loader.Image, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := imgKeyOf(cfg)
+	ent := c.m[k]
+	if ent == nil {
+		img, err := loader.Load(prog, cfg, ef)
+		if err != nil {
+			return nil, err
+		}
+		if c.m == nil {
+			c.m = make(map[imgKey]*imageCacheEnt)
+		}
+		c.evictFor(1)
+		ent = &imageCacheEnt{img: img}
+		c.m[k] = ent
+	}
+	c.tick++
+	ent.used = c.tick
+	im := *ent.img
+	im.Cfg = cfg
+	return &im, nil
+}
+
+// evictFor makes room for n new entries by dropping the least recently
+// used ones.
+func (c *imageCache) evictFor(n int) {
+	for len(c.m)+n > imageCacheCap {
+		var victim imgKey
+		oldest := int64(1<<63 - 1)
+		for k, ent := range c.m {
+			if ent.used < oldest {
+				oldest = ent.used
+				victim = k
+			}
+		}
+		delete(c.m, victim)
+	}
+}
+
+// image returns the loaded image to simulate cfg on, from the cache when
+// the mode allows sharing.
+func (p *Prepared) image(cfg machine.Config) (*loader.Image, error) {
+	if cfg.Branch == machine.FillUnit {
+		return loader.Load(p.Prog, cfg, p.EF)
+	}
+	return p.imgs.load(p.Prog, cfg, p.EF)
+}
