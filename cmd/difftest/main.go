@@ -1,0 +1,189 @@
+// difftest drives the differential-verification harness from the command
+// line: sweep generated programs through the cross-engine oracle, check a
+// single program or a corpus directory, or shrink a failing program to a
+// minimal repro.
+//
+//	difftest -gen 200 -seed 1000          # oracle-sweep 200 generated programs
+//	difftest -check prog.mc [-in file]    # one program through the full matrix
+//	difftest -corpus dir                  # every *.mc in dir through the matrix
+//	difftest -reduce crash.mc [-in file]  # shrink an oracle-failing program
+//
+// A sweep that finds a divergence reduces the failing program automatically
+// and prints the minimal repro, so a CI failure lands as a few statements
+// instead of a few hundred.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fgpsim/internal/difftest"
+)
+
+func main() {
+	var (
+		gen      = flag.Int("gen", 0, "oracle-sweep this many generated programs")
+		seed     = flag.Int64("seed", 1000, "first generator seed for -gen")
+		check    = flag.String("check", "", "run one MiniC file through the oracle matrix")
+		corpus   = flag.String("corpus", "", "run every *.mc file in a directory through the matrix")
+		reduce   = flag.String("reduce", "", "shrink a failing MiniC file to a minimal repro")
+		inFile   = flag.String("in", "", "program input file (default: deterministic generated input)")
+		quick    = flag.Bool("quick", false, "use the reduced fuzzing matrix instead of the full one")
+		noshrink = flag.Bool("noshrink", false, "with -gen: report divergences without auto-reducing")
+	)
+	flag.Parse()
+
+	matrix := difftest.Matrix()
+	if *quick {
+		matrix = difftest.QuickMatrix()
+	}
+	input := func(defaultSeed int64, n int) []byte {
+		if *inFile == "" {
+			return difftest.GenInput(defaultSeed, n)
+		}
+		data, err := os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		return data
+	}
+
+	switch {
+	case *gen > 0:
+		sweep(*gen, *seed, matrix, *noshrink)
+	case *check != "":
+		src := readSrc(*check)
+		rep := oracle(*check, src, input(101, 300), input(102, 300), matrix)
+		report(*check, rep)
+		if rep.Failed() {
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%d configurations)\n", *check, len(rep.Runs))
+	case *corpus != "":
+		checkCorpus(*corpus, matrix)
+	case *reduce != "":
+		reduceFile(*reduce, input(101, 300), input(102, 300), matrix)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "difftest:", err)
+	os.Exit(1)
+}
+
+func readSrc(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	return string(data)
+}
+
+func oracle(name, src string, profileIn, in []byte, matrix []difftest.Variant) *difftest.Report {
+	c, err := difftest.CompileCase(name, src, profileIn, in)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := c.Oracle(matrix)
+	if err != nil {
+		fatal(err)
+	}
+	return rep
+}
+
+func report(name string, rep *difftest.Report) {
+	for _, d := range rep.Divergences {
+		fmt.Printf("%s: DIVERGENCE %s\n", name, d)
+	}
+}
+
+// sweep generates programs and oracle-checks each one, auto-reducing the
+// first divergence to a minimal repro.
+func sweep(n int, seed0 int64, matrix []difftest.Variant, noshrink bool) {
+	opts := difftest.DefaultGenOptions()
+	for i := 0; i < n; i++ {
+		seed := seed0 + int64(i)
+		src := difftest.Generate(seed, opts)
+		profileIn, in := difftest.GenInput(seed*2, 300), difftest.GenInput(seed*2+1, 300)
+		rep := oracle(fmt.Sprintf("seed %d", seed), src, profileIn, in, matrix)
+		if !rep.Failed() {
+			if (i+1)%20 == 0 || i == n-1 {
+				fmt.Printf("%d/%d ok\n", i+1, n)
+			}
+			continue
+		}
+		report(fmt.Sprintf("seed %d", seed), rep)
+		if noshrink {
+			os.Exit(1)
+		}
+		fmt.Printf("\nreducing seed %d (%d statements)...\n", seed, difftest.CountStatements(src))
+		reduced, err := difftest.Reduce(src, func(cand string) bool {
+			c, err := difftest.CompileCase("cand.mc", cand, profileIn, in)
+			if err != nil {
+				return false
+			}
+			rep, err := c.Oracle(matrix)
+			return err == nil && rep.Failed()
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("minimal repro (%d statements):\n%s\n", difftest.CountStatements(reduced), reduced)
+		os.Exit(1)
+	}
+}
+
+func checkCorpus(dir string, matrix []difftest.Variant) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	bad := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mc") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		rep := oracle(e.Name(), readSrc(path), difftest.GenInput(101, 300), difftest.GenInput(102, 300), matrix)
+		if rep.Failed() {
+			report(e.Name(), rep)
+			bad++
+		} else {
+			fmt.Printf("%s: ok\n", e.Name())
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// reduceFile shrinks a program whose failure is "the oracle reports a
+// divergence (or the toolchain errors) on this input".
+func reduceFile(path string, profileIn, in []byte, matrix []difftest.Variant) {
+	src := readSrc(path)
+	fails := func(cand string) bool {
+		c, err := difftest.CompileCase("cand.mc", cand, profileIn, in)
+		if err != nil {
+			return false
+		}
+		rep, err := c.Oracle(matrix)
+		if err != nil {
+			// An engine error (panic recovered into an error, cycle-limit
+			// blowup) on a compiling program is itself the failure.
+			return true
+		}
+		return rep.Failed()
+	}
+	reduced, err := difftest.Reduce(src, fails)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("// reduced from %s: %d -> %d statements\n%s",
+		filepath.Base(path), difftest.CountStatements(src), difftest.CountStatements(reduced), reduced)
+}

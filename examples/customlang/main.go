@@ -7,97 +7,18 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	fgpsim "fgpsim"
 )
 
-const src = `
-// A chained-hash word-membership filter.
-char dictbuf[4096];
-int dictoff[256];
-int dictlen[256];
-int heads[64];
-int links[256];
-int ndict = 0;
-char word[64];
-
-int hash(char *s, int n) {
-	int h = 5381;
-	int i;
-	for (i = 0; i < n; i++) h = h * 33 + s[i];
-	return (h ^ (h >> 8)) & 63;
-}
-
-void adddict(char *s, int n) {
-	int i;
-	int off = 0;
-	if (ndict > 0) off = dictoff[ndict - 1] + dictlen[ndict - 1];
-	for (i = 0; i < n; i++) dictbuf[off + i] = s[i];
-	dictoff[ndict] = off;
-	dictlen[ndict] = n;
-	int h = hash(s, n);
-	links[ndict] = heads[h];
-	heads[h] = ndict + 1;
-	ndict++;
-}
-
-int indict(char *s, int n) {
-	int e = heads[hash(s, n)];
-	while (e > 0) {
-		int d = e - 1;
-		if (dictlen[d] == n) {
-			int i = 0;
-			while (i < n && dictbuf[dictoff[d] + i] == s[i]) i++;
-			if (i == n) return 1;
-		}
-		e = links[d];
-	}
-	return 0;
-}
-
-int main() {
-	int i;
-	int c;
-	int n;
-	int misses = 0;
-	for (i = 0; i < 64; i++) heads[i] = 0;
-	// Stream 1 is the dictionary: one word per line, ending with a blank
-	// line. Stream 0 is the text to check.
-	n = 0;
-	c = getc(1);
-	while (c >= 0) {
-		if (c == '\n') {
-			if (n == 0) break;
-			adddict(word, n);
-			n = 0;
-		} else if (n < 63) {
-			word[n] = c;
-			n++;
-		}
-		c = getc(1);
-	}
-	// Check the text; echo unknown words.
-	n = 0;
-	c = getc(0);
-	while (c >= 0) {
-		if (c == ' ' || c == '\n') {
-			if (n > 0 && !indict(word, n)) {
-				for (i = 0; i < n; i++) putc(word[i]);
-				putc('\n');
-				misses++;
-			}
-			n = 0;
-		} else if (n < 63) {
-			word[n] = c;
-			n++;
-		}
-		c = getc(0);
-	}
-	return misses;
-}
-`
+// The workload lives next to this file so tests (and readers) can get at it
+// without running the example; internal/difftest oracle-checks it.
+//
+//go:embed spell.mc
+var src string
 
 func main() {
 	prog, err := fgpsim.Compile("spell.mc", src)

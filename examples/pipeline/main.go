@@ -7,6 +7,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -14,27 +15,12 @@ import (
 )
 
 // A loop that sums 1..5, with a data-dependent exit branch the 2-bit
-// predictor necessarily misses on the final iteration.
-const asm = `
-program memsize=65536 entry=f0 database=4096
-func main (f0) args=0 frame=0 entry=b0
-b0:
-	r5 = const 5
-	r6 = const 0
-	jmp b1
-b1:
-	r6 = add r6, r5
-	r7 = const -1
-	r5 = add r5, r7
-	r8 = const 0
-	r9 = gt r5, r8
-	br r9 -> b1 | fall b2
-b2:
-	r10 = const 48
-	r11 = add r6, r10
-	r12 = sys 2(r11, r-1)
-	halt
-`
+// predictor necessarily misses on the final iteration. The assembly lives
+// next to this file so tests (and readers) can get at it without running
+// the example; internal/difftest oracle-checks it.
+//
+//go:embed sum.asm
+var asm string
 
 func main() {
 	prog, err := fgpsim.Assemble(asm)

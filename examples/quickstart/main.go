@@ -5,50 +5,18 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	fgpsim "fgpsim"
 )
 
-const src = `
-// Count word and line frequencies in the input and print a summary.
-int counts[128];
-
-int main() {
-	int c;
-	int words = 0;
-	int lines = 0;
-	int inword = 0;
-	c = getc(0);
-	while (c >= 0) {
-		counts[c & 127]++;
-		if (c == '\n') lines++;
-		if (c == ' ' || c == '\n' || c == '\t') {
-			inword = 0;
-		} else if (!inword) {
-			inword = 1;
-			words++;
-		}
-		c = getc(0);
-	}
-	// Print "<lines> <words>".
-	int v = lines;
-	int digits[10];
-	int n = 0;
-	if (v == 0) { putc('0'); }
-	while (v > 0) { digits[n] = v % 10; v = v / 10; n++; }
-	while (n > 0) { n--; putc('0' + digits[n]); }
-	putc(' ');
-	v = words;
-	n = 0;
-	if (v == 0) { putc('0'); }
-	while (v > 0) { digits[n] = v % 10; v = v / 10; n++; }
-	while (n > 0) { n--; putc('0' + digits[n]); }
-	putc('\n');
-	return 0;
-}
-`
+// The program lives next to this file so tests (and readers) can get at it
+// without running the example; internal/difftest oracle-checks it.
+//
+//go:embed wc.mc
+var src string
 
 func main() {
 	prog, err := fgpsim.Compile("wc.mc", src)

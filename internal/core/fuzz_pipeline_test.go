@@ -3,12 +3,11 @@ package core_test
 import (
 	"bytes"
 	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
 	"fgpsim/internal/branch"
 	"fgpsim/internal/core"
+	"fgpsim/internal/difftest"
 	"fgpsim/internal/enlarge"
 	"fgpsim/internal/interp"
 	"fgpsim/internal/loader"
@@ -16,108 +15,53 @@ import (
 	"fgpsim/internal/minic"
 )
 
-// randomMiniC emits a random but terminating MiniC program: helper
-// functions with loops, branches, arrays, byte/word traffic, and I/O. The
-// control flow is data-dependent on the input bytes, so enlargement chains
-// built from one input get exercised (and faulted) by another.
-func randomMiniC(rng *rand.Rand) string {
-	var sb strings.Builder
-	sb.WriteString("int arr[128];\nchar buf[256];\n")
-
-	nHelpers := 1 + rng.Intn(3)
-	for h := 0; h < nHelpers; h++ {
-		fmt.Fprintf(&sb, "int h%d(int a, int b) {\n", h)
-		switch rng.Intn(3) {
-		case 0:
-			sb.WriteString("\tint r = 0;\n\tint i;\n")
-			fmt.Fprintf(&sb, "\tfor (i = 0; i < (a & 15); i++) r += arr[(b + i) & 127] ^ i;\n")
-			sb.WriteString("\treturn r;\n")
-		case 1:
-			fmt.Fprintf(&sb, "\tif (a %% %d == 0) return b * 3 + 1;\n", 2+rng.Intn(4))
-			sb.WriteString("\tif (a < b) return a - b;\n\treturn a + b;\n")
-		default:
-			fmt.Fprintf(&sb, "\tif (b == 0) return a;\n\treturn h%d(b, a %% b);\n", h)
-		}
-		sb.WriteString("}\n")
-	}
-
-	sb.WriteString("int main() {\n\tint c;\n\tint acc = 7;\n\tint n = 0;\n\tint i;\n")
-	sb.WriteString("\tfor (i = 0; i < 128; i++) arr[i] = i * 13;\n")
-	sb.WriteString("\tc = getc(0);\n\twhile (c >= 0) {\n")
-	nOps := 2 + rng.Intn(5)
-	for k := 0; k < nOps; k++ {
-		switch rng.Intn(6) {
-		case 0:
-			fmt.Fprintf(&sb, "\t\tacc = h%d(acc & 255, c);\n", rng.Intn(nHelpers))
-		case 1:
-			fmt.Fprintf(&sb, "\t\tif (c %% %d == 0) acc += arr[c & 127]; else acc ^= c << %d;\n",
-				2+rng.Intn(5), rng.Intn(5))
-		case 2:
-			sb.WriteString("\t\tbuf[n & 255] = c + acc;\n")
-		case 3:
-			fmt.Fprintf(&sb, "\t\tarr[(acc + n) & 127] = acc %% %d;\n", 3+rng.Intn(97))
-		case 4:
-			sb.WriteString("\t\tacc = acc * 31 + buf[(acc >> 3) & 255];\n")
-		default:
-			fmt.Fprintf(&sb, "\t\twhile (acc > %d) acc = acc / 2 - n;\n", 1000+rng.Intn(5000))
-		}
-	}
-	sb.WriteString("\t\tn++;\n\t\tc = getc(0);\n\t}\n")
-	sb.WriteString("\tputc('A' + (acc % 26 + 26) % 26);\n")
-	sb.WriteString("\tputc('a' + (n % 26 + 26) % 26);\n")
-	sb.WriteString("\tputc('\\n');\n\treturn 0;\n}\n")
-	return sb.String()
-}
-
-func randomInput(rng *rand.Rand, n int) []byte {
-	buf := make([]byte, n)
-	for i := range buf {
-		buf[i] = byte(32 + rng.Intn(90))
-	}
-	return buf
-}
-
 // TestFuzzFullPipeline pushes random programs through the complete flow —
 // compile, profile, enlarge, trace — and cross-validates a spread of
 // machine configurations (all disciplines, all branch modes including the
-// fill unit and gshare) against the interpreter.
+// fill unit and gshare) against the interpreter. The random programs come
+// from internal/difftest's generator; each trial derives its own seed, so a
+// failure names the exact program to replay:
+//
+//	go run ./cmd/difftest -gen 1 -seed <seed>
+//
+// The heavyweight standing sweep (200 programs, the full matrix, the
+// metamorphic invariants) lives in internal/difftest; this test keeps a
+// fast engine-level slice of it next to the engines themselves.
 func TestFuzzFullPipeline(t *testing.T) {
 	trials := 12
 	if testing.Short() {
 		trials = 3
 	}
-	rng := rand.New(rand.NewSource(777))
+	const seed0 = 777_000
 	for trial := 0; trial < trials; trial++ {
-		src := randomMiniC(rng)
+		seed := int64(seed0 + trial)
+		src := difftest.Generate(seed, difftest.DefaultGenOptions())
 		prog, err := minic.Compile("fuzz.mc", src, minic.Options{Optimize: true})
 		if err != nil {
-			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
 		}
-		in1 := randomInput(rng, 300+rng.Intn(300))
-		in2 := randomInput(rng, 300+rng.Intn(300))
+		in1 := difftest.GenInput(seed*2, 300+int(seed%300))
+		in2 := difftest.GenInput(seed*2+1, 300+int((seed+13)%300))
 
 		prof := interp.NewProfile()
 		if _, err := interp.Run(prog, in1, nil, interp.Options{Profile: prof, MaxNodes: 1 << 24}); err != nil {
-			t.Fatalf("trial %d: profile: %v", trial, err)
+			t.Fatalf("seed %d: profile: %v", seed, err)
 		}
 		ef := enlarge.Build(prog, prof, enlarge.DefaultOptions())
 		hints := branch.HintsFromProfile(prof.Taken, prof.NotTaken)
 		ref, err := interp.Run(prog, in2, nil, interp.Options{RecordTrace: true, MaxNodes: 1 << 24})
 		if err != nil {
-			t.Fatalf("trial %d: reference: %v", trial, err)
+			t.Fatalf("seed %d: reference: %v", seed, err)
 		}
 
-		type variant struct {
-			cfg machine.Config
-		}
-		var variants []variant
+		var variants []machine.Config
 		add := func(d machine.Discipline, issue int, mem byte, bm machine.BranchMode, pk machine.PredictorKind, win int) {
 			im, _ := machine.IssueModelByID(issue)
 			mc, _ := machine.MemConfigByID(mem)
-			variants = append(variants, variant{machine.Config{
+			variants = append(variants, machine.Config{
 				Disc: d, Issue: im, Mem: mc, Branch: bm,
 				Predictor: pk, WindowOverride: win,
-			}})
+			})
 		}
 		add(machine.Static, 4, 'A', machine.SingleBB, machine.TwoBit, 0)
 		add(machine.Static, 8, 'D', machine.EnlargedBB, machine.TwoBit, 0)
@@ -129,20 +73,26 @@ func TestFuzzFullPipeline(t *testing.T) {
 		add(machine.Dyn256, 8, 'D', machine.FillUnit, machine.TwoBit, 0)
 		add(machine.Dyn256, 5, 'F', machine.EnlargedBB, machine.GSharePredictor, 17)
 
-		for _, v := range variants {
-			img, err := loader.Load(prog, v.cfg, ef)
+		for _, cfg := range variants {
+			img, err := loader.Load(prog, cfg, ef)
 			if err != nil {
-				t.Fatalf("trial %d %s: load: %v", trial, v.cfg, err)
+				t.Fatalf("seed %d %s: load: %v", seed, cfg, err)
 			}
 			res, err := core.Run(img, in2, nil, ref.Trace, hints, core.Limits{MaxCycles: 1 << 26})
 			if err != nil {
-				t.Fatalf("trial %d %s: run: %v", trial, v.cfg, err)
+				t.Fatalf("seed %d %s: run: %v", seed, cfg, err)
 			}
 			if !bytes.Equal(res.Output, ref.Output) {
-				t.Fatalf("trial %d %s: output %q, want %q\nprogram:\n%s",
-					trial, v.cfg, res.Output, ref.Output, src)
+				t.Fatalf("seed %d %s: output %q, want %q\nprogram:\n%s",
+					seed, cfg, res.Output, ref.Output, src)
 			}
-			checkStatsConsistency(t, v.cfg, res)
+			checkStatsConsistency(t, cfg, res)
+			for _, msg := range difftest.CheckStats(res.Stats) {
+				t.Errorf("seed %d %s: %s", seed, cfg, msg)
+			}
+		}
+		if t.Failed() {
+			t.Fatal(fmt.Sprintf("seed %d failed; replay with: go run ./cmd/difftest -gen 1 -seed %d", seed, seed))
 		}
 	}
 }

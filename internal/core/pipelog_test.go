@@ -77,6 +77,97 @@ func TestPipeLogRecordsSquashes(t *testing.T) {
 	}
 }
 
+// TestPipeLogEmpty covers the no-events paths: a fresh log renders to the
+// empty string, and a static-discipline run leaves an attached log untouched
+// (only dynamic engines emit pipeline events).
+func TestPipeLogEmpty(t *testing.T) {
+	empty := &core.PipeLog{}
+	if s := empty.String(); s != "" {
+		t.Errorf("empty log renders %q, want \"\"", s)
+	}
+
+	p := chainProgram(5)
+	img, err := loader.Load(p, mkCfg(machine.Static, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &core.PipeLog{MaxCycles: 1000}
+	if _, err := core.Run(img, nil, nil, nil, nil, core.Limits{Pipe: pipe}); err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Events) != 0 {
+		t.Errorf("static run recorded %d events, want 0", len(pipe.Events))
+	}
+}
+
+// TestPipeLogSingleCycle truncates to one cycle: everything recorded must be
+// from cycle 0, and something must be recorded (issue happens on cycle 0).
+func TestPipeLogSingleCycle(t *testing.T) {
+	p := chainProgram(50)
+	img, err := loader.Load(p, mkCfg(machine.Dyn4, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &core.PipeLog{MaxCycles: 1}
+	if _, err := core.Run(img, nil, nil, nil, nil, core.Limits{Pipe: pipe}); err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Events) == 0 {
+		t.Fatal("single-cycle log recorded nothing; issue events happen on cycle 0")
+	}
+	for _, e := range pipe.Events {
+		if e.Cycle != 0 {
+			t.Fatalf("event at cycle %d despite 1-cycle bound", e.Cycle)
+		}
+	}
+}
+
+// TestPipeLogSquashOnBoundaryCycle pins the truncation boundary semantics:
+// an event at cycle == MaxCycles is dropped, at MaxCycles-1 it is kept. The
+// probe event is the first squash of a deterministic mispredicting run —
+// truncating exactly at its cycle must hide it, one cycle later must not.
+func TestPipeLogSquashOnBoundaryCycle(t *testing.T) {
+	p := randomProgram(11) // has a loop with a mispredicting exit
+	img, err := loader.Load(p, mkCfg(machine.Dyn256, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(maxCycles int64) *core.PipeLog {
+		pipe := &core.PipeLog{MaxCycles: maxCycles}
+		if _, err := core.Run(img, nil, nil, nil, nil, core.Limits{Pipe: pipe}); err != nil {
+			t.Fatal(err)
+		}
+		return pipe
+	}
+	firstSquash := int64(-1)
+	for _, e := range run(10_000).Events {
+		if e.Kind == core.PipeSquash {
+			firstSquash = e.Cycle
+			break
+		}
+	}
+	if firstSquash < 1 {
+		t.Fatalf("probe run has no squash after cycle 0 (first at %d)", firstSquash)
+	}
+	countSquashes := func(l *core.PipeLog) int {
+		n := 0
+		for _, e := range l.Events {
+			if e.Kind == core.PipeSquash {
+				n++
+			}
+		}
+		return n
+	}
+	// Limit == squash cycle: the squash is at cycle >= limit, so dropped.
+	if n := countSquashes(run(firstSquash)); n != 0 {
+		t.Errorf("limit %d: recorded %d squashes, want 0 (boundary event must be dropped)", firstSquash, n)
+	}
+	// Limit one past it: the squash is now inside the window.
+	if n := countSquashes(run(firstSquash + 1)); n != 1 {
+		t.Errorf("limit %d: recorded %d squashes, want exactly the boundary one", firstSquash+1, n)
+	}
+}
+
 func TestPipeLogBounded(t *testing.T) {
 	p := chainProgram(500)
 	img, _ := loader.Load(p, mkCfg(machine.Dyn4, 8, 'A'), nil)

@@ -1,0 +1,95 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/minic"
+)
+
+// TestExamplesOracle runs every program shipped under examples/ through the
+// full oracle matrix as table-driven golden cases, with inputs shaped like
+// the ones the examples themselves use. The example binaries embed these
+// exact files, so a program that drifts out of sync with the toolchain
+// fails here before a reader ever runs it.
+func TestExamplesOracle(t *testing.T) {
+	examples := filepath.Join("..", "..", "examples")
+	read := func(parts ...string) string {
+		data, err := os.ReadFile(filepath.Join(append([]string{examples}, parts...)...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	dict := []byte("the\nquick\nbrown\nfox\njumps\nover\nlazy\ndog\n\n")
+	cases := []struct {
+		name    string
+		prepare func(t *testing.T) *Case
+	}{
+		{
+			name: "quickstart/wc.mc",
+			prepare: func(t *testing.T) *Case {
+				c, err := CompileCase("wc.mc", read("quickstart", "wc.mc"),
+					[]byte("profile me first\nwith two lines\n"),
+					[]byte("the quick brown fox\njumps over the lazy dog\npack my box with five dozen liquor jugs\n"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			},
+		},
+		{
+			// The spell checker reads the dictionary on stream 1 and the
+			// text on stream 0, profiling on one text and measuring on
+			// another — the paper's two-input methodology end to end.
+			name: "customlang/spell.mc",
+			prepare: func(t *testing.T) *Case {
+				prog, err := minic.Compile("spell.mc", read("customlang", "spell.mc"), minic.Options{Optimize: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := &Case{
+					Name:       "spell.mc",
+					Prog:       prog,
+					ProfileIn:  []byte("the quick red fox leaps over the lazy dog\nthe dog naps\n"),
+					ProfileIn1: dict,
+					In:         []byte("a quick brown cat jumps over the sleepy dog\nfoxes jump\n"),
+					In1:        dict,
+				}
+				if err := c.Prepare(); err != nil {
+					t.Fatal(err)
+				}
+				return c
+			},
+		},
+		{
+			name: "pipeline/sum.asm",
+			prepare: func(t *testing.T) *Case {
+				prog, err := ir.Assemble(read("pipeline", "sum.asm"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := PrepareCase("sum.asm", prog, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := tc.prepare(t).Oracle(Matrix())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range rep.Divergences {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package difftest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+)
+
+// corpusSources reads the checked-in seed corpus. Every file is a MiniC
+// program; the corpus is shared by the fuzz targets (as f.Add seeds) and by
+// TestCorpusOracle (as pinned full-matrix cases).
+func corpusSources(t testing.TB) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mc") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", "corpus", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[e.Name()] = string(data)
+	}
+	if len(srcs) == 0 {
+		t.Fatal("empty seed corpus")
+	}
+	return srcs
+}
+
+// TestCorpusOracle pins every corpus program as a full-matrix golden case,
+// so corpus entries stay green even when the fuzz stages are not running.
+func TestCorpusOracle(t *testing.T) {
+	for name, src := range corpusSources(t) {
+		t.Run(name, func(t *testing.T) {
+			c, err := CompileCase(name, src, GenInput(101, 300), GenInput(102, 300))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Oracle(Matrix())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range rep.Divergences {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+// fuzzGate cheaply rejects fuzz candidates that are too big or too slow to
+// differential-test: oversized sources, non-compiling sources, and programs
+// that exceed a small node budget functionally. Returns the compiled
+// program, or nil to skip.
+func fuzzGate(src string, in []byte) bool {
+	if len(src) > 8<<10 {
+		return false
+	}
+	prog, err := minic.Compile("fuzz.mc", src, minic.Options{Optimize: true})
+	if err != nil {
+		return false
+	}
+	if _, err := interp.Run(prog, in, nil, interp.Options{MaxNodes: 1 << 20}); err != nil {
+		return false
+	}
+	return true
+}
+
+// FuzzDifferential mutates MiniC source and a program input together and
+// cross-checks every surviving candidate against the reduced oracle matrix.
+// Crashes land in testdata/fuzz/ (Go's native corpus location); shrink them
+// further with:
+//
+//	go run ./cmd/difftest -reduce <crasher.mc>
+func FuzzDifferential(f *testing.F) {
+	for _, src := range corpusSources(f) {
+		f.Add(src, []byte("the quick brown fox 12345 jumps!\n"))
+	}
+	f.Add("int main() { putc(getc(0)); return 0; }", []byte{0})
+	matrix := QuickMatrix()
+	f.Fuzz(func(t *testing.T, src string, in []byte) {
+		if len(in) > 512 {
+			in = in[:512]
+		}
+		if !fuzzGate(src, in) {
+			t.Skip()
+		}
+		c, err := CompileCase("fuzz.mc", src, in, in)
+		if err != nil {
+			t.Skip() // runaway under the larger profile budget
+		}
+		rep, err := c.Oracle(matrix)
+		if err != nil {
+			t.Fatalf("oracle error: %v\nprogram:\n%s", err, src)
+		}
+		if rep.Failed() {
+			var msgs []string
+			for _, d := range rep.Divergences {
+				msgs = append(msgs, d.String())
+			}
+			t.Fatalf("divergence:\n%s\nprogram:\n%s", strings.Join(msgs, "\n"), src)
+		}
+	})
+}
+
+// FuzzLoaderRoundtrip checks that translating-loader images survive
+// serialization: an image marshalled and unmarshalled must disassemble to
+// the same program and simulate to the identical output and cycle count.
+func FuzzLoaderRoundtrip(f *testing.F) {
+	for _, src := range corpusSources(f) {
+		f.Add(src)
+	}
+	cfgs := []machine.Config{}
+	mk := func(d machine.Discipline, issue int, mem byte, bm machine.BranchMode) {
+		im, _ := machine.IssueModelByID(issue)
+		mc, _ := machine.MemConfigByID(mem)
+		cfgs = append(cfgs, machine.Config{Disc: d, Issue: im, Mem: mc, Branch: bm})
+	}
+	mk(machine.Static, 8, 'D', machine.EnlargedBB)
+	mk(machine.Dyn256, 8, 'A', machine.EnlargedBB)
+	f.Fuzz(func(t *testing.T, src string) {
+		in := GenInput(33, 128)
+		if !fuzzGate(src, in) {
+			t.Skip()
+		}
+		c, err := CompileCase("fuzz.mc", src, in, in)
+		if err != nil {
+			t.Skip()
+		}
+		for _, cfg := range cfgs {
+			img, err := loader.Load(c.Prog, cfg, c.EF)
+			if err != nil {
+				t.Fatalf("%s: load: %v\nprogram:\n%s", cfg, err, src)
+			}
+			data, err := img.Marshal()
+			if err != nil {
+				t.Fatalf("%s: marshal: %v", cfg, err)
+			}
+			img2, err := loader.Unmarshal(data)
+			if err != nil {
+				t.Fatalf("%s: unmarshal: %v\nprogram:\n%s", cfg, err, src)
+			}
+			run := func(im *loader.Image) *core.RunResult {
+				res, err := core.Run(im, c.In, nil, nil, nil, core.Limits{MaxCycles: maxCycles})
+				if err != nil {
+					t.Fatalf("%s: run: %v\nprogram:\n%s", cfg, err, src)
+				}
+				return res
+			}
+			r1, r2 := run(img), run(img2)
+			if !bytes.Equal(r1.Output, r2.Output) {
+				t.Fatalf("%s: roundtripped image output %q, original %q\nprogram:\n%s",
+					cfg, r2.Output, r1.Output, src)
+			}
+			if r1.Stats.Cycles != r2.Stats.Cycles {
+				t.Fatalf("%s: roundtripped image took %d cycles, original %d\nprogram:\n%s",
+					cfg, r2.Stats.Cycles, r1.Stats.Cycles, src)
+			}
+		}
+	})
+}

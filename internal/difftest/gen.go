@@ -1,0 +1,177 @@
+// Package difftest is the differential-verification harness: it generates
+// random MiniC programs, runs each one through the functional interpreter
+// and a matrix of timed machine configurations (the cross-engine oracle),
+// checks metamorphic invariants between configurations, and shrinks failing
+// programs to minimal repros. Every engine in internal/core promises output
+// bit-identical to internal/interp; this package is the machinery that
+// makes the promise machine-checked instead of spot-checked, so perf and
+// refactoring PRs have a standing correctness backstop.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenOptions tune the random program generator. Weights are relative: a
+// feature with weight 0 never appears; doubling a weight roughly doubles how
+// often the generator picks it. The defaults reproduce the feature mix of
+// the paper's five benchmarks (loop-heavy, array-heavy, byte- and word-wide
+// memory traffic, shallow call graphs with occasional recursion).
+type GenOptions struct {
+	// Helpers is how many helper functions to define (main always exists).
+	Helpers int
+	// BodyOps is the operation budget of main's input-consuming loop; the
+	// total program size grows roughly linearly with it.
+	BodyOps int
+
+	// Feature weights for the statements inside loop bodies.
+	Calls   float64 // call a helper function
+	Loops   float64 // nested bounded loops (while / for)
+	Arrays  float64 // word-array reads and writes
+	Bytes   float64 // byte-array (char) traffic
+	ALU     float64 // plain arithmetic/logic on scalars
+	Branchy float64 // data-dependent if/else chains
+}
+
+// DefaultGenOptions is the mix used by the oracle tests and the fuzz seeds.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{
+		Helpers: 3,
+		BodyOps: 6,
+		Calls:   1.5,
+		Loops:   1,
+		Arrays:  1.5,
+		Bytes:   1,
+		ALU:     1.5,
+		Branchy: 1.5,
+	}
+}
+
+func (o GenOptions) normalized() GenOptions {
+	if o.Helpers <= 0 {
+		o.Helpers = 1
+	}
+	if o.Helpers > 6 {
+		o.Helpers = 6
+	}
+	if o.BodyOps <= 0 {
+		o.BodyOps = 1
+	}
+	if o.BodyOps > 64 {
+		o.BodyOps = 64
+	}
+	if o.Calls+o.Loops+o.Arrays+o.Bytes+o.ALU+o.Branchy <= 0 {
+		o.ALU = 1
+	}
+	return o
+}
+
+// pickWeighted returns an index into weights chosen with the given relative
+// probabilities (weights must not all be zero).
+func pickWeighted(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Generate emits a random, deterministic (per seed+options), always
+// terminating MiniC program. Every generated program reads stream 0 until
+// EOF, folds the bytes through helper calls, loops, and mixed-width memory
+// traffic, and prints a short checksum — so its output depends on the whole
+// input and every engine divergence becomes visible in the final bytes.
+// Control flow is data-dependent on the input, which means enlargement
+// chains built from one input get exercised (and assert-faulted) by
+// another.
+func Generate(seed int64, o GenOptions) string {
+	o = o.normalized()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString("int arr[128];\nchar buf[256];\n")
+
+	nHelpers := 1 + rng.Intn(o.Helpers)
+	for h := 0; h < nHelpers; h++ {
+		genHelper(&sb, rng, o, h)
+	}
+
+	sb.WriteString("int main() {\n\tint c;\n\tint acc = 7;\n\tint n = 0;\n\tint i;\n")
+	sb.WriteString("\tfor (i = 0; i < 128; i++) arr[i] = i * 13;\n")
+	sb.WriteString("\tc = getc(0);\n\twhile (c >= 0) {\n")
+	nOps := 2 + rng.Intn(o.BodyOps)
+	weights := []float64{o.Calls, o.Branchy, o.Bytes, o.Arrays, o.Bytes, o.Loops, o.ALU}
+	for k := 0; k < nOps; k++ {
+		switch pickWeighted(rng, weights) {
+		case 0: // helper call
+			fmt.Fprintf(&sb, "\t\tacc = h%d(acc & 255, c);\n", rng.Intn(nHelpers))
+		case 1: // data-dependent branch over array traffic
+			fmt.Fprintf(&sb, "\t\tif (c %% %d == 0) acc += arr[c & 127]; else acc ^= c << %d;\n",
+				2+rng.Intn(5), rng.Intn(5))
+		case 2: // byte store
+			sb.WriteString("\t\tbuf[n & 255] = c + acc;\n")
+		case 3: // word store
+			fmt.Fprintf(&sb, "\t\tarr[(acc + n) & 127] = acc %% %d;\n", 3+rng.Intn(97))
+		case 4: // byte load folded into the accumulator
+			sb.WriteString("\t\tacc = acc * 31 + buf[(acc >> 3) & 255];\n")
+		case 5: // bounded data-dependent inner loop
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&sb, "\t\twhile (acc > %d) acc = acc / 2 - n;\n", 1000+rng.Intn(5000))
+			} else {
+				fmt.Fprintf(&sb, "\t\tfor (i = 0; i < (c & %d); i++) acc += arr[(acc + i) & 127] >> (i & 7);\n",
+					3+rng.Intn(13))
+			}
+		default: // scalar ALU work
+			fmt.Fprintf(&sb, "\t\tacc = (acc ^ (c * %d)) + (n %% %d);\n",
+				3+rng.Intn(29), 2+rng.Intn(11))
+		}
+	}
+	sb.WriteString("\t\tn++;\n\t\tc = getc(0);\n\t}\n")
+	// Checksum: fold the byte buffer back in so stores matter, then print.
+	sb.WriteString("\tfor (i = 0; i < 256; i++) acc = acc * 3 + buf[i];\n")
+	sb.WriteString("\tputc('A' + (acc % 26 + 26) % 26);\n")
+	sb.WriteString("\tputc('a' + (n % 26 + 26) % 26);\n")
+	sb.WriteString("\tputc('0' + ((acc >> 7) % 10 + 10) % 10);\n")
+	sb.WriteString("\tputc('\\n');\n\treturn 0;\n}\n")
+	return sb.String()
+}
+
+// genHelper emits helper function h: a loop, a branch chain, byte-wide
+// work, or a bounded recursion, weighted by the options.
+func genHelper(sb *strings.Builder, rng *rand.Rand, o GenOptions, h int) {
+	fmt.Fprintf(sb, "int h%d(int a, int b) {\n", h)
+	switch pickWeighted(rng, []float64{o.Loops, o.Branchy, 0.6 * (1 + o.Calls), o.Bytes}) {
+	case 0: // bounded loop over the word array
+		sb.WriteString("\tint r = 0;\n\tint i;\n")
+		fmt.Fprintf(sb, "\tfor (i = 0; i < (a & 15); i++) r += arr[(b + i) & 127] ^ i;\n")
+		sb.WriteString("\treturn r;\n")
+	case 1: // branch chain
+		fmt.Fprintf(sb, "\tif (a %% %d == 0) return b * 3 + 1;\n", 2+rng.Intn(4))
+		sb.WriteString("\tif (a < b) return a - b;\n\treturn a + b;\n")
+	case 2: // Euclid-style bounded recursion (terminates: b strictly shrinks)
+		fmt.Fprintf(sb, "\tif (b == 0) return a;\n\treturn h%d(b, a %% b);\n", h)
+	default: // byte traffic
+		sb.WriteString("\tchar t;\n\tt = buf[(a ^ b) & 255];\n")
+		fmt.Fprintf(sb, "\tbuf[(a + b) & 255] = t + %d;\n\treturn t + (a >> 1);\n", 1+rng.Intn(7))
+	}
+	sb.WriteString("}\n")
+}
+
+// GenInput returns a deterministic pseudo-random input stream of printable
+// bytes for a generated program.
+func GenInput(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(32 + rng.Intn(90))
+	}
+	return buf
+}

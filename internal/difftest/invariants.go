@@ -1,0 +1,116 @@
+package difftest
+
+import (
+	"fmt"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// checkMetamorphic evaluates the cross-configuration (metamorphic)
+// invariants over a finished matrix:
+//
+//  1. Perfect prediction is an upper bound: for any (discipline, issue,
+//     memory, window) present in both perfect and realistic-predictor
+//     enlarged form, the perfect run never takes more cycles — wrong-path
+//     work only ever adds squash and refetch latency. The bound holds only
+//     for fault-free runs: when enlarged blocks assert-fault, a realistic
+//     predictor's squashes can reshape window occupancy around the faulting
+//     block and make its single-block replay a few cycles cheaper than
+//     under perfect prediction (observed: 8 cycles in ~22k against 488
+//     faults), so faulting runs are exempt. (Output equality of enlargement
+//     itself — single vs enlarged blocks — is already enforced per-variant
+//     by the oracle's reference comparison.)
+//  2. Pool recycling is invisible: re-running a dynamic configuration in
+//     the same process (which reuses the engine's node/block pools warmed
+//     by the first run) reproduces the first run's pipeline event stream
+//     and cycle count exactly.
+func (c *Case) checkMetamorphic(rep *Report) {
+	// 1. Perfect-prediction cycle bound.
+	type key struct {
+		d      machine.Discipline
+		issue  int
+		mem    byte
+		window int
+	}
+	perfect := make(map[key]VariantRun)
+	for _, r := range rep.Runs {
+		if r.Variant.Cfg.Branch == machine.Perfect {
+			perfect[key{r.Variant.Cfg.Disc, r.Variant.Cfg.Issue.ID, r.Variant.Cfg.Mem.ID, r.Variant.Cfg.WindowOverride}] = r
+		}
+	}
+	for _, r := range rep.Runs {
+		if r.Variant.Cfg.Branch != machine.EnlargedBB {
+			continue
+		}
+		p, ok := perfect[key{r.Variant.Cfg.Disc, r.Variant.Cfg.Issue.ID, r.Variant.Cfg.Mem.ID, r.Variant.Cfg.WindowOverride}]
+		if !ok || p.Stats.Faults > 0 || r.Stats.Faults > 0 {
+			continue
+		}
+		if p.Stats.Cycles > r.Stats.Cycles {
+			rep.add(p.Variant, "metamorphic", "perfect prediction took %d cycles, realistic %s only %d",
+				p.Stats.Cycles, r.Variant, r.Stats.Cycles)
+		}
+	}
+
+	// 2. Pool recycling leaves the pipeline event stream bit-identical.
+	v := Variant{Cfg: machine.Config{Disc: machine.Dyn4, Branch: machine.EnlargedBB}}
+	v.Cfg.Issue, _ = machine.IssueModelByID(8)
+	v.Cfg.Mem, _ = machine.MemConfigByID('A')
+	if msg := c.checkPoolRecycling(v); msg != "" {
+		rep.add(v, "pipelog", "%s", msg)
+	}
+}
+
+// checkPoolRecycling runs one dynamic configuration twice on the same image
+// and compares the recorded pipeline event streams. The first run leaves
+// the core package's slab pools warm, so the second run executes entirely
+// on recycled nodes and blocks; any stale state the reset paths miss shows
+// up as a diverging event. Returns "" when the streams match.
+func (c *Case) checkPoolRecycling(v Variant) string {
+	img, err := loader.Load(c.Prog, v.Cfg, c.EF)
+	if err != nil {
+		return fmt.Sprintf("load: %v", err)
+	}
+	run := func() (*core.PipeLog, *core.RunResult, error) {
+		pipe := &core.PipeLog{MaxCycles: 512}
+		res, err := core.Run(img, c.In, c.In1, nil, nil, core.Limits{MaxCycles: maxCycles, Pipe: pipe})
+		return pipe, res, err
+	}
+	pipe1, res1, err := run()
+	if err != nil {
+		return fmt.Sprintf("first run: %v", err)
+	}
+	pipe2, res2, err := run()
+	if err != nil {
+		return fmt.Sprintf("recycled run: %v", err)
+	}
+	if res1.Stats.Cycles != res2.Stats.Cycles {
+		return fmt.Sprintf("recycled run took %d cycles, fresh run %d", res2.Stats.Cycles, res1.Stats.Cycles)
+	}
+	if d := diffPipeLogs(pipe1, pipe2); d != "" {
+		return d
+	}
+	return ""
+}
+
+// diffPipeLogs compares two pipeline event streams and describes the first
+// difference ("" when identical).
+func diffPipeLogs(a, b *core.PipeLog) string {
+	n := len(a.Events)
+	if len(b.Events) < n {
+		n = len(b.Events)
+	}
+	for i := 0; i < n; i++ {
+		if a.Events[i] != b.Events[i] {
+			return fmt.Sprintf("event %d differs: fresh {c%d %s #%d %s}, recycled {c%d %s #%d %s}",
+				i, a.Events[i].Cycle, a.Events[i].Kind, a.Events[i].Seq, a.Events[i].What,
+				b.Events[i].Cycle, b.Events[i].Kind, b.Events[i].Seq, b.Events[i].What)
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		return fmt.Sprintf("fresh run logged %d events, recycled run %d", len(a.Events), len(b.Events))
+	}
+	return ""
+}

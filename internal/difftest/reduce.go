@@ -1,0 +1,233 @@
+package difftest
+
+import (
+	"fmt"
+
+	"fgpsim/internal/minic"
+)
+
+// Fails is the failure predicate driving reduction: it reports whether a
+// candidate program still exhibits the failure under investigation (oracle
+// divergence, engine panic reproduced under recover, ...). The reducer only
+// calls it with candidates that compile, so predicates may assume
+// compilability and need not guard against parse errors.
+type Fails func(src string) bool
+
+// Reduce shrinks a failing MiniC program while the failure keeps
+// reproducing, by deleting whole functions, globals, and statements, and by
+// hoisting loop/branch bodies over their headers. The input must compile
+// and fail; the result is a 1-minimal program under those edits: no single
+// remaining deletion keeps it failing. Reduction is deterministic.
+//
+// The returned program compiles and satisfies fails. Typical corpus
+// crashers (hundreds of statements) come back with a handful.
+func Reduce(src string, fails Fails) (string, error) {
+	if _, err := minic.Compile("reduce.mc", src, minic.Options{Optimize: true}); err != nil {
+		return "", fmt.Errorf("difftest: reduce: input does not compile: %w", err)
+	}
+	if !fails(src) {
+		return "", fmt.Errorf("difftest: reduce: input does not reproduce the failure")
+	}
+	// Canonicalize through the printer once so candidate texts are stable.
+	cur := reformat(src)
+	if compiles(cur) && fails(cur) {
+		src = cur
+	}
+	for {
+		improved := false
+		// Walk candidate edits from the back so accepting one leaves the
+		// indices of the edits still to try unchanged.
+		for i := countEdits(src) - 1; i >= 0; i-- {
+			candidate, ok := applyEdit(src, i)
+			if !ok || candidate == src {
+				continue
+			}
+			if !compiles(candidate) || !fails(candidate) {
+				continue
+			}
+			src = candidate
+			improved = true
+		}
+		if !improved {
+			return src, nil
+		}
+	}
+}
+
+func compiles(src string) bool {
+	_, err := minic.Compile("reduce.mc", src, minic.Options{Optimize: true})
+	return err == nil
+}
+
+func reformat(src string) string {
+	f, err := minic.Parse("reduce.mc", src)
+	if err != nil {
+		return src
+	}
+	return minic.Format(f)
+}
+
+// CountStatements returns the number of statements in a program's function
+// bodies (blocks and empty statements excluded — they carry no behavior).
+// It is the size metric reduction results are reported in.
+func CountStatements(src string) int {
+	f, err := minic.Parse("count.mc", src)
+	if err != nil {
+		return -1
+	}
+	n := 0
+	for _, fn := range f.Funcs {
+		walkStmts(fn.Body, func(s minic.Stmt) {
+			switch s.(type) {
+			case *minic.BlockStmt, *minic.EmptyStmt, nil:
+			default:
+				n++
+			}
+		})
+	}
+	return n
+}
+
+// walkStmts visits s and every statement nested inside it, preorder.
+func walkStmts(s minic.Stmt, visit func(minic.Stmt)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	switch s := s.(type) {
+	case *minic.BlockStmt:
+		for _, inner := range s.List {
+			walkStmts(inner, visit)
+		}
+	case *minic.IfStmt:
+		walkStmts(s.Then, visit)
+		walkStmts(s.Else, visit)
+	case *minic.WhileStmt:
+		walkStmts(s.Body, visit)
+	case *minic.ForStmt:
+		// The init clause is part of the loop header, not a counted
+		// statement of its own.
+		walkStmts(s.Body, visit)
+	}
+}
+
+// The edit enumeration: parse the program fresh, walk it in a fixed order
+// counting edit opportunities, and apply the k-th one. Edits are:
+//
+//   - delete function i (main is kept — removing it never compiles);
+//   - delete global i;
+//   - delete one statement from a statement list;
+//   - hoist a loop or branch body over its header (if → then-branch,
+//     if/else → else-branch, while/for → body), which lets the reducer
+//     strip control flow that deletion alone cannot remove without losing
+//     the interesting statements inside.
+type editor struct {
+	target  int
+	n       int
+	applied bool
+}
+
+// countEdits returns how many distinct edits are available on src.
+func countEdits(src string) int {
+	f, err := minic.Parse("reduce.mc", src)
+	if err != nil {
+		return 0
+	}
+	e := &editor{target: -1}
+	e.file(f)
+	return e.n
+}
+
+// applyEdit applies the k-th edit to src and returns the printed result.
+func applyEdit(src string, k int) (string, bool) {
+	f, err := minic.Parse("reduce.mc", src)
+	if err != nil {
+		return "", false
+	}
+	e := &editor{target: k}
+	f = e.file(f)
+	if !e.applied {
+		return "", false
+	}
+	return minic.Format(f), true
+}
+
+// at reports whether the current edit slot is the target.
+func (e *editor) at() bool {
+	hit := e.n == e.target
+	e.n++
+	if hit {
+		e.applied = true
+	}
+	return hit
+}
+
+func (e *editor) file(f *minic.File) *minic.File {
+	for i, fn := range f.Funcs {
+		if fn.Name != "main" && e.at() {
+			f.Funcs = append(f.Funcs[:i:i], f.Funcs[i+1:]...)
+			return f
+		}
+	}
+	for i := range f.Globals {
+		if e.at() {
+			f.Globals = append(f.Globals[:i:i], f.Globals[i+1:]...)
+			return f
+		}
+	}
+	for _, fn := range f.Funcs {
+		fn.Body = e.block(fn.Body)
+	}
+	return f
+}
+
+func (e *editor) block(b *minic.BlockStmt) *minic.BlockStmt {
+	if b == nil || e.applied {
+		return b
+	}
+	for i, s := range b.List {
+		if e.applied {
+			break
+		}
+		if e.at() {
+			b.List = append(b.List[:i:i], b.List[i+1:]...)
+			return b
+		}
+		b.List[i] = e.stmt(s)
+	}
+	return b
+}
+
+// stmt offers the hoisting edits for s and recurses into nested bodies. It
+// returns the (possibly replaced) statement.
+func (e *editor) stmt(s minic.Stmt) minic.Stmt {
+	if e.applied {
+		return s
+	}
+	switch s := s.(type) {
+	case *minic.BlockStmt:
+		return e.block(s)
+	case *minic.IfStmt:
+		if e.at() {
+			return s.Then
+		}
+		if s.Else != nil && e.at() {
+			return s.Else
+		}
+		s.Then = e.stmt(s.Then)
+		if s.Else != nil {
+			s.Else = e.stmt(s.Else)
+		}
+	case *minic.WhileStmt:
+		if e.at() {
+			return s.Body
+		}
+		s.Body = e.stmt(s.Body)
+	case *minic.ForStmt:
+		if e.at() {
+			return s.Body
+		}
+		s.Body = e.stmt(s.Body)
+	}
+	return s
+}

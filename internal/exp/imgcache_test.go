@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"testing"
+
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+)
+
+// cacheFixture compiles a small program and builds its enlargement file, the
+// two inputs every imageCache.load call needs.
+func cacheFixture(t *testing.T) (*ir.Program, *enlarge.File) {
+	t.Helper()
+	const src = `
+int main() {
+	int i;
+	int acc = 0;
+	for (i = 0; i < 40; i++) {
+		if (i % 3) acc += i; else acc -= i;
+	}
+	putc('a' + (acc % 26 + 26) % 26);
+	return 0;
+}
+`
+	prog, err := minic.Compile("cache.mc", src, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := interp.NewProfile()
+	if _, err := interp.Run(prog, nil, nil, interp.Options{Profile: prof, MaxNodes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	return prog, enlarge.Build(prog, prof, enlarge.DefaultOptions())
+}
+
+func cacheCfg(t *testing.T, d machine.Discipline, issue int, mem byte, bm machine.BranchMode) machine.Config {
+	t.Helper()
+	im, ok := machine.IssueModelByID(issue)
+	if !ok {
+		t.Fatalf("no issue model %d", issue)
+	}
+	mc, ok := machine.MemConfigByID(mem)
+	if !ok {
+		t.Fatalf("no mem config %c", mem)
+	}
+	return machine.Config{Disc: d, Issue: im, Mem: mc, Branch: bm}
+}
+
+// TestImageCacheKeyIsolation pins which Config fields are codegen-relevant:
+// configurations differing only in engine-level knobs (window, predictor,
+// BTB, discipline for dynamic machines) must share one cached image, while
+// block mode, static issue model, and static hit latency must not.
+func TestImageCacheKeyIsolation(t *testing.T) {
+	prog, ef := cacheFixture(t)
+	var c imageCache
+
+	load := func(cfg machine.Config) *ir.Program {
+		img, err := c.load(prog, cfg, ef)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if img.Cfg != cfg {
+			t.Fatalf("%s: cached hit returned Cfg %s", cfg, img.Cfg)
+		}
+		return img.Prog
+	}
+
+	// Same codegen key across engine-level variation: one entry, one
+	// underlying program clone.
+	base := cacheCfg(t, machine.Dyn4, 8, 'A', machine.EnlargedBB)
+	p1 := load(base)
+
+	deep := base
+	deep.WindowOverride = 17
+	gshare := cacheCfg(t, machine.Dyn256, 8, 'E', machine.EnlargedBB)
+	gshare.Predictor = machine.GSharePredictor
+	perfect := cacheCfg(t, machine.Dyn1, 2, 'C', machine.Perfect)
+	for _, cfg := range []machine.Config{deep, gshare, perfect} {
+		if p := load(cfg); p != p1 {
+			t.Errorf("%s: did not share the base enlarged image", cfg)
+		}
+	}
+	if len(c.m) != 1 {
+		t.Fatalf("cache holds %d entries after engine-level variation, want 1", len(c.m))
+	}
+
+	// Codegen-relevant differences get their own entries.
+	single := cacheCfg(t, machine.Dyn4, 8, 'A', machine.SingleBB)
+	if p := load(single); p == p1 {
+		t.Error("SingleBB shared the enlarged image")
+	}
+	staticA := cacheCfg(t, machine.Static, 4, 'A', machine.EnlargedBB)
+	staticB := cacheCfg(t, machine.Static, 8, 'A', machine.EnlargedBB) // other issue model
+	staticC := cacheCfg(t, machine.Static, 4, 'B', machine.EnlargedBB) // other hit latency
+	if staticA.Mem.HitLatency == staticC.Mem.HitLatency {
+		t.Fatalf("fixture mem configs A and B share hit latency %d; pick another pair", staticA.Mem.HitLatency)
+	}
+	pa, pb, pc := load(staticA), load(staticB), load(staticC)
+	if pa == p1 || pa == pb || pa == pc || pb == pc {
+		t.Error("static images with distinct issue/hit-latency were shared")
+	}
+	if len(c.m) != 5 {
+		t.Errorf("cache holds %d entries, want 5 distinct codegen keys", len(c.m))
+	}
+
+	// A repeat of an early key is a hit even after later inserts.
+	if p := load(base); p != p1 {
+		t.Error("revisiting the first key reloaded instead of hitting")
+	}
+}
+
+// TestImageCacheLRUEviction fills the cache past capacity with synthetic
+// entries and checks that load evicts exactly the least recently used ones.
+func TestImageCacheLRUEviction(t *testing.T) {
+	prog, ef := cacheFixture(t)
+	var c imageCache
+
+	// One real entry so the map exists, then synthetic filler keyed by fake
+	// hit latencies. Ticks are assigned in insertion order, so entry i is
+	// older than entry i+1.
+	real := cacheCfg(t, machine.Dyn4, 8, 'A', machine.EnlargedBB)
+	img, err := c.load(prog, real, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func(i int) imgKey { return imgKey{static: true, hitLat: 1000 + i} }
+	for i := 0; len(c.m) < imageCacheCap; i++ {
+		c.tick++
+		c.m[fill(i)] = &imageCacheEnt{img: img, used: c.tick}
+	}
+
+	// Touch the real entry (the oldest) so the LRU victim becomes fill(0).
+	if _, err := c.load(prog, real, ef); err != nil {
+		t.Fatal(err)
+	}
+
+	// A miss at capacity evicts exactly one entry: the least recently used.
+	single := cacheCfg(t, machine.Dyn4, 8, 'A', machine.SingleBB)
+	if _, err := c.load(prog, single, ef); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.m) != imageCacheCap {
+		t.Fatalf("cache holds %d entries after eviction, want %d", len(c.m), imageCacheCap)
+	}
+	if _, ok := c.m[fill(0)]; ok {
+		t.Error("LRU victim fill(0) survived eviction")
+	}
+	if _, ok := c.m[imgKeyOf(real)]; !ok {
+		t.Error("recently touched entry was evicted")
+	}
+	if _, ok := c.m[imgKeyOf(single)]; !ok {
+		t.Error("newly loaded entry missing")
+	}
+	if _, ok := c.m[fill(1)]; !ok {
+		t.Error("second-oldest filler evicted; eviction took more than the LRU entry")
+	}
+}
+
+// TestImageCacheFillUnitBypass checks that FillUnit runs never share an
+// image: the fill unit enlarges its program at run time, so a cached copy
+// would leak one run's materialized chains into the next.
+func TestImageCacheFillUnitBypass(t *testing.T) {
+	prog, ef := cacheFixture(t)
+	p := &Prepared{Prog: prog, EF: ef}
+
+	fu := cacheCfg(t, machine.Dyn256, 8, 'D', machine.FillUnit)
+	im1, err := p.image(fu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im2, err := p.image(fu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im1.Prog == im2.Prog {
+		t.Error("two FillUnit loads shared a program clone")
+	}
+	if len(p.imgs.m) != 0 {
+		t.Errorf("FillUnit load populated the cache with %d entries", len(p.imgs.m))
+	}
+
+	// Cacheable modes still go through the cache on the same Prepared.
+	if _, err := p.image(cacheCfg(t, machine.Dyn4, 8, 'A', machine.EnlargedBB)); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.imgs.m) != 1 {
+		t.Errorf("cacheable load left %d entries, want 1", len(p.imgs.m))
+	}
+}

@@ -1,0 +1,208 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed File back to compilable MiniC source. It is the
+// inverse of Parse up to formatting: Parse(Format(Parse(src))) accepts every
+// program Parse accepts, and the printed program has identical semantics.
+// Expressions are fully parenthesized, so operator precedence never needs to
+// be reconstructed. The program reducer in internal/difftest leans on this
+// to turn mutated ASTs back into source after each deletion attempt.
+func Format(f *File) string {
+	var p printer
+	for _, g := range f.Globals {
+		p.global(g)
+	}
+	if len(f.Globals) > 0 && len(f.Funcs) > 0 {
+		p.sb.WriteString("\n")
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			p.sb.WriteString("\n")
+		}
+		p.funcDecl(fn)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteString("\t")
+	}
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteString("\n")
+}
+
+func declString(typ Type, name string, arrLen int32) string {
+	if arrLen > 0 {
+		return fmt.Sprintf("%s %s[%d]", typ, name, arrLen)
+	}
+	return fmt.Sprintf("%s %s", typ, name)
+}
+
+func (p *printer) global(g *GlobalDecl) {
+	d := declString(g.Type, g.Name, g.ArrLen)
+	switch {
+	case g.HasInit && g.InitStr != "":
+		p.line("%s = %q;", d, g.InitStr)
+	case g.HasInit:
+		p.line("%s = %d;", d, g.Init)
+	default:
+		p.line("%s;", d)
+	}
+}
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	params := make([]string, len(fn.Params))
+	for i, pa := range fn.Params {
+		params[i] = fmt.Sprintf("%s %s", pa.Type, pa.Name)
+	}
+	p.line("%s %s(%s) {", fn.Ret, fn.Name, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range fn.Body.List {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+// stmtInline renders a statement without indentation or trailing newline,
+// for the header of a for loop. Only the statement forms the parser allows
+// there (declaration or expression, both carrying their semicolon) occur.
+func stmtInline(s Stmt) string {
+	switch s := s.(type) {
+	case *DeclStmt:
+		if s.Init != nil {
+			return fmt.Sprintf("%s = %s;", declString(s.Type, s.Name, s.ArrLen), exprString(s.Init))
+		}
+		return declString(s.Type, s.Name, s.ArrLen) + ";"
+	case *ExprStmt:
+		return exprString(s.X) + ";"
+	case nil:
+		return ";"
+	}
+	return ";"
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *DeclStmt:
+		if s.Init != nil {
+			p.line("%s = %s;", declString(s.Type, s.Name, s.ArrLen), exprString(s.Init))
+		} else {
+			p.line("%s;", declString(s.Type, s.Name, s.ArrLen))
+		}
+	case *ExprStmt:
+		p.line("%s;", exprString(s.X))
+	case *IfStmt:
+		p.line("if (%s) {", exprString(s.Cond))
+		p.indent++
+		p.blockBody(s.Then)
+		p.indent--
+		if s.Else != nil {
+			p.line("} else {")
+			p.indent++
+			p.blockBody(s.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", exprString(s.Cond))
+		p.indent++
+		p.blockBody(s.Body)
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init := ";"
+		if s.Init != nil {
+			init = stmtInline(s.Init)
+		}
+		cond := ""
+		if s.Cond != nil {
+			cond = exprString(s.Cond)
+		}
+		post := ""
+		if s.Post != nil {
+			post = exprString(s.Post)
+		}
+		p.line("for (%s %s; %s) {", init, cond, post)
+		p.indent++
+		p.blockBody(s.Body)
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if s.X != nil {
+			p.line("return %s;", exprString(s.X))
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, inner := range s.List {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *EmptyStmt:
+		p.line(";")
+	}
+}
+
+// blockBody prints a statement that syntactically is the body of an
+// if/while/for whose braces the caller already emitted: block statements are
+// flattened, everything else prints as-is.
+func (p *printer) blockBody(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		for _, inner := range b.List {
+			p.stmt(inner)
+		}
+		return
+	}
+	p.stmt(s)
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntExpr:
+		return fmt.Sprintf("%d", e.Val)
+	case *StrExpr:
+		return fmt.Sprintf("%q", e.Val)
+	case *VarExpr:
+		return e.Name
+	case *UnExpr:
+		return fmt.Sprintf("(%s%s)", e.Op, exprString(e.X))
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.X), e.Op, exprString(e.Y))
+	case *AssignExpr:
+		// Parenthesized so an assignment nested in a comparison (the MiniC
+		// idiom `(c = getc(0)) >= 0`) survives the precedence-free printing.
+		return fmt.Sprintf("(%s %s %s)", exprString(e.LHS), e.Op, exprString(e.RHS))
+	case *IncDecExpr:
+		if e.Post {
+			return fmt.Sprintf("(%s%s)", exprString(e.X), e.Op)
+		}
+		return fmt.Sprintf("(%s%s)", e.Op, exprString(e.X))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", exprString(e.X), exprString(e.Idx))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	}
+	return "0"
+}

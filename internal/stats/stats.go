@@ -7,6 +7,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -153,6 +154,36 @@ func (r *Run) Histogram(binWidth, maxSize int) []float64 {
 		}
 	}
 	return bins
+}
+
+// BlockSizePercentile returns the smallest retired block size S such that at
+// least p (in [0,1]) of retired blocks have size <= S — e.g. p=0.5 is the
+// median dynamic block size, the distributional companion to MeanBlockSize
+// for Figure 2 style reporting. Returns 0 when no blocks were retired.
+func (r *Run) BlockSizePercentile(p float64) int {
+	if r.RetiredBlocks == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := int64(math.Ceil(p * float64(r.RetiredBlocks)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for _, s := range r.SortedSizes() {
+		cum += r.BlockSizes[s]
+		if cum >= need {
+			return s
+		}
+	}
+	// Unreachable: cum reaches RetiredBlocks >= need on the last size.
+	sizes := r.SortedSizes()
+	return sizes[len(sizes)-1]
 }
 
 // Merge adds other's counts into r (used to aggregate across benchmarks).

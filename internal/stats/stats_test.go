@@ -126,6 +126,102 @@ func TestSortedSizes(t *testing.T) {
 	}
 }
 
+func TestHistogramBinBoundaries(t *testing.T) {
+	// A size exactly on a bin-width multiple belongs to the *next* bin
+	// (size/binWidth truncates), and size 0 belongs to bin 0.
+	r := New()
+	r.RecordBlock(0)
+	r.RecordBlock(4)  // last size of bin 0 for width 5
+	r.RecordBlock(5)  // first size of bin 1
+	r.RecordBlock(20) // == maxSize: lands in the overflow bin
+	h := r.Histogram(5, 20)
+	if h[0] != 0.5 {
+		t.Errorf("bin 0 = %v, want 0.5", h[0])
+	}
+	if h[1] != 0.25 {
+		t.Errorf("bin 1 = %v, want 0.25", h[1])
+	}
+	if h[len(h)-1] != 0.25 {
+		t.Errorf("overflow bin = %v, want 0.25", h[len(h)-1])
+	}
+}
+
+func TestHistogramSingleBlock(t *testing.T) {
+	r := New()
+	r.RecordBlock(7)
+	h := r.Histogram(5, 20)
+	if h[1] != 1 {
+		t.Errorf("single-block histogram = %v, want all mass in bin 1", h)
+	}
+}
+
+func TestBlockSizePercentile(t *testing.T) {
+	r := New()
+	if r.BlockSizePercentile(0.5) != 0 {
+		t.Error("empty run should report percentile 0")
+	}
+	// 10 blocks: sizes 1..10, one each.
+	for s := 1; s <= 10; s++ {
+		r.RecordBlock(s)
+	}
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{0, 1},    // clamped up to "at least one block"
+		{0.1, 1},  // first block covers 10%
+		{0.5, 5},  // median
+		{0.55, 6}, // needs 6 blocks
+		{1, 10},   // max
+		{1.5, 10}, // clamped down
+		{-1, 1},   // clamped up
+	}
+	for _, c := range cases {
+		if got := r.BlockSizePercentile(c.p); got != c.want {
+			t.Errorf("BlockSizePercentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBlockSizePercentileSkewed(t *testing.T) {
+	// 99 small blocks and 1 huge one: the p99 is still small, p100 is huge.
+	r := New()
+	for i := 0; i < 99; i++ {
+		r.RecordBlock(2)
+	}
+	r.RecordBlock(400)
+	if got := r.BlockSizePercentile(0.99); got != 2 {
+		t.Errorf("p99 = %d, want 2", got)
+	}
+	if got := r.BlockSizePercentile(1); got != 400 {
+		t.Errorf("p100 = %d, want 400", got)
+	}
+}
+
+// Property: the percentile is monotone in p and always an observed size.
+func TestBlockSizePercentileProperty(t *testing.T) {
+	f := func(sizes []uint8, p1, p2 uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		r := New()
+		observed := make(map[int]bool)
+		for _, s := range sizes {
+			r.RecordBlock(int(s))
+			observed[int(s)] = true
+		}
+		q1, q2 := float64(p1)/255, float64(p2)/255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := r.BlockSizePercentile(q1), r.BlockSizePercentile(q2)
+		return v1 <= v2 && observed[v1] && observed[v2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: histogram fractions are in [0,1] and sum to ~1 for any inputs.
 func TestHistogramProperty(t *testing.T) {
 	f := func(sizes []uint8) bool {
