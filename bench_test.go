@@ -53,8 +53,8 @@ func names(w *Workload) []string { return []string{w.Bench.Name} }
 func BenchmarkFigure2(b *testing.B) {
 	w := workload(b)
 	cfgs := []Config{
-		exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A'),
-		exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'),
+		exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A'),
+		exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'),
 	}
 	for i := 0; i < b.N; i++ {
 		res := runConfigs(b, w, cfgs)
@@ -87,13 +87,13 @@ func BenchmarkFigure3(b *testing.B) {
 	var cfgs []Config
 	for _, c := range exp.Curves() {
 		for _, im := range IssueModels {
-			cfgs = append(cfgs, exp.ConfigFor(c, im.ID, 'A'))
+			cfgs = append(cfgs, exp.MustConfigFor(c, im.ID, 'A'))
 		}
 	}
 	w := workload(b)
 	figureSweep(b, cfgs, exp.Figure3, func(res *Results) (string, float64) {
-		top := res.GeoMeanNPC(names(w), exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A'))
-		base := res.GeoMeanNPC(names(w), exp.ConfigFor(exp.Curve{Disc: Static, Branch: SingleBB}, 8, 'A'))
+		top := res.GeoMeanNPC(names(w), exp.MustConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A'))
+		base := res.GeoMeanNPC(names(w), exp.MustConfigFor(exp.Curve{Disc: Static, Branch: SingleBB}, 8, 'A'))
 		return "speedup-at-8", top / base
 	})
 }
@@ -104,13 +104,13 @@ func BenchmarkFigure4(b *testing.B) {
 	var cfgs []Config
 	for _, c := range exp.Curves() {
 		for _, mc := range MemConfigs {
-			cfgs = append(cfgs, exp.ConfigFor(c, 8, mc.ID))
+			cfgs = append(cfgs, exp.MustConfigFor(c, 8, mc.ID))
 		}
 	}
 	w := workload(b)
 	figureSweep(b, cfgs, exp.Figure4, func(res *Results) (string, float64) {
-		fast := res.GeoMeanNPC(names(w), exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'))
-		slow := res.GeoMeanNPC(names(w), exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'C'))
+		fast := res.GeoMeanNPC(names(w), exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'))
+		slow := res.GeoMeanNPC(names(w), exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'C'))
 		return "latency-tolerance", fast / slow
 	})
 }
@@ -120,12 +120,12 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	var cfgs []Config
 	for _, fc := range machine.Figure5Configs {
-		cfgs = append(cfgs, exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, fc.Issue, fc.Mem))
+		cfgs = append(cfgs, exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, fc.Issue, fc.Mem))
 	}
 	w := workload(b)
 	figureSweep(b, cfgs, exp.Figure5, func(res *Results) (string, float64) {
 		last := machine.Figure5Configs[len(machine.Figure5Configs)-1]
-		s := res.Get(exp.KeyOf(w.Bench.Name, exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, last.Issue, last.Mem)))
+		s := res.Get(exp.KeyOf(w.Bench.Name, exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, last.Issue, last.Mem)))
 		return "npc-at-8G", s.Speed()
 	})
 }
@@ -135,13 +135,13 @@ func BenchmarkFigure6(b *testing.B) {
 	var cfgs []Config
 	for _, c := range exp.Curves() {
 		for _, im := range IssueModels {
-			cfgs = append(cfgs, exp.ConfigFor(c, im.ID, 'A'))
+			cfgs = append(cfgs, exp.MustConfigFor(c, im.ID, 'A'))
 		}
 	}
 	w := workload(b)
 	figureSweep(b, cfgs, exp.Figure6, func(res *Results) (string, float64) {
 		return "redundancy-w256-enl", res.MeanRedundancy(names(w),
-			exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A'))
+			exp.MustConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A'))
 	})
 }
 
@@ -150,7 +150,7 @@ func BenchmarkFigure6(b *testing.B) {
 // run-time address checking.
 func BenchmarkAblationDisambiguation(b *testing.B) {
 	w := workload(b)
-	base := exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
+	base := exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
 	conservative := base
 	conservative.ConservativeMem = true
 	for i := 0; i < b.N; i++ {
@@ -173,7 +173,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 	w := workload(b)
 	for i := 0; i < b.N; i++ {
 		for _, d := range []Discipline{Dyn1, Dyn4, Dyn256} {
-			s, err := w.Run(exp.ConfigFor(exp.Curve{Disc: d, Branch: EnlargedBB}, 8, 'A'))
+			s, err := w.Run(exp.MustConfigFor(exp.Curve{Disc: d, Branch: EnlargedBB}, 8, 'A'))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -189,7 +189,7 @@ func BenchmarkAblationFillUnit(b *testing.B) {
 	w := workload(b)
 	for i := 0; i < b.N; i++ {
 		for _, bm := range []BranchMode{SingleBB, FillUnit, EnlargedBB} {
-			cfg := exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: bm}, 8, 'A')
+			cfg := exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: bm}, 8, 'A')
 			s, err := w.Run(cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -206,7 +206,7 @@ func BenchmarkAblationPredictor(b *testing.B) {
 	w := workload(b)
 	for i := 0; i < b.N; i++ {
 		for _, kind := range []machine.PredictorKind{TwoBit, GShare} {
-			cfg := exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
+			cfg := exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
 			cfg.Predictor = kind
 			s, err := w.Run(cfg)
 			if err != nil {
@@ -228,7 +228,7 @@ func BenchmarkAblationWindowDepth(b *testing.B) {
 	w := workload(b)
 	for i := 0; i < b.N; i++ {
 		for _, win := range []int{2, 8, 16, 64} {
-			cfg := exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: SingleBB}, 8, 'A')
+			cfg := exp.MustConfigFor(exp.Curve{Disc: Dyn256, Branch: SingleBB}, 8, 'A')
 			cfg.WindowOverride = win
 			s, err := w.Run(cfg)
 			if err != nil {
@@ -244,7 +244,7 @@ func BenchmarkAblationBTB(b *testing.B) {
 	w := workload(b)
 	for i := 0; i < b.N; i++ {
 		for _, entries := range []int{16, 64, 512} {
-			cfg := exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
+			cfg := exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A')
 			cfg.BTBEntries = entries
 			s, err := w.Run(cfg)
 			if err != nil {
@@ -267,7 +267,7 @@ func BenchmarkAblationEnlargement(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			s, err := w.Run(exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'))
+			s, err := w.Run(exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A'))
 			if err != nil {
 				b.Fatal(err)
 			}

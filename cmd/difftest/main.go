@@ -7,6 +7,8 @@
 //	difftest -check prog.mc [-in file]    # one program through the full matrix
 //	difftest -corpus dir                  # every *.mc in dir through the matrix
 //	difftest -reduce crash.mc [-in file]  # shrink an oracle-failing program
+//	difftest -fault 20 -seed 3000         # fault-injection sweep: seeded faults
+//	                                      # must repair invisibly or machine-check
 //
 // A sweep that finds a divergence reduces the failing program automatically
 // and prints the minimal repro, so a CI failure lands as a few statements
@@ -33,6 +35,7 @@ func main() {
 		inFile   = flag.String("in", "", "program input file (default: deterministic generated input)")
 		quick    = flag.Bool("quick", false, "use the reduced fuzzing matrix instead of the full one")
 		noshrink = flag.Bool("noshrink", false, "with -gen: report divergences without auto-reducing")
+		fault    = flag.Int("fault", 0, "fault-injection-sweep this many generated programs")
 	)
 	flag.Parse()
 
@@ -52,6 +55,8 @@ func main() {
 	}
 
 	switch {
+	case *fault > 0:
+		faultSweep(*fault, *seed)
 	case *gen > 0:
 		sweep(*gen, *seed, matrix, *noshrink)
 	case *check != "":
@@ -136,6 +141,34 @@ func sweep(n int, seed0 int64, matrix []difftest.Variant, noshrink bool) {
 		}
 		fmt.Printf("minimal repro (%d statements):\n%s\n", difftest.CountStatements(reduced), reduced)
 		os.Exit(1)
+	}
+}
+
+// faultSweep generates programs and runs each through the fault-injection
+// oracle: seeded faults must either repair invisibly (output and retired
+// work identical to an uninjected run) or surface as a typed machine check.
+func faultSweep(n int, seed0 int64) {
+	matrix := difftest.FaultMatrix()
+	for i := 0; i < n; i++ {
+		seed := seed0 + int64(i)
+		src := difftest.Generate(seed, difftest.DefaultGenOptions())
+		name := fmt.Sprintf("seed %d", seed)
+		c, err := difftest.CompileCase(name, src, difftest.GenInput(seed*2, 300), difftest.GenInput(seed*2+1, 300))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := c.FaultOracle(matrix, []uint64{uint64(seed), uint64(seed) * 0x9e3779b9, 0xdeadbeef})
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Failed() {
+			report(name, rep)
+			fmt.Printf("program:\n%s\n", src)
+			os.Exit(1)
+		}
+		if (i+1)%10 == 0 || i == n-1 {
+			fmt.Printf("%d/%d ok\n", i+1, n)
+		}
 	}
 }
 

@@ -7,13 +7,21 @@
 // Usage:
 //
 //	explore [-bench compress] [-issue 8] [-mem A]
+//	        [-workers 0] [-timeout 0] [-resume sweep.journal]
+//
+// With -resume, completed points are journaled to the named file and a
+// killed or interrupted sweep picks up where it left off. Ctrl-C stops the
+// sweep cleanly; rerunning with the same -resume file finishes it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"time"
 
 	"fgpsim/internal/bench"
 	"fgpsim/internal/enlarge"
@@ -35,15 +43,20 @@ func main() {
 		benchName = flag.String("bench", "compress", "benchmark to explore")
 		issueID   = flag.Int("issue", 8, "issue model 1..8")
 		memID     = flag.String("mem", "A", "memory configuration A..G")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-point simulation timeout (0 = none)")
+		resume    = flag.String("resume", "", "journal file: completed points persist and resume across runs")
 	)
 	flag.Parse()
-	if err := run(*benchName, *issueID, *memID); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *benchName, *issueID, *memID, *workers, *timeout, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName string, issueID int, memID string) error {
+func run(ctx context.Context, benchName string, issueID int, memID string, workers int, timeout time.Duration, resume string) error {
 	b := bench.ByName(benchName)
 	if b == nil {
 		return fmt.Errorf("unknown benchmark %q", benchName)
@@ -58,7 +71,7 @@ func run(benchName string, issueID int, memID string) error {
 		return err
 	}
 
-	var pts []point
+	var cfgs []machine.Config
 	windows := []int{1, 2, 4, 8, 16, 32, 64, 256}
 	for _, win := range windows {
 		for _, pk := range []machine.PredictorKind{machine.TwoBit, machine.GSharePredictor} {
@@ -67,20 +80,33 @@ func run(benchName string, issueID int, memID string) error {
 				cfg.WindowOverride = win
 				cfg.Predictor = pk
 				cfg.Branch = bm
-				s, err := w.Run(cfg)
-				if err != nil {
-					return err
-				}
-				pts = append(pts, point{
-					label:      fmt.Sprintf("w%-3d %-6s %s", win, predName(pk), bm),
-					cfg:        cfg,
-					speed:      s.Speed(),
-					redundancy: s.Redundancy(),
-					accuracy:   s.PredictionAccuracy(),
-					window:     s.MeanWindowBlocks(),
-				})
+				cfgs = append(cfgs, cfg)
 			}
 		}
+	}
+	res, err := exp.GridContext(ctx, []*exp.Prepared{w}, cfgs, exp.GridOptions{
+		Workers:    workers,
+		Retries:    2,
+		RunTimeout: timeout,
+		Journal:    resume,
+	})
+	if err != nil {
+		return err
+	}
+	var pts []point
+	for _, cfg := range cfgs {
+		s := res.Get(exp.KeyOf(benchName, cfg))
+		if s == nil {
+			continue
+		}
+		pts = append(pts, point{
+			label:      fmt.Sprintf("w%-3d %-6s %s", cfg.WindowOverride, predName(cfg.Predictor), cfg.Branch),
+			cfg:        cfg,
+			speed:      s.Speed(),
+			redundancy: s.Redundancy(),
+			accuracy:   s.PredictionAccuracy(),
+			window:     s.MeanWindowBlocks(),
+		})
 	}
 
 	sort.Slice(pts, func(i, j int) bool { return pts[i].speed > pts[j].speed })

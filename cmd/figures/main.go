@@ -7,12 +7,20 @@
 // Usage:
 //
 //	figures [-fig 0] [-bench all] [-grid] [-workers 0] [-quiet]
+//	        [-timeout 0] [-resume sweep.journal]
+//
+// With -resume, completed grid cells are journaled to the named file and a
+// killed or interrupted sweep resumes where it left off. Cells that keep
+// failing are quarantined and reported, and their figure entries render as
+// "-" instead of aborting the whole sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -36,6 +44,8 @@ func main() {
 		report   = flag.String("report", "", "write a markdown report (figures + claim checks) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
+		timeout  = flag.Duration("timeout", 0, "per-cell simulation timeout (0 = none)")
+		resume   = flag.String("resume", "", "journal file: completed cells persist and resume across runs")
 	)
 	flag.Parse()
 	stopProf, err := startProfiles(*cpuProf, *memProf)
@@ -43,7 +53,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *benchArg, *full, *workers, *quiet, *csvPath, *report)
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+	err = run(ctx, *fig, *benchArg, *full, *workers, *quiet, *csvPath, *report, *timeout, *resume)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -89,7 +101,8 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 	}, nil
 }
 
-func run(fig int, benchArg string, full bool, workers int, quiet bool, csvPath, reportPath string) error {
+func run(ctx context.Context, fig int, benchArg string, full bool, workers int, quiet bool, csvPath, reportPath string,
+	timeout time.Duration, resume string) error {
 	var benchmarks []*bench.Benchmark
 	if benchArg == "all" {
 		benchmarks = bench.All()
@@ -132,9 +145,26 @@ func run(fig int, benchArg string, full bool, workers int, quiet bool, csvPath, 
 			fmt.Fprintf(os.Stderr, "  %d/%d\n", done, total)
 		}
 	}
-	res, err := exp.Grid(prepared, cfgs, workers, progress)
+	res, err := exp.GridContext(ctx, prepared, cfgs, exp.GridOptions{
+		Workers:    workers,
+		Progress:   progress,
+		Retries:    2,
+		RunTimeout: timeout,
+		Journal:    resume,
+	})
+	if res != nil {
+		for _, ce := range res.Failed {
+			fmt.Fprintf(os.Stderr, "quarantined: %v\n", ce)
+		}
+	}
 	if err != nil {
-		return err
+		if len(res.Failed) > 0 && ctx.Err() == nil {
+			// Quarantined cells are reported above and render as "-" in the
+			// figures; keep going with what completed.
+			fmt.Fprintf(os.Stderr, "%d cell(s) failed; rendering partial figures\n", len(res.Failed))
+		} else {
+			return err
+		}
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "sweep finished in %s\n", time.Since(start).Round(time.Second))
@@ -221,7 +251,10 @@ func printGridSummary(res *exp.Results, names []string, cfgs []machine.Config) {
 			fmt.Printf("  best %-8s %6.2f nodes/cycle at %s\n", d.String()+":", b.v, b.cfg)
 		}
 	}
-	seqCfg := exp.ConfigFor(exp.Curve{Disc: machine.Static, Branch: machine.SingleBB}, 1, 'A')
+	seqCfg, err := exp.ConfigFor(exp.Curve{Disc: machine.Static, Branch: machine.SingleBB}, 1, 'A')
+	if err != nil {
+		return
+	}
 	if base := res.GeoMeanNPC(names, seqCfg); base == base && base > 0 {
 		if b, ok := bests[machine.Dyn256]; ok {
 			fmt.Printf("  speedup over sequential static: %.1fx\n", b.v/base)

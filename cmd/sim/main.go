@@ -8,21 +8,25 @@
 //
 //	sim -img prog.img -in0 input.txt [-in1 other.txt]
 //	    [-hintsfrom prof.json] [-usetrace prog.trc]
-//	    [-out output.bin] [-stats]
+//	    [-out output.bin] [-stats] [-timeout 30s]
+//	    [-fault-seed 1 -fault-rate 0.001] [-fault-arch]
 //	    [-cpuprofile cpu.out] [-memprofile mem.out]
 //	sim -img prog.img -in0 input.txt -functional
 //	    [-profile prof.json] [-trace prog.trc]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"fgpsim/internal/branch"
 	"fgpsim/internal/core"
+	"fgpsim/internal/faultinject"
 	"fgpsim/internal/interp"
 	"fgpsim/internal/ir"
 	"fgpsim/internal/loader"
@@ -41,6 +45,10 @@ func main() {
 		useTrace   = flag.String("usetrace", "", "timed mode: trace file for perfect prediction")
 		hintsFrom  = flag.String("hintsfrom", "", "timed mode: profile file supplying static prediction hints")
 		pipeCycles = flag.Int64("pipe", 0, "timed dynamic mode: print pipeline events for the first N cycles")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
+		faultSeed  = flag.Uint64("fault-seed", 0, "timed dynamic mode: fault-injection stream seed")
+		faultRate  = flag.Float64("fault-rate", 0, "timed dynamic mode: per-cycle fault probability (0 disables)")
+		faultArch  = flag.Bool("fault-arch", false, "include unrecoverable architectural-state faults in the injected set")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -51,7 +59,8 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(*imgPath, *in0Path, *in1Path, *outPath, *profPath, *tracePath,
-		*useTrace, *hintsFrom, *functional, *showStats, *pipeCycles)
+		*useTrace, *hintsFrom, *functional, *showStats, *pipeCycles,
+		*timeout, *faultSeed, *faultRate, *faultArch)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -104,7 +113,8 @@ func readOptional(path string) ([]byte, error) {
 	return os.ReadFile(path)
 }
 
-func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hintsFrom string, functional, showStats bool, pipeCycles int64) error {
+func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hintsFrom string, functional, showStats bool, pipeCycles int64,
+	timeout time.Duration, faultSeed uint64, faultRate float64, faultArch bool) error {
 	if imgPath == "" {
 		return fmt.Errorf("-img is required")
 	}
@@ -155,7 +165,20 @@ func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hint
 		if pipeCycles > 0 {
 			pipe = &core.PipeLog{MaxCycles: pipeCycles}
 		}
-		res, err := timedRun(img, in0, in1, useTrace, hintsFrom, pipe)
+		var inj *faultinject.Injector
+		if faultRate > 0 {
+			opts := faultinject.Options{Seed: faultSeed, Rate: faultRate}
+			if faultArch {
+				opts.Kinds = append(faultinject.DefaultKinds(), faultinject.ArchBit)
+			}
+			inj = faultinject.New(opts)
+		}
+		res, err := timedRun(img, in0, in1, useTrace, hintsFrom, pipe, timeout, inj)
+		if inj != nil {
+			for _, ev := range inj.Events() {
+				fmt.Fprintf(os.Stderr, "fault: %s\n", ev)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -175,7 +198,8 @@ func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hint
 	return err
 }
 
-func timedRun(img *loader.Image, in0, in1 []byte, useTrace, hintsFrom string, pipe *core.PipeLog) (*core.RunResult, error) {
+func timedRun(img *loader.Image, in0, in1 []byte, useTrace, hintsFrom string, pipe *core.PipeLog,
+	timeout time.Duration, inj *faultinject.Injector) (*core.RunResult, error) {
 	var trace []ir.BlockID
 	if useTrace != "" {
 		data, err := os.ReadFile(useTrace)
@@ -191,7 +215,17 @@ func timedRun(img *loader.Image, in0, in1 []byte, useTrace, hintsFrom string, pi
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(img, in0, in1, trace, hints, core.Limits{Pipe: pipe})
+	lim := core.Limits{Pipe: pipe}
+	if inj != nil {
+		lim.Fault = inj.Hook()
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return core.RunContext(ctx, img, in0, in1, trace, hints, lim)
 }
 
 func decodeHints(path string) (map[ir.BlockID]bool, error) {

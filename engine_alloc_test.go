@@ -21,8 +21,8 @@ func TestEngineAllocRegression(t *testing.T) {
 		cfg   Config
 		bound float64 // max allocations per simulated cycle
 	}{
-		{"Dyn4Single", exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A'), 0.5},
-		{"Dyn256Enlarged", exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A'), 1.0},
+		{"Dyn4Single", exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A'), 0.5},
+		{"Dyn256Enlarged", exp.MustConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A'), 1.0},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			// Warm the per-workload image cache so the measured runs see

@@ -31,12 +31,12 @@ var engineConfigs = []struct {
 	Name string
 	Cfg  func() Config
 }{
-	{"Dyn4Single", func() Config { return exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A') }},
-	{"Dyn4Enlarged", func() Config { return exp.ConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A') }},
-	{"Dyn256Single", func() Config { return exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: SingleBB}, 8, 'A') }},
-	{"Dyn256Enlarged", func() Config { return exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A') }},
-	{"Dyn256Cached", func() Config { return exp.ConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'G') }},
-	{"Static", func() Config { return exp.ConfigFor(exp.Curve{Disc: Static, Branch: SingleBB}, 8, 'A') }},
+	{"Dyn4Single", func() Config { return exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: SingleBB}, 8, 'A') }},
+	{"Dyn4Enlarged", func() Config { return exp.MustConfigFor(exp.Curve{Disc: Dyn4, Branch: EnlargedBB}, 8, 'A') }},
+	{"Dyn256Single", func() Config { return exp.MustConfigFor(exp.Curve{Disc: Dyn256, Branch: SingleBB}, 8, 'A') }},
+	{"Dyn256Enlarged", func() Config { return exp.MustConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'A') }},
+	{"Dyn256Cached", func() Config { return exp.MustConfigFor(exp.Curve{Disc: Dyn256, Branch: EnlargedBB}, 8, 'G') }},
+	{"Static", func() Config { return exp.MustConfigFor(exp.Curve{Disc: Static, Branch: SingleBB}, 8, 'A') }},
 }
 
 // benchEngineRun times complete simulated runs of one configuration.

@@ -1,0 +1,44 @@
+package branch
+
+import "fmt"
+
+// Perturbable is implemented by predictors whose physical state a fault
+// injector can flip bits in. Perturbations only ever change predictions —
+// never architectural results — so the mispredict recovery machinery
+// repairs any damage; Perturb returns a description of what was flipped
+// (empty if the predictor had no state to perturb).
+type Perturbable interface {
+	Perturb(r uint64) string
+}
+
+// Perturb flips predictor state chosen by r: either a counter bit of a
+// direct-mapped entry or — when the entry is valid — its tag (an eviction).
+func (b *BTB) Perturb(r uint64) string {
+	s := int(r % uint64(b.size))
+	if r&(1<<16) != 0 && b.tags[s] != 0 {
+		b.tags[s] = 0
+		return fmt.Sprintf("evict BTB entry %d", s)
+	}
+	bit := uint((r >> 17) & 1)
+	b.ctr[s] ^= 1 << bit
+	return fmt.Sprintf("flip counter bit %d of BTB entry %d", bit, s)
+}
+
+// Perturb flips either a global history bit or a counter bit chosen by r.
+func (g *GShare) Perturb(r uint64) string {
+	if r&(1<<16) != 0 {
+		bit := uint32(r) % uint32(g.bits)
+		g.history ^= 1 << bit
+		return fmt.Sprintf("flip gshare history bit %d", bit)
+	}
+	i := uint32(r>>17) & g.mask
+	bit := uint((r >> 50) & 1)
+	g.ctr[i] ^= 1 << bit
+	return fmt.Sprintf("flip counter bit %d of gshare entry %d", bit, i)
+}
+
+var (
+	_ Perturbable = (*BTB)(nil)
+	_ Perturbable = TwoBitAdapter{} // promoted through the embedded *BTB
+	_ Perturbable = (*GShare)(nil)
+)

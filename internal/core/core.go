@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fgpsim/internal/ir"
@@ -32,6 +33,13 @@ type Limits struct {
 	// Pipe, when non-nil, records pipeline events of the first cycles
 	// (dynamic engines only).
 	Pipe *PipeLog
+
+	// Fault, when non-nil, is invoked once per cycle of a dynamic run at
+	// the engine's consistent point (after retirement, before issue) with a
+	// port into the live machine state; fault injectors perturb the run
+	// through it (faultport.go). Ignored by the static engine, whose
+	// in-order transactional execution has no speculative state to corrupt.
+	Fault FaultHook
 }
 
 func (l Limits) maxCycles() int64 {
@@ -46,19 +54,33 @@ func (l Limits) maxCycles() int64 {
 // is ignored otherwise); hints supplies static branch prediction hints
 // keyed by original block IDs, used to seed the 2-bit predictor.
 func Run(img *loader.Image, in0, in1 []byte, trace []ir.BlockID, hints map[ir.BlockID]bool, lim Limits) (*RunResult, error) {
+	return RunContext(context.Background(), img, in0, in1, trace, hints, lim)
+}
+
+// RunContext is Run with cancellation: the simulation aborts with a
+// *CanceledError (wrapping ctx.Err()) soon after the context is canceled or
+// its deadline passes. The check is amortized over cycles, so cancellation
+// latency is a few thousand simulated cycles, not wall-clock immediate.
+func RunContext(ctx context.Context, img *loader.Image, in0, in1 []byte, trace []ir.BlockID, hints map[ir.BlockID]bool, lim Limits) (*RunResult, error) {
 	if img.Cfg.Branch == machine.Perfect && trace == nil {
 		return nil, fmt.Errorf("core: perfect prediction requires a recorded trace")
 	}
 	if img.Cfg.Disc == machine.Static {
 		e := newStaticEngine(img, in0, in1, lim)
+		e.ctx = ctx
 		return e.run()
 	}
 	e := newDynamicEngine(img, in0, in1, trace, lim)
+	e.ctx = ctx
 	if hints != nil {
 		e.SetHints(hints)
 	}
 	return e.run()
 }
+
+// ctxCheckPeriod is how many cycles pass between context-cancellation
+// checks; a power of two so the test is a mask.
+const ctxCheckPeriod = 4096
 
 // env is the architectural state shared by both engines: flat memory, the
 // input streams, and collected output. Its address clamping is identical to
@@ -129,11 +151,4 @@ func sizeOf(op ir.Op) int64 {
 		return 1
 	}
 	return 4
-}
-
-// ErrCycleLimit is returned when a simulation exceeds its cycle budget.
-type ErrCycleLimit struct{ Cycles int64 }
-
-func (e *ErrCycleLimit) Error() string {
-	return fmt.Sprintf("core: cycle limit exceeded (%d cycles)", e.Cycles)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fgpsim/internal/branch"
 	"fgpsim/internal/ir"
 	"fgpsim/internal/loader"
@@ -54,6 +56,7 @@ type dnode struct {
 	memSize  int64
 	squashed bool
 	handled  bool // offender (mispredict/fault) already processed
+	injected bool // executed early by an injected disambiguation violation
 
 	// consumers to wake when this node's value becomes available.
 	consumers []*dnode
@@ -191,6 +194,16 @@ type dynamicEngine struct {
 	// pipe records pipeline events when attached via Limits.
 	pipe *PipeLog
 
+	// ctx, when non-nil, cancels the run (checked every ctxCheckPeriod
+	// cycles). runErr poisons the run: the loop returns it instead of
+	// continuing (bad image node, unrecoverable injected fault).
+	ctx    context.Context
+	runErr error
+
+	// injLive counts in-flight injected loads (ForceMemViolation) so the
+	// retire path only pays for verification when one is outstanding.
+	injLive int
+
 	finished bool
 }
 
@@ -270,13 +283,32 @@ func (e *dynamicEngine) seqFloor() int64 {
 func (e *dynamicEngine) run() (*RunResult, error) {
 	maxCycles := e.lim.maxCycles()
 	for !e.finished {
+		if e.runErr != nil {
+			return nil, e.runErr
+		}
 		if e.cycle > maxCycles {
-			return nil, &ErrCycleLimit{e.cycle}
+			return nil, &CycleLimitError{e.cycle}
+		}
+		if e.cycle&(ctxCheckPeriod-1) == 0 && e.ctx != nil {
+			if cerr := e.ctx.Err(); cerr != nil {
+				return nil, &CanceledError{Cycle: e.cycle, Err: cerr}
+			}
 		}
 		e.completions()
 		e.retire()
+		if e.runErr != nil {
+			return nil, e.runErr
+		}
 		if e.finished {
 			break
+		}
+		// The fault hook fires at the engine's consistent point: retirement
+		// is done, nothing has issued or executed yet this cycle.
+		if e.lim.Fault != nil {
+			e.lim.Fault(e)
+			if e.runErr != nil {
+				return nil, e.runErr
+			}
 		}
 		// Issue before schedule: a node issued this cycle whose operands
 		// are already available may be scheduled in the same cycle, so a
@@ -355,6 +387,9 @@ func (e *dynamicEngine) retire() {
 		ab := e.active.front()
 		if !ab.complete() || e.hasPendingFault(ab) {
 			return
+		}
+		if e.injLive > 0 && !e.verifyInjected(ab) {
+			return // replayed from checkpoint, or the run is poisoned
 		}
 		// Drain the block's write-buffer entries to memory in order.
 		for _, snd := range ab.stores {
@@ -582,7 +617,11 @@ func (e *dynamicEngine) execute(nd *dnode) {
 
 	switch {
 	case op.IsPure():
-		nd.val = ir.EvalALU(op, a, b, nd.n.Imm)
+		v, aerr := ir.EvalALU(op, a, b, nd.n.Imm)
+		if aerr != nil && e.runErr == nil {
+			e.runErr = aerr
+		}
+		nd.val = v
 
 	case op.IsLoad():
 		nd.memSize = sizeOf(op)

@@ -351,6 +351,27 @@ func (e *dynamicEngine) processFault(nd *dnode) {
 	if pos < 0 {
 		return
 	}
+	// A fault-injected early load in this block may have fed the assert a
+	// stale value, making the divergence an artifact of the injection rather
+	// than of the enlargement. Replay the block from its checkpoint instead
+	// of taking the fault exit: a genuine divergence fires again on the
+	// clean replay, so the retired block sequence stays identical to an
+	// uninjected run's.
+	if e.injLive > 0 {
+		suspect, unsafe := false, false
+		for _, x := range ab.nodes {
+			if x.injected {
+				suspect = true
+			}
+			if x.n.Op == ir.Sys && (x.state == nsExecuting || x.state == nsDone) {
+				unsafe = true
+			}
+		}
+		if suspect && !unsafe {
+			e.injectedSquash(pos, ab)
+			return
+		}
+	}
 	e.restoreRename(&ab.renSnap)
 	e.rs = ab.rsSnap
 	e.cursor = ab.cursorSnap
@@ -393,6 +414,13 @@ func (e *dynamicEngine) squashFrom(from int) {
 		e.liveNodes -= int64(len(ab.nodes))
 		for _, nd := range ab.nodes {
 			nd.squashed = true
+			if nd.injected {
+				// An injected load squashed with its block needs no
+				// retirement verification: the replay is the repair.
+				nd.injected = false
+				e.injLive--
+				e.st.RepairedFaults++
+			}
 			if nd.state == nsExecuting || nd.state == nsDone {
 				e.st.DiscardedNodes++
 			}

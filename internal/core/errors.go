@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// This file is the engines' error taxonomy. Every abnormal outcome of a
+// simulation surfaces as one of these typed errors — never a panic — so
+// sweep harnesses can classify failures, quarantine the offending cell, and
+// keep going (see DESIGN.md, "Robustness & fault injection").
+
+// CycleLimitError is returned when a simulation exceeds its cycle budget.
+type CycleLimitError struct{ Cycles int64 }
+
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("core: cycle limit exceeded (%d cycles)", e.Cycles)
+}
+
+// ErrCycleLimit is the taxonomy's original name for CycleLimitError, kept as
+// an alias so existing type assertions continue to hold.
+type ErrCycleLimit = CycleLimitError
+
+// ImageError reports a malformed executable image discovered while running
+// it — a schedule without a terminator, an unknown terminator opcode, a
+// non-pure node in an ALU slot. These are loader-contract violations, not
+// program bugs, so they name the block for diagnosis.
+type ImageError struct {
+	Block  int
+	Reason string
+}
+
+func (e *ImageError) Error() string {
+	return fmt.Sprintf("core: bad image at block %d: %s", e.Block, e.Reason)
+}
+
+// CanceledError is returned when the run's context is canceled or its
+// deadline expires mid-simulation. Unwrap exposes the context's error so
+// errors.Is(err, context.Canceled/DeadlineExceeded) works.
+type CanceledError struct {
+	Cycle int64
+	Err   error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: run canceled at cycle %d: %v", e.Cycle, e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }
+
+// UnrecoverableFaultError is the simulated machine check: an injected fault
+// corrupted state that no checkpoint covers (committed architectural state,
+// or a replay that would re-execute an already-performed system call). The
+// run's output is not trustworthy and is withheld; the invariant is that
+// such runs fail loudly with this type instead of returning wrong bytes.
+type UnrecoverableFaultError struct {
+	Kind   string // injection kind that caused it
+	Cycle  int64
+	Reason string
+}
+
+func (e *UnrecoverableFaultError) Error() string {
+	return fmt.Sprintf("core: unrecoverable injected fault (%s) at cycle %d: %s", e.Kind, e.Cycle, e.Reason)
+}

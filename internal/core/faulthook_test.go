@@ -1,0 +1,157 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// faultFixture runs one random program clean on a dynamic configuration and
+// returns the image plus the reference result.
+func faultFixture(t *testing.T, seed int64) (*loader.Image, *core.RunResult) {
+	t.Helper()
+	p := randomProgram(seed)
+	img, err := loader.Load(p, mkCfg(machine.Dyn256, 8, 'D'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, clean
+}
+
+// checkInvisible runs the image with the given hook and asserts the repair
+// contract: identical output and retired work, and every injection repaired.
+func checkInvisible(t *testing.T, what string, img *loader.Image, clean *core.RunResult, hook core.FaultHook) {
+	t.Helper()
+	res, err := core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: 1 << 24, Fault: hook})
+	if err != nil {
+		t.Fatalf("%s: injected run failed: %v", what, err)
+	}
+	if !bytes.Equal(res.Output, clean.Output) {
+		t.Errorf("%s: injected run output differs from clean run", what)
+	}
+	if res.Stats.RetiredNodes != clean.Stats.RetiredNodes {
+		t.Errorf("%s: retired %d nodes, clean run retired %d", what, res.Stats.RetiredNodes, clean.Stats.RetiredNodes)
+	}
+	if res.Stats.RetiredBlocks != clean.Stats.RetiredBlocks {
+		t.Errorf("%s: retired %d blocks, clean run retired %d", what, res.Stats.RetiredBlocks, clean.Stats.RetiredBlocks)
+	}
+	if res.Stats.InjectedFaults == 0 {
+		t.Errorf("%s: hook never managed to inject", what)
+	}
+	if res.Stats.RepairedFaults != res.Stats.InjectedFaults {
+		t.Errorf("%s: %d injected but %d repaired", what, res.Stats.InjectedFaults, res.Stats.RepairedFaults)
+	}
+}
+
+// TestInjectSquashIsInvisible: squashing a window position and refetching
+// from its checkpoint must not change the architectural results.
+func TestInjectSquashIsInvisible(t *testing.T) {
+	img, clean := faultFixture(t, 11)
+	done := 0
+	checkInvisible(t, "inject-squash", img, clean, func(p core.FaultPort) {
+		if done >= 3 || p.Cycle() < 10 || p.ActiveBlocks() == 0 {
+			return
+		}
+		if _, ok := p.InjectSquash(int(p.Cycle()) % p.ActiveBlocks()); ok {
+			done++
+		}
+	})
+}
+
+// TestCorruptValueIsRepaired: flipping a completed result bit and recovering
+// the block from its checkpoint must not change the architectural results.
+func TestCorruptValueIsRepaired(t *testing.T) {
+	img, clean := faultFixture(t, 12)
+	done := 0
+	checkInvisible(t, "corrupt-value", img, clean, func(p core.FaultPort) {
+		if done >= 3 || p.Cycle() < 10 || p.ActiveBlocks() == 0 {
+			return
+		}
+		if _, ok := p.CorruptValue(0, uint64(p.Cycle())*0x9e3779b97f4a7c15); ok {
+			done++
+		}
+	})
+}
+
+// TestForcedMemViolationIsRepaired: forcing disambiguation-blocked loads to
+// execute early must be caught at retirement — either verified benign or
+// replayed — leaving the architectural results unchanged.
+func TestForcedMemViolationIsRepaired(t *testing.T) {
+	img, clean := faultFixture(t, 13)
+	done := 0
+	checkInvisible(t, "mem-violation", img, clean, func(p core.FaultPort) {
+		if done >= 5 {
+			return
+		}
+		if _, ok := p.ForceMemViolation(uint64(p.Cycle()) * 0x2545f4914f6cdd1d); ok {
+			done++
+		}
+	})
+}
+
+// TestPredictorPerturbationIsInvisible: flipped predictor state only ever
+// causes extra (repaired) mispredicts, never architectural divergence.
+func TestPredictorPerturbationIsInvisible(t *testing.T) {
+	img, clean := faultFixture(t, 14)
+	done := 0
+	checkInvisible(t, "predictor-bit", img, clean, func(p core.FaultPort) {
+		if done >= 10 || p.Cycle()%37 != 0 {
+			return
+		}
+		if p.PerturbPredictor(uint64(p.Cycle())*0x9e3779b97f4a7c15) != "" {
+			done++
+		}
+	})
+}
+
+// TestCorruptArchMachineChecks: corrupting committed architectural state is
+// beyond checkpoint repair and must poison the run with a typed
+// *core.UnrecoverableFaultError — never a panic or silent corruption.
+func TestCorruptArchMachineChecks(t *testing.T) {
+	img, _ := faultFixture(t, 15)
+	done := false
+	_, err := core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: 1 << 24, Fault: func(p core.FaultPort) {
+		if !done && p.Cycle() == 16 {
+			done = p.CorruptArch(0xfeedface) != ""
+		}
+	}})
+	if !done {
+		t.Fatal("CorruptArch never injected")
+	}
+	var mc *core.UnrecoverableFaultError
+	if !errors.As(err, &mc) {
+		t.Fatalf("err = %v, want *core.UnrecoverableFaultError", err)
+	}
+	if mc.Kind != "arch-state" {
+		t.Errorf("machine check kind = %q, want arch-state", mc.Kind)
+	}
+}
+
+// TestStaticEngineIgnoresFaultHook: the static in-order engine has no
+// speculative state to perturb; the hook must simply never fire.
+func TestStaticEngineIgnoresFaultHook(t *testing.T) {
+	p := randomProgram(16)
+	img, err := loader.Load(p, mkCfg(machine.Static, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	res, err := core.Run(img, nil, nil, nil, nil, core.Limits{Fault: func(core.FaultPort) { called = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fault hook fired on the static engine")
+	}
+	if res.Stats.InjectedFaults != 0 {
+		t.Error("static run counted injected faults")
+	}
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// infiniteLoop builds a program that never halts: a single empty block
+// jumping to itself.
+func infiniteLoop() *ir.Program {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	p.AddBlock(0, &ir.Block{Term: ir.Node{Op: ir.Jmp, Target: 0}, Fall: ir.NoBlock})
+	f.Entry = 0
+	return p
+}
+
+// TestCycleLimitErrorReportsCycleCount: both engines return a typed
+// *core.CycleLimitError whose cycle count sits just past the configured
+// budget — callers can see how far the runaway run got.
+func TestCycleLimitErrorReportsCycleCount(t *testing.T) {
+	p := infiniteLoop()
+	const budget = 10_000
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn4, machine.Dyn256} {
+		img, err := loader.Load(p, mkCfg(d, 8, 'A'), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: budget})
+		var cl *core.CycleLimitError
+		if !errors.As(err, &cl) {
+			t.Fatalf("%s: err = %v, want *core.CycleLimitError", d, err)
+		}
+		// The engines check the budget at block/cycle granularity, so the
+		// reported count overshoots by at most one block's latency.
+		if cl.Cycles <= budget || cl.Cycles > budget+64 {
+			t.Errorf("%s: limit error reports %d cycles, want just past %d", d, cl.Cycles, budget)
+		}
+	}
+}
+
+// TestDefaultCycleCapIsGenerous: Limits{} (MaxCycles 0) must not abort a
+// normal terminating run — the default cap exists only to stop runaways.
+func TestDefaultCycleCapIsGenerous(t *testing.T) {
+	p := randomProgram(7)
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn256} {
+		img, err := loader.Load(p, mkCfg(d, 8, 'A'), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatalf("%s: default limits aborted a terminating run: %v", d, err)
+		}
+		if res.Stats.Cycles == 0 {
+			t.Errorf("%s: run completed with zero cycles", d)
+		}
+	}
+}
+
+// TestPipeLogBoundIsIndependentOfCycleLimit: the pipeline log stops at its
+// own MaxCycles regardless of how far the simulation runs, so a tight log
+// window on a long (here: runaway) run stays small.
+func TestPipeLogBoundIsIndependentOfCycleLimit(t *testing.T) {
+	img, err := loader.Load(infiniteLoop(), mkCfg(machine.Dyn4, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &core.PipeLog{MaxCycles: 50}
+	_, err = core.Run(img, nil, nil, nil, nil, core.Limits{MaxCycles: 10_000, Pipe: pipe})
+	var cl *core.CycleLimitError
+	if !errors.As(err, &cl) {
+		t.Fatalf("err = %v, want *core.CycleLimitError", err)
+	}
+	if len(pipe.Events) == 0 {
+		t.Fatal("pipe log recorded nothing")
+	}
+	for _, ev := range pipe.Events {
+		if ev.Cycle >= 50 {
+			t.Fatalf("pipe log recorded event at cycle %d, past its own bound of 50", ev.Cycle)
+		}
+	}
+}
+
+// TestRunContextCancellation: a canceled context aborts both engines with a
+// typed *core.CanceledError wrapping the cause.
+func TestRunContextCancellation(t *testing.T) {
+	p := infiniteLoop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, d := range []machine.Discipline{machine.Static, machine.Dyn256} {
+		img, err := loader.Load(p, mkCfg(d, 8, 'A'), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = core.RunContext(ctx, img, nil, nil, nil, nil, core.Limits{})
+		var ce *core.CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: err = %v, want *core.CanceledError", d, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: CanceledError does not wrap context.Canceled: %v", d, err)
+		}
+	}
+}

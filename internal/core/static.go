@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fgpsim/internal/ir"
 	"fgpsim/internal/loader"
 	"fgpsim/internal/mem"
@@ -22,6 +24,7 @@ type staticEngine struct {
 	ms  *mem.System
 	st  *stats.Run
 	lim Limits
+	ctx context.Context
 
 	regs       [ir.NumRegs]int32
 	regReadyAt [ir.NumRegs]int64
@@ -58,6 +61,7 @@ func (e *staticEngine) run() (*RunResult, error) {
 	cycle := int64(0) // first issue cycle of the current block
 	maxCycles := e.lim.maxCycles()
 
+	blocks := int64(0)
 	for {
 		next, nextCycle, halted, err := e.execBlock(cur, cycle)
 		if err != nil {
@@ -68,7 +72,12 @@ func (e *staticEngine) run() (*RunResult, error) {
 			break
 		}
 		if nextCycle > maxCycles {
-			return nil, &ErrCycleLimit{nextCycle}
+			return nil, &CycleLimitError{nextCycle}
+		}
+		if blocks++; blocks&(ctxCheckPeriod-1) == 0 && e.ctx != nil {
+			if cerr := e.ctx.Err(); cerr != nil {
+				return nil, &CanceledError{Cycle: nextCycle, Err: cerr}
+			}
 		}
 		cur, cycle = next, nextCycle
 	}
@@ -153,7 +162,11 @@ func (e *staticEngine) execBlock(id ir.BlockID, t0 int64) (next ir.BlockID, next
 				if n.B != ir.NoReg {
 					bb = e.regs[n.B]
 				}
-				e.setReg(n.Dst, ir.EvalALU(n.Op, a, bb, n.Imm), issue+1)
+				v, aerr := ir.EvalALU(n.Op, a, bb, n.Imm)
+				if aerr != nil {
+					return 0, 0, false, aerr
+				}
+				e.setReg(n.Dst, v, issue+1)
 
 			case n.Op.IsLoad():
 				addr := e.env.clampAddr(e.regs[n.A]+int32(n.Imm), sizeOf(n.Op))
@@ -190,8 +203,9 @@ func (e *staticEngine) execBlock(id ir.BlockID, t0 int64) (next ir.BlockID, next
 			}
 		}
 	}
-	// Unreachable: every schedule ends with the terminator.
-	panic("core: static schedule missing terminator")
+	// A well-formed schedule ends with the terminator; reaching here means
+	// the image's multinodewords are corrupt.
+	return 0, 0, false, &ImageError{Block: int(id), Reason: "static schedule missing terminator"}
 }
 
 func (e *staticEngine) nodeAt(b *ir.Block, idx int) *ir.Node {
@@ -244,5 +258,5 @@ func (e *staticEngine) terminate(b *ir.Block, n *ir.Node, issue int64, executed 
 	case ir.Halt:
 		return 0, nextCycle, true, nil
 	}
-	panic("core: bad terminator")
+	return 0, 0, false, &ImageError{Block: int(b.ID), Reason: "bad terminator " + n.Op.String()}
 }

@@ -1,0 +1,188 @@
+package difftest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/faultinject"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// FaultMatrix returns the variants the fault-injection oracle sweeps: one
+// representative of every dynamic engine family (faults are injected into
+// the dynamic engine's window and predictor, so the static machine is out
+// of scope).
+func FaultMatrix() []Variant {
+	cfg := func(d machine.Discipline, issue int, mem byte, bm machine.BranchMode, pk machine.PredictorKind) machine.Config {
+		im, _ := machine.IssueModelByID(issue)
+		mc, _ := machine.MemConfigByID(mem)
+		return machine.Config{Disc: d, Issue: im, Mem: mc, Branch: bm, Predictor: pk}
+	}
+	return []Variant{
+		{cfg(machine.Dyn4, 8, 'D', machine.EnlargedBB, machine.TwoBit), false},
+		{cfg(machine.Dyn256, 8, 'A', machine.SingleBB, machine.GSharePredictor), false},
+		{cfg(machine.Dyn256, 8, 'A', machine.Perfect, machine.TwoBit), false},
+		{cfg(machine.Dyn256, 8, 'D', machine.FillUnit, machine.TwoBit), false},
+	}
+}
+
+// faultRate and faultCap bound one injected run: enough injections to
+// exercise every repair path, few enough that the replay cost stays small.
+const (
+	faultRate = 0.02
+	faultCap  = 25
+)
+
+// FaultOracle runs the case under seeded fault injection and checks the
+// repair contract for every variant × seed:
+//
+//   - with the repairable fault set (DefaultKinds), the run either finishes
+//     with output byte-identical to the interpreter — and, for every
+//     non-fill-unit configuration, identical retired node/block counts to
+//     an uninjected run (the repairs are architecturally invisible) — or
+//     fails with a typed *core.UnrecoverableFaultError (a machine check:
+//     an injected violation reached irreversible state). Panics and
+//     silently wrong output are always violations.
+//   - with ArchBit (corrupting committed memory), the run must surface a
+//     typed *core.UnrecoverableFaultError, never wrong output.
+//   - injection accounting holds: the engine counted exactly the events the
+//     injector applied, and repairs never exceed injections (CheckStats).
+//
+// The fill unit is exempt from the retired-count comparison because a
+// fault-induced refetch can resolve through a different run-time-enlarged
+// block; its output must still match.
+func (c *Case) FaultOracle(vs []Variant, seeds []uint64) (*Report, error) {
+	rep := &Report{Case: c}
+	for _, v := range vs {
+		if !v.Cfg.Disc.Dynamic() {
+			return nil, fmt.Errorf("difftest: %s: fault oracle needs a dynamic discipline, got %s", c.Name, v)
+		}
+		img, err := loader.Load(c.Prog, v.Cfg, c.EF)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: %s: load %s: %w", c.Name, v, err)
+		}
+		var hints map[ir.BlockID]bool
+		if v.Hinted {
+			hints = c.Hints
+		}
+		clean, err := core.Run(img, c.In, c.In1, c.Ref.Trace, hints, core.Limits{MaxCycles: maxCycles})
+		if err != nil {
+			return nil, fmt.Errorf("difftest: %s: clean run %s: %w", c.Name, v, err)
+		}
+
+		for _, seed := range seeds {
+			inj := faultinject.New(faultinject.Options{Seed: seed, Rate: faultRate, MaxInjections: faultCap})
+			res, err := runHooked(img, c, hints, inj)
+			c.checkFaultRun(rep, v, seed, inj, res, err, clean, false)
+
+			// ArchBit: one corruption of committed memory must machine-check.
+			arch := faultinject.New(faultinject.Options{
+				Seed: seed, Rate: 1, Kinds: []faultinject.Kind{faultinject.ArchBit}, MaxInjections: 1,
+			})
+			res, err = runHooked(img, c, hints, arch)
+			c.checkFaultRun(rep, v, seed, arch, res, err, clean, true)
+		}
+	}
+	c.checkEFCorruption(rep)
+	return rep, nil
+}
+
+// runHooked runs one injected simulation, converting a panic into an error
+// so the oracle can report it as a contract violation instead of dying.
+func runHooked(img *loader.Image, c *Case, hints map[ir.BlockID]bool, inj *faultinject.Injector) (res *core.RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return core.Run(img, c.In, c.In1, c.Ref.Trace, hints, core.Limits{MaxCycles: maxCycles, Fault: inj.Hook()})
+}
+
+// checkFaultRun applies the repair contract to one injected run.
+func (c *Case) checkFaultRun(rep *Report, v Variant, seed uint64, inj *faultinject.Injector,
+	res *core.RunResult, err error, clean *core.RunResult, archOnly bool) {
+	tag := func(format string, args ...any) string {
+		return fmt.Sprintf("seed %d (%d injected): %s", seed, inj.Injected(), fmt.Sprintf(format, args...))
+	}
+	if err != nil {
+		var mc *core.UnrecoverableFaultError
+		if !errors.As(err, &mc) {
+			rep.add(v, "fault", "%s", tag("run died untyped: %v", err))
+		}
+		return
+	}
+	if archOnly && inj.Injected() > 0 {
+		rep.add(v, "fault", "%s", tag("arch-state corruption did not machine-check"))
+		return
+	}
+	if !bytes.Equal(res.Output, c.Ref.Output) {
+		rep.add(v, "fault", "%s", tag("repaired run output differs from reference"))
+	}
+	if v.Cfg.Branch != machine.FillUnit {
+		if res.Stats.RetiredNodes != clean.Stats.RetiredNodes {
+			rep.add(v, "fault", "%s", tag("retired %d nodes, uninjected run retired %d",
+				res.Stats.RetiredNodes, clean.Stats.RetiredNodes))
+		}
+		if res.Stats.RetiredBlocks != clean.Stats.RetiredBlocks {
+			rep.add(v, "fault", "%s", tag("retired %d blocks, uninjected run retired %d",
+				res.Stats.RetiredBlocks, clean.Stats.RetiredBlocks))
+		}
+	}
+	if res.Stats.InjectedFaults != int64(inj.Injected()) {
+		rep.add(v, "fault", "%s", tag("engine counted %d injections, injector applied %d",
+			res.Stats.InjectedFaults, inj.Injected()))
+	}
+	for _, msg := range CheckStats(res.Stats) {
+		rep.add(v, "stats", "%s", tag("%s", msg))
+	}
+}
+
+// checkEFCorruption corrupts the case's enlargement file and checks the
+// degradation contract: the translating loader either rejects the file with
+// a typed *loader.BadEnlargementError — in which case the single-block
+// image still runs to the correct output — or the corruption happened to be
+// structurally harmless, in which case the enlarged run itself must still
+// produce the correct output. Panics and wrong output are violations.
+func (c *Case) checkEFCorruption(rep *Report) {
+	v := Variant{}
+	v.Cfg = machine.Config{Disc: machine.Dyn4, Branch: machine.EnlargedBB}
+	v.Cfg.Issue, _ = machine.IssueModelByID(8)
+	v.Cfg.Mem, _ = machine.MemConfigByID('A')
+	for seed := uint64(1); seed <= 3; seed++ {
+		bad := faultinject.CorruptEnlargement(c.EF, seed)
+		img, err := func() (img *loader.Image, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					img, err = nil, fmt.Errorf("panic: %v", r)
+				}
+			}()
+			return loader.Load(c.Prog, v.Cfg, bad)
+		}()
+		if err != nil {
+			var be *loader.BadEnlargementError
+			if !errors.As(err, &be) {
+				rep.add(v, "fault", "ef seed %d: corrupt enlargement rejected untyped: %v", seed, err)
+				continue
+			}
+			fallback := v.Cfg
+			fallback.Branch = machine.SingleBB
+			img, err = loader.Load(c.Prog, fallback, bad)
+			if err != nil {
+				rep.add(v, "fault", "ef seed %d: degraded single-block load failed: %v", seed, err)
+				continue
+			}
+		}
+		res, err := core.Run(img, c.In, c.In1, c.Ref.Trace, nil, core.Limits{MaxCycles: maxCycles})
+		if err != nil {
+			rep.add(v, "fault", "ef seed %d: degraded run failed: %v", seed, err)
+			continue
+		}
+		if !bytes.Equal(res.Output, c.Ref.Output) {
+			rep.add(v, "fault", "ef seed %d: degraded run output differs from reference", seed)
+		}
+	}
+}

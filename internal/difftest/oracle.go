@@ -287,6 +287,9 @@ func CheckStats(s *stats.Run) []string {
 	if red := s.Redundancy(); red < 0 || red > 1 {
 		addf("redundancy %v out of [0,1]", red)
 	}
+	if s.RepairedFaults > s.InjectedFaults {
+		addf("repaired faults %d > injected faults %d", s.RepairedFaults, s.InjectedFaults)
+	}
 	var blocks int64
 	for _, n := range s.BlockSizes {
 		blocks += n

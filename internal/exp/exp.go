@@ -8,12 +8,12 @@ package exp
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"fgpsim/internal/bench"
 	"fgpsim/internal/branch"
@@ -21,6 +21,7 @@ import (
 	"fgpsim/internal/enlarge"
 	"fgpsim/internal/interp"
 	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
 	"fgpsim/internal/machine"
 	"fgpsim/internal/stats"
 )
@@ -75,11 +76,37 @@ func Prepare(b *bench.Benchmark, eo enlarge.Options) (*Prepared, error) {
 
 // Run simulates one machine configuration and verifies its output.
 func (p *Prepared) Run(cfg machine.Config) (*stats.Run, error) {
+	return p.RunContext(context.Background(), cfg, core.Limits{})
+}
+
+// RunContext is Run with cancellation and explicit engine limits (cycle
+// caps, fault-injection hooks, pipeline logs). A structurally corrupt
+// enlargement file does not fail the run: the configuration degrades to
+// its single-basic-block equivalent and the degradation is counted in the
+// returned stats (EFDegradations).
+func (p *Prepared) RunContext(ctx context.Context, cfg machine.Config, lim core.Limits) (*stats.Run, error) {
 	img, err := p.image(cfg)
+	degradations := int64(0)
 	if err != nil {
-		return nil, fmt.Errorf("exp: %s %s: %w", p.Bench.Name, cfg, err)
+		var be *loader.BadEnlargementError
+		if !errors.As(err, &be) {
+			return nil, fmt.Errorf("exp: %s %s: %w", p.Bench.Name, cfg, err)
+		}
+		degradations = 1
+		if cfg.Branch == machine.EnlargedBB {
+			fallback := cfg
+			fallback.Branch = machine.SingleBB
+			img, err = p.image(fallback)
+		} else {
+			// Perfect mode needs an enlargement file argument; an empty one
+			// keeps the oracle predictor and drops only the enlargement.
+			img, err = loader.Load(p.Prog, cfg, &enlarge.File{})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s %s (degraded): %w", p.Bench.Name, cfg, err)
+		}
 	}
-	res, err := core.Run(img, p.In0, p.In1, p.Trace, p.Hints, core.Limits{})
+	res, err := core.RunContext(ctx, img, p.In0, p.In1, p.Trace, p.Hints, lim)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s %s: %w", p.Bench.Name, cfg, err)
 	}
@@ -89,6 +116,7 @@ func (p *Prepared) Run(cfg machine.Config) (*stats.Run, error) {
 	// Normalize work to the original program's node count so that
 	// configurations with different code (enlarged blocks) compare by time.
 	res.Stats.Work = p.RefNodes
+	res.Stats.EFDegradations = degradations
 	return res.Stats, nil
 }
 
@@ -121,6 +149,10 @@ func KeyOf(benchName string, cfg machine.Config) Key {
 type Results struct {
 	mu   sync.Mutex
 	Runs map[Key]*stats.Run
+
+	// Failed holds the quarantined cells of a hardened sweep (GridContext):
+	// cells whose runs kept failing after retries, or panicked.
+	Failed []*CellError
 }
 
 // Get returns the run for a key, or nil.
@@ -136,64 +168,21 @@ func (r *Results) put(k Key, s *stats.Run) {
 	r.Runs[k] = s
 }
 
+func (r *Results) fail(ce *CellError) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Failed = append(r.Failed, ce)
+}
+
 // Grid runs the given configurations for every prepared benchmark, in
 // parallel across workers goroutines (0 = GOMAXPROCS). progress, when
-// non-nil, is called after each completed run.
+// non-nil, is called after each completed run. Any cell failure fails the
+// whole sweep with the lowest-index cell's error; GridContext offers the
+// hardened semantics (retries, journaling, quarantined failures).
 func Grid(prepared []*Prepared, cfgs []machine.Config, workers int, progress func(done, total int)) (*Results, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type job struct {
-		p   *Prepared
-		cfg machine.Config
-		idx int
-	}
-	jobs := make([]job, 0, len(prepared)*len(cfgs))
-	for _, p := range prepared {
-		for _, cfg := range cfgs {
-			jobs = append(jobs, job{p, cfg, len(jobs)})
-		}
-	}
-	res := &Results{Runs: make(map[Key]*stats.Run, len(jobs))}
-	var (
-		wg       sync.WaitGroup
-		done     atomic.Int64
-		errMu    sync.Mutex
-		first    error
-		firstIdx int
-	)
-	ch := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				s, err := j.p.Run(j.cfg)
-				if err != nil {
-					// Keep the error of the lowest job index, so a sweep
-					// with several failures reports the same one no matter
-					// how the workers interleave.
-					errMu.Lock()
-					if first == nil || j.idx < firstIdx {
-						first, firstIdx = err, j.idx
-					}
-					errMu.Unlock()
-					continue
-				}
-				res.put(KeyOf(j.p.Bench.Name, j.cfg), s)
-				if progress != nil {
-					progress(int(done.Add(1)), len(jobs))
-				}
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	if first != nil {
-		return nil, first
+	res, err := GridContext(context.Background(), prepared, cfgs, GridOptions{Workers: workers, Progress: progress})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

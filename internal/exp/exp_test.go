@@ -106,14 +106,14 @@ func TestFigureConfigsCoverFigures(t *testing.T) {
 	// Figure 3 needs every curve at every issue model with memory A.
 	for _, c := range exp.Curves() {
 		for _, im := range machine.IssueModels {
-			if !seen[exp.ConfigFor(c, im.ID, 'A').String()] {
+			if !seen[exp.MustConfigFor(c, im.ID, 'A').String()] {
 				t.Errorf("figure 3 config missing: %s at issue %d", c, im.ID)
 			}
 		}
 	}
 	// Figure 5's composites.
 	for _, fc := range machine.Figure5Configs {
-		cfg := exp.ConfigFor(exp.Curve{Disc: machine.Dyn4, Branch: machine.EnlargedBB}, fc.Issue, fc.Mem)
+		cfg := exp.MustConfigFor(exp.Curve{Disc: machine.Dyn4, Branch: machine.EnlargedBB}, fc.Issue, fc.Mem)
 		if !seen[cfg.String()] {
 			t.Errorf("figure 5 config missing: %s", cfg)
 		}

@@ -9,17 +9,28 @@ import (
 	"fgpsim/internal/stats"
 )
 
-// ConfigFor builds the configuration for one curve at one grid point.
-func ConfigFor(c Curve, issueID int, memID byte) machine.Config {
+// ConfigFor builds the configuration for one curve at one grid point,
+// rejecting issue-model or memory-config IDs outside the machine tables.
+func ConfigFor(c Curve, issueID int, memID byte) (machine.Config, error) {
 	im, ok := machine.IssueModelByID(issueID)
 	if !ok {
-		panic(fmt.Sprintf("exp: bad issue model %d", issueID))
+		return machine.Config{}, fmt.Errorf("exp: unknown issue model %d", issueID)
 	}
 	mc, ok := machine.MemConfigByID(memID)
 	if !ok {
-		panic(fmt.Sprintf("exp: bad memory config %c", memID))
+		return machine.Config{}, fmt.Errorf("exp: unknown memory config %c", memID)
 	}
-	return machine.Config{Disc: c.Disc, Issue: im, Mem: mc, Branch: c.Branch}
+	return machine.Config{Disc: c.Disc, Issue: im, Mem: mc, Branch: c.Branch}, nil
+}
+
+// MustConfigFor is ConfigFor for callers whose IDs come straight from the
+// machine tables (the figure renderers, tests); it panics on unknown IDs.
+func MustConfigFor(c Curve, issueID int, memID byte) machine.Config {
+	cfg, err := ConfigFor(c, issueID, memID)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
 }
 
 // FigureConfigs returns the minimal configuration set that regenerates all
@@ -37,18 +48,18 @@ func FigureConfigs() []machine.Config {
 	// Figures 3 and 6: every issue model at memory config A, ten curves.
 	for _, c := range Curves() {
 		for _, im := range machine.IssueModels {
-			add(ConfigFor(c, im.ID, 'A'))
+			add(MustConfigFor(c, im.ID, 'A'))
 		}
 	}
 	// Figure 4: every memory config at issue model 8, ten curves.
 	for _, c := range Curves() {
 		for _, mc := range machine.MemConfigs {
-			add(ConfigFor(c, 8, mc.ID))
+			add(MustConfigFor(c, 8, mc.ID))
 		}
 	}
 	// Figure 5: the 14 composite configurations, dyn-w4 with enlargement.
 	for _, fc := range machine.Figure5Configs {
-		add(ConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, fc.Issue, fc.Mem))
+		add(MustConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, fc.Issue, fc.Mem))
 	}
 	// Figure 2 uses dyn-w4 at 8/A single vs enlarged, already included.
 	return out
@@ -75,7 +86,7 @@ func Figure3(r *Results, benches []string) string {
 	for _, im := range machine.IssueModels {
 		fmt.Fprintf(&sb, "%-6s", im)
 		for _, c := range curves {
-			v := r.GeoMeanNPC(benches, ConfigFor(c, im.ID, 'A'))
+			v := r.GeoMeanNPC(benches, MustConfigFor(c, im.ID, 'A'))
 			fmt.Fprintf(&sb, " %16s", fmtCell(v))
 		}
 		sb.WriteByte('\n')
@@ -98,7 +109,7 @@ func Figure4(r *Results, benches []string) string {
 		mc, _ := machine.MemConfigByID(id)
 		fmt.Fprintf(&sb, "%-6s", mc)
 		for _, c := range curves {
-			v := r.GeoMeanNPC(benches, ConfigFor(c, 8, id))
+			v := r.GeoMeanNPC(benches, MustConfigFor(c, 8, id))
 			fmt.Fprintf(&sb, " %16s", fmtCell(v))
 		}
 		sb.WriteByte('\n')
@@ -117,7 +128,7 @@ func Figure5(r *Results, benches []string) string {
 	}
 	sb.WriteByte('\n')
 	for _, fc := range machine.Figure5Configs {
-		cfg := ConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, fc.Issue, fc.Mem)
+		cfg := MustConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, fc.Issue, fc.Mem)
 		fmt.Fprintf(&sb, "%d%c    ", fc.Issue, fc.Mem)
 		for _, b := range benches {
 			s := r.Get(KeyOf(b, cfg))
@@ -147,7 +158,7 @@ func Figure6(r *Results, benches []string) string {
 	for _, im := range machine.IssueModels {
 		fmt.Fprintf(&sb, "%-6s", im)
 		for _, c := range curves {
-			v := r.MeanRedundancy(benches, ConfigFor(c, im.ID, 'A'))
+			v := r.MeanRedundancy(benches, MustConfigFor(c, im.ID, 'A'))
 			fmt.Fprintf(&sb, " %16s", fmtCell(v))
 		}
 		sb.WriteByte('\n')
@@ -164,7 +175,7 @@ func WindowConfigs() []machine.Config {
 	for _, w := range WindowSweep {
 		for _, bm := range []machine.BranchMode{machine.SingleBB, machine.EnlargedBB} {
 			for _, pk := range []machine.PredictorKind{machine.TwoBit, machine.GSharePredictor} {
-				cfg := ConfigFor(Curve{machine.Dyn256, bm}, 8, 'A')
+				cfg := MustConfigFor(Curve{machine.Dyn256, bm}, 8, 'A')
 				cfg.WindowOverride = w
 				cfg.Predictor = pk
 				out = append(out, cfg)
@@ -186,7 +197,7 @@ func FigureWindow(r *Results, benches []string) string {
 		fmt.Fprintf(&sb, "%-8d", w)
 		for _, bm := range []machine.BranchMode{machine.SingleBB, machine.EnlargedBB} {
 			for _, pk := range []machine.PredictorKind{machine.TwoBit, machine.GSharePredictor} {
-				cfg := ConfigFor(Curve{machine.Dyn256, bm}, 8, 'A')
+				cfg := MustConfigFor(Curve{machine.Dyn256, bm}, 8, 'A')
 				cfg.WindowOverride = w
 				cfg.Predictor = pk
 				fmt.Fprintf(&sb, " %14s", fmtCell(r.GeoMeanNPC(benches, cfg)))
@@ -206,7 +217,7 @@ const Figure2Bins = 5
 func Figure2(r *Results, benches []string) string {
 	agg := func(bm machine.BranchMode) *stats.Run {
 		total := stats.New()
-		cfg := ConfigFor(Curve{machine.Dyn4, bm}, 8, 'A')
+		cfg := MustConfigFor(Curve{machine.Dyn4, bm}, 8, 'A')
 		for _, b := range benches {
 			if s := r.Get(KeyOf(b, cfg)); s != nil {
 				total.Merge(s)

@@ -34,11 +34,11 @@ func fakeResults(benches []string) *Results {
 func TestGeoMeanAndRedundancyExtraction(t *testing.T) {
 	benches := []string{"a", "b"}
 	r := fakeResults(benches)
-	cfg := ConfigFor(Curve{machine.Dyn4, machine.SingleBB}, 4, 'A')
+	cfg := MustConfigFor(Curve{machine.Dyn4, machine.SingleBB}, 4, 'A')
 	if got := r.GeoMeanNPC(benches, cfg); got != 4.0 {
 		t.Errorf("GeoMeanNPC = %v, want 4.0", got)
 	}
-	cfgE := ConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, 4, 'A')
+	cfgE := MustConfigFor(Curve{machine.Dyn4, machine.EnlargedBB}, 4, 'A')
 	if got := r.GeoMeanNPC(benches, cfgE); got != 4.1 {
 		t.Errorf("GeoMeanNPC enlarged = %v, want 4.1", got)
 	}

@@ -1,0 +1,301 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/stats"
+)
+
+// CellError is the final, typed failure of one grid cell after retries.
+// The cell is quarantined: the sweep keeps running, the cell's key simply
+// has no entry in Results.Runs, and the error is recorded in
+// Results.Failed.
+type CellError struct {
+	Key      Key
+	Attempts int
+	Panicked bool
+	Err      error
+}
+
+func (e *CellError) Error() string {
+	verb := "failed"
+	if e.Panicked {
+		verb = "panicked"
+	}
+	return fmt.Sprintf("exp: cell %s %s/%s issue %d mem %c %s after %d attempt(s): %v",
+		e.Key.Bench, e.Key.Disc, e.Key.Branch, e.Key.Issue, e.Key.Mem, verb, e.Attempts, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// GridOptions harden a sweep beyond the plain Grid entry point.
+type GridOptions struct {
+	// Workers is the worker-goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after each completed cell
+	// (including cells restored from the journal).
+	Progress func(done, total int)
+	// Retries is how many additional attempts a failed cell gets. Panics
+	// and canceled/timed-out runs are never retried (they are
+	// deterministic); other failures back off exponentially between
+	// attempts.
+	Retries int
+	// BackoffBase is the first retry delay, doubling per attempt up to one
+	// second (default 10ms).
+	BackoffBase time.Duration
+	// RunTimeout bounds each cell's simulation wall-clock (0 = none); an
+	// expired cell fails with a *core.CanceledError inside its CellError.
+	RunTimeout time.Duration
+	// Journal, when non-empty, names a JSON-lines file of completed cells.
+	// Cells found there are restored instead of re-run (resuming a killed
+	// sweep), and every newly completed cell is appended, so the journal
+	// is crash-consistent: a torn final line is ignored on the next read.
+	Journal string
+	// Limits is passed to every run (cycle caps, fault hooks, pipe logs).
+	Limits core.Limits
+}
+
+// GridContext runs the configurations for every prepared benchmark under
+// the given options. Failed cells are quarantined, not fatal: the returned
+// Results holds every successful cell plus the per-cell errors, and the
+// returned error is the failed cell with the lowest job index (identical
+// across runs regardless of worker interleaving or retries) — or nil when
+// every cell succeeded. Cancellation of ctx stops dispatch and aborts
+// in-flight runs.
+func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Config, opts GridOptions) (*Results, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		p   *Prepared
+		cfg machine.Config
+		key Key
+		idx int
+	}
+	jobs := make([]job, 0, len(prepared)*len(cfgs))
+	for _, p := range prepared {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, job{p, cfg, KeyOf(p.Bench.Name, cfg), len(jobs)})
+		}
+	}
+	res := &Results{Runs: make(map[Key]*stats.Run, len(jobs))}
+	total := len(jobs)
+	var done atomic.Int64
+
+	pending := jobs
+	var jw *journalWriter
+	if opts.Journal != "" {
+		prior, err := readJournal(opts.Journal)
+		if err != nil {
+			return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
+		}
+		pending = jobs[:0]
+		for _, j := range jobs {
+			if s, ok := prior[j.key]; ok {
+				res.Runs[j.key] = s
+				if opts.Progress != nil {
+					opts.Progress(int(done.Add(1)), total)
+				}
+				continue
+			}
+			pending = append(pending, j)
+		}
+		jw, err = openJournalWriter(opts.Journal)
+		if err != nil {
+			return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
+		}
+		defer jw.close()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		first    *CellError
+		firstIdx int
+	)
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				s, cerr := runCellRetrying(ctx, j.p, j.cfg, j.key, opts)
+				if cerr != nil {
+					res.fail(cerr)
+					// Keep the error of the lowest job index, so a sweep
+					// with several failures reports the same one no matter
+					// how the workers interleave or which attempts retried.
+					errMu.Lock()
+					if first == nil || j.idx < firstIdx {
+						first, firstIdx = cerr, j.idx
+					}
+					errMu.Unlock()
+					continue
+				}
+				if s == nil {
+					continue // sweep torn down mid-run: not a cell verdict
+				}
+				res.put(j.key, s)
+				if jw != nil {
+					jw.append(j.key, s)
+				}
+				if opts.Progress != nil {
+					opts.Progress(int(done.Add(1)), total)
+				}
+			}
+		}()
+	}
+dispatch:
+	for _, j := range pending {
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if first != nil {
+		return res, first
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return res, fmt.Errorf("exp: sweep canceled: %w", cerr)
+	}
+	return res, nil
+}
+
+// runCellRetrying runs one cell with the retry policy. It returns
+// (nil, nil) only when the surrounding sweep is being canceled.
+func runCellRetrying(ctx context.Context, p *Prepared, cfg machine.Config, key Key, opts GridOptions) (*stats.Run, *CellError) {
+	backoff := opts.BackoffBase
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	const maxBackoff = time.Second
+	attempts := 0
+	for {
+		attempts++
+		s, panicked, err := runCellOnce(ctx, p, cfg, opts)
+		if err == nil {
+			return s, nil
+		}
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		var canceled *core.CanceledError
+		retryable := !panicked && !errors.As(err, &canceled)
+		if !retryable || attempts > opts.Retries {
+			return nil, &CellError{Key: key, Attempts: attempts, Panicked: panicked, Err: err}
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, nil
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// runCellOnce runs one simulation attempt, converting a panic anywhere in
+// the engine stack into an error so a corrupt cell cannot take down the
+// whole sweep process.
+func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, opts GridOptions) (s *stats.Run, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, panicked = nil, true
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.RunTimeout)
+		defer cancel()
+	}
+	s, err = p.RunContext(ctx, cfg, opts.Limits)
+	return s, false, err
+}
+
+// ---------- journal ----------
+
+// journalEntry is one completed cell, serialized as a single JSON line.
+type journalEntry struct {
+	Key   Key        `json:"key"`
+	Stats *stats.Run `json:"stats"`
+}
+
+// readJournal loads completed cells from a journal file. A missing file is
+// an empty journal; malformed lines (the torn tail of a killed sweep) are
+// skipped.
+func readJournal(path string) (map[Key]*stats.Run, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m := make(map[Key]*stats.Run)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if json.Unmarshal(line, &e) != nil || e.Stats == nil {
+			continue
+		}
+		if e.Stats.BlockSizes == nil {
+			e.Stats.BlockSizes = make(map[int]int64)
+		}
+		m[e.Key] = e.Stats
+	}
+	return m, sc.Err()
+}
+
+type journalWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournalWriter(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f}, nil
+}
+
+// append writes one completed cell as a whole line; the single write keeps
+// concurrent appenders from interleaving and a crash from tearing more
+// than the final line.
+func (w *journalWriter) append(k Key, s *stats.Run) {
+	data, err := json.Marshal(journalEntry{Key: k, Stats: s})
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	w.f.Write(data)
+	w.mu.Unlock()
+}
+
+func (w *journalWriter) close() { w.f.Close() }

@@ -55,10 +55,10 @@ type ClaimResult struct {
 // measured figure data. NaN cells (missing runs) fail their claims.
 func (r *Results) CheckClaims(benches []string) []ClaimResult {
 	at := func(c Curve, issue int, mem byte) float64 {
-		return r.GeoMeanNPC(benches, ConfigFor(c, issue, mem))
+		return r.GeoMeanNPC(benches, MustConfigFor(c, issue, mem))
 	}
 	red := func(c Curve, issue int, mem byte) float64 {
-		return r.MeanRedundancy(benches, ConfigFor(c, issue, mem))
+		return r.MeanRedundancy(benches, MustConfigFor(c, issue, mem))
 	}
 	var out []ClaimResult
 	add := func(claim string, holds bool, detail string) {

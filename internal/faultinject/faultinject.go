@@ -1,0 +1,209 @@
+// Package faultinject drives deterministic, seed-based fault injection
+// into the dynamic engine through core.Limits.Fault. Every decision — when
+// to inject, which fault class, which site — derives from a splitmix64
+// stream over the seed, so a failing (seed, rate, program) triple replays
+// exactly.
+//
+// The injectable classes split by repair story:
+//
+//   - PredictorBit, WindowSquash, ValueBit, MemViolation are repairable:
+//     the engine's checkpoint machinery absorbs them and the run's output
+//     (and retired work) stays byte-identical to an uninjected run — the
+//     invariant difftest's fault mode checks.
+//   - ArchBit flips committed architectural memory, which is beyond the
+//     checkpoints' reach; the engine surfaces it as a typed
+//     *core.UnrecoverableFaultError (a machine check), never as silently
+//     wrong output. It is opt-in (excluded from DefaultKinds).
+package faultinject
+
+import (
+	"fmt"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/ir"
+)
+
+// Kind is a class of injectable fault.
+type Kind uint8
+
+const (
+	// PredictorBit flips a bit of branch predictor state.
+	PredictorBit Kind = iota
+	// WindowSquash squashes a window position and refetches it from its
+	// checkpoint (a detected transient fault).
+	WindowSquash
+	// ValueBit flips a bit of a completed ALU result, then recovers the
+	// block from its checkpoint (ECC-detected flip).
+	ValueBit
+	// MemViolation forces a disambiguation-blocked load to execute early.
+	MemViolation
+	// ArchBit flips a bit of committed architectural memory (always
+	// unrecoverable; opt-in).
+	ArchBit
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	PredictorBit: "predictor-bit",
+	WindowSquash: "window-squash",
+	ValueBit:     "value-bit",
+	MemViolation: "mem-violation",
+	ArchBit:      "arch-bit",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// DefaultKinds is the repairable fault set: everything except ArchBit.
+func DefaultKinds() []Kind {
+	return []Kind{PredictorBit, WindowSquash, ValueBit, MemViolation}
+}
+
+// Options configure an injector.
+type Options struct {
+	// Seed selects the deterministic injection stream.
+	Seed uint64
+	// Rate is the per-cycle injection probability in [0, 1]. Zero disables
+	// injection entirely (Hook returns nil).
+	Rate float64
+	// Kinds are the fault classes to draw from; nil means DefaultKinds.
+	Kinds []Kind
+	// MaxInjections caps attempted injections (0 = no cap).
+	MaxInjections int
+}
+
+// Event records one applied injection.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	Desc  string
+}
+
+func (ev Event) String() string {
+	return fmt.Sprintf("cycle %d: %s: %s", ev.Cycle, ev.Kind, ev.Desc)
+}
+
+// Injector owns one injection stream. It is not safe for concurrent use;
+// build one per run.
+type Injector struct {
+	opts   Options
+	kinds  []Kind
+	rng    uint64
+	tried  int
+	events []Event
+}
+
+// New builds an injector for one run.
+func New(opts Options) *Injector {
+	kinds := opts.Kinds
+	if kinds == nil {
+		kinds = DefaultKinds()
+	}
+	return &Injector{opts: opts, kinds: kinds, rng: opts.Seed}
+}
+
+// splitmix64 is the standard 64-bit mix; tiny, fast, and plenty for
+// choosing injection sites.
+func (inj *Injector) next() uint64 {
+	inj.rng += 0x9e3779b97f4a7c15
+	z := inj.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hook returns the per-cycle hook to install as core.Limits.Fault, or nil
+// when the configured rate disables injection.
+func (inj *Injector) Hook() core.FaultHook {
+	if inj.opts.Rate <= 0 || len(inj.kinds) == 0 {
+		return nil
+	}
+	threshold := uint64(inj.opts.Rate * float64(1<<53))
+	return func(p core.FaultPort) {
+		if inj.opts.MaxInjections > 0 && inj.tried >= inj.opts.MaxInjections {
+			return
+		}
+		if inj.next()&(1<<53-1) >= threshold {
+			return
+		}
+		inj.tried++
+		kind := inj.kinds[inj.next()%uint64(len(inj.kinds))]
+		r := inj.next()
+		var desc string
+		var ok bool
+		switch kind {
+		case PredictorBit:
+			desc = p.PerturbPredictor(r)
+			ok = desc != ""
+		case WindowSquash:
+			pos := 0
+			if n := p.ActiveBlocks(); n > 0 {
+				pos = int(r>>32) % n
+			}
+			desc, ok = p.InjectSquash(pos)
+		case ValueBit:
+			pos := 0
+			if n := p.ActiveBlocks(); n > 0 {
+				pos = int(r>>32) % n
+			}
+			desc, ok = p.CorruptValue(pos, r)
+		case MemViolation:
+			desc, ok = p.ForceMemViolation(r)
+		case ArchBit:
+			desc = p.CorruptArch(r)
+			ok = desc != ""
+		}
+		if ok {
+			inj.events = append(inj.events, Event{Cycle: p.Cycle(), Kind: kind, Desc: desc})
+		}
+	}
+}
+
+// Events returns the injections applied so far, in cycle order.
+func (inj *Injector) Events() []Event { return inj.events }
+
+// Injected is the number of applied injections.
+func (inj *Injector) Injected() int { return len(inj.events) }
+
+// CorruptEnlargement returns a structurally corrupted copy of an
+// enlargement file, for exercising the loader's validation and the
+// degraded single-block fallback. The corruption mode derives from the
+// seed: a wild block ID, a chain whose entry disagrees with its first
+// step, or a step that does not follow its predecessor's arcs.
+func CorruptEnlargement(ef *enlarge.File, seed uint64) *enlarge.File {
+	out := &enlarge.File{Options: ef.Options, Chains: make([]enlarge.Chain, len(ef.Chains))}
+	for i, c := range ef.Chains {
+		steps := make([]enlarge.Step, len(c.Steps))
+		copy(steps, c.Steps)
+		out.Chains[i] = enlarge.Chain{Entry: c.Entry, Steps: steps}
+	}
+	if len(out.Chains) == 0 {
+		// Nothing to corrupt structurally: fabricate a chain with a wild ID.
+		out.Chains = []enlarge.Chain{{
+			Entry: ir.BlockID(1 << 30),
+			Steps: []enlarge.Step{{Block: ir.BlockID(1 << 30)}, {Block: ir.BlockID(1<<30 + 1)}},
+		}}
+		return out
+	}
+	inj := &Injector{rng: seed}
+	c := &out.Chains[inj.next()%uint64(len(out.Chains))]
+	switch inj.next() % 3 {
+	case 0:
+		s := inj.next() % uint64(len(c.Steps))
+		c.Steps[s].Block = ir.BlockID(1<<30) + ir.BlockID(inj.next()%1024)
+	case 1:
+		c.Entry = c.Entry + 1
+	default:
+		// Reverse the steps: the walk no longer follows terminator arcs.
+		for i, j := 0, len(c.Steps)-1; i < j; i, j = i+1, j-1 {
+			c.Steps[i], c.Steps[j] = c.Steps[j], c.Steps[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package faultinject_test
+
+import (
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/faultinject"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// chattyProgram builds a small looping program with stores, loads, and
+// branches — enough machine activity for every injection class to find a
+// site.
+func chattyProgram() *ir.Program {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	head := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Const, Dst: 5, Imm: 4096},
+			{Op: ir.Add, Dst: 6, A: 6, B: 7},
+			{Op: ir.St, A: 5, B: 6},
+			{Op: ir.Ld, Dst: 8, A: 5},
+			{Op: ir.Const, Dst: 9, Imm: 1},
+			{Op: ir.Add, Dst: 7, A: 7, B: 9},
+			{Op: ir.Const, Dst: 10, Imm: 400},
+			{Op: ir.Lt, Dst: 11, A: 7, B: 10},
+		},
+		Term: ir.Node{Op: ir.Br, A: 11, Target: 0},
+	}
+	tail := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Sys, Dst: 12, A: 8, B: ir.NoReg, Imm: ir.SysPutc},
+		},
+		Term: ir.Node{Op: ir.Halt},
+		Fall: ir.NoBlock,
+	}
+	p.AddBlock(0, head)
+	p.AddBlock(0, tail)
+	head.Fall = tail.ID
+	f.Entry = head.ID
+	return p
+}
+
+func run(t *testing.T, inj *faultinject.Injector) *core.RunResult {
+	t.Helper()
+	im, _ := machine.IssueModelByID(8)
+	mc, _ := machine.MemConfigByID('D')
+	cfg := machine.Config{Disc: machine.Dyn256, Issue: im, Mem: mc, Branch: machine.SingleBB}
+	img, err := loader.Load(chattyProgram(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lim core.Limits
+	lim.MaxCycles = 1 << 24
+	if inj != nil {
+		lim.Fault = inj.Hook()
+	}
+	res, err := core.Run(img, nil, nil, nil, nil, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestInjectorDeterministic: the same (seed, rate, program) triple replays
+// the exact same event stream — the property failure reports rely on.
+func TestInjectorDeterministic(t *testing.T) {
+	opts := faultinject.Options{Seed: 42, Rate: 0.05, MaxInjections: 50}
+	a := faultinject.New(opts)
+	b := faultinject.New(opts)
+	run(t, a)
+	run(t, b)
+	if a.Injected() == 0 {
+		t.Fatal("seed 42 injected nothing; pick a busier rate")
+	}
+	ea, eb := a.Events(), b.Events()
+	if len(ea) != len(eb) {
+		t.Fatalf("replay applied %d events, first run %d", len(eb), len(ea))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs: %s vs %s", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestInjectorSeedsDiverge: distinct seeds drive distinct streams.
+func TestInjectorSeedsDiverge(t *testing.T) {
+	a := faultinject.New(faultinject.Options{Seed: 1, Rate: 0.05, MaxInjections: 50})
+	b := faultinject.New(faultinject.Options{Seed: 2, Rate: 0.05, MaxInjections: 50})
+	run(t, a)
+	run(t, b)
+	if a.Injected() == 0 || b.Injected() == 0 {
+		t.Fatal("injectors applied nothing")
+	}
+	same := len(a.Events()) == len(b.Events())
+	if same {
+		for i := range a.Events() {
+			if a.Events()[i] != b.Events()[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical event streams")
+	}
+}
+
+// TestZeroRateDisables: Rate 0 yields a nil hook and a clean run.
+func TestZeroRateDisables(t *testing.T) {
+	inj := faultinject.New(faultinject.Options{Seed: 7})
+	if inj.Hook() != nil {
+		t.Fatal("zero rate should return a nil hook")
+	}
+	res := run(t, nil)
+	if res.Stats.InjectedFaults != 0 {
+		t.Error("uninjected run counted injected faults")
+	}
+}
+
+// TestMaxInjectionsCaps: the injector stops attempting past its cap.
+func TestMaxInjectionsCaps(t *testing.T) {
+	inj := faultinject.New(faultinject.Options{Seed: 9, Rate: 1, MaxInjections: 4})
+	run(t, inj)
+	if got := inj.Injected(); got > 4 {
+		t.Errorf("injected %d events past a cap of 4", got)
+	}
+}
+
+// TestEngineCountsMatchInjector: the engine's stats agree with the
+// injector's own event log.
+func TestEngineCountsMatchInjector(t *testing.T) {
+	inj := faultinject.New(faultinject.Options{Seed: 42, Rate: 0.05, MaxInjections: 50})
+	res := run(t, inj)
+	if res.Stats.InjectedFaults != int64(inj.Injected()) {
+		t.Errorf("engine counted %d injections, injector applied %d", res.Stats.InjectedFaults, inj.Injected())
+	}
+	if res.Stats.RepairedFaults != res.Stats.InjectedFaults {
+		t.Errorf("%d injected but %d repaired", res.Stats.InjectedFaults, res.Stats.RepairedFaults)
+	}
+}
+
+// TestCorruptEnlargementAlwaysChanges: every seed yields a file that
+// differs from the original (the corruption is never a silent no-op on a
+// multi-step chain file) and never aliases the original's backing arrays.
+func TestCorruptEnlargementAlwaysChanges(t *testing.T) {
+	ef := &enlarge.File{Chains: []enlarge.Chain{
+		{Entry: 3, Steps: []enlarge.Step{{Block: 3}, {Block: 4, TakenToNext: true}, {Block: 5}}},
+		{Entry: 7, Steps: []enlarge.Step{{Block: 7}, {Block: 8}}},
+	}}
+	orig := *ef
+	origSteps := [][]enlarge.Step{append([]enlarge.Step(nil), ef.Chains[0].Steps...), append([]enlarge.Step(nil), ef.Chains[1].Steps...)}
+	for seed := uint64(0); seed < 32; seed++ {
+		bad := faultinject.CorruptEnlargement(ef, seed)
+		differs := false
+		for i := range bad.Chains {
+			if bad.Chains[i].Entry != ef.Chains[i].Entry {
+				differs = true
+			}
+			for j := range bad.Chains[i].Steps {
+				if bad.Chains[i].Steps[j] != ef.Chains[i].Steps[j] {
+					differs = true
+				}
+			}
+		}
+		if !differs {
+			t.Errorf("seed %d: corruption was a no-op", seed)
+		}
+	}
+	// The original must be untouched.
+	if ef.Chains[0].Entry != orig.Chains[0].Entry || ef.Chains[1].Entry != orig.Chains[1].Entry {
+		t.Fatal("CorruptEnlargement mutated the original file's entries")
+	}
+	for i, steps := range origSteps {
+		for j := range steps {
+			if ef.Chains[i].Steps[j] != steps[j] {
+				t.Fatal("CorruptEnlargement mutated the original file's steps")
+			}
+		}
+	}
+}

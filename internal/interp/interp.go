@@ -236,7 +236,11 @@ func (m *Machine) ExecBlock(id ir.BlockID) (next ir.BlockID, halted bool, err er
 			if n.B != ir.NoReg {
 				bb = m.regs[n.B]
 			}
-			m.setReg(n.Dst, ir.EvalALU(n.Op, a, bb, n.Imm), tx)
+			v, aerr := ir.EvalALU(n.Op, a, bb, n.Imm)
+			if aerr != nil {
+				return 0, false, aerr
+			}
+			m.setReg(n.Dst, v, tx)
 		case n.Op == ir.Ld:
 			m.setReg(n.Dst, m.load(m.regs[n.A]+int32(n.Imm), 4), tx)
 		case n.Op == ir.LdB:

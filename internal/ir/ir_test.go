@@ -78,31 +78,47 @@ func TestEvalALUBasics(t *testing.T) {
 		{Ge, -1, 0, 0, 0},
 	}
 	for _, c := range cases {
-		if got := EvalALU(c.op, c.a, c.b, c.imm); got != c.want {
+		if got := mustEval(c.op, c.a, c.b, c.imm); got != c.want {
 			t.Errorf("EvalALU(%s, %d, %d, %d) = %d, want %d", c.op, c.a, c.b, c.imm, got, c.want)
 		}
 	}
 }
 
-func TestEvalALUPanicsOnImpureOp(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("EvalALU(Ld, ...) should panic")
+// mustEval evaluates a known-pure op; the error path has its own test.
+func mustEval(op Op, a, b int32, imm int64) int32 {
+	v, err := EvalALU(op, a, b, imm)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestEvalALUErrorsOnImpureOp(t *testing.T) {
+	for _, op := range []Op{Nop, Ld, LdB, St, StB, Br, Jmp, Call, Ret, Halt, Assert, Sys} {
+		v, err := EvalALU(op, 7, 9, 3)
+		if err == nil {
+			t.Fatalf("EvalALU(%s, ...) = %d, want *BadOpError", op, v)
 		}
-	}()
-	EvalALU(Ld, 0, 0, 0)
+		be, ok := err.(*BadOpError)
+		if !ok {
+			t.Fatalf("EvalALU(%s, ...) error is %T, want *BadOpError", op, err)
+		}
+		if be.Op != op {
+			t.Errorf("BadOpError.Op = %s, want %s", be.Op, op)
+		}
+	}
 }
 
 // Property: comparison operators return only 0 or 1, and each pairs
 // correctly with its negation.
 func TestComparisonProperties(t *testing.T) {
 	f := func(a, b int32) bool {
-		eq := EvalALU(Eq, a, b, 0)
-		ne := EvalALU(Ne, a, b, 0)
-		lt := EvalALU(Lt, a, b, 0)
-		ge := EvalALU(Ge, a, b, 0)
-		le := EvalALU(Le, a, b, 0)
-		gt := EvalALU(Gt, a, b, 0)
+		eq := mustEval(Eq, a, b, 0)
+		ne := mustEval(Ne, a, b, 0)
+		lt := mustEval(Lt, a, b, 0)
+		ge := mustEval(Ge, a, b, 0)
+		le := mustEval(Le, a, b, 0)
+		gt := mustEval(Gt, a, b, 0)
 		for _, v := range []int32{eq, ne, lt, ge, le, gt} {
 			if v != 0 && v != 1 {
 				return false
@@ -123,7 +139,7 @@ func TestCommutativityProperty(t *testing.T) {
 			if !op.Commutes() {
 				return false
 			}
-			if EvalALU(op, a, b, 0) != EvalALU(op, b, a, 0) {
+			if mustEval(op, a, b, 0) != mustEval(op, b, a, 0) {
 				return false
 			}
 		}
@@ -138,13 +154,13 @@ func TestCommutativityProperty(t *testing.T) {
 func TestDivRemIdentity(t *testing.T) {
 	f := func(a, b int32) bool {
 		if b == 0 {
-			return EvalALU(Div, a, b, 0) == 0 && EvalALU(Rem, a, b, 0) == a
+			return mustEval(Div, a, b, 0) == 0 && mustEval(Rem, a, b, 0) == a
 		}
 		if a == math.MinInt32 && b == -1 {
 			return true // defined separately to avoid overflow
 		}
-		q := EvalALU(Div, a, b, 0)
-		r := EvalALU(Rem, a, b, 0)
+		q := mustEval(Div, a, b, 0)
+		r := mustEval(Rem, a, b, 0)
 		return q*b+r == a
 	}
 	if err := quick.Check(f, nil); err != nil {

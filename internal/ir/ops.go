@@ -114,68 +114,76 @@ func (n *Node) Uses(dst []Reg) []Reg {
 	return dst
 }
 
+// BadOpError reports an opcode handed to an evaluator that cannot execute
+// it — a corrupt or mis-slotted node in an image.
+type BadOpError struct{ Op Op }
+
+func (e *BadOpError) Error() string {
+	return "ir: EvalALU on non-pure op " + e.Op.String()
+}
+
 // EvalALU computes the value of a pure ALU node given its operand values.
 // All arithmetic is 32-bit two's complement; division by zero is defined
 // (quotient 0, remainder A) so that wrong-path speculative execution can
-// never crash the simulator. It panics on non-pure opcodes.
-func EvalALU(op Op, a, b int32, imm int64) int32 {
+// never crash the simulator. Non-pure opcodes return a *BadOpError.
+func EvalALU(op Op, a, b int32, imm int64) (int32, error) {
 	switch op {
 	case Const:
-		return int32(imm)
+		return int32(imm), nil
 	case Mov:
-		return a
+		return a, nil
 	case Add:
-		return a + b
+		return a + b, nil
 	case Sub:
-		return a - b
+		return a - b, nil
 	case Mul:
-		return a * b
+		return a * b, nil
 	case Div:
 		if b == 0 {
-			return 0
+			return 0, nil
 		}
 		if a == -1<<31 && b == -1 {
-			return a
+			return a, nil
 		}
-		return a / b
+		return a / b, nil
 	case Rem:
 		if b == 0 {
-			return a
+			return a, nil
 		}
 		if a == -1<<31 && b == -1 {
-			return 0
+			return 0, nil
 		}
-		return a % b
+		return a % b, nil
 	case And:
-		return a & b
+		return a & b, nil
 	case Or:
-		return a | b
+		return a | b, nil
 	case Xor:
-		return a ^ b
+		return a ^ b, nil
 	case Shl:
-		return a << (uint32(b) & 31)
+		return a << (uint32(b) & 31), nil
 	case Shr:
-		return a >> (uint32(b) & 31)
+		return a >> (uint32(b) & 31), nil
 	case AddI:
-		return a + int32(imm)
+		return a + int32(imm), nil
 	case Neg:
-		return -a
+		return -a, nil
 	case Not:
-		return ^a
+		return ^a, nil
 	case Eq:
-		return b2i(a == b)
+		return b2i(a == b), nil
 	case Ne:
-		return b2i(a != b)
+		return b2i(a != b), nil
 	case Lt:
-		return b2i(a < b)
+		return b2i(a < b), nil
 	case Le:
-		return b2i(a <= b)
+		return b2i(a <= b), nil
 	case Gt:
-		return b2i(a > b)
+		return b2i(a > b), nil
 	case Ge:
-		return b2i(a >= b)
+		return b2i(a >= b), nil
 	}
-	panic("ir: EvalALU on non-pure op " + op.String())
+	return 0, &BadOpError{op}
 }
 
 func b2i(b bool) int32 {

@@ -9,6 +9,7 @@
 package loader
 
 import (
+	"errors"
 	"fmt"
 
 	"fgpsim/internal/enlarge"
@@ -17,6 +18,21 @@ import (
 	"fgpsim/internal/opt"
 	"fgpsim/internal/sched"
 )
+
+// BadEnlargementError reports a structurally invalid enlargement chain —
+// a corrupt or stale enlargement file. Callers that can run without
+// enlargement should degrade to single-basic-block simulation on it.
+type BadEnlargementError struct {
+	Chain  int // index within the file; -1 for run-time (fill-unit) chains
+	Reason string
+}
+
+func (e *BadEnlargementError) Error() string {
+	if e.Chain >= 0 {
+		return fmt.Sprintf("loader: bad enlargement chain %d: %s", e.Chain, e.Reason)
+	}
+	return "loader: bad enlargement chain: " + e.Reason
+}
 
 // Image is a loaded executable: the (possibly enlarged) program plus the
 // per-block metadata the engines need.
@@ -160,8 +176,12 @@ func (img *Image) AddChain(c enlarge.Chain) (ir.BlockID, error) {
 func (img *Image) materialize(ef *enlarge.File) error {
 	p := img.Prog
 	img.ensureLiveness()
-	for _, chain := range ef.Chains {
+	for ci, chain := range ef.Chains {
 		if err := img.materializeChain(chain, img.liveness); err != nil {
+			var be *BadEnlargementError
+			if errors.As(err, &be) {
+				be.Chain = ci
+			}
 			return err
 		}
 	}
@@ -207,20 +227,38 @@ func offChainTarget(b *ir.Block, takenToNext bool) ir.BlockID {
 	return b.Term.Target
 }
 
+// validBlock reports whether id names a block of the program.
+func validBlock(p *ir.Program, id ir.BlockID) bool {
+	return id >= 0 && int(id) < len(p.Blocks) && p.Blocks[id] != nil
+}
+
 func (img *Image) materializeChain(c enlarge.Chain, liveness map[ir.FuncID]*opt.LiveInfo) error {
 	p := img.Prog
 	if len(c.Steps) < 2 {
 		return nil
 	}
+	// Sanity-check the chain against the program. An enlargement file
+	// arrives from disk, so nothing about it can be trusted: every block ID
+	// is bounds-checked before use and every step must follow an arc of its
+	// predecessor. Violations are *BadEnlargementError so callers can
+	// degrade to single-block simulation instead of crashing.
+	if !validBlock(p, c.Entry) {
+		return &BadEnlargementError{Chain: -1, Reason: fmt.Sprintf("entry block %d does not exist", c.Entry)}
+	}
+	if c.Steps[0].Block != c.Entry {
+		return &BadEnlargementError{Chain: -1, Reason: fmt.Sprintf("entry %d disagrees with first step %d", c.Entry, c.Steps[0].Block)}
+	}
 	entryBlk := p.Block(c.Entry)
 	fn := entryBlk.Fn
 	m := len(c.Steps)
 
-	// Sanity-check the chain against the program.
 	for i, s := range c.Steps {
+		if !validBlock(p, s.Block) {
+			return &BadEnlargementError{Chain: -1, Reason: fmt.Sprintf("step %d names nonexistent block %d", i, s.Block)}
+		}
 		b := p.Block(s.Block)
 		if b.Fn != fn {
-			return fmt.Errorf("loader: chain crosses functions at step %d", i)
+			return &BadEnlargementError{Chain: -1, Reason: fmt.Sprintf("chain crosses functions at step %d", i)}
 		}
 		if i == m-1 {
 			break
@@ -228,13 +266,13 @@ func (img *Image) materializeChain(c enlarge.Chain, liveness map[ir.FuncID]*opt.
 		switch b.Term.Op {
 		case ir.Br, ir.Jmp:
 			if onChainTarget(b, s.TakenToNext) != c.Steps[i+1].Block && b.Term.Op == ir.Br {
-				return fmt.Errorf("loader: chain step %d does not follow an arc of block %d", i, s.Block)
+				return &BadEnlargementError{Chain: -1, Reason: fmt.Sprintf("step %d does not follow an arc of block %d", i, s.Block)}
 			}
 			if b.Term.Op == ir.Jmp && b.Term.Target != c.Steps[i+1].Block {
-				return fmt.Errorf("loader: chain step %d does not follow the jump of block %d", i, s.Block)
+				return &BadEnlargementError{Chain: -1, Reason: fmt.Sprintf("step %d does not follow the jump of block %d", i, s.Block)}
 			}
 		default:
-			return fmt.Errorf("loader: chain step %d of block %d ends with %s", i, s.Block, b.Term.Op)
+			return &BadEnlargementError{Chain: -1, Reason: fmt.Sprintf("step %d of block %d ends with %s", i, s.Block, b.Term.Op)}
 		}
 	}
 

@@ -31,13 +31,26 @@ type cg struct {
 
 	breakTo []ir.BlockID
 	contTo  []ir.BlockID
+
+	// err holds the first internal inconsistency hit during generation.
+	// Generation continues emitting placeholder code so fail sites need no
+	// unwinding; generate() checks err once per function.
+	err error
+}
+
+// fail records an internal code-generator error (the first one wins).
+func (g *cg) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("minic: internal error in %s: %s", g.fd.Name, fmt.Sprintf(format, args...))
+	}
 }
 
 func (g *cg) newVReg() ir.Reg {
 	v := g.nextV
 	g.nextV++
 	if g.nextV <= 0 {
-		panic("minic: virtual register space exhausted")
+		g.nextV = firstVReg // keep emitting valid registers; err aborts anyway
+		g.fail("virtual register space exhausted")
 	}
 	return v
 }
@@ -122,7 +135,8 @@ func (g *cg) genAddr(e Expr) lvalue {
 		switch sym.Kind {
 		case SymLocal, SymParam:
 			if sym.VReg == 0 {
-				panic("minic: local " + sym.Name + " has no vreg")
+				g.fail("local %s has no vreg", sym.Name)
+				return lvalue{kind: lvReg, reg: g.newVReg(), typ: sym.Type}
 			}
 			return lvalue{kind: lvReg, reg: ir.Reg(sym.VReg), typ: sym.Type}
 		case SymFrame:
@@ -152,7 +166,8 @@ func (g *cg) genAddr(e Expr) lvalue {
 			return lvalue{kind: lvMem, base: base, off: 0, typ: g.typeOf(e)}
 		}
 	}
-	panic(fmt.Sprintf("minic: genAddr on non-lvalue %T", e))
+	g.fail("genAddr on non-lvalue %T", e)
+	return lvalue{kind: lvReg, reg: g.newVReg(), typ: TInt}
 }
 
 // loadLV produces the value of a storage location in a register.
@@ -268,7 +283,8 @@ func (g *cg) genExpr(e Expr) ir.Reg {
 		case Amp:
 			lv := g.genAddr(e.X)
 			if lv.kind == lvReg {
-				panic("minic: address of register local (sema should have demoted it)")
+				g.fail("address of register local (sema should have demoted it)")
+				return lv.reg
 			}
 			if lv.off == 0 {
 				return lv.base
@@ -334,7 +350,8 @@ func (g *cg) genExpr(e Expr) ir.Reg {
 	case *CallExpr:
 		return g.genCall(e)
 	}
-	panic(fmt.Sprintf("minic: genExpr on %T", e))
+	g.fail("genExpr on %T", e)
+	return g.newVReg()
 }
 
 // genShortCircuitValue materializes && or || as a 0/1 value using control

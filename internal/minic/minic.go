@@ -67,6 +67,9 @@ func generate(u *Unit, o Options) (*ir.Program, error) {
 		g.enter(entry)
 		g.emitPrologue()
 		g.genStmt(fd.Body)
+		if g.err != nil {
+			return nil, g.err
+		}
 		if g.cur != nil {
 			// Fell off the end: implicit return (0 for value functions).
 			if fd.Ret != TVoid {

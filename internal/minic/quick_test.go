@@ -35,7 +35,7 @@ func (g *exprGen) gen(depth int) (string, int32) {
 			return g.vars[i], g.vals[i]
 		default:
 			s, v := g.gen(0)
-			return "(-" + s + ")", ir.EvalALU(ir.Neg, v, 0, 0)
+			return "(-" + s + ")", evalPure(ir.Neg, v, 0)
 		}
 	}
 	type binOp struct {
@@ -51,7 +51,16 @@ func (g *exprGen) gen(depth int) (string, int32) {
 	o := ops[g.rng.Intn(len(ops))]
 	ls, lv := g.gen(depth - 1)
 	rs, rv := g.gen(depth - 1)
-	return "(" + ls + " " + o.tok + " " + rs + ")", ir.EvalALU(o.op, lv, rv, 0)
+	return "(" + ls + " " + o.tok + " " + rs + ")", evalPure(o.op, lv, rv)
+}
+
+// evalPure evaluates a known-pure ALU op (the generator only emits those).
+func evalPure(op ir.Op, a, b int32) int32 {
+	v, err := ir.EvalALU(op, a, b, 0)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // TestRandomExpressions compiles random expressions and checks the machine

@@ -151,11 +151,12 @@ func ValueNumberSeq(body []ir.Node, term *ir.Node, blk *ir.Block) bool {
 				cb, okB = s.constOf(vb)
 			}
 			if okA && okB {
-				val := ir.EvalALU(n.Op, ca, cb, n.Imm)
-				*n = ir.Node{Op: ir.Const, Dst: n.Dst, A: ir.NoReg, B: ir.NoReg, Imm: int64(val)}
-				changed = true
-				s.setReg(n.Dst, s.vnConst(val))
-				continue
+				if val, aerr := ir.EvalALU(n.Op, ca, cb, n.Imm); aerr == nil {
+					*n = ir.Node{Op: ir.Const, Dst: n.Dst, A: ir.NoReg, B: ir.NoReg, Imm: int64(val)}
+					changed = true
+					s.setReg(n.Dst, s.vnConst(val))
+					continue
+				}
 			}
 			// CSE.
 			if n.Op.Commutes() && vb < va {

@@ -49,6 +49,16 @@ type Run struct {
 	// BlockSizes histograms retired block sizes (nodes per block).
 	BlockSizes map[int]int64
 
+	// InjectedFaults counts perturbations a fault injector applied to the
+	// run; RepairedFaults counts those absorbed by checkpoint recovery or
+	// verified benign (the remainder surfaced as typed errors).
+	InjectedFaults int64
+	RepairedFaults int64
+
+	// EFDegradations counts enlargement files found corrupt at load time,
+	// causing a fallback to single-basic-block simulation.
+	EFDegradations int64
+
 	// Work is the run's work measured in reference nodes: the node count
 	// of the original (single-basic-block) program on the same input.
 	// Enlarged programs retire fewer nodes for the same computation (the
@@ -201,6 +211,9 @@ func (r *Run) Merge(other *Run) {
 	r.CacheMisses += other.CacheMisses
 	r.WindowBlockSum += other.WindowBlockSum
 	r.WindowNodeSum += other.WindowNodeSum
+	r.InjectedFaults += other.InjectedFaults
+	r.RepairedFaults += other.RepairedFaults
+	r.EFDegradations += other.EFDegradations
 	for s, c := range other.BlockSizes {
 		r.BlockSizes[s] += c
 	}
@@ -220,6 +233,12 @@ func (r *Run) String() string {
 	}
 	if r.WindowBlockSum > 0 {
 		fmt.Fprintf(&sb, "mean window       %12.2f blocks\n", r.MeanWindowBlocks())
+	}
+	if r.InjectedFaults > 0 {
+		fmt.Fprintf(&sb, "injected faults   %12d   (%d repaired)\n", r.InjectedFaults, r.RepairedFaults)
+	}
+	if r.EFDegradations > 0 {
+		fmt.Fprintf(&sb, "ef degradations   %12d\n", r.EFDegradations)
 	}
 	return sb.String()
 }
