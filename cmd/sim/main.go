@@ -183,6 +183,12 @@ func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hint
 			return err
 		}
 		output = res.Output
+		if img.Degraded {
+			// The translating loader fell back to single basic blocks
+			// because its enlargement file was corrupt; surface that in the
+			// run's statistics (exp sweeps count the same way).
+			res.Stats.EFDegradations++
+		}
 		if pipe != nil {
 			fmt.Fprint(os.Stderr, pipe.String())
 		}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/faultinject"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+)
+
+// A small branchy program so the enlargement builder produces chains worth
+// corrupting.
+const degradeSrc = `
+int counts[128];
+
+int main() {
+	int c;
+	int words = 0;
+	int lines = 0;
+	int inword = 0;
+	c = getc(0);
+	while (c >= 0) {
+		counts[c & 127]++;
+		if (c == '\n') lines++;
+		if (c == ' ' || c == '\n' || c == '\t') {
+			inword = 0;
+		} else if (!inword) {
+			inword = 1;
+			words++;
+		}
+		c = getc(0);
+	}
+	putc('0' + (lines % 10));
+	putc('0' + (words % 10));
+	putc('\n');
+	return 0;
+}
+`
+
+// TestCorruptEnlargementDegradesEndToEnd drives the corrupt-enlargement
+// degrade path through the real binaries' pipeline: build an enlargement
+// file, corrupt it with faultinject.CorruptEnlargement, load the image the
+// way cmd/tld now does (LoadDegrading), and run it through cmd/sim's run().
+// The run must exit cleanly (nil error), produce byte-identical program
+// output, and report EFDegradations > 0 in its statistics.
+func TestCorruptEnlargementDegradesEndToEnd(t *testing.T) {
+	prog, err := minic.Compile("degrade.mc", degradeSrc, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("the quick brown fox\njumps over the lazy dog\npack my box\n")
+
+	prof := interp.NewProfile()
+	ref, err := interp.Run(prog, input, nil, interp.Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := enlarge.Build(prog, prof, enlarge.DefaultOptions())
+	if len(ef.Chains) == 0 {
+		t.Fatal("enlargement produced no chains; nothing to corrupt")
+	}
+
+	cfg, err := machine.ParseConfig("dyn4", 8, "A", "enlarged")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a seed whose corruption the loader actually rejects (some
+	// perturbations can coincide with a still-valid chain).
+	var corrupt *enlarge.File
+	for seed := uint64(1); seed <= 32; seed++ {
+		c := faultinject.CorruptEnlargement(ef, seed)
+		_, err := loader.Load(prog, cfg, c)
+		var be *loader.BadEnlargementError
+		if errors.As(err, &be) {
+			corrupt = c
+			break
+		}
+	}
+	if corrupt == nil {
+		t.Fatal("no corruption seed produced a loader-rejected enlargement file")
+	}
+
+	img, err := loader.LoadDegrading(prog, cfg, corrupt)
+	if err != nil {
+		t.Fatalf("LoadDegrading failed instead of degrading: %v", err)
+	}
+	if !img.Degraded {
+		t.Fatal("image not marked Degraded")
+	}
+
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "degrade.img")
+	if err := img.WriteFile(imgPath); err != nil {
+		t.Fatal(err)
+	}
+	in0Path := filepath.Join(dir, "in0.txt")
+	if err := os.WriteFile(in0Path, input, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.bin")
+
+	// Capture the stats report cmd/sim prints to stderr.
+	oldStderr := os.Stderr
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	stderrCh := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, pr)
+		stderrCh <- buf.String()
+	}()
+
+	runErr := run(imgPath, in0Path, "", outPath, "", "", "", "", false, true, 0, 0, 0, 0, false)
+
+	pw.Close()
+	os.Stderr = oldStderr
+	stderr := <-stderrCh
+	pr.Close()
+
+	if runErr != nil {
+		t.Fatalf("sim run on degraded image failed (non-zero exit): %v", runErr)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref.Output) {
+		t.Errorf("degraded run output %q differs from reference %q", got, ref.Output)
+	}
+	if !strings.Contains(stderr, "ef degradations") {
+		t.Errorf("stats report does not mention EF degradations:\n%s", stderr)
+	}
+}

@@ -1,0 +1,107 @@
+// Command simd is the simulation daemon: a long-lived HTTP service in
+// front of the experiment harness, for driving large parameter-sweep
+// studies without babysitting one-shot CLI runs. It accepts single
+// simulations (POST /run) and asynchronous sweeps (POST /sweep, polled via
+// GET /sweep/{id}), sheds load with 429 + Retry-After once its admission
+// queue fills, kills wedged runs via a cycle-progress watchdog, journals
+// accepted sweeps to an fsync'd JSON-lines file so a crash or deploy loses
+// nothing settled, and drains gracefully on SIGTERM/SIGINT: stop
+// admitting, finish or journal in-flight work, exit 0.
+//
+// Usage:
+//
+//	simd [-addr :8080] [-journal /var/lib/simd]
+//	     [-queue 64] [-concurrency 0]
+//	     [-default-timeout 2m] [-max-timeout 10m]
+//	     [-watchdog-interval 1s] [-watchdog-stall 30s]
+//	     [-drain-timeout 30s]
+//
+// Endpoints: /healthz, /readyz (503 while draining), /metrics (queue
+// depth, shed count, in-flight, watchdog kills, retries, p50/p99 run
+// latency), /run, /sweep, /sweep/{id}. See README.md for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fgpsim/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		journalDir   = flag.String("journal", "", "journal directory; accepted sweeps persist and resume across restarts (empty = no persistence)")
+		queue        = flag.Int("queue", 64, "admission queue depth before shedding with 429")
+		concurrency  = flag.Int("concurrency", 0, "weighted limiter capacity in worker units (0 = GOMAXPROCS)")
+		defTimeout   = flag.Duration("default-timeout", 2*time.Minute, "per-run deadline when the request names none")
+		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "hard cap on requested run deadlines")
+		wdInterval   = flag.Duration("watchdog-interval", time.Second, "heartbeat sampling period")
+		wdStall      = flag.Duration("watchdog-stall", 30*time.Second, "kill a run after this long without engine progress")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM before force-cancel")
+	)
+	flag.Parse()
+	if err := run(*addr, *journalDir, *queue, *concurrency, *defTimeout, *maxTimeout, *wdInterval, *wdStall, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, journalDir string, queue, concurrency int, defTimeout, maxTimeout, wdInterval, wdStall, drainTimeout time.Duration) error {
+	srv, err := server.New(server.Config{
+		QueueDepth:       queue,
+		Concurrency:      concurrency,
+		DefaultTimeout:   defTimeout,
+		MaxTimeout:       maxTimeout,
+		WatchdogInterval: wdInterval,
+		WatchdogStall:    wdStall,
+		JournalDir:       journalDir,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCtx.Done():
+	}
+
+	// Graceful drain: flip unready and reject new work, give in-flight
+	// work the grace period, then force-cancel what remains — every
+	// completed sweep cell is already fsync'd in the journal, so the
+	// interrupted sweeps resume on the next boot. Exit 0 either way.
+	fmt.Fprintln(os.Stderr, "simd: signal received, draining")
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(ctx) }()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		// Connections outliving the grace period are closed forcibly; the
+		// drain below still journals their work.
+		httpSrv.Close()
+	}
+	if err := <-drained; err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "simd: drained cleanly")
+	return nil
+}

@@ -78,9 +78,17 @@ func run(src, out, efPath, disc string, issue int, memID, brMode string, noOpt, 
 			return err
 		}
 	}
-	img, err := loader.Load(prog, cfg, ef)
+	// A corrupt enlargement file degrades to the single-basic-block
+	// equivalent instead of failing the build: the program output is
+	// unaffected, only the timing loses the enlargement, and cmd/sim
+	// reports the degradation in its statistics (EFDegradations).
+	img, err := loader.LoadDegrading(prog, cfg, ef)
 	if err != nil {
 		return err
+	}
+	if img.Degraded {
+		fmt.Fprintf(os.Stderr, "tld: warning: enlargement file %s is corrupt; degraded %s to its single-basic-block equivalent (%s)\n",
+			efPath, cfg, img.Cfg)
 	}
 	if dump {
 		fmt.Print(img.Prog.Dump())

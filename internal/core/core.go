@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"fgpsim/internal/ir"
 	"fgpsim/internal/loader"
@@ -40,6 +41,14 @@ type Limits struct {
 	// through it (faultport.go). Ignored by the static engine, whose
 	// in-order transactional execution has no speculative state to corrupt.
 	Fault FaultHook
+
+	// Heartbeat, when non-nil, is incremented every ctxCheckPeriod cycles
+	// (next to the cancellation check) by both engines. External watchdogs
+	// poll it to distinguish a run that is slow from one that is stuck: a
+	// live simulation keeps beating no matter how long it takes, so a
+	// counter that stops advancing while the run is still in flight means
+	// the engine has wedged (see internal/server's watchdog).
+	Heartbeat *atomic.Int64
 }
 
 func (l Limits) maxCycles() int64 {

@@ -289,9 +289,14 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 		if e.cycle > maxCycles {
 			return nil, &CycleLimitError{e.cycle}
 		}
-		if e.cycle&(ctxCheckPeriod-1) == 0 && e.ctx != nil {
-			if cerr := e.ctx.Err(); cerr != nil {
-				return nil, &CanceledError{Cycle: e.cycle, Err: cerr}
+		if e.cycle&(ctxCheckPeriod-1) == 0 {
+			if e.lim.Heartbeat != nil {
+				e.lim.Heartbeat.Add(1)
+			}
+			if e.ctx != nil {
+				if cerr := e.ctx.Err(); cerr != nil {
+					return nil, &CanceledError{Cycle: e.cycle, Err: cerr}
+				}
 			}
 		}
 		e.completions()

@@ -74,9 +74,14 @@ func (e *staticEngine) run() (*RunResult, error) {
 		if nextCycle > maxCycles {
 			return nil, &CycleLimitError{nextCycle}
 		}
-		if blocks++; blocks&(ctxCheckPeriod-1) == 0 && e.ctx != nil {
-			if cerr := e.ctx.Err(); cerr != nil {
-				return nil, &CanceledError{Cycle: nextCycle, Err: cerr}
+		if blocks++; blocks&(ctxCheckPeriod-1) == 0 {
+			if e.lim.Heartbeat != nil {
+				e.lim.Heartbeat.Add(1)
+			}
+			if e.ctx != nil {
+				if cerr := e.ctx.Err(); cerr != nil {
+					return nil, &CanceledError{Cycle: nextCycle, Err: cerr}
+				}
 			}
 		}
 		cur, cycle = next, nextCycle

@@ -1,13 +1,9 @@
 package exp
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -61,11 +57,26 @@ type GridOptions struct {
 	RunTimeout time.Duration
 	// Journal, when non-empty, names a JSON-lines file of completed cells.
 	// Cells found there are restored instead of re-run (resuming a killed
-	// sweep), and every newly completed cell is appended, so the journal
-	// is crash-consistent: a torn final line is ignored on the next read.
+	// sweep), and every newly completed cell is appended and fsync'd, so
+	// the journal is crash-consistent: a completed cell survives a kill -9
+	// and a torn final line is ignored on the next read (journal.go).
 	Journal string
-	// Limits is passed to every run (cycle caps, fault hooks, pipe logs).
+	// Limits is passed to every run (cycle caps, fault hooks, pipe logs,
+	// progress heartbeats).
 	Limits core.Limits
+	// Observer, when non-nil, is called once per finally-settled cell —
+	// success, quarantined failure, or journal restore — with its outcome.
+	// It runs on worker goroutines and must be safe for concurrent use.
+	Observer func(CellOutcome)
+}
+
+// CellOutcome is one settled grid cell, as reported to GridOptions.Observer.
+type CellOutcome struct {
+	Key      Key
+	Attempts int           // simulation attempts (0 for restored cells)
+	Duration time.Duration // wall clock across all attempts (0 when restored)
+	Restored bool          // satisfied from the journal instead of re-run
+	Err      *CellError    // nil on success
 }
 
 // GridContext runs the configurations for every prepared benchmark under
@@ -97,9 +108,9 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 	var done atomic.Int64
 
 	pending := jobs
-	var jw *journalWriter
+	var jw *Journal
 	if opts.Journal != "" {
-		prior, err := readJournal(opts.Journal)
+		prior, err := ReadJournal(opts.Journal)
 		if err != nil {
 			return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
 		}
@@ -107,6 +118,9 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 		for _, j := range jobs {
 			if s, ok := prior[j.key]; ok {
 				res.Runs[j.key] = s
+				if opts.Observer != nil {
+					opts.Observer(CellOutcome{Key: j.key, Restored: true})
+				}
 				if opts.Progress != nil {
 					opts.Progress(int(done.Add(1)), total)
 				}
@@ -114,11 +128,11 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 			}
 			pending = append(pending, j)
 		}
-		jw, err = openJournalWriter(opts.Journal)
+		jw, err = OpenJournal(opts.Journal)
 		if err != nil {
 			return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
 		}
-		defer jw.close()
+		defer jw.Close()
 	}
 
 	var (
@@ -133,9 +147,13 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				s, cerr := runCellRetrying(ctx, j.p, j.cfg, j.key, opts)
+				start := time.Now()
+				s, attempts, cerr := runCellRetrying(ctx, j.p, j.cfg, j.key, opts)
 				if cerr != nil {
 					res.fail(cerr)
+					if opts.Observer != nil {
+						opts.Observer(CellOutcome{Key: j.key, Attempts: attempts, Duration: time.Since(start), Err: cerr})
+					}
 					// Keep the error of the lowest job index, so a sweep
 					// with several failures reports the same one no matter
 					// how the workers interleave or which attempts retried.
@@ -151,7 +169,10 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 				}
 				res.put(j.key, s)
 				if jw != nil {
-					jw.append(j.key, s)
+					jw.Append(journalEntry{Key: j.key, Stats: s})
+				}
+				if opts.Observer != nil {
+					opts.Observer(CellOutcome{Key: j.key, Attempts: attempts, Duration: time.Since(start)})
 				}
 				if opts.Progress != nil {
 					opts.Progress(int(done.Add(1)), total)
@@ -178,9 +199,10 @@ dispatch:
 	return res, nil
 }
 
-// runCellRetrying runs one cell with the retry policy. It returns
-// (nil, nil) only when the surrounding sweep is being canceled.
-func runCellRetrying(ctx context.Context, p *Prepared, cfg machine.Config, key Key, opts GridOptions) (*stats.Run, *CellError) {
+// runCellRetrying runs one cell with the retry policy, returning the
+// attempt count alongside the verdict. It returns (nil, n, nil) only when
+// the surrounding sweep is being canceled.
+func runCellRetrying(ctx context.Context, p *Prepared, cfg machine.Config, key Key, opts GridOptions) (*stats.Run, int, *CellError) {
 	backoff := opts.BackoffBase
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
@@ -191,20 +213,20 @@ func runCellRetrying(ctx context.Context, p *Prepared, cfg machine.Config, key K
 		attempts++
 		s, panicked, err := runCellOnce(ctx, p, cfg, opts)
 		if err == nil {
-			return s, nil
+			return s, attempts, nil
 		}
 		if ctx.Err() != nil {
-			return nil, nil
+			return nil, attempts, nil
 		}
 		var canceled *core.CanceledError
 		retryable := !panicked && !errors.As(err, &canceled)
 		if !retryable || attempts > opts.Retries {
-			return nil, &CellError{Key: key, Attempts: attempts, Panicked: panicked, Err: err}
+			return nil, attempts, &CellError{Key: key, Attempts: attempts, Panicked: panicked, Err: err}
 		}
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
-			return nil, nil
+			return nil, attempts, nil
 		}
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
@@ -231,71 +253,5 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, opts Grid
 	return s, false, err
 }
 
-// ---------- journal ----------
-
-// journalEntry is one completed cell, serialized as a single JSON line.
-type journalEntry struct {
-	Key   Key        `json:"key"`
-	Stats *stats.Run `json:"stats"`
-}
-
-// readJournal loads completed cells from a journal file. A missing file is
-// an empty journal; malformed lines (the torn tail of a killed sweep) are
-// skipped.
-func readJournal(path string) (map[Key]*stats.Run, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	m := make(map[Key]*stats.Run)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var e journalEntry
-		if json.Unmarshal(line, &e) != nil || e.Stats == nil {
-			continue
-		}
-		if e.Stats.BlockSizes == nil {
-			e.Stats.BlockSizes = make(map[int]int64)
-		}
-		m[e.Key] = e.Stats
-	}
-	return m, sc.Err()
-}
-
-type journalWriter struct {
-	mu sync.Mutex
-	f  *os.File
-}
-
-func openJournalWriter(path string) (*journalWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	return &journalWriter{f: f}, nil
-}
-
-// append writes one completed cell as a whole line; the single write keeps
-// concurrent appenders from interleaving and a crash from tearing more
-// than the final line.
-func (w *journalWriter) append(k Key, s *stats.Run) {
-	data, err := json.Marshal(journalEntry{Key: k, Stats: s})
-	if err != nil {
-		return
-	}
-	data = append(data, '\n')
-	w.mu.Lock()
-	w.f.Write(data)
-	w.mu.Unlock()
-}
-
-func (w *journalWriter) close() { w.f.Close() }
+// The JSON-lines journal lives in journal.go (exported: Journal,
+// ReplayJournal, ReadJournal) so internal/server can reuse it.

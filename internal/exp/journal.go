@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"fgpsim/internal/stats"
+)
+
+// This file is the sweep harness's crash-safe JSON-lines journal, exported
+// so other long-running components (internal/server's request journal) can
+// reuse the same durability contract instead of inventing a second format:
+//
+//   - one JSON value per line, appended with a single write(2) so a crash
+//     tears at most the final line and concurrent appenders never interleave;
+//   - the file is opened O_APPEND, so two processes (or a process restarted
+//     over its own journal) extend it rather than overwrite it;
+//   - every append is fsync'd before Append returns — an entry the caller
+//     saw succeed survives a kill -9 or power cut;
+//   - readers tolerate the torn tail: a line that fails to decode is
+//     skipped, never fatal.
+
+// Journal is an append-only, fsync'd JSON-lines file.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) a journal for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append marshals v onto one line, writes it with a single write call, and
+// fsyncs before returning: on success the entry is durable.
+func (j *Journal) Append(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close fsyncs any buffered state and closes the file. Close after Close is
+// an error from the OS, as usual.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ReplayJournal streams a journal's lines to fn in file order. A missing
+// file is an empty journal. Blank lines are skipped; fn returning an error
+// skips that line (it is how the torn tail of a killed writer, or any
+// malformed line, is tolerated) — it never aborts the replay.
+func ReplayJournal(path string, fn func(line []byte) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		fn(line) // decode errors mean a torn/corrupt line: skip it
+	}
+	return sc.Err()
+}
+
+// journalEntry is one completed cell, serialized as a single JSON line.
+type journalEntry struct {
+	Key   Key        `json:"key"`
+	Stats *stats.Run `json:"stats"`
+}
+
+// ReadJournal loads the completed cells of a sweep journal, the resume
+// helper behind GridOptions.Journal. Repeated lines for the same Key are
+// deduplicated last-write-wins: the journal is append-only, so the latest
+// line is the most recent completion (a cell re-run after a resume, or a
+// journal that was replayed/concatenated twice) and deliberately replaces
+// earlier ones.
+func ReadJournal(path string) (map[Key]*stats.Run, error) {
+	m := make(map[Key]*stats.Run)
+	err := ReplayJournal(path, func(line []byte) error {
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return err
+		}
+		if e.Stats == nil {
+			return fmt.Errorf("exp: journal line without stats")
+		}
+		if e.Stats.BlockSizes == nil {
+			e.Stats.BlockSizes = make(map[int]int64)
+		}
+		// Last write wins, explicitly: overwrite any earlier entry for the
+		// same key rather than relying on map-insert side effects.
+		m[e.Key] = e.Stats
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fgpsim/internal/machine"
+	"fgpsim/internal/stats"
+)
+
+func journalKey(bench string) Key {
+	return KeyOf(bench, machine.Config{Disc: machine.Dyn4, Issue: machine.IssueModels[0], Mem: machine.MemConfigs[0]})
+}
+
+func runWithCycles(c int64) *stats.Run {
+	s := stats.New()
+	s.Cycles = c
+	return s
+}
+
+func TestJournalAppendReadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := journalKey("a"), journalKey("b")
+	if err := j.Append(journalEntry{Key: k1, Stats: runWithCycles(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalEntry{Key: k2, Stats: runWithCycles(20)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[k1].Cycles != 10 || m[k2].Cycles != 20 {
+		t.Fatalf("read %d entries: %+v", len(m), m)
+	}
+}
+
+// TestJournalDuplicateKeysLastWriteWins covers resume deduplication: a
+// journal holding several lines for the same key (a cell re-run after a
+// partial resume) must restore the latest line.
+func TestJournalDuplicateKeysLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := journalKey("dup")
+	for _, cycles := range []int64{1, 2, 3} {
+		if err := j.Append(journalEntry{Key: k, Stats: runWithCycles(cycles)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[k].Cycles != 3 {
+		t.Fatalf("want single entry with cycles=3 (last write), got %+v", m)
+	}
+}
+
+// TestJournalReplayedTwice doubles the journal file onto itself — the shape
+// a resumed-then-resumed sweep or a concatenated backup produces — and
+// checks the read is identical to reading it once.
+func TestJournalReplayedTwice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := journalKey("x"), journalKey("y")
+	if err := j.Append(journalEntry{Key: k1, Stats: runWithCycles(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalEntry{Key: k2, Stats: runWithCycles(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	once, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(append([]byte{}, data...), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	twice, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(twice) != len(once) {
+		t.Fatalf("replayed journal has %d keys, want %d", len(twice), len(once))
+	}
+	for k, s := range once {
+		if twice[k] == nil || twice[k].Cycles != s.Cycles {
+			t.Fatalf("key %v: replayed %+v, want %+v", k, twice[k], s)
+		}
+	}
+}
+
+// TestJournalTornTailTolerated cuts the final line mid-JSON (what a crash
+// during an append leaves behind) and checks only that line is lost.
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := journalKey("keep"), journalKey("torn")
+	if err := j.Append(journalEntry{Key: k1, Stats: runWithCycles(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalEntry{Key: k2, Stats: runWithCycles(6)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[k1] == nil || m[k1].Cycles != 5 {
+		t.Fatalf("torn journal read %+v, want only the intact first entry", m)
+	}
+}
+
+// TestJournalOpenIsAppend re-opens an existing journal and checks the new
+// writer extends rather than truncates it.
+func TestJournalOpenIsAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := journalKey("first")
+	if err := j.Append(journalEntry{Key: k1, Stats: runWithCycles(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := journalKey("second")
+	if err := j2.Append(journalEntry{Key: k2, Stats: runWithCycles(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("append reopen lost entries: %+v", m)
+	}
+}
+
+// TestReplayJournalSkipsMalformed checks arbitrary garbage lines in the
+// middle of a journal are skipped without aborting the replay.
+func TestReplayJournalSkipsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	k := journalKey("good")
+	good, _ := json.Marshal(journalEntry{Key: k, Stats: runWithCycles(4)})
+	content := append([]byte("{not json\n\n"), good...)
+	content = append(content, '\n')
+	content = append(content, []byte("{\"key\":{},\"stats\":null}\n")...)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[k] == nil || m[k].Cycles != 4 {
+		t.Fatalf("read %+v, want only the well-formed entry", m)
+	}
+}
+
+// TestReadJournalMissingFile treats a nonexistent journal as empty.
+func TestReadJournalMissingFile(t *testing.T) {
+	m, err := ReadJournal(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Fatalf("missing journal read %+v, want empty", m)
+	}
+}

@@ -61,6 +61,12 @@ type Image struct {
 	// the program's own targets keep pointing at original blocks.
 	EntryMap map[ir.BlockID]ir.BlockID
 
+	// Degraded records that the enlargement file supplied at load time was
+	// structurally corrupt and the image fell back to its single-basic-block
+	// equivalent (LoadDegrading). It travels with the serialized image so
+	// cmd/sim can surface the degradation in the run's statistics.
+	Degraded bool
+
 	// liveness caches per-function liveness of the original program, used
 	// by run-time (fill unit) materialization. Lazily built.
 	liveness map[ir.FuncID]*opt.LiveInfo
@@ -114,6 +120,36 @@ func Load(base *ir.Program, cfg machine.Config, ef *enlarge.File) (*Image, error
 	if err := img.Prog.Validate(); err != nil {
 		return nil, fmt.Errorf("loader: invalid image: %w", err)
 	}
+	return img, nil
+}
+
+// LoadDegrading is Load with the corrupt-enlargement degrade policy: a
+// *BadEnlargementError does not fail the load, it falls back to the
+// configuration's single-basic-block equivalent — EnlargedBB becomes
+// SingleBB; Perfect keeps its oracle predictor but drops the enlargement
+// (an empty file) — and marks the image Degraded. The program still runs
+// and produces identical output; only the timing loses the enlargement
+// benefit. Any other load error is returned as-is.
+func LoadDegrading(base *ir.Program, cfg machine.Config, ef *enlarge.File) (*Image, error) {
+	img, err := Load(base, cfg, ef)
+	if err == nil {
+		return img, nil
+	}
+	var be *BadEnlargementError
+	if !errors.As(err, &be) {
+		return nil, err
+	}
+	if cfg.Branch == machine.EnlargedBB {
+		fallback := cfg
+		fallback.Branch = machine.SingleBB
+		img, err = Load(base, fallback, nil)
+	} else {
+		img, err = Load(base, cfg, &enlarge.File{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	img.Degraded = true
 	return img, nil
 }
 

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the daemon's load-shedding front door: a bounded admission
+// queue (requests beyond it are rejected immediately with an
+// *OverloadError, which handlers turn into HTTP 429 + Retry-After) feeding
+// a weighted FIFO concurrency limiter sized from GOMAXPROCS. The queue
+// bounds *waiting* work so memory and latency stay bounded under overload;
+// the limiter bounds *running* work so simulations never oversubscribe the
+// machine. Explicit shedding is the design point — a daemon that queues
+// unboundedly converts overload into OOM and unbounded tail latency.
+//
+// Admission is two-phase: reserve() claims a queue slot synchronously (the
+// shed decision, made while the HTTP handler can still answer 429), then
+// ticket.acquire() blocks until the limiter grants execution weight. The
+// split lets sweeps be accepted-then-queued asynchronously while /run
+// requests wait inline.
+
+// OverloadError is returned when the admission queue is full. RetryAfter is
+// the backoff hint handlers forward as the Retry-After header.
+type OverloadError struct {
+	Backlog    int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: admission queue full (%d waiting); retry after %s", e.Backlog, e.RetryAfter)
+}
+
+// admission is the bounded queue in front of the limiter.
+type admission struct {
+	depth   int
+	lim     *limiter
+	backlog atomic.Int64
+}
+
+func newAdmission(queueDepth, concurrency int) *admission {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	return &admission{depth: queueDepth, lim: newLimiter(concurrency)}
+}
+
+// queued returns the number of admitted requests still waiting for limiter
+// capacity (the /metrics queue-depth gauge).
+func (a *admission) queued() int64 { return a.backlog.Load() }
+
+// ticket is one reserved queue slot. Exactly one of acquire or abandon
+// must be called on it.
+type ticket struct{ a *admission }
+
+// reserve claims a queue slot, shedding with *OverloadError when the queue
+// is full.
+func (a *admission) reserve() (*ticket, error) {
+	n := a.backlog.Add(1)
+	if int(n) > a.depth {
+		a.backlog.Add(-1)
+		// Scale the hint with how oversubscribed the limiter is: each
+		// queued unit is roughly one limiter turn away.
+		retry := time.Second * time.Duration(1+int(n)/a.lim.capacity())
+		if retry > 30*time.Second {
+			retry = 30 * time.Second
+		}
+		return nil, &OverloadError{Backlog: int(n) - 1, RetryAfter: retry}
+	}
+	return &ticket{a: a}, nil
+}
+
+// reserveForced claims a slot even past the bound. It is for work that was
+// already admitted in a previous life of the process (journal recovery):
+// shedding it would drop accepted requests, the one thing the journal
+// exists to prevent.
+func (a *admission) reserveForced() *ticket {
+	a.backlog.Add(1)
+	return &ticket{a: a}
+}
+
+// acquire blocks until the limiter grants weight units (clamped to the
+// limiter's capacity), leaving the queue either way. On success the
+// returned release frees the weight.
+func (t *ticket) acquire(ctx context.Context, weight int) (release func(), err error) {
+	weight = t.a.lim.clamp(weight)
+	err = t.a.lim.acquire(ctx, weight)
+	t.a.backlog.Add(-1)
+	if err != nil {
+		return nil, err
+	}
+	return func() { t.a.lim.release(weight) }, nil
+}
+
+// abandon gives the queue slot back without acquiring.
+func (t *ticket) abandon() { t.a.backlog.Add(-1) }
+
+// limiter is a FIFO weighted counting semaphore (the shape of
+// golang.org/x/sync/semaphore, re-implemented to keep the module
+// dependency-free). FIFO matters: without it a steady stream of weight-1
+// runs could starve a wide sweep forever.
+type limiter struct {
+	mu      sync.Mutex
+	cap     int
+	used    int
+	waiters list.List // of *limWaiter, front = oldest
+}
+
+type limWaiter struct {
+	n     int
+	ready chan struct{}
+}
+
+func newLimiter(capacity int) *limiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &limiter{cap: capacity}
+}
+
+func (l *limiter) capacity() int { return l.cap }
+
+// clamp bounds a requested weight to what the limiter can ever grant.
+func (l *limiter) clamp(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > l.cap {
+		return l.cap
+	}
+	return n
+}
+
+// inUse returns the currently held weight.
+func (l *limiter) inUse() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+func (l *limiter) acquire(ctx context.Context, n int) error {
+	l.mu.Lock()
+	if l.waiters.Len() == 0 && l.used+n <= l.cap {
+		l.used += n
+		l.mu.Unlock()
+		return nil
+	}
+	w := &limWaiter{n: n, ready: make(chan struct{})}
+	elem := l.waiters.PushBack(w)
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between ctx firing and taking the lock: keep the
+			// books consistent by releasing the grant.
+			l.mu.Unlock()
+			l.release(n)
+		default:
+			l.waiters.Remove(elem)
+			l.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release(n int) {
+	l.mu.Lock()
+	l.used -= n
+	if l.used < 0 {
+		panic("server: limiter released more than acquired")
+	}
+	// Grant from the front while the head fits (strict FIFO: a large
+	// waiter at the head blocks smaller ones behind it, which is what
+	// prevents starvation of wide sweeps).
+	for e := l.waiters.Front(); e != nil; e = l.waiters.Front() {
+		w := e.Value.(*limWaiter)
+		if l.used+w.n > l.cap {
+			break
+		}
+		l.used += w.n
+		l.waiters.Remove(e)
+		close(w.ready)
+	}
+	l.mu.Unlock()
+}

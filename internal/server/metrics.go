@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+
+	"fgpsim/internal/stats"
+)
+
+// metrics is the daemon's observability surface, served as expvar-style
+// JSON on /metrics. Counters are expvar vars held on the struct (not
+// published to the process-global expvar map, so tests can build as many
+// servers as they like); gauges are sampled at render time; run latency is
+// a stats.Hist reporting p50/p99 the way the paper's harness reports
+// block-size percentiles.
+type metrics struct {
+	shed          expvar.Int // requests rejected 429 by admission control
+	watchdogKills expvar.Int // runs killed for lack of engine progress
+	retries       expvar.Int // extra simulation attempts across sweep cells
+	runsOK        expvar.Int // successful /run simulations
+	runsFailed    expvar.Int // failed /run simulations (any non-200)
+	jobsAccepted  expvar.Int // sweeps admitted (202)
+	jobsResumed   expvar.Int // sweeps re-enqueued from the request journal
+	jobsDone      expvar.Int // sweeps that reached a terminal state
+	cellsDone     expvar.Int // sweep cells completed by simulation
+	cellsRestored expvar.Int // sweep cells restored from a cell journal
+	cellsFailed   expvar.Int // sweep cells quarantined after retries
+
+	latency stats.Hist // per-simulation wall clock (/run and sweep cells)
+}
+
+// observeCell folds one settled sweep cell into the counters (the
+// exp.GridOptions.Observer hook); the caller observes latency separately.
+func (m *metrics) observeCell(attempts int, ok, restored bool) {
+	switch {
+	case restored:
+		m.cellsRestored.Add(1)
+	case ok:
+		m.cellsDone.Add(1)
+	default:
+		m.cellsFailed.Add(1)
+	}
+	if attempts > 1 {
+		m.retries.Add(int64(attempts - 1))
+	}
+}
+
+// snapshot renders every metric; queueDepth and inflight are sampled
+// gauges supplied by the server.
+func (m *metrics) snapshot(queueDepth int64, inflight int) map[string]any {
+	return map[string]any{
+		"queue_depth":    queueDepth,
+		"inflight":       inflight,
+		"shed_total":     m.shed.Value(),
+		"watchdog_kills": m.watchdogKills.Value(),
+		"retries":        m.retries.Value(),
+		"runs_ok":        m.runsOK.Value(),
+		"runs_failed":    m.runsFailed.Value(),
+		"jobs_accepted":  m.jobsAccepted.Value(),
+		"jobs_resumed":   m.jobsResumed.Value(),
+		"jobs_done":      m.jobsDone.Value(),
+		"cells_done":     m.cellsDone.Value(),
+		"cells_restored": m.cellsRestored.Value(),
+		"cells_failed":   m.cellsFailed.Value(),
+		"run_latency_us": map[string]any{
+			"count": m.latency.Count(),
+			"mean":  m.latency.Mean().Microseconds(),
+			"p50":   m.latency.Quantile(0.50).Microseconds(),
+			"p99":   m.latency.Quantile(0.99).Microseconds(),
+		},
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

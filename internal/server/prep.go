@@ -1,0 +1,72 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"fgpsim/internal/bench"
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/exp"
+)
+
+// prepCache memoizes exp.Prepare results. Preparation is the expensive,
+// run-independent part of a request (compile, profiling run, enlargement
+// build, reference run), so a long-lived daemon does it once per program
+// and amortizes it across every request and sweep cell that follows —
+// the service-shaped analogue of exp's per-sweep image cache.
+type prepCache struct {
+	mu sync.Mutex
+	m  map[string]*prepEntry
+}
+
+type prepEntry struct {
+	once sync.Once
+	p    *exp.Prepared
+	err  error
+}
+
+func newPrepCache() *prepCache {
+	return &prepCache{m: make(map[string]*prepEntry)}
+}
+
+// get prepares (once) the named unit. The builder runs outside the cache
+// lock, so two different programs prepare concurrently while a second
+// request for the same program blocks on the first's once.
+func (c *prepCache) get(name string, build func() (*exp.Prepared, error)) (*exp.Prepared, error) {
+	c.mu.Lock()
+	e := c.m[name]
+	if e == nil {
+		e = &prepEntry{}
+		c.m[name] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.p, e.err = build() })
+	return e.p, e.err
+}
+
+// prepareBench returns the prepared form of one of the paper's benchmarks.
+func (c *prepCache) prepareBench(name string) (*exp.Prepared, error) {
+	b := bench.ByName(name)
+	if b == nil {
+		return nil, fmt.Errorf("server: unknown benchmark %q", name)
+	}
+	return c.get(name, func() (*exp.Prepared, error) {
+		return exp.Prepare(b, enlarge.DefaultOptions())
+	})
+}
+
+// prepareSource returns the prepared form of an ad-hoc MiniC program. The
+// supplied inputs serve as both the profiling and the measurement set
+// (callers who care about the paper's two-set methodology submit a
+// benchmark instead).
+func (c *prepCache) prepareSource(src, in0, in1 string) (*exp.Prepared, error) {
+	name := sourceName(src, in0, in1)
+	return c.get(name, func() (*exp.Prepared, error) {
+		b := &bench.Benchmark{
+			Name:   name,
+			Source: src,
+			Inputs: func(int) ([]byte, []byte) { return []byte(in0), []byte(in1) },
+		}
+		return exp.Prepare(b, enlarge.DefaultOptions())
+	})
+}

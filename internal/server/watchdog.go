@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The watchdog turns "this run stopped making progress" into a typed,
+// attributable kill. Every in-flight simulation registers a heartbeat
+// counter that the engines bump every few thousand simulated cycles
+// (core.Limits.Heartbeat); the watchdog samples the counters on a fixed
+// interval and cancels — with a *StuckRunError as the context cause — any
+// run whose counter sits still for the stall window. This is deliberately
+// progress-based rather than deadline-based: a big sweep may legitimately
+// run for hours, but a live engine always keeps beating, so a silent
+// counter is the one reliable signature of a wedged run.
+
+// StuckRunError reports a run killed by the watchdog.
+type StuckRunError struct {
+	ID    string        // request or job id
+	Beats int64         // heartbeat count at which progress stopped
+	Stall time.Duration // how long the counter sat still before the kill
+}
+
+func (e *StuckRunError) Error() string {
+	return fmt.Sprintf("server: run %s stuck: no engine progress for %s (heartbeat %d)", e.ID, e.Stall, e.Beats)
+}
+
+type watchdog struct {
+	interval time.Duration
+	stall    time.Duration
+	kills    atomic.Int64
+
+	mu    sync.Mutex
+	items map[int64]*watchItem
+	next  int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type watchItem struct {
+	id     string
+	beat   *atomic.Int64
+	cancel context.CancelCauseFunc
+	last   int64
+	since  time.Time
+}
+
+func newWatchdog(interval, stall time.Duration) *watchdog {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if stall <= 0 {
+		stall = 30 * time.Second
+	}
+	return &watchdog{
+		interval: interval,
+		stall:    stall,
+		items:    make(map[int64]*watchItem),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (w *watchdog) start() { go w.loop() }
+
+// shutdown stops the sampling loop; registered runs are left alone.
+func (w *watchdog) shutdown() {
+	close(w.stop)
+	<-w.done
+}
+
+// watch registers a run. beat must be the counter handed to the engines;
+// cancel is invoked with a *StuckRunError cause on a stall verdict. The
+// returned func deregisters (idempotent, safe after a kill).
+func (w *watchdog) watch(id string, beat *atomic.Int64, cancel context.CancelCauseFunc) (unwatch func()) {
+	w.mu.Lock()
+	w.next++
+	key := w.next
+	w.items[key] = &watchItem{id: id, beat: beat, cancel: cancel, last: beat.Load(), since: time.Now()}
+	w.mu.Unlock()
+	return func() {
+		w.mu.Lock()
+		delete(w.items, key)
+		w.mu.Unlock()
+	}
+}
+
+func (w *watchdog) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-t.C:
+			w.sweep(now)
+		}
+	}
+}
+
+// sweep samples every watched counter once.
+func (w *watchdog) sweep(now time.Time) {
+	w.mu.Lock()
+	var killed []*watchItem
+	for key, it := range w.items {
+		cur := it.beat.Load()
+		if cur != it.last {
+			it.last, it.since = cur, now
+			continue
+		}
+		if now.Sub(it.since) >= w.stall {
+			killed = append(killed, it)
+			delete(w.items, key)
+		}
+	}
+	w.mu.Unlock()
+	// Cancel outside the lock: cancellation can trigger arbitrary callbacks.
+	for _, it := range killed {
+		w.kills.Add(1)
+		it.cancel(&StuckRunError{ID: it.id, Beats: it.last, Stall: now.Sub(it.since)})
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWatchdogKillsStalledRun(t *testing.T) {
+	wd := newWatchdog(5*time.Millisecond, 20*time.Millisecond)
+	wd.start()
+	defer wd.shutdown()
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var beat atomic.Int64 // never advances
+	unwatch := wd.watch("stuck-run", &beat, cancel)
+	defer unwatch()
+
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never killed a silent run")
+	}
+	var stuck *StuckRunError
+	if cause := context.Cause(ctx); !errors.As(cause, &stuck) {
+		t.Fatalf("cause = %v, want *StuckRunError", cause)
+	} else if stuck.ID != "stuck-run" {
+		t.Errorf("StuckRunError.ID = %q", stuck.ID)
+	}
+	if wd.kills.Load() != 1 {
+		t.Errorf("kills = %d, want 1", wd.kills.Load())
+	}
+}
+
+func TestWatchdogSparesBeatingRun(t *testing.T) {
+	wd := newWatchdog(5*time.Millisecond, 25*time.Millisecond)
+	wd.start()
+	defer wd.shutdown()
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var beat atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				beat.Add(1)
+			}
+		}
+	}()
+	unwatch := wd.watch("live-run", &beat, cancel)
+
+	time.Sleep(150 * time.Millisecond)
+	if ctx.Err() != nil {
+		t.Fatalf("watchdog killed a run that was making progress: %v", context.Cause(ctx))
+	}
+	close(stop)
+	unwatch()
+	cancel(nil)
+}
+
+func TestWatchdogUnwatchStopsTracking(t *testing.T) {
+	wd := newWatchdog(5*time.Millisecond, 15*time.Millisecond)
+	wd.start()
+	defer wd.shutdown()
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var beat atomic.Int64
+	unwatch := wd.watch("finished-run", &beat, cancel)
+	unwatch() // run completed before any stall verdict
+
+	time.Sleep(100 * time.Millisecond)
+	if ctx.Err() != nil {
+		t.Fatalf("watchdog killed a deregistered run: %v", context.Cause(ctx))
+	}
+	cancel(nil)
+}

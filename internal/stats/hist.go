@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Hist is a concurrency-safe latency histogram with power-of-two buckets
+// over microseconds. It is the service-side companion to Run.Histogram: the
+// block-size histogram bins simulated work, Hist bins wall-clock run
+// latencies so a long-lived daemon can report p50/p99 without retaining
+// every sample. Sixty-four buckets cover sub-microsecond to centuries, so
+// Observe never saturates in practice; quantiles are upper bucket bounds
+// (at most 2x the true value), which is the usual trade for O(1) memory.
+//
+// The zero value is ready to use.
+type Hist struct {
+	mu     sync.Mutex
+	counts [65]int64 // counts[i]: samples with bucket index i (see bucketOf)
+	n      int64
+	sum    time.Duration
+}
+
+// bucketOf maps a duration to its bucket: the bit length of the duration in
+// whole microseconds (0 for sub-microsecond samples).
+func bucketOf(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	return bits.Len64(uint64(d / time.Microsecond))
+}
+
+// bucketUpper is the inclusive upper bound of a bucket in microseconds.
+func bucketUpper(b int) time.Duration {
+	if b >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1)<<b) * time.Microsecond
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(d time.Duration) {
+	b := bucketOf(d)
+	h.mu.Lock()
+	h.counts[b]++
+	h.n++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// Count returns the number of observed samples.
+func (h *Hist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the average observed latency (0 with no samples).
+func (h *Hist) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Quantile returns an upper bound for the p-quantile (p in [0,1]) of the
+// observed latencies: the upper bound of the smallest bucket whose
+// cumulative count reaches p of the samples. Returns 0 with no samples.
+func (h *Hist) Quantile(p float64) time.Duration {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	need := int64(p * float64(h.n))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= need {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(len(h.counts) - 1)
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatalf("empty hist: count=%d p50=%v mean=%v", h.Count(), h.Quantile(0.5), h.Mean())
+	}
+}
+
+func TestHistQuantileBounds(t *testing.T) {
+	var h Hist
+	// 90 fast samples and 10 slow ones: p50 must be near the fast cluster,
+	// p99 near the slow one. Buckets are power-of-two, so bounds are loose
+	// by at most 2x.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 100*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Errorf("p50 = %v, want in [100us, 200us]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 80*time.Millisecond || p99 > 160*time.Millisecond {
+		t.Errorf("p99 = %v, want in [80ms, 160ms]", p99)
+	}
+	if q0, q1 := h.Quantile(0), h.Quantile(1); q0 > q1 {
+		t.Errorf("quantiles not monotone: q0=%v q1=%v", q0, q1)
+	}
+}
+
+func TestHistNegativeAndClampedP(t *testing.T) {
+	var h Hist
+	h.Observe(-time.Second) // clamped to 0
+	if got := h.Quantile(-1); got > time.Microsecond {
+		t.Errorf("Quantile(-1) = %v, want <= 1us bucket", got)
+	}
+	if got := h.Quantile(2); got > time.Microsecond {
+		t.Errorf("Quantile(2) = %v, want <= 1us bucket", got)
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := h.Count(); n != 8000 {
+		t.Fatalf("count = %d, want 8000", n)
+	}
+}
