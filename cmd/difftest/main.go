@@ -9,6 +9,8 @@
 //	difftest -reduce crash.mc [-in file]  # shrink an oracle-failing program
 //	difftest -fault 20 -seed 3000         # fault-injection sweep: seeded faults
 //	                                      # must repair invisibly or machine-check
+//	difftest -snapshot 20 -seed 1000      # checkpoint/restore sweep: interrupted
+//	                                      # and resumed runs must be bit-identical
 //
 // A sweep that finds a divergence reduces the failing program automatically
 // and prints the minimal repro, so a CI failure lands as a few statements
@@ -36,6 +38,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the reduced fuzzing matrix instead of the full one")
 		noshrink = flag.Bool("noshrink", false, "with -gen: report divergences without auto-reducing")
 		fault    = flag.Int("fault", 0, "fault-injection-sweep this many generated programs")
+		snap     = flag.Int("snapshot", 0, "checkpoint/restore-sweep this many generated programs")
 	)
 	flag.Parse()
 
@@ -55,6 +58,8 @@ func main() {
 	}
 
 	switch {
+	case *snap > 0:
+		snapshotSweep(*snap, *seed)
 	case *fault > 0:
 		faultSweep(*fault, *seed)
 	case *gen > 0:
@@ -158,6 +163,40 @@ func faultSweep(n int, seed0 int64) {
 			fatal(err)
 		}
 		rep, err := c.FaultOracle(matrix, []uint64{uint64(seed), uint64(seed) * 0x9e3779b9, 0xdeadbeef})
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Failed() {
+			report(name, rep)
+			fmt.Printf("program:\n%s\n", src)
+			os.Exit(1)
+		}
+		if (i+1)%10 == 0 || i == n-1 {
+			fmt.Printf("%d/%d ok\n", i+1, n)
+		}
+	}
+}
+
+// snapshotSweep generates programs and runs each through the snapshot
+// oracle: a run checkpointed, serialized, and resumed at seed-randomized
+// points must be bit-identical to the run that was never interrupted. The
+// case construction (profile rotation, input lengths, oracle seed) matches
+// TestSnapshotOracleGeneratedPrograms exactly, so a test failure replays
+// here with the same -seed.
+func snapshotSweep(n int, seed0 int64) {
+	matrix := difftest.SnapshotMatrix()
+	profiles := difftest.SweepProfiles()
+	for i := 0; i < n; i++ {
+		seed := seed0 + int64(i)
+		src := difftest.Generate(seed, profiles[int(seed)%len(profiles)])
+		name := fmt.Sprintf("seed %d", seed)
+		c, err := difftest.CompileCase(name, src,
+			difftest.GenInput(seed*2, 180+int(seed%120)),
+			difftest.GenInput(seed*2+1, 180+int((seed+7)%120)))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := c.SnapshotOracle(matrix, uint64(seed)*0x9e3779b9)
 		if err != nil {
 			fatal(err)
 		}

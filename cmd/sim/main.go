@@ -9,14 +9,23 @@
 //	sim -img prog.img -in0 input.txt [-in1 other.txt]
 //	    [-hintsfrom prof.json] [-usetrace prog.trc]
 //	    [-out output.bin] [-stats] [-timeout 30s]
+//	    [-checkpoint run.snap] [-checkpoint-every 1000000] [-restore]
 //	    [-fault-seed 1 -fault-rate 0.001] [-fault-arch]
 //	    [-cpuprofile cpu.out] [-memprofile mem.out]
 //	sim -img prog.img -in0 input.txt -functional
 //	    [-profile prof.json] [-trace prog.trc]
+//
+// With -checkpoint the timed engine parks a durable snapshot of its
+// complete state every -checkpoint-every simulated cycles; -restore picks
+// the run back up from the newest decodable snapshot (fingerprint-checked
+// against the image, inputs, and hints), continuing bit-identically with
+// the run that was interrupted — including the fault-injection stream. A
+// run that finishes removes its snapshot.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +39,16 @@ import (
 	"fgpsim/internal/interp"
 	"fgpsim/internal/ir"
 	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/snapshot"
 )
+
+// ckptOpts bundles the checkpoint/restore command line.
+type ckptOpts struct {
+	path    string // snapshot file ("" = checkpoints off)
+	every   int64  // cadence in simulated cycles
+	restore bool   // resume from the newest decodable snapshot at path
+}
 
 func main() {
 	var (
@@ -49,6 +67,9 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 0, "timed dynamic mode: fault-injection stream seed")
 		faultRate  = flag.Float64("fault-rate", 0, "timed dynamic mode: per-cycle fault probability (0 disables)")
 		faultArch  = flag.Bool("fault-arch", false, "include unrecoverable architectural-state faults in the injected set")
+		ckptPath   = flag.String("checkpoint", "", "timed mode: park durable engine snapshots at this path")
+		ckptEvery  = flag.Int64("checkpoint-every", 1_000_000, "simulated cycles between checkpoints (with -checkpoint)")
+		restore    = flag.Bool("restore", false, "timed mode: resume from the newest snapshot at -checkpoint before running")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -60,7 +81,8 @@ func main() {
 	}
 	err = run(*imgPath, *in0Path, *in1Path, *outPath, *profPath, *tracePath,
 		*useTrace, *hintsFrom, *functional, *showStats, *pipeCycles,
-		*timeout, *faultSeed, *faultRate, *faultArch)
+		*timeout, *faultSeed, *faultRate, *faultArch,
+		ckptOpts{path: *ckptPath, every: *ckptEvery, restore: *restore})
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -114,9 +136,18 @@ func readOptional(path string) ([]byte, error) {
 }
 
 func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hintsFrom string, functional, showStats bool, pipeCycles int64,
-	timeout time.Duration, faultSeed uint64, faultRate float64, faultArch bool) error {
+	timeout time.Duration, faultSeed uint64, faultRate float64, faultArch bool, ckpt ckptOpts) error {
 	if imgPath == "" {
 		return fmt.Errorf("-img is required")
+	}
+	if ckpt.path == "" && ckpt.restore {
+		return fmt.Errorf("-restore requires -checkpoint")
+	}
+	if ckpt.path != "" && ckpt.every <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %d", ckpt.every)
+	}
+	if ckpt.path != "" && functional {
+		return fmt.Errorf("-checkpoint applies to timed runs, not -functional")
 	}
 	img, err := loader.ReadFile(imgPath)
 	if err != nil {
@@ -165,15 +196,14 @@ func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hint
 		if pipeCycles > 0 {
 			pipe = &core.PipeLog{MaxCycles: pipeCycles}
 		}
-		var inj *faultinject.Injector
+		var faultOpts *faultinject.Options
 		if faultRate > 0 {
-			opts := faultinject.Options{Seed: faultSeed, Rate: faultRate}
+			faultOpts = &faultinject.Options{Seed: faultSeed, Rate: faultRate}
 			if faultArch {
-				opts.Kinds = append(faultinject.DefaultKinds(), faultinject.ArchBit)
+				faultOpts.Kinds = append(faultinject.DefaultKinds(), faultinject.ArchBit)
 			}
-			inj = faultinject.New(opts)
 		}
-		res, err := timedRun(img, in0, in1, useTrace, hintsFrom, pipe, timeout, inj)
+		res, inj, err := timedRun(img, in0, in1, useTrace, hintsFrom, pipe, timeout, faultOpts, ckpt)
 		if inj != nil {
 			for _, ev := range inj.Events() {
 				fmt.Fprintf(os.Stderr, "fault: %s\n", ev)
@@ -205,25 +235,70 @@ func run(imgPath, in0Path, in1Path, outPath, profPath, tracePath, useTrace, hint
 }
 
 func timedRun(img *loader.Image, in0, in1 []byte, useTrace, hintsFrom string, pipe *core.PipeLog,
-	timeout time.Duration, inj *faultinject.Injector) (*core.RunResult, error) {
+	timeout time.Duration, faultOpts *faultinject.Options, ckpt ckptOpts) (*core.RunResult, *faultinject.Injector, error) {
 	var trace []ir.BlockID
 	if useTrace != "" {
 		data, err := os.ReadFile(useTrace)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		trace, err = interp.UnmarshalTrace(data)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	hints, err := decodeHints(hintsFrom)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	lim := core.Limits{Pipe: pipe}
+
+	// Checkpoint arming. Fill-unit images mutate their program at run time
+	// and cannot be pinned to a stable fingerprint, so they run unarmed.
+	armed := ckpt.path != ""
+	if armed && img.Cfg.Branch == machine.FillUnit {
+		fmt.Fprintln(os.Stderr, "sim: fill-unit images cannot be snapshotted; running without checkpoints")
+		armed = false
+	}
+	var (
+		fp     uint64
+		resume *core.EngineState
+		inj    *faultinject.Injector
+	)
+	if armed {
+		fp = snapshot.RunFingerprint(img, in0, in1, hints)
+		if ckpt.restore {
+			switch snap, err := snapshot.ReadLatest(ckpt.path); {
+			case err == nil:
+				if snap.Fingerprint != fp {
+					return nil, nil, fmt.Errorf("snapshot %s is from a different run (image, inputs, or hints changed)", ckpt.path)
+				}
+				resume = snap.Engine
+				if snap.Injector != nil {
+					if faultOpts == nil {
+						return nil, nil, fmt.Errorf("snapshot %s carries fault-injection state; rerun with the original -fault-rate/-fault-seed", ckpt.path)
+					}
+					inj = faultinject.Resume(*faultOpts, snap.Injector)
+				}
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Fprintln(os.Stderr, "sim: no snapshot to restore; starting fresh")
+			default:
+				// Both the snapshot and its .prev rotation are torn or
+				// corrupt: the durable ladder is exhausted, start over.
+				fmt.Fprintf(os.Stderr, "sim: %v; starting fresh\n", err)
+			}
+		}
+	}
+	if inj == nil && faultOpts != nil {
+		inj = faultinject.New(*faultOpts)
+	}
+
+	lim := core.Limits{Pipe: pipe, Resume: resume}
 	if inj != nil {
 		lim.Fault = inj.Hook()
+	}
+	if armed {
+		lim.CheckpointEvery = ckpt.every
+		lim.Checkpoint = snapshot.Saver(ckpt.path, fp, inj)
 	}
 	ctx := context.Background()
 	if timeout > 0 {
@@ -231,7 +306,15 @@ func timedRun(img *loader.Image, in0, in1 []byte, useTrace, hintsFrom string, pi
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	return core.RunContext(ctx, img, in0, in1, trace, hints, lim)
+	res, err := core.RunContext(ctx, img, in0, in1, trace, hints, lim)
+	if err != nil {
+		return nil, inj, err
+	}
+	if armed {
+		// A finished run's snapshot must not seed a later -restore.
+		snapshot.Remove(ckpt.path)
+	}
+	return res, inj, nil
 }
 
 func decodeHints(path string) (map[ir.BlockID]bool, error) {

@@ -6,7 +6,11 @@
 // queue fills, kills wedged runs via a cycle-progress watchdog, journals
 // accepted sweeps to an fsync'd JSON-lines file so a crash or deploy loses
 // nothing settled, and drains gracefully on SIGTERM/SIGINT: stop
-// admitting, finish or journal in-flight work, exit 0.
+// admitting, finish or journal in-flight work, exit 0. With checkpoints
+// armed (-checkpoint-every) sweep cells additionally park mid-run engine
+// snapshots, so even a kill -9 resumes mid-cell rather than from cycle 0,
+// and -preempt-after upgrades the watchdog to preempt-and-requeue long
+// sweeps that are starving queued work.
 //
 // Usage:
 //
@@ -15,10 +19,12 @@
 //	     [-default-timeout 2m] [-max-timeout 10m]
 //	     [-watchdog-interval 1s] [-watchdog-stall 30s]
 //	     [-drain-timeout 30s]
+//	     [-checkpoint-every 0] [-preempt-after 0]
 //
 // Endpoints: /healthz, /readyz (503 while draining), /metrics (queue
-// depth, shed count, in-flight, watchdog kills, retries, p50/p99 run
-// latency), /run, /sweep, /sweep/{id}. See README.md for curl examples.
+// depth, shed count, in-flight, watchdog kills, retries, preempts,
+// p50/p99 run latency), /run, /sweep, /sweep/{id}. See README.md for curl
+// examples.
 package main
 
 import (
@@ -35,41 +41,118 @@ import (
 	"fgpsim/internal/server"
 )
 
-func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		journalDir   = flag.String("journal", "", "journal directory; accepted sweeps persist and resume across restarts (empty = no persistence)")
-		queue        = flag.Int("queue", 64, "admission queue depth before shedding with 429")
-		concurrency  = flag.Int("concurrency", 0, "weighted limiter capacity in worker units (0 = GOMAXPROCS)")
-		defTimeout   = flag.Duration("default-timeout", 2*time.Minute, "per-run deadline when the request names none")
-		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "hard cap on requested run deadlines")
-		wdInterval   = flag.Duration("watchdog-interval", time.Second, "heartbeat sampling period")
-		wdStall      = flag.Duration("watchdog-stall", 30*time.Second, "kill a run after this long without engine progress")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM before force-cancel")
-	)
-	flag.Parse()
-	if err := run(*addr, *journalDir, *queue, *concurrency, *defTimeout, *maxTimeout, *wdInterval, *wdStall, *drainTimeout); err != nil {
-		fmt.Fprintln(os.Stderr, "simd:", err)
-		os.Exit(1)
+// options is the daemon's parsed command line, separated from flag
+// registration so validation is testable without a process.
+type options struct {
+	addr            string
+	journalDir      string
+	queue           int
+	concurrency     int
+	defTimeout      time.Duration
+	maxTimeout      time.Duration
+	wdInterval      time.Duration
+	wdStall         time.Duration
+	drainTimeout    time.Duration
+	checkpointEvery int64
+	preemptAfter    time.Duration
+}
+
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.journalDir, "journal", "", "journal directory; accepted sweeps persist and resume across restarts (empty = no persistence)")
+	fs.IntVar(&o.queue, "queue", 64, "admission queue depth before shedding with 429")
+	fs.IntVar(&o.concurrency, "concurrency", 0, "weighted limiter capacity in worker units (0 = GOMAXPROCS)")
+	fs.DurationVar(&o.defTimeout, "default-timeout", 2*time.Minute, "per-run deadline when the request names none")
+	fs.DurationVar(&o.maxTimeout, "max-timeout", 10*time.Minute, "hard cap on requested run deadlines")
+	fs.DurationVar(&o.wdInterval, "watchdog-interval", time.Second, "heartbeat sampling period")
+	fs.DurationVar(&o.wdStall, "watchdog-stall", 30*time.Second, "kill a run after this long without engine progress")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM before force-cancel")
+	fs.Int64Var(&o.checkpointEvery, "checkpoint-every", 0, "simulated cycles between durable sweep-cell snapshots (0 = off; requires -journal)")
+	fs.DurationVar(&o.preemptAfter, "preempt-after", 0, "preempt-and-requeue a sweep holding workers this long while work queues (0 = off; requires -checkpoint-every)")
+	return o
+}
+
+// validate enforces the cross-flag contracts that the server would
+// otherwise only disarm silently.
+func (o *options) validate() error {
+	if o.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if o.checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0, got %d", o.checkpointEvery)
+	}
+	if o.preemptAfter < 0 {
+		return fmt.Errorf("-preempt-after must be >= 0, got %s", o.preemptAfter)
+	}
+	if o.checkpointEvery > 0 && o.journalDir == "" {
+		return fmt.Errorf("-checkpoint-every requires -journal (snapshots live in the journal directory)")
+	}
+	if o.preemptAfter > 0 && o.checkpointEvery == 0 {
+		return fmt.Errorf("-preempt-after requires -checkpoint-every (preemption parks a checkpoint)")
+	}
+	for _, d := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"-default-timeout", o.defTimeout},
+		{"-max-timeout", o.maxTimeout},
+		{"-watchdog-interval", o.wdInterval},
+		{"-watchdog-stall", o.wdStall},
+		{"-drain-timeout", o.drainTimeout},
+	} {
+		if d.val < 0 {
+			return fmt.Errorf("%s must be >= 0, got %s", d.name, d.val)
+		}
+	}
+	return nil
+}
+
+func (o *options) serverConfig() server.Config {
+	return server.Config{
+		QueueDepth:       o.queue,
+		Concurrency:      o.concurrency,
+		DefaultTimeout:   o.defTimeout,
+		MaxTimeout:       o.maxTimeout,
+		WatchdogInterval: o.wdInterval,
+		WatchdogStall:    o.wdStall,
+		JournalDir:       o.journalDir,
+		CheckpointEvery:  o.checkpointEvery,
+		PreemptAfter:     o.preemptAfter,
 	}
 }
 
-func run(addr, journalDir string, queue, concurrency int, defTimeout, maxTimeout, wdInterval, wdStall, drainTimeout time.Duration) error {
-	srv, err := server.New(server.Config{
-		QueueDepth:       queue,
-		Concurrency:      concurrency,
-		DefaultTimeout:   defTimeout,
-		MaxTimeout:       maxTimeout,
-		WatchdogInterval: wdInterval,
-		WatchdogStall:    wdStall,
-		JournalDir:       journalDir,
-	})
+func main() { os.Exit(realMain(os.Args[1:])) }
+
+// realMain is main with injectable arguments and an exit code instead of
+// os.Exit, so the exit-code contract is testable: 2 for a bad command line
+// (unknown flag or failed validation), 1 for a runtime failure, 0 for a
+// clean drain.
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("simd", flag.ContinueOnError)
+	o := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		return 2
+	}
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(o *options) error {
+	srv, err := server.New(o.serverConfig())
 	if err != nil {
 		return err
 	}
 	srv.Start()
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -90,7 +173,7 @@ func run(addr, journalDir string, queue, concurrency int, defTimeout, maxTimeout
 	// completed sweep cell is already fsync'd in the journal, so the
 	// interrupted sweeps resume on the next boot. Exit 0 either way.
 	fmt.Fprintln(os.Stderr, "simd: signal received, draining")
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	drained := make(chan error, 1)
 	go func() { drained <- srv.Drain(ctx) }()

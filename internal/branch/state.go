@@ -1,0 +1,128 @@
+package branch
+
+import (
+	"fmt"
+	"sort"
+
+	"fgpsim/internal/ir"
+)
+
+// Predictor state kinds, recorded in State.Kind so a snapshot taken under
+// one predictor cannot be applied to another.
+const (
+	StateTwoBit uint8 = 1
+	StateGShare uint8 = 2
+)
+
+// State is the serializable dynamic state of a direction predictor: the
+// trained tables and speculative history, everything a checkpoint must
+// carry to make a restored run predict identically. Static hints are NOT
+// part of it — they are an input (derived from the profile) that the
+// restoring side reconstructs the same way the original run did, which
+// keeps snapshots free of redundant derived data.
+type State struct {
+	Kind uint8
+
+	// BTB (two-bit) fields.
+	Tags []int32
+	Ctr  []uint8
+	Hits int64
+
+	// GShare fields (Ctr is shared).
+	History uint32
+	Seen    []ir.BlockID // sorted, for deterministic encoding
+
+	Lookups int64
+}
+
+// State snapshots the BTB's trained table and hit counters.
+func (b *BTB) State() *State {
+	return &State{
+		Kind:    StateTwoBit,
+		Tags:    append([]int32(nil), b.tags...),
+		Ctr:     append([]uint8(nil), b.ctr...),
+		Lookups: b.Lookups,
+		Hits:    b.Hits,
+	}
+}
+
+// SetState restores a snapshot taken by State. The BTB must have been
+// built with the same geometry (entry count) as the one snapshotted.
+func (b *BTB) SetState(s *State) error {
+	if s.Kind != StateTwoBit {
+		return fmt.Errorf("branch: restoring kind-%d state into a 2-bit BTB", s.Kind)
+	}
+	if len(s.Tags) != len(b.tags) || len(s.Ctr) != len(b.ctr) {
+		return fmt.Errorf("branch: BTB geometry mismatch: snapshot has %d tags / %d counters, predictor has %d / %d",
+			len(s.Tags), len(s.Ctr), len(b.tags), len(b.ctr))
+	}
+	copy(b.tags, s.Tags)
+	copy(b.ctr, s.Ctr)
+	b.Lookups = s.Lookups
+	b.Hits = s.Hits
+	return nil
+}
+
+// State snapshots the gshare tables, speculative history, and first-seen
+// set. The engine only checkpoints at quiescent points, where speculative
+// history equals committed history, so History round-trips exactly.
+func (g *GShare) State() *State {
+	// nil when empty (not a zero-length slice) so the state survives a
+	// serialization roundtrip reflect-identically.
+	var seen []ir.BlockID
+	for blk := range g.seen {
+		seen = append(seen, blk)
+	}
+	sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	return &State{
+		Kind:    StateGShare,
+		Ctr:     append([]uint8(nil), g.ctr...),
+		History: g.history,
+		Seen:    seen,
+		Lookups: g.Lookups,
+	}
+}
+
+// SetState restores a snapshot taken by State. The predictor must have
+// been built with the same table size as the one snapshotted.
+func (g *GShare) SetState(s *State) error {
+	if s.Kind != StateGShare {
+		return fmt.Errorf("branch: restoring kind-%d state into a gshare predictor", s.Kind)
+	}
+	if len(s.Ctr) != len(g.ctr) {
+		return fmt.Errorf("branch: gshare geometry mismatch: snapshot has %d counters, predictor has %d",
+			len(s.Ctr), len(g.ctr))
+	}
+	copy(g.ctr, s.Ctr)
+	g.history = s.History & g.mask
+	g.seen = make(map[ir.BlockID]bool, len(s.Seen))
+	for _, blk := range s.Seen {
+		g.seen[blk] = true
+	}
+	g.Lookups = s.Lookups
+	return nil
+}
+
+// PredictorState extracts the serializable state from any predictor this
+// package builds; it returns nil for predictors with no dynamic state.
+func PredictorState(p DirectionPredictor) *State {
+	switch p := p.(type) {
+	case TwoBitAdapter:
+		return p.BTB.State()
+	case *GShare:
+		return p.State()
+	}
+	return nil
+}
+
+// SetPredictorState applies a snapshot to a freshly built predictor of the
+// matching kind.
+func SetPredictorState(p DirectionPredictor, s *State) error {
+	switch p := p.(type) {
+	case TwoBitAdapter:
+		return p.BTB.SetState(s)
+	case *GShare:
+		return p.SetState(s)
+	}
+	return fmt.Errorf("branch: predictor %T cannot restore state", p)
+}

@@ -1,0 +1,307 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// ckptVariants are the engine configurations the checkpoint tests sweep:
+// both disciplines, perfect and cached memory, both predictor families.
+func ckptVariants() []machine.Config {
+	v := []machine.Config{
+		mkCfg(machine.Static, 8, 'A'),
+		mkCfg(machine.Static, 8, 'D'),
+		mkCfg(machine.Dyn4, 8, 'D'),
+		mkCfg(machine.Dyn256, 8, 'A'),
+	}
+	g := mkCfg(machine.Dyn256, 8, 'D')
+	g.Predictor = machine.GSharePredictor
+	v = append(v, g)
+	return v
+}
+
+// TestCheckpointResumeBitIdentical is the core determinism contract: a run
+// armed with CheckpointEvery=K, interrupted at ANY of its checkpoints and
+// resumed into a fresh engine (still at cadence K), must finish with the
+// same output bytes and the same statistics — cycle counts included — as
+// the cadence-K run that was never interrupted.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	p := randomProgram(42)
+	// Dynamic runs of this program take well under a hundred cycles, so the
+	// cadence must be short for any checkpoint to land before the halt.
+	const every = 16
+	for _, cfg := range ckptVariants() {
+		img, err := loader.Load(p, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snaps []*core.EngineState
+		lim := core.Limits{
+			CheckpointEvery: every,
+			Checkpoint: func(st *core.EngineState) error {
+				snaps = append(snaps, st)
+				return nil
+			},
+		}
+		straight, err := core.Run(img, nil, nil, nil, nil, lim)
+		if err != nil {
+			t.Fatalf("%s: straight run: %v", cfg, err)
+		}
+		if len(snaps) == 0 {
+			t.Fatalf("%s: cadence %d produced no checkpoints in %d cycles",
+				cfg, every, straight.Stats.Cycles)
+		}
+		for i, snap := range snaps {
+			res, err := core.Run(img, nil, nil, nil, nil,
+				core.Limits{CheckpointEvery: every, Resume: snap})
+			if err != nil {
+				t.Fatalf("%s: resume from checkpoint %d: %v", cfg, i, err)
+			}
+			if !bytes.Equal(res.Output, straight.Output) {
+				t.Fatalf("%s: checkpoint %d: resumed output differs", cfg, i)
+			}
+			if !reflect.DeepEqual(res.Stats, straight.Stats) {
+				t.Fatalf("%s: checkpoint %d: resumed stats differ:\nwant %+v\ngot  %+v",
+					cfg, i, straight.Stats, res.Stats)
+			}
+		}
+	}
+}
+
+// TestCheckpointArchitecturalInvariance: draining perturbs timing but must
+// never change the committed path — output, retired nodes, and retired
+// blocks match the unarmed run exactly.
+func TestCheckpointArchitecturalInvariance(t *testing.T) {
+	p := randomProgram(7)
+	for _, cfg := range ckptVariants() {
+		img, err := loader.Load(p, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		armed, err := core.Run(img, nil, nil, nil, nil, core.Limits{CheckpointEvery: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain.Output, armed.Output) {
+			t.Fatalf("%s: arming checkpoints changed the output", cfg)
+		}
+		if plain.Stats.RetiredNodes != armed.Stats.RetiredNodes ||
+			plain.Stats.RetiredBlocks != armed.Stats.RetiredBlocks {
+			t.Fatalf("%s: arming checkpoints changed retired work: %d/%d vs %d/%d",
+				cfg, plain.Stats.RetiredNodes, plain.Stats.RetiredBlocks,
+				armed.Stats.RetiredNodes, armed.Stats.RetiredBlocks)
+		}
+	}
+}
+
+// bigLoop builds a program that runs long enough to cross several amortized
+// check gates (ctxCheckPeriod blocks/cycles).
+func bigLoop(iters int64) *ir.Program {
+	p := &ir.Program{MemSize: 1 << 16}
+	f := &ir.Func{Name: "main"}
+	p.Funcs = append(p.Funcs, f)
+	p.AddBlock(0, &ir.Block{
+		Body: []ir.Node{{Op: ir.Const, Dst: 5, Imm: iters}, {Op: ir.Const, Dst: 6, Imm: 1}},
+		Term: ir.Node{Op: ir.Jmp, Target: 1}, Fall: ir.NoBlock,
+	})
+	p.AddBlock(0, &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Sub, Dst: 5, A: 5, B: 6},
+			{Op: ir.Xor, Dst: 7, A: 7, B: 5},
+			{Op: ir.Const, Dst: 8, Imm: 0},
+			{Op: ir.Gt, Dst: 9, A: 5, B: 8},
+		},
+		Term: ir.Node{Op: ir.Br, A: 9, Target: 1}, Fall: 2,
+	})
+	p.AddBlock(0, &ir.Block{
+		Body: []ir.Node{{Op: ir.Sys, Dst: 10, A: 7, B: ir.NoReg, Imm: ir.SysPutc}},
+		Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock,
+	})
+	f.Entry = 0
+	return p
+}
+
+// TestPreemptAndResume: a run whose Preempt flag is raised returns a typed
+// *core.PreemptedError carrying a resumable snapshot, and the resumed run
+// (flag lowered) completes with output identical to an unpreempted run.
+func TestPreemptAndResume(t *testing.T) {
+	p := bigLoop(20_000)
+	for _, cfg := range []machine.Config{
+		mkCfg(machine.Static, 8, 'A'),
+		mkCfg(machine.Dyn4, 8, 'A'),
+	} {
+		img, err := loader.Load(p, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		straight, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flag atomic.Bool
+		lim := core.Limits{Preempt: &flag}
+		if cfg.Disc == machine.Static {
+			// The static engine polls the flag at its amortized block gate;
+			// raising it before the run lands the preemption at that gate.
+			flag.Store(true)
+		} else {
+			// The dynamic engine polls at cycle 0 too; raise the flag
+			// mid-run (via the per-cycle fault hook, which only observes)
+			// so the preemption happens with real work in flight.
+			lim.Fault = func(p core.FaultPort) {
+				if p.Cycle() == 5000 {
+					flag.Store(true)
+				}
+			}
+		}
+		_, err = core.Run(img, nil, nil, nil, nil, lim)
+		var pe *core.PreemptedError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: err = %v, want *core.PreemptedError", cfg, err)
+		}
+		if pe.State == nil {
+			t.Fatalf("%s: preemption carried no snapshot", cfg)
+		}
+		if pe.Cycle == 0 || pe.Cycle >= straight.Stats.Cycles {
+			t.Fatalf("%s: preempted at cycle %d, straight run took %d",
+				cfg, pe.Cycle, straight.Stats.Cycles)
+		}
+		flag.Store(false)
+		res, err := core.Run(img, nil, nil, nil, nil, core.Limits{Resume: pe.State, Preempt: &flag})
+		if err != nil {
+			t.Fatalf("%s: resume after preemption: %v", cfg, err)
+		}
+		if !bytes.Equal(res.Output, straight.Output) {
+			t.Fatalf("%s: resumed output differs from unpreempted run", cfg)
+		}
+		if res.Stats.RetiredBlocks != straight.Stats.RetiredBlocks {
+			t.Fatalf("%s: resumed retired blocks %d, want %d",
+				cfg, res.Stats.RetiredBlocks, straight.Stats.RetiredBlocks)
+		}
+	}
+}
+
+// TestPreemptHonorsCadence: with a cadence armed, preemption must land on a
+// cadence boundary, so the resumed run is bit-identical — cycles and all —
+// to the uninterrupted cadence run.
+func TestPreemptHonorsCadence(t *testing.T) {
+	p := bigLoop(20_000)
+	const every = 1 << 13
+	img, err := loader.Load(p, mkCfg(machine.Dyn4, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight, err := core.Run(img, nil, nil, nil, nil, core.Limits{CheckpointEvery: every})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flag atomic.Bool
+	flag.Store(true)
+	_, err = core.Run(img, nil, nil, nil, nil,
+		core.Limits{CheckpointEvery: every, Preempt: &flag})
+	var pe *core.PreemptedError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *core.PreemptedError", err)
+	}
+	flag.Store(false)
+	res, err := core.Run(img, nil, nil, nil, nil,
+		core.Limits{CheckpointEvery: every, Resume: pe.State, Preempt: &flag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Output, straight.Output) {
+		t.Fatal("resumed output differs from cadence run")
+	}
+	if !reflect.DeepEqual(res.Stats, straight.Stats) {
+		t.Fatalf("resumed stats differ from cadence run:\nwant %+v\ngot  %+v",
+			straight.Stats, res.Stats)
+	}
+}
+
+// TestFillUnitCheckpointUnsupported: fill-unit images mutate their program
+// at run time, so arming checkpoints or resuming is refused with a typed
+// error, and preemption yields a snapshot-less PreemptedError.
+func TestFillUnitCheckpointUnsupported(t *testing.T) {
+	p := bigLoop(20_000)
+	cfg := mkCfg(machine.Dyn256, 8, 'A')
+	cfg.Branch = machine.FillUnit
+	img, err := loader.Load(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cu *core.CheckpointUnsupportedError
+	_, err = core.Run(img, nil, nil, nil, nil, core.Limits{CheckpointEvery: 64})
+	if !errors.As(err, &cu) {
+		t.Fatalf("CheckpointEvery on fill-unit: err = %v, want *core.CheckpointUnsupportedError", err)
+	}
+	_, err = core.Run(img, nil, nil, nil, nil, core.Limits{Resume: &core.EngineState{}})
+	if !errors.As(err, &cu) {
+		t.Fatalf("Resume on fill-unit: err = %v, want *core.CheckpointUnsupportedError", err)
+	}
+	var flag atomic.Bool
+	flag.Store(true)
+	_, err = core.Run(img, nil, nil, nil, nil, core.Limits{Preempt: &flag})
+	var pe *core.PreemptedError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Preempt on fill-unit: err = %v, want *core.PreemptedError", err)
+	}
+	if pe.State != nil {
+		t.Fatal("fill-unit preemption returned a snapshot; it cannot be valid")
+	}
+}
+
+// TestResumeRejectsMismatchedSnapshot: structurally wrong snapshots are
+// refused with *core.ResumeError instead of corrupting the run.
+func TestResumeRejectsMismatchedSnapshot(t *testing.T) {
+	p := randomProgram(3)
+	img, err := loader.Load(p, mkCfg(machine.Dyn4, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap *core.EngineState
+	_, err = core.Run(img, nil, nil, nil, nil, core.Limits{
+		CheckpointEvery: 16,
+		Checkpoint: func(st *core.EngineState) error {
+			if snap == nil {
+				snap = st
+			}
+			return nil
+		},
+	})
+	if err != nil || snap == nil {
+		t.Fatalf("no checkpoint captured (err=%v)", err)
+	}
+
+	cases := map[string]func(*core.EngineState){
+		"static-flag":   func(s *core.EngineState) { s.Static = true },
+		"short-memory":  func(s *core.EngineState) { s.Mem = s.Mem[:1] },
+		"wild-block":    func(s *core.EngineState) { s.NextBlock = 1 << 20 },
+		"wild-retstack": func(s *core.EngineState) { s.RetStack = []ir.BlockID{1 << 20} },
+		"bad-cursor":    func(s *core.EngineState) { s.Cursor = -1 },
+		"bad-inpos":     func(s *core.EngineState) { s.InPos[0] = -5 },
+		"nil-stats":     func(s *core.EngineState) { s.Stats = nil },
+	}
+	for name, mutate := range cases {
+		bad := *snap
+		bad.Mem = append([]byte(nil), snap.Mem...)
+		bad.RetStack = append([]ir.BlockID(nil), snap.RetStack...)
+		mutate(&bad)
+		_, err := core.Run(img, nil, nil, nil, nil, core.Limits{Resume: &bad})
+		var re *core.ResumeError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: err = %v, want *core.ResumeError", name, err)
+		}
+	}
+}

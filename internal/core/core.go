@@ -49,6 +49,31 @@ type Limits struct {
 	// counter that stops advancing while the run is still in flight means
 	// the engine has wedged (see internal/server's watchdog).
 	Heartbeat *atomic.Int64
+
+	// CheckpointEvery, when positive, takes a checkpoint roughly every N
+	// cycles: the dynamic engine drains its instruction window to a
+	// quiescent commit boundary (which perturbs timing — a cadence-N run is
+	// its own timing universe), the static engine captures at the next block
+	// boundary (no perturbation). When zero the checkpoint path costs one
+	// predictable branch per cycle and allocates nothing.
+	CheckpointEvery int64
+
+	// Checkpoint, when non-nil, receives the engine state captured at each
+	// checkpoint boundary. The state is a deep copy, safe to retain or
+	// serialize. A non-nil error aborts the run with that error.
+	Checkpoint func(*EngineState) error
+
+	// Preempt, when non-nil, is polled at the amortized check gate; once it
+	// reads true the engine drains to the next commit boundary and returns a
+	// *PreemptedError carrying the snapshot (nil State for fill-unit runs,
+	// which cannot be snapshotted — the caller re-runs those from scratch).
+	Preempt *atomic.Bool
+
+	// Resume, when non-nil, restores this snapshot into the engine before
+	// cycle zero; the run continues exactly where the snapshot left off.
+	// The caller is responsible for resuming against the identical image
+	// and inputs (internal/snapshot's fingerprint enforces this).
+	Resume *EngineState
 }
 
 func (l Limits) maxCycles() int64 {
@@ -74,15 +99,28 @@ func RunContext(ctx context.Context, img *loader.Image, in0, in1 []byte, trace [
 	if img.Cfg.Branch == machine.Perfect && trace == nil {
 		return nil, fmt.Errorf("core: perfect prediction requires a recorded trace")
 	}
+	if img.Cfg.Branch == machine.FillUnit && (lim.CheckpointEvery > 0 || lim.Resume != nil) {
+		return nil, &CheckpointUnsupportedError{Reason: "fill-unit images mutate at run time"}
+	}
 	if img.Cfg.Disc == machine.Static {
 		e := newStaticEngine(img, in0, in1, lim)
 		e.ctx = ctx
+		if lim.Resume != nil {
+			if err := e.restore(lim.Resume); err != nil {
+				return nil, err
+			}
+		}
 		return e.run()
 	}
 	e := newDynamicEngine(img, in0, in1, trace, lim)
 	e.ctx = ctx
 	if hints != nil {
 		e.SetHints(hints)
+	}
+	if lim.Resume != nil {
+		if err := e.restore(lim.Resume); err != nil {
+			return nil, err
+		}
 	}
 	return e.run()
 }

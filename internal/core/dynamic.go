@@ -204,6 +204,17 @@ type dynamicEngine struct {
 	// retire path only pays for verification when one is outstanding.
 	injLive int
 
+	// Checkpoint state (checkpoint.go). ckptArmed gates the per-cycle
+	// cadence test so the checkpoint-off hot path pays one bool test;
+	// draining stops issue from opening new blocks until the window empties
+	// and a snapshot is taken; preempting turns that snapshot into a
+	// *PreemptedError return.
+	ckptArmed  bool
+	ckptEvery  int64
+	lastCkpt   int64
+	draining   bool
+	preempting bool
+
 	finished bool
 }
 
@@ -229,6 +240,8 @@ func newDynamicEngine(img *loader.Image, in0, in1 []byte, trace []ir.BlockID, li
 		e.fill = newFillUnit()
 	}
 	e.pipe = lim.Pipe
+	e.ckptArmed = lim.checkpointArmed()
+	e.ckptEvery = lim.CheckpointEvery
 	for r := range e.rename {
 		e.rename[r] = renEntry{val: 0}
 	}
@@ -298,6 +311,23 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 					return nil, &CanceledError{Cycle: e.cycle, Err: cerr}
 				}
 			}
+			if e.lim.Preempt != nil && e.lim.Preempt.Load() {
+				// With a cadence armed, preemption waits for the next
+				// cadence drain: the snapshot then lands on a boundary the
+				// uninterrupted cadence run also visits, so the resumed run
+				// stays bit-identical to it. Without a cadence there is no
+				// such boundary to hit and the drain starts immediately.
+				e.preempting = true
+				if e.ckptEvery <= 0 {
+					e.draining = true
+				}
+			}
+		}
+		if e.ckptArmed && e.ckptEvery > 0 && e.cycle-e.lastCkpt >= e.ckptEvery {
+			// Exact cadence, checked every armed cycle: the drain point is
+			// part of the run's timing identity, so it cannot ride the
+			// amortized gate above (short runs would never checkpoint).
+			e.draining = true
 		}
 		e.completions()
 		e.retire()
@@ -306,6 +336,17 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 		}
 		if e.finished {
 			break
+		}
+		// A drain completes when the window is empty and issue is not
+		// wedged on a wrong path: every issued block has committed, which
+		// is the quiescent boundary checkpoints are defined at. This sits
+		// before the fault hook so a resumed run re-enters the loop at the
+		// same point the snapshot was taken and draws the identical
+		// injection stream.
+		if e.draining && e.active.len() == 0 && !e.issueStall {
+			if err := e.checkpointNow(); err != nil {
+				return nil, err
+			}
 		}
 		// The fault hook fires at the engine's consistent point: retirement
 		// is done, nothing has issued or executed yet this cycle.

@@ -25,6 +25,12 @@ func (e *dynamicEngine) issue() {
 	memSlots, aluSlots, total := e.imem, e.ialu, e.itotal
 	for total > 0 {
 		if e.issueBlock == nil {
+			if e.draining {
+				// Checkpoint drain: finish the blocks in flight, open no new
+				// ones; issue resumes once the window empties and the
+				// snapshot is taken (checkpoint.go).
+				return
+			}
 			if e.nextBlockID == ir.NoBlock {
 				return
 			}

@@ -45,6 +45,38 @@ func (e *CanceledError) Error() string {
 
 func (e *CanceledError) Unwrap() error { return e.Err }
 
+// PreemptedError is returned when a run armed with Limits.Preempt is asked
+// to yield: the engine drained its instruction window to a quiescent commit
+// boundary and stopped. State carries the architectural snapshot to resume
+// from (nil when the configuration cannot be snapshotted — fill-unit images
+// mutate at run time — in which case the caller re-runs from scratch).
+type PreemptedError struct {
+	Cycle int64
+	State *EngineState
+}
+
+func (e *PreemptedError) Error() string {
+	return fmt.Sprintf("core: run preempted at cycle %d", e.Cycle)
+}
+
+// CheckpointUnsupportedError is returned when checkpoint/restore is armed
+// on a configuration that cannot support it.
+type CheckpointUnsupportedError struct{ Reason string }
+
+func (e *CheckpointUnsupportedError) Error() string {
+	return "core: checkpointing unsupported: " + e.Reason
+}
+
+// ResumeError reports a snapshot that cannot be applied to this run — a
+// geometry or discipline mismatch, or internally inconsistent state. It
+// means the snapshot belongs to a different image or configuration (the
+// snapshot package's fingerprint should have caught it first).
+type ResumeError struct{ Reason string }
+
+func (e *ResumeError) Error() string {
+	return "core: cannot resume from snapshot: " + e.Reason
+}
+
 // UnrecoverableFaultError is the simulated machine check: an injected fault
 // corrupted state that no checkpoint covers (committed architectural state,
 // or a replay that would re-execute an already-performed system call). The

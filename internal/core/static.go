@@ -35,6 +35,14 @@ type staticEngine struct {
 	readySnap     [ir.NumRegs]int64
 	memUndo       []memUndo
 	transactional bool
+
+	// Checkpoint state (checkpoint.go). Static checkpoints land at block
+	// boundaries, so arming them perturbs no timing at all.
+	ckptEvery   int64
+	lastCkpt    int64
+	resumed     bool
+	resumeBlock ir.BlockID
+	resumeCycle int64
 }
 
 type memUndo struct {
@@ -52,6 +60,7 @@ func newStaticEngine(img *loader.Image, in0, in1 []byte, lim Limits) *staticEngi
 		lim: lim,
 	}
 	e.regs[ir.RegSP] = ir.InitialSP(img.Prog.MemSize)
+	e.ckptEvery = lim.CheckpointEvery
 	return e
 }
 
@@ -59,6 +68,9 @@ func (e *staticEngine) run() (*RunResult, error) {
 	p := e.img.Prog
 	cur := p.Func(p.Entry).Entry
 	cycle := int64(0) // first issue cycle of the current block
+	if e.resumed {
+		cur, cycle = e.resumeBlock, e.resumeCycle
+	}
 	maxCycles := e.lim.maxCycles()
 
 	blocks := int64(0)
@@ -81,6 +93,17 @@ func (e *staticEngine) run() (*RunResult, error) {
 			if e.ctx != nil {
 				if cerr := e.ctx.Err(); cerr != nil {
 					return nil, &CanceledError{Cycle: nextCycle, Err: cerr}
+				}
+			}
+			if e.lim.Preempt != nil && e.lim.Preempt.Load() {
+				return nil, &PreemptedError{Cycle: nextCycle, State: e.captureStatic(next, nextCycle)}
+			}
+		}
+		if e.ckptEvery > 0 && nextCycle-e.lastCkpt >= e.ckptEvery {
+			e.lastCkpt = nextCycle
+			if e.lim.Checkpoint != nil {
+				if cerr := e.lim.Checkpoint(e.captureStatic(next, nextCycle)); cerr != nil {
+					return nil, cerr
 				}
 			}
 		}

@@ -8,16 +8,10 @@ import (
 	"fgpsim/internal/minic"
 )
 
-// genProfiles are the feature mixes the oracle sweep rotates through, so
-// loop-heavy, recursion-heavy, byte-heavy, and branch-heavy programs all
-// appear in every run.
-var genProfiles = []GenOptions{
-	DefaultGenOptions(),
-	{Helpers: 2, BodyOps: 10, Loops: 3, Arrays: 1, ALU: 1, Branchy: 1},             // loop-heavy
-	{Helpers: 4, BodyOps: 5, Calls: 3, ALU: 1, Branchy: 0.5},                       // call/recursion-heavy
-	{Helpers: 2, BodyOps: 8, Bytes: 3, Arrays: 0.5, ALU: 1},                        // byte-traffic-heavy
-	{Helpers: 3, BodyOps: 12, Branchy: 3, ALU: 2, Arrays: 1, Bytes: 1, Loops: 0.5}, // branch-heavy
-}
+// genProfiles are the feature mixes the oracle sweep rotates through
+// (SweepProfiles, shared with cmd/difftest so failure seeds replay under
+// the same profile).
+var genProfiles = SweepProfiles()
 
 // TestGenerateDeterministic: the generator is a pure function of seed and
 // options — corpus entries and failure seeds must reproduce forever.

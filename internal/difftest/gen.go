@@ -49,6 +49,22 @@ func DefaultGenOptions() GenOptions {
 	}
 }
 
+// SweepProfiles returns the feature mixes the generated-program sweeps
+// rotate through, so loop-heavy, recursion-heavy, byte-heavy, and
+// branch-heavy programs all appear in every run. Exported so cmd/difftest
+// replays a failing test seed under the exact profile the test picked
+// (profile index = seed modulo the profile count; the test seed bases are
+// multiples of the count).
+func SweepProfiles() []GenOptions {
+	return []GenOptions{
+		DefaultGenOptions(),
+		{Helpers: 2, BodyOps: 10, Loops: 3, Arrays: 1, ALU: 1, Branchy: 1},             // loop-heavy
+		{Helpers: 4, BodyOps: 5, Calls: 3, ALU: 1, Branchy: 0.5},                       // call/recursion-heavy
+		{Helpers: 2, BodyOps: 8, Bytes: 3, Arrays: 0.5, ALU: 1},                        // byte-traffic-heavy
+		{Helpers: 3, BodyOps: 12, Branchy: 3, ALU: 2, Arrays: 1, Bytes: 1, Loops: 0.5}, // branch-heavy
+	}
+}
+
 func (o GenOptions) normalized() GenOptions {
 	if o.Helpers <= 0 {
 		o.Helpers = 1

@@ -1,0 +1,218 @@
+package difftest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/snapshot"
+)
+
+// The snapshot oracle enforces the durability layer's central promise: a
+// run that is checkpointed, serialized to bytes, decoded, and resumed into
+// a fresh engine — possibly several times, at seed-randomized points — is
+// indistinguishable from the run that was never interrupted. "The run" here
+// means the cadence-armed run: arming CheckpointEvery=K perturbs the
+// dynamic engine's timing (drains stall issue), so the straight baseline
+// and the chained runs share the same cadence K and are compared
+// byte-for-byte on output and field-for-field on statistics. Against the
+// unarmed run the oracle checks the architectural subset: output and
+// retired node/block counts, which drains must never change.
+
+// SnapshotMatrix returns the variants the snapshot oracle sweeps: both
+// disciplines, both block modes, both predictor families, cached and
+// perfect memory, and perfect prediction (whose trace cursor must survive
+// the snapshot). The fill unit is excluded by design — its run-time image
+// mutation makes snapshots unsupported (a typed refusal covered by core's
+// own tests).
+func SnapshotMatrix() []Variant {
+	cfg := func(d machine.Discipline, issue int, mem byte, bm machine.BranchMode, pk machine.PredictorKind) machine.Config {
+		im, _ := machine.IssueModelByID(issue)
+		mc, _ := machine.MemConfigByID(mem)
+		return machine.Config{Disc: d, Issue: im, Mem: mc, Branch: bm, Predictor: pk}
+	}
+	return []Variant{
+		{cfg(machine.Static, 4, 'A', machine.SingleBB, machine.TwoBit), false},
+		{cfg(machine.Static, 8, 'D', machine.EnlargedBB, machine.TwoBit), false},
+		{cfg(machine.Dyn4, 8, 'D', machine.SingleBB, machine.TwoBit), true},
+		{cfg(machine.Dyn4, 8, 'A', machine.EnlargedBB, machine.TwoBit), false},
+		{cfg(machine.Dyn256, 8, 'G', machine.EnlargedBB, machine.GSharePredictor), false},
+		{cfg(machine.Dyn256, 8, 'A', machine.Perfect, machine.TwoBit), false},
+	}
+}
+
+// errStopRun is the sentinel a chained run's checkpoint hook returns to
+// interrupt the engine mid-run; the harness resumes from the last decoded
+// snapshot and continues.
+var errStopRun = errors.New("difftest: interrupt after checkpoint")
+
+// snapRNG is a tiny splitmix64 for deriving per-variant cadences and
+// interruption points from the sweep seed.
+type snapRNG uint64
+
+func (r *snapRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SnapshotOracle checks checkpoint/restore determinism for every variant:
+//
+//   - every checkpoint taken by the cadence-K straight run survives an
+//     Encode/Decode roundtrip bit-identically (the serialized form is
+//     canonical);
+//   - a run interrupted at randomized checkpoints — each resume going
+//     through serialized bytes, as a crash recovery would — finishes with
+//     output and statistics identical to the straight cadence-K run;
+//   - the cadence-K run's committed path (output, retired nodes, retired
+//     blocks) matches the unarmed run's: drains change timing, never
+//     architecture;
+//   - the measurement input's arc profile stays self-consistent
+//     (checkArcProfile, shared with the main oracle).
+func (c *Case) SnapshotOracle(vs []Variant, seed uint64) (*Report, error) {
+	rep := &Report{Case: c}
+	rng := snapRNG(seed)
+	for _, v := range vs {
+		if v.Cfg.Branch == machine.FillUnit {
+			return nil, fmt.Errorf("difftest: %s: fill unit cannot be snapshotted", c.Name)
+		}
+		img, err := loader.Load(c.Prog, v.Cfg, c.EF)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: %s: load %s: %w", c.Name, v, err)
+		}
+		var hints map[ir.BlockID]bool
+		if v.Hinted {
+			hints = c.Hints
+		}
+		fp := snapshot.RunFingerprint(img, c.In, c.In1, hints)
+
+		plain, err := core.Run(img, c.In, c.In1, c.Ref.Trace, hints, core.Limits{MaxCycles: maxCycles})
+		if err != nil {
+			return nil, fmt.Errorf("difftest: %s: plain run %s: %w", c.Name, v, err)
+		}
+		// A cadence that lands 2–6 checkpoints inside the run, derived from
+		// the seed so different trials cut the run at different points.
+		every := plain.Stats.Cycles / int64(2+rng.next()%5)
+		if every < 1 {
+			every = 1
+		}
+
+		straight, nStraight, err := c.runStraight(img, hints, every, fp)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: %s: straight cadence run %s: %w", c.Name, v, err)
+		}
+		rep.Runs = append(rep.Runs, VariantRun{Variant: v, Stats: straight.Stats})
+
+		if !bytes.Equal(straight.Output, plain.Output) {
+			rep.add(v, "output", "cadence %d changed the output", every)
+		}
+		if straight.Stats.RetiredNodes != plain.Stats.RetiredNodes ||
+			straight.Stats.RetiredBlocks != plain.Stats.RetiredBlocks {
+			rep.add(v, "retired-nodes", "cadence %d changed retired work: %d/%d vs %d/%d",
+				every, straight.Stats.RetiredNodes, straight.Stats.RetiredBlocks,
+				plain.Stats.RetiredNodes, plain.Stats.RetiredBlocks)
+		}
+		for _, msg := range CheckStats(straight.Stats) {
+			rep.add(v, "stats", "%s", msg)
+		}
+
+		if nStraight == 0 {
+			// The run finished before its first checkpoint (it can happen
+			// when the final drain overlaps the halt); nothing to chain.
+			continue
+		}
+		chained, segments, err := c.runChained(img, hints, every, fp, &rng)
+		if err != nil {
+			rep.add(v, "snapshot", "chained run failed: %v", err)
+			continue
+		}
+		if !bytes.Equal(chained.Output, straight.Output) {
+			rep.add(v, "snapshot", "output after %d interruptions differs from straight cadence run", segments)
+		}
+		if !reflect.DeepEqual(chained.Stats, straight.Stats) {
+			rep.add(v, "snapshot", "stats after %d interruptions differ from straight cadence run:\nstraight %+v\nchained  %+v",
+				segments, straight.Stats, chained.Stats)
+		}
+	}
+	c.checkArcProfile(rep)
+	return rep, nil
+}
+
+// runStraight runs the cadence-armed baseline, roundtripping every
+// checkpoint through the serialized form to verify canonical encoding.
+func (c *Case) runStraight(img *loader.Image, hints map[ir.BlockID]bool, every int64, fp uint64) (*core.RunResult, int, error) {
+	taken := 0
+	lim := core.Limits{
+		MaxCycles:       maxCycles,
+		CheckpointEvery: every,
+		Checkpoint: func(st *core.EngineState) error {
+			taken++
+			data := snapshot.Encode(&snapshot.Snapshot{Fingerprint: fp, Engine: st})
+			s, err := snapshot.Decode(data)
+			if err != nil {
+				return fmt.Errorf("checkpoint %d failed decode: %w", taken, err)
+			}
+			if !bytes.Equal(data, snapshot.Encode(s)) {
+				return fmt.Errorf("checkpoint %d: encoding is not canonical", taken)
+			}
+			if !reflect.DeepEqual(s.Engine, st) {
+				return fmt.Errorf("checkpoint %d: decoded state differs from captured state", taken)
+			}
+			return nil
+		},
+	}
+	res, err := core.Run(img, c.In, c.In1, c.Ref.Trace, hints, lim)
+	return res, taken, err
+}
+
+// runChained repeatedly interrupts the run after a seed-chosen number of
+// checkpoints and resumes from the serialized snapshot, exactly as a crash
+// recovery would, until the run completes. Returns the final result and
+// how many times the run was interrupted.
+func (c *Case) runChained(img *loader.Image, hints map[ir.BlockID]bool, every int64, fp uint64, rng *snapRNG) (*core.RunResult, int, error) {
+	var resume *core.EngineState
+	segments := 0
+	for {
+		target := 1 + int(rng.next()%3) // checkpoints before this segment is cut
+		taken := 0
+		var last *core.EngineState
+		lim := core.Limits{
+			MaxCycles:       maxCycles,
+			CheckpointEvery: every,
+			Resume:          resume,
+			Checkpoint: func(st *core.EngineState) error {
+				s, err := snapshot.Decode(snapshot.Encode(&snapshot.Snapshot{Fingerprint: fp, Engine: st}))
+				if err != nil {
+					return err
+				}
+				if s.Fingerprint != fp {
+					return fmt.Errorf("fingerprint mangled in roundtrip")
+				}
+				last = s.Engine
+				if taken++; taken >= target {
+					return errStopRun
+				}
+				return nil
+			},
+		}
+		res, err := core.Run(img, c.In, c.In1, c.Ref.Trace, hints, lim)
+		if err == nil {
+			return res, segments, nil
+		}
+		if !errors.Is(err, errStopRun) {
+			return nil, segments, err
+		}
+		if last == nil {
+			return nil, segments, errors.New("interrupted without a snapshot")
+		}
+		resume = last
+		segments++
+	}
+}

@@ -1,0 +1,39 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestSnapshotOracleGeneratedPrograms is the durability sweep: generated
+// programs (the same rotating feature mix as the main oracle sweep) run
+// through the snapshot matrix with seed-randomized checkpoint cadences and
+// restore points. Every divergence fails with the generator seed, so the
+// exact case replays with:
+//
+//	go run ./cmd/difftest -snapshot 1 -seed <seed>
+func TestSnapshotOracleGeneratedPrograms(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 12
+	}
+	matrix := SnapshotMatrix()
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + trial)
+		opts := genProfiles[trial%len(genProfiles)]
+		src := Generate(seed, opts)
+		c, err := CompileCase("gen.mc", src, GenInput(seed*2, 180+int(seed%120)), GenInput(seed*2+1, 180+int((seed+7)%120)))
+		if err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, src)
+		}
+		rep, err := c.SnapshotOracle(matrix, uint64(seed)*0x9e3779b9)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, src)
+		}
+		for _, d := range rep.Divergences {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d diverged; program:\n%s", seed, src)
+		}
+	}
+}

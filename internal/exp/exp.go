@@ -85,27 +85,45 @@ func (p *Prepared) Run(cfg machine.Config) (*stats.Run, error) {
 // its single-basic-block equivalent and the degradation is counted in the
 // returned stats (EFDegradations).
 func (p *Prepared) RunContext(ctx context.Context, cfg machine.Config, lim core.Limits) (*stats.Run, error) {
-	img, err := p.image(cfg)
-	degradations := int64(0)
+	img, degradations, err := p.ResolveImage(cfg)
 	if err != nil {
-		var be *loader.BadEnlargementError
-		if !errors.As(err, &be) {
-			return nil, fmt.Errorf("exp: %s %s: %w", p.Bench.Name, cfg, err)
-		}
-		degradations = 1
-		if cfg.Branch == machine.EnlargedBB {
-			fallback := cfg
-			fallback.Branch = machine.SingleBB
-			img, err = p.image(fallback)
-		} else {
-			// Perfect mode needs an enlargement file argument; an empty one
-			// keeps the oracle predictor and drops only the enlargement.
-			img, err = loader.Load(p.Prog, cfg, &enlarge.File{})
-		}
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s %s (degraded): %w", p.Bench.Name, cfg, err)
-		}
+		return nil, err
 	}
+	return p.runImage(ctx, img, cfg, degradations, lim)
+}
+
+// ResolveImage loads the image a configuration will simulate, applying the
+// degradation ladder for a structurally corrupt enlargement file (the count
+// of degradations taken is returned alongside). It is exported so callers
+// that need the image before running — to fingerprint it for a snapshot
+// resume, say — resolve it exactly once and exactly the way RunContext
+// would.
+func (p *Prepared) ResolveImage(cfg machine.Config) (*loader.Image, int64, error) {
+	img, err := p.image(cfg)
+	if err == nil {
+		return img, 0, nil
+	}
+	var be *loader.BadEnlargementError
+	if !errors.As(err, &be) {
+		return nil, 0, fmt.Errorf("exp: %s %s: %w", p.Bench.Name, cfg, err)
+	}
+	if cfg.Branch == machine.EnlargedBB {
+		fallback := cfg
+		fallback.Branch = machine.SingleBB
+		img, err = p.image(fallback)
+	} else {
+		// Perfect mode needs an enlargement file argument; an empty one
+		// keeps the oracle predictor and drops only the enlargement.
+		img, err = loader.Load(p.Prog, cfg, &enlarge.File{})
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("exp: %s %s (degraded): %w", p.Bench.Name, cfg, err)
+	}
+	return img, 1, nil
+}
+
+// runImage simulates a resolved image and verifies its output.
+func (p *Prepared) runImage(ctx context.Context, img *loader.Image, cfg machine.Config, degradations int64, lim core.Limits) (*stats.Run, error) {
 	res, err := core.RunContext(ctx, img, p.In0, p.In1, p.Trace, p.Hints, lim)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s %s: %w", p.Bench.Name, cfg, err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -11,7 +12,9 @@ import (
 	"time"
 
 	"fgpsim/internal/core"
+	"fgpsim/internal/loader"
 	"fgpsim/internal/machine"
+	"fgpsim/internal/snapshot"
 	"fgpsim/internal/stats"
 )
 
@@ -68,15 +71,44 @@ type GridOptions struct {
 	// success, quarantined failure, or journal restore — with its outcome.
 	// It runs on worker goroutines and must be safe for concurrent use.
 	Observer func(CellOutcome)
+	// CheckpointEvery, with SnapshotDir, arms durable mid-run checkpoints:
+	// each cell drains to a quiescent boundary every N cycles and writes an
+	// atomic snapshot file under SnapshotDir, and a restarted sweep resumes
+	// each unfinished cell from its newest snapshot instead of from cycle 0
+	// (falling back to a fresh run when the snapshot's fingerprint does not
+	// match the cell's image and inputs). Fill-unit cells run unarmed: their
+	// run-time image mutation makes snapshots unsupported. Snapshots are
+	// removed as their cells complete.
+	CheckpointEvery int64
+	SnapshotDir     string
+	// Preempt, when non-nil and set true, asks every armed in-flight cell to
+	// stop at its next quiescent boundary. Preempted cells write a final
+	// snapshot, are not journaled or quarantined, and the sweep returns a
+	// *SweepPreemptedError so the caller can requeue it; the snapshots make
+	// the requeued sweep cheap.
+	Preempt *atomic.Bool
 }
 
 // CellOutcome is one settled grid cell, as reported to GridOptions.Observer.
 type CellOutcome struct {
-	Key      Key
-	Attempts int           // simulation attempts (0 for restored cells)
-	Duration time.Duration // wall clock across all attempts (0 when restored)
-	Restored bool          // satisfied from the journal instead of re-run
-	Err      *CellError    // nil on success
+	Key       Key
+	Attempts  int           // simulation attempts (0 for restored cells)
+	Duration  time.Duration // wall clock across all attempts (0 when restored)
+	Restored  bool          // satisfied from the journal instead of re-run
+	Preempted bool          // snapshotted and surrendered, not settled
+	Err       *CellError    // nil on success
+}
+
+// SweepPreemptedError reports a sweep that stopped because Preempt was set:
+// the named cells were snapshotted (when their configuration supports it)
+// and left unjournaled, so re-running the same sweep picks them up from
+// their snapshots. It is a cooperative-scheduling verdict, not a failure.
+type SweepPreemptedError struct {
+	Cells int // cells preempted mid-run
+}
+
+func (e *SweepPreemptedError) Error() string {
+	return fmt.Sprintf("exp: sweep preempted with %d cell(s) in flight", e.Cells)
 }
 
 // GridContext runs the configurations for every prepared benchmark under
@@ -110,6 +142,11 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 	pending := jobs
 	var jw *Journal
 	if opts.Journal != "" {
+		spec := SpecHash(prepared, cfgs)
+		specFound, err := CheckJournalSpec(opts.Journal, spec)
+		if err != nil {
+			return res, err // *StaleJournalError, or the file is unreadable
+		}
 		prior, err := ReadJournal(opts.Journal)
 		if err != nil {
 			return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
@@ -133,13 +170,19 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 			return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
 		}
 		defer jw.Close()
+		if !specFound {
+			if err := jw.WriteSpec(spec); err != nil {
+				return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
+			}
+		}
 	}
 
 	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		first    *CellError
-		firstIdx int
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		first     *CellError
+		firstIdx  int
+		preempted atomic.Int64
 	)
 	ch := make(chan job)
 	for w := 0; w < workers; w++ {
@@ -148,7 +191,17 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 			defer wg.Done()
 			for j := range ch {
 				start := time.Now()
-				s, attempts, cerr := runCellRetrying(ctx, j.p, j.cfg, j.key, opts)
+				s, attempts, wasPreempted, cerr := runCellRetrying(ctx, j.p, j.cfg, j.key, opts)
+				if wasPreempted {
+					// The cell surrendered its slot at a quiescent boundary and
+					// parked its progress in a snapshot; it is not settled, so
+					// it is neither journaled nor quarantined.
+					preempted.Add(1)
+					if opts.Observer != nil {
+						opts.Observer(CellOutcome{Key: j.key, Attempts: attempts, Duration: time.Since(start), Preempted: true})
+					}
+					continue
+				}
 				if cerr != nil {
 					res.fail(cerr)
 					if opts.Observer != nil {
@@ -196,13 +249,18 @@ dispatch:
 	if cerr := ctx.Err(); cerr != nil {
 		return res, fmt.Errorf("exp: sweep canceled: %w", cerr)
 	}
+	if n := preempted.Load(); n > 0 {
+		return res, &SweepPreemptedError{Cells: int(n)}
+	}
 	return res, nil
 }
 
 // runCellRetrying runs one cell with the retry policy, returning the
-// attempt count alongside the verdict. It returns (nil, n, nil) only when
-// the surrounding sweep is being canceled.
-func runCellRetrying(ctx context.Context, p *Prepared, cfg machine.Config, key Key, opts GridOptions) (*stats.Run, int, *CellError) {
+// attempt count alongside the verdict. It returns (nil, n, false, nil)
+// only when the surrounding sweep is being canceled; preempted reports a
+// cell that surrendered mid-run (never retried — the preempt flag would
+// still be set).
+func runCellRetrying(ctx context.Context, p *Prepared, cfg machine.Config, key Key, opts GridOptions) (*stats.Run, int, bool, *CellError) {
 	backoff := opts.BackoffBase
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
@@ -211,22 +269,25 @@ func runCellRetrying(ctx context.Context, p *Prepared, cfg machine.Config, key K
 	attempts := 0
 	for {
 		attempts++
-		s, panicked, err := runCellOnce(ctx, p, cfg, opts)
+		s, panicked, preempted, err := runCellOnce(ctx, p, cfg, key, opts)
+		if preempted {
+			return nil, attempts, true, nil
+		}
 		if err == nil {
-			return s, attempts, nil
+			return s, attempts, false, nil
 		}
 		if ctx.Err() != nil {
-			return nil, attempts, nil
+			return nil, attempts, false, nil
 		}
 		var canceled *core.CanceledError
 		retryable := !panicked && !errors.As(err, &canceled)
 		if !retryable || attempts > opts.Retries {
-			return nil, attempts, &CellError{Key: key, Attempts: attempts, Panicked: panicked, Err: err}
+			return nil, attempts, false, &CellError{Key: key, Attempts: attempts, Panicked: panicked, Err: err}
 		}
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
-			return nil, attempts, nil
+			return nil, attempts, false, nil
 		}
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
@@ -236,11 +297,14 @@ func runCellRetrying(ctx context.Context, p *Prepared, cfg machine.Config, key K
 
 // runCellOnce runs one simulation attempt, converting a panic anywhere in
 // the engine stack into an error so a corrupt cell cannot take down the
-// whole sweep process.
-func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, opts GridOptions) (s *stats.Run, panicked bool, err error) {
+// whole sweep process. With checkpoints armed it resumes the cell from its
+// newest matching snapshot, checkpoints it as it runs, and removes the
+// snapshot once the cell completes; a preempted run parks its final state
+// in the snapshot and reports preempted=true.
+func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, key Key, opts GridOptions) (s *stats.Run, panicked, preempted bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			s, panicked = nil, true
+			s, panicked, preempted = nil, true, false
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
@@ -249,8 +313,75 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, opts Grid
 		ctx, cancel = context.WithTimeout(ctx, opts.RunTimeout)
 		defer cancel()
 	}
-	s, err = p.RunContext(ctx, cfg, opts.Limits)
-	return s, false, err
+	lim := opts.Limits
+	lim.Preempt = opts.Preempt
+
+	// The fill unit mutates its image at run time, so its cells cannot be
+	// snapshotted (core returns CheckpointUnsupportedError); they run
+	// unarmed, and a preempted fill-unit run simply starts over later.
+	armed := opts.CheckpointEvery > 0 && opts.SnapshotDir != "" && cfg.Branch != machine.FillUnit
+	if !armed {
+		s, err = p.RunContext(ctx, cfg, lim)
+	} else {
+		var img *loader.Image
+		var deg int64
+		img, deg, err = p.ResolveImage(cfg)
+		if err != nil {
+			return nil, false, false, err
+		}
+		fp := snapshot.RunFingerprint(img, p.In0, p.In1, p.Hints)
+		snapPath := CellSnapshotPath(opts.SnapshotDir, key)
+		if prior, rerr := snapshot.ReadLatest(snapPath); rerr == nil && prior.Fingerprint == fp && prior.Engine != nil {
+			lim.Resume = prior.Engine // stale fingerprints fall through to a fresh run
+		}
+		lim.CheckpointEvery = opts.CheckpointEvery
+		lim.Checkpoint = snapshot.Saver(snapPath, fp, nil)
+		s, err = p.runImage(ctx, img, cfg, deg, lim)
+		if err != nil && lim.Resume != nil {
+			// A snapshot that matched the fingerprint but failed restore
+			// validation is corrupt beyond its CRCs; drop it and run fresh
+			// rather than failing the cell on every retry.
+			var re *core.ResumeError
+			if errors.As(err, &re) {
+				snapshot.Remove(snapPath)
+				lim.Resume = nil
+				s, err = p.runImage(ctx, img, cfg, deg, lim)
+			}
+		}
+		var pe *core.PreemptedError
+		if err != nil && errors.As(err, &pe) {
+			if pe.State != nil {
+				// Best effort: if the park fails the progress is lost, but the
+				// requeued cell still runs correctly from scratch.
+				_ = snapshot.WriteFile(snapPath, &snapshot.Snapshot{Fingerprint: fp, Engine: pe.State})
+			}
+			return nil, false, true, nil
+		}
+		if err == nil {
+			snapshot.Remove(snapPath)
+		}
+		return s, false, false, err
+	}
+	var pe *core.PreemptedError
+	if err != nil && errors.As(err, &pe) {
+		return nil, false, true, nil
+	}
+	return s, false, false, err
+}
+
+// CellSnapshotPath names the snapshot file of one grid cell: an FNV-1a
+// hash over every Key field, so each sweep dimension parks in its own file
+// and a restarted sweep over the same spec finds it again.
+func CellSnapshotPath(dir string, k Key) string {
+	h := specFNV(0xcbf29ce484222325)
+	h.str(k.Bench)
+	h.u64(uint64(k.Disc))
+	h.u64(uint64(int64(k.Issue)))
+	h.byte(k.Mem)
+	h.u64(uint64(k.Branch))
+	h.u64(uint64(int64(k.Window)))
+	h.byte(byte(k.Pred))
+	return filepath.Join(dir, fmt.Sprintf("%016x.snap", uint64(h)))
 }
 
 // The JSON-lines journal lives in journal.go (exported: Journal,

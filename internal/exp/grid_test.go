@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -193,5 +194,102 @@ func TestRunContextDegradesCorruptEnlargement(t *testing.T) {
 		if s.RetiredNodes == 0 {
 			t.Errorf("%s: degraded run retired nothing", bm)
 		}
+	}
+}
+
+// TestGridJournalSpecGuard: a journal is keyed by the sweep's SpecHash.
+// Resuming with the identical spec restores cells; resuming with a
+// different grid (here: a different configuration list) is refused with a
+// typed *exp.StaleJournalError instead of silently seeding wrong cells.
+func TestGridJournalSpecGuard(t *testing.T) {
+	p := prepareOne(t, "compress")
+	cfgs := gridCfgs()
+	journal := filepath.Join(t.TempDir(), "sweep.journal")
+	if _, err := exp.GridContext(context.Background(), []*exp.Prepared{p}, cfgs, exp.GridOptions{Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Accept path: the same spec resumes without re-running anything.
+	res, err := exp.GridContext(context.Background(), []*exp.Prepared{p}, cfgs, exp.GridOptions{
+		Journal: journal,
+		Limits:  core.Limits{MaxCycles: 1}, // any re-run cell would fail
+	})
+	if err != nil {
+		t.Fatalf("same-spec resume: %v", err)
+	}
+	if len(res.Runs) != len(cfgs) {
+		t.Fatalf("same-spec resume restored %d cells, want %d", len(res.Runs), len(cfgs))
+	}
+
+	// Reject path: a different configuration list is a different sweep.
+	_, err = exp.GridContext(context.Background(), []*exp.Prepared{p}, cfgs[:1], exp.GridOptions{Journal: journal})
+	var se *exp.StaleJournalError
+	if !errors.As(err, &se) {
+		t.Fatalf("different-spec resume: err = %v, want *exp.StaleJournalError", err)
+	}
+	if se.Path != journal || se.Want == se.Got {
+		t.Errorf("stale error fields: %+v", se)
+	}
+}
+
+// TestGridPreemptAndResume: with checkpoints armed, raising Preempt makes
+// in-flight cells park their progress in snapshots and the sweep return a
+// *exp.SweepPreemptedError; re-running the same sweep with the flag cleared
+// resumes from the snapshots and finishes with statistics identical to a
+// cadence-armed sweep that was never preempted (and cleans its snapshots
+// up).
+func TestGridPreemptAndResume(t *testing.T) {
+	p := prepareOne(t, "compress")
+	cfgs := gridCfgs()
+	dir := t.TempDir()
+	baseDir, resDir := filepath.Join(dir, "base"), filepath.Join(dir, "res")
+	os.MkdirAll(baseDir, 0o755)
+	os.MkdirAll(resDir, 0o755)
+	const every = 5000
+
+	// Baseline: cadence-armed, never preempted.
+	base, err := exp.GridContext(context.Background(), []*exp.Prepared{p}, cfgs, exp.GridOptions{
+		CheckpointEvery: every, SnapshotDir: baseDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var preempt atomic.Bool
+	preempt.Store(true)
+	_, err = exp.GridContext(context.Background(), []*exp.Prepared{p}, cfgs, exp.GridOptions{
+		Workers: 2, CheckpointEvery: every, SnapshotDir: resDir, Preempt: &preempt,
+	})
+	var pe *exp.SweepPreemptedError
+	if !errors.As(err, &pe) {
+		t.Fatalf("preempted sweep: err = %v, want *exp.SweepPreemptedError", err)
+	}
+	if pe.Cells == 0 {
+		t.Fatal("preempted sweep reported zero preempted cells")
+	}
+	snaps, _ := filepath.Glob(filepath.Join(resDir, "*.snap"))
+	if len(snaps) == 0 {
+		t.Fatal("no snapshot files parked by the preempted cells")
+	}
+
+	preempt.Store(false)
+	resumed, err := exp.GridContext(context.Background(), []*exp.Prepared{p}, cfgs, exp.GridOptions{
+		Workers: 2, CheckpointEvery: every, SnapshotDir: resDir, Preempt: &preempt,
+	})
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	for _, cfg := range cfgs {
+		k := exp.KeyOf("compress", cfg)
+		a, b := base.Get(k), resumed.Get(k)
+		if a == nil || b == nil {
+			t.Fatalf("missing cell %s", cfg)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: resumed stats differ from uninterrupted cadence run:\nbase    %+v\nresumed %+v", cfg, a, b)
+		}
+	}
+	if left, _ := filepath.Glob(filepath.Join(resDir, "*.snap*")); len(left) != 0 {
+		t.Errorf("completed sweep left snapshot files behind: %v", left)
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"os"
 	"sync"
 
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
 	"fgpsim/internal/stats"
 )
 
@@ -97,6 +99,109 @@ func ReplayJournal(path string, fn func(line []byte) error) error {
 type journalEntry struct {
 	Key   Key        `json:"key"`
 	Stats *stats.Run `json:"stats"`
+}
+
+// journalSpec is a journal's identity record: the hex form of the sweep's
+// SpecHash, written as the first line so a resume can tell "this journal
+// belongs to a different sweep" from "this cell has not completed yet".
+// Hex, not a JSON number — a uint64 does not survive float64 decoding.
+type journalSpec struct {
+	Spec string `json:"spec"`
+}
+
+// StaleJournalError reports a journal written under a different sweep
+// specification than the one resuming from it. Replaying it would seed the
+// grid with cells from other programs, inputs, or configurations, so the
+// resume refuses instead.
+type StaleJournalError struct {
+	Path string
+	Want uint64 // spec of the sweep trying to resume
+	Got  uint64 // spec recorded in the journal
+}
+
+func (e *StaleJournalError) Error() string {
+	return fmt.Sprintf("exp: journal %s was written for a different sweep (spec %016x, want %016x)",
+		e.Path, e.Got, e.Want)
+}
+
+// SpecHash identifies a sweep's specification: every prepared benchmark —
+// name, program fingerprint, measurement inputs — and every configuration
+// field that changes timed execution (the same extension fields
+// loader.Image.Fingerprint covers). Journal entries and cell snapshots are
+// only ever replayed into a sweep with the identical hash.
+func SpecHash(prepared []*Prepared, cfgs []machine.Config) uint64 {
+	h := specFNV(0xcbf29ce484222325)
+	h.u64(uint64(len(prepared)))
+	for _, p := range prepared {
+		h.str(p.Bench.Name)
+		h.u64(loader.ProgramFingerprint(p.Prog))
+		h.blob(p.In0)
+		h.blob(p.In1)
+	}
+	h.u64(uint64(len(cfgs)))
+	for _, cfg := range cfgs {
+		h.str(cfg.String())
+		h.u64(uint64(int64(cfg.BTBEntries)))
+		h.u64(uint64(int64(cfg.GShareBits)))
+		h.u64(uint64(int64(cfg.WindowOverride)))
+		h.byte(byte(cfg.Predictor))
+		if cfg.ConservativeMem {
+			h.byte(1)
+		} else {
+			h.byte(0)
+		}
+	}
+	return uint64(h)
+}
+
+type specFNV uint64
+
+func (h *specFNV) byte(b byte) { *h = (*h ^ specFNV(b)) * 0x100000001b3 }
+func (h *specFNV) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+func (h *specFNV) blob(b []byte) {
+	h.u64(uint64(len(b)))
+	for _, c := range b {
+		h.byte(c)
+	}
+}
+func (h *specFNV) str(s string) { h.blob([]byte(s)) }
+
+// CheckJournalSpec verifies that a journal's spec record (when present)
+// matches spec, returning a *StaleJournalError on mismatch. found reports
+// whether any spec record exists: a missing or empty journal has none and
+// the caller should write one.
+func CheckJournalSpec(path string, spec uint64) (found bool, err error) {
+	var got uint64
+	rerr := ReplayJournal(path, func(line []byte) error {
+		if found {
+			return nil
+		}
+		var js journalSpec
+		if jerr := json.Unmarshal(line, &js); jerr != nil || js.Spec == "" {
+			return nil
+		}
+		if _, serr := fmt.Sscanf(js.Spec, "%x", &got); serr != nil {
+			return nil // torn/corrupt spec line: ignore like any other
+		}
+		found = true
+		return nil
+	})
+	if rerr != nil {
+		return false, rerr
+	}
+	if found && got != spec {
+		return true, &StaleJournalError{Path: path, Want: spec, Got: got}
+	}
+	return found, nil
+}
+
+// WriteSpec appends the sweep's spec record to the journal.
+func (j *Journal) WriteSpec(spec uint64) error {
+	return j.Append(journalSpec{Spec: fmt.Sprintf("%016x", spec)})
 }
 
 // ReadJournal loads the completed cells of a sweep journal, the resume

@@ -92,11 +92,12 @@ func (ev Event) String() string {
 // Injector owns one injection stream. It is not safe for concurrent use;
 // build one per run.
 type Injector struct {
-	opts   Options
-	kinds  []Kind
-	rng    uint64
-	tried  int
-	events []Event
+	opts       Options
+	kinds      []Kind
+	rng        uint64
+	tried      int
+	events     []Event
+	eventsBase int // injections applied before a checkpoint resume
 }
 
 // New builds an injector for one run.
@@ -106,6 +107,38 @@ func New(opts Options) *Injector {
 		kinds = DefaultKinds()
 	}
 	return &Injector{opts: opts, kinds: kinds, rng: opts.Seed}
+}
+
+// State is the serializable mid-run state of an injector: the RNG stream
+// position, the attempt counter (MaxInjections bookkeeping), and the
+// event-log position. A resumed injector continues the exact stream the
+// interrupted run would have drawn.
+type State struct {
+	RNG    uint64
+	Tried  int64
+	Events int64
+}
+
+// State snapshots the injector.
+func (inj *Injector) State() *State {
+	return &State{
+		RNG:    inj.rng,
+		Tried:  int64(inj.tried),
+		Events: int64(inj.eventsBase + len(inj.events)),
+	}
+}
+
+// Resume builds an injector that continues a snapshotted stream: same
+// options, but the RNG, attempt counter, and event-log position pick up
+// where the snapshot left off. Events applied before the snapshot are not
+// replayed into the log (they belong to the previous life of the run);
+// Injected still counts them.
+func Resume(opts Options, st *State) *Injector {
+	inj := New(opts)
+	inj.rng = st.RNG
+	inj.tried = int(st.Tried)
+	inj.eventsBase = int(st.Events)
+	return inj
 }
 
 // splitmix64 is the standard 64-bit mix; tiny, fast, and plenty for
@@ -165,11 +198,14 @@ func (inj *Injector) Hook() core.FaultHook {
 	}
 }
 
-// Events returns the injections applied so far, in cycle order.
+// Events returns the injections applied so far by this injector, in cycle
+// order. A resumed injector's log covers only its own segment; injections
+// from before the snapshot live in the previous segment's log.
 func (inj *Injector) Events() []Event { return inj.events }
 
-// Injected is the number of applied injections.
-func (inj *Injector) Injected() int { return len(inj.events) }
+// Injected is the number of applied injections, including those applied
+// before a checkpoint resume.
+func (inj *Injector) Injected() int { return inj.eventsBase + len(inj.events) }
 
 // CorruptEnlargement returns a structurally corrupted copy of an
 // enlargement file, for exercising the loader's validation and the

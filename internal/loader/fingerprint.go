@@ -1,0 +1,123 @@
+package loader
+
+import (
+	"fgpsim/internal/ir"
+)
+
+// This file computes canonical identity hashes for programs and images.
+// Snapshots and journals are only valid against the exact image they were
+// taken from — resuming a checkpoint into a different program or machine
+// configuration would silently produce garbage — so both carry a
+// fingerprint and the restoring side verifies it. The hash is FNV-1a over
+// a fixed, explicit walk of every semantically meaningful field; the gob
+// encoding in serialize.go is unsuitable for identity (it is not
+// canonical across versions).
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+type fnv64 uint64
+
+func (h *fnv64) byte(b byte) {
+	*h = (*h ^ fnv64(b)) * fnvPrime
+}
+
+func (h *fnv64) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnv64) i64(v int64) { h.u64(uint64(v)) }
+
+func (h *fnv64) bytes(b []byte) {
+	h.u64(uint64(len(b)))
+	for _, c := range b {
+		h.byte(c)
+	}
+}
+
+func (h *fnv64) str(s string) { h.bytes([]byte(s)) }
+
+func (h *fnv64) bool(b bool) {
+	if b {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+func (h *fnv64) node(n *ir.Node) {
+	h.byte(byte(n.Op))
+	h.i64(int64(n.Dst))
+	h.i64(int64(n.A))
+	h.i64(int64(n.B))
+	h.i64(n.Imm)
+	h.i64(int64(n.Target))
+	h.bool(n.Expect)
+	h.i64(int64(n.Callee))
+}
+
+// ProgramFingerprint returns a canonical 64-bit identity hash of a
+// program: every function, block, node, and data byte, walked in ID order
+// with length prefixes so no two distinct programs collide by
+// concatenation.
+func ProgramFingerprint(p *ir.Program) uint64 {
+	h := fnv64(fnvOffset)
+	h.i64(int64(p.Entry))
+	h.i64(p.DataBase)
+	h.i64(p.MemSize)
+	h.bytes(p.Data)
+
+	h.u64(uint64(len(p.Funcs)))
+	for _, f := range p.Funcs {
+		h.i64(int64(f.ID))
+		h.str(f.Name)
+		h.i64(int64(f.Entry))
+		h.i64(int64(f.FrameSize))
+		h.i64(int64(f.NumArgs))
+		h.u64(uint64(len(f.Blocks)))
+		for _, b := range f.Blocks {
+			h.i64(int64(b))
+		}
+	}
+	h.u64(uint64(len(p.Blocks)))
+	for _, b := range p.Blocks {
+		if b == nil {
+			h.byte(0)
+			continue
+		}
+		h.byte(1)
+		h.i64(int64(b.ID))
+		h.i64(int64(b.Fn))
+		h.i64(int64(b.Fall))
+		h.i64(int64(b.Orig))
+		h.u64(uint64(len(b.Body)))
+		for i := range b.Body {
+			h.node(&b.Body[i])
+		}
+		h.node(&b.Term)
+	}
+	return uint64(h)
+}
+
+// Fingerprint returns the image's identity hash: the materialized program
+// plus every configuration field that changes timed execution — including
+// the extension fields (predictor kind, table geometries, window override,
+// conservative disambiguation) that machine.Config.String() omits — and
+// the degraded flag. Two images agree iff a snapshot from one replays
+// bit-identically on the other.
+func (im *Image) Fingerprint() uint64 {
+	h := fnv64(ProgramFingerprint(im.Prog))
+	cfg := im.Cfg
+	h.str(cfg.String())
+	h.i64(int64(cfg.BTBEntries))
+	h.i64(int64(cfg.GShareBits))
+	h.i64(int64(cfg.WindowOverride))
+	h.byte(byte(cfg.Predictor))
+	h.bool(cfg.ConservativeMem)
+	h.bool(im.Degraded)
+	return uint64(h)
+}

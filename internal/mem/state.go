@@ -1,0 +1,63 @@
+package mem
+
+import "fmt"
+
+// CacheState is the serializable state of a Cache: the tag array, the LRU
+// bits, and the hit/miss counters. It is what checkpoints carry so a
+// restored run sees the same hit/miss sequence as one that never stopped.
+type CacheState struct {
+	Sets   int32
+	Tags   []uint32
+	LRU    []uint8
+	Hits   int64
+	Misses int64
+}
+
+// State snapshots the cache.
+func (c *Cache) State() *CacheState {
+	return &CacheState{
+		Sets:   int32(c.sets),
+		Tags:   append([]uint32(nil), c.tags...),
+		LRU:    append([]uint8(nil), c.lru...),
+		Hits:   c.Hits,
+		Misses: c.Misses,
+	}
+}
+
+// SetState restores a snapshot taken by State. The cache must have the
+// same geometry as the one snapshotted.
+func (c *Cache) SetState(s *CacheState) error {
+	if int(s.Sets) != c.sets || len(s.Tags) != len(c.tags) || len(s.LRU) != len(c.lru) {
+		return fmt.Errorf("mem: cache geometry mismatch: snapshot has %d sets / %d tags, cache has %d / %d",
+			s.Sets, len(s.Tags), c.sets, len(c.tags))
+	}
+	copy(c.tags, s.Tags)
+	copy(c.lru, s.LRU)
+	c.Hits = s.Hits
+	c.Misses = s.Misses
+	return nil
+}
+
+// State snapshots the system's cache, or returns nil for perfect-memory
+// configurations (which have no timing state to carry).
+func (s *System) State() *CacheState {
+	if s.Cache == nil {
+		return nil
+	}
+	return s.Cache.State()
+}
+
+// SetState restores the system's cache state. A nil state is only valid
+// for perfect-memory systems, and a non-nil state requires a cache.
+func (s *System) SetState(cs *CacheState) error {
+	if cs == nil {
+		if s.Cache != nil {
+			return fmt.Errorf("mem: snapshot has no cache state but the configuration has a cache")
+		}
+		return nil
+	}
+	if s.Cache == nil {
+		return fmt.Errorf("mem: snapshot has cache state but the configuration is perfect-memory")
+	}
+	return s.Cache.SetState(cs)
+}

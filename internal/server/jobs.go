@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,15 +120,17 @@ type job struct {
 	ID   string
 	Spec SweepSpec
 
-	beat atomic.Int64 // heartbeat shared with every cell's engine
+	beat    atomic.Int64 // heartbeat shared with every cell's engine
+	preempt atomic.Bool  // set by the watchdog to request a cooperative stop
 
-	mu      sync.Mutex
-	state   string
-	done    int
-	total   int
-	failed  []string
-	errText string
-	results map[string]*stats.Run
+	mu       sync.Mutex
+	state    string
+	done     int
+	total    int
+	requeues int
+	failed   []string
+	errText  string
+	results  map[string]*stats.Run
 }
 
 func newJob(id string, spec SweepSpec) *job {
@@ -154,19 +157,20 @@ func (j *job) recordFailure(ce *exp.CellError) {
 
 // jobStatus is the JSON shape of GET /sweep/{id}.
 type jobStatus struct {
-	ID      string                `json:"id"`
-	State   string                `json:"state"`
-	Done    int                   `json:"done"`
-	Total   int                   `json:"total"`
-	Failed  []string              `json:"failed,omitempty"`
-	Error   string                `json:"error,omitempty"`
-	Results map[string]*stats.Run `json:"results,omitempty"`
+	ID       string                `json:"id"`
+	State    string                `json:"state"`
+	Done     int                   `json:"done"`
+	Total    int                   `json:"total"`
+	Requeues int                   `json:"requeues,omitempty"`
+	Failed   []string              `json:"failed,omitempty"`
+	Error    string                `json:"error,omitempty"`
+	Results  map[string]*stats.Run `json:"results,omitempty"`
 }
 
 func (j *job) status(withResults bool) jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := jobStatus{ID: j.ID, State: j.state, Done: j.done, Total: j.total,
+	st := jobStatus{ID: j.ID, State: j.state, Done: j.done, Total: j.total, Requeues: j.requeues,
 		Failed: append([]string(nil), j.failed...), Error: j.errText}
 	if withResults && (j.state == jobDone || j.state == jobFailed) {
 		st.Results = j.results
@@ -189,14 +193,29 @@ func keyString(k exp.Key) string {
 // ---------- request journal ----------
 
 // journalRecord is one line of the request journal. "accept" carries the
-// full spec (the journal is the source of truth for crash recovery);
+// full spec (the journal is the source of truth for crash recovery) plus a
+// self-hash of the spec's canonical JSON, so a resume can tell an intact
+// record from one whose spec bytes were mangled in place (a torn line is
+// caught by JSON decoding; this catches corruption that still parses);
 // "done" marks the job settled so a restart does not re-run it.
 type journalRecord struct {
-	Op   string     `json:"op"` // "accept" | "done"
-	ID   string     `json:"id"`
-	Spec *SweepSpec `json:"spec,omitempty"`
-	OK   bool       `json:"ok,omitempty"`
-	Err  string     `json:"err,omitempty"`
+	Op       string     `json:"op"` // "accept" | "done"
+	ID       string     `json:"id"`
+	Spec     *SweepSpec `json:"spec,omitempty"`
+	SpecHash string     `json:"spec_hash,omitempty"`
+	OK       bool       `json:"ok,omitempty"`
+	Err      string     `json:"err,omitempty"`
+}
+
+// specHash is the self-hash guarding an accept record: sha256 over the
+// spec's canonical (encoding/json) serialization, truncated for brevity.
+func specHash(spec *SweepSpec) string {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
 }
 
 // pendingJobs replays a request journal and returns the accepted-but-not-
@@ -214,6 +233,13 @@ func pendingJobs(path string) ([]journalRecord, error) {
 		case "accept":
 			if rec.Spec == nil {
 				return fmt.Errorf("accept without spec")
+			}
+			if rec.SpecHash != "" && rec.SpecHash != specHash(rec.Spec) {
+				// The record parses but its spec does not match the hash it
+				// was accepted with: resuming it would run the wrong sweep
+				// under the accepted ID. Skip it loudly.
+				fmt.Fprintf(os.Stderr, "server: request journal: skipping job %s: spec hash mismatch (corrupt record)\n", rec.ID)
+				return nil
 			}
 			if _, seen := specs[rec.ID]; !seen {
 				order = append(order, rec.ID)

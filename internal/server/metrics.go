@@ -26,6 +26,8 @@ type metrics struct {
 	cellsDone     expvar.Int // sweep cells completed by simulation
 	cellsRestored expvar.Int // sweep cells restored from a cell journal
 	cellsFailed   expvar.Int // sweep cells quarantined after retries
+	preempts      expvar.Int // sweep cells preempted to a snapshot mid-run
+	jobsRequeued  expvar.Int // sweeps requeued after a cooperative preemption
 
 	latency stats.Hist // per-simulation wall clock (/run and sweep cells)
 }
@@ -63,6 +65,8 @@ func (m *metrics) snapshot(queueDepth int64, inflight int) map[string]any {
 		"cells_done":     m.cellsDone.Value(),
 		"cells_restored": m.cellsRestored.Value(),
 		"cells_failed":   m.cellsFailed.Value(),
+		"preempts":       m.preempts.Value(),
+		"jobs_requeued":  m.jobsRequeued.Value(),
 		"run_latency_us": map[string]any{
 			"count": m.latency.Count(),
 			"mean":  m.latency.Mean().Microseconds(),

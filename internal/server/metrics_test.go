@@ -1,0 +1,68 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsConcurrentRecording hammers every counter-mutating path while
+// snapshot renders, so `go test -race` certifies the /metrics surface: the
+// expvar counters, the latency histogram, and the render itself may all run
+// concurrently in the live server (per-cell observers vs. HTTP handlers).
+func TestMetricsConcurrentRecording(t *testing.T) {
+	var m metrics
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.observeCell(1+i%3, i%2 == 0, i%5 == 0)
+				m.latency.Observe(time.Duration(w+1) * time.Millisecond)
+				m.preempts.Add(1)
+				m.jobsRequeued.Add(1)
+				m.shed.Add(1)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := m.snapshot(3, 2)
+				cells := snap["cells_done"].(int64) + snap["cells_restored"].(int64) + snap["cells_failed"].(int64)
+				if cells < 0 || cells > 2000 {
+					t.Errorf("cell counters out of range: %d", cells)
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	snap := m.snapshot(0, 0)
+	cells := snap["cells_done"].(int64) + snap["cells_restored"].(int64) + snap["cells_failed"].(int64)
+	if cells != 2000 {
+		t.Errorf("settled cells = %d, want 2000", cells)
+	}
+	if got := snap["preempts"].(int64); got != 2000 {
+		t.Errorf("preempts = %d, want 2000", got)
+	}
+	if lat := snap["run_latency_us"].(map[string]any); lat["count"].(int64) != 2000 {
+		t.Errorf("latency count = %v, want 2000", lat["count"])
+	}
+}

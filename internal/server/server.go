@@ -60,13 +60,26 @@ type Config struct {
 	// killed as stuck (default 30s).
 	WatchdogInterval time.Duration
 	WatchdogStall    time.Duration
-	// JournalDir, when non-empty, holds the fsync'd request journal and
-	// the per-sweep cell journals; unfinished sweeps found there are
-	// resumed on Start. Empty disables persistence (drains then lose
-	// interrupted sweeps).
+	// JournalDir, when non-empty, holds the fsync'd request journal, the
+	// per-sweep cell journals, and the cell snapshot directory; unfinished
+	// sweeps found there are resumed on Start. Empty disables persistence
+	// (drains then lose interrupted sweeps).
 	JournalDir string
 	// MaxBody caps request bodies (default 8 MiB).
 	MaxBody int64
+	// CheckpointEvery, when positive and JournalDir is set, arms durable
+	// mid-run checkpoints for sweep cells: every N simulated cycles each
+	// cell parks a snapshot under JournalDir/snapshots, so an interrupted
+	// sweep (drain, crash, preemption) resumes mid-cell instead of
+	// re-simulating from cycle 0.
+	CheckpointEvery int64
+	// PreemptAfter, when positive and checkpoints are armed, upgrades the
+	// watchdog from kill-only to preempt-and-requeue: a sweep that is still
+	// making progress but has held the limiter longer than this while other
+	// work is queued is asked to stop at its next checkpoint boundary, its
+	// cells snapshot themselves, and the job is requeued behind the waiting
+	// work. Stalled (non-beating) runs are still killed, never requeued.
+	PreemptAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +151,11 @@ func New(cfg Config) (*Server, error) {
 		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
 			return nil, err
 		}
+		if cfg.CheckpointEvery > 0 {
+			if err := os.MkdirAll(s.snapshotDir(), 0o755); err != nil {
+				return nil, err
+			}
+		}
 		path := s.requestJournalPath()
 		recs, err := pendingJobs(path)
 		if err != nil {
@@ -161,6 +179,20 @@ func (s *Server) cellJournalPath(id string) string {
 		return ""
 	}
 	return filepath.Join(s.cfg.JournalDir, "sweep-"+id+".cells")
+}
+
+// snapshotDir is where sweep cells park mid-run snapshots. It is shared
+// across jobs: cell snapshot files are named by a hash of the full cell
+// key and guarded by a run fingerprint, so an unrelated job can never
+// resume from them, while a re-submitted identical sweep can.
+func (s *Server) snapshotDir() string {
+	return filepath.Join(s.cfg.JournalDir, "snapshots")
+}
+
+// checkpointsArmed reports whether sweep cells run with durable
+// checkpoints.
+func (s *Server) checkpointsArmed() bool {
+	return s.cfg.CheckpointEvery > 0 && s.cfg.JournalDir != ""
 }
 
 // Start launches the watchdog and re-enqueues journal-recovered sweeps.
@@ -432,7 +464,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Journal the acceptance before acknowledging it: once the client has
 	// a 202 the sweep must survive a crash.
 	if s.reqJournal != nil {
-		if err := s.reqJournal.Append(journalRecord{Op: "accept", ID: id, Spec: &spec}); err != nil {
+		if err := s.reqJournal.Append(journalRecord{Op: "accept", ID: id, Spec: &spec, SpecHash: specHash(&spec)}); err != nil {
 			t.abandon()
 			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": fmt.Sprintf("journal: %v", err)})
 			return
@@ -487,7 +519,12 @@ func (s *Server) runSweep(j *job, t *ticket) {
 
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
 	defer cancel(nil)
-	unwatch := s.wd.watch(j.ID, &j.beat, cancel)
+	var unwatch func()
+	if s.checkpointsArmed() && s.cfg.PreemptAfter > 0 {
+		unwatch = s.wd.watchPreemptable(j.ID, &j.beat, cancel, &j.preempt, s.cfg.PreemptAfter, s.admit.queued)
+	} else {
+		unwatch = s.wd.watch(j.ID, &j.beat, cancel)
+	}
 	defer unwatch()
 
 	prepared, cfgs, err := s.resolveSweep(j.Spec)
@@ -500,7 +537,7 @@ func (s *Server) runSweep(j *job, t *ticket) {
 	if j.Spec.Timeout != "" {
 		cellTimeout, _ = time.ParseDuration(j.Spec.Timeout) // validated at accept
 	}
-	res, err := exp.GridContext(ctx, prepared, cfgs, exp.GridOptions{
+	opts := exp.GridOptions{
 		Workers:    s.admit.lim.clamp(weight),
 		Retries:    j.Spec.Retries,
 		RunTimeout: cellTimeout,
@@ -508,6 +545,10 @@ func (s *Server) runSweep(j *job, t *ticket) {
 		Limits:     core.Limits{Heartbeat: &j.beat},
 		Progress:   j.setProgress,
 		Observer: func(o exp.CellOutcome) {
+			if o.Preempted {
+				s.met.preempts.Add(1)
+				return
+			}
 			s.met.observeCell(o.Attempts, o.Err == nil, o.Restored)
 			if !o.Restored && o.Err == nil {
 				s.met.latency.Observe(o.Duration)
@@ -516,7 +557,13 @@ func (s *Server) runSweep(j *job, t *ticket) {
 				j.recordFailure(o.Err)
 			}
 		},
-	})
+	}
+	if s.checkpointsArmed() {
+		opts.CheckpointEvery = s.cfg.CheckpointEvery
+		opts.SnapshotDir = s.snapshotDir()
+		opts.Preempt = &j.preempt
+	}
+	res, err := exp.GridContext(ctx, prepared, cfgs, opts)
 	j.mu.Lock()
 	for k, st := range res.Runs {
 		j.results[keyString(k)] = st
@@ -529,6 +576,28 @@ func (s *Server) runSweep(j *job, t *ticket) {
 	case isCellError(err):
 		// Quarantined cell failures: the sweep itself is settled.
 		s.finishSweep(j, jobDone, nil)
+	case isPreempted(err):
+		if s.draining.Load() {
+			// Preempted into a drain: leave the accept record standing so the
+			// next boot resumes the sweep from its snapshots and cell journal.
+			j.mu.Lock()
+			j.state = jobInterrupted
+			j.errText = "interrupted by drain; resumes on restart"
+			j.mu.Unlock()
+			return
+		}
+		// Requeue behind the work that triggered the preemption. The flag is
+		// cleared first — the rerun starts a fresh watchdog registration with
+		// its own PreemptAfter grace, so a just-resumed job is not instantly
+		// re-preempted by the still-set flag.
+		j.preempt.Store(false)
+		j.mu.Lock()
+		j.state = jobQueued
+		j.requeues++
+		j.mu.Unlock()
+		s.met.jobsRequeued.Add(1)
+		s.wg.Add(1)
+		go s.runSweep(j, s.admit.reserveForced())
 	default:
 		cause := context.Cause(ctx)
 		var stuck *StuckRunError
@@ -551,6 +620,11 @@ func (s *Server) runSweep(j *job, t *ticket) {
 func isCellError(err error) bool {
 	var ce *exp.CellError
 	return errors.As(err, &ce)
+}
+
+func isPreempted(err error) bool {
+	var pe *exp.SweepPreemptedError
+	return errors.As(err, &pe)
 }
 
 // finishSweep records a terminal state in the job and the request journal.

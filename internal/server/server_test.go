@@ -499,6 +499,135 @@ func TestDrainInterruptsSweep(t *testing.T) {
 	}
 }
 
+// TestSweepPreemptRequeue exercises the preempt-and-requeue upgrade: a
+// long sweep holding the only worker slot while other work queues must be
+// asked to stop at a checkpoint boundary, park snapshots, requeue, and
+// still complete with full results once resumed.
+func TestSweepPreemptRequeue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slowSrc profiling is expensive under -short/-race")
+	}
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{
+		JournalDir:       dir,
+		Concurrency:      1,
+		CheckpointEvery:  25_000,
+		PreemptAfter:     50 * time.Millisecond,
+		WatchdogInterval: 10 * time.Millisecond,
+	})
+
+	// Sweep A: slow enough that the preempt window reliably opens. Two
+	// cells on one worker doubles the runway.
+	resp, m := postJSON(t, ts.URL+"/sweep", SweepSpec{
+		Source: slowSrc,
+		Configs: []ConfigSpec{
+			{Disc: "dyn4", Issue: 4, Mem: "A", Branch: "single"},
+			{Disc: "dyn4", Issue: 2, Mem: "A", Branch: "single"},
+		},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/sweep A = %d: %v", resp.StatusCode, m)
+	}
+	idA := m["id"].(string)
+	waitFor2(t, 60*time.Second, func() bool {
+		_, st := getJSON(t, ts.URL+"/sweep/"+idA)
+		return st["state"] == jobRunning
+	})
+
+	// Sweep B queues behind A (Concurrency 1), which is what arms the
+	// watchdog's preempt verdict: queued() > 0 while A holds the slot.
+	resp, m = postJSON(t, ts.URL+"/sweep", SweepSpec{
+		Source: tinySrc, In0: "queued work\n",
+		Configs: []ConfigSpec{{Disc: "static", Issue: 1, Mem: "A", Branch: "single"}},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/sweep B = %d: %v", resp.StatusCode, m)
+	}
+	idB := m["id"].(string)
+
+	var stA map[string]any
+	waitFor2(t, 180*time.Second, func() bool {
+		_, stA = getJSON(t, ts.URL+"/sweep/"+idA)
+		_, stB := getJSON(t, ts.URL+"/sweep/"+idB)
+		return terminal(stA["state"]) && terminal(stB["state"])
+	})
+	if stA["state"] != jobDone {
+		t.Fatalf("sweep A state = %v: %v", stA["state"], stA)
+	}
+	if req, _ := stA["requeues"].(float64); req < 1 {
+		t.Errorf("sweep A requeues = %v, want >= 1 (never preempted?)", stA["requeues"])
+	}
+	if results, _ := stA["results"].(map[string]any); len(results) != 2 {
+		t.Fatalf("sweep A results = %d entries, want 2: %v", len(results), stA)
+	}
+
+	_, mm := getJSON(t, ts.URL+"/metrics")
+	if got, _ := mm["preempts"].(float64); got < 1 {
+		t.Errorf("preempts = %v, want >= 1", mm["preempts"])
+	}
+	if got, _ := mm["jobs_requeued"].(float64); got < 1 {
+		t.Errorf("jobs_requeued = %v, want >= 1", mm["jobs_requeued"])
+	}
+
+	// Completed cells clean their snapshots: nothing may linger.
+	snaps, err := filepath.Glob(filepath.Join(dir, "snapshots", "*.snap*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 0 {
+		t.Errorf("snapshots left after completion: %v", snaps)
+	}
+}
+
+func terminal(state any) bool {
+	return state == jobDone || state == jobFailed || state == jobStuck
+}
+
+// TestPendingJobsSpecHashGuard covers both paths of the request-journal
+// self-hash: intact records (hashed or legacy unhashed) are recovered,
+// while a record whose spec no longer matches its accepted hash — in-place
+// corruption that still parses as JSON — is skipped.
+func TestPendingJobsSpecHashGuard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "requests.journal")
+	good := SweepSpec{Source: tinySrc, Configs: []ConfigSpec{testConfig}}
+	legacy := SweepSpec{Benches: []string{"wc"}, Configs: []ConfigSpec{testConfig}}
+	tampered := SweepSpec{Source: slowSrc, Configs: []ConfigSpec{testConfig}}
+
+	jw, err := exp.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []journalRecord{
+		{Op: "accept", ID: "good", Spec: &good, SpecHash: specHash(&good)},
+		{Op: "accept", ID: "legacy", Spec: &legacy}, // pre-hash record: trusted
+		{Op: "accept", ID: "bad", Spec: &tampered, SpecHash: specHash(&good)},
+	}
+	for _, rec := range records {
+		if err := jw.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pend, err := pendingJobs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(pend))
+	for i, rec := range pend {
+		ids[i] = rec.ID
+	}
+	if len(pend) != 2 || ids[0] != "good" || ids[1] != "legacy" {
+		t.Fatalf("pendingJobs = %v, want [good legacy]", ids)
+	}
+	if pend[0].Spec.Source != good.Source {
+		t.Errorf("recovered spec lost its source")
+	}
+}
+
 // waitFor2 polls a condition with an explicit budget (simulation-scale
 // waits, unlike waitFor's scheduling-scale 2s).
 func waitFor2(t *testing.T, budget time.Duration, cond func() bool) {

@@ -48,6 +48,17 @@ type watchItem struct {
 	cancel context.CancelCauseFunc
 	last   int64
 	since  time.Time
+
+	// Preemption fields (nil preempt = kill-only item). A preemptable run
+	// that is still beating but has held its slot past preemptAfter while
+	// other work is queued is asked — once — to stop at its next checkpoint
+	// boundary. Preemption is cooperative and distinct from the stall kill:
+	// a stalled run cannot reach a checkpoint, so it is still killed.
+	preempt      *atomic.Bool
+	preemptAfter time.Duration
+	queued       func() int64
+	started      time.Time
+	preempted    bool
 }
 
 func newWatchdog(interval, stall time.Duration) *watchdog {
@@ -78,10 +89,30 @@ func (w *watchdog) shutdown() {
 // cancel is invoked with a *StuckRunError cause on a stall verdict. The
 // returned func deregisters (idempotent, safe after a kill).
 func (w *watchdog) watch(id string, beat *atomic.Int64, cancel context.CancelCauseFunc) (unwatch func()) {
+	return w.register(&watchItem{id: id, beat: beat, cancel: cancel})
+}
+
+// watchPreemptable registers a run that, beyond the stall kill, may be
+// asked to surrender its slot: once it has run for preemptAfter and
+// queued() reports waiting work, preempt is set (exactly once) so the
+// engines park a snapshot and return at their next quiescent boundary.
+func (w *watchdog) watchPreemptable(id string, beat *atomic.Int64, cancel context.CancelCauseFunc,
+	preempt *atomic.Bool, preemptAfter time.Duration, queued func() int64) (unwatch func()) {
+	return w.register(&watchItem{
+		id: id, beat: beat, cancel: cancel,
+		preempt: preempt, preemptAfter: preemptAfter, queued: queued,
+	})
+}
+
+func (w *watchdog) register(it *watchItem) (unwatch func()) {
+	now := time.Now()
+	it.last = it.beat.Load()
+	it.since = now
+	it.started = now
 	w.mu.Lock()
 	w.next++
 	key := w.next
-	w.items[key] = &watchItem{id: id, beat: beat, cancel: cancel, last: beat.Load(), since: time.Now()}
+	w.items[key] = it
 	w.mu.Unlock()
 	return func() {
 		w.mu.Lock()
@@ -112,11 +143,15 @@ func (w *watchdog) sweep(now time.Time) {
 		cur := it.beat.Load()
 		if cur != it.last {
 			it.last, it.since = cur, now
-			continue
-		}
-		if now.Sub(it.since) >= w.stall {
+		} else if now.Sub(it.since) >= w.stall {
 			killed = append(killed, it)
 			delete(w.items, key)
+			continue
+		}
+		if it.preempt != nil && !it.preempted &&
+			now.Sub(it.started) >= it.preemptAfter && it.queued() > 0 {
+			it.preempted = true // one-shot: never re-preempt the same registration
+			it.preempt.Store(true)
 		}
 	}
 	w.mu.Unlock()

@@ -1,0 +1,482 @@
+// Package snapshot serializes engine checkpoints into durable, versioned,
+// corruption-detecting files so an interrupted simulation can resume
+// bit-identically after a crash. The format is a deliberately boring custom
+// binary encoding rather than gob: little-endian fixed-width fields written
+// in a fixed order (maps by sorted key), so the same state always encodes
+// to the same bytes — snapshots can be compared, hashed, and golden-tested.
+//
+// A snapshot file is:
+//
+//	magic "FGPSNAP\x01"
+//	frame 0: meta    — format version, run fingerprint
+//	frame 1: engine  — core.EngineState
+//	frame 2: injector (optional) — faultinject.State
+//
+// where each frame is [u32 length][u32 CRC32-C of payload][payload]. A torn
+// write (crash mid-write) or bit rot fails the length or CRC check and
+// surfaces as a *CorruptError; callers fall back to the previous good
+// snapshot (WriteFile rotates path -> path.prev before replacing) and from
+// there to the cell journal or a fresh run — the fallback ladder in
+// DESIGN.md §12.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"fgpsim/internal/branch"
+	"fgpsim/internal/core"
+	"fgpsim/internal/faultinject"
+	"fgpsim/internal/ir"
+	"fgpsim/internal/mem"
+	"fgpsim/internal/stats"
+)
+
+// FormatVersion is bumped whenever the frame payloads change shape; a
+// mismatch is a *CorruptError (old snapshots are not migrated — a stale
+// snapshot just means a fresh run).
+const FormatVersion = 1
+
+var magic = [8]byte{'F', 'G', 'P', 'S', 'N', 'A', 'P', 1}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot is one durable checkpoint: the engine state, the identity of the
+// run it belongs to, and (when fault injection is active) the injector's
+// stream position.
+type Snapshot struct {
+	// Fingerprint pins the snapshot to a (image, inputs, hints) triple; see
+	// RunFingerprint. Restoring under a different fingerprint is refused.
+	Fingerprint uint64
+
+	Engine *core.EngineState
+
+	// Injector is nil when the run has no fault injection.
+	Injector *faultinject.State
+}
+
+// CorruptError reports a snapshot that failed structural validation: torn
+// frame, CRC mismatch, version skew, or inconsistent payload.
+type CorruptError struct{ Reason string }
+
+func (e *CorruptError) Error() string { return "snapshot: corrupt: " + e.Reason }
+
+func corrupt(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// ---------- encoding ----------
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.b = append(e.b, b...)
+}
+
+func encodeStats(e *enc, r *stats.Run) {
+	e.i64(r.Cycles)
+	e.i64(r.RetiredNodes)
+	e.i64(r.ExecutedNodes)
+	e.i64(r.DiscardedNodes)
+	e.i64(r.RetiredBlocks)
+	e.i64(r.Mispredicts)
+	e.i64(r.Faults)
+	e.i64(r.Branches)
+	e.i64(r.BranchesCorrect)
+	e.i64(r.CacheHits)
+	e.i64(r.CacheMisses)
+	e.i64(r.WindowBlockSum)
+	e.i64(r.WindowNodeSum)
+	e.i64(r.InjectedFaults)
+	e.i64(r.RepairedFaults)
+	e.i64(r.EFDegradations)
+	e.i64(r.Work)
+	sizes := r.SortedSizes()
+	e.u32(uint32(len(sizes)))
+	for _, s := range sizes {
+		e.i64(int64(s))
+		e.i64(r.BlockSizes[s])
+	}
+}
+
+func encodeEngine(st *core.EngineState) []byte {
+	e := &enc{}
+	e.bool(st.Static)
+	e.i64(st.Cycle)
+	e.bytes(st.Mem)
+	e.i64(st.InPos[0])
+	e.i64(st.InPos[1])
+	e.bytes(st.Out)
+	for _, v := range st.Regs {
+		e.i32(v)
+	}
+	for _, v := range st.RegReady {
+		e.i64(v)
+	}
+	e.u32(uint32(len(st.RetStack)))
+	for _, b := range st.RetStack {
+		e.i32(int32(b))
+	}
+	e.i32(int32(st.NextBlock))
+	e.i64(st.Cursor)
+	e.i64(st.MemEpoch)
+	e.i64(st.LastLoadRetry)
+	e.i64(st.BlockedLoadGhosts)
+	encodeStats(e, st.Stats)
+	if st.Cache == nil {
+		e.bool(false)
+	} else {
+		e.bool(true)
+		c := st.Cache
+		e.i32(c.Sets)
+		e.u32(uint32(len(c.Tags)))
+		for _, t := range c.Tags {
+			e.u32(t)
+		}
+		e.bytes(c.LRU)
+		e.i64(c.Hits)
+		e.i64(c.Misses)
+	}
+	if st.Pred == nil {
+		e.bool(false)
+	} else {
+		e.bool(true)
+		p := st.Pred
+		e.u8(p.Kind)
+		e.u32(uint32(len(p.Tags)))
+		for _, t := range p.Tags {
+			e.i32(t)
+		}
+		e.bytes(p.Ctr)
+		e.i64(p.Hits)
+		e.u32(p.History)
+		e.u32(uint32(len(p.Seen)))
+		for _, b := range p.Seen {
+			e.i32(int32(b))
+		}
+		e.i64(p.Lookups)
+	}
+	return e.b
+}
+
+func appendFrame(out, payload []byte) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// Encode serializes a snapshot. The output is deterministic: equal
+// snapshots encode to equal bytes.
+func Encode(s *Snapshot) []byte {
+	meta := &enc{}
+	meta.u32(FormatVersion)
+	meta.u64(s.Fingerprint)
+	// The meta frame records whether an injector frame follows, so a file
+	// torn exactly at the frame boundary cannot pass for a complete
+	// injector-less snapshot.
+	meta.bool(s.Injector != nil)
+
+	out := append([]byte(nil), magic[:]...)
+	out = appendFrame(out, meta.b)
+	out = appendFrame(out, encodeEngine(s.Engine))
+	if s.Injector != nil {
+		inj := &enc{}
+		inj.u64(s.Injector.RNG)
+		inj.i64(s.Injector.Tried)
+		inj.i64(s.Injector.Events)
+		out = appendFrame(out, inj.b)
+	}
+	return out
+}
+
+// ---------- decoding ----------
+
+// dec is a bounds-checked cursor over untrusted bytes: every read verifies
+// the remaining length first and every slice allocation is capped by the
+// bytes actually present, so a hostile input (FuzzDecode) can neither panic
+// nor force an oversized allocation.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corrupt(format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b) {
+		d.fail("truncated: need %d bytes, have %d", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) i32() int32 { return int32(d.u32()) }
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+func (d *dec) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bad boolean byte")
+		return false
+	}
+}
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// count reads a u32 element count for elements of elemSize bytes, bounded
+// by the bytes remaining.
+func (d *dec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err == nil && n*elemSize > len(d.b) {
+		d.fail("element count %d exceeds remaining %d bytes", n, len(d.b))
+		return 0
+	}
+	return n
+}
+
+func decodeStats(d *dec) *stats.Run {
+	r := stats.New()
+	r.Cycles = d.i64()
+	r.RetiredNodes = d.i64()
+	r.ExecutedNodes = d.i64()
+	r.DiscardedNodes = d.i64()
+	r.RetiredBlocks = d.i64()
+	r.Mispredicts = d.i64()
+	r.Faults = d.i64()
+	r.Branches = d.i64()
+	r.BranchesCorrect = d.i64()
+	r.CacheHits = d.i64()
+	r.CacheMisses = d.i64()
+	r.WindowBlockSum = d.i64()
+	r.WindowNodeSum = d.i64()
+	r.InjectedFaults = d.i64()
+	r.RepairedFaults = d.i64()
+	r.EFDegradations = d.i64()
+	r.Work = d.i64()
+	n := d.count(16)
+	for i := 0; i < n && d.err == nil; i++ {
+		size := d.i64()
+		cnt := d.i64()
+		r.BlockSizes[int(size)] = cnt
+	}
+	return r
+}
+
+func decodeEngine(payload []byte) (*core.EngineState, error) {
+	d := &dec{b: payload}
+	st := &core.EngineState{}
+	st.Static = d.bool()
+	st.Cycle = d.i64()
+	st.Mem = d.bytes()
+	st.InPos[0] = d.i64()
+	st.InPos[1] = d.i64()
+	st.Out = d.bytes()
+	for i := range st.Regs {
+		st.Regs[i] = d.i32()
+	}
+	for i := range st.RegReady {
+		st.RegReady[i] = d.i64()
+	}
+	n := d.count(4)
+	if n > 0 && d.err == nil {
+		st.RetStack = make([]ir.BlockID, n)
+		for i := range st.RetStack {
+			st.RetStack[i] = ir.BlockID(d.i32())
+		}
+	}
+	st.NextBlock = ir.BlockID(d.i32())
+	st.Cursor = d.i64()
+	st.MemEpoch = d.i64()
+	st.LastLoadRetry = d.i64()
+	st.BlockedLoadGhosts = d.i64()
+	st.Stats = decodeStats(d)
+	if d.bool() {
+		c := &mem.CacheState{}
+		c.Sets = d.i32()
+		tn := d.count(4)
+		if tn > 0 && d.err == nil {
+			c.Tags = make([]uint32, tn)
+			for i := range c.Tags {
+				c.Tags[i] = d.u32()
+			}
+		}
+		c.LRU = d.bytes()
+		c.Hits = d.i64()
+		c.Misses = d.i64()
+		st.Cache = c
+	}
+	if d.bool() {
+		p := &branch.State{}
+		p.Kind = d.u8()
+		tn := d.count(4)
+		if tn > 0 && d.err == nil {
+			p.Tags = make([]int32, tn)
+			for i := range p.Tags {
+				p.Tags[i] = d.i32()
+			}
+		}
+		p.Ctr = d.bytes()
+		p.Hits = d.i64()
+		p.History = d.u32()
+		sn := d.count(4)
+		if sn > 0 && d.err == nil {
+			p.Seen = make([]ir.BlockID, sn)
+			for i := range p.Seen {
+				p.Seen[i] = ir.BlockID(d.i32())
+			}
+		}
+		p.Lookups = d.i64()
+		st.Pred = p
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, corrupt("%d trailing bytes in engine frame", len(d.b))
+	}
+	return st, nil
+}
+
+// readFrame splits one [len][crc][payload] frame off data.
+func readFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) < 8 {
+		return nil, nil, corrupt("truncated frame header")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if int(n) > len(data)-8 {
+		return nil, nil, corrupt("frame length %d exceeds remaining %d bytes", n, len(data)-8)
+	}
+	payload = data[8 : 8+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, nil, corrupt("frame CRC mismatch")
+	}
+	return payload, data[8+n:], nil
+}
+
+// Decode parses a snapshot, verifying magic, version, and every frame CRC.
+// Any structural problem returns a *CorruptError; Decode never panics on
+// hostile input (see FuzzDecode).
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic) {
+		return nil, corrupt("shorter than magic")
+	}
+	for i := range magic {
+		if data[i] != magic[i] {
+			return nil, corrupt("bad magic")
+		}
+	}
+	data = data[len(magic):]
+
+	metaRaw, data, err := readFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	md := &dec{b: metaRaw}
+	version := md.u32()
+	fingerprint := md.u64()
+	hasInjector := md.bool()
+	if md.err != nil {
+		return nil, md.err
+	}
+	if version != FormatVersion {
+		return nil, corrupt("format version %d, want %d", version, FormatVersion)
+	}
+
+	engRaw, data, err := readFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := decodeEngine(engRaw)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Fingerprint: fingerprint, Engine: eng}
+
+	if hasInjector && len(data) == 0 {
+		return nil, corrupt("injector frame promised but missing")
+	}
+	if !hasInjector && len(data) != 0 {
+		return nil, corrupt("unexpected frame after engine state")
+	}
+	if len(data) > 0 {
+		injRaw, rest, err := readFrame(data)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, corrupt("%d trailing bytes after injector frame", len(rest))
+		}
+		id := &dec{b: injRaw}
+		st := &faultinject.State{}
+		st.RNG = id.u64()
+		st.Tried = id.i64()
+		st.Events = id.i64()
+		if id.err != nil {
+			return nil, id.err
+		}
+		if len(id.b) != 0 {
+			return nil, corrupt("%d trailing bytes in injector frame", len(id.b))
+		}
+		s.Injector = st
+	}
+	return s, nil
+}

@@ -68,3 +68,52 @@ func TestHistConcurrent(t *testing.T) {
 		t.Fatalf("count = %d, want 8000", n)
 	}
 }
+
+// TestHistConcurrentReadersWriters interleaves Observe with every reader so
+// the race detector sees the full surface under contention, and checks the
+// readers only ever report internally consistent views (a quantile of a
+// half-applied sample would violate the monotone bound).
+func TestHistConcurrentReadersWriters(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(w+1) * 100 * time.Microsecond
+			for i := 0; i < 2000; i++ {
+				h.Observe(d)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := h.Count()
+				p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+				mean := h.Mean()
+				if n > 0 && (p50 == 0 || p99 < p50 || mean <= 0) {
+					t.Errorf("inconsistent read: n=%d p50=%v p99=%v mean=%v", n, p50, p99, mean)
+					return
+				}
+			}
+		}()
+	}
+	// Let writers and readers interleave, then release everyone.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+	if n := h.Count(); n != 8000 {
+		t.Fatalf("count = %d, want 8000", n)
+	}
+}

@@ -196,6 +196,18 @@ func (r *Run) BlockSizePercentile(p float64) int {
 	return sizes[len(sizes)-1]
 }
 
+// Clone returns a deep copy of r (the BlockSizes map is copied, not
+// shared). Checkpoints carry cloned stats so a snapshot is immutable once
+// taken even while the run keeps counting.
+func (r *Run) Clone() *Run {
+	c := *r
+	c.BlockSizes = make(map[int]int64, len(r.BlockSizes))
+	for s, n := range r.BlockSizes {
+		c.BlockSizes[s] = n
+	}
+	return &c
+}
+
 // Merge adds other's counts into r (used to aggregate across benchmarks).
 func (r *Run) Merge(other *Run) {
 	r.Cycles += other.Cycles

@@ -1,15 +1,27 @@
 #!/usr/bin/env bash
 # simd_smoke.sh — end-to-end smoke test for the simulation daemon.
 #
-# Boots simd, waits for /readyz, submits a small sweep, SIGTERMs the daemon
-# mid-run, asserts a graceful drain (exit 0), then restarts it and asserts
-# the journal-recovered sweep runs to completion. This is the CI-level
-# counterpart of internal/server's unit tests: it exercises the real binary,
-# real signals, and a real restart.
+#   simd_smoke.sh [graceful|chaos]
+#
+# graceful (default): boots simd, waits for /readyz, submits a small sweep,
+# SIGTERMs the daemon mid-run, asserts a graceful drain (exit 0), then
+# restarts it and asserts the journal-recovered sweep runs to completion.
+#
+# chaos: the crash-recovery acceptance test for durable checkpoints. First
+# runs the sweep uninterrupted on a control daemon (checkpoints armed, so
+# both runs live in the same cadence timing universe) and records its
+# results; then boots a second daemon, kill -9s it mid-sweep, restarts it
+# over the same journal, and asserts the recovered sweep's results are
+# byte-identical to the control's — cells finished before the kill come
+# from the cell journal, the cell in flight resumes from its snapshot.
+#
+# This is the CI-level counterpart of internal/server's unit tests: it
+# exercises the real binary, real signals, and a real restart.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+MODE="${1:-graceful}"
 ADDR="127.0.0.1:18097"
 BASE="http://$ADDR"
 WORK="$(mktemp -d)"
@@ -41,11 +53,29 @@ wait_ready() {
 	fail "daemon never became ready"
 }
 
+# wait_done ID BUDGET_TICKS: poll GET /sweep/ID until done; fail on
+# failed/stuck. Prints the final status JSON.
+wait_done() {
+	local id="$1" ticks="$2" status state
+	for _ in $(seq 1 "$ticks"); do
+		status=$(curl -fsS "$BASE/sweep/$id" 2>/dev/null || true)
+		state=$(sed -n 's/.*"state": "\([^"]*\)".*/\1/p' <<<"$status")
+		if [[ "$state" == "done" ]]; then
+			printf '%s' "$status"
+			return 0
+		fi
+		[[ "$state" == "failed" || "$state" == "stuck" ]] && fail "sweep $id ended $state"
+		sleep 0.1
+	done
+	fail "sweep $id never completed (state=${state:-unknown})"
+}
+
 echo "simd-smoke: building"
 go build -o "$WORK/simd" ./cmd/simd
 
-# A sweep slow enough to be caught mid-run by the SIGTERM below: one source
-# program across several configs, each cell a few hundred ms of simulation.
+# A sweep slow enough to be caught mid-run by the interruption below: one
+# source program across several configs, each cell a few hundred ms of
+# simulation.
 SWEEP_JSON="$WORK/sweep.json"
 cat >"$SWEEP_JSON" <<'EOF'
 {
@@ -59,70 +89,194 @@ cat >"$SWEEP_JSON" <<'EOF'
 }
 EOF
 
-echo "simd-smoke: boot 1 (will be SIGTERMed mid-sweep)"
-"$WORK/simd" -addr "$ADDR" -journal "$JOURNAL" -concurrency 1 -drain-timeout 1s \
-	>"$WORK/simd.log" 2>&1 &
-SIMD_PID=$!
-wait_ready
+submit_sweep() {
+	local id
+	id=$(curl -fsS -X POST -d @"$SWEEP_JSON" "$BASE/sweep" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+	[[ -n "$id" ]] || fail "sweep not accepted"
+	printf '%s' "$id"
+}
 
-ID=$(curl -fsS -X POST -d @"$SWEEP_JSON" "$BASE/sweep" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
-[[ -n "$ID" ]] || fail "sweep not accepted"
-echo "simd-smoke: sweep $ID accepted"
+wait_started() {
+	local id="$1" state=""
+	for _ in $(seq 1 200); do
+		state=$(curl -fsS "$BASE/sweep/$id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+		[[ "$state" == "running" || "$state" == "done" ]] && break
+		sleep 0.1
+	done
+	[[ "$state" == "running" || "$state" == "done" ]] || fail "sweep never started (state=$state)"
+	printf '%s' "$state"
+}
 
-# Let the sweep actually start (prepare + first cells), then interrupt it.
-for _ in $(seq 1 200); do
+graceful_smoke() {
+	echo "simd-smoke: boot 1 (will be SIGTERMed mid-sweep)"
+	"$WORK/simd" -addr "$ADDR" -journal "$JOURNAL" -concurrency 1 -drain-timeout 1s \
+		>"$WORK/simd.log" 2>&1 &
+	SIMD_PID=$!
+	wait_ready
+
+	local ID STATE
+	ID=$(submit_sweep)
+	echo "simd-smoke: sweep $ID accepted"
+
+	# Let the sweep actually start (prepare + first cells), then interrupt.
+	STATE=$(wait_started "$ID")
+
+	echo "simd-smoke: SIGTERM mid-run (state=$STATE)"
+	kill -TERM "$SIMD_PID"
+	EXIT=0
+	wait "$SIMD_PID" || EXIT=$?
+	SIMD_PID=""
+	[[ "$EXIT" -eq 0 ]] || fail "daemon exited $EXIT on SIGTERM, want graceful exit 0"
+	grep -q "drained cleanly" "$WORK/simd.log" || fail "daemon log missing drain message"
+	[[ -f "$JOURNAL/requests.journal" ]] || fail "request journal missing"
+	echo "simd-smoke: graceful drain confirmed (exit 0)"
+
+	echo "simd-smoke: boot 2 (journal recovery)"
+	"$WORK/simd" -addr "$ADDR" -journal "$JOURNAL" \
+		>>"$WORK/simd.log" 2>&1 &
+	SIMD_PID=$!
+	wait_ready
+
+	# Whether boot 1 finished the sweep before draining or left it
+	# interrupted, boot 2 must converge on a settled journal: either nothing
+	# was pending, or the recovered sweep (same ID) runs to done.
+	DONE=""
+	for _ in $(seq 1 600); do
+		STATUS=$(curl -fsS "$BASE/sweep/$ID" 2>/dev/null || true)
+		STATE=$(sed -n 's/.*"state": "\([^"]*\)".*/\1/p' <<<"$STATUS")
+		if [[ "$STATE" == "done" ]]; then
+			DONE=1
+			break
+		fi
+		# 404 means boot 1 settled the sweep before the drain; resumed metric
+		# must then be zero and there is nothing to wait for.
+		if [[ -z "$STATE" ]]; then
+			RESUMED=$(curl -fsS "$BASE/metrics" | sed -n 's/.*"jobs_resumed": \([0-9]*\).*/\1/p')
+			[[ "$RESUMED" == "0" ]] && DONE=1 && break
+		fi
+		[[ "$STATE" == "failed" || "$STATE" == "stuck" ]] && fail "recovered sweep ended $STATE"
+		sleep 0.1
+	done
+	[[ -n "$DONE" ]] || fail "recovered sweep never completed (state=$STATE)"
+	echo "simd-smoke: journal recovery confirmed"
+
+	curl -fsS "$BASE/metrics" | sed -n '1,30p'
+
+	echo "simd-smoke: shutdown"
+	kill -TERM "$SIMD_PID"
+	EXIT=0
+	wait "$SIMD_PID" || EXIT=$?
+	SIMD_PID=""
+	[[ "$EXIT" -eq 0 ]] || fail "daemon exited $EXIT on final SIGTERM"
+}
+
+# results_of STATUS: the byte-comparable tail of a sweep status — Results
+# renders last in the status JSON, so everything from `"results"` on is the
+# per-cell statistics, key-sorted by encoding/json.
+results_of() {
+	sed -n '/"results":/,$p' <<<"$1"
+}
+
+CKPT_FLAGS=(-checkpoint-every 50000)
+
+chaos_smoke() {
+	# Control: the same sweep, checkpoints armed, never interrupted. The
+	# cadence perturbs engine timing, so only another armed run is
+	# comparable — that is the point: interrupted-and-resumed must be
+	# bit-identical to straight-through at the same cadence.
+	echo "simd-smoke(chaos): control run"
+	"$WORK/simd" -addr "$ADDR" -journal "$WORK/journal-control" -concurrency 1 \
+		"${CKPT_FLAGS[@]}" >"$WORK/simd.log" 2>&1 &
+	SIMD_PID=$!
+	wait_ready
+	local CONTROL_ID CONTROL_STATUS CONTROL_RESULTS
+	CONTROL_ID=$(submit_sweep)
+	CONTROL_STATUS=$(wait_done "$CONTROL_ID" 1200)
+	CONTROL_RESULTS=$(results_of "$CONTROL_STATUS")
+	[[ -n "$CONTROL_RESULTS" ]] || fail "control sweep has no results"
+	kill -TERM "$SIMD_PID"
+	wait "$SIMD_PID" || true
+	SIMD_PID=""
+
+	echo "simd-smoke(chaos): boot 1 (will be kill -9ed mid-sweep)"
+	"$WORK/simd" -addr "$ADDR" -journal "$JOURNAL" -concurrency 1 \
+		"${CKPT_FLAGS[@]}" >>"$WORK/simd.log" 2>&1 &
+	SIMD_PID=$!
+	wait_ready
+	local ID STATE
+	ID=$(submit_sweep)
+	echo "simd-smoke(chaos): sweep $ID accepted"
+	STATE=$(wait_started "$ID")
+	# Give the first cells time to finish and the in-flight one time to park
+	# checkpoints, then pull the plug with no warning whatsoever.
+	sleep 1
 	STATE=$(curl -fsS "$BASE/sweep/$ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
-	[[ "$STATE" == "running" || "$STATE" == "done" ]] && break
-	sleep 0.1
-done
-[[ "$STATE" == "running" || "$STATE" == "done" ]] || fail "sweep never started (state=$STATE)"
-
-echo "simd-smoke: SIGTERM mid-run (state=$STATE)"
-kill -TERM "$SIMD_PID"
-EXIT=0
-wait "$SIMD_PID" || EXIT=$?
-SIMD_PID=""
-[[ "$EXIT" -eq 0 ]] || fail "daemon exited $EXIT on SIGTERM, want graceful exit 0"
-grep -q "drained cleanly" "$WORK/simd.log" || fail "daemon log missing drain message"
-[[ -f "$JOURNAL/requests.journal" ]] || fail "request journal missing"
-echo "simd-smoke: graceful drain confirmed (exit 0)"
-
-echo "simd-smoke: boot 2 (journal recovery)"
-"$WORK/simd" -addr "$ADDR" -journal "$JOURNAL" \
-	>>"$WORK/simd.log" 2>&1 &
-SIMD_PID=$!
-wait_ready
-
-# Whether boot 1 finished the sweep before draining or left it interrupted,
-# boot 2 must converge on a settled journal: either nothing was pending, or
-# the recovered sweep (same ID) runs to done.
-DONE=""
-for _ in $(seq 1 600); do
-	STATUS=$(curl -fsS "$BASE/sweep/$ID" 2>/dev/null || true)
-	STATE=$(sed -n 's/.*"state": "\([^"]*\)".*/\1/p' <<<"$STATUS")
 	if [[ "$STATE" == "done" ]]; then
-		DONE=1
-		break
+		# The machine outran the chaos window; the run is still a valid
+		# (uninterrupted) comparison against the control.
+		echo "simd-smoke(chaos): sweep finished before the kill; comparing directly"
+		local FAST_STATUS
+		FAST_STATUS=$(curl -fsS "$BASE/sweep/$ID")
+		[[ "$(results_of "$FAST_STATUS")" == "$CONTROL_RESULTS" ]] || fail "uninterrupted results differ from control"
+		kill -TERM "$SIMD_PID"
+		wait "$SIMD_PID" || true
+		SIMD_PID=""
+		return 0
 	fi
-	# 404 means boot 1 settled the sweep before the drain; resumed metric
-	# must then be zero and there is nothing to wait for.
-	if [[ -z "$STATE" ]]; then
-		RESUMED=$(curl -fsS "$BASE/metrics" | sed -n 's/.*"jobs_resumed": \([0-9]*\).*/\1/p')
-		[[ "$RESUMED" == "0" ]] && DONE=1 && break
+	echo "simd-smoke(chaos): kill -9 mid-run (state=$STATE)"
+	kill -9 "$SIMD_PID"
+	wait "$SIMD_PID" 2>/dev/null || true
+	SIMD_PID=""
+	[[ -f "$JOURNAL/requests.journal" ]] || fail "request journal missing after kill -9"
+	if ls "$JOURNAL"/snapshots/*.snap >/dev/null 2>&1; then
+		echo "simd-smoke(chaos): mid-cell snapshot(s) parked at kill time"
+	else
+		# Tiny window: the kill landed between cells. Recovery then comes
+		# from the cell journal alone, which is still a valid run.
+		echo "simd-smoke(chaos): no snapshot at kill time (between cells)"
 	fi
-	[[ "$STATE" == "failed" || "$STATE" == "stuck" ]] && fail "recovered sweep ended $STATE"
-	sleep 0.1
-done
-[[ -n "$DONE" ]] || fail "recovered sweep never completed (state=$STATE)"
-echo "simd-smoke: journal recovery confirmed"
 
-curl -fsS "$BASE/metrics" | sed -n '1,30p'
+	echo "simd-smoke(chaos): boot 2 (crash recovery)"
+	"$WORK/simd" -addr "$ADDR" -journal "$JOURNAL" -concurrency 1 \
+		"${CKPT_FLAGS[@]}" >>"$WORK/simd.log" 2>&1 &
+	SIMD_PID=$!
+	wait_ready
+	local STATUS RESULTS
+	STATUS=$(wait_done "$ID" 1200)
+	RESULTS=$(results_of "$STATUS")
+	echo "simd-smoke(chaos): recovered sweep completed"
 
-echo "simd-smoke: shutdown"
-kill -TERM "$SIMD_PID"
-EXIT=0
-wait "$SIMD_PID" || EXIT=$?
-SIMD_PID=""
-[[ "$EXIT" -eq 0 ]] || fail "daemon exited $EXIT on final SIGTERM"
+	if [[ "$RESULTS" != "$CONTROL_RESULTS" ]]; then
+		echo "--- control results ---" >&2
+		printf '%s\n' "$CONTROL_RESULTS" >&2
+		echo "--- recovered results ---" >&2
+		printf '%s\n' "$RESULTS" >&2
+		fail "recovered sweep results differ from uninterrupted control"
+	fi
+	echo "simd-smoke(chaos): results byte-identical to control"
 
-echo "simd-smoke: PASS"
+	# Completed cells clean up after themselves: no snapshots may linger.
+	if ls "$JOURNAL"/snapshots/*.snap* >/dev/null 2>&1; then
+		fail "snapshots left behind after the sweep completed"
+	fi
+
+	curl -fsS "$BASE/metrics" | sed -n '1,30p'
+
+	echo "simd-smoke(chaos): shutdown"
+	kill -TERM "$SIMD_PID"
+	EXIT=0
+	wait "$SIMD_PID" || EXIT=$?
+	SIMD_PID=""
+	[[ "$EXIT" -eq 0 ]] || fail "daemon exited $EXIT on final SIGTERM"
+}
+
+case "$MODE" in
+graceful) graceful_smoke ;;
+chaos) chaos_smoke ;;
+*)
+	echo "usage: $0 [graceful|chaos]" >&2
+	exit 2
+	;;
+esac
+
+echo "simd-smoke: PASS ($MODE)"
