@@ -46,6 +46,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 		timeout  = flag.Duration("timeout", 0, "per-cell simulation timeout (0 = none)")
 		resume   = flag.String("resume", "", "journal file: completed cells persist and resume across runs")
+		batch    = flag.Bool("batch", false, "run dynamic cells sharing a translated image as batched lanes (one fetch/decode pass per group)")
 	)
 	flag.Parse()
 	stopProf, err := startProfiles(*cpuProf, *memProf)
@@ -55,7 +56,7 @@ func main() {
 	}
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSig()
-	err = run(ctx, *fig, *benchArg, *full, *workers, *quiet, *csvPath, *report, *timeout, *resume)
+	err = run(ctx, *fig, *benchArg, *full, *workers, *quiet, *csvPath, *report, *timeout, *resume, *batch)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -102,7 +103,7 @@ func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
 }
 
 func run(ctx context.Context, fig int, benchArg string, full bool, workers int, quiet bool, csvPath, reportPath string,
-	timeout time.Duration, resume string) error {
+	timeout time.Duration, resume string, batch bool) error {
 	var benchmarks []*bench.Benchmark
 	if benchArg == "all" {
 		benchmarks = bench.All()
@@ -151,6 +152,7 @@ func run(ctx context.Context, fig int, benchArg string, full bool, workers int, 
 		Retries:    2,
 		RunTimeout: timeout,
 		Journal:    resume,
+		Batch:      batch,
 	})
 	if res != nil {
 		for _, ce := range res.Failed {

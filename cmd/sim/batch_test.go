@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/interp"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/minic"
+)
+
+// TestBatchCLI drives the -batch path end to end: one image, four
+// engine-variant lanes through run(), program output identical to the
+// functional reference.
+func TestBatchCLI(t *testing.T) {
+	prog, err := minic.Compile("batch.mc", degradeSrc, minic.Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("a few words to count\nhere are some more\n")
+
+	prof := interp.NewProfile()
+	ref, err := interp.Run(prog, input, nil, interp.Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := enlarge.Build(prog, prof, enlarge.DefaultOptions())
+	cfg, err := machine.ParseConfig("dyn4", 8, "A", "enlarged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(prog, cfg, ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "batch.img")
+	if err := img.WriteFile(imgPath); err != nil {
+		t.Fatal(err)
+	}
+	in0Path := filepath.Join(dir, "in0.txt")
+	if err := os.WriteFile(in0Path, input, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.bin")
+
+	err = run(imgPath, in0Path, "", outPath, "", "", "", "", false, false, 0, 0, 0, 0, false,
+		ckptOpts{}, "base,w1,w64+gshare,consmem+memC")
+	if err != nil {
+		t.Fatalf("batched run: %v", err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref.Output) {
+		t.Errorf("batched output %q differs from reference %q", got, ref.Output)
+	}
+
+	// Flag contract: -batch refuses the modes it cannot compose with.
+	for _, tc := range []struct {
+		name string
+		err  string
+		call func() error
+	}{
+		{"functional", "-functional", func() error {
+			return run(imgPath, in0Path, "", outPath, "", "", "", "", true, false, 0, 0, 0, 0, false, ckptOpts{}, "base")
+		}},
+		{"checkpoint", "-checkpoint", func() error {
+			return run(imgPath, in0Path, "", outPath, "", "", "", "", false, false, 0, 0, 0, 0, false,
+				ckptOpts{path: filepath.Join(dir, "s.snap"), every: 100}, "base")
+		}},
+		{"fault", "fault injection", func() error {
+			return run(imgPath, in0Path, "", outPath, "", "", "", "", false, false, 0, 0, 1, 0.5, false, ckptOpts{}, "base")
+		}},
+		{"badspec", "unknown knob", func() error {
+			return run(imgPath, in0Path, "", outPath, "", "", "", "", false, false, 0, 0, 0, 0, false, ckptOpts{}, "bogus")
+		}},
+	} {
+		if err := tc.call(); err == nil || !strings.Contains(err.Error(), tc.err) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.err)
+		}
+	}
+}
+
+// TestApplyLaneSpec pins the knob grammar.
+func TestApplyLaneSpec(t *testing.T) {
+	base, err := machine.ParseConfig("dyn4", 8, "A", "enlarged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := applyLaneSpec(base, "w64+gshare10+btb256+consmem+memG+issue5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch {
+	case cfg.WindowOverride != 64:
+		t.Errorf("WindowOverride = %d", cfg.WindowOverride)
+	case cfg.Predictor != machine.GSharePredictor || cfg.GShareBits != 10:
+		t.Errorf("predictor = %v bits %d", cfg.Predictor, cfg.GShareBits)
+	case cfg.BTBEntries != 256:
+		t.Errorf("BTBEntries = %d", cfg.BTBEntries)
+	case !cfg.ConservativeMem:
+		t.Error("ConservativeMem not set")
+	case cfg.Mem.ID != 'G':
+		t.Errorf("Mem.ID = %c", cfg.Mem.ID)
+	case cfg.Issue.ID != 5:
+		t.Errorf("Issue.ID = %d", cfg.Issue.ID)
+	}
+	if got, err := applyLaneSpec(base, "base"); err != nil || got != base {
+		t.Errorf("base spec changed the config: %v, err %v", got, err)
+	}
+	for _, bad := range []string{"", "w0", "gsharex", "btbx", "memZ", "mem", "issue99", "zap"} {
+		if _, err := applyLaneSpec(base, bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}

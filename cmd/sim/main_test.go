@@ -127,7 +127,7 @@ func TestCorruptEnlargementDegradesEndToEnd(t *testing.T) {
 		stderrCh <- buf.String()
 	}()
 
-	runErr := run(imgPath, in0Path, "", outPath, "", "", "", "", false, true, 0, 0, 0, 0, false, ckptOpts{})
+	runErr := run(imgPath, in0Path, "", outPath, "", "", "", "", false, true, 0, 0, 0, 0, false, ckptOpts{}, "")
 
 	pw.Close()
 	os.Stderr = oldStderr
@@ -188,7 +188,7 @@ func TestCheckpointRestoreCLI(t *testing.T) {
 	runSim := func(ck ckptOpts) error {
 		return run(imgPath, in0Path, "", outPath, "", "", "", "", false, false, 0, 0, 0, 0, false, ckptOpts{
 			path: ck.path, every: ck.every, restore: ck.restore,
-		})
+		}, "")
 	}
 
 	// Life 1: interrupt an armed run mid-flight by capping its cycles below
@@ -235,11 +235,11 @@ func TestCheckpointRestoreCLI(t *testing.T) {
 
 	// Flag contract checks.
 	if err := run(imgPath, in0Path, "", outPath, "", "", "", "", false, false, 0, 0, 0, 0, false,
-		ckptOpts{restore: true}); err == nil || !strings.Contains(err.Error(), "-restore requires -checkpoint") {
+		ckptOpts{restore: true}, ""); err == nil || !strings.Contains(err.Error(), "-restore requires -checkpoint") {
 		t.Errorf("-restore without -checkpoint: err = %v", err)
 	}
 	if err := run(imgPath, in0Path, "", outPath, "", "", "", "", false, false, 0, 0, 0, 0, false,
-		ckptOpts{path: snapPath, every: -1}); err == nil || !strings.Contains(err.Error(), "-checkpoint-every") {
+		ckptOpts{path: snapPath, every: -1}, ""); err == nil || !strings.Contains(err.Error(), "-checkpoint-every") {
 		t.Errorf("negative cadence: err = %v", err)
 	}
 }

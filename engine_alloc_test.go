@@ -7,13 +7,13 @@ import (
 )
 
 // TestEngineAllocRegression bounds the dynamic engine's steady-state
-// allocation rate. With the node/block pools and the intrusive ready
-// queues (internal/core/pool.go) a run allocates a few thousand objects
-// total — slabs, rings, and map growth — which amortizes to well under
-// 0.2 allocations per simulated cycle. The seed engine allocated ~10 per
-// cycle, so these bounds leave generous headroom for host variance while
-// still failing loudly if per-node or per-block allocation ever creeps
-// back into the hot loop.
+// allocation rate. With the structure-of-arrays stores and the intrusive
+// ready queues (internal/core/soa.go) a run allocates a few thousand
+// objects total — slab growth, rings, and map growth — which amortizes to
+// well under 0.2 allocations per simulated cycle. The seed engine
+// allocated ~10 per cycle, so these bounds leave generous headroom for
+// host variance while still failing loudly if per-node or per-block
+// allocation ever creeps back into the hot loop.
 func TestEngineAllocRegression(t *testing.T) {
 	w := workload(t)
 	for _, tc := range []struct {
@@ -48,5 +48,41 @@ func TestEngineAllocRegression(t *testing.T) {
 					tc.name, perCycle, tc.bound)
 			}
 		})
+	}
+}
+
+// TestBatchedAllocRegression extends the steady-state bound to the batched
+// path: a K-lane core.RunBatch allocates K engines' worth of slabs up
+// front, and its checkpoint-off hot loop must stay as allocation-free as
+// the scalar engine's, so the per-cycle amortized rate obeys the same
+// bound.
+func TestBatchedAllocRegression(t *testing.T) {
+	w := workload(t)
+	lanes := batchLanePool()[:4]
+	run := func() int64 {
+		stats, errs, err := w.RunBatch(lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cycles int64
+		for i, s := range stats {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			cycles += s.Cycles
+		}
+		return cycles
+	}
+	cycles := run() // warm the shared image cache
+	if cycles == 0 {
+		t.Fatal("batch reported zero cycles")
+	}
+	avg := testing.AllocsPerRun(2, func() { run() })
+	perCycle := avg / float64(cycles)
+	const bound = 1.0
+	t.Logf("Batched4: %.0f allocs over %d cycles = %.4f allocs/cycle (bound %.2f)", avg, cycles, perCycle, bound)
+	if perCycle > bound {
+		t.Errorf("batched run allocates %.4f objects per simulated cycle, above the %.2f regression bound",
+			perCycle, bound)
 	}
 }

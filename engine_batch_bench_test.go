@@ -1,0 +1,132 @@
+// Benchmarks for the K-lane batched execution mode: sweeping K engine-level
+// variants (window depth, predictor, memory system) of one translated image,
+// either sequentially through the scalar engine or through core.RunBatch.
+// The lane pool mirrors the shape of the difftest variant matrix: every lane
+// shares the Dyn256/EnlargedBB imgcache key, so a batch run amortizes one
+// fetch/decode/translate pass across all K configurations.
+//
+// batchSeqScalarSeedNs records the *pre-SoA* pointer-linked engine's
+// sequential wall clock over the same lane prefixes, measured at the commit
+// before the structure-of-arrays rewrite landed (same host class). The
+// emitted BENCH_engine.json reports Batched* speedups against these numbers:
+// "batched K-lane sweep versus K sequential scalar runs".
+package fgpsim
+
+import (
+	"testing"
+
+	"fgpsim/internal/exp"
+	"fgpsim/internal/machine"
+)
+
+// batchLanePool returns the 18 lane configurations the batched benchmarks
+// sweep. All are Dyn256/EnlargedBB/issue-8 variants differing only in
+// engine-level knobs (window override, predictor, memory system), so they
+// share one cached image. The first 8 are the acceptance criterion's
+// "8-lane sweep".
+func batchLanePool() []machine.Config {
+	base := exp.MustConfigFor(exp.Curve{Disc: machine.Dyn256, Branch: machine.EnlargedBB}, 8, 'G')
+	memA := exp.MustConfigFor(exp.Curve{Disc: machine.Dyn256, Branch: machine.EnlargedBB}, 8, 'A')
+	memC := exp.MustConfigFor(exp.Curve{Disc: machine.Dyn256, Branch: machine.EnlargedBB}, 8, 'C')
+	with := func(f func(*machine.Config)) machine.Config {
+		c := base
+		f(&c)
+		return c
+	}
+	return []machine.Config{
+		base,
+		with(func(c *machine.Config) { c.WindowOverride = 64 }),
+		with(func(c *machine.Config) { c.WindowOverride = 16 }),
+		with(func(c *machine.Config) { c.WindowOverride = 4 }),
+		with(func(c *machine.Config) { c.Predictor = machine.GSharePredictor }),
+		with(func(c *machine.Config) { c.Predictor = machine.GSharePredictor; c.WindowOverride = 64 }),
+		memA,
+		memC,
+		with(func(c *machine.Config) { c.WindowOverride = 128 }),
+		with(func(c *machine.Config) { c.WindowOverride = 32 }),
+		with(func(c *machine.Config) { c.WindowOverride = 8 }),
+		with(func(c *machine.Config) { c.WindowOverride = 2 }),
+		with(func(c *machine.Config) { c.Predictor = machine.GSharePredictor; c.GShareBits = 8 }),
+		with(func(c *machine.Config) { c.Predictor = machine.GSharePredictor; c.GShareBits = 10 }),
+		with(func(c *machine.Config) { c.BTBEntries = 64 }),
+		with(func(c *machine.Config) { c.BTBEntries = 16 }),
+		with(func(c *machine.Config) { c.ConservativeMem = true }),
+		with(func(c *machine.Config) { c.ConservativeMem = true; c.WindowOverride = 32 }),
+	}
+}
+
+// batchKs are the lane counts the benchmarks and BENCH_engine.json cover.
+var batchKs = []int{1, 4, 8, 18}
+
+// batchSeqScalarSeedNs is the pointer-linked (pre-SoA) engine's sequential
+// wall clock for the first K lanes of batchLanePool, in nanoseconds
+// (go test -bench=EngineSequential -benchtime=1x at the commit preceding
+// the SoA rewrite, same host). Keys are K.
+var batchSeqScalarSeedNs = map[int]int64{
+	1:  241_654_517,
+	4:  456_484_361,
+	8:  1_350_278_715,
+	18: 3_134_987_031,
+}
+
+// benchEngineSequential times K sequential scalar runs of the lane prefix.
+func benchEngineSequential(b *testing.B, k int) {
+	w := workload(b)
+	lanes := batchLanePool()[:k]
+	// Warm the image cache so the measurement isolates engine time, exactly
+	// as a grid sweep's steady state does.
+	if _, err := w.Run(lanes[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cycles = 0
+		for _, cfg := range lanes {
+			s, err := w.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += s.Cycles
+		}
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkEngineSequential1(b *testing.B)  { benchEngineSequential(b, 1) }
+func BenchmarkEngineSequential4(b *testing.B)  { benchEngineSequential(b, 4) }
+func BenchmarkEngineSequential8(b *testing.B)  { benchEngineSequential(b, 8) }
+func BenchmarkEngineSequential18(b *testing.B) { benchEngineSequential(b, 18) }
+
+// benchEngineBatched times the same K-lane sweep through core.RunBatch (via
+// the harness): one shared fetch/decode pass, K private schedulers.
+func benchEngineBatched(b *testing.B, k int) {
+	w := workload(b)
+	lanes := batchLanePool()[:k]
+	if _, err := w.Run(lanes[0]); err != nil { // warm the shared image
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cycles = 0
+		stats, errs, err := w.RunBatch(lanes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, s := range stats {
+			if errs[j] != nil {
+				b.Fatal(errs[j])
+			}
+			cycles += s.Cycles
+		}
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkEngineBatched1(b *testing.B)  { benchEngineBatched(b, 1) }
+func BenchmarkEngineBatched4(b *testing.B)  { benchEngineBatched(b, 4) }
+func BenchmarkEngineBatched8(b *testing.B)  { benchEngineBatched(b, 8) }
+func BenchmarkEngineBatched18(b *testing.B) { benchEngineBatched(b, 18) }

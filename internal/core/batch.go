@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// Batched multi-config simulation: K configuration lanes — predictor,
+// window, and memory-system variants of the *same* translated program image
+// — run through one shared fetch/decode infrastructure. Every lane is a
+// full dynamic engine with private architectural and speculative state, but
+// the lanes share what is identical across a sweep row:
+//
+//   - the program image (blocks, chains, the loader's translation),
+//   - the decoded per-block metadata table (dec.go) — the classification
+//     pass of fetch/decode runs once per block for the whole batch,
+//   - the recorded perfect-prediction trace and the mapped branch hints
+//     (the hint mapping walks every block of the program; unbatched sweeps
+//     pay it once per cell).
+//
+// Lanes step in lockstep quanta: the scheduler round-robins batchQuantum
+// cycles per lane, so all K lanes walk the same code region together and
+// the shared image and decode rows stay hot while every lane reads them.
+// Once a lane's schedule diverges (it halts, faults differently, or simply
+// runs longer), it keeps its own pace — divergence only shrinks the reuse
+// window, never changes results. Each lane's output is bit-identical to
+// the same configuration run through Run: the engines interleave on one
+// goroutine and share no mutable state.
+//
+// Fill-unit lanes cannot batch: the fill unit enlarges its image at run
+// time (AddChain mutates the program), which would leak one lane's
+// run-time chains into the others. Static-discipline lanes have their own
+// engine with no SoA stores to share; both are rejected up front.
+
+// BatchLane is one lane of a batched run: an image (sharing its Prog with
+// every other lane) and the lane's private limits.
+type BatchLane struct {
+	Img *loader.Image
+	Lim Limits
+}
+
+// batchQuantum is how many cycles each lane advances per scheduling turn.
+// Large enough that each lane's private working set (env memory, window
+// stores) stays resident for a useful stretch between switches, small
+// enough that lanes still sweep the same code region together and the
+// shared image/decode rows stay cache-hot across the batch.
+const batchQuantum = 16384
+
+// RunBatch simulates K configuration lanes of one program image over the
+// same inputs. It returns one result and one error slot per lane: a lane
+// failing (cycle limit, cancellation, unrecoverable fault) does not stop
+// the other lanes. The top-level error reports batch-level misuse only
+// (mixed programs, a non-batchable lane).
+func RunBatch(lanes []BatchLane, in0, in1 []byte, trace []ir.BlockID, hints map[ir.BlockID]bool) ([]*RunResult, []error, error) {
+	return RunBatchContext(context.Background(), lanes, in0, in1, trace, hints)
+}
+
+// RunBatchContext is RunBatch with cancellation, checked per lane at the
+// engines' amortized gates.
+func RunBatchContext(ctx context.Context, lanes []BatchLane, in0, in1 []byte, trace []ir.BlockID, hints map[ir.BlockID]bool) ([]*RunResult, []error, error) {
+	if len(lanes) == 0 {
+		return nil, nil, fmt.Errorf("core: empty batch")
+	}
+	prog := lanes[0].Img.Prog
+	for i, ln := range lanes {
+		cfg := ln.Img.Cfg
+		if cfg.Disc == machine.Static {
+			return nil, nil, fmt.Errorf("core: batch lane %d is statically scheduled", i)
+		}
+		if cfg.Branch == machine.FillUnit {
+			return nil, nil, fmt.Errorf("core: batch lane %d uses the fill unit (its image mutates at run time)", i)
+		}
+		if cfg.Branch == machine.Perfect && trace == nil {
+			return nil, nil, fmt.Errorf("core: batch lane %d needs a recorded trace for perfect prediction", i)
+		}
+		if ln.Img.Prog != prog {
+			return nil, nil, fmt.Errorf("core: batch lane %d runs a different program image", i)
+		}
+		if cfg.Branch == machine.FillUnit && (ln.Lim.CheckpointEvery > 0 || ln.Lim.Resume != nil) {
+			return nil, nil, &CheckpointUnsupportedError{Reason: "fill-unit images mutate at run time"}
+		}
+	}
+
+	// Shared batch state: one decode table, one hint mapping.
+	dec := &decTable{}
+	var mapped map[ir.BlockID]bool
+	if hints != nil {
+		mapped = mapHints(lanes[0].Img, hints)
+	}
+
+	results := make([]*RunResult, len(lanes))
+	errs := make([]error, len(lanes))
+	engines := make([]*dynamicEngine, len(lanes))
+	for i, ln := range lanes {
+		e := newDynamicEngine(ln.Img, in0, in1, trace, ln.Lim)
+		e.ctx = ctx
+		e.dec = dec
+		if mapped != nil {
+			e.SetMappedHints(mapped)
+		}
+		if ln.Lim.Resume != nil {
+			if err := e.restore(ln.Lim.Resume); err != nil {
+				errs[i] = err
+				continue
+			}
+		}
+		engines[i] = e
+	}
+
+	live := 0
+	for i := range engines {
+		if engines[i] != nil && errs[i] == nil {
+			live++
+		}
+	}
+	for live > 0 {
+		for i, e := range engines {
+			if e == nil || errs[i] != nil || results[i] != nil {
+				continue
+			}
+			finished, err := e.stepCycles(batchQuantum)
+			if err != nil {
+				errs[i] = err
+				live--
+				continue
+			}
+			if finished {
+				results[i] = e.result()
+				live--
+			}
+		}
+	}
+	return results, errs, nil
+}

@@ -1,0 +1,245 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"fgpsim/internal/core"
+	"fgpsim/internal/enlarge"
+	"fgpsim/internal/loader"
+	"fgpsim/internal/machine"
+)
+
+// batchVariants is a matrix of engine-level variants of one base dynamic
+// configuration: window sizes, window overrides, predictors, BTB sizes, and
+// conservative memory. All share a translated image's program.
+func batchVariants() []machine.Config {
+	var v []machine.Config
+	for _, d := range []machine.Discipline{machine.Dyn1, machine.Dyn4, machine.Dyn256} {
+		v = append(v, mkCfg(d, 8, 'A'))
+	}
+	c := mkCfg(machine.Dyn256, 8, 'D')
+	c.WindowOverride = 16
+	v = append(v, c)
+	c = mkCfg(machine.Dyn256, 8, 'A')
+	c.Predictor = machine.GSharePredictor
+	v = append(v, c)
+	c = mkCfg(machine.Dyn4, 8, 'G')
+	c.ConservativeMem = true
+	v = append(v, c)
+	c = mkCfg(machine.Dyn4, 2, 'B')
+	c.BTBEntries = 16
+	v = append(v, c)
+	return v
+}
+
+// TestRunBatchBitIdenticalToScalar is the batch mode's core contract: every
+// lane of a batched run finishes with exactly the output bytes and the
+// statistics of the same configuration run alone through core.Run.
+func TestRunBatchBitIdenticalToScalar(t *testing.T) {
+	for _, seed := range []int64{7, 42, 99} {
+		p := randomProgram(seed)
+		cfgs := batchVariants()
+		// One translated image serves every lane, the way the experiment
+		// harness's image cache shares it: a shallow copy per configuration,
+		// carrying the lane's engine-level knobs in Cfg.
+		base, err := loader.Load(p, mkCfg(machine.Dyn256, 8, 'A'), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		laneImage := func(cfg machine.Config) *loader.Image {
+			im := *base
+			im.Cfg = cfg
+			return &im
+		}
+		lanes := make([]core.BatchLane, len(cfgs))
+		type scalar struct {
+			out   []byte
+			stats interface{}
+		}
+		want := make([]scalar, len(cfgs))
+		for i, cfg := range cfgs {
+			res, err := core.Run(laneImage(cfg), nil, nil, nil, nil, core.Limits{})
+			if err != nil {
+				t.Fatalf("seed %d %s: scalar run: %v", seed, cfg, err)
+			}
+			want[i] = scalar{res.Output, res.Stats}
+			lanes[i] = core.BatchLane{Img: laneImage(cfg)}
+		}
+		results, errs, err := core.RunBatch(lanes, nil, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("seed %d: batch: %v", seed, err)
+		}
+		for i, res := range results {
+			if errs[i] != nil {
+				t.Fatalf("seed %d lane %d (%s): %v", seed, i, cfgs[i], errs[i])
+			}
+			if !bytes.Equal(res.Output, want[i].out) {
+				t.Errorf("seed %d lane %d (%s): output differs from scalar run", seed, i, cfgs[i])
+			}
+			if !reflect.DeepEqual(res.Stats, want[i].stats) {
+				t.Errorf("seed %d lane %d (%s): stats differ from scalar run:\nbatch:  %+v\nscalar: %+v",
+					seed, i, cfgs[i], res.Stats, want[i].stats)
+			}
+		}
+	}
+}
+
+// TestRunBatchCheckpointResume checkpoints lanes mid-batch and resumes them
+// in a later batch: a lane restored from a snapshot taken inside a batched
+// run must finish bit-identically to the scalar armed run that was never
+// interrupted — the SnapshotOracle contract extended to batch mode.
+func TestRunBatchCheckpointResume(t *testing.T) {
+	p := randomProgram(42)
+	const every = 16
+	cfgs := []machine.Config{mkCfg(machine.Dyn4, 8, 'D'), mkCfg(machine.Dyn256, 8, 'A')}
+	base, err := loader.Load(p, mkCfg(machine.Dyn256, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := make([]*loader.Image, len(cfgs))
+	straight := make([]*core.RunResult, len(cfgs))
+	snaps := make([][]*core.EngineState, len(cfgs))
+	for i, cfg := range cfgs {
+		im := *base
+		im.Cfg = cfg
+		imgs[i] = &im
+		res, err := core.Run(imgs[i], nil, nil, nil, nil, core.Limits{CheckpointEvery: every})
+		if err != nil {
+			t.Fatal(err)
+		}
+		straight[i] = res
+	}
+
+	// Take the snapshots inside a *batched* armed run.
+	lanes := make([]core.BatchLane, len(cfgs))
+	for i := range cfgs {
+		i := i
+		lanes[i] = core.BatchLane{Img: imgs[i], Lim: core.Limits{
+			CheckpointEvery: every,
+			Checkpoint: func(st *core.EngineState) error {
+				snaps[i] = append(snaps[i], st)
+				return nil
+			},
+		}}
+	}
+	results, errs, err := core.RunBatch(lanes, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i].Output, straight[i].Output) ||
+			!reflect.DeepEqual(results[i].Stats, straight[i].Stats) {
+			t.Fatalf("lane %d (%s): armed batched run differs from armed scalar run", i, cfgs[i])
+		}
+		if len(snaps[i]) == 0 {
+			t.Fatalf("lane %d (%s): no checkpoints parked (run too short for cadence %d?)",
+				i, cfgs[i], every)
+		}
+	}
+
+	// Resume every lane from each of its mid-batch snapshots, batched with a
+	// fresh lane of the other configuration for interleaving.
+	for i := range cfgs {
+		for si, snap := range snaps[i] {
+			other := (i + 1) % len(cfgs)
+			lanes := []core.BatchLane{
+				{Img: imgs[i], Lim: core.Limits{CheckpointEvery: every, Resume: snap}},
+				{Img: imgs[other]},
+			}
+			results, errs, err := core.RunBatch(lanes, nil, nil, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs[0] != nil {
+				t.Fatalf("lane %d snapshot %d: resume: %v", i, si, errs[0])
+			}
+			if !bytes.Equal(results[0].Output, straight[i].Output) ||
+				!reflect.DeepEqual(results[0].Stats, straight[i].Stats) {
+				t.Errorf("lane %d (%s) resumed from snapshot %d: differs from uninterrupted run",
+					i, cfgs[i], si)
+			}
+		}
+	}
+}
+
+// TestRunBatchRejects pins the batch-level misuse errors.
+func TestRunBatchRejects(t *testing.T) {
+	p := randomProgram(1)
+	dyn, err := loader.Load(p, mkCfg(machine.Dyn4, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := loader.Load(p, mkCfg(machine.Static, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fucfg := mkCfg(machine.Dyn4, 8, 'A')
+	fucfg.Branch = machine.FillUnit
+	fu, err := loader.Load(p, fucfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := mkCfg(machine.Dyn4, 8, 'A')
+	pcfg.Branch = machine.Perfect
+	perf, err := loader.Load(p, pcfg, &enlarge.File{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := randomProgram(2)
+	dyn2, err := loader.Load(p2, mkCfg(machine.Dyn4, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		lanes []core.BatchLane
+	}{
+		{"empty", nil},
+		{"static", []core.BatchLane{{Img: static}}},
+		{"fillunit", []core.BatchLane{{Img: fu}}},
+		{"perfect-no-trace", []core.BatchLane{{Img: perf}}},
+		{"mixed-programs", []core.BatchLane{{Img: dyn}, {Img: dyn2}}},
+	} {
+		if _, _, err := core.RunBatch(tc.lanes, nil, nil, nil, nil); err == nil {
+			t.Errorf("%s: want a batch-level error", tc.name)
+		}
+	}
+}
+
+// TestRunBatchLaneFailureIsIsolated caps one lane's cycles below its runtime:
+// that lane must fail while the other lane still completes with scalar-
+// identical results.
+func TestRunBatchLaneFailureIsIsolated(t *testing.T) {
+	p := randomProgram(42)
+	img, err := loader.Load(p, mkCfg(machine.Dyn4, 8, 'A'), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Run(img, nil, nil, nil, nil, core.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := []core.BatchLane{
+		{Img: img, Lim: core.Limits{MaxCycles: 10}},
+		{Img: img},
+	}
+	results, errs, err := core.RunBatch(lanes, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] == nil {
+		t.Error("capped lane: want a cycle-limit error")
+	}
+	if errs[1] != nil {
+		t.Fatalf("healthy lane: %v", errs[1])
+	}
+	if !bytes.Equal(results[1].Output, ref.Output) || !reflect.DeepEqual(results[1].Stats, ref.Stats) {
+		t.Error("healthy lane's result disturbed by its neighbor's failure")
+	}
+}

@@ -105,10 +105,10 @@ func (e *dynamicEngine) captureState() *EngineState {
 	}
 	for r := range e.rename {
 		// At quiescence every producer has completed and been harvested;
-		// the defensive read covers a producer pointer that somehow
+		// the defensive read covers a producer reference that somehow
 		// survived (it would already hold its final value).
-		if en := e.rename[r]; en.prod != nil {
-			st.Regs[r] = en.prod.val
+		if en := e.rename[r]; en.prod != nilRef {
+			st.Regs[r] = e.nodes.d[en.prod].val
 		} else {
 			st.Regs[r] = en.val
 		}
@@ -177,7 +177,7 @@ func (e *dynamicEngine) restore(st *EngineState) error {
 	e.env.inPos = [2]int{int(st.InPos[0]), int(st.InPos[1])}
 	e.env.out = append(e.env.out[:0], st.Out...)
 	for r := range e.rename {
-		e.rename[r] = renEntry{val: st.Regs[r]}
+		e.rename[r] = renEntry{prod: nilRef, val: st.Regs[r]}
 	}
 	e.rs = nil
 	for i, t := range st.RetStack {

@@ -23,94 +23,11 @@ import (
 // blocks, and assert faults (enlarged blocks) additionally discard the
 // faulting block itself and restart at its fault-to target.
 //
-// Every per-node and per-block structure is pool-allocated (pool.go), so a
-// run allocates only during warm-up; the recycling safety argument lives
-// with the pools.
-
-type nstate uint8
-
-const (
-	nsWaiting nstate = iota
-	nsReady          // in a ready queue or a blocked list
-	nsExecuting
-	nsDone
-)
-
-// dnode is one in-flight node.
-type dnode struct {
-	n     *ir.Node
-	blk   *ablock
-	seq   int64
-	idx   int // index in block (len(body) = terminator)
-	state nstate
-	qpos  int32 // ready-queue heap position + 1 (0 = not queued)
-
-	srcA, srcB *dnode // producers still relevant at issue (nil = immediate)
-	valA, valB int32
-	pendingOps int
-
-	val    int32
-	doneAt int64
-
-	addr     int64 // memory effective address (valid once executing)
-	memSize  int64
-	squashed bool
-	handled  bool // offender (mispredict/fault) already processed
-	injected bool // executed early by an injected disambiguation violation
-
-	// consumers to wake when this node's value becomes available.
-	consumers []*dnode
-
-	// Terminator bookkeeping.
-	predictedTaken bool
-	isBranch       bool
-	predToken      uint64 // predictor state the prediction was made under
-}
-
-// renEntry is one rename-table entry: the in-flight producer of a
-// register's current value, or the value itself.
-type renEntry struct {
-	prod *dnode
-	val  int32
-}
-
-// rsNode is a persistent (immutable) speculative return stack.
-type rsNode struct {
-	target ir.BlockID
-	parent *rsNode
-	depth  int
-}
-
-// ablock is an active (issued, unretired) basic block.
-type ablock struct {
-	xb    *ir.Block
-	seq0  int64
-	nodes []*dnode
-	// issuedAll is set once the terminator has been issued.
-	issuedAll bool
-	nDone     int
-
-	// asserts in issue order, for oldest-first fault gating.
-	asserts []*dnode
-	stores  []*dnode
-
-	// Checkpoints taken at block entry.
-	renSnap    [ir.NumRegs]renEntry
-	rsSnap     *rsNode
-	cursorSnap int
-	predSnap   uint64
-
-	flags issueFlags
-	term  *dnode
-}
-
-func (ab *ablock) complete() bool {
-	return ab.issuedAll && ab.nDone == len(ab.nodes)
-}
-
-// timelineSlots sizes the completion ring; it must exceed the largest
-// possible node latency (the 10-cycle cache miss).
-const timelineSlots = 16
+// In-flight state lives in structure-of-arrays stores (soa.go): a node is
+// an int32 index whose fields are columns of parallel slices, so the
+// per-cycle loops scan contiguous status and sequence arrays instead of
+// chasing pointers, and a run allocates only while its working set grows.
+// The recycling safety argument lives with the stores.
 
 type dynamicEngine struct {
 	img  *loader.Image
@@ -130,16 +47,18 @@ type dynamicEngine struct {
 
 	active abRing // active blocks, oldest first
 
-	// Allocation pools (see pool.go).
-	npool  nodePool
-	bpool  blockPool
+	// Structure-of-arrays stores (soa.go) and the shared decode table.
+	nodes  nodeStore
+	blocks blockStore
 	rspool rsPool
+	dec    *decTable
 
 	// Issue state.
 	rename      [ir.NumRegs]renEntry
 	rs          *rsNode
-	issueBlock  *ablock    // block currently being issued into
+	issueBlock  bref       // block currently being issued into (nilRef = none)
 	issueIdx    int        // next node index in issueBlock
+	issueMeta   []uint8    // issueBlock's decoded metadata
 	nextBlockID ir.BlockID // where issue continues once a new block opens
 	issueStall  bool       // stop issuing (halt seen, empty return stack, oracle fault)
 
@@ -148,15 +67,14 @@ type dynamicEngine struct {
 	cursor int
 
 	// Ready queues by function-unit class: intrusive min-heaps on seq, so
-	// the scheduler always picks the oldest ready node (pool.go).
+	// the scheduler always picks the oldest ready node (soa.go).
 	readyMem readyQ
 	readyALU readyQ
 
-	// Completion timeline: a ring of per-cycle completion lists — the
-	// bucketed event wheel keyed by ready-cycle. Slot cycle%timelineSlots
-	// holds the nodes completing at that cycle; the maximum latency (a
-	// 10-cycle miss) is well below the ring size.
-	timeline [timelineSlots][]*dnode
+	// Completion timeline: the bucketed event wheel keyed by ready-cycle,
+	// with an overflow list guarding against latencies at or beyond the
+	// ring's span (soa.go).
+	wheel eventWheel
 
 	// liveNodes counts issued, unretired nodes (window occupancy stats).
 	liveNodes int64
@@ -165,11 +83,10 @@ type dynamicEngine struct {
 	// order; executed entries leave lazily from the front, squashed ones
 	// eagerly from the back, so the head yields the minimum unknown-address
 	// store seq in O(1) amortized.
-	wb           map[int64][]*dnode // granule (addr>>2) -> executed stores, seq order
+	wb           map[int64][]nref // granule (addr>>2) -> executed stores, seq order
 	unknownQ     ndRing
-	blockedLoads []*dnode // loads waiting for disambiguation
-	blockedSys   []*dnode // syscalls waiting to be non-speculative
-	ovScratch    []*dnode // loadValue's overlap workspace
+	blockedLoads []nref // loads waiting for disambiguation
+	ovScratch    []nref // loadValue's overlap workspace
 
 	// blockedLoadGhosts counts squashed entries removed eagerly from
 	// blockedLoads at squash time. The retry gate below must still see
@@ -185,8 +102,8 @@ type dynamicEngine struct {
 	lastLoadRetry int64
 
 	// Offenders discovered this cycle / pending faults.
-	mispredicted  []*dnode
-	pendingFaults []*dnode
+	mispredicted  []nref
+	pendingFaults []nref
 
 	// fill is the run-time enlargement state (FillUnit mode only).
 	fill *fillUnit
@@ -221,18 +138,21 @@ type dynamicEngine struct {
 func newDynamicEngine(img *loader.Image, in0, in1 []byte, trace []ir.BlockID, lim Limits) *dynamicEngine {
 	cfg := img.Cfg
 	e := &dynamicEngine{
-		img:    img,
-		env:    newEnv(img.Prog, in0, in1),
-		ms:     mem.New(cfg.Mem),
-		st:     stats.New(),
-		lim:    lim,
-		window: cfg.EffectiveWindow(),
-		imem:   cfg.Issue.Mem,
-		ialu:   cfg.Issue.ALU,
-		itotal: cfg.Issue.Total(),
-		trace:  trace,
-		wb:     make(map[int64][]*dnode),
+		img:        img,
+		env:        newEnv(img.Prog, in0, in1),
+		ms:         mem.New(cfg.Mem),
+		st:         stats.New(),
+		lim:        lim,
+		window:     cfg.EffectiveWindow(),
+		imem:       cfg.Issue.Mem,
+		ialu:       cfg.Issue.ALU,
+		itotal:     cfg.Issue.Total(),
+		trace:      trace,
+		wb:         make(map[int64][]nref),
+		dec:        &decTable{},
+		issueBlock: nilRef,
 	}
+	e.nodes.edges = newEdgeArena()
 	if cfg.Branch != machine.Perfect {
 		e.pred = e.newPredictor(nil)
 	}
@@ -243,9 +163,9 @@ func newDynamicEngine(img *loader.Image, in0, in1 []byte, trace []ir.BlockID, li
 	e.ckptArmed = lim.checkpointArmed()
 	e.ckptEvery = lim.CheckpointEvery
 	for r := range e.rename {
-		e.rename[r] = renEntry{val: 0}
+		e.rename[r] = renEntry{prod: nilRef, val: 0}
 	}
-	e.rename[ir.RegSP] = renEntry{val: ir.InitialSP(img.Prog.MemSize)}
+	e.rename[ir.RegSP] = renEntry{prod: nilRef, val: ir.InitialSP(img.Prog.MemSize)}
 	e.nextBlockID = img.Prog.Func(img.Prog.Entry).Entry
 	return e
 }
@@ -256,13 +176,27 @@ func (e *dynamicEngine) SetHints(hints map[ir.BlockID]bool) {
 	if e.pred == nil {
 		return
 	}
+	e.SetMappedHints(mapHints(e.img, hints))
+}
+
+// mapHints translates hint keys from original block IDs to the image's
+// block IDs. Batched runs compute this once per shared image (batch.go).
+func mapHints(img *loader.Image, hints map[ir.BlockID]bool) map[ir.BlockID]bool {
 	mapped := make(map[ir.BlockID]bool, len(hints))
-	for _, b := range e.img.Prog.Blocks {
+	for _, b := range img.Prog.Blocks {
 		if b.Term.Op == ir.Br {
-			if h, ok := hints[e.img.TermOrigOf(b.ID)]; ok {
+			if h, ok := hints[img.TermOrigOf(b.ID)]; ok {
 				mapped[b.ID] = h
 			}
 		}
+	}
+	return mapped
+}
+
+// SetMappedHints installs hints already keyed by image block IDs.
+func (e *dynamicEngine) SetMappedHints(mapped map[ir.BlockID]bool) {
+	if e.pred == nil {
+		return
 	}
 	e.pred = e.newPredictor(mapped)
 }
@@ -285,22 +219,26 @@ func (e *dynamicEngine) newPredictor(hints map[ir.BlockID]bool) branch.Direction
 }
 
 // seqFloor is the oldest active block's entry sequence — no reference to a
-// node freed at or after it can still be held (pool.go's seq watermark).
+// node freed at or after it can still be held (soa.go's seq watermark).
 func (e *dynamicEngine) seqFloor() int64 {
 	if e.active.len() == 0 {
 		return noSeqFloor
 	}
-	return e.active.front().seq0
+	return e.blocks.seq0[e.active.front()]
 }
 
-func (e *dynamicEngine) run() (*RunResult, error) {
+// stepCycles advances the engine by at most budget cycles, returning
+// whether the program finished. It is the per-cycle loop run() iterates
+// and the granularity batched runs interleave lanes at (batch.go).
+func (e *dynamicEngine) stepCycles(budget int64) (bool, error) {
 	maxCycles := e.lim.maxCycles()
-	for !e.finished {
+	for budget > 0 && !e.finished {
+		budget--
 		if e.runErr != nil {
-			return nil, e.runErr
+			return false, e.runErr
 		}
 		if e.cycle > maxCycles {
-			return nil, &CycleLimitError{e.cycle}
+			return false, &CycleLimitError{e.cycle}
 		}
 		if e.cycle&(ctxCheckPeriod-1) == 0 {
 			if e.lim.Heartbeat != nil {
@@ -308,7 +246,7 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 			}
 			if e.ctx != nil {
 				if cerr := e.ctx.Err(); cerr != nil {
-					return nil, &CanceledError{Cycle: e.cycle, Err: cerr}
+					return false, &CanceledError{Cycle: e.cycle, Err: cerr}
 				}
 			}
 			if e.lim.Preempt != nil && e.lim.Preempt.Load() {
@@ -332,7 +270,7 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 		e.completions()
 		e.retire()
 		if e.runErr != nil {
-			return nil, e.runErr
+			return false, e.runErr
 		}
 		if e.finished {
 			break
@@ -345,7 +283,7 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 		// injection stream.
 		if e.draining && e.active.len() == 0 && !e.issueStall {
 			if err := e.checkpointNow(); err != nil {
-				return nil, err
+				return false, err
 			}
 		}
 		// The fault hook fires at the engine's consistent point: retirement
@@ -353,7 +291,7 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 		if e.lim.Fault != nil {
 			e.lim.Fault(e)
 			if e.runErr != nil {
-				return nil, e.runErr
+				return false, e.runErr
 			}
 		}
 		// Issue before schedule: a node issued this cycle whose operands
@@ -367,98 +305,121 @@ func (e *dynamicEngine) run() (*RunResult, error) {
 		e.st.WindowNodeSum += e.liveNodes
 		e.cycle++
 	}
+	return e.finished, nil
+}
+
+// result finalizes the statistics once the program has halted.
+func (e *dynamicEngine) result() *RunResult {
 	e.st.Cycles = e.cycle
 	if e.ms.Cache != nil {
 		e.st.CacheHits = e.ms.Cache.Hits
 		e.st.CacheMisses = e.ms.Cache.Misses
 	}
-	return &RunResult{Output: e.env.out, Stats: e.st}, nil
+	return &RunResult{Output: e.env.out, Stats: e.st}
+}
+
+func (e *dynamicEngine) run() (*RunResult, error) {
+	for {
+		done, err := e.stepCycles(1 << 62)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return e.result(), nil
+		}
+	}
 }
 
 // ---------- completion ----------
 
 func (e *dynamicEngine) completions() {
-	slot := int(e.cycle % timelineSlots)
-	nodes := e.timeline[slot]
-	if nodes == nil {
+	nodes := e.wheel.take(e.cycle)
+	if len(nodes) == 0 {
 		return
 	}
-	e.timeline[slot] = nodes[:0]
+	ns := &e.nodes
 	for _, nd := range nodes {
-		if nd.squashed {
+		if ns.d[nd].status&nsSquashed != 0 {
 			continue
 		}
-		nd.state = nsDone
-		nd.blk.nDone++
+		ns.setState(nd, nsDone)
+		e.blocks.nDone[ns.d[nd].blk]++
 		e.logDone(nd)
-		if nd.n.Op.IsStore() {
+		op := ns.d[nd].op
+		if op.IsStore() {
 			e.memEpoch++ // conservative-mode loads wait for store completion
 		}
-		for _, c := range nd.consumers {
-			if c.squashed {
+		// Wake consumers, then release the edge list back to the arena.
+		for i := ns.d[nd].consHead; i != nilRef; i = ns.edges.next[i] {
+			c := ns.edges.to[i]
+			if ns.d[c].status&nsSquashed != 0 {
 				continue
 			}
-			c.pendingOps--
-			if c.pendingOps == 0 && c.state == nsWaiting {
+			ns.d[c].pending--
+			if ns.d[c].pending == 0 && ns.state(c) == nsWaiting {
 				e.makeReady(c)
 			}
 		}
-		nd.consumers = nd.consumers[:0]
+		ns.edges.freeList(&ns.d[nd].consHead)
 		// Harvest the rename entry: a completed producer's value is final,
 		// so the table keeps the value instead of the node. This bounds how
 		// long the table can reference the node — a requirement for
 		// recycling it after retirement.
-		if nd.n.Op.HasDst() {
-			if en := &e.rename[nd.n.Dst]; en.prod == nd {
-				en.prod = nil
-				en.val = nd.val
+		if op.HasDst() {
+			if en := &e.rename[ns.d[nd].n.Dst]; en.prod == nd {
+				en.prod = nilRef
+				en.val = ns.d[nd].val
 			}
 		}
 	}
 }
 
-func (e *dynamicEngine) makeReady(nd *dnode) {
-	nd.state = nsReady
-	if nd.n.Op.IsMem() {
-		e.readyMem.push(nd)
+func (e *dynamicEngine) makeReady(nd nref) {
+	ns := &e.nodes
+	ns.setState(nd, nsReady)
+	if ns.d[nd].op.IsMem() {
+		e.readyMem.push(ns.qpos, ns.d[nd].seq, nd)
 	} else {
-		e.readyALU.push(nd)
+		e.readyALU.push(ns.qpos, ns.d[nd].seq, nd)
 	}
 }
 
 // ---------- retire ----------
 
 func (e *dynamicEngine) retire() {
+	ns := &e.nodes
 	for e.active.len() > 0 {
 		ab := e.active.front()
-		if !ab.complete() || e.hasPendingFault(ab) {
+		if !e.blocks.complete(ab) || e.hasPendingFault(ab) {
 			return
 		}
 		if e.injLive > 0 && !e.verifyInjected(ab) {
 			return // replayed from checkpoint, or the run is poisoned
 		}
 		// Drain the block's write-buffer entries to memory in order.
-		for _, snd := range ab.stores {
-			if snd.state != nsDone {
+		for _, snd := range e.blocks.stores[ab] {
+			if ns.state(snd) != nsDone {
 				continue
 			}
 			e.commitStore(snd)
 		}
-		size := len(ab.nodes)
+		size := len(e.blocks.nodes[ab])
 		e.st.RetiredNodes += int64(size)
 		e.liveNodes -= int64(size)
 		e.st.RecordBlock(size)
-		if ab.term != nil && ab.term.isBranch {
-			actual := ab.term.val != 0
+		term := e.blocks.term[ab]
+		flags := e.blocks.flags[ab]
+		if term != nilRef && flags&abTermIsBranch != 0 {
+			actual := ns.d[term].val != 0
 			e.st.Branches++
-			if actual == ab.term.predictedTaken {
+			if actual == (flags&abTermPredTaken != 0) {
 				e.st.BranchesCorrect++
 			}
 			if e.pred != nil {
-				e.pred.Update(ab.xb.ID, actual, ab.term.predToken)
+				e.pred.Update(e.blocks.xb[ab].ID, actual, e.blocks.predToken[ab])
 			}
 		}
-		if ab.term != nil && ab.term.n.Op == ir.Halt {
+		if term != nilRef && ns.d[term].op == ir.Halt {
 			e.finished = true
 		}
 		if e.fill != nil {
@@ -469,42 +430,45 @@ func (e *dynamicEngine) retire() {
 		// The retiring block's stores are all done, so they form the
 		// disambiguation queue's front prefix; drop them now so no queue
 		// entry outlives its node.
-		for e.unknownQ.len() > 0 && e.unknownQ.front().state == nsDone {
+		for e.unknownQ.len() > 0 && ns.state(e.unknownQ.front()) == nsDone {
 			e.unknownQ.popFront()
 		}
 		e.freeBlock(ab)
-		// Retirement may make blocked syscalls non-speculative.
-		e.wakeBlockedSys()
+		// Retirement may make blocked syscalls non-speculative; the
+		// scheduler's merged pop loop reconsiders them next cycle without
+		// any re-queuing here.
 	}
 }
 
 // freeBlock recycles a retired or squashed block and its nodes. The nodes
 // enter quarantine under the current watermarks; the block itself is
-// immediately reusable (pool.go).
-func (e *dynamicEngine) freeBlock(ab *ablock) {
+// immediately reusable (soa.go).
+func (e *dynamicEngine) freeBlock(ab bref) {
 	seqWM := e.seq
 	cycleWM := e.cycle + timelineSlots
-	for _, nd := range ab.nodes {
-		e.npool.put(nd, seqWM, cycleWM)
+	for _, nd := range e.blocks.nodes[ab] {
+		wm := cycleWM
+		if d := e.nodes.d[nd].doneAt + 1; d > wm {
+			wm = d // overflow-wheel entries outlive the ring's span
+		}
+		e.nodes.put(nd, seqWM, wm)
 	}
-	e.bpool.put(ab)
+	e.blocks.put(ab)
 }
 
-func (e *dynamicEngine) hasPendingFault(ab *ablock) bool {
-	for _, a := range ab.asserts {
-		if a.state == nsDone && a.faulted() {
+func (e *dynamicEngine) hasPendingFault(ab bref) bool {
+	ns := &e.nodes
+	for _, a := range e.blocks.asserts[ab] {
+		if ns.state(a) == nsDone && ns.faulted(a) {
 			return true
 		}
 	}
 	return false
 }
 
-func (nd *dnode) faulted() bool {
-	return nd.n.Op == ir.Assert && (nd.val != 0) != nd.n.Expect
-}
-
-func (e *dynamicEngine) commitStore(snd *dnode) {
-	for _, gr := range granulesOf(snd.addr, snd.memSize) {
+func (e *dynamicEngine) commitStore(snd nref) {
+	ns := &e.nodes
+	for _, gr := range granulesOf(int64(ns.d[snd].addr), int64(ns.d[snd].msize)) {
 		if gr < 0 {
 			continue
 		}
@@ -516,8 +480,8 @@ func (e *dynamicEngine) commitStore(snd *dnode) {
 			}
 		}
 	}
-	e.env.store(int32(snd.addr), snd.memSize, snd.val)
-	e.ms.StoreTouch(snd.addr)
+	e.env.store(int32(ns.d[snd].addr), int64(ns.d[snd].msize), ns.d[snd].val)
+	e.ms.StoreTouch(int64(ns.d[snd].addr))
 }
 
 // granulesOf returns the word-granules an access touches.
@@ -533,6 +497,7 @@ func granulesOf(addr, size int64) [2]int64 {
 // ---------- scheduling / execution ----------
 
 func (e *dynamicEngine) schedule() {
+	ns := &e.nodes
 	memSlots, aluSlots, total := e.imem, e.ialu, e.itotal
 
 	// Retry loads previously blocked on disambiguation, but only when some
@@ -543,43 +508,53 @@ func (e *dynamicEngine) schedule() {
 		retry := e.blockedLoads
 		e.blockedLoads = e.blockedLoads[:0]
 		for _, nd := range retry {
-			if nd.squashed {
+			if ns.d[nd].status&nsSquashed != 0 {
 				continue
 			}
-			e.readyMem.push(nd)
-		}
-	}
-	if len(e.blockedSys) > 0 {
-		retry := e.blockedSys
-		e.blockedSys = e.blockedSys[:0]
-		for _, nd := range retry {
-			if nd.squashed {
-				continue
-			}
-			e.readyALU.push(nd)
+			e.readyMem.push(ns.qpos, ns.d[nd].seq, nd)
 		}
 	}
 
 	for total > 0 && memSlots > 0 && e.readyMem.len() > 0 {
-		nd := e.readyMem.min()
-		if nd.n.Op.IsLoad() && !e.loadCanExecute(nd) {
-			e.readyMem.pop()
+		nd := e.readyMem.minRef()
+		if ns.d[nd].op.IsLoad() && !e.loadCanExecute(nd) {
+			e.readyMem.pop(ns.qpos)
 			e.blockedLoads = append(e.blockedLoads, nd)
 			continue
 		}
-		e.readyMem.pop()
+		e.readyMem.pop(ns.qpos)
 		e.execute(nd)
 		memSlots--
 		total--
 	}
+
+	// Syscalls can only execute from the front block with every older
+	// in-block node done, so deferred ones park on their own block (the
+	// blocks.sys list) rather than churning through the heap or a global
+	// side list every cycle. Only the front block's parked syscalls can have
+	// become eligible, so only those re-enter the heap; parked lists on
+	// younger blocks wait until their block reaches the front, and lists on
+	// squashed blocks die with the block slot. Eligibility cannot change
+	// mid-schedule (it requires older nodes *done*, and completions run
+	// before schedule), so the executed set and order match the
+	// check-every-candidate scheme exactly.
+	if e.active.len() > 0 {
+		front := e.active.front()
+		if parked := e.blocks.sys[front]; len(parked) > 0 {
+			for _, nd := range parked {
+				e.readyALU.push(ns.qpos, ns.d[nd].seq, nd)
+			}
+			e.blocks.sys[front] = parked[:0]
+		}
+	}
 	for total > 0 && aluSlots > 0 && e.readyALU.len() > 0 {
-		nd := e.readyALU.min()
-		if nd.n.Op == ir.Sys && !e.sysCanExecute(nd) {
-			e.readyALU.pop()
-			e.blockedSys = append(e.blockedSys, nd)
+		nd := e.readyALU.minRef()
+		e.readyALU.pop(ns.qpos)
+		if ns.d[nd].op == ir.Sys && !e.sysCanExecute(nd) {
+			blk := ns.d[nd].blk
+			e.blocks.sys[blk] = append(e.blocks.sys[blk], nd)
 			continue
 		}
-		e.readyALU.pop()
 		e.execute(nd)
 		aluSlots--
 		total--
@@ -590,13 +565,14 @@ func (e *dynamicEngine) schedule() {
 // whose address is still unknown, popping finished entries off the queue.
 // (Squashed entries never appear: squashFrom discards them eagerly.)
 func (e *dynamicEngine) minUnknownStoreSeq() int64 {
+	ns := &e.nodes
 	for e.unknownQ.len() > 0 {
 		h := e.unknownQ.front()
-		if h.state != nsWaiting && h.state != nsReady {
+		if st := ns.state(h); st != nsWaiting && st != nsReady {
 			e.unknownQ.popFront()
 			continue
 		}
-		return h.seq
+		return ns.d[h].seq
 	}
 	return 1 << 62
 }
@@ -605,18 +581,20 @@ func (e *dynamicEngine) minUnknownStoreSeq() int64 {
 // must have a known address. Under the ConservativeMem ablation the load
 // additionally waits for every older in-flight store to have executed,
 // modeling a machine without run-time disambiguation hardware.
-func (e *dynamicEngine) loadCanExecute(nd *dnode) bool {
-	if e.minUnknownStoreSeq() < nd.seq {
+func (e *dynamicEngine) loadCanExecute(nd nref) bool {
+	ns := &e.nodes
+	seq := ns.d[nd].seq
+	if e.minUnknownStoreSeq() < seq {
 		return false
 	}
 	if e.img.Cfg.ConservativeMem {
 		for i := 0; i < e.active.len(); i++ {
 			ab := e.active.at(i)
-			if ab.seq0 > nd.seq {
+			if e.blocks.seq0[ab] > seq {
 				break
 			}
-			for _, snd := range ab.stores {
-				if snd.seq < nd.seq && snd.state != nsDone {
+			for _, snd := range e.blocks.stores[ab] {
+				if ns.d[snd].seq < seq && ns.state(snd) != nsDone {
 					return false
 				}
 			}
@@ -627,105 +605,115 @@ func (e *dynamicEngine) loadCanExecute(nd *dnode) bool {
 
 // sysCanExecute: system calls execute only when non-speculative — the block
 // is the oldest active one and everything older inside it has executed.
-func (e *dynamicEngine) sysCanExecute(nd *dnode) bool {
-	if e.active.len() == 0 || e.active.front() != nd.blk {
+func (e *dynamicEngine) sysCanExecute(nd nref) bool {
+	ns := &e.nodes
+	blk := ns.d[nd].blk
+	if e.active.len() == 0 || e.active.front() != blk {
 		return false
 	}
-	for _, other := range nd.blk.nodes {
-		if other.seq >= nd.seq {
+	seq := ns.d[nd].seq
+	for _, other := range e.blocks.nodes[blk] {
+		if ns.d[other].seq >= seq {
 			break
 		}
-		if other.state != nsDone {
+		if ns.state(other) != nsDone {
 			return false
 		}
-		if other.faulted() {
+		if ns.faulted(other) {
 			return false // the fault will discard this block
 		}
 	}
 	return true
 }
 
-func (e *dynamicEngine) operand(src *dnode, imm int32) int32 {
-	if src == nil {
+func (e *dynamicEngine) operand(src nref, imm int32) int32 {
+	if src == nilRef {
 		return imm
 	}
-	return src.val
+	return e.nodes.d[src].val
 }
 
-func (e *dynamicEngine) execute(nd *dnode) {
-	nd.state = nsExecuting
+func (e *dynamicEngine) execute(nd nref) {
+	ns := &e.nodes
+	ns.setState(nd, nsExecuting)
 	e.st.ExecutedNodes++
 	e.logExec(nd)
-	a := e.operand(nd.srcA, nd.valA)
-	b := e.operand(nd.srcB, nd.valB)
+	a := e.operand(ns.d[nd].srcA, ns.d[nd].valA)
+	b := e.operand(ns.d[nd].srcB, ns.d[nd].valB)
 	lat := int64(1)
-	op := nd.n.Op
+	op := ns.d[nd].op
+	n := ns.d[nd].n
 
 	switch {
 	case op.IsPure():
-		v, aerr := ir.EvalALU(op, a, b, nd.n.Imm)
+		v, aerr := ir.EvalALU(op, a, b, n.Imm)
 		if aerr != nil && e.runErr == nil {
 			e.runErr = aerr
 		}
-		nd.val = v
+		ns.d[nd].val = v
 
 	case op.IsLoad():
-		nd.memSize = sizeOf(op)
-		nd.addr = e.env.clampAddr(a+int32(nd.n.Imm), nd.memSize)
+		size := sizeOf(op)
+		ns.d[nd].msize = int8(size)
+		ns.d[nd].addr = uint32(e.env.clampAddr(a+int32(n.Imm), size))
 		val, forwarded := e.loadValue(nd)
-		nd.val = val
+		ns.d[nd].val = val
 		if forwarded {
 			lat = mem.ForwardLatency
 		} else {
-			lat = int64(e.ms.LoadLatency(nd.addr))
+			lat = int64(e.ms.LoadLatency(int64(ns.d[nd].addr)))
 		}
 
 	case op.IsStore():
-		nd.memSize = sizeOf(op)
-		nd.addr = e.env.clampAddr(a+int32(nd.n.Imm), nd.memSize)
-		nd.val = b
+		size := sizeOf(op)
+		ns.d[nd].msize = int8(size)
+		ns.d[nd].addr = uint32(e.env.clampAddr(a+int32(n.Imm), size))
+		ns.d[nd].val = b
 		e.memEpoch++
-		for _, g := range granulesOf(nd.addr, nd.memSize) {
+		for _, g := range granulesOf(int64(ns.d[nd].addr), size) {
 			if g >= 0 {
-				e.wb[g] = insertBySeq(e.wb[g], nd)
+				e.wb[g] = e.insertBySeq(e.wb[g], nd)
 			}
 		}
 		// A newly known store address may unblock younger loads.
 		// (They are rechecked at the top of the next schedule phase.)
 
 	case op == ir.Sys:
-		nd.val = e.env.syscall(nd.n.Imm, a, b)
+		ns.d[nd].val = e.env.syscall(n.Imm, a, b)
 
 	case op == ir.Assert:
-		nd.val = a
-		if (nd.val != 0) != nd.n.Expect {
+		ns.d[nd].val = a
+		if (a != 0) != n.Expect {
 			e.pendingFaults = append(e.pendingFaults, nd)
 		}
 
 	case op == ir.Br:
-		nd.val = a
+		ns.d[nd].val = a
 		actual := a != 0
-		if actual != nd.predictedTaken && !nd.blk.flags.willFault {
+		flags := e.blocks.flags[ns.d[nd].blk]
+		if actual != (flags&abTermPredTaken != 0) && flags&abWillFault == 0 {
 			// A will-fault block's terminator never redirects fetch: the
 			// assert fault discards the whole block anyway.
 			e.mispredicted = append(e.mispredicted, nd)
 		}
 
 	default: // Jmp, Call, Ret, Halt: control already handled at issue
-		nd.val = 0
+		ns.d[nd].val = 0
 	}
 
-	nd.doneAt = e.cycle + lat
-	slot := int(nd.doneAt % timelineSlots)
-	e.timeline[slot] = append(e.timeline[slot], nd)
+	doneAt := e.cycle + lat
+	ns.d[nd].doneAt = doneAt
+	e.wheel.add(nd, doneAt, e.cycle)
 }
 
-func insertBySeq(list []*dnode, snd *dnode) []*dnode {
+func (e *dynamicEngine) insertBySeq(list []nref, snd nref) []nref {
+	d := e.nodes.d
+	seq := d[snd].seq
 	i := len(list)
-	for i > 0 && list[i-1].seq > snd.seq {
+	for i > 0 && d[list[i-1]].seq > seq {
 		i--
 	}
-	list = append(list, nil)
+	list = append(list, 0)
 	copy(list[i+1:], list[i:])
 	list[i] = snd
 	return list
@@ -735,10 +723,13 @@ func insertBySeq(list []*dnode, snd *dnode) []*dnode {
 // memory contents overlaid with all older write-buffer entries, oldest
 // first. It reports whether any write-buffer entry contributed (store
 // forwarding).
-func (e *dynamicEngine) loadValue(nd *dnode) (int32, bool) {
+func (e *dynamicEngine) loadValue(nd nref) (int32, bool) {
+	ns := &e.nodes
 	var bytes [4]byte
-	size := nd.memSize
-	base := e.env.load(int32(nd.addr), size)
+	size := int64(ns.d[nd].msize)
+	addr := int64(ns.d[nd].addr)
+	seq := ns.d[nd].seq
+	base := e.env.load(int32(addr), size)
 	bytes[0] = byte(base)
 	bytes[1] = byte(base >> 8)
 	bytes[2] = byte(base >> 16)
@@ -748,17 +739,17 @@ func (e *dynamicEngine) loadValue(nd *dnode) (int32, bool) {
 	// load's granules appears in both granule lists; it is taken from the
 	// list of its own first granule (gs[0], necessarily) and skipped in the
 	// second, so each store contributes once.
-	gs := granulesOf(nd.addr, size)
+	gs := granulesOf(addr, size)
 	overlaps := e.ovScratch[:0]
 	for gi, g := range gs {
 		if g < 0 {
 			continue
 		}
 		for _, snd := range e.wb[g] {
-			if snd.seq >= nd.seq || snd.squashed {
+			if ns.d[snd].seq >= seq || ns.d[snd].status&nsSquashed != 0 {
 				continue
 			}
-			if gi == 1 && snd.addr>>2 == gs[0] {
+			if gi == 1 && int64(ns.d[snd].addr>>2) == gs[0] {
 				continue
 			}
 			overlaps = append(overlaps, snd)
@@ -767,18 +758,22 @@ func (e *dynamicEngine) loadValue(nd *dnode) (int32, bool) {
 	// Apply in seq order (wb lists are sorted; merging two granules needs
 	// a stable order).
 	for i := 1; i < len(overlaps); i++ {
-		for j := i; j > 0 && overlaps[j].seq < overlaps[j-1].seq; j-- {
-			overlaps[j], overlaps[j-1] = overlaps[j-1], overlaps[j]
+		for j := i; j > 0; j-- {
+			a, b := overlaps[j], overlaps[j-1]
+			if ns.d[a].seq >= ns.d[b].seq {
+				break
+			}
+			overlaps[j], overlaps[j-1] = b, a
 		}
 	}
 	forwarded := false
 	for _, snd := range overlaps {
-		lo := snd.addr
-		hi := snd.addr + snd.memSize
+		lo := int64(ns.d[snd].addr)
+		hi := lo + int64(ns.d[snd].msize)
 		for i := int64(0); i < size; i++ {
-			p := nd.addr + i
+			p := addr + i
 			if p >= lo && p < hi {
-				bytes[i] = byte(snd.val >> (8 * (p - lo)))
+				bytes[i] = byte(ns.d[snd].val >> (8 * (p - lo)))
 				forwarded = true
 			}
 		}
@@ -789,19 +784,4 @@ func (e *dynamicEngine) loadValue(nd *dnode) (int32, bool) {
 		v |= int32(bytes[1])<<8 | int32(bytes[2])<<16 | int32(bytes[3])<<24
 	}
 	return v, forwarded
-}
-
-// wakeBlockedSys re-queues blocked system calls after retirement events.
-func (e *dynamicEngine) wakeBlockedSys() {
-	if len(e.blockedSys) == 0 {
-		return
-	}
-	retry := e.blockedSys
-	e.blockedSys = e.blockedSys[:0]
-	for _, nd := range retry {
-		if nd.squashed {
-			continue
-		}
-		e.readyALU.push(nd)
-	}
 }

@@ -11,20 +11,13 @@ import (
 // return stack, perfect-prediction trace cursor), and end-of-cycle
 // processing of the oldest offender (mispredicted branch or assert fault).
 
-// willFault marks blocks whose chain is known (perfect mode only) to
-// diverge from the recorded trace; their terminators never register
-// mispredictions, since the coming fault discards the block anyway.
-type issueFlags struct {
-	willFault bool
-}
-
 func (e *dynamicEngine) issue() {
 	if e.issueStall {
 		return
 	}
 	memSlots, aluSlots, total := e.imem, e.ialu, e.itotal
 	for total > 0 {
-		if e.issueBlock == nil {
+		if e.issueBlock == nilRef {
 			if e.draining {
 				// Checkpoint drain: finish the blocks in flight, open no new
 				// ones; issue resumes once the window empties and the
@@ -40,7 +33,7 @@ func (e *dynamicEngine) issue() {
 			e.openBlock(e.nextBlockID)
 		}
 		ab := e.issueBlock
-		b := ab.xb
+		b := e.blocks.xb[ab]
 		isTerm := e.issueIdx == len(b.Body)
 		var n *ir.Node
 		if isTerm {
@@ -48,9 +41,10 @@ func (e *dynamicEngine) issue() {
 		} else {
 			n = &b.Body[e.issueIdx]
 		}
+		meta := e.issueMeta[e.issueIdx]
 		// Strict in-order issue: when the next node's slot class is
 		// exhausted, issue stops for this cycle.
-		if n.Op.IsMem() {
+		if meta&metaMem != 0 {
 			if memSlots == 0 {
 				return
 			}
@@ -62,12 +56,12 @@ func (e *dynamicEngine) issue() {
 			aluSlots--
 		}
 		total--
-		e.issueNode(ab, n, isTerm)
+		e.issueNode(ab, n, meta, isTerm)
 		e.issueIdx++
 		if isTerm {
-			ab.issuedAll = true
-			e.issueBlock = nil
-			if ab.flags.willFault {
+			e.blocks.flags[ab] |= abIssuedAll
+			e.issueBlock = nilRef
+			if e.blocks.flags[ab]&abWillFault != 0 {
 				// Perfect mode: the chain diverges from the trace; the
 				// assert fault will redirect, so fetch pauses here instead
 				// of fabricating a wrong path.
@@ -85,15 +79,16 @@ func (e *dynamicEngine) openBlock(id ir.BlockID) {
 	if e.fill != nil {
 		id = e.fillRedirect(id)
 	}
-	ab := e.bpool.get()
-	ab.xb = e.img.Prog.Block(id)
-	ab.seq0 = e.seq
-	ab.rsSnap = e.rs
-	ab.cursorSnap = e.cursor
+	ab := e.blocks.alloc()
+	bs := &e.blocks
+	bs.xb[ab] = e.img.Prog.Block(id)
+	bs.seq0[ab] = e.seq
+	bs.rsSnap[ab] = e.rs
+	bs.cursorSnap[ab] = int32(e.cursor)
 	if e.pred != nil {
-		ab.predSnap = e.pred.Checkpoint()
+		bs.predSnap[ab] = e.pred.Checkpoint()
 	}
-	ab.renSnap = e.rename
+	bs.renSnap[ab] = e.rename
 	if e.img.Cfg.Branch == machine.Perfect {
 		chain := e.img.ChainOf(id)
 		match := 0
@@ -102,7 +97,7 @@ func (e *dynamicEngine) openBlock(id ir.BlockID) {
 			match++
 		}
 		if match < len(chain) {
-			ab.flags.willFault = true
+			bs.flags[ab] |= abWillFault
 		}
 		if match == 0 {
 			match = 1 // desynced (transient wrong path): keep moving
@@ -112,53 +107,65 @@ func (e *dynamicEngine) openBlock(id ir.BlockID) {
 	e.active.pushBack(ab)
 	e.issueBlock = ab
 	e.issueIdx = 0
+	e.issueMeta = e.dec.of(e.img.Prog, id)
 }
 
 // wireOperand resolves a source register against the rename table,
 // returning either an immediate value or a producer link.
-func (e *dynamicEngine) wireOperand(nd *dnode, r ir.Reg) (src *dnode, val int32) {
+// wireOperand resolves operand register r for node nd (whose slot is sl —
+// the arena is not grown here, so the pointer stays valid): a value if the
+// producer is retired or done, else a consumer edge on the in-flight
+// producer plus a pending count on nd.
+func (e *dynamicEngine) wireOperand(nd nref, sl *nodeSlot, r ir.Reg) (src nref, val int32) {
 	if r == ir.NoReg {
-		return nil, 0
+		return nilRef, 0
 	}
 	en := &e.rename[r]
-	if en.prod == nil {
-		return nil, en.val
+	if en.prod == nilRef {
+		return nilRef, en.val
 	}
-	if en.prod.state == nsDone {
-		return nil, en.prod.val
+	ns := &e.nodes
+	ps := &ns.d[en.prod]
+	if ps.status&nsStateMask == nsDone {
+		return nilRef, ps.val
 	}
-	en.prod.consumers = append(en.prod.consumers, nd)
-	nd.pendingOps++
+	ns.edges.add(&ps.consHead, nd)
+	sl.pending++
 	return en.prod, 0
 }
 
-func (e *dynamicEngine) issueNode(ab *ablock, n *ir.Node, isTerm bool) {
-	nd := e.npool.get(e.seqFloor(), e.cycle)
-	nd.n = n
-	nd.blk = ab
-	nd.seq = e.seq
-	nd.idx = e.issueIdx
+func (e *dynamicEngine) issueNode(ab bref, n *ir.Node, meta uint8, isTerm bool) {
+	nd := e.nodes.alloc(e.seqFloor(), e.cycle)
+	sl := &e.nodes.d[nd]
+	sl.n = n
+	sl.op = n.Op
+	sl.blk = ab
+	sl.seq = e.seq
+	// Recycled slots are not zeroed (nodeStore.alloc); clear the two fields
+	// wireOperand and the scheduler read before this issue writes them.
+	sl.status = 0
+	sl.pending = 0
 	e.seq++
 	e.liveNodes++
-	nd.srcA, nd.valA = e.wireOperand(nd, n.A)
-	nd.srcB, nd.valB = e.wireOperand(nd, n.B)
-	ab.nodes = append(ab.nodes, nd)
+	sl.srcA, sl.valA = e.wireOperand(nd, sl, n.A)
+	sl.srcB, sl.valB = e.wireOperand(nd, sl, n.B)
+	e.blocks.nodes[ab] = append(e.blocks.nodes[ab], nd)
 
 	switch {
-	case n.Op.IsStore():
+	case meta&metaStore != 0:
 		e.unknownQ.pushBack(nd)
-		ab.stores = append(ab.stores, nd)
+		e.blocks.stores[ab] = append(e.blocks.stores[ab], nd)
 	case n.Op == ir.Assert:
-		ab.asserts = append(ab.asserts, nd)
+		e.blocks.asserts[ab] = append(e.blocks.asserts[ab], nd)
 	}
-	if n.Op.HasDst() {
+	if meta&metaHasDst != 0 {
 		e.rename[n.Dst] = renEntry{prod: nd}
 	}
 	if isTerm {
-		ab.term = nd
+		e.blocks.term[ab] = nd
 		e.resolveTerminator(ab, nd)
 	}
-	if nd.pendingOps == 0 {
+	if sl.pending == 0 {
 		e.makeReady(nd)
 	}
 	e.logIssue(nd)
@@ -167,25 +174,28 @@ func (e *dynamicEngine) issueNode(ab *ablock, n *ir.Node, isTerm bool) {
 // resolveTerminator decides where issue continues after a terminator,
 // predicting conditional branches (BTB or trace oracle) and tracking the
 // speculative return stack.
-func (e *dynamicEngine) resolveTerminator(ab *ablock, nd *dnode) {
-	b := ab.xb
-	switch nd.n.Op {
+func (e *dynamicEngine) resolveTerminator(ab bref, nd nref) {
+	b := e.blocks.xb[ab]
+	n := e.nodes.d[nd].n
+	switch n.Op {
 	case ir.Br:
-		nd.isBranch = true
+		e.blocks.flags[ab] |= abTermIsBranch
 		var predTaken bool
 		if e.img.Cfg.Branch == machine.Perfect {
 			predTaken = e.oraclePredict(b)
 		} else {
-			predTaken, nd.predToken = e.pred.Predict(b.ID)
+			var token uint64
+			predTaken, token = e.pred.Predict(b.ID)
+			e.blocks.predToken[ab] = token
 		}
-		nd.predictedTaken = predTaken
 		if predTaken {
-			e.nextBlockID = nd.n.Target
+			e.blocks.flags[ab] |= abTermPredTaken
+			e.nextBlockID = n.Target
 		} else {
 			e.nextBlockID = b.Fall
 		}
 	case ir.Jmp:
-		e.nextBlockID = nd.n.Target
+		e.nextBlockID = n.Target
 	case ir.Call:
 		depth := 1
 		if e.rs != nil {
@@ -196,7 +206,7 @@ func (e *dynamicEngine) resolveTerminator(ab *ablock, nd *dnode) {
 		rs.parent = e.rs
 		rs.depth = depth
 		e.rs = rs
-		e.nextBlockID = e.img.Prog.Func(nd.n.Callee).Entry
+		e.nextBlockID = e.img.Prog.Func(n.Callee).Entry
 	case ir.Ret:
 		if e.rs == nil {
 			// Return with an empty speculative stack: only reachable on a
@@ -239,16 +249,17 @@ func (e *dynamicEngine) oraclePredict(b *ir.Block) bool {
 // assert faults. Oldest-first fault processing is what lets the loader
 // omit asserts from fault-recovery prefix blocks.
 func (e *dynamicEngine) squashOldestOffender() {
-	var best *dnode
+	ns := &e.nodes
+	best := nilRef
 	bestFault := false
 
 	live := e.mispredicted[:0]
 	for _, nd := range e.mispredicted {
-		if nd.squashed || nd.handled {
+		if ns.d[nd].status&(nsSquashed|nsHandled) != 0 {
 			continue
 		}
 		live = append(live, nd)
-		if best == nil || nd.seq < best.seq {
+		if best == nilRef || ns.d[nd].seq < ns.d[best].seq {
 			best, bestFault = nd, false
 		}
 	}
@@ -256,20 +267,20 @@ func (e *dynamicEngine) squashOldestOffender() {
 
 	liveF := e.pendingFaults[:0]
 	for _, nd := range e.pendingFaults {
-		if nd.squashed || nd.handled {
+		if ns.d[nd].status&(nsSquashed|nsHandled) != 0 {
 			continue
 		}
 		liveF = append(liveF, nd)
-		if e.faultActionable(nd) && (best == nil || nd.seq < best.seq) {
+		if e.faultActionable(nd) && (best == nilRef || ns.d[nd].seq < ns.d[best].seq) {
 			best, bestFault = nd, true
 		}
 	}
 	e.pendingFaults = liveF
 
-	if best == nil {
+	if best == nilRef {
 		return
 	}
-	best.handled = true
+	ns.d[best].status |= nsHandled
 	if bestFault {
 		e.processFault(best)
 	} else {
@@ -283,7 +294,7 @@ func (e *dynamicEngine) squashOldestOffender() {
 	}
 }
 
-func (e *dynamicEngine) removeOffender(list *[]*dnode, nd *dnode) {
+func (e *dynamicEngine) removeOffender(list *[]nref, nd nref) {
 	for i, o := range *list {
 		if o == nd {
 			*list = append((*list)[:i], (*list)[i+1:]...)
@@ -294,12 +305,14 @@ func (e *dynamicEngine) removeOffender(list *[]*dnode, nd *dnode) {
 
 // faultActionable reports whether every older assert in the same block has
 // executed (so this fault is the block's oldest divergence).
-func (e *dynamicEngine) faultActionable(nd *dnode) bool {
-	for _, a := range nd.blk.asserts {
-		if a.seq >= nd.seq {
+func (e *dynamicEngine) faultActionable(nd nref) bool {
+	ns := &e.nodes
+	seq := ns.d[nd].seq
+	for _, a := range e.blocks.asserts[ns.d[nd].blk] {
+		if ns.d[a].seq >= seq {
 			break
 		}
-		if a.state != nsDone {
+		if ns.state(a) != nsDone {
 			return false
 		}
 	}
@@ -309,18 +322,20 @@ func (e *dynamicEngine) faultActionable(nd *dnode) bool {
 // restoreRename restores a checkpointed rename table, harvesting every
 // completed producer it references: a snapshot may be older than the
 // completion-time harvest, so without this the restored table could carry
-// a done node's pointer past its recycling quarantine.
+// a done node's index past its recycling quarantine.
 func (e *dynamicEngine) restoreRename(snap *[ir.NumRegs]renEntry) {
 	e.rename = *snap
+	ns := &e.nodes
 	for r := range e.rename {
-		if p := e.rename[r].prod; p != nil && p.state == nsDone {
-			e.rename[r] = renEntry{val: p.val}
+		if p := e.rename[r].prod; p != nilRef && ns.state(p) == nsDone {
+			e.rename[r] = renEntry{prod: nilRef, val: ns.d[p].val}
 		}
 	}
 }
 
-func (e *dynamicEngine) processMispredict(nd *dnode) {
-	ab := nd.blk
+func (e *dynamicEngine) processMispredict(nd nref) {
+	ns := &e.nodes
+	ab := ns.d[nd].blk
 	// Find the offender's position among active blocks.
 	pos := e.blockIndex(ab)
 	if pos < 0 {
@@ -328,31 +343,31 @@ func (e *dynamicEngine) processMispredict(nd *dnode) {
 	}
 	if pos+1 < e.active.len() {
 		restore := e.active.at(pos + 1)
-		e.restoreRename(&restore.renSnap)
-		e.rs = restore.rsSnap
-		e.cursor = restore.cursorSnap
+		e.restoreRename(&e.blocks.renSnap[restore])
+		e.rs = e.blocks.rsSnap[restore]
+		e.cursor = int(e.blocks.cursorSnap[restore])
 		e.squashFrom(pos + 1)
 	}
 	if e.pred != nil {
 		// Repair speculative history: rewind to the fetch-time state and
 		// push the now-known direction.
-		e.pred.Restore(nd.predToken)
-		e.pred.Push(nd.val != 0)
+		e.pred.Restore(e.blocks.predToken[ab])
+		e.pred.Push(ns.d[nd].val != 0)
 	}
 	e.logOffender(PipeMispredict, nd)
 	e.st.Mispredicts++
-	actual := nd.val != 0
-	if actual {
-		e.nextBlockID = nd.n.Target
+	if ns.d[nd].val != 0 {
+		e.nextBlockID = ns.d[nd].n.Target
 	} else {
-		e.nextBlockID = ab.xb.Fall
+		e.nextBlockID = e.blocks.xb[ab].Fall
 	}
-	e.issueBlock = nil
+	e.issueBlock = nilRef
 	e.issueStall = false
 }
 
-func (e *dynamicEngine) processFault(nd *dnode) {
-	ab := nd.blk
+func (e *dynamicEngine) processFault(nd nref) {
+	ns := &e.nodes
+	ab := ns.d[nd].blk
 	pos := e.blockIndex(ab)
 	if pos < 0 {
 		return
@@ -365,11 +380,11 @@ func (e *dynamicEngine) processFault(nd *dnode) {
 	// uninjected run's.
 	if e.injLive > 0 {
 		suspect, unsafe := false, false
-		for _, x := range ab.nodes {
-			if x.injected {
+		for _, x := range e.blocks.nodes[ab] {
+			if ns.d[x].status&nsInjected != 0 {
 				suspect = true
 			}
-			if x.n.Op == ir.Sys && (x.state == nsExecuting || x.state == nsDone) {
+			if st := ns.state(x); ns.d[x].op == ir.Sys && (st == nsExecuting || st == nsDone) {
 				unsafe = true
 			}
 		}
@@ -378,24 +393,24 @@ func (e *dynamicEngine) processFault(nd *dnode) {
 			return
 		}
 	}
-	e.restoreRename(&ab.renSnap)
-	e.rs = ab.rsSnap
-	e.cursor = ab.cursorSnap
+	e.restoreRename(&e.blocks.renSnap[ab])
+	e.rs = e.blocks.rsSnap[ab]
+	e.cursor = int(e.blocks.cursorSnap[ab])
 	e.squashFrom(pos)
 	if e.pred != nil {
-		e.pred.Restore(ab.predSnap)
+		e.pred.Restore(e.blocks.predSnap[ab])
 	}
 	if e.fill != nil {
 		e.observeFault(ab)
 	}
 	e.logOffender(PipeFault, nd)
 	e.st.Faults++
-	e.nextBlockID = nd.n.Target
-	e.issueBlock = nil
+	e.nextBlockID = ns.d[nd].n.Target
+	e.issueBlock = nilRef
 	e.issueStall = false
 }
 
-func (e *dynamicEngine) blockIndex(ab *ablock) int {
+func (e *dynamicEngine) blockIndex(ab bref) int {
 	for i := 0; i < e.active.len(); i++ {
 		if e.active.at(i) == ab {
 			return i
@@ -407,39 +422,41 @@ func (e *dynamicEngine) blockIndex(ab *ablock) int {
 // squashFrom discards active[from:]: their executed nodes become the
 // redundant work Figure 6 measures, their write-buffer entries and
 // disambiguation state vanish, and every engine-side reference to their
-// dnodes is unlinked eagerly (ready queues, blocked lists, offender lists,
+// nodes is unlinked eagerly (ready queues, blocked lists, offender lists,
 // disambiguation queue) so the nodes can enter the recycling quarantine.
 // Only the completion timeline may still reference them — its entries are
 // skipped via the squashed flag, and the quarantine's cycle watermark keeps
-// the nodes unreused until the ring has wrapped.
+// the nodes unreused until the wheel has provably passed them.
 func (e *dynamicEngine) squashFrom(from int) {
 	e.logSquash(e.active.len() - from)
-	firstSeq := e.active.at(from).seq0
+	ns := &e.nodes
+	firstSeq := e.blocks.seq0[e.active.at(from)]
 	for i := from; i < e.active.len(); i++ {
 		ab := e.active.at(i)
-		e.liveNodes -= int64(len(ab.nodes))
-		for _, nd := range ab.nodes {
-			nd.squashed = true
-			if nd.injected {
+		e.liveNodes -= int64(len(e.blocks.nodes[ab]))
+		for _, nd := range e.blocks.nodes[ab] {
+			ns.d[nd].status |= nsSquashed
+			if ns.d[nd].status&nsInjected != 0 {
 				// An injected load squashed with its block needs no
 				// retirement verification: the replay is the repair.
-				nd.injected = false
+				ns.d[nd].status &^= nsInjected
 				e.injLive--
 				e.st.RepairedFaults++
 			}
-			if nd.state == nsExecuting || nd.state == nsDone {
+			st := ns.state(nd)
+			if st == nsExecuting || st == nsDone {
 				e.st.DiscardedNodes++
 			}
-			if nd.qpos != 0 {
-				if nd.n.Op.IsMem() {
-					e.readyMem.remove(nd)
+			if ns.qpos[nd] != 0 {
+				if ns.d[nd].op.IsMem() {
+					e.readyMem.remove(ns.qpos, nd)
 				} else {
-					e.readyALU.remove(nd)
+					e.readyALU.remove(ns.qpos, nd)
 				}
 			}
-			if nd.n.Op.IsStore() {
+			if ns.d[nd].op.IsStore() {
 				e.memEpoch++ // a squashed store may have been blocking a load
-				if nd.state == nsExecuting || nd.state == nsDone {
+				if st == nsExecuting || st == nsDone {
 					e.removeWBEntries(nd)
 				}
 			}
@@ -447,13 +464,12 @@ func (e *dynamicEngine) squashFrom(from int) {
 	}
 	// Squashed stores are exactly the disambiguation queue's tail (issue
 	// order); discard them.
-	for e.unknownQ.len() > 0 && e.unknownQ.back().seq >= firstSeq {
+	for e.unknownQ.len() > 0 && ns.d[e.unknownQ.back()].seq >= firstSeq {
 		e.unknownQ.popBack()
 	}
-	e.blockedLoadGhosts += filterSquashed(&e.blockedLoads)
-	filterSquashed(&e.blockedSys)
-	filterSquashed(&e.mispredicted)
-	filterSquashed(&e.pendingFaults)
+	e.blockedLoadGhosts += e.filterSquashed(&e.blockedLoads)
+	e.filterSquashed(&e.mispredicted)
+	e.filterSquashed(&e.pendingFaults)
 	for i := from; i < e.active.len(); i++ {
 		e.freeBlock(e.active.at(i))
 	}
@@ -462,10 +478,11 @@ func (e *dynamicEngine) squashFrom(from int) {
 
 // filterSquashed drops squashed nodes from a list in place, preserving
 // order, and returns how many were dropped.
-func filterSquashed(list *[]*dnode) int {
+func (e *dynamicEngine) filterSquashed(list *[]nref) int {
+	d := e.nodes.d
 	live := (*list)[:0]
 	for _, nd := range *list {
-		if !nd.squashed {
+		if d[nd].status&nsSquashed == 0 {
 			live = append(live, nd)
 		}
 	}
@@ -474,8 +491,9 @@ func filterSquashed(list *[]*dnode) int {
 	return dropped
 }
 
-func (e *dynamicEngine) removeWBEntries(snd *dnode) {
-	for _, g := range granulesOf(snd.addr, snd.memSize) {
+func (e *dynamicEngine) removeWBEntries(snd nref) {
+	ns := &e.nodes
+	for _, g := range granulesOf(int64(ns.d[snd].addr), int64(ns.d[snd].msize)) {
 		if g < 0 {
 			continue
 		}

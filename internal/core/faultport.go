@@ -76,7 +76,7 @@ func (e *dynamicEngine) InjectSquash(pos int) (string, bool) {
 		return "", false
 	}
 	ab := e.active.at(pos)
-	id := ab.xb.ID
+	id := e.blocks.xb[ab].ID
 	e.injectedSquash(pos, ab)
 	e.st.InjectedFaults++
 	e.st.RepairedFaults++
@@ -89,9 +89,10 @@ func (e *dynamicEngine) CorruptValue(pos int, r uint64) (string, bool) {
 		return "", false
 	}
 	ab := e.active.at(pos)
+	ns := &e.nodes
 	cands := 0
-	for _, nd := range ab.nodes {
-		if nd.state == nsDone && nd.n.Op.IsPure() {
+	for _, nd := range e.blocks.nodes[ab] {
+		if ns.state(nd) == nsDone && ns.d[nd].op.IsPure() {
 			cands++
 		}
 	}
@@ -99,9 +100,9 @@ func (e *dynamicEngine) CorruptValue(pos int, r uint64) (string, bool) {
 		return "", false
 	}
 	pick := int(r % uint64(cands))
-	var target *dnode
-	for _, nd := range ab.nodes {
-		if nd.state == nsDone && nd.n.Op.IsPure() {
+	target := nilRef
+	for _, nd := range e.blocks.nodes[ab] {
+		if ns.state(nd) == nsDone && ns.d[nd].op.IsPure() {
 			if pick == 0 {
 				target = nd
 				break
@@ -110,9 +111,9 @@ func (e *dynamicEngine) CorruptValue(pos int, r uint64) (string, bool) {
 		}
 	}
 	bit := uint((r >> 32) % 32)
-	target.val ^= 1 << bit
-	id := ab.xb.ID
-	seq := target.seq
+	ns.d[target].val ^= 1 << bit
+	id := e.blocks.xb[ab].ID
+	seq := ns.d[target].seq
 	e.injectedSquash(pos, ab)
 	e.st.InjectedFaults++
 	e.st.RepairedFaults++
@@ -126,11 +127,11 @@ func (e *dynamicEngine) ForceMemViolation(r uint64) (string, bool) {
 	idx := int(r % uint64(len(e.blockedLoads)))
 	nd := e.blockedLoads[idx]
 	e.blockedLoads = append(e.blockedLoads[:idx], e.blockedLoads[idx+1:]...)
-	nd.injected = true
+	e.nodes.d[nd].status |= nsInjected
 	e.injLive++
 	e.st.InjectedFaults++
 	e.execute(nd)
-	return fmt.Sprintf("execute blocked load %d past unknown older store addresses", nd.seq), true
+	return fmt.Sprintf("execute blocked load %d past unknown older store addresses", e.nodes.d[nd].seq), true
 }
 
 func (e *dynamicEngine) CorruptArch(r uint64) string {
@@ -167,9 +168,10 @@ func (e *dynamicEngine) safeSquashPos(pos int) int {
 	if pos >= n {
 		pos = n - 1
 	}
+	ns := &e.nodes
 	for i := pos; i < n; i++ {
-		for _, nd := range e.active.at(i).nodes {
-			if nd.n.Op == ir.Sys && (nd.state == nsExecuting || nd.state == nsDone) {
+		for _, nd := range e.blocks.nodes[e.active.at(i)] {
+			if st := ns.state(nd); ns.d[nd].op == ir.Sys && (st == nsExecuting || st == nsDone) {
 				pos = i + 1
 			}
 		}
@@ -185,17 +187,17 @@ func (e *dynamicEngine) safeSquashPos(pos int) int {
 // the architectural fault bookkeeping (no fault is charged, the fill unit
 // does not observe a divergence, and fetch redirects to the block's own ID
 // so the replay retires exactly what the uninjected run would have).
-func (e *dynamicEngine) injectedSquash(pos int, ab *ablock) {
-	refetch := ab.xb.ID
-	e.restoreRename(&ab.renSnap)
-	e.rs = ab.rsSnap
-	e.cursor = ab.cursorSnap
+func (e *dynamicEngine) injectedSquash(pos int, ab bref) {
+	refetch := e.blocks.xb[ab].ID
+	e.restoreRename(&e.blocks.renSnap[ab])
+	e.rs = e.blocks.rsSnap[ab]
+	e.cursor = int(e.blocks.cursorSnap[ab])
 	e.squashFrom(pos)
 	if e.pred != nil {
-		e.pred.Restore(ab.predSnap)
+		e.pred.Restore(e.blocks.predSnap[ab])
 	}
 	e.nextBlockID = refetch
-	e.issueBlock = nil
+	e.issueBlock = nilRef
 	e.issueStall = false
 }
 
@@ -207,15 +209,16 @@ func (e *dynamicEngine) injectedSquash(pos int, ab *ablock) {
 // executed system call, whose side effects make the stale value
 // unrecoverable (a machine check). Returns false when the block must not
 // retire this cycle.
-func (e *dynamicEngine) verifyInjected(ab *ablock) bool {
+func (e *dynamicEngine) verifyInjected(ab bref) bool {
+	ns := &e.nodes
 	bad := int64(0)
-	for _, nd := range ab.nodes {
-		if !nd.injected {
+	for _, nd := range e.blocks.nodes[ab] {
+		if ns.d[nd].status&nsInjected == 0 {
 			continue
 		}
-		nd.injected = false
+		ns.d[nd].status &^= nsInjected
 		e.injLive--
-		if want, _ := e.loadValue(nd); want == nd.val {
+		if want, _ := e.loadValue(nd); want == ns.d[nd].val {
 			e.st.RepairedFaults++
 		} else {
 			bad++
@@ -224,13 +227,13 @@ func (e *dynamicEngine) verifyInjected(ab *ablock) bool {
 	if bad == 0 {
 		return true
 	}
-	for _, nd := range ab.nodes {
-		if nd.n.Op == ir.Sys {
+	for _, nd := range e.blocks.nodes[ab] {
+		if ns.d[nd].op == ir.Sys {
 			if e.runErr == nil {
 				e.runErr = &UnrecoverableFaultError{
 					Kind:   "mem-violation",
 					Cycle:  e.cycle,
-					Reason: fmt.Sprintf("load in block %d consumed a stale value and the block's syscall already executed", ab.xb.ID),
+					Reason: fmt.Sprintf("load in block %d consumed a stale value and the block's syscall already executed", e.blocks.xb[ab].ID),
 				}
 			}
 			return false

@@ -59,28 +59,29 @@ func newFillUnit() *fillUnit {
 }
 
 // observeRetire feeds one retired block into the fill unit's statistics.
-func (e *dynamicEngine) observeRetire(ab *ablock) {
+func (e *dynamicEngine) observeRetire(ab bref) {
 	fu := e.fill
-	for _, orig := range e.img.ChainOf(ab.xb.ID) {
+	xb := e.blocks.xb[ab]
+	for _, orig := range e.img.ChainOf(xb.ID) {
 		fu.prof.Blocks[orig]++
 	}
-	if ab.xb.Orig != ab.xb.ID {
+	if xb.Orig != xb.ID {
 		// A materialized block retired: credit its entry, and tear the
 		// entry down if its fault rate proved too high.
-		entry := ab.xb.Orig
+		entry := xb.Orig
 		fu.entryRetires[entry]++
 		e.maybeTearDown(entry)
 	}
-	if ab.term != nil && ab.term.isBranch {
-		from := e.img.TermOrigOf(ab.xb.ID)
-		taken := ab.term.val != 0
+	if term := e.blocks.term[ab]; term != nilRef && e.blocks.flags[ab]&abTermIsBranch != 0 {
+		from := e.img.TermOrigOf(xb.ID)
+		taken := e.nodes.d[term].val != 0
 		var to ir.BlockID
 		if taken {
 			fu.prof.Taken[from]++
-			to = ab.term.n.Target
+			to = e.nodes.d[term].n.Target
 		} else {
 			fu.prof.NotTaken[from]++
-			to = ab.xb.Fall
+			to = xb.Fall
 		}
 		// In fill mode the program's targets still name original blocks.
 		fu.prof.Arcs[interp.Arc{From: from, To: to}]++
@@ -94,13 +95,13 @@ func (e *dynamicEngine) observeRetire(ab *ablock) {
 }
 
 // observeFault attributes an assert fault to its enlarged entry.
-func (e *dynamicEngine) observeFault(ab *ablock) {
-	if e.fill == nil || ab.xb.Orig == ab.xb.ID {
+func (e *dynamicEngine) observeFault(ab bref) {
+	xb := e.blocks.xb[ab]
+	if e.fill == nil || xb.Orig == xb.ID {
 		return
 	}
-	entry := ab.xb.Orig
-	e.fill.entryFaults[entry]++
-	e.maybeTearDown(entry)
+	e.fill.entryFaults[xb.Orig]++
+	e.maybeTearDown(xb.Orig)
 }
 
 // maybeTearDown removes an enlarged entry whose fault rate exceeds the

@@ -88,33 +88,34 @@ func (l *PipeLog) String() string {
 
 // Hooks called by the dynamic engine (no-ops when the log is nil).
 
-func (e *dynamicEngine) logIssue(nd *dnode) {
+func (e *dynamicEngine) logIssue(nd nref) {
 	if e.pipe != nil {
-		e.pipe.add(e.cycle, PipeIssue, nd.seq, nd.n.String())
+		e.pipe.add(e.cycle, PipeIssue, e.nodes.d[nd].seq, e.nodes.d[nd].n.String())
 	}
 }
 
-func (e *dynamicEngine) logExec(nd *dnode) {
+func (e *dynamicEngine) logExec(nd nref) {
 	if e.pipe != nil {
-		e.pipe.add(e.cycle, PipeExec, nd.seq, nd.n.String())
+		e.pipe.add(e.cycle, PipeExec, e.nodes.d[nd].seq, e.nodes.d[nd].n.String())
 	}
 }
 
-func (e *dynamicEngine) logDone(nd *dnode) {
+func (e *dynamicEngine) logDone(nd nref) {
 	if e.pipe != nil {
-		e.pipe.add(e.cycle, PipeDone, nd.seq, nd.n.String())
+		e.pipe.add(e.cycle, PipeDone, e.nodes.d[nd].seq, e.nodes.d[nd].n.String())
 	}
 }
 
-func (e *dynamicEngine) logRetire(ab *ablock) {
+func (e *dynamicEngine) logRetire(ab bref) {
 	if e.pipe != nil {
-		e.pipe.add(e.cycle, PipeRetire, ab.seq0, fmt.Sprintf("block b%d (%d nodes)", ab.xb.ID, len(ab.nodes)))
+		e.pipe.add(e.cycle, PipeRetire, e.blocks.seq0[ab],
+			fmt.Sprintf("block b%d (%d nodes)", e.blocks.xb[ab].ID, len(e.blocks.nodes[ab])))
 	}
 }
 
-func (e *dynamicEngine) logOffender(kind PipeKind, nd *dnode) {
+func (e *dynamicEngine) logOffender(kind PipeKind, nd nref) {
 	if e.pipe != nil {
-		e.pipe.add(e.cycle, kind, nd.seq, nd.n.String())
+		e.pipe.add(e.cycle, kind, e.nodes.d[nd].seq, e.nodes.d[nd].n.String())
 	}
 }
 

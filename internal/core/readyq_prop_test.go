@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property test for the intrusive ready queue: under arbitrary interleavings
+// of push, pop, and remove (the operations squashFrom performs mid-heap),
+// the queue must always pop the oldest sequence number present, and the
+// qpos column must stay a perfect inverse of the heap array. The scheduler's
+// oldest-ready-first order is part of the engine's bit-identity contract, so
+// a heap-invariant violation here would silently change figure tables.
+
+// qModel mirrors the queue's intended contents.
+type qModel struct {
+	seqs map[nref]int64
+}
+
+func checkHeapInvariants(t *testing.T, q *readyQ, qpos []int32, m *qModel) {
+	t.Helper()
+	if len(q.a) != len(m.seqs) {
+		t.Fatalf("heap has %d entries, model has %d", len(q.a), len(m.seqs))
+	}
+	for i, en := range q.a {
+		if want, ok := m.seqs[en.ref]; !ok {
+			t.Fatalf("heap holds node %d not in model", en.ref)
+		} else if want != en.seq {
+			t.Fatalf("node %d carries seq %d, model says %d", en.ref, en.seq, want)
+		}
+		if int(qpos[en.ref])-1 != i {
+			t.Fatalf("qpos[%d] = %d, want heap position %d+1", en.ref, qpos[en.ref], i)
+		}
+		if parent := (i - 1) / 2; i > 0 && q.a[parent].seq > en.seq {
+			t.Fatalf("heap order violated: a[%d].seq=%d > a[%d].seq=%d", parent, q.a[parent].seq, i, en.seq)
+		}
+	}
+}
+
+func TestReadyQPropertyInterleaved(t *testing.T) {
+	const nodes = 128
+	rng := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 50; trial++ {
+		var q readyQ
+		qpos := make([]int32, nodes)
+		m := &qModel{seqs: make(map[nref]int64)}
+		nextSeq := int64(trial * 1000)
+		free := make([]nref, nodes)
+		for i := range free {
+			free[i] = nref(i)
+		}
+		for op := 0; op < 400; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5 && len(free) > 0: // push a new node with a random-ish seq
+				nd := free[len(free)-1]
+				free = free[:len(free)-1]
+				// Random order of arrival: seqs are unique but pushed shuffled.
+				seq := nextSeq + int64(rng.Intn(64))*7
+				for used := true; used; {
+					used = false
+					for _, s := range m.seqs {
+						if s == seq {
+							seq++
+							used = true
+						}
+					}
+				}
+				nextSeq++
+				q.push(qpos, seq, nd)
+				m.seqs[nd] = seq
+			case r < 8 && q.len() > 0: // pop must yield the model's minimum
+				wantRef, wantSeq := nilRef, int64(0)
+				for ref, s := range m.seqs {
+					if wantRef == nilRef || s < wantSeq || (s == wantSeq && ref < wantRef) {
+						wantRef, wantSeq = ref, s
+					}
+				}
+				if got := q.minSeq(); got != wantSeq {
+					t.Fatalf("trial %d op %d: minSeq = %d, model min %d", trial, op, got, wantSeq)
+				}
+				nd := q.pop(qpos)
+				if m.seqs[nd] != wantSeq {
+					t.Fatalf("trial %d op %d: popped node %d (seq %d), want oldest seq %d",
+						trial, op, nd, m.seqs[nd], wantSeq)
+				}
+				delete(m.seqs, nd)
+				free = append(free, nd)
+				if qpos[nd] != 0 {
+					t.Fatalf("popped node %d still has qpos %d", nd, qpos[nd])
+				}
+			case q.len() > 0: // remove a random queued node (squash repositioning)
+				i := rng.Intn(q.len())
+				nd := q.a[i].ref
+				q.remove(qpos, nd)
+				delete(m.seqs, nd)
+				free = append(free, nd)
+				if qpos[nd] != 0 {
+					t.Fatalf("removed node %d still has qpos %d", nd, qpos[nd])
+				}
+			}
+			checkHeapInvariants(t, &q, qpos, m)
+		}
+		// Drain: the remaining pops must come out in ascending seq order.
+		var drained []int64
+		for q.len() > 0 {
+			drained = append(drained, q.minSeq())
+			q.pop(qpos)
+		}
+		if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
+			t.Fatalf("trial %d: drain order not ascending: %v", trial, drained)
+		}
+	}
+}
+
+// TestReadyQRemoveIsNoopWhenAbsent pins remove's contract for nodes not in
+// the queue (qpos 0): squashFrom calls it blindly for any node class.
+func TestReadyQRemoveIsNoopWhenAbsent(t *testing.T) {
+	var q readyQ
+	qpos := make([]int32, 4)
+	q.push(qpos, 10, 1)
+	q.remove(qpos, 2) // never queued
+	if q.len() != 1 || q.minRef() != 1 {
+		t.Fatalf("remove of absent node disturbed the queue: len=%d", q.len())
+	}
+}

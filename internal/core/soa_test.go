@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"fgpsim/internal/ir"
+)
+
+// These tests pin down the structure-of-arrays recycling contract (soa.go).
+// Recycled node slots are deliberately NOT zeroed — issueNode rewrites every
+// field the engine reads before use — so the store's own obligations shrink
+// to two: the consumer edge list must be released back to the arena at put
+// (a dangling edge on a reused slot would wake an unrelated node), and the
+// watermark quarantine must gate reuse (a slot recycled while the event
+// wheel or an older block could still reference it would corrupt the run).
+
+// dirtyNode sets every column of slot nd to a nonzero value and gives it a
+// consumer edge, mimicking a node freed after a full life — except qpos,
+// which the engine guarantees is zero whenever a node is freed (queued nodes
+// are removed from the heaps at squash; done nodes are never queued).
+func dirtyNode(s *nodeStore, nd nref) {
+	s.d[nd] = nodeSlot{
+		n:        &ir.Node{Op: ir.Add},
+		op:       ir.Add,
+		blk:      3,
+		seq:      7,
+		status:   nsDone | nsSquashed | nsHandled | nsInjected,
+		srcA:     1,
+		srcB:     2,
+		valA:     11,
+		valB:     12,
+		pending:  2,
+		val:      13,
+		doneAt:   99,
+		addr:     0x40,
+		msize:    4,
+		consHead: nilRef,
+	}
+	s.edges.add(&s.d[nd].consHead, nd)
+}
+
+// assertRecycledNode checks the invariants a recycled slot must carry: the
+// consumer list released (and the arena cell actually reusable) and qpos
+// still zero. Everything else is allowed to be stale.
+func assertRecycledNode(t *testing.T, s *nodeStore, nd nref) {
+	t.Helper()
+	if s.d[nd].consHead != nilRef {
+		t.Errorf("node %d: consumer list not released (head %d)", nd, s.d[nd].consHead)
+	}
+	if s.edges.free == nilRef {
+		t.Errorf("node %d: freed consumer edges not returned to the arena", nd)
+	}
+	if s.qpos[nd] != 0 {
+		t.Errorf("node %d: qpos %d on a recycled slot (freed while queued?)", nd, s.qpos[nd])
+	}
+}
+
+func TestNodeStoreRecycleReleasesEdges(t *testing.T) {
+	var s nodeStore
+	s.edges = newEdgeArena()
+	nd := s.alloc(noSeqFloor, 0)
+	dirtyNode(&s, nd)
+	s.put(nd, 10, 20)
+	// Watermarks unmet: the slot must not be reused yet.
+	if got := s.alloc(5, 15); got == nd {
+		t.Fatalf("slot %d reused before its watermarks (seqWM=10, cycleWM=20)", nd)
+	}
+	got := s.alloc(10, 20)
+	if got != nd {
+		t.Fatalf("expected recycled slot %d once watermarks met, got %d", nd, got)
+	}
+	assertRecycledNode(t, &s, got)
+}
+
+func TestNodeStoreQuarantineGating(t *testing.T) {
+	var s nodeStore
+	s.edges = newEdgeArena()
+	a := s.alloc(noSeqFloor, 0)
+	b := s.alloc(noSeqFloor, 0)
+	s.put(a, 1, 1)
+	s.put(b, 2, 10)
+	// The quarantine is FIFO: b (cycleWM=10) at the back blocks nothing,
+	// but a promoted entry goes through the free list, so a alone is
+	// reusable at cycle 1.
+	if got := s.alloc(noSeqFloor, 1); got != a {
+		t.Errorf("alloc at cycle 1 returned %d, want recycled %d", got, a)
+	}
+	// b's watermark is still unmet: the store must grow instead.
+	if got := s.alloc(noSeqFloor, 1); got == b {
+		t.Errorf("slot %d reused before its cycle watermark", b)
+	}
+	// Once met, b is recycled rather than growing again.
+	if got := s.alloc(noSeqFloor, 10); got != b {
+		t.Errorf("alloc at cycle 10 returned %d, want recycled %d", got, b)
+	}
+}
+
+func TestBlockStoreRecycleIsFresh(t *testing.T) {
+	var s blockStore
+	ab := s.alloc()
+	s.xb[ab] = &ir.Block{ID: 4}
+	s.seq0[ab] = 9
+	s.nodes[ab] = append(s.nodes[ab], 1, 2)
+	s.asserts[ab] = append(s.asserts[ab], 1)
+	s.stores[ab] = append(s.stores[ab], 2)
+	s.sys[ab] = append(s.sys[ab], 1)
+	s.nDone[ab] = 2
+	s.flags[ab] = abIssuedAll | abWillFault | abTermIsBranch | abTermPredTaken
+	s.term[ab] = 2
+	s.rsSnap[ab] = &rsNode{depth: 1}
+	s.cursorSnap[ab] = 3
+	s.predSnap[ab] = 5
+	s.predToken[ab] = 6
+	s.put(ab)
+	got := s.alloc()
+	if got != ab {
+		t.Fatalf("expected recycled block %d, got %d", ab, got)
+	}
+	if s.xb[got] != nil || s.seq0[got] != 0 || s.nDone[got] != 0 || s.flags[got] != 0 {
+		t.Errorf("block %d: scalar fields not reset", got)
+	}
+	if len(s.nodes[got]) != 0 || len(s.asserts[got]) != 0 || len(s.stores[got]) != 0 ||
+		len(s.sys[got]) != 0 {
+		t.Errorf("block %d: node lists not truncated", got)
+	}
+	if s.term[got] != nilRef || s.rsSnap[got] != nil || s.cursorSnap[got] != 0 ||
+		s.predSnap[got] != 0 || s.predToken[got] != 0 {
+		t.Errorf("block %d: checkpoint fields not reset", got)
+	}
+}
+
+func TestEdgeArenaReuse(t *testing.T) {
+	a := newEdgeArena()
+	var h1, h2 int32 = nilRef, nilRef
+	a.add(&h1, 10)
+	a.add(&h1, 11)
+	a.add(&h1, 12)
+	a.freeList(&h1)
+	if h1 != nilRef {
+		t.Fatalf("freeList left head %d", h1)
+	}
+	// The freed cells must be reused before the arena grows.
+	before := len(a.to)
+	a.add(&h2, 20)
+	a.add(&h2, 21)
+	a.add(&h2, 22)
+	if len(a.to) != before {
+		t.Errorf("arena grew to %d cells despite %d free", len(a.to), before)
+	}
+	var got []nref
+	for i := h2; i != nilRef; i = a.next[i] {
+		got = append(got, a.to[i])
+	}
+	if len(got) != 3 {
+		t.Fatalf("rebuilt list has %d entries, want 3", len(got))
+	}
+}

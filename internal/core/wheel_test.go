@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+// The event wheel's ring has timelineSlots buckets keyed by doneAt modulo
+// timelineSlots. An entry scheduled exactly timelineSlots cycles ahead maps
+// to the *current* cycle's slot — without the overflow guard it would land
+// in a bucket that take() is about to drain (or has just drained), firing
+// timelineSlots cycles early or never. These tests pin the guard.
+
+func TestWheelExactWraparoundNoCollision(t *testing.T) {
+	var w eventWheel
+	now := int64(100)
+	// Node 1 completes this cycle; node 2 exactly one ring-span later.
+	// Both map to slot 100 % 16 == (100+16) % 16.
+	w.add(1, now, now)
+	w.add(2, now+timelineSlots, now)
+
+	got := w.take(now)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("take(%d) = %v, want [1]: the far entry collided with the near slot", now, got)
+	}
+	// The far entry must fire exactly at its cycle, not before.
+	for c := now + 1; c < now+timelineSlots; c++ {
+		if got := w.take(c); len(got) != 0 {
+			t.Fatalf("take(%d) = %v, want empty", c, got)
+		}
+	}
+	got = w.take(now + timelineSlots)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("take(%d) = %v, want [2]", now+timelineSlots, got)
+	}
+}
+
+func TestWheelFarFutureEntries(t *testing.T) {
+	var w eventWheel
+	now := int64(0)
+	// Entries far beyond the ring's span, plus a near one sharing their slot.
+	w.add(7, now+3*timelineSlots, now) // slot 0, two wraps away
+	w.add(8, now+2, now)
+	for c := int64(0); c <= 3*timelineSlots; c++ {
+		got := w.take(c)
+		switch c {
+		case 2:
+			if len(got) != 1 || got[0] != 8 {
+				t.Fatalf("take(%d) = %v, want [8]", c, got)
+			}
+		case 3 * timelineSlots:
+			if len(got) != 1 || got[0] != 7 {
+				t.Fatalf("take(%d) = %v, want [7]", c, got)
+			}
+		default:
+			if len(got) != 0 {
+				t.Fatalf("take(%d) = %v, want empty", c, got)
+			}
+		}
+	}
+}
+
+func TestWheelOverflowPreservesSlotOrder(t *testing.T) {
+	var w eventWheel
+	now := int64(0)
+	target := now + timelineSlots + 2
+	// Two overflow entries for the same future cycle must both arrive.
+	w.add(3, target, now)
+	w.add(4, target, now)
+	for c := now; c < target; c++ {
+		if got := w.take(c); len(got) != 0 {
+			t.Fatalf("take(%d) = %v, want empty", c, got)
+		}
+	}
+	got := w.take(target)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("take(%d) = %v, want [3 4] in add order", target, got)
+	}
+}

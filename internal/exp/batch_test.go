@@ -1,0 +1,109 @@
+package exp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fgpsim/internal/exp"
+	"fgpsim/internal/machine"
+)
+
+// batchCfgs builds a lane set over one benchmark: dynamic enlarged-block
+// variants sharing a single image-cache key, differing only in engine-level
+// knobs.
+func batchCfgs(t *testing.T) []machine.Config {
+	t.Helper()
+	base := exp.MustConfigFor(exp.Curve{Disc: machine.Dyn256, Branch: machine.EnlargedBB}, 8, 'A')
+	with := func(f func(*machine.Config)) machine.Config {
+		c := base
+		f(&c)
+		return c
+	}
+	return []machine.Config{
+		base,
+		with(func(c *machine.Config) { c.WindowOverride = 16 }),
+		with(func(c *machine.Config) { c.Predictor = machine.GSharePredictor }),
+		with(func(c *machine.Config) { c.ConservativeMem = true }),
+		with(func(c *machine.Config) { c.Mem, _ = machine.MemConfigByID('D') }),
+	}
+}
+
+// TestRunBatchMatchesScalar verifies the harness-level contract over a real
+// benchmark: every lane of Prepared.RunBatch returns exactly the statistics
+// of the same configuration through Prepared.Run.
+func TestRunBatchMatchesScalar(t *testing.T) {
+	p := prepareOne(t, "compress")
+	cfgs := batchCfgs(t)
+	batch, errs, err := p.RunBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("lane %d (%s): %v", i, cfg, errs[i])
+		}
+		scalar, err := p.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], scalar) {
+			t.Errorf("lane %d (%s): batched stats differ from scalar:\nbatch:  %+v\nscalar: %+v",
+				i, cfg, batch[i], scalar)
+		}
+	}
+}
+
+// TestRunBatchRejectsMixedImages pins the harness-level misuse error: lanes
+// that do not share an image-cache key (here: a static lane among dynamic
+// ones) cannot batch.
+func TestRunBatchRejectsMixedImages(t *testing.T) {
+	p := prepareOne(t, "compress")
+	cfgs := batchCfgs(t)
+	cfgs = append(cfgs, exp.MustConfigFor(exp.Curve{Disc: machine.Static, Branch: machine.EnlargedBB}, 8, 'A'))
+	if _, _, err := p.RunBatch(cfgs); err == nil {
+		t.Fatal("static lane in a batch: want an error")
+	}
+}
+
+// TestGridBatchMatchesScalar runs one sweep twice — scalar workers and the
+// batched pre-pass — and requires identical results for every cell,
+// including cells the batcher must fall back on (static discipline,
+// fill-unit, singleton groups).
+func TestGridBatchMatchesScalar(t *testing.T) {
+	p := prepareOne(t, "compress")
+	cfgs := batchCfgs(t)
+	// Cells the batched pre-pass must route to the scalar path.
+	cfgs = append(cfgs,
+		exp.MustConfigFor(exp.Curve{Disc: machine.Static, Branch: machine.EnlargedBB}, 8, 'A'),
+		exp.MustConfigFor(exp.Curve{Disc: machine.Dyn4, Branch: machine.SingleBB}, 8, 'A'), // singleton group
+	)
+	fu := exp.MustConfigFor(exp.Curve{Disc: machine.Dyn4, Branch: machine.EnlargedBB}, 8, 'A')
+	fu.Branch = machine.FillUnit
+	cfgs = append(cfgs, fu)
+
+	prepared := []*exp.Prepared{p}
+	scalar, err := exp.Grid(prepared, cfgs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := exp.GridContext(t.Context(), prepared, cfgs, exp.GridOptions{
+		Workers: 2,
+		Batch:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched.Failed) != 0 {
+		t.Fatalf("batched sweep quarantined %d cells: %v", len(batched.Failed), batched.Failed[0])
+	}
+	for _, cfg := range cfgs {
+		k := exp.KeyOf("compress", cfg)
+		s, b := scalar.Get(k), batched.Get(k)
+		if s == nil || b == nil {
+			t.Fatalf("%s: missing result (scalar %v, batched %v)", cfg, s != nil, b != nil)
+		}
+		if !reflect.DeepEqual(s, b) {
+			t.Errorf("%s: batched sweep stats differ from scalar sweep:\nbatch:  %+v\nscalar: %+v", cfg, b, s)
+		}
+	}
+}

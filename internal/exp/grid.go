@@ -87,6 +87,17 @@ type GridOptions struct {
 	// *SweepPreemptedError so the caller can requeue it; the snapshots make
 	// the requeued sweep cheap.
 	Preempt *atomic.Bool
+	// Batch groups dynamically scheduled cells that share an image-cache key
+	// (same benchmark, same block mode) into K-lane batched runs
+	// (core.RunBatch): one shared fetch/decode/translate pass serves every
+	// window/predictor/memory variant of that image. Results are
+	// bit-identical to scalar runs. Cells that cannot batch — static
+	// machines, fill-unit images, singleton groups — and any lane whose
+	// batch fails run through the unchanged scalar path with its full retry
+	// and quarantine semantics. Sweeps with durable checkpoints armed
+	// (CheckpointEvery + SnapshotDir) run scalar: per-cell snapshot files do
+	// not compose with shared-pass execution.
+	Batch bool
 }
 
 // CellOutcome is one settled grid cell, as reported to GridOptions.Observer.
@@ -175,6 +186,97 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 				return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
 			}
 		}
+	}
+
+	// Batched pre-pass: run groups of same-image dynamic cells through
+	// core.RunBatch, settling the lanes that succeed; everything else (and
+	// any lane whose batch failed) falls through to the scalar machinery
+	// below, which retains the full retry/quarantine/snapshot semantics.
+	if opts.Batch && opts.CheckpointEvery == 0 {
+		type batchKey struct {
+			p   *Prepared
+			img imgKey
+		}
+		groups := make(map[batchKey][]job)
+		var order []batchKey
+		var scalar []job
+		for _, j := range pending {
+			if j.cfg.Disc == machine.Static || j.cfg.Branch == machine.FillUnit {
+				scalar = append(scalar, j)
+				continue
+			}
+			bk := batchKey{p: j.p, img: imgKeyOf(j.cfg)}
+			if len(groups[bk]) == 0 {
+				order = append(order, bk)
+			}
+			groups[bk] = append(groups[bk], j)
+		}
+		var batches [][]job
+		for _, bk := range order {
+			g := groups[bk]
+			if len(g) < 2 {
+				scalar = append(scalar, g...) // a 1-lane batch shares nothing
+				continue
+			}
+			batches = append(batches, g)
+		}
+		var (
+			bwg      sync.WaitGroup
+			scalarMu sync.Mutex
+		)
+		bch := make(chan []job)
+		for w := 0; w < workers; w++ {
+			bwg.Add(1)
+			go func() {
+				defer bwg.Done()
+				for g := range bch {
+					start := time.Now()
+					bctx := ctx
+					if opts.RunTimeout > 0 {
+						var cancel context.CancelFunc
+						bctx, cancel = context.WithTimeout(ctx, opts.RunTimeout)
+						defer cancel()
+					}
+					lim := opts.Limits
+					lim.Preempt = opts.Preempt
+					cfgs := make([]machine.Config, len(g))
+					for i, j := range g {
+						cfgs[i] = j.cfg
+					}
+					stats, laneErrs, berr := g[0].p.RunBatchContext(bctx, cfgs, lim)
+					dur := time.Since(start)
+					for i, j := range g {
+						if berr != nil || laneErrs[i] != nil || stats[i] == nil {
+							scalarMu.Lock()
+							scalar = append(scalar, j)
+							scalarMu.Unlock()
+							continue
+						}
+						res.put(j.key, stats[i])
+						if jw != nil {
+							jw.Append(journalEntry{Key: j.key, Stats: stats[i]})
+						}
+						if opts.Observer != nil {
+							opts.Observer(CellOutcome{Key: j.key, Attempts: 1, Duration: dur})
+						}
+						if opts.Progress != nil {
+							opts.Progress(int(done.Add(1)), total)
+						}
+					}
+				}
+			}()
+		}
+	batchDispatch:
+		for _, g := range batches {
+			select {
+			case bch <- g:
+			case <-ctx.Done():
+				break batchDispatch
+			}
+		}
+		close(bch)
+		bwg.Wait()
+		pending = scalar
 	}
 
 	var (

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# benchcmp.sh — compare two `go test -bench` output files.
+#
+# Usage:
+#   scripts/benchcmp.sh old.txt new.txt
+#
+# Produce the inputs with something like:
+#   go test -bench 'Engine' -benchtime=3x -count=5 -run '^$' . > old.txt
+#   ... apply the change ...
+#   go test -bench 'Engine' -benchtime=3x -count=5 -run '^$' . > new.txt
+#
+# When benchstat (golang.org/x/perf/cmd/benchstat) is on PATH it is used
+# for a proper statistical comparison across the -count repetitions. It is
+# deliberately NOT installed here — offline/CI environments must not pull
+# modules — so without it the script falls back to an awk comparison of
+# per-benchmark mean ns/op, which is good enough for eyeballing but says
+# nothing about significance: prefer -count>=5 and benchstat for real
+# conclusions.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 old.txt new.txt" >&2
+    exit 2
+fi
+old=$1
+new=$2
+for f in "$old" "$new"; do
+    if [ ! -r "$f" ]; then
+        echo "benchcmp: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$old" "$new"
+fi
+
+echo "benchcmp: benchstat not found on PATH; falling back to mean ns/op comparison"
+echo "benchcmp: (go install golang.org/x/perf/cmd/benchstat@latest — needs network)"
+echo
+
+awk '
+    # Benchmark lines look like: BenchmarkName-8  <iters>  <ns> ns/op  [extras]
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op") {
+                sum[FILENAME, name] += $i
+                cnt[FILENAME, name]++
+                if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+            }
+        }
+    }
+    END {
+        printf "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            o = (cnt[ARGV[1], name] ? sum[ARGV[1], name] / cnt[ARGV[1], name] : 0)
+            v = (cnt[ARGV[2], name] ? sum[ARGV[2], name] / cnt[ARGV[2], name] : 0)
+            if (o > 0 && v > 0)
+                printf "%-40s %14.0f %14.0f %+8.1f%%\n", name, o, v, (v - o) * 100 / o
+            else if (o > 0)
+                printf "%-40s %14.0f %14s %9s\n", name, o, "-", "gone"
+            else
+                printf "%-40s %14s %14.0f %9s\n", name, "-", v, "new"
+        }
+    }
+' "$old" "$new"
