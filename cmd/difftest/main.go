@@ -11,6 +11,9 @@
 //	                                      # must repair invisibly or machine-check
 //	difftest -snapshot 20 -seed 1000      # checkpoint/restore sweep: interrupted
 //	                                      # and resumed runs must be bit-identical
+//	difftest -schedgap                    # scheduler optimality-gap gate: re-runs
+//	                                      # the exact-schedule sweep and compares
+//	                                      # against results/SCHEDGAP.json
 //
 // A sweep that finds a divergence reduces the failing program automatically
 // and prints the minimal repro, so a CI failure lands as a few statements
@@ -25,6 +28,7 @@ import (
 	"strings"
 
 	"fgpsim/internal/difftest"
+	"fgpsim/internal/schedgap"
 )
 
 func main() {
@@ -39,6 +43,9 @@ func main() {
 		noshrink = flag.Bool("noshrink", false, "with -gen: report divergences without auto-reducing")
 		fault    = flag.Int("fault", 0, "fault-injection-sweep this many generated programs")
 		snap     = flag.Int("snapshot", 0, "checkpoint/restore-sweep this many generated programs")
+		schedGap = flag.Bool("schedgap", false, "re-measure the scheduler optimality gap and gate it against the checked-in baseline")
+		gapBase  = flag.String("schedgap-baseline", "results/SCHEDGAP.json", "with -schedgap: baseline report to gate against")
+		gapTol   = flag.Float64("schedgap-tol", 5, "with -schedgap: allowed optimal-fraction regression, percentage points")
 	)
 	flag.Parse()
 
@@ -58,6 +65,8 @@ func main() {
 	}
 
 	switch {
+	case *schedGap:
+		schedGapGate(*gapBase, *gapTol)
 	case *snap > 0:
 		snapshotSweep(*snap, *seed)
 	case *fault > 0:
@@ -85,6 +94,40 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "difftest:", err)
 	os.Exit(1)
+}
+
+// schedGapGate re-runs the deterministic optimality-gap sweep and fails
+// on any schedule-legality violation, a list schedule beating the exact
+// optimum, or an optimal-fraction regression beyond tolPts percentage
+// points against the checked-in baseline (the CI schedgap-smoke job).
+func schedGapGate(baselinePath string, tolPts float64) {
+	baseData, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("baseline %s: %w (generate with: go run ./cmd/figures -schedgap)", baselinePath, err))
+	}
+	base, err := schedgap.Unmarshal(baseData)
+	if err != nil {
+		fatal(err)
+	}
+	rep, violations, err := schedgap.Run(base.Config)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Table())
+	failed := false
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "schedule violation: %s\n", v)
+		failed = true
+	}
+	for _, msg := range schedgap.CompareBaseline(rep, base, tolPts) {
+		fmt.Fprintf(os.Stderr, "baseline gate: %s\n", msg)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("schedgap: ok (%d corpora, tolerance %.1f points, baseline %s)\n",
+		len(rep.Corpora), tolPts, baselinePath)
 }
 
 func readSrc(path string) string {

@@ -13,6 +13,11 @@
 // killed or interrupted sweep resumes where it left off. Cells that keep
 // failing are quarantined and reported, and their figure entries render as
 // "-" instead of aborting the whole sweep.
+//
+// With -schedgap it instead measures the list scheduler's optimality gap
+// against the exact branch-and-bound scheduler over the MiniC and generated
+// corpora, prints the distribution table, and refreshes the checked-in
+// results/SCHEDGAP.json baseline.
 package main
 
 import (
@@ -31,24 +36,34 @@ import (
 	"fgpsim/internal/enlarge"
 	"fgpsim/internal/exp"
 	"fgpsim/internal/machine"
+	"fgpsim/internal/schedgap"
 )
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "figure to print: 2..6, or 0 for all")
-		benchArg = flag.String("bench", "all", "benchmark name or 'all'")
-		full     = flag.Bool("grid", false, "run the full 560-point grid and print a summary")
-		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		csvPath  = flag.String("csv", "", "also dump every measured point as CSV to this file")
-		report   = flag.String("report", "", "write a markdown report (figures + claim checks) to this file")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
-		timeout  = flag.Duration("timeout", 0, "per-cell simulation timeout (0 = none)")
-		resume   = flag.String("resume", "", "journal file: completed cells persist and resume across runs")
-		batch    = flag.Bool("batch", false, "run dynamic cells sharing a translated image as batched lanes (one fetch/decode pass per group)")
+		fig         = flag.Int("fig", 0, "figure to print: 2..6, or 0 for all")
+		benchArg    = flag.String("bench", "all", "benchmark name or 'all'")
+		full        = flag.Bool("grid", false, "run the full 560-point grid and print a summary")
+		workers     = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		csvPath     = flag.String("csv", "", "also dump every measured point as CSV to this file")
+		report      = flag.String("report", "", "write a markdown report (figures + claim checks) to this file")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
+		timeout     = flag.Duration("timeout", 0, "per-cell simulation timeout (0 = none)")
+		resume      = flag.String("resume", "", "journal file: completed cells persist and resume across runs")
+		batch       = flag.Bool("batch", false, "run dynamic cells sharing a translated image as batched lanes (one fetch/decode pass per group)")
+		schedgapF   = flag.Bool("schedgap", false, "print the static scheduler optimality-gap table and refresh results/SCHEDGAP.json instead of the figures")
+		schedgapOut = flag.String("schedgap-out", "results/SCHEDGAP.json", "with -schedgap: write the JSON report here ('' = print only)")
 	)
 	flag.Parse()
+	if *schedgapF {
+		if err := runSchedgap(*schedgapOut); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
@@ -64,6 +79,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+}
+
+// runSchedgap measures the list scheduler's optimality gap over the MiniC
+// and generated corpora (internal/schedgap), prints the distribution
+// table, and refreshes the checked-in JSON baseline. Any correctness
+// violation (an illegal schedule, or a list schedule beating the exact
+// optimum) is a hard failure.
+func runSchedgap(outPath string) error {
+	rep, violations, err := schedgap.Run(schedgap.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "schedule violation: %s\n", v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d schedule violations", len(violations))
+	}
+	if outPath == "" {
+		return nil
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
 }
 
 // startProfiles starts CPU profiling and/or arms a heap snapshot, returning

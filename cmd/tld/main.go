@@ -7,7 +7,7 @@
 // Usage:
 //
 //	tld -src prog.mc -out prog.img [-enlarge prog.bbe]
-//	    [-disc dyn4] [-issue 8] [-mem A] [-branch single] [-dump]
+//	    [-disc dyn4] [-issue 8] [-mem A] [-branch single] [-sched list] [-dump]
 //
 // Sources ending in .ir or .asm are parsed as node-program assembly (the
 // format internal/ir's Disassemble emits) instead of MiniC.
@@ -35,22 +35,26 @@ func main() {
 		issue  = flag.Int("issue", 8, "issue model number, 1..8")
 		memID  = flag.String("mem", "A", "memory configuration letter, A..G")
 		brMode = flag.String("branch", "single", "branch handling: single, enlarged, perfect")
+		schedK = flag.String("sched", "list", "static scheduler: list (greedy), exact (branch-and-bound optimum for small blocks)")
 		noOpt  = flag.Bool("O0", false, "disable the block-local optimizer")
 		dump   = flag.Bool("dump", false, "print the loaded program as text")
 	)
 	flag.Parse()
-	if err := run(*src, *out, *ef, *disc, *issue, *memID, *brMode, *noOpt, *dump); err != nil {
+	if err := run(*src, *out, *ef, *disc, *issue, *memID, *brMode, *schedK, *noOpt, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "tld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(src, out, efPath, disc string, issue int, memID, brMode string, noOpt, dump bool) error {
+func run(src, out, efPath, disc string, issue int, memID, brMode, schedK string, noOpt, dump bool) error {
 	if src == "" {
 		return fmt.Errorf("-src is required")
 	}
 	cfg, err := machine.ParseConfig(disc, issue, memID, brMode)
 	if err != nil {
+		return err
+	}
+	if cfg.Sched, err = machine.ParseSchedKind(schedK); err != nil {
 		return err
 	}
 	source, err := os.ReadFile(src)

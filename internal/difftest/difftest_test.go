@@ -6,6 +6,7 @@ import (
 
 	"fgpsim/internal/interp"
 	"fgpsim/internal/minic"
+	"fgpsim/internal/sched/exact"
 )
 
 // genProfiles are the feature mixes the oracle sweep rotates through
@@ -42,6 +43,7 @@ func TestOracleGeneratedPrograms(t *testing.T) {
 		trials = 12
 	}
 	matrix := Matrix()
+	schedMatrix := ScheduleMatrix()
 	for trial := 0; trial < trials; trial++ {
 		seed := int64(1000 + trial)
 		opts := genProfiles[trial%len(genProfiles)]
@@ -62,6 +64,18 @@ func TestOracleGeneratedPrograms(t *testing.T) {
 		}
 		if got := len(rep.Runs); got != len(matrix) {
 			t.Fatalf("seed %d: %d runs, want %d", seed, got, len(matrix))
+		}
+		// The schedule oracle rides the same sweep: every static image's
+		// list schedule legal and never shorter than the exact optimum.
+		srep, err := c.ScheduleOracle(schedMatrix, exact.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", seed, err, src)
+		}
+		for _, d := range srep.Divergences {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d schedule oracle diverged; program:\n%s", seed, src)
 		}
 	}
 }

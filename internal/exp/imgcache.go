@@ -41,6 +41,7 @@ type imgKey struct {
 	static   bool
 	issue    machine.IssueModel // statically scheduled machines only
 	hitLat   int                // statically scheduled machines only
+	sched    machine.SchedKind  // statically scheduled machines only
 }
 
 type imageCacheEnt struct {
@@ -60,6 +61,7 @@ func imgKeyOf(cfg machine.Config) imgKey {
 		k.static = true
 		k.issue = cfg.Issue
 		k.hitLat = cfg.Mem.HitLatency
+		k.sched = cfg.Sched
 	}
 	return k
 }

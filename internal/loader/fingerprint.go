@@ -117,6 +117,7 @@ func (im *Image) Fingerprint() uint64 {
 	h.i64(int64(cfg.GShareBits))
 	h.i64(int64(cfg.WindowOverride))
 	h.byte(byte(cfg.Predictor))
+	h.byte(byte(cfg.Sched))
 	h.bool(cfg.ConservativeMem)
 	h.bool(im.Degraded)
 	return uint64(h)

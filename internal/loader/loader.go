@@ -17,6 +17,7 @@ import (
 	"fgpsim/internal/machine"
 	"fgpsim/internal/opt"
 	"fgpsim/internal/sched"
+	"fgpsim/internal/sched/exact"
 )
 
 // BadEnlargementError reports a structurally invalid enlargement chain —
@@ -114,7 +115,15 @@ func Load(base *ir.Program, cfg machine.Config, ef *enlarge.File) (*Image, error
 	if cfg.Disc == machine.Static {
 		img.Words = make(map[ir.BlockID]sched.Schedule, len(img.Prog.Blocks))
 		for _, b := range img.Prog.Blocks {
-			img.Words[b.ID] = sched.Block(b, cfg.Issue, cfg.Mem.HitLatency)
+			if cfg.Sched == machine.ExactSched {
+				// Opt-in exact mode: branch-and-bound optimal packing for
+				// small blocks under the default deterministic budget (so
+				// the image is reproducible), list schedule beyond it. The
+				// result is legal under the same rules either way.
+				img.Words[b.ID] = exact.Schedule(b, cfg.Issue, cfg.Mem.HitLatency, exact.DefaultOptions()).Schedule
+			} else {
+				img.Words[b.ID] = sched.Block(b, cfg.Issue, cfg.Mem.HitLatency)
+			}
 		}
 	}
 	if err := img.Prog.Validate(); err != nil {

@@ -189,12 +189,39 @@ func (b BranchMode) String() string {
 	return "branch?"
 }
 
+// SchedKind selects the static scheduler the translating loader packs
+// multinodewords with. It only matters on the static discipline; dynamic
+// machines schedule at run time.
+type SchedKind uint8
+
+const (
+	// ListSched is the greedy critical-path list scheduler (the default,
+	// and the paper's loader).
+	ListSched SchedKind = iota
+	// ExactSched packs each block with the branch-and-bound optimal
+	// scheduler (internal/sched/exact) under its default deterministic
+	// budget, falling back to the list schedule for blocks too large to
+	// search. Opt-in: it exists to measure the list scheduler's
+	// optimality gap end-to-end through the static engine.
+	ExactSched
+)
+
+func (k SchedKind) String() string {
+	if k == ExactSched {
+		return "exact"
+	}
+	return "list"
+}
+
 // Config is one complete machine configuration (one data point).
 type Config struct {
 	Disc   Discipline
 	Issue  IssueModel
 	Mem    MemConfig
 	Branch BranchMode
+
+	// Sched selects the static scheduler (static discipline only).
+	Sched SchedKind
 
 	// BTBEntries sizes the branch target buffer (2-bit counters plus
 	// static-hint seeding live there). Zero selects DefaultBTBEntries.
@@ -249,7 +276,11 @@ func (c Config) EffectiveWindow() int {
 const DefaultBTBEntries = 512
 
 func (c Config) String() string {
-	return fmt.Sprintf("%s/%s/%s/%s", c.Disc, c.Issue, c.Mem, c.Branch)
+	s := fmt.Sprintf("%s/%s/%s/%s", c.Disc, c.Issue, c.Mem, c.Branch)
+	if c.Sched != ListSched {
+		s += "/" + c.Sched.String()
+	}
+	return s
 }
 
 // Grid returns the paper's full 560-point configuration grid: the four

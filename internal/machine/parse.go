@@ -33,6 +33,17 @@ func ParseBranchMode(s string) (BranchMode, error) {
 	return SingleBB, fmt.Errorf("machine: unknown branch mode %q (single, enlarged, perfect)", s)
 }
 
+// ParseSchedKind parses a static scheduler name: list, exact.
+func ParseSchedKind(s string) (SchedKind, error) {
+	switch strings.ToLower(s) {
+	case "", "list":
+		return ListSched, nil
+	case "exact":
+		return ExactSched, nil
+	}
+	return ListSched, fmt.Errorf("machine: unknown scheduler %q (list, exact)", s)
+}
+
 // ParseConfig assembles a configuration from command-line style fields:
 // discipline name, issue model number 1..8, memory configuration letter
 // A..G, and branch mode name.

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"fgpsim/internal/ir"
+)
+
+// Edge is one scheduling constraint of a block's dependence DAG:
+// word(To) >= word(from) + MinGap, where "word" counts planned issue
+// cycles. A MinGap of zero permits the same word (index order inside a
+// word supplies the remaining ordering).
+type Edge struct {
+	To     int
+	MinGap int
+}
+
+// DAG is the dependence graph of one basic block under the compile-time
+// legality rules (package comment). It is shared by the greedy list
+// scheduler, the exact branch-and-bound scheduler, and the legality
+// validator, so all three agree on what "legal" means by construction.
+type DAG struct {
+	// N is the node count: len(b.Body) body nodes plus the terminator,
+	// which is node N-1.
+	N int
+	// Succs holds the out-edges of every node, in insertion order.
+	Succs [][]Edge
+	// NPreds counts incoming edges per node.
+	NPreds []int
+	// Latency is each node's result latency under the compile-time
+	// assumption: hitLatency for loads, 1 for everything else.
+	Latency []int
+	// Height is the critical-path height of each node: the minimum number
+	// of planned cycles from the node's own issue to the end of the block,
+	// following the longest gap-weighted path. Height[N-1] is the
+	// terminator's own latency.
+	Height []int
+}
+
+// NodeAt returns node i of the block, where index len(b.Body) is the
+// terminator — the numbering every Schedule uses.
+func NodeAt(b *ir.Block, i int) *ir.Node {
+	if i == len(b.Body) {
+		return &b.Term
+	}
+	return &b.Body[i]
+}
+
+// BuildDAG constructs the dependence DAG of a block for the given
+// compile-time hit latency:
+//
+//   - RAW edges carry the producer's assumed latency;
+//   - WAW and WAR edges carry gap 0 (later word, or same word where index
+//     order decides);
+//   - a load may not issue before or beside an earlier store (gap 1);
+//     stores keep program order among themselves (gap 0); loads reorder
+//     freely among loads;
+//   - system calls stay ordered among themselves and never move above an
+//     assert; asserts keep program order.
+func BuildDAG(b *ir.Block, hitLatency int) *DAG {
+	n := len(b.Body) + 1 // +1: terminator
+	d := &DAG{
+		N:       n,
+		Succs:   make([][]Edge, n),
+		NPreds:  make([]int, n),
+		Latency: make([]int, n),
+	}
+	addEdge := func(from, to, gap int) {
+		d.Succs[from] = append(d.Succs[from], Edge{to, gap})
+		d.NPreds[to]++
+	}
+	for i := 0; i < n; i++ {
+		if NodeAt(b, i).Op.IsLoad() {
+			d.Latency[i] = hitLatency
+		} else {
+			d.Latency[i] = 1
+		}
+	}
+
+	// Register dependences.
+	lastDef := make(map[ir.Reg]int)
+	lastUses := make(map[ir.Reg][]int)
+	// Memory and ordering state.
+	lastStore := -1
+	var loadsSinceStore []int
+	lastSys := -1
+	var asserts []int
+
+	for i := 0; i < n; i++ {
+		nd := NodeAt(b, i)
+		for _, u := range []ir.Reg{nd.A, nd.B} {
+			if u == ir.NoReg {
+				continue
+			}
+			if def, ok := lastDef[u]; ok {
+				addEdge(def, i, d.Latency[def]) // RAW
+			}
+			lastUses[u] = append(lastUses[u], i)
+		}
+		if nd.Op.HasDst() {
+			if def, ok := lastDef[nd.Dst]; ok {
+				addEdge(def, i, 0) // WAW: later word or same word, order wins
+			}
+			for _, u := range lastUses[nd.Dst] {
+				if u != i {
+					addEdge(u, i, 0) // WAR
+				}
+			}
+			lastDef[nd.Dst] = i
+			lastUses[nd.Dst] = nil
+		}
+		switch {
+		case nd.Op.IsLoad():
+			if lastStore >= 0 {
+				addEdge(lastStore, i, 1) // possible match: strictly after
+			}
+			loadsSinceStore = append(loadsSinceStore, i)
+		case nd.Op.IsStore():
+			if lastStore >= 0 {
+				addEdge(lastStore, i, 0)
+			}
+			for _, l := range loadsSinceStore {
+				addEdge(l, i, 0) // memory WAR
+			}
+			loadsSinceStore = nil
+			lastStore = i
+		case nd.Op == ir.Sys:
+			if lastSys >= 0 {
+				addEdge(lastSys, i, 0)
+			}
+			for _, a := range asserts {
+				addEdge(a, i, 0)
+			}
+			lastSys = i
+		case nd.Op == ir.Assert:
+			asserts = append(asserts, i)
+			if len(asserts) > 1 {
+				addEdge(asserts[len(asserts)-2], i, 0)
+			}
+		}
+	}
+
+	// Critical-path heights.
+	d.Height = make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := d.Latency[i]
+		for _, e := range d.Succs[i] {
+			if v := e.MinGap + d.Height[e.To]; v > h {
+				h = v
+			}
+		}
+		d.Height[i] = h
+	}
+	return d
+}

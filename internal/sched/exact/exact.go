@@ -1,0 +1,523 @@
+// Package exact is a branch-and-bound optimal scheduler for single basic
+// blocks: it finds a legal multinodeword packing of minimum planned length
+// (sched.PlannedCycles — issue cycles under the compile-time interlock
+// model), or proves the greedy list schedule already optimal. It exists as
+// an oracle: the list scheduler's quality is measured as the gap between
+// its planned length and the exact optimum, and difftest asserts the list
+// schedule is never shorter than the proven optimum.
+//
+// The search enumerates schedules cycle by cycle. At each cycle it branches
+// over the maximal legal subsets of ready nodes that fit the issue model's
+// slots, bounding partial schedules by the dependence critical path and by
+// slot-count resource bounds, and pruning revisited states through a
+// dominance memo keyed on the scheduled-node set and the readiness profile
+// of the rest. Search effort is bounded by a deterministic expansion budget
+// (plus an optional wall-clock budget); when the budget expires the result
+// is typed BoundOnly — a legal schedule plus a proven lower bound, without
+// an optimality claim — so callers can distinguish "optimal" from "best
+// found". Legality is exactly sched.Validate's contract: both schedulers
+// plan against the same sched.BuildDAG.
+package exact
+
+import (
+	"time"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/sched"
+)
+
+// Status classifies how much a Result proves.
+type Status uint8
+
+const (
+	// Proved: Result.Schedule has minimum planned length among all legal
+	// schedules of the block; Length == LowerBound.
+	Proved Status = iota
+	// BoundOnly: the search budget expired. Schedule is legal and Length
+	// is the best planned length found (never worse than the list
+	// schedule), but only LowerBound <= optimum <= Length is known.
+	BoundOnly
+	// TooLarge: the block exceeds Options.MaxNodes, so no search ran.
+	// Schedule is the list schedule; LowerBound is the root bound.
+	TooLarge
+)
+
+func (s Status) String() string {
+	switch s {
+	case Proved:
+		return "proved"
+	case BoundOnly:
+		return "bound-only"
+	case TooLarge:
+		return "too-large"
+	default:
+		return "unknown"
+	}
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes is the largest block (body plus terminator) the search
+	// attempts; larger blocks return TooLarge immediately. Defaults to 30;
+	// capped at 62 (states are node bitmasks in a uint64).
+	MaxNodes int
+
+	// MaxExpanded is the deterministic search budget: the maximum number
+	// of word-boundary states expanded before the search gives up with
+	// BoundOnly. Determinism matters — fuzzing, image fingerprints, and
+	// snapshot resume all rely on the same block producing the same
+	// schedule on every run — so this, not wall time, is the primary
+	// budget. Defaults to 200000.
+	MaxExpanded int64
+
+	// WallBudget optionally also stops the search after a wall-clock
+	// duration. Zero disables it (the default): a wall budget makes
+	// results timing-dependent, so only opt in where reproducibility of
+	// the schedule does not matter (e.g. one-off reports).
+	WallBudget time.Duration
+}
+
+// DefaultOptions returns the budget the corpus sweep and the loader use.
+func DefaultOptions() Options {
+	return Options{MaxNodes: 30, MaxExpanded: 200000}
+}
+
+func (o Options) normalized() Options {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 30
+	}
+	if o.MaxNodes > 62 {
+		o.MaxNodes = 62
+	}
+	if o.MaxExpanded <= 0 {
+		o.MaxExpanded = 200000
+	}
+	return o
+}
+
+// Result is the outcome of one exact-scheduling run.
+type Result struct {
+	// Schedule is a legal schedule of the block: the optimum when Status
+	// is Proved, otherwise the best schedule found (at worst the list
+	// schedule — Length never exceeds the list schedule's planned length).
+	Schedule sched.Schedule
+	// Length is Schedule's planned length in issue cycles
+	// (sched.PlannedCycles).
+	Length int
+	// LowerBound is a proven lower bound on the planned length of every
+	// legal schedule. Equal to Length when Status is Proved.
+	LowerBound int
+	// Status reports whether Length is the proven optimum.
+	Status Status
+	// Expanded counts word-boundary states the search expanded.
+	Expanded int64
+}
+
+// Optimal reports whether the result carries an optimality proof.
+func (r *Result) Optimal() bool { return r.Status == Proved }
+
+// Schedule finds a minimum-planned-length legal schedule of the block for
+// the issue model and compile-time hit latency, within the options' budget.
+// It never fails: every Result carries a legal schedule no longer (in
+// planned cycles) than the greedy list schedule.
+func Schedule(b *ir.Block, im machine.IssueModel, hitLatency int, o Options) *Result {
+	o = o.normalized()
+	d := sched.BuildDAG(b, hitLatency)
+	n := d.N
+
+	// Seed the incumbent with the list schedule: the search then only has
+	// to find strict improvements, and the result can never be worse.
+	seed := sched.Block(b, im, hitLatency)
+	seedLen := sched.PlannedCycles(b, im, hitLatency, seed)
+
+	s := &searcher{
+		b:      b,
+		im:     im,
+		hitLat: hitLatency,
+		d:      d,
+		n:      n,
+		opts:   o,
+	}
+	s.prepare()
+	rootLB := s.rootBound()
+
+	r := &Result{Schedule: seed, Length: seedLen, LowerBound: rootLB}
+	if seedLen <= rootLB {
+		// The list schedule meets the lower bound: optimal without search
+		// (this needs no size limit, so even huge blocks can be proved).
+		r.Status = Proved
+		r.LowerBound = seedLen
+		return r
+	}
+	if n > o.MaxNodes {
+		r.Status = TooLarge
+		return r
+	}
+
+	s.bestLen = seedLen
+	if o.WallBudget > 0 {
+		s.deadline = time.Now().Add(o.WallBudget)
+	}
+	var est [64]int32
+	s.dfs(0, 0, &est)
+
+	r.Expanded = s.expanded
+	if s.best != nil {
+		r.Schedule = s.best
+		r.Length = s.bestLen
+	}
+	if !s.exhausted || r.Length == rootLB {
+		r.Status = Proved
+		r.LowerBound = r.Length
+	} else {
+		r.Status = BoundOnly
+	}
+	return r
+}
+
+// pedge is an in-edge: word(node) >= word(from) + gap.
+type pedge struct {
+	from int32
+	gap  int32
+}
+
+type memoKey struct {
+	mask uint64
+	sig  uint64
+}
+
+type searcher struct {
+	b      *ir.Block
+	im     machine.IssueModel
+	hitLat int
+	d      *sched.DAG
+	n      int
+	opts   Options
+
+	full    uint64 // all nodes scheduled
+	isMem   []bool
+	preds   [][]pedge
+	hend    []int // gap-path height to block end (bound-safe, see prepare)
+	memCap  int   // per-word slot capacities
+	aluCap  int
+	totCap  int
+	maxGap  int  // largest edge gap (memo signatures hold deltas <= 3)
+	canMemo bool // n small enough and gaps small enough to memo safely
+
+	cur       []sched.Word // words of the partial schedule under construction
+	best      sched.Schedule
+	bestLen   int
+	memo      map[memoKey]int32
+	expanded  int64
+	exhausted bool
+	deadline  time.Time
+}
+
+func (s *searcher) prepare() {
+	s.full = (uint64(1) << uint(s.n)) - 1
+	s.isMem = make([]bool, s.n)
+	for i := 0; i < s.n; i++ {
+		s.isMem[i] = sched.NodeAt(s.b, i).Op.IsMem()
+	}
+	s.preds = make([][]pedge, s.n)
+	for from := 0; from < s.n; from++ {
+		for _, e := range s.d.Succs[from] {
+			s.preds[e.To] = append(s.preds[e.To], pedge{int32(from), int32(e.MinGap)})
+			if e.MinGap > s.maxGap {
+				s.maxGap = e.MinGap
+			}
+		}
+	}
+	// Bound height: makespan = last issue cycle + 1, and the terminator
+	// sits in the final word, so every node i gives makespan >= issue(i) +
+	// hend(i) with hend(i) = 1 + the longest gap path out of i. This
+	// differs from d.Height, whose base case is the node's own latency: a
+	// dangling load's latency never extends the block (nothing waits on
+	// it), so using d.Height here would over-prune.
+	s.hend = make([]int, s.n)
+	for i := s.n - 1; i >= 0; i-- {
+		h := 1
+		for _, e := range s.d.Succs[i] {
+			if v := e.MinGap + s.hend[e.To]; v > h {
+				h = v
+			}
+		}
+		s.hend[i] = h
+	}
+	if s.im.Sequential {
+		s.memCap, s.aluCap, s.totCap = 1, 1, 1
+	} else {
+		s.memCap, s.aluCap, s.totCap = s.im.Mem, s.im.ALU, s.im.Total()
+	}
+	// The dominance memo packs per-node readiness deltas into 2 bits each:
+	// only safe when every delta fits (gaps <= 3) and 32 nodes fit the
+	// signature word. Otherwise the search runs un-memoized (still exact,
+	// just slower).
+	s.canMemo = s.n <= 32 && s.maxGap <= 3
+	if s.canMemo {
+		s.memo = make(map[memoKey]int32, 1024)
+	}
+}
+
+// rootBound is the lower bound at the empty schedule: the dependence
+// critical path (the tallest node height) and the slot-count resource
+// bounds, whichever is larger.
+func (s *searcher) rootBound() int {
+	lb := 0
+	for i := 0; i < s.n; i++ {
+		if s.hend[i] > lb {
+			lb = s.hend[i]
+		}
+	}
+	if rb := s.resourceWords(0); rb > lb {
+		lb = rb
+	}
+	return lb
+}
+
+// resourceWords is the minimum number of words the nodes outside mask need
+// under the per-word slot caps.
+func (s *searcher) resourceWords(mask uint64) int {
+	mem, alu := 0, 0
+	for i := 0; i < s.n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		if s.isMem[i] {
+			mem++
+		} else {
+			alu++
+		}
+	}
+	w := (mem + s.memCap - 1) / s.memCap
+	if v := (alu + s.aluCap - 1) / s.aluCap; v > w {
+		w = v
+	}
+	if v := (mem + alu + s.totCap - 1) / s.totCap; v > w {
+		w = v
+	}
+	return w
+}
+
+// dfs expands the word-boundary state (cycle t, scheduled set mask,
+// readiness profile est): it advances t past idle cycles, prunes by bound
+// and dominance, then branches over the words that can issue at t.
+// est[i] is the earliest cycle node i may issue, accumulated from its
+// already-scheduled predecessors.
+func (s *searcher) dfs(t int, mask uint64, est *[64]int32) {
+	if s.exhausted {
+		return
+	}
+	s.expanded++
+	if s.expanded > s.opts.MaxExpanded {
+		s.exhausted = true
+		return
+	}
+	if !s.deadline.IsZero() && s.expanded%2048 == 0 && time.Now().After(s.deadline) {
+		s.exhausted = true
+		return
+	}
+
+	// Advance t to the first cycle where some ready node may issue: a
+	// cycle where nothing can issue contributes nothing (any node moved
+	// into it could equally issue later), so idle cycles are skipped, and
+	// schedules are compressed anyway.
+	next := -1
+	anyNow := false
+	for i := 0; i < s.n; i++ {
+		bit := uint64(1) << uint(i)
+		if mask&bit != 0 {
+			continue
+		}
+		ready := true
+		for _, p := range s.preds[i] {
+			if mask&(uint64(1)<<uint(p.from)) == 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		e := int(est[i])
+		if e <= t {
+			anyNow = true
+			break
+		}
+		if next < 0 || e < next {
+			next = e
+		}
+	}
+	if !anyNow {
+		if next < 0 {
+			return // no ready node: impossible in a DAG unless mask is full
+		}
+		t = next
+	}
+
+	// Bound: every unscheduled node still needs est (clamped to t) plus
+	// its critical-path height; the rest need at least resourceWords more
+	// words starting at t.
+	lb := t + s.resourceWords(mask)
+	for i := 0; i < s.n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		e := int(est[i])
+		if e < t {
+			e = t
+		}
+		if v := e + s.hend[i]; v > lb {
+			lb = v
+		}
+	}
+	if lb >= s.bestLen {
+		return
+	}
+
+	// Dominance: a previously expanded state with the same scheduled set
+	// and the same readiness deltas at an earlier-or-equal cycle can reach
+	// every schedule this state can, shifted no later.
+	if s.canMemo {
+		var sig uint64
+		ok := true
+		for i := 0; i < s.n && ok; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			delta := int(est[i]) - t
+			if delta < 0 {
+				delta = 0
+			}
+			if delta > 3 {
+				ok = false // unrepresentable: skip the memo for this state
+				break
+			}
+			sig |= uint64(delta) << (2 * uint(i))
+		}
+		if ok {
+			k := memoKey{mask, sig}
+			if prev, seen := s.memo[k]; seen && int(prev) <= t {
+				return
+			}
+			if len(s.memo) < 1<<21 {
+				s.memo[k] = int32(t)
+			}
+		}
+	}
+
+	s.buildWord(t, mask, est, 0, 0, 0, s.memCap, s.aluCap, s.totCap, nil)
+}
+
+// buildWord branches over the contents of the word issuing at cycle t,
+// considering unscheduled nodes in index order from ci. wordMask and word
+// hold the nodes chosen so far (index order, so words come out sorted);
+// excluded holds nodes that were eligible and fit but were branched out —
+// if any of them still fits when the word closes, the word is not maximal
+// and the branch is dominated (moving such a node into the free slot never
+// lengthens a schedule).
+func (s *searcher) buildWord(t int, mask uint64, est *[64]int32, ci int, wordMask, excluded uint64, memSlots, aluSlots, totSlots int, word []int) {
+	if s.exhausted {
+		return
+	}
+	for ; ci < s.n; ci++ {
+		bit := uint64(1) << uint(ci)
+		if mask&bit != 0 {
+			continue
+		}
+		// Eligibility: every predecessor scheduled in an earlier word (its
+		// gap folded into est) or already in this word with gap 0; and the
+		// readiness profile allows issue at t.
+		elig := int(est[ci]) <= t
+		if elig {
+			for _, p := range s.preds[ci] {
+				pb := uint64(1) << uint(p.from)
+				if mask&pb != 0 {
+					continue
+				}
+				if wordMask&pb != 0 && p.gap == 0 {
+					continue
+				}
+				elig = false
+				break
+			}
+		}
+		// The terminator must land in the final word: only eligible once
+		// every body node is scheduled or beside it in this word.
+		if elig && ci == s.n-1 && mask|wordMask|bit != s.full {
+			elig = false
+		}
+		fits := totSlots > 0
+		if fits {
+			if s.isMem[ci] {
+				fits = memSlots > 0
+			} else {
+				fits = aluSlots > 0
+			}
+		}
+		if !elig || !fits {
+			continue
+		}
+		// Branch: include ci, then exclude it. Include updates successor
+		// readiness; exclude marks the word possibly non-maximal.
+		var nest [64]int32
+		nest = *est
+		for _, e := range s.d.Succs[ci] {
+			if v := int32(t + e.MinGap); v > nest[e.To] {
+				nest[e.To] = v
+			}
+		}
+		nm, na, nt := memSlots, aluSlots, totSlots-1
+		if s.isMem[ci] {
+			nm--
+		} else {
+			na--
+		}
+		s.buildWord(t, mask, &nest, ci+1, wordMask|bit, excluded, nm, na, nt, append(word[:len(word):len(word)], ci))
+		if s.exhausted {
+			return
+		}
+		excluded |= bit
+	}
+
+	// Word complete. Maximality dominance: if an excluded node still fits
+	// a free slot, this word is a strict subset of a no-worse one.
+	if excluded != 0 && totSlots > 0 {
+		for i := 0; i < s.n; i++ {
+			if excluded&(1<<uint(i)) == 0 {
+				continue
+			}
+			if s.isMem[i] {
+				if memSlots > 0 {
+					return
+				}
+			} else if aluSlots > 0 {
+				return
+			}
+		}
+	}
+	if wordMask == 0 {
+		return // empty word: dominated (or nothing was eligible)
+	}
+
+	if mask|wordMask == s.full {
+		// Complete schedule. Its planned length may compress below t+1
+		// (the interlock re-times the packed words), so measure it the way
+		// the gap is measured.
+		cand := make(sched.Schedule, 0, len(s.cur)+1)
+		for _, w := range s.cur {
+			cand = append(cand, append(sched.Word(nil), w...))
+		}
+		cand = append(cand, append(sched.Word(nil), word...))
+		if planned := sched.PlannedCycles(s.b, s.im, s.hitLat, cand); planned < s.bestLen {
+			s.bestLen = planned
+			s.best = cand
+		}
+		return
+	}
+
+	s.cur = append(s.cur, word)
+	s.dfs(t+1, mask|wordMask, est)
+	s.cur = s.cur[:len(s.cur)-1]
+}

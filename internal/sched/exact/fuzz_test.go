@@ -1,0 +1,96 @@
+package exact
+
+import (
+	"fmt"
+	"testing"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/sched"
+)
+
+// blockFromBytes deterministically decodes a fuzz payload into a small
+// well-formed block plus an issue model and hit latency. Byte 0 picks the
+// issue model, byte 1 the hit latency; every following byte decodes one
+// body node (op from the low bits, registers from the high bits), up to 18
+// nodes so the search always terminates quickly even at full budget.
+func blockFromBytes(data []byte) (*ir.Block, machine.IssueModel, int) {
+	if len(data) < 2 {
+		return nil, machine.IssueModel{}, 0
+	}
+	im := machine.IssueModels[int(data[0])%len(machine.IssueModels)]
+	hitLat := 1 + int(data[1])%3
+	regs := []ir.Reg{5, 6, 7, 8, 9, 10}
+	reg := func(b byte, shift uint) ir.Reg { return regs[int(b>>shift)%len(regs)] }
+	var body []ir.Node
+	for _, c := range data[2:] {
+		if len(body) >= 18 {
+			break
+		}
+		switch c % 8 {
+		case 0:
+			body = append(body, ir.Node{Op: ir.Ld, Dst: reg(c, 3), A: reg(c, 5), Imm: int64(c) * 4})
+		case 1:
+			body = append(body, ir.Node{Op: ir.St, A: reg(c, 3), B: reg(c, 5), Imm: int64(c) * 4})
+		case 2:
+			body = append(body, ir.Node{Op: ir.Const, Dst: reg(c, 3), Imm: int64(c)})
+		case 3:
+			body = append(body, ir.Node{Op: ir.Sys, Dst: reg(c, 3), A: reg(c, 5), B: ir.NoReg, Imm: ir.SysPutc})
+		case 4:
+			body = append(body, ir.Node{Op: ir.Assert, A: reg(c, 3), Expect: true, Target: 0})
+		default:
+			ops := []ir.Op{ir.Add, ir.Sub, ir.Xor, ir.Mul, ir.Lt}
+			body = append(body, ir.Node{Op: ops[int(c>>3)%len(ops)], Dst: reg(c, 3), A: reg(c, 5), B: reg(c, 6)})
+		}
+	}
+	return &ir.Block{Body: body, Term: ir.Node{Op: ir.Br, A: 5, Target: 0}, Fall: 0}, im, hitLat
+}
+
+// FuzzExactSchedule fuzzes the exact scheduler against the list scheduler
+// and the legality validator: for every decoded block, both schedules must
+// be legal, the exact planned length must never exceed the list planned
+// length, the proven lower bound must hold, and a second run must
+// reproduce the first bit for bit (the scheduler feeds image fingerprints
+// and snapshots, so nondeterminism is a correctness bug, not a nuisance).
+func FuzzExactSchedule(f *testing.F) {
+	f.Add([]byte("\x07\x01\x00\x08\x10\x18\x20\x28\x05\x0d"))
+	f.Add([]byte("\x01\x02\x00\x00\x00\x01\x01\x02\x03\x04\x05\x06\x07"))
+	f.Add([]byte("\x04\x03LdStConstSysAssert-mix"))
+	f.Add([]byte("\x02\x02\x00\x02\x05\x0a\x12\x1a\x22\x00\x01\x09\x11\x19"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, im, hitLat := blockFromBytes(data)
+		if b == nil {
+			return
+		}
+		list := sched.Block(b, im, hitLat)
+		if err := sched.Validate(b, im, hitLat, list); err != nil {
+			t.Fatalf("list schedule illegal: %v", err)
+		}
+		listLen := sched.PlannedCycles(b, im, hitLat, list)
+
+		r1 := Schedule(b, im, hitLat, DefaultOptions())
+		if err := sched.Validate(b, im, hitLat, r1.Schedule); err != nil {
+			t.Fatalf("exact schedule illegal: %v", err)
+		}
+		if r1.Length != sched.PlannedCycles(b, im, hitLat, r1.Schedule) {
+			t.Fatalf("Length %d does not measure its own schedule", r1.Length)
+		}
+		if r1.Length > listLen {
+			t.Fatalf("exact %d > list %d", r1.Length, listLen)
+		}
+		if r1.LowerBound > r1.Length {
+			t.Fatalf("lower bound %d above length %d", r1.LowerBound, r1.Length)
+		}
+		if r1.Status == Proved && r1.LowerBound != r1.Length {
+			t.Fatalf("proved with bound gap: %d != %d", r1.LowerBound, r1.Length)
+		}
+
+		r2 := Schedule(b, im, hitLat, DefaultOptions())
+		if fmt.Sprint(r1.Schedule) != fmt.Sprint(r2.Schedule) ||
+			r1.Length != r2.Length || r1.Status != r2.Status || r1.Expanded != r2.Expanded {
+			t.Fatalf("nondeterministic: run1=(%v,%d,%v,%d) run2=(%v,%d,%v,%d)",
+				r1.Schedule, r1.Length, r1.Status, r1.Expanded,
+				r2.Schedule, r2.Length, r2.Status, r2.Expanded)
+		}
+	})
+}

@@ -33,116 +33,20 @@ type Word []int
 // Schedule is the word packing of one block.
 type Schedule []Word
 
-// edge is a scheduling constraint: word(to) >= word(from) + minGap.
-type edge struct {
-	to     int
-	minGap int
-}
-
 // Block schedules a basic block for the given issue model and hit latency.
+// The dependence DAG (BuildDAG) defines legality; the greedy list policy
+// picks, each word, the ready nodes of greatest critical-path height.
 func Block(b *ir.Block, im machine.IssueModel, hitLatency int) Schedule {
-	n := len(b.Body) + 1 // +1: terminator
-	nodeAt := func(i int) *ir.Node {
-		if i == len(b.Body) {
-			return &b.Term
-		}
-		return &b.Body[i]
-	}
-
-	succs := make([][]edge, n)
-	npreds := make([]int, n)
-	addEdge := func(from, to, gap int) {
-		succs[from] = append(succs[from], edge{to, gap})
-		npreds[to]++
-	}
-
-	latency := func(nd *ir.Node) int {
-		if nd.Op.IsLoad() {
-			return hitLatency
-		}
-		return 1
-	}
-
-	// Register dependences.
-	lastDef := make(map[ir.Reg]int)
-	lastUses := make(map[ir.Reg][]int)
-	// Memory and ordering state.
-	lastStore := -1
-	var loadsSinceStore []int
-	lastSys := -1
-	var asserts []int
-
-	for i := 0; i < n; i++ {
-		nd := nodeAt(i)
-		for _, u := range []ir.Reg{nd.A, nd.B} {
-			if u == ir.NoReg {
-				continue
-			}
-			if d, ok := lastDef[u]; ok {
-				addEdge(d, i, latency(nodeAt(d))) // RAW
-			}
-			lastUses[u] = append(lastUses[u], i)
-		}
-		if nd.Op.HasDst() {
-			if d, ok := lastDef[nd.Dst]; ok {
-				addEdge(d, i, 0) // WAW: later word or same word, order wins
-			}
-			for _, u := range lastUses[nd.Dst] {
-				if u != i {
-					addEdge(u, i, 0) // WAR
-				}
-			}
-			lastDef[nd.Dst] = i
-			lastUses[nd.Dst] = nil
-		}
-		switch {
-		case nd.Op.IsLoad():
-			if lastStore >= 0 {
-				addEdge(lastStore, i, 1) // possible match: strictly after
-			}
-			loadsSinceStore = append(loadsSinceStore, i)
-		case nd.Op.IsStore():
-			if lastStore >= 0 {
-				addEdge(lastStore, i, 0)
-			}
-			for _, l := range loadsSinceStore {
-				addEdge(l, i, 0) // memory WAR
-			}
-			loadsSinceStore = nil
-			lastStore = i
-		case nd.Op == ir.Sys:
-			if lastSys >= 0 {
-				addEdge(lastSys, i, 0)
-			}
-			for _, a := range asserts {
-				addEdge(a, i, 0)
-			}
-			lastSys = i
-		case nd.Op == ir.Assert:
-			asserts = append(asserts, i)
-			if len(asserts) > 1 {
-				addEdge(asserts[len(asserts)-2], i, 0)
-			}
-		}
-	}
-
-	// Priorities: critical-path height.
-	height := make([]int, n)
-	for i := n - 1; i >= 0; i-- {
-		h := latency(nodeAt(i))
-		for _, e := range succs[i] {
-			if v := e.minGap + height[e.to]; v > h {
-				h = v
-			}
-		}
-		height[i] = h
-	}
+	d := BuildDAG(b, hitLatency)
+	n := d.N
+	nodeAt := func(i int) *ir.Node { return NodeAt(b, i) }
+	succs, height := d.Succs, d.Height
 
 	// List scheduling.
 	earliest := make([]int, n)
 	scheduled := make([]bool, n)
 	pending := make([]int, n)
-	copy(pending, npreds)
+	copy(pending, d.NPreds)
 	term := n - 1
 	remaining := n - 1 // body nodes left (terminator placed last)
 
@@ -183,9 +87,9 @@ func Block(b *ir.Block, im machine.IssueModel, hitLatency int) Schedule {
 			scheduled[best] = true
 			remaining--
 			for _, e := range succs[best] {
-				pending[e.to]--
-				if v := word + e.minGap; v > earliest[e.to] {
-					earliest[e.to] = v
+				pending[e.To]--
+				if v := word + e.MinGap; v > earliest[e.To] {
+					earliest[e.To] = v
 				}
 			}
 		}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"fmt"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/machine"
+)
+
+// InvalidScheduleError reports the first legality violation found in a
+// schedule. Word and Node are -1 when the violation is not tied to one.
+type InvalidScheduleError struct {
+	Word   int // word index, or -1
+	Node   int // node index (len(Body) = terminator), or -1
+	Reason string
+}
+
+func (e *InvalidScheduleError) Error() string {
+	switch {
+	case e.Word >= 0 && e.Node >= 0:
+		return fmt.Sprintf("sched: invalid schedule: word %d, node %d: %s", e.Word, e.Node, e.Reason)
+	case e.Node >= 0:
+		return fmt.Sprintf("sched: invalid schedule: node %d: %s", e.Node, e.Reason)
+	default:
+		return fmt.Sprintf("sched: invalid schedule: %s", e.Reason)
+	}
+}
+
+// Validate checks a schedule against the complete legality contract the
+// static engine and the paper's compile-time rules impose. It is the single
+// definition of "legal" shared by the list scheduler's tests, the exact
+// scheduler, and the difftest schedule oracle. A nil return means s is a
+// legal packing of b for the issue model.
+//
+// The rules, in check order:
+//
+//   - every node (body plus terminator) appears exactly once, in range;
+//   - nodes within a word are in increasing index (program) order — the
+//     engine executes them that way;
+//   - no word exceeds the issue model's memory/ALU slots (one node total on
+//     the sequential model);
+//   - the terminator sits in the final word (index order puts it last);
+//   - RAW: a consumer sits in a strictly later word than its producer.
+//     Schedules are compressed — empty words are dropped — so word distance
+//     is not cycle distance; the engine's interlock supplies the latency,
+//     and hitLatency therefore does not change what is legal. It is part of
+//     the signature because it selects the DAG the checks walk, keeping
+//     Validate in lockstep with Block and the exact scheduler;
+//   - WAW/WAR: a later writer never sits in an earlier word than the
+//     overwritten def or its outstanding reads (same word is legal: index
+//     order wins);
+//   - a load sits strictly after every earlier store; stores keep program
+//     order among themselves; system calls keep program order and never
+//     move above an assert; asserts keep program order.
+func Validate(b *ir.Block, im machine.IssueModel, hitLatency int, s Schedule) error {
+	n := len(b.Body) + 1
+	word := make([]int, n)
+	for i := range word {
+		word[i] = -1
+	}
+	for w, ws := range s {
+		mem, alu := 0, 0
+		prev := -1
+		for _, i := range ws {
+			if i < 0 || i >= n {
+				return &InvalidScheduleError{Word: w, Node: i, Reason: "node index out of range"}
+			}
+			if word[i] != -1 {
+				return &InvalidScheduleError{Word: w, Node: i, Reason: "node scheduled twice"}
+			}
+			if i < prev {
+				return &InvalidScheduleError{Word: w, Node: i, Reason: "word not in program (index) order"}
+			}
+			prev = i
+			word[i] = w
+			if NodeAt(b, i).Op.IsMem() {
+				mem++
+			} else {
+				alu++
+			}
+		}
+		if im.Sequential {
+			if mem+alu > 1 {
+				return &InvalidScheduleError{Word: w, Node: -1,
+					Reason: fmt.Sprintf("%d nodes in one word on the sequential model", mem+alu)}
+			}
+		} else if mem > im.Mem || alu > im.ALU {
+			return &InvalidScheduleError{Word: w, Node: -1,
+				Reason: fmt.Sprintf("word has %dM%dA, limit %dM%dA", mem, alu, im.Mem, im.ALU)}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if word[i] == -1 {
+			return &InvalidScheduleError{Word: -1, Node: i, Reason: "node not scheduled"}
+		}
+	}
+	if word[n-1] != len(s)-1 {
+		return &InvalidScheduleError{Word: word[n-1], Node: n - 1, Reason: "terminator not in the final word"}
+	}
+
+	// Dependence checks walk the same DAG the schedulers plan against.
+	d := BuildDAG(b, hitLatency)
+	for from := 0; from < n; from++ {
+		for _, e := range d.Succs[from] {
+			if e.MinGap > 0 {
+				// RAW and store->load edges demand a strictly later word.
+				if word[e.To] <= word[from] {
+					return &InvalidScheduleError{Word: word[e.To], Node: e.To,
+						Reason: fmt.Sprintf("node must sit in a later word than node %d (word %d)", from, word[from])}
+				}
+			} else if word[e.To] < word[from] {
+				// Order edges allow the same word: index order decides there.
+				return &InvalidScheduleError{Word: word[e.To], Node: e.To,
+					Reason: fmt.Sprintf("node reordered before node %d (word %d)", from, word[from])}
+			}
+		}
+	}
+	return nil
+}
+
+// PlannedCycles is the planned length of a schedule in issue cycles under
+// the compile-time timing model: words issue in order, one per cycle at
+// best, each stalling until every operand is ready; ALU results are ready
+// the next cycle and loads after hitLatency cycles (the all-hits
+// assumption the loader schedules for). This mirrors the static engine's
+// interlock exactly, so for a block whose loads all hit and whose inputs
+// are ready at entry, PlannedCycles is the cycle count the engine charges.
+//
+// PlannedCycles is the metric the optimality gap is measured in: empty
+// words are dropped from schedules, so len(s) undercounts interlock
+// stalls, while PlannedCycles ranks two legal schedules the way the
+// machine would.
+func PlannedCycles(b *ir.Block, im machine.IssueModel, hitLatency int, s Schedule) int {
+	var readyAt [ir.NumRegs]int
+	issue := -1
+	for _, w := range s {
+		ready := issue + 1
+		for _, i := range w {
+			nd := NodeAt(b, i)
+			for _, r := range []ir.Reg{nd.A, nd.B} {
+				if r != ir.NoReg && readyAt[r] > ready {
+					ready = readyAt[r]
+				}
+			}
+		}
+		issue = ready
+		for _, i := range w {
+			nd := NodeAt(b, i)
+			if !nd.Op.HasDst() {
+				continue
+			}
+			lat := 1
+			if nd.Op.IsLoad() {
+				lat = hitLatency
+			}
+			if t := issue + lat; t > readyAt[nd.Dst] {
+				readyAt[nd.Dst] = t
+			}
+		}
+	}
+	return issue + 1
+}

@@ -1,0 +1,249 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fgpsim/internal/ir"
+	"fgpsim/internal/machine"
+)
+
+// cloneSchedule deep-copies a schedule so mutations never alias the
+// original words.
+func cloneSchedule(s Schedule) Schedule {
+	c := make(Schedule, len(s))
+	for i, w := range s {
+		c[i] = append(Word(nil), w...)
+	}
+	return c
+}
+
+// TestValidateAcceptsListSchedules is the accept half of the validator's
+// property test: every schedule the list scheduler emits, over seeded
+// random DAG blocks crossed with all issue models and hit latencies, must
+// validate cleanly — Block and Validate share one DAG, so a rejection here
+// means the legality contract itself split.
+func TestValidateAcceptsListSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(90210))
+	for trial := 0; trial < 300; trial++ {
+		b := randomBlock(rng, 1+rng.Intn(40))
+		im := machine.IssueModels[rng.Intn(len(machine.IssueModels))]
+		hitLat := 1 + rng.Intn(3)
+		s := Block(b, im, hitLat)
+		if err := Validate(b, im, hitLat, s); err != nil {
+			t.Fatalf("trial %d (%s, hitLat %d): list schedule rejected: %v\nschedule: %v",
+				trial, im, hitLat, err, s)
+		}
+		if got := PlannedCycles(b, im, hitLat, s); got < len(s) {
+			t.Fatalf("trial %d: planned cycles %d < %d words", trial, got, len(s))
+		}
+	}
+}
+
+// mutation is one seeded schedule corruption; apply returns false when the
+// schedule is too small for this mutation to produce a different schedule.
+type mutation struct {
+	name  string
+	apply func(rng *rand.Rand, b *ir.Block, s Schedule) (Schedule, bool)
+}
+
+func mutations() []mutation {
+	return []mutation{
+		{"swap-words", func(rng *rand.Rand, b *ir.Block, s Schedule) (Schedule, bool) {
+			// Swap two words joined by a strict dependence (a RAW or
+			// store->load edge crossing words): the consumer's word moves
+			// before the producer's, which no legal schedule allows. Words
+			// without such an edge may swap legally, so those trials pass.
+			if len(s) < 2 {
+				return nil, false
+			}
+			d := BuildDAG(b, 1)
+			wordIdx := make([]int, d.N)
+			for w, ws := range s {
+				for _, i := range ws {
+					wordIdx[i] = w
+				}
+			}
+			var pairs [][2]int
+			for from := 0; from < d.N; from++ {
+				for _, e := range d.Succs[from] {
+					if e.MinGap > 0 && wordIdx[from] != wordIdx[e.To] {
+						pairs = append(pairs, [2]int{wordIdx[from], wordIdx[e.To]})
+					}
+				}
+			}
+			if len(pairs) == 0 {
+				return nil, false
+			}
+			p := pairs[rng.Intn(len(pairs))]
+			m := cloneSchedule(s)
+			m[p[0]], m[p[1]] = m[p[1]], m[p[0]]
+			return m, true
+		}},
+		{"drop-node", func(rng *rand.Rand, b *ir.Block, s Schedule) (Schedule, bool) {
+			m := cloneSchedule(s)
+			w := rng.Intn(len(m))
+			if len(m[w]) == 0 {
+				return nil, false
+			}
+			k := rng.Intn(len(m[w]))
+			m[w] = append(m[w][:k], m[w][k+1:]...)
+			return m, true
+		}},
+		{"duplicate-node", func(rng *rand.Rand, b *ir.Block, s Schedule) (Schedule, bool) {
+			m := cloneSchedule(s)
+			w := rng.Intn(len(m))
+			if len(m[w]) == 0 {
+				return nil, false
+			}
+			m[w] = append(m[w], m[w][rng.Intn(len(m[w]))])
+			sortWordTest(m[w])
+			return m, true
+		}},
+		{"reorder-stores", func(rng *rand.Rand, b *ir.Block, s Schedule) (Schedule, bool) {
+			// Move the second store of the block into the first store's word
+			// position's predecessor — stores must keep program order.
+			var stores []int
+			for i := 0; i <= len(b.Body); i++ {
+				if NodeAt(b, i).Op.IsStore() {
+					stores = append(stores, i)
+				}
+			}
+			if len(stores) < 2 {
+				return nil, false
+			}
+			first, second := stores[0], stores[1]
+			m := cloneSchedule(s)
+			wf, ws := wordIndexOf(m, first), wordIndexOf(m, second)
+			if wf == ws {
+				return nil, false
+			}
+			// Swap the two stores between their words, reversing their order.
+			replace(m[wf], first, second)
+			replace(m[ws], second, first)
+			sortWordTest(m[wf])
+			sortWordTest(m[ws])
+			return m, true
+		}},
+		{"terminator-not-last", func(rng *rand.Rand, b *ir.Block, s Schedule) (Schedule, bool) {
+			// Hoist the terminator out of the final word into the first word.
+			if len(s) < 2 {
+				return nil, false
+			}
+			term := len(b.Body)
+			m := cloneSchedule(s)
+			last := len(m) - 1
+			m[last] = dropVal(m[last], term)
+			m[0] = append(m[0], term)
+			if len(m[last]) == 0 {
+				m = m[:last]
+			}
+			return m, true
+		}},
+	}
+}
+
+func wordIndexOf(s Schedule, node int) int {
+	for w, ws := range s {
+		for _, i := range ws {
+			if i == node {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
+func replace(w Word, from, to int) {
+	for k, i := range w {
+		if i == from {
+			w[k] = to
+			return
+		}
+	}
+}
+
+func dropVal(w Word, v int) Word {
+	out := w[:0]
+	for _, i := range w {
+		if i != v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortWordTest(w Word) { sortWord(w) }
+
+// TestValidateRejectsMutatedSchedules is the reject half: seeded random
+// mutations of legal schedules — swapped words, dropped or duplicated
+// nodes, reordered stores, the terminator hoisted off the final word —
+// must all fail validation.
+func TestValidateRejectsMutatedSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	muts := mutations()
+	applied := make(map[string]int)
+	for trial := 0; trial < 400; trial++ {
+		b := randomBlock(rng, 4+rng.Intn(24))
+		im := machine.IssueModels[rng.Intn(len(machine.IssueModels))]
+		hitLat := 1 + rng.Intn(3)
+		s := Block(b, im, hitLat)
+		mu := muts[trial%len(muts)]
+		m, ok := mu.apply(rng, b, s)
+		if !ok {
+			continue
+		}
+		applied[mu.name]++
+		if err := Validate(b, im, hitLat, m); err == nil {
+			t.Fatalf("trial %d: mutation %q produced a schedule Validate accepts\noriginal: %v\nmutated:  %v",
+				trial, mu.name, s, m)
+		}
+	}
+	for _, mu := range muts {
+		if applied[mu.name] == 0 {
+			t.Errorf("mutation %q never applied — generator mix too narrow", mu.name)
+		}
+	}
+}
+
+// TestValidateRejectsSlotOverflow: hand-built words over the slot limits
+// are rejected even when all dependences hold.
+func TestValidateRejectsSlotOverflow(t *testing.T) {
+	var body []ir.Node
+	for i := 0; i < 4; i++ {
+		body = append(body, ir.Node{Op: ir.Const, Dst: ir.Reg(5 + i), Imm: int64(i)})
+	}
+	b := &ir.Block{Body: body, Term: ir.Node{Op: ir.Halt}, Fall: ir.NoBlock}
+	im2, _ := machine.IssueModelByID(2) // 1M1A
+	s := Schedule{Word{0, 1, 2, 3}, Word{4}}
+	if err := Validate(b, im2, 1, s); err == nil {
+		t.Fatal("4 ALU nodes in a 1M1A word accepted")
+	}
+	seq, _ := machine.IssueModelByID(1)
+	if err := Validate(b, seq, 1, Schedule{Word{0, 1}, Word{2}, Word{3}, Word{4}}); err == nil {
+		t.Fatal("2 nodes in a sequential word accepted")
+	}
+}
+
+// TestPlannedCyclesMatchesInterlock pins the planned-cycle model on a
+// block with a known critical path: load (latency 2) -> add -> branch.
+func TestPlannedCyclesMatchesInterlock(t *testing.T) {
+	b := &ir.Block{
+		Body: []ir.Node{
+			{Op: ir.Ld, Dst: 5, A: 1},
+			{Op: ir.Add, Dst: 6, A: 5, B: 5},
+		},
+		Term: ir.Node{Op: ir.Br, A: 6, Target: 0},
+		Fall: 0,
+	}
+	im8, _ := machine.IssueModelByID(8)
+	s := Block(b, im8, 2)
+	if err := Validate(b, im8, 2, s); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0: load issues (result at 2). Cycle 2: add (result at 3).
+	// Cycle 3: branch. Total 4 issue cycles.
+	if got := PlannedCycles(b, im8, 2, s); got != 4 {
+		t.Fatalf("PlannedCycles = %d, want 4 (schedule %v)", got, s)
+	}
+}

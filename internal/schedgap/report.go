@@ -1,0 +1,88 @@
+package schedgap
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Marshal renders the report as the canonical JSON written to
+// results/SCHEDGAP.json. Everything feeding the report is deterministic,
+// so regenerating with the same Config reproduces the bytes exactly.
+func (r *Report) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Unmarshal parses a checked-in report.
+func Unmarshal(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("schedgap: bad report: %w", err)
+	}
+	return &r, nil
+}
+
+// Table renders the per-sweep-point gap distribution as a fixed-width
+// table (the cmd/figures -schedgap output).
+func (r *Report) Table() string {
+	var sb strings.Builder
+	for _, c := range r.Corpora {
+		fmt.Fprintf(&sb, "schedule optimality gap — %s corpus (%d programs)\n", c.Name, c.Units)
+		fmt.Fprintf(&sb, "%-6s %-4s %-6s | %7s %7s %7s %7s | %6s %6s | %8s %8s\n",
+			"issue", "mem", "chain", "blocks", "optimal", "proved", "bound", "p50%", "p99%", "mean%", "max%")
+		for _, row := range c.Rows {
+			fmt.Fprintf(&sb, "%-6d %-4s %-6d | %7d %6.1f%% %6.1f%% %7d | %6.2f %6.2f | %8.3f %8.3f\n",
+				row.Issue, row.Mem, row.Chain, row.Blocks,
+				100*row.OptimalFrac(), 100*row.ProvedFrac(), row.BoundOnly,
+				row.P50OverheadPct, row.P99OverheadPct, row.MeanOverheadPct, row.MaxOverheadPct)
+		}
+		t := c.Total
+		fmt.Fprintf(&sb, "total: %d blocks, %.1f%% optimal, %.1f%% proved (small ≤%d nodes: %.1f%% proved), list/exact cycles %d/%d (+%.3f%%)\n\n",
+			t.Blocks, 100*t.OptimalFrac(), 100*t.ProvedFrac(), r.Config.SmallNode,
+			100*t.SmallProvedFrac(), t.CyclesList, t.CyclesExact, t.cycleOverheadPct())
+	}
+	return sb.String()
+}
+
+func (s Summary) cycleOverheadPct() float64 {
+	if s.CyclesExact == 0 {
+		return 0
+	}
+	return 100 * float64(s.CyclesList-s.CyclesExact) / float64(s.CyclesExact)
+}
+
+// CompareBaseline gates a fresh report against the checked-in baseline:
+// the sweeps must use the same configuration (otherwise the fractions are
+// not comparable and the gate errors out), and each corpus's
+// provably-optimal fraction may regress at most tolPts percentage points.
+// Returned messages are failures; nil means the gate passes.
+func CompareBaseline(cur, base *Report, tolPts float64) []string {
+	var msgs []string
+	cb, _ := json.Marshal(cur.Config)
+	bb, _ := json.Marshal(base.Config)
+	if string(cb) != string(bb) {
+		return []string{fmt.Sprintf("config mismatch: current %s vs baseline %s (regenerate the baseline)", cb, bb)}
+	}
+	for _, c := range cur.Corpora {
+		b := base.Corpus(c.Name)
+		if b == nil {
+			msgs = append(msgs, fmt.Sprintf("corpus %q missing from baseline", c.Name))
+			continue
+		}
+		if c.Total.Blocks != b.Total.Blocks {
+			msgs = append(msgs, fmt.Sprintf("%s: block count drifted: %d vs baseline %d (corpus or loader changed; regenerate the baseline)",
+				c.Name, c.Total.Blocks, b.Total.Blocks))
+		}
+		curFrac := 100 * c.Total.OptimalFrac()
+		baseFrac := 100 * b.Total.OptimalFrac()
+		if curFrac < baseFrac-tolPts {
+			msgs = append(msgs, fmt.Sprintf("%s: optimal fraction regressed %.2f%% -> %.2f%% (tolerance %.1f points)",
+				c.Name, baseFrac, curFrac, tolPts))
+		}
+	}
+	return msgs
+}

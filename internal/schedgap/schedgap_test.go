@@ -1,0 +1,165 @@
+package schedgap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// smallConfig keeps unit-test sweeps cheap: a couple of generated
+// programs over a reduced point set.
+func smallConfig() Config {
+	return Config{
+		Issues:    []int{2, 8},
+		Mems:      []byte{'A'},
+		Chains:    []int{0, 8},
+		GenCount:  4,
+		GenSeed:   5000,
+		MaxNodes:  30,
+		Budget:    200000,
+		SmallNode: 20,
+	}
+}
+
+// TestGeneratedSweepClean: the generated corpus sweeps without a single
+// correctness violation, the accounting adds up, and the report is
+// deterministic byte for byte (it is checked into results/ and diffed by
+// CI, so nondeterminism would make the gate flap).
+func TestGeneratedSweepClean(t *testing.T) {
+	cfg := smallConfig()
+	units, err := GeneratedCorpus(cfg.GenCount, cfg.GenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, vs, err := Sweep("generated", units, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("violation: %s", v)
+	}
+	if rep1.Total.Blocks == 0 {
+		t.Fatal("sweep measured nothing")
+	}
+	for _, row := range rep1.Rows {
+		if row.Proved+row.BoundOnly+row.TooLarge != row.Blocks {
+			t.Fatalf("row %+v: status counts do not partition the blocks", row)
+		}
+		if row.Optimal > row.Proved {
+			t.Fatalf("row %+v: more optimal than proved", row)
+		}
+		if row.CyclesList < row.CyclesExact {
+			t.Fatalf("row %+v: list cycles below exact", row)
+		}
+	}
+	rep2, _, err := Sweep("generated", units, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := (&Report{Config: cfg, Corpora: []CorpusReport{*rep1}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := (&Report{Config: cfg, Corpora: []CorpusReport{*rep2}}).Marshal()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("sweep is nondeterministic — report bytes differ between runs")
+	}
+	r, err := Unmarshal(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Corpus("generated") == nil || r.Corpus("generated").Total.Blocks != rep1.Total.Blocks {
+		t.Fatal("report did not round-trip through JSON")
+	}
+}
+
+// TestMiniCCorpusMeetsCriterion is the acceptance criterion as a standing
+// test: on the five-benchmark MiniC corpus under the default budget, the
+// exact scheduler proves optimality for at least 90% of blocks at or under
+// 20 nodes, with zero correctness violations.
+func TestMiniCCorpusMeetsCriterion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MiniC sweep")
+	}
+	cfg := DefaultConfig()
+	units, err := MiniCCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, vs, err := Sweep("minic", units, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("violation: %s", v)
+	}
+	if frac := rep.Total.SmallProvedFrac(); frac < 0.90 {
+		t.Fatalf("proved only %.1f%% of ≤%d-node blocks (need ≥90%%)", 100*frac, cfg.SmallNode)
+	}
+	if rep.Total.Small == 0 {
+		t.Fatal("corpus has no small blocks — criterion is vacuous")
+	}
+}
+
+// TestCompareBaseline pins the gate's behavior: identical reports pass, an
+// optimal-fraction regression beyond the tolerance fails, a config drift
+// refuses to compare, a block-count drift fails loudly.
+func TestCompareBaseline(t *testing.T) {
+	mk := func(blocks, optimal int) *Report {
+		return &Report{
+			Config: smallConfig(),
+			Corpora: []CorpusReport{{
+				Name:  "generated",
+				Total: Summary{Blocks: blocks, Optimal: optimal, Proved: optimal},
+			}},
+		}
+	}
+	base := mk(1000, 950)
+	if msgs := CompareBaseline(mk(1000, 950), base, 5); len(msgs) != 0 {
+		t.Fatalf("identical reports failed the gate: %v", msgs)
+	}
+	if msgs := CompareBaseline(mk(1000, 920), base, 5); len(msgs) != 0 {
+		t.Fatalf("3-point regression within 5-point tolerance failed: %v", msgs)
+	}
+	if msgs := CompareBaseline(mk(1000, 890), base, 5); len(msgs) == 0 {
+		t.Fatal("6-point regression passed the gate")
+	}
+	if msgs := CompareBaseline(mk(900, 890), base, 5); len(msgs) == 0 {
+		t.Fatal("block-count drift passed the gate")
+	}
+	drift := mk(1000, 950)
+	drift.Config.Budget = 1
+	if msgs := CompareBaseline(drift, base, 5); len(msgs) == 0 {
+		t.Fatal("config drift passed the gate")
+	}
+}
+
+// TestCheckedInBaselineFresh: the committed results/SCHEDGAP.json must be
+// regenerable from the current tree — a scheduler or corpus change that
+// alters the numbers has to update the baseline in the same commit. This
+// is the full default sweep (about a second), skipped under -short.
+func TestCheckedInBaselineFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default sweep")
+	}
+	path := filepath.Join("..", "..", "results", "SCHEDGAP.json")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing baseline (generate with: go run ./cmd/figures -schedgap): %v", err)
+	}
+	rep, vs, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("default sweep has %d violations, first: %s", len(vs), vs[0])
+	}
+	got, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("results/SCHEDGAP.json is stale — regenerate with: go run ./cmd/figures -schedgap")
+	}
+}
