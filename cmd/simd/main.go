@@ -12,6 +12,13 @@
 // and -preempt-after upgrades the watchdog to preempt-and-requeue long
 // sweeps that are starving queued work.
 //
+// The daemon also has two fabric roles (DESIGN.md §15). `-coordinator`
+// makes it the sweep coordinator: it accepts sweeps as usual but shards
+// their cells across registered workers instead of simulating locally.
+// `-worker URL` makes it a worker: no listen address, no sweeps of its
+// own — just a pull client that registers with the coordinator at URL,
+// polls for cells, runs them, and posts results until drained.
+//
 // Usage:
 //
 //	simd [-addr :8080] [-journal /var/lib/simd]
@@ -20,11 +27,15 @@
 //	     [-watchdog-interval 1s] [-watchdog-stall 30s]
 //	     [-drain-timeout 30s]
 //	     [-checkpoint-every 0] [-preempt-after 0]
+//	     [-coordinator] [-worker-dead-after 10s] [-steal-after 5s]
+//	simd -worker http://coordinator:8080 [-worker-id NAME] [-heartbeat 1s]
+//	     [-concurrency 0] [-drain-timeout 30s]
 //
 // Endpoints: /healthz, /readyz (503 while draining), /metrics (queue
 // depth, shed count, in-flight, watchdog kills, retries, preempts,
-// p50/p99 run latency), /run, /sweep, /sweep/{id}. See README.md for curl
-// examples.
+// fabric counters, p50/p99 run latency), /run, /sweep, /sweep/{id}, and —
+// in coordinator mode — the /fabric/* worker protocol. See README.md for
+// curl examples.
 package main
 
 import (
@@ -55,6 +66,13 @@ type options struct {
 	drainTimeout    time.Duration
 	checkpointEvery int64
 	preemptAfter    time.Duration
+
+	coordinator     bool
+	workerDeadAfter time.Duration
+	stealAfter      time.Duration
+	workerURL       string
+	workerID        string
+	heartbeat       time.Duration
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
@@ -70,6 +88,12 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "grace period for in-flight work on SIGTERM before force-cancel")
 	fs.Int64Var(&o.checkpointEvery, "checkpoint-every", 0, "simulated cycles between durable sweep-cell snapshots (0 = off; requires -journal)")
 	fs.DurationVar(&o.preemptAfter, "preempt-after", 0, "preempt-and-requeue a sweep holding workers this long while work queues (0 = off; requires -checkpoint-every)")
+	fs.BoolVar(&o.coordinator, "coordinator", false, "coordinator role: shard sweeps across registered fabric workers instead of simulating locally")
+	fs.DurationVar(&o.workerDeadAfter, "worker-dead-after", 10*time.Second, "coordinator declares a silent worker dead and requeues its cells after this long")
+	fs.DurationVar(&o.stealAfter, "steal-after", 5*time.Second, "idle workers may duplicate an in-flight cell older than this (straggler mitigation)")
+	fs.StringVar(&o.workerURL, "worker", "", "worker role: pull cells from the coordinator at this base URL (exclusive with -coordinator)")
+	fs.StringVar(&o.workerID, "worker-id", "", "stable worker identity for re-registration after a crash (default hostname-pid; requires -worker)")
+	fs.DurationVar(&o.heartbeat, "heartbeat", time.Second, "worker liveness beacon period; keep well inside -worker-dead-after (requires -worker)")
 	return o
 }
 
@@ -90,6 +114,23 @@ func (o *options) validate() error {
 	}
 	if o.preemptAfter > 0 && o.checkpointEvery == 0 {
 		return fmt.Errorf("-preempt-after requires -checkpoint-every (preemption parks a checkpoint)")
+	}
+	if o.coordinator && o.workerURL != "" {
+		return fmt.Errorf("-coordinator and -worker are exclusive: one process plays one fabric role")
+	}
+	if o.workerURL == "" {
+		if o.workerID != "" {
+			return fmt.Errorf("-worker-id requires -worker")
+		}
+	}
+	if o.heartbeat <= 0 {
+		return fmt.Errorf("-heartbeat must be > 0, got %s", o.heartbeat)
+	}
+	if o.workerDeadAfter <= 0 || o.stealAfter <= 0 {
+		return fmt.Errorf("-worker-dead-after and -steal-after must be > 0")
+	}
+	if o.workerURL != "" && o.checkpointEvery > 0 {
+		return fmt.Errorf("-checkpoint-every is a coordinator/standalone flag; workers take their cadence from the coordinator")
 	}
 	for _, d := range []struct {
 		name string
@@ -119,6 +160,9 @@ func (o *options) serverConfig() server.Config {
 		JournalDir:       o.journalDir,
 		CheckpointEvery:  o.checkpointEvery,
 		PreemptAfter:     o.preemptAfter,
+		Coordinator:      o.coordinator,
+		WorkerDeadAfter:  o.workerDeadAfter,
+		StealAfter:       o.stealAfter,
 	}
 }
 
@@ -138,11 +182,38 @@ func realMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		return 2
 	}
-	if err := run(o); err != nil {
+	runFn := run
+	if o.workerURL != "" {
+		runFn = runWorker
+	}
+	if err := runFn(o); err != nil {
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		return 1
 	}
 	return 0
+}
+
+// runWorker is the worker role's main loop: pull cells until SIGTERM, then
+// drain (park in-flight cells at a checkpoint boundary, ship the parked
+// snapshots, deregister) and exit 0.
+func runWorker(o *options) error {
+	w, err := server.NewWorker(server.WorkerOptions{
+		Coordinator: o.workerURL,
+		ID:          o.workerID,
+		Heartbeat:   o.heartbeat,
+		Concurrency: o.concurrency,
+		DrainGrace:  o.drainTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "simd: worker %s pulling from %s\n", w.ID(), o.workerURL)
+	return w.Run(sigCtx)
 }
 
 func run(o *options) error {

@@ -37,6 +37,13 @@ func TestValidateFlags(t *testing.T) {
 		{"negative preempt", []string{"-journal", "/tmp/j", "-checkpoint-every", "1000", "-preempt-after", "-1s"}, "-preempt-after must be >= 0"},
 		{"negative stall", []string{"-watchdog-stall", "-1s"}, "-watchdog-stall must be >= 0"},
 		{"negative drain", []string{"-drain-timeout", "-1s"}, "-drain-timeout must be >= 0"},
+		{"coordinator role", []string{"-coordinator", "-journal", "/tmp/j", "-checkpoint-every", "100000"}, ""},
+		{"worker role", []string{"-worker", "http://coord:8080", "-worker-id", "w1", "-heartbeat", "500ms"}, ""},
+		{"both roles", []string{"-coordinator", "-worker", "http://coord:8080"}, "exclusive"},
+		{"worker-id without worker", []string{"-worker-id", "w1"}, "-worker-id requires -worker"},
+		{"zero heartbeat", []string{"-worker", "http://coord:8080", "-heartbeat", "0s"}, "-heartbeat must be > 0"},
+		{"zero dead-after", []string{"-coordinator", "-worker-dead-after", "0s"}, "must be > 0"},
+		{"worker with checkpoint flag", []string{"-worker", "http://coord:8080", "-journal", "/tmp/j", "-checkpoint-every", "1000"}, "cadence from the coordinator"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,6 +86,18 @@ func TestServerConfigMapping(t *testing.T) {
 	}
 	if cfg.WatchdogStall != 45*time.Second {
 		t.Errorf("WatchdogStall = %s, want 45s", cfg.WatchdogStall)
+	}
+}
+
+func TestServerConfigFabricMapping(t *testing.T) {
+	fs := flag.NewFlagSet("simd", flag.ContinueOnError)
+	o := registerFlags(fs)
+	if err := fs.Parse([]string{"-coordinator", "-worker-dead-after", "4s", "-steal-after", "2s"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.serverConfig()
+	if !cfg.Coordinator || cfg.WorkerDeadAfter != 4*time.Second || cfg.StealAfter != 2*time.Second {
+		t.Errorf("fabric config not mapped: %+v", cfg)
 	}
 }
 

@@ -81,6 +81,16 @@ type GridOptions struct {
 	// removed as their cells complete.
 	CheckpointEvery int64
 	SnapshotDir     string
+	// SnapshotSink, when non-nil and checkpoints are armed, receives the
+	// encoded bytes of every durable cell snapshot right after it is
+	// written locally — each mid-run checkpoint and each preempt park. It
+	// is how a fabric worker ships its progress off-box: a peer resuming
+	// the cell after this process is kill -9ed needs the snapshot to exist
+	// somewhere the coordinator can reach. Runs on worker goroutines; must
+	// be safe for concurrent use. Failures to ship are the sink's problem
+	// (shipping is an optimization — the cell is still correct re-run from
+	// scratch).
+	SnapshotSink func(k Key, encoded []byte)
 	// Preempt, when non-nil and set true, asks every armed in-flight cell to
 	// stop at its next quiescent boundary. Preempted cells write a final
 	// snapshot, are not journaled or quarantined, and the sweep returns a
@@ -108,6 +118,7 @@ type CellOutcome struct {
 	Restored  bool          // satisfied from the journal instead of re-run
 	Preempted bool          // snapshotted and surrendered, not settled
 	Err       *CellError    // nil on success
+	Stats     *stats.Run    // the settled result (nil when failed or preempted)
 }
 
 // SweepPreemptedError reports a sweep that stopped because Preempt was set:
@@ -167,7 +178,7 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 			if s, ok := prior[j.key]; ok {
 				res.Runs[j.key] = s
 				if opts.Observer != nil {
-					opts.Observer(CellOutcome{Key: j.key, Restored: true})
+					opts.Observer(CellOutcome{Key: j.key, Restored: true, Stats: s})
 				}
 				if opts.Progress != nil {
 					opts.Progress(int(done.Add(1)), total)
@@ -257,7 +268,7 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 							jw.Append(journalEntry{Key: j.key, Stats: stats[i]})
 						}
 						if opts.Observer != nil {
-							opts.Observer(CellOutcome{Key: j.key, Attempts: 1, Duration: dur})
+							opts.Observer(CellOutcome{Key: j.key, Attempts: 1, Duration: dur, Stats: stats[i]})
 						}
 						if opts.Progress != nil {
 							opts.Progress(int(done.Add(1)), total)
@@ -327,7 +338,7 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 					jw.Append(journalEntry{Key: j.key, Stats: s})
 				}
 				if opts.Observer != nil {
-					opts.Observer(CellOutcome{Key: j.key, Attempts: attempts, Duration: time.Since(start)})
+					opts.Observer(CellOutcome{Key: j.key, Attempts: attempts, Duration: time.Since(start), Stats: s})
 				}
 				if opts.Progress != nil {
 					opts.Progress(int(done.Add(1)), total)
@@ -437,7 +448,18 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, key Key, 
 			lim.Resume = prior.Engine // stale fingerprints fall through to a fresh run
 		}
 		lim.CheckpointEvery = opts.CheckpointEvery
-		lim.Checkpoint = snapshot.Saver(snapPath, fp, nil)
+		save := snapshot.Saver(snapPath, fp, nil)
+		if opts.SnapshotSink == nil {
+			lim.Checkpoint = save
+		} else {
+			lim.Checkpoint = func(st *core.EngineState) error {
+				if serr := save(st); serr != nil {
+					return serr
+				}
+				opts.SnapshotSink(key, snapshot.Encode(&snapshot.Snapshot{Fingerprint: fp, Engine: st}))
+				return nil
+			}
+		}
 		s, err = p.runImage(ctx, img, cfg, deg, lim)
 		if err != nil && lim.Resume != nil {
 			// A snapshot that matched the fingerprint but failed restore
@@ -455,7 +477,10 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, key Key, 
 			if pe.State != nil {
 				// Best effort: if the park fails the progress is lost, but the
 				// requeued cell still runs correctly from scratch.
-				_ = snapshot.WriteFile(snapPath, &snapshot.Snapshot{Fingerprint: fp, Engine: pe.State})
+				parked := &snapshot.Snapshot{Fingerprint: fp, Engine: pe.State}
+				if werr := snapshot.WriteFile(snapPath, parked); werr == nil && opts.SnapshotSink != nil {
+					opts.SnapshotSink(key, snapshot.Encode(parked))
+				}
 			}
 			return nil, false, true, nil
 		}
@@ -471,10 +496,11 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, key Key, 
 	return s, false, false, err
 }
 
-// CellSnapshotPath names the snapshot file of one grid cell: an FNV-1a
-// hash over every Key field, so each sweep dimension parks in its own file
-// and a restarted sweep over the same spec finds it again.
-func CellSnapshotPath(dir string, k Key) string {
+// CellID is the canonical identity of one grid cell: a hex FNV-1a hash
+// over every Key field. It names the cell's snapshot file, and the fabric
+// uses it as the wire identity a coordinator and its workers agree on
+// without shipping the full Key.
+func CellID(k Key) string {
 	h := specFNV(0xcbf29ce484222325)
 	h.str(k.Bench)
 	h.u64(uint64(k.Disc))
@@ -483,7 +509,14 @@ func CellSnapshotPath(dir string, k Key) string {
 	h.u64(uint64(k.Branch))
 	h.u64(uint64(int64(k.Window)))
 	h.byte(byte(k.Pred))
-	return filepath.Join(dir, fmt.Sprintf("%016x.snap", uint64(h)))
+	return fmt.Sprintf("%016x", uint64(h))
+}
+
+// CellSnapshotPath names the snapshot file of one grid cell, so each sweep
+// dimension parks in its own file and a restarted sweep over the same spec
+// finds it again.
+func CellSnapshotPath(dir string, k Key) string {
+	return filepath.Join(dir, CellID(k)+".snap")
 }
 
 // The JSON-lines journal lives in journal.go (exported: Journal,

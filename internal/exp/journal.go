@@ -96,9 +96,47 @@ func ReplayJournal(path string, fn func(line []byte) error) error {
 }
 
 // journalEntry is one completed cell, serialized as a single JSON line.
+//
+// Fp and Attempt exist for multi-writer journals (the distributed fabric's
+// merged cell journal): when two workers race on a requeued cell, both of
+// their records land in the journal in arrival order, and arrival order is
+// not deterministic. The dedup in ReadJournal therefore resolves duplicate
+// keys by (Attempt, Fp) instead of file order — see cellWinner.supersededBy.
+// Single-writer journals (a plain sweep's resume journal) omit both fields
+// and keep the historical last-write-wins behavior.
 type journalEntry struct {
 	Key   Key        `json:"key"`
 	Stats *stats.Run `json:"stats"`
+	// Fp is the hex StatsFingerprint of Stats (empty on legacy records).
+	Fp string `json:"fp,omitempty"`
+	// Attempt is the assignment ordinal under which the cell ran: the
+	// fabric coordinator increments it on every requeue or steal, so a
+	// higher attempt is by construction the later decision.
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// AppendCell journals one completed cell under an explicit attempt ordinal,
+// stamping the record with the stats' content fingerprint. This is the
+// multi-writer append used by the fabric coordinator; plain sweeps append
+// unstamped records and rely on last-write-wins.
+func (j *Journal) AppendCell(k Key, s *stats.Run, attempt int) error {
+	return j.Append(journalEntry{Key: k, Stats: s, Fp: fmt.Sprintf("%016x", StatsFingerprint(s)), Attempt: attempt})
+}
+
+// StatsFingerprint is a content hash of one cell result: FNV-1a over the
+// canonical (encoding/json) serialization. Two byte-identical results —
+// which is what a deterministic simulator produces for the same cell no
+// matter which worker ran it — always fingerprint equal, so the merge
+// dedup's fingerprint comparison only ever breaks ties between records
+// that genuinely differ.
+func StatsFingerprint(s *stats.Run) uint64 {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return 0
+	}
+	h := specFNV(0xcbf29ce484222325)
+	h.blob(data)
+	return uint64(h)
 }
 
 // journalSpec is a journal's identity record: the hex form of the sweep's
@@ -204,15 +242,47 @@ func (j *Journal) WriteSpec(spec uint64) error {
 	return j.Append(journalSpec{Spec: fmt.Sprintf("%016x", spec)})
 }
 
-// ReadJournal loads the completed cells of a sweep journal, the resume
-// helper behind GridOptions.Journal. Repeated lines for the same Key are
-// deduplicated last-write-wins: the journal is append-only, so the latest
-// line is the most recent completion (a cell re-run after a resume, or a
-// journal that was replayed/concatenated twice) and deliberately replaces
-// earlier ones.
-func ReadJournal(path string) (map[Key]*stats.Run, error) {
-	m := make(map[Key]*stats.Run)
-	err := ReplayJournal(path, func(line []byte) error {
+// cellWinner is the currently-winning record for one key during a replay.
+type cellWinner struct {
+	stats   *stats.Run
+	attempt int
+	fp      uint64
+}
+
+// supersededBy reports whether a newly replayed record supersedes the
+// current winner. The ordering is deterministic with respect to record *content*,
+// not file order: a higher attempt ordinal wins (it is the later
+// scheduling decision), and between equal attempts the larger fingerprint
+// wins. Only records indistinguishable on both axes — legacy unstamped
+// lines, or byte-identical results — fall back to last-write-wins, where
+// file order is immaterial precisely because the payloads are equal (or,
+// for legacy single-writer journals, where file order IS the intended
+// order).
+func (w cellWinner) supersededBy(attempt int, fp uint64) bool {
+	if attempt != w.attempt {
+		return attempt > w.attempt
+	}
+	if fp != w.fp {
+		return fp > w.fp
+	}
+	return true // equal on both axes: last write wins
+}
+
+// Supersedes reports whether a record stamped (newAttempt, newFp) replaces
+// one stamped (curAttempt, curFp) under the journal's deterministic dedup
+// order (cellWinner.supersededBy). Exported for the fabric coordinator,
+// which must apply the same rule to results arriving live over HTTP that
+// ReadJournal applies to records replayed from disk — otherwise a crash
+// and restart could settle a raced cell differently than the live process
+// did.
+func Supersedes(curAttempt int, curFp uint64, newAttempt int, newFp uint64) bool {
+	return cellWinner{attempt: curAttempt, fp: curFp}.supersededBy(newAttempt, newFp)
+}
+
+// replayCells folds one journal's entries into the winners map under the
+// deterministic dedup order.
+func replayCells(path string, m map[Key]cellWinner) error {
+	return ReplayJournal(path, func(line []byte) error {
 		var e journalEntry
 		if err := json.Unmarshal(line, &e); err != nil {
 			return err
@@ -223,13 +293,72 @@ func ReadJournal(path string) (map[Key]*stats.Run, error) {
 		if e.Stats.BlockSizes == nil {
 			e.Stats.BlockSizes = make(map[int]int64)
 		}
-		// Last write wins, explicitly: overwrite any earlier entry for the
-		// same key rather than relying on map-insert side effects.
-		m[e.Key] = e.Stats
+		var fp uint64
+		if e.Fp != "" {
+			if _, err := fmt.Sscanf(e.Fp, "%x", &fp); err != nil {
+				fp = 0 // corrupt stamp: treat as legacy
+			}
+		}
+		cur, ok := m[e.Key]
+		if !ok || cur.supersededBy(e.Attempt, fp) {
+			m[e.Key] = cellWinner{stats: e.Stats, attempt: e.Attempt, fp: fp}
+		}
 		return nil
 	})
+}
+
+// ReadJournal loads the completed cells of a sweep journal, the resume
+// helper behind GridOptions.Journal. Repeated lines for the same Key are
+// deduplicated deterministically: records stamped with an attempt ordinal
+// and fingerprint (AppendCell — the fabric's multi-writer merge case)
+// resolve by (attempt, fingerprint) regardless of the order their writers
+// raced into the file, and unstamped legacy records keep the historical
+// last-write-wins behavior (the journal is append-only, so for a single
+// writer the latest line is the most recent completion).
+func ReadJournal(path string) (map[Key]*stats.Run, error) {
+	return MergeJournals(path)
+}
+
+// MergeJournals reads several cell journals — the shape a sharded sweep
+// produces, one journal per writer or one journal with interleaved writers
+// — into a single result set under the same deterministic dedup as
+// ReadJournal. The result is independent of both the order records landed
+// within each file and the order the paths are given, provided duplicate
+// records are distinguishable (stamped with attempt/fingerprint); the
+// merged set is therefore byte-identical to what a single-node run of the
+// same sweep would have journaled.
+func MergeJournals(paths ...string) (map[Key]*stats.Run, error) {
+	recs, err := MergeJournalRecords(paths...)
 	if err != nil {
 		return nil, err
+	}
+	m := make(map[Key]*stats.Run, len(recs))
+	for k, r := range recs {
+		m[k] = r.Stats
+	}
+	return m, nil
+}
+
+// CellRecord is one merged journal winner together with its dedup stamp,
+// for callers (the fabric coordinator's restart recovery) that must keep
+// deduplicating against results that arrive after the replay.
+type CellRecord struct {
+	Stats   *stats.Run
+	Attempt int
+	Fp      uint64
+}
+
+// MergeJournalRecords is MergeJournals keeping each winner's stamp.
+func MergeJournalRecords(paths ...string) (map[Key]CellRecord, error) {
+	winners := make(map[Key]cellWinner)
+	for _, path := range paths {
+		if err := replayCells(path, winners); err != nil {
+			return nil, err
+		}
+	}
+	m := make(map[Key]CellRecord, len(winners))
+	for k, w := range winners {
+		m[k] = CellRecord{Stats: w.stats, Attempt: w.attempt, Fp: w.fp}
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -203,6 +204,151 @@ func TestReplayJournalSkipsMalformed(t *testing.T) {
 	}
 	if len(m) != 1 || m[k] == nil || m[k].Cycles != 4 {
 		t.Fatalf("read %+v, want only the well-formed entry", m)
+	}
+}
+
+// TestJournalMultiWriterDedupDeterministic is the regression test for the
+// fabric's requeue race: two workers both complete the same cell (one was
+// presumed dead and the cell was requeued, then the "dead" worker's result
+// arrived anyway), and their records land in the journal in whichever
+// order the network delivered them. The dedup must resolve by (attempt
+// ordinal, fingerprint), not file order: the same winner regardless of
+// interleaving.
+func TestJournalMultiWriterDedupDeterministic(t *testing.T) {
+	k := journalKey("race")
+	first := runWithCycles(100)  // attempt 1: the original assignment
+	second := runWithCycles(200) // attempt 2: the requeued assignment
+
+	write := func(t *testing.T, entries []journalEntry) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "cells.journal")
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if err := j.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	stamp := func(s *stats.Run, attempt int) journalEntry {
+		return journalEntry{Key: k, Stats: s, Fp: fmt.Sprintf("%016x", StatsFingerprint(s)), Attempt: attempt}
+	}
+
+	// Both interleavings of the duplicate records must pick attempt 2.
+	for name, order := range map[string][]journalEntry{
+		"old-then-new": {stamp(first, 1), stamp(second, 2)},
+		"new-then-old": {stamp(second, 2), stamp(first, 1)},
+	} {
+		m, err := ReadJournal(write(t, order))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m) != 1 || m[k].Cycles != 200 {
+			t.Fatalf("%s: want attempt-2 record (cycles=200) to win, got %+v", name, m[k])
+		}
+	}
+
+	// Equal attempts (two workers raced the same assignment epoch — a
+	// duplicate steal) resolve by fingerprint, again order-independently.
+	a := runWithCycles(10)
+	b := runWithCycles(20)
+	fa, fb := StatsFingerprint(a), StatsFingerprint(b)
+	if fa == fb {
+		t.Fatal("test stats must fingerprint differently")
+	}
+	wantCycles := int64(10)
+	if fb > fa {
+		wantCycles = 20
+	}
+	for name, order := range map[string][]journalEntry{
+		"a-then-b": {stamp(a, 3), stamp(b, 3)},
+		"b-then-a": {stamp(b, 3), stamp(a, 3)},
+	} {
+		m, err := ReadJournal(write(t, order))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m) != 1 || m[k].Cycles != wantCycles {
+			t.Fatalf("%s: want fingerprint-ordered winner (cycles=%d), got %+v", name, wantCycles, m[k])
+		}
+	}
+}
+
+// TestMergeJournalsAcrossFiles merges two worker journals holding disjoint
+// and overlapping cells and checks the overlap resolves by attempt, not by
+// which path is listed first.
+func TestMergeJournalsAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	kShared, kA, kB := journalKey("shared"), journalKey("only-a"), journalKey("only-b")
+
+	writeCells := func(name string, appends func(j *Journal)) string {
+		path := filepath.Join(dir, name)
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appends(j)
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	pa := writeCells("worker-a.cells", func(j *Journal) {
+		j.AppendCell(kA, runWithCycles(1), 1)
+		j.AppendCell(kShared, runWithCycles(50), 1)
+	})
+	pb := writeCells("worker-b.cells", func(j *Journal) {
+		j.AppendCell(kB, runWithCycles(2), 1)
+		j.AppendCell(kShared, runWithCycles(60), 2) // the requeued re-run
+	})
+
+	for name, paths := range map[string][]string{
+		"a-first": {pa, pb},
+		"b-first": {pb, pa},
+	} {
+		m, err := MergeJournals(paths...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m) != 3 {
+			t.Fatalf("%s: merged %d cells, want 3", name, len(m))
+		}
+		if m[kA].Cycles != 1 || m[kB].Cycles != 2 {
+			t.Fatalf("%s: disjoint cells mangled: %+v", name, m)
+		}
+		if m[kShared].Cycles != 60 {
+			t.Fatalf("%s: shared cell want attempt-2 winner (60), got %d", name, m[kShared].Cycles)
+		}
+	}
+}
+
+// TestAppendCellReadRoundtrip checks the stamped append is readable by the
+// plain resume path (ReadJournal) like any other record.
+func TestAppendCellReadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := journalKey("stamped")
+	if err := j.AppendCell(k, runWithCycles(7), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[k].Cycles != 7 {
+		t.Fatalf("stamped record not restored: %+v", m)
 	}
 }
 

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"fgpsim/internal/machine"
+)
+
+func shardCfg(disc machine.Discipline, window int) machine.Config {
+	return machine.Config{
+		Disc:           disc,
+		Issue:          machine.IssueModels[0],
+		Mem:            machine.MemConfigs[0],
+		Branch:         machine.SingleBB,
+		WindowOverride: window,
+	}
+}
+
+// TestShardKeyGroupsByImage: configs differing only in engine-level knobs
+// (window, predictor, memory discipline) share a translated image and must
+// share a shard key, while codegen-relevant changes (block mode, bench)
+// must split.
+func TestShardKeyGroupsByImage(t *testing.T) {
+	base := shardCfg(machine.Dyn4, 0)
+	w8 := shardCfg(machine.Dyn4, 8)
+	gshare := base
+	gshare.Predictor = machine.GSharePredictor
+	consMem := base
+	consMem.ConservativeMem = true
+	k := ShardKey("wc", base)
+	for name, cfg := range map[string]machine.Config{"window": w8, "gshare": gshare, "consmem": consMem} {
+		if got := ShardKey("wc", cfg); got != k {
+			t.Errorf("%s variant got shard key %x, want %x (same image, same shard)", name, got, k)
+		}
+	}
+	enlarged := base
+	enlarged.Branch = machine.EnlargedBB
+	if ShardKey("wc", enlarged) == k {
+		t.Error("enlarged-block variant shares a shard key with single-block (different image)")
+	}
+	if ShardKey("spell", base) == k {
+		t.Error("different benchmark shares a shard key (different image)")
+	}
+}
+
+// TestRingDeterministicAndStable: the same members always produce the same
+// owner for a key, and removing one member moves only the keys it owned.
+func TestRingDeterministicAndStable(t *testing.T) {
+	build := func(members ...string) *Ring {
+		r := NewRing()
+		for _, m := range members {
+			r.Add(m)
+		}
+		return r
+	}
+	r1 := build("w1", "w2", "w3")
+	r2 := build("w3", "w1", "w2") // insertion order must not matter
+
+	keys := make([]uint64, 0, 512)
+	for i := 0; i < 512; i++ {
+		h := specFNV(0xcbf29ce484222325)
+		h.str(fmt.Sprintf("key-%d", i))
+		keys = append(keys, uint64(h))
+	}
+	ownerCounts := map[string]int{}
+	for _, k := range keys {
+		o1, o2 := r1.Owner(k), r2.Owner(k)
+		if o1 != o2 {
+			t.Fatalf("key %x: owner depends on insertion order (%s vs %s)", k, o1, o2)
+		}
+		ownerCounts[o1]++
+	}
+	// Every member should own a nontrivial share (smoke check on spread).
+	for _, m := range []string{"w1", "w2", "w3"} {
+		if ownerCounts[m] == 0 {
+			t.Fatalf("member %s owns no keys: %v", m, ownerCounts)
+		}
+	}
+
+	// Remove w2: keys owned by w1/w3 must not move.
+	before := make(map[uint64]string, len(keys))
+	for _, k := range keys {
+		before[k] = r1.Owner(k)
+	}
+	r1.Remove("w2")
+	for _, k := range keys {
+		after := r1.Owner(k)
+		if before[k] != "w2" && after != before[k] {
+			t.Fatalf("key %x moved %s -> %s though its owner survived", k, before[k], after)
+		}
+		if before[k] == "w2" && after == "w2" {
+			t.Fatalf("key %x still owned by removed member", k)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate memberships.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing()
+	if got := r.Owner(42); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	r.Add("only")
+	for _, k := range []uint64{0, 1 << 40, ^uint64(0)} {
+		if got := r.Owner(k); got != "only" {
+			t.Fatalf("single-member ring owner(%x) = %q", k, got)
+		}
+	}
+	r.Add("only") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("idempotent Add changed membership: %d", r.Len())
+	}
+	r.Remove("missing") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("Remove of non-member changed membership: %d", r.Len())
+	}
+}

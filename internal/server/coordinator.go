@@ -1,0 +1,559 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"time"
+
+	"fgpsim/internal/exp"
+	"fgpsim/internal/snapshot"
+)
+
+// coordinator is the fabric's scheduling brain, attached to a Server
+// started with Config.Coordinator. It owns the authoritative cell state of
+// every accepted sweep: which cells are pending (and which worker's shard
+// they belong to, via the consistent-hash ring over image-cache keys),
+// which are in flight under which lease, and which are settled with what
+// winning record. One mutex guards all of it; the fsync'd journals (cell
+// results, assignments) are appended outside the lock, in whatever order
+// the handlers race — the deterministic (attempt, fingerprint) merge makes
+// file order immaterial.
+type coordinator struct {
+	s       *Server
+	wd      *watchdog // worker-liveness watchdog (beats = authenticated requests)
+	snapDir string    // shipped-snapshot store, keyed by cell id
+
+	mu       sync.Mutex
+	workers  map[string]*workerEnt
+	leaseSeq uint64
+	ring     *exp.Ring
+	jobs     map[string]*fabricJob
+	jobOrder []string
+}
+
+type cellState int
+
+const (
+	cellPending cellState = iota
+	cellInflight
+	cellDone
+	cellFailed
+)
+
+// fabricCell is one grid cell's authoritative state.
+type fabricCell struct {
+	id    string // exp.CellID — the wire identity
+	bench string // "" = the sweep's Source program
+	spec  ConfigSpec
+	key   exp.Key
+	shard uint64 // exp.ShardKey — image-cache affinity on the ring
+
+	state     cellState
+	attempt   int // assignment high-water mark
+	assignees []cellAssignee
+
+	// Winning record, mirrored from the journal's dedup order so live
+	// arrivals and post-restart replays settle identically.
+	winAttempt int
+	winFp      uint64
+	errText    string
+}
+
+type cellAssignee struct {
+	worker  string
+	lease   uint64
+	attempt int
+	at      time.Time
+}
+
+// fabricJob is one sweep being executed by the fabric. It wraps the
+// Server's ordinary job (which renders /sweep/{id} exactly as a
+// single-node run would — part of the byte-identity story).
+type fabricJob struct {
+	j    *job
+	spec SweepSpec
+
+	cellJournal   *exp.Journal // results, exp.AppendCell records
+	assignJournal *exp.Journal // assignRecord lines
+
+	cells map[string]*fabricCell
+	order []string // cell ids in grid order (prepared outer, configs inner)
+
+	pendingN int
+	doneN    int
+	failedN  int
+	finished bool
+}
+
+func newCoordinator(s *Server) (*coordinator, error) {
+	dir := ""
+	if s.cfg.JournalDir != "" {
+		dir = filepath.Join(s.cfg.JournalDir, "fabric-snapshots")
+	} else {
+		var err error
+		dir, err = os.MkdirTemp("", "fgpsim-fabric-")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	interval := s.cfg.WorkerDeadAfter / 4
+	return &coordinator{
+		s:       s,
+		wd:      newWatchdog(interval, s.cfg.WorkerDeadAfter),
+		snapDir: dir,
+		workers: make(map[string]*workerEnt),
+		ring:    exp.NewRing(),
+		jobs:    make(map[string]*fabricJob),
+	}, nil
+}
+
+func (c *coordinator) routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /fabric/register", c.handleRegister)
+	mux.HandleFunc("POST /fabric/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /fabric/poll", c.handlePoll)
+	mux.HandleFunc("POST /fabric/result", c.handleResult)
+	mux.HandleFunc("POST /fabric/deregister", c.handleDeregister)
+	mux.HandleFunc("PUT /fabric/snapshot/{cell}", c.handleSnapshotPut)
+}
+
+func (c *coordinator) assignJournalPath(id string) string {
+	if c.s.cfg.JournalDir == "" {
+		return ""
+	}
+	return filepath.Join(c.s.cfg.JournalDir, "sweep-"+id+".assign")
+}
+
+// start takes ownership of an accepted sweep: enumerate its cells in grid
+// order, replay any prior cell/assignment journals (the recovered case —
+// a coordinator crash or drain with the sweep unfinished), and queue the
+// rest for the workers. recovered distinguishes a restart replay from a
+// fresh accept only for metrics; the machinery is identical because an
+// empty journal replays to nothing.
+func (c *coordinator) start(j *job, recovered bool) error {
+	fj := &fabricJob{
+		j:     j,
+		spec:  j.Spec,
+		cells: make(map[string]*fabricCell),
+	}
+	benches := j.Spec.Benches
+	if len(benches) == 0 {
+		benches = []string{""}
+	}
+	for _, b := range benches {
+		name := b
+		if name == "" {
+			name = sourceName(j.Spec.Source, j.Spec.In0, j.Spec.In1)
+		}
+		for _, cs := range j.Spec.Configs {
+			cfg, err := cs.Config()
+			if err != nil {
+				return err // unreachable: validated at accept
+			}
+			key := exp.KeyOf(name, cfg)
+			cell := &fabricCell{
+				id:    exp.CellID(key),
+				bench: b,
+				spec:  cs,
+				key:   key,
+				shard: exp.ShardKey(name, cfg),
+			}
+			fj.cells[cell.id] = cell
+			fj.order = append(fj.order, cell.id)
+		}
+	}
+
+	cellPath := c.s.cellJournalPath(j.ID)
+	if cellPath != "" {
+		prior, err := exp.MergeJournalRecords(cellPath)
+		if err != nil {
+			return fmt.Errorf("server: fabric journal %s: %w", cellPath, err)
+		}
+		for _, cid := range fj.order {
+			cell := fj.cells[cid]
+			if rec, ok := prior[cell.key]; ok {
+				cell.state = cellDone
+				cell.winAttempt, cell.winFp = rec.Attempt, rec.Fp
+				fj.doneN++
+				j.mu.Lock()
+				j.results[keyString(cell.key)] = rec.Stats
+				j.mu.Unlock()
+				c.s.met.cellsRestored.Add(1)
+			}
+		}
+		fj.cellJournal, err = exp.OpenJournal(cellPath)
+		if err != nil {
+			return fmt.Errorf("server: fabric journal %s: %w", cellPath, err)
+		}
+	}
+	if ap := c.assignJournalPath(j.ID); ap != "" {
+		// Restore each cell's attempt high-water mark so post-restart
+		// assignments supersede pre-restart ones in the merge order.
+		exp.ReplayJournal(ap, func(line []byte) error {
+			var rec assignRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return err
+			}
+			for _, a := range rec.Cells {
+				if cell := fj.cells[a.ID]; cell != nil && a.Attempt > cell.attempt {
+					cell.attempt = a.Attempt
+				}
+			}
+			return nil
+		})
+		var err error
+		fj.assignJournal, err = exp.OpenJournal(ap)
+		if err != nil {
+			return fmt.Errorf("server: assignment journal %s: %w", ap, err)
+		}
+	}
+
+	for _, cid := range fj.order {
+		if fj.cells[cid].state == cellPending {
+			fj.pendingN++
+		}
+	}
+	j.setState(jobRunning)
+	j.setProgress(fj.doneN, len(fj.order))
+
+	c.mu.Lock()
+	c.jobs[j.ID] = fj
+	c.jobOrder = append(c.jobOrder, j.ID)
+	finished := fj.settledLocked()
+	c.mu.Unlock()
+	if finished {
+		// Every cell was already journaled (crash after the last result,
+		// before the done record).
+		c.finishJob(fj)
+	}
+	return nil
+}
+
+func (fj *fabricJob) settledLocked() bool {
+	return !fj.finished && fj.doneN+fj.failedN == len(fj.order)
+}
+
+// handlePoll hands a worker up to Max cells: its own shard first, then
+// anything pending (counted as stolen), then — when nothing is pending —
+// a duplicate assignment of the oldest straggler (stealing.go).
+func (c *coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req pollRequest
+	if err := c.s.decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 1
+	}
+	now := time.Now()
+	c.mu.Lock()
+	ent := c.workers[req.Worker]
+	if ent == nil || ent.lease != req.Lease {
+		c.mu.Unlock()
+		writeJSON(w, http.StatusGone, map[string]any{"error": "stale lease; re-register"})
+		return
+	}
+	ent.beat.Add(1)
+	var fj *fabricJob
+	var picked []*fabricCell
+	for _, id := range c.jobOrder {
+		job := c.jobs[id]
+		if job.finished {
+			continue
+		}
+		if picked = c.pickLocked(job, req.Worker, req.Lease, max, now); len(picked) > 0 {
+			fj = job
+			break
+		}
+	}
+	resp := pollResponse{WaitMS: 200}
+	rec := assignRecord{Op: "assign", Worker: req.Worker}
+	if fj != nil {
+		resp = pollResponse{
+			SweepID:         fj.j.ID,
+			Source:          fj.spec.Source,
+			In0:             fj.spec.In0,
+			In1:             fj.spec.In1,
+			Retries:         fj.spec.Retries,
+			Timeout:         fj.spec.Timeout,
+			CheckpointEvery: c.s.cfg.CheckpointEvery,
+		}
+		for _, cell := range picked {
+			resp.Cells = append(resp.Cells, cellAssignment{
+				Cell:    cell.id,
+				Bench:   cell.bench,
+				Config:  cell.spec,
+				Attempt: cell.attempt,
+			})
+			rec.Cells = append(rec.Cells, assignCell{ID: cell.id, Attempt: cell.attempt})
+		}
+	}
+	c.mu.Unlock()
+	if fj == nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Durable before visible: the assignment journal line lands (fsync'd)
+	// before the worker can possibly produce a result under it.
+	if fj.assignJournal != nil {
+		fj.assignJournal.Append(rec)
+	}
+	// Attach shipped snapshots so a requeued cell resumes mid-run. Disk IO
+	// deliberately happens outside the coordinator lock.
+	for i := range resp.Cells {
+		path := filepath.Join(c.snapDir, resp.Cells[i].Cell+".snap")
+		if snapshot.Exists(path) {
+			if data, _, err := snapshot.LoadShippable(path); err == nil {
+				resp.Cells[i].Snapshot = data
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleResult settles one cell. The journal append happens BEFORE the
+// in-memory settle and before the 200: a result the worker saw
+// acknowledged is durable, and a coordinator crash between the two
+// replays the journal to the same winner the live path would have picked.
+// Torn bodies (a connection cut mid-POST) fail JSON decoding and change
+// nothing; the worker retries the POST whole.
+func (c *coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if err := c.s.decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if (req.Stats == nil) == (req.Err == "") {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "exactly one of stats or err required"})
+		return
+	}
+	c.mu.Lock()
+	// Results are accepted from any lease — even a superseded or
+	// presumed-dead worker computed the right answer — but only a live
+	// lease's beat counter advances.
+	if ent := c.workers[req.Worker]; ent != nil && ent.lease == req.Lease {
+		ent.beat.Add(1)
+	}
+	fj := c.jobs[req.SweepID]
+	var cell *fabricCell
+	finished := false
+	if fj != nil {
+		cell = fj.cells[req.Cell]
+		finished = fj.finished
+	}
+	c.mu.Unlock()
+	if cell == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown sweep or cell"})
+		return
+	}
+	if finished {
+		// The sweep settled while this delivery limped in — a straggler
+		// duplicate of work that already completed elsewhere. Determinism
+		// makes it byte-identical to the recorded winner; acknowledge it so
+		// the worker stops retrying, and drop it.
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "late": true})
+		return
+	}
+	if req.Stats != nil && fj.cellJournal != nil {
+		if err := fj.cellJournal.AppendCell(cell.key, req.Stats, req.Attempt); err != nil {
+			// An append can race the job finishing (the journal closes with
+			// it); that is the same late-straggler case, not a server error.
+			c.mu.Lock()
+			finished = fj.finished
+			c.mu.Unlock()
+			if finished {
+				writeJSON(w, http.StatusOK, map[string]any{"ok": true, "late": true})
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": fmt.Sprintf("journal: %v", err)})
+			return
+		}
+	}
+	c.mu.Lock()
+	c.settleLocked(fj, cell, &req)
+	finished = fj.settledLocked()
+	if finished {
+		fj.finished = true
+	}
+	c.mu.Unlock()
+	if finished {
+		c.finishJob(fj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// settleLocked folds one delivered result into the cell under the same
+// deterministic order the journal merge uses (exp.Supersedes), so
+// duplicate deliveries, late deliveries after a requeue settled the cell
+// elsewhere, and replayed journals all converge on the same winner.
+// Requires c.mu.
+func (c *coordinator) settleLocked(fj *fabricJob, cell *fabricCell, req *resultRequest) {
+	// Drop the assignment that produced this result (best effort: it may
+	// already be gone if the worker was declared dead first).
+	n := cell.assignees[:0]
+	for _, a := range cell.assignees {
+		if !(a.worker == req.Worker && a.attempt == req.Attempt) {
+			n = append(n, a)
+		}
+	}
+	cell.assignees = n
+
+	if req.Stats != nil {
+		fp := exp.StatsFingerprint(req.Stats)
+		wasFailed := false
+		switch cell.state {
+		case cellDone:
+			if !exp.Supersedes(cell.winAttempt, cell.winFp, req.Attempt, fp) {
+				return
+			}
+		case cellFailed:
+			// A success beats a quarantined failure regardless of stamps —
+			// the failure was environmental (the deterministic simulator
+			// cannot both fail and succeed on the same cell).
+			fj.failedN--
+			cell.errText = ""
+			wasFailed = true
+		case cellPending:
+			fj.pendingN--
+		}
+		if cell.state != cellDone {
+			fj.doneN++
+			c.s.met.cellsDone.Add(1)
+		}
+		cell.state = cellDone
+		cell.winAttempt, cell.winFp = req.Attempt, fp
+		if wasFailed {
+			fj.syncFailedLocked()
+		}
+		fj.j.mu.Lock()
+		fj.j.results[keyString(cell.key)] = req.Stats
+		fj.j.done = fj.doneN
+		fj.j.mu.Unlock()
+		return
+	}
+	// Failure: settles the cell only if nothing better has. First failure
+	// wins among failures; a duplicate assignment may still land a success
+	// later and flip it above.
+	if cell.state == cellDone || cell.state == cellFailed {
+		return
+	}
+	if cell.state == cellPending {
+		fj.pendingN--
+	}
+	cell.state = cellFailed
+	cell.errText = req.Err
+	fj.failedN++
+	c.s.met.cellsFailed.Add(1)
+	fj.syncFailedLocked()
+}
+
+// syncFailedLocked rebuilds the job's failed-cell list in grid order (the
+// deterministic order a status reader should see, independent of delivery
+// interleaving). Requires c.mu; takes j.mu.
+func (fj *fabricJob) syncFailedLocked() {
+	var failed []string
+	for _, cid := range fj.order {
+		if cell := fj.cells[cid]; cell.state == cellFailed {
+			failed = append(failed, cell.errText)
+		}
+	}
+	fj.j.mu.Lock()
+	fj.j.failed = failed
+	fj.j.mu.Unlock()
+}
+
+// finishJob records the terminal state exactly like a single-node
+// finishSweep: done (quarantined failures included), journaled as settled
+// in the request journal, journals closed.
+func (c *coordinator) finishJob(fj *fabricJob) {
+	fj.j.mu.Lock()
+	fj.j.state = jobDone
+	fj.j.done = fj.doneN
+	failedCount := len(fj.j.failed)
+	fj.j.mu.Unlock()
+	c.s.met.jobsDone.Add(1)
+	if c.s.reqJournal != nil {
+		c.s.reqJournal.Append(journalRecord{Op: "done", ID: fj.j.ID, OK: failedCount == 0})
+	}
+	if fj.cellJournal != nil {
+		fj.cellJournal.Close()
+	}
+	if fj.assignJournal != nil {
+		fj.assignJournal.Close()
+	}
+}
+
+// cellIDPattern guards the snapshot PUT path segment: exp.CellID is 16 hex
+// digits, and nothing else may name a file in the snapshot store.
+var cellIDPattern = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// maxSnapshotBody bounds a shipped snapshot (engine memory image plus
+// tables): large enough for any simulated machine this repo builds, small
+// enough to stop a runaway request.
+const maxSnapshotBody int64 = 256 << 20
+
+// handleSnapshotPut receives one shipped cell snapshot as raw encoded
+// bytes. The blob is validated (magic, version, CRCs) before it touches
+// the store — snapshot.Store — so a blob torn in transit is rejected with
+// 400 and the previously shipped good snapshot, if any, survives.
+func (c *coordinator) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	cellID := r.PathValue("cell")
+	if !cellIDPattern.MatchString(cellID) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad cell id"})
+		return
+	}
+	// Snapshots carry the engine's full memory image, so the JSON body cap
+	// is far too small for them; they get their own ceiling.
+	limit := c.s.cfg.MaxBody
+	if limit < maxSnapshotBody {
+		limit = maxSnapshotBody
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if _, err := snapshot.Store(filepath.Join(c.snapDir, cellID+".snap"), data); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	c.s.met.snapshotsShipped.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// shutdown stops the liveness watchdog and closes the journals of
+// unfinished jobs, marking them interrupted; their accept records stand,
+// so the next boot rebuilds them from the journals and the still-running
+// workers' late results settle in.
+func (c *coordinator) shutdown() {
+	c.wd.shutdown()
+	c.mu.Lock()
+	var open []*fabricJob
+	for _, id := range c.jobOrder {
+		if fj := c.jobs[id]; !fj.finished {
+			open = append(open, fj)
+		}
+	}
+	c.mu.Unlock()
+	for _, fj := range open {
+		fj.j.mu.Lock()
+		fj.j.state = jobInterrupted
+		fj.j.errText = "interrupted by drain; resumes on restart"
+		fj.j.mu.Unlock()
+		if fj.cellJournal != nil {
+			fj.cellJournal.Close()
+		}
+		if fj.assignJournal != nil {
+			fj.assignJournal.Close()
+		}
+	}
+}

@@ -29,6 +29,12 @@ type metrics struct {
 	preempts      expvar.Int // sweep cells preempted to a snapshot mid-run
 	jobsRequeued  expvar.Int // sweeps requeued after a cooperative preemption
 
+	// Fabric counters (coordinator role only).
+	cellsStolen      expvar.Int // cells run by a worker other than their shard owner
+	cellsRequeued    expvar.Int // cell assignments returned to pending (death, supersede, drain)
+	workersDead      expvar.Int // workers declared dead by the liveness watchdog
+	snapshotsShipped expvar.Int // mid-run snapshots received from workers
+
 	latency stats.Hist // per-simulation wall clock (/run and sweep cells)
 }
 
@@ -48,25 +54,30 @@ func (m *metrics) observeCell(attempts int, ok, restored bool) {
 	}
 }
 
-// snapshot renders every metric; queueDepth and inflight are sampled
-// gauges supplied by the server.
-func (m *metrics) snapshot(queueDepth int64, inflight int) map[string]any {
+// snapshot renders every metric; queueDepth, inflight, and workersLive are
+// sampled gauges supplied by the server.
+func (m *metrics) snapshot(queueDepth int64, inflight, workersLive int) map[string]any {
 	return map[string]any{
-		"queue_depth":    queueDepth,
-		"inflight":       inflight,
-		"shed_total":     m.shed.Value(),
-		"watchdog_kills": m.watchdogKills.Value(),
-		"retries":        m.retries.Value(),
-		"runs_ok":        m.runsOK.Value(),
-		"runs_failed":    m.runsFailed.Value(),
-		"jobs_accepted":  m.jobsAccepted.Value(),
-		"jobs_resumed":   m.jobsResumed.Value(),
-		"jobs_done":      m.jobsDone.Value(),
-		"cells_done":     m.cellsDone.Value(),
-		"cells_restored": m.cellsRestored.Value(),
-		"cells_failed":   m.cellsFailed.Value(),
-		"preempts":       m.preempts.Value(),
-		"jobs_requeued":  m.jobsRequeued.Value(),
+		"queue_depth":       queueDepth,
+		"inflight":          inflight,
+		"workers_live":      workersLive,
+		"shed_total":        m.shed.Value(),
+		"watchdog_kills":    m.watchdogKills.Value(),
+		"retries":           m.retries.Value(),
+		"runs_ok":           m.runsOK.Value(),
+		"runs_failed":       m.runsFailed.Value(),
+		"jobs_accepted":     m.jobsAccepted.Value(),
+		"jobs_resumed":      m.jobsResumed.Value(),
+		"jobs_done":         m.jobsDone.Value(),
+		"cells_done":        m.cellsDone.Value(),
+		"cells_restored":    m.cellsRestored.Value(),
+		"cells_failed":      m.cellsFailed.Value(),
+		"preempts":          m.preempts.Value(),
+		"jobs_requeued":     m.jobsRequeued.Value(),
+		"cells_stolen":      m.cellsStolen.Value(),
+		"cells_requeued":    m.cellsRequeued.Value(),
+		"workers_dead":      m.workersDead.Value(),
+		"snapshots_shipped": m.snapshotsShipped.Value(),
 		"run_latency_us": map[string]any{
 			"count": m.latency.Count(),
 			"mean":  m.latency.Mean().Microseconds(),

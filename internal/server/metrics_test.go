@@ -25,6 +25,10 @@ func TestMetricsConcurrentRecording(t *testing.T) {
 				m.preempts.Add(1)
 				m.jobsRequeued.Add(1)
 				m.shed.Add(1)
+				m.cellsStolen.Add(1)
+				m.cellsRequeued.Add(1)
+				m.workersDead.Add(1)
+				m.snapshotsShipped.Add(1)
 			}
 		}(w)
 	}
@@ -38,7 +42,7 @@ func TestMetricsConcurrentRecording(t *testing.T) {
 					return
 				default:
 				}
-				snap := m.snapshot(3, 2)
+				snap := m.snapshot(3, 2, 1)
 				cells := snap["cells_done"].(int64) + snap["cells_restored"].(int64) + snap["cells_failed"].(int64)
 				if cells < 0 || cells > 2000 {
 					t.Errorf("cell counters out of range: %d", cells)
@@ -54,13 +58,18 @@ func TestMetricsConcurrentRecording(t *testing.T) {
 	close(stop)
 	<-done
 
-	snap := m.snapshot(0, 0)
+	snap := m.snapshot(0, 0, 0)
 	cells := snap["cells_done"].(int64) + snap["cells_restored"].(int64) + snap["cells_failed"].(int64)
 	if cells != 2000 {
 		t.Errorf("settled cells = %d, want 2000", cells)
 	}
 	if got := snap["preempts"].(int64); got != 2000 {
 		t.Errorf("preempts = %d, want 2000", got)
+	}
+	for _, k := range []string{"cells_stolen", "cells_requeued", "workers_dead", "snapshots_shipped"} {
+		if got := snap[k].(int64); got != 2000 {
+			t.Errorf("%s = %d, want 2000", k, got)
+		}
 	}
 	if lat := snap["run_latency_us"].(map[string]any); lat["count"].(int64) != 2000 {
 		t.Errorf("latency count = %v, want 2000", lat["count"])

@@ -80,6 +80,17 @@ type Config struct {
 	// cells snapshot themselves, and the job is requeued behind the waiting
 	// work. Stalled (non-beating) runs are still killed, never requeued.
 	PreemptAfter time.Duration
+	// Coordinator switches the server into fabric-coordinator mode: sweeps
+	// are sharded across registered workers (POST /fabric/*) instead of
+	// simulated in-process. /run still simulates locally. See DESIGN.md §15.
+	Coordinator bool
+	// WorkerDeadAfter is how long a registered worker's request counter may
+	// sit still before the liveness watchdog declares it dead and requeues
+	// its cells (default 10s, coordinator only).
+	WorkerDeadAfter time.Duration
+	// StealAfter is how stale an in-flight assignment must be before an
+	// idle worker may duplicate it (default 5s, coordinator only).
+	StealAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +115,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 8 << 20
 	}
+	if c.WorkerDeadAfter <= 0 {
+		c.WorkerDeadAfter = 10 * time.Second
+	}
+	if c.StealAfter <= 0 {
+		c.StealAfter = 5 * time.Second
+	}
 	return c
 }
 
@@ -114,6 +131,7 @@ type Server struct {
 	wd    *watchdog
 	met   *metrics
 	prep  *prepCache
+	coord *coordinator // non-nil in coordinator mode
 
 	reqJournal *exp.Journal // nil when persistence is off
 
@@ -147,6 +165,13 @@ func New(cfg Config) (*Server, error) {
 		jobs:  make(map[string]*job),
 	}
 	s.baseCtx, s.baseStop = context.WithCancelCause(context.Background())
+	if cfg.Coordinator {
+		coord, err := newCoordinator(s)
+		if err != nil {
+			return nil, fmt.Errorf("server: coordinator: %w", err)
+		}
+		s.coord = coord
+	}
 	if cfg.JournalDir != "" {
 		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
 			return nil, err
@@ -202,10 +227,26 @@ func (s *Server) checkpointsArmed() bool {
 // degrades gracefully instead of stampeding.
 func (s *Server) Start() {
 	s.wd.start()
+	if s.coord != nil {
+		s.coord.wd.start()
+	}
 	for _, rec := range s.recovered {
 		j := newJob(rec.ID, *rec.Spec)
 		s.addJob(j)
 		s.met.jobsResumed.Add(1)
+		if s.coord != nil {
+			// Rebuild the fabric job from its cell and assignment journals:
+			// completed cells are restored, unfinished ones requeue, and the
+			// attempt high-water mark keeps merging deterministic against
+			// late results from workers that never noticed the crash.
+			if err := s.coord.start(j, true); err != nil {
+				j.mu.Lock()
+				j.state = jobFailed
+				j.errText = err.Error()
+				j.mu.Unlock()
+			}
+			continue
+		}
 		t := s.admit.reserveForced()
 		s.wg.Add(1)
 		go s.runSweep(j, t)
@@ -235,6 +276,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			<-done
 		}
 		s.wd.shutdown()
+		if s.coord != nil {
+			s.coord.shutdown()
+		}
 		if s.reqJournal != nil {
 			s.reqJournal.Close()
 		}
@@ -251,6 +295,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /sweep/{id}", s.handleSweepStatus)
+	if s.coord != nil {
+		s.coord.routes(mux)
+	}
 	return mux
 }
 
@@ -267,7 +314,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.snapshot(s.admit.queued(), int(s.inflight.Load())))
+	live := 0
+	if s.coord != nil {
+		live = s.coord.workersLive()
+	}
+	writeJSON(w, http.StatusOK, s.met.snapshot(s.admit.queued(), int(s.inflight.Load()), live))
 }
 
 // decodeBody decodes a JSON request body under the size cap.
@@ -447,15 +498,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	t, rerr := s.admit.reserve()
-	if rerr != nil {
-		var oe *OverloadError
-		if errors.As(rerr, &oe) {
-			s.shed(w, oe)
+	// A coordinator does not simulate in-process, so fabric sweeps skip the
+	// compute limiter: admission pressure lives on the workers.
+	var t *ticket
+	if s.coord == nil {
+		var rerr error
+		t, rerr = s.admit.reserve()
+		if rerr != nil {
+			var oe *OverloadError
+			if errors.As(rerr, &oe) {
+				s.shed(w, oe)
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": rerr.Error()})
 			return
 		}
-		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": rerr.Error()})
-		return
 	}
 	s.mu.Lock()
 	s.seq++
@@ -465,7 +522,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// a 202 the sweep must survive a crash.
 	if s.reqJournal != nil {
 		if err := s.reqJournal.Append(journalRecord{Op: "accept", ID: id, Spec: &spec, SpecHash: specHash(&spec)}); err != nil {
-			t.abandon()
+			if t != nil {
+				t.abandon()
+			}
 			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": fmt.Sprintf("journal: %v", err)})
 			return
 		}
@@ -473,8 +532,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	j := newJob(id, spec)
 	s.addJob(j)
 	s.met.jobsAccepted.Add(1)
-	s.wg.Add(1)
-	go s.runSweep(j, t)
+	if s.coord != nil {
+		if err := s.coord.start(j, false); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+			return
+		}
+	} else {
+		s.wg.Add(1)
+		go s.runSweep(j, t)
+	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "cells": spec.cells()})
 }
 

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"time"
+)
+
+// Work stealing keeps the fabric's tail short. Shard affinity (the
+// consistent-hash ring over image-cache keys) is a throughput
+// optimization, not a correctness constraint, so the picking policy treats
+// it as a preference with two escape hatches:
+//
+//  1. an idle worker whose own shard is drained takes any pending cell —
+//     a cell queued for a busy (or not-yet-registered) peer is better run
+//     cold on the wrong worker than not at all;
+//  2. when nothing is pending, an idle worker duplicates the oldest
+//     in-flight assignment that has been out longer than StealAfter — the
+//     straggler may be on a slow, wedged, or silently dying worker, and a
+//     duplicate costs one redundant simulation while an undetected
+//     straggler costs the whole sweep's tail. Duplicate results merge
+//     deterministically, so racing the original is always safe.
+
+// maxDuplicates bounds how many workers may race one straggling cell
+// (the original assignee plus duplicates). Beyond this the cell is far
+// more likely deterministic-slow than victim-of-a-slow-worker, and more
+// copies only burn cycles.
+const maxDuplicates = 3
+
+// pickLocked selects up to max cells from fj for worker. Requires c.mu.
+func (c *coordinator) pickLocked(fj *fabricJob, worker string, lease uint64, max int, now time.Time) []*fabricCell {
+	var picked []*fabricCell
+	if fj.pendingN > 0 {
+		// Pass 1: the worker's own shard, in grid order.
+		for _, cid := range fj.order {
+			if len(picked) >= max || fj.pendingN == 0 {
+				break
+			}
+			cell := fj.cells[cid]
+			if cell.state == cellPending && c.ring.Owner(cell.shard) == worker {
+				c.assignLocked(fj, cell, worker, lease, now)
+				picked = append(picked, cell)
+			}
+		}
+		// Pass 2: anything pending. Cells whose ring owner is another live
+		// worker are counted as stolen; orphaned cells (owner dead, ring
+		// empty at enqueue time, or owner not yet registered) are just
+		// picked up.
+		for _, cid := range fj.order {
+			if len(picked) >= max || fj.pendingN == 0 {
+				break
+			}
+			cell := fj.cells[cid]
+			if cell.state != cellPending {
+				continue
+			}
+			if owner := c.ring.Owner(cell.shard); owner != "" && owner != worker {
+				c.s.met.cellsStolen.Add(1)
+			}
+			c.assignLocked(fj, cell, worker, lease, now)
+			picked = append(picked, cell)
+		}
+	}
+	if len(picked) > 0 {
+		return picked
+	}
+	// Pass 3: straggler duplication — one per poll, oldest first.
+	if cell := c.oldestStragglerLocked(fj, worker, now); cell != nil {
+		c.s.met.cellsStolen.Add(1)
+		c.assignLocked(fj, cell, worker, lease, now)
+		picked = append(picked, cell)
+	}
+	return picked
+}
+
+// assignLocked hands cell to worker under a fresh attempt ordinal.
+// Requires c.mu.
+func (c *coordinator) assignLocked(fj *fabricJob, cell *fabricCell, worker string, lease uint64, now time.Time) {
+	if cell.state == cellPending {
+		fj.pendingN--
+	}
+	cell.state = cellInflight
+	cell.attempt++
+	cell.assignees = append(cell.assignees, cellAssignee{worker: worker, lease: lease, attempt: cell.attempt, at: now})
+}
+
+// oldestStragglerLocked finds the in-flight cell whose most recent
+// assignment is the stalest beyond StealAfter, excluding cells the asking
+// worker already holds and cells already raced by maxDuplicates workers.
+// Requires c.mu.
+func (c *coordinator) oldestStragglerLocked(fj *fabricJob, worker string, now time.Time) *fabricCell {
+	var best *fabricCell
+	var bestAge time.Duration
+	for _, cid := range fj.order {
+		cell := fj.cells[cid]
+		if cell.state != cellInflight || len(cell.assignees) == 0 || len(cell.assignees) >= maxDuplicates {
+			continue
+		}
+		newest := cell.assignees[0].at
+		mine := false
+		for _, a := range cell.assignees {
+			if a.at.After(newest) {
+				newest = a.at
+			}
+			if a.worker == worker {
+				mine = true
+			}
+		}
+		if mine {
+			continue
+		}
+		if age := now.Sub(newest); age >= c.s.cfg.StealAfter && age > bestAge {
+			best, bestAge = cell, age
+		}
+	}
+	return best
+}

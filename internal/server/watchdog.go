@@ -36,6 +36,7 @@ type watchdog struct {
 
 	mu    sync.Mutex
 	items map[int64]*watchItem
+	keyed map[string]int64 // identity -> items key, for watchKeyed re-arm
 	next  int64
 
 	stop chan struct{}
@@ -59,6 +60,13 @@ type watchItem struct {
 	queued       func() int64
 	started      time.Time
 	preempted    bool
+
+	// revoked is set when the registration is withdrawn — unwatch, or a
+	// watchKeyed re-arm superseding it. A stall verdict already collected
+	// for a revoked item must not fire: the identity it would kill now
+	// belongs to a newer registration (a worker that re-registered after a
+	// restart), and cancelling it would kill the successor by mistake.
+	revoked atomic.Bool
 }
 
 func newWatchdog(interval, stall time.Duration) *watchdog {
@@ -104,6 +112,47 @@ func (w *watchdog) watchPreemptable(id string, beat *atomic.Int64, cancel contex
 	})
 }
 
+// watchKeyed registers a run under a stable identity, atomically
+// superseding any live registration with the same key. This is the fabric
+// registry's liveness primitive: a worker that crashes and re-registers
+// under the same identity must re-arm its staleness clock in one step —
+// the old registration's pending verdicts are revoked before the new one
+// becomes visible, so there is no window in which the predecessor's stall
+// timer can kill (and requeue the cells of) its own successor. Plain
+// watch() assumed each registration was a distinct single-process run and
+// had no such identity; watchKeyed is what makes restart races safe.
+func (w *watchdog) watchKeyed(key string, beat *atomic.Int64, cancel context.CancelCauseFunc) (unwatch func()) {
+	it := &watchItem{id: key, beat: beat, cancel: cancel}
+	now := time.Now()
+	it.last = it.beat.Load()
+	it.since = now
+	it.started = now
+	w.mu.Lock()
+	if w.keyed == nil {
+		w.keyed = make(map[string]int64)
+	}
+	if prevNum, ok := w.keyed[key]; ok {
+		if prev := w.items[prevNum]; prev != nil {
+			prev.revoked.Store(true)
+			delete(w.items, prevNum)
+		}
+	}
+	w.next++
+	num := w.next
+	w.items[num] = it
+	w.keyed[key] = num
+	w.mu.Unlock()
+	return func() {
+		w.mu.Lock()
+		it.revoked.Store(true)
+		delete(w.items, num)
+		if w.keyed[key] == num {
+			delete(w.keyed, key)
+		}
+		w.mu.Unlock()
+	}
+}
+
 func (w *watchdog) register(it *watchItem) (unwatch func()) {
 	now := time.Now()
 	it.last = it.beat.Load()
@@ -116,6 +165,7 @@ func (w *watchdog) register(it *watchItem) (unwatch func()) {
 	w.mu.Unlock()
 	return func() {
 		w.mu.Lock()
+		it.revoked.Store(true)
 		delete(w.items, key)
 		w.mu.Unlock()
 	}
@@ -146,6 +196,9 @@ func (w *watchdog) sweep(now time.Time) {
 		} else if now.Sub(it.since) >= w.stall {
 			killed = append(killed, it)
 			delete(w.items, key)
+			if w.keyed[it.id] == key {
+				delete(w.keyed, it.id)
+			}
 			continue
 		}
 		if it.preempt != nil && !it.preempted &&
@@ -156,7 +209,12 @@ func (w *watchdog) sweep(now time.Time) {
 	}
 	w.mu.Unlock()
 	// Cancel outside the lock: cancellation can trigger arbitrary callbacks.
+	// Re-check revocation right before firing — a keyed re-arm racing this
+	// sweep may have superseded the item after it was collected.
 	for _, it := range killed {
+		if it.revoked.Load() {
+			continue
+		}
 		w.kills.Add(1)
 		it.cancel(&StuckRunError{ID: it.id, Beats: it.last, Stall: now.Sub(it.since)})
 	}

@@ -1,0 +1,449 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fgpsim/internal/exp"
+	"fgpsim/internal/machine"
+	"fgpsim/internal/snapshot"
+)
+
+// Worker is the fabric's execution half: a pull client that registers with
+// a coordinator, polls for cell assignments, runs each through the same
+// exp.GridContext machinery a single-node sweep uses (same retries, same
+// quarantine, same checkpoint cadence — which is why the merged results
+// are byte-identical to a single-node run), ships its mid-run checkpoints
+// back so a peer can resume its cells if this process dies, and posts
+// results until they are acknowledged. It serves no HTTP itself; a worker
+// behind a NAT or a partition needs nothing but an outbound connection.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID is the worker's stable identity. Re-registering the same ID after
+	// a crash supersedes the dead incarnation immediately instead of
+	// waiting out the liveness timeout. Default: hostname-pid.
+	ID string
+	// Heartbeat is the liveness beacon period (default 1s). It must be
+	// comfortably inside the coordinator's WorkerDeadAfter.
+	Heartbeat time.Duration
+	// Concurrency is how many cells run in parallel (default GOMAXPROCS);
+	// it is also the poll batch size.
+	Concurrency int
+	// SnapshotDir holds local cell checkpoints (default: a temp dir).
+	SnapshotDir string
+	// DrainGrace bounds how long a graceful stop waits for in-flight cells
+	// to park at a checkpoint boundary before abandoning them (default 30s).
+	DrainGrace time.Duration
+	// Abandon, when set, makes Run exit immediately on context
+	// cancellation: no preempt, no final result posts, no deregister — the
+	// coordinator sees exactly what a kill -9 looks like. Test hook.
+	Abandon bool
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+	// Logf receives progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+type Worker struct {
+	opts    WorkerOptions
+	client  *http.Client
+	prep    *prepCache
+	logf    func(string, ...any)
+	snapDir string
+
+	lease   atomic.Uint64
+	preempt atomic.Bool
+	busy    atomic.Int64
+
+	// CellsRun counts settled cells, for tests and logs.
+	CellsRun atomic.Int64
+}
+
+// NewWorker validates options and builds a worker.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Coordinator == "" {
+		return nil, fmt.Errorf("server: worker needs a coordinator URL")
+	}
+	if opts.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		opts.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = time.Second
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if opts.DrainGrace <= 0 {
+		opts.DrainGrace = 30 * time.Second
+	}
+	w := &Worker{
+		opts:   opts,
+		client: opts.Client,
+		prep:   newPrepCache(),
+		logf:   opts.Logf,
+	}
+	if w.client == nil {
+		w.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+	w.snapDir = opts.SnapshotDir
+	if w.snapDir == "" {
+		dir, err := os.MkdirTemp("", "fgpsim-worker-")
+		if err != nil {
+			return nil, err
+		}
+		w.snapDir = dir
+	} else if err := os.MkdirAll(w.snapDir, 0o755); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ID returns the worker's identity.
+func (w *Worker) ID() string { return w.opts.ID }
+
+// Run is the worker's main loop; it returns nil after a graceful drain
+// (ctx canceled: stop polling, ask in-flight cells to park and ship their
+// snapshots, post what settled, deregister) and only returns an error when
+// it could never join the fabric at all.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.logf("worker %s: registered (lease %d)", w.opts.ID, w.lease.Load())
+
+	hbCtx, hbStop := context.WithCancel(context.Background())
+	defer hbStop()
+	go w.heartbeatLoop(hbCtx)
+
+	// Cells run under their own context so a drain can ask them to park
+	// (cooperative preempt) instead of tearing them down mid-simulation.
+	cellCtx, cancelCells := context.WithCancel(context.Background())
+	defer cancelCells()
+	var cellWG sync.WaitGroup
+
+poll:
+	for ctx.Err() == nil {
+		free := w.opts.Concurrency - int(w.busy.Load())
+		if free <= 0 {
+			if !sleepCtx(ctx, 20*time.Millisecond) {
+				break poll
+			}
+			continue
+		}
+		var resp pollResponse
+		err := w.doJSON(ctx, "POST", "/fabric/poll",
+			pollRequest{Worker: w.opts.ID, Lease: w.lease.Load(), Max: free}, &resp)
+		if err != nil {
+			if ctx.Err() != nil {
+				break poll
+			}
+			w.logf("worker %s: poll: %v", w.opts.ID, err)
+			if !sleepCtx(ctx, 500*time.Millisecond) {
+				break poll
+			}
+			continue
+		}
+		if len(resp.Cells) == 0 {
+			wait := time.Duration(resp.WaitMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 200 * time.Millisecond
+			}
+			if !sleepCtx(ctx, wait) {
+				break poll
+			}
+			continue
+		}
+		for _, cell := range resp.Cells {
+			w.busy.Add(1)
+			cellWG.Add(1)
+			go func(pr pollResponse, a cellAssignment) {
+				defer cellWG.Done()
+				defer w.busy.Add(-1)
+				w.runCell(cellCtx, pr, a)
+			}(resp, cell)
+		}
+	}
+
+	if w.opts.Abandon {
+		cancelCells()
+		return nil
+	}
+	// Graceful drain: ask armed cells to park at their next checkpoint
+	// boundary (shipping the parked snapshot), bound the wait, then go.
+	w.preempt.Store(true)
+	done := make(chan struct{})
+	go func() { cellWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(w.opts.DrainGrace):
+		w.logf("worker %s: drain grace expired; abandoning in-flight cells", w.opts.ID)
+		cancelCells()
+		<-done
+	}
+	w.deregister()
+	w.logf("worker %s: drained", w.opts.ID)
+	return nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	t := time.NewTicker(w.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			err := w.doJSON(ctx, "POST", "/fabric/heartbeat",
+				heartbeatRequest{Worker: w.opts.ID, Lease: w.lease.Load()}, nil)
+			if err != nil && ctx.Err() == nil {
+				w.logf("worker %s: heartbeat: %v", w.opts.ID, err)
+			}
+		}
+	}
+}
+
+// runCell executes one assignment through the sweep machinery: a 1x1 grid
+// with the coordinator's retry, timeout, and checkpoint parameters, the
+// worker's shared snapshot dir and preempt flag, and a snapshot sink that
+// ships every durable checkpoint to the coordinator.
+func (w *Worker) runCell(ctx context.Context, pr pollResponse, a cellAssignment) {
+	fail := func(err error) {
+		w.postResult(resultRequest{Worker: w.opts.ID, Lease: w.lease.Load(),
+			SweepID: pr.SweepID, Cell: a.Cell, Attempt: a.Attempt, Err: err.Error()})
+	}
+	var p *exp.Prepared
+	var name string
+	var err error
+	if a.Bench != "" {
+		name = a.Bench
+		p, err = w.prep.prepareBench(a.Bench)
+	} else {
+		name = sourceName(pr.Source, pr.In0, pr.In1)
+		p, err = w.prep.prepareSource(pr.Source, pr.In0, pr.In1)
+	}
+	if err != nil {
+		fail(err)
+		return
+	}
+	cfg, err := a.Config.Config()
+	if err != nil {
+		fail(err)
+		return
+	}
+	key := exp.KeyOf(name, cfg)
+	if len(a.Snapshot) > 0 {
+		// A previous assignee's shipped progress: store it (re-validated)
+		// where the grid's resume path will find it.
+		if _, serr := snapshot.Store(exp.CellSnapshotPath(w.snapDir, key), a.Snapshot); serr != nil {
+			w.logf("worker %s: cell %s: shipped snapshot rejected: %v", w.opts.ID, a.Cell, serr)
+		}
+	}
+	var timeout time.Duration
+	if pr.Timeout != "" {
+		timeout, _ = time.ParseDuration(pr.Timeout)
+	}
+	var out exp.CellOutcome
+	opts := exp.GridOptions{
+		Workers:    1,
+		Retries:    pr.Retries,
+		RunTimeout: timeout,
+		Observer:   func(o exp.CellOutcome) { out = o },
+	}
+	if pr.CheckpointEvery > 0 {
+		opts.CheckpointEvery = pr.CheckpointEvery
+		opts.SnapshotDir = w.snapDir
+		opts.Preempt = &w.preempt
+		opts.SnapshotSink = func(_ exp.Key, encoded []byte) { w.ship(a.Cell, encoded) }
+	}
+	_, err = exp.GridContext(ctx, []*exp.Prepared{p}, []machine.Config{cfg}, opts)
+	switch {
+	case out.Preempted:
+		// Parked and shipped; the coordinator requeues it when we
+		// deregister (or are declared dead).
+	case out.Stats != nil:
+		w.CellsRun.Add(1)
+		w.postResult(resultRequest{Worker: w.opts.ID, Lease: w.lease.Load(),
+			SweepID: pr.SweepID, Cell: a.Cell, Attempt: a.Attempt, Stats: out.Stats})
+	case out.Err != nil:
+		w.CellsRun.Add(1)
+		fail(out.Err)
+	default:
+		if err != nil && ctx.Err() == nil {
+			w.logf("worker %s: cell %s: %v", w.opts.ID, a.Cell, err)
+		}
+	}
+}
+
+// ship PUTs one encoded snapshot to the coordinator, best-effort: a failed
+// ship only costs resume progress if this worker also dies before the cell
+// settles.
+func (w *Worker) ship(cellID string, encoded []byte) {
+	req, err := http.NewRequest("PUT", w.opts.Coordinator+"/fabric/snapshot/"+cellID, bytes.NewReader(encoded))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.logf("worker %s: ship %s: %v", w.opts.ID, cellID, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.logf("worker %s: ship %s: coordinator said %d", w.opts.ID, cellID, resp.StatusCode)
+	}
+}
+
+// postResult delivers one settled cell, retrying with backoff until the
+// coordinator acknowledges it (200), rejects it as unknown (404 — the
+// sweep finished or the coordinator restarted past it), or a bounded
+// retry budget runs out. Delivery runs on the background context: results
+// must still flow during a graceful drain.
+func (w *Worker) postResult(res resultRequest) {
+	backoff := 100 * time.Millisecond
+	for tries := 0; tries < 30; tries++ {
+		res.Lease = w.lease.Load()
+		var status int
+		err := w.doJSONStatus(context.Background(), "POST", "/fabric/result", res, nil, &status)
+		if err == nil {
+			return
+		}
+		if status == http.StatusNotFound || status == http.StatusBadRequest {
+			w.logf("worker %s: result %s dropped: %v", w.opts.ID, res.Cell, err)
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+	w.logf("worker %s: result %s undeliverable; giving up", w.opts.ID, res.Cell)
+}
+
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 100 * time.Millisecond
+	for {
+		var resp registerResponse
+		err := w.rawJSON(ctx, "POST", "/fabric/register", registerRequest{Worker: w.opts.ID}, &resp, nil)
+		if err == nil {
+			w.lease.Store(resp.Lease)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("server: worker %s never registered: %w", w.opts.ID, err)
+		}
+		if !sleepCtx(ctx, backoff) {
+			return fmt.Errorf("server: worker %s never registered: %w", w.opts.ID, err)
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+func (w *Worker) deregister() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	w.rawJSON(ctx, "POST", "/fabric/deregister",
+		heartbeatRequest{Worker: w.opts.ID, Lease: w.lease.Load()}, nil, nil)
+}
+
+// doJSON is rawJSON plus the lease-renewal convention: 410 Gone means the
+// coordinator (possibly a restarted one) no longer honors our lease, so
+// re-register and retry once with the fresh lease.
+func (w *Worker) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var status int
+	err := w.doJSONStatus(ctx, method, path, body, out, &status)
+	return err
+}
+
+func (w *Worker) doJSONStatus(ctx context.Context, method, path string, body, out any, status *int) error {
+	err := w.rawJSON(ctx, method, path, body, out, status)
+	if err != nil && *status == http.StatusGone {
+		if rerr := w.register(ctx); rerr != nil {
+			return rerr
+		}
+		body = w.restamp(body)
+		return w.rawJSON(ctx, method, path, body, out, status)
+	}
+	return err
+}
+
+// restamp rewrites a request's lease after a re-registration.
+func (w *Worker) restamp(body any) any {
+	lease := w.lease.Load()
+	switch b := body.(type) {
+	case pollRequest:
+		b.Lease = lease
+		return b
+	case heartbeatRequest:
+		b.Lease = lease
+		return b
+	case resultRequest:
+		b.Lease = lease
+		return b
+	}
+	return body
+}
+
+func (w *Worker) rawJSON(ctx context.Context, method, path string, body, out any, status *int) error {
+	if status == nil {
+		status = new(int)
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.opts.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	*status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("server: %s %s: %d %s", method, path, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

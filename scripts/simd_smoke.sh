@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # simd_smoke.sh — end-to-end smoke test for the simulation daemon.
 #
-#   simd_smoke.sh [graceful|chaos]
+#   simd_smoke.sh [graceful|chaos|fabric-chaos]
 #
 # graceful (default): boots simd, waits for /readyz, submits a small sweep,
 # SIGTERMs the daemon mid-run, asserts a graceful drain (exit 0), then
@@ -15,6 +15,14 @@
 # byte-identical to the control's — cells finished before the kill come
 # from the cell journal, the cell in flight resumes from its snapshot.
 #
+# fabric-chaos: the distributed acceptance test (DESIGN.md §15). Runs a
+# generated many-cell sweep on a single-node control daemon, then re-runs
+# it on a coordinator with three pull workers while the test kill -9s one
+# worker mid-cell, SIGTERMs a second, and restarts the coordinator over its
+# journal — and asserts the merged fabric results are byte-identical to the
+# single-node control. FABRIC_CELLS (default 112) scales the generated
+# grid; the paper-scale run uses FABRIC_CELLS=10000.
+#
 # This is the CI-level counterpart of internal/server's unit tests: it
 # exercises the real binary, real signals, and a real restart.
 set -euo pipefail
@@ -27,11 +35,15 @@ BASE="http://$ADDR"
 WORK="$(mktemp -d)"
 JOURNAL="$WORK/journal"
 SIMD_PID=""
+WORKER_PIDS=()
 
 cleanup() {
 	if [[ -n "$SIMD_PID" ]] && kill -0 "$SIMD_PID" 2>/dev/null; then
 		kill -9 "$SIMD_PID" 2>/dev/null || true
 	fi
+	for pid in "${WORKER_PIDS[@]}"; do
+		kill -9 "$pid" 2>/dev/null || true
+	done
 	rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -270,11 +282,175 @@ chaos_smoke() {
 	[[ "$EXIT" -eq 0 ]] || fail "daemon exited $EXIT on final SIGTERM"
 }
 
+# metric_val NAME: one integer counter from /metrics.
+metric_val() {
+	curl -fsS "$BASE/metrics" | sed -n "s/.*\"$1\": \([0-9]*\).*/\1/p"
+}
+
+# gen_fabric_sweep N PATH: a generated N-cell grid — one medium-length
+# source program crossed with mem/predictor/issue/window variants, the
+# multi-axis shape the fabric shards by image-cache key.
+gen_fabric_sweep() {
+	local n="$1" path="$2"
+	local mems=(A B C D E F G) preds='"", "gshare"' i mem pred issue window sep=""
+	{
+		printf '{\n  "source": "int main() { int i = 0; int acc = 0; while (i < 300000) { acc = acc + i; i = i + 1; } putc(%s + (acc %% 10)); return 0; }",\n  "configs": [\n' "'0'"
+		for ((i = 0; i < n; i++)); do
+			mem=${mems[$((i % 7))]}
+			pred=$(( (i / 7) % 2 ))
+			issue=$((1 << ((i / 14) % 4)))
+			window=$(( (i / 56) * 16 ))
+			printf '%s    {"disc": "dyn4", "issue": %d, "mem": "%s", "branch": "single"' "$sep" "$issue" "$mem"
+			[[ "$pred" == 1 ]] && printf ', "predictor": "gshare"'
+			[[ "$window" -gt 0 ]] && printf ', "window": %d' "$window"
+			printf '}'
+			sep=$',\n'
+		done
+		printf '\n  ]\n}\n'
+	} >"$path"
+}
+
+# start_worker NAME: one pull worker against $BASE; PID appended to
+# WORKER_PIDS and echoed. Concurrency 1 keeps the sweep slow enough that
+# the chaos (kills, restart) reliably lands while cells are in flight.
+start_worker() {
+	local name="$1"
+	"$WORK/simd" -worker "$BASE" -worker-id "$name" -heartbeat 250ms -concurrency 1 \
+		>"$WORK/worker-$name.log" 2>&1 &
+	WORKER_PIDS+=($!)
+	echo "${WORKER_PIDS[-1]}"
+}
+
+FABRIC_FLAGS=(-coordinator -worker-dead-after 2s -steal-after 1s "${CKPT_FLAGS[@]}")
+
+fabric_chaos_smoke() {
+	local CELLS="${FABRIC_CELLS:-112}"
+	local TICKS=$((CELLS * 40 + 1200))
+	echo "simd-smoke(fabric): generating $CELLS-cell sweep"
+	gen_fabric_sweep "$CELLS" "$WORK/fabric-sweep.json"
+	SWEEP_JSON="$WORK/fabric-sweep.json"
+
+	# Single-node control at the same checkpoint cadence: the fabric merge
+	# must be byte-identical to this.
+	echo "simd-smoke(fabric): single-node control run"
+	"$WORK/simd" -addr "$ADDR" -journal "$WORK/journal-control" \
+		"${CKPT_FLAGS[@]}" >"$WORK/simd.log" 2>&1 &
+	SIMD_PID=$!
+	wait_ready
+	local CONTROL_ID CONTROL_RESULTS
+	CONTROL_ID=$(submit_sweep)
+	CONTROL_RESULTS=$(results_of "$(wait_done "$CONTROL_ID" "$TICKS")")
+	[[ -n "$CONTROL_RESULTS" ]] || fail "control sweep has no results"
+	kill -TERM "$SIMD_PID"
+	wait "$SIMD_PID" || true
+	SIMD_PID=""
+
+	echo "simd-smoke(fabric): boot coordinator + 3 workers"
+	"$WORK/simd" -addr "$ADDR" -journal "$JOURNAL" "${FABRIC_FLAGS[@]}" \
+		>>"$WORK/simd.log" 2>&1 &
+	SIMD_PID=$!
+	wait_ready
+	local W1 W2 W3
+	W1=$(start_worker w1)
+	W2=$(start_worker w2)
+	W3=$(start_worker w3)
+
+	local ID
+	ID=$(submit_sweep)
+	echo "simd-smoke(fabric): sweep $ID accepted"
+
+	# Chaos window: wait for real progress so the kills land mid-sweep.
+	local done_cells=0
+	for _ in $(seq 1 600); do
+		done_cells=$(curl -fsS "$BASE/sweep/$ID" | sed -n 's/.*"done": \([0-9]*\).*/\1/p')
+		[[ "${done_cells:-0}" -ge 1 ]] && break
+		sleep 0.1
+	done
+	[[ "${done_cells:-0}" -ge 1 ]] || fail "fabric sweep made no progress"
+
+	echo "simd-smoke(fabric): kill -9 worker w1 mid-cell"
+	kill -9 "$W1"
+	wait "$W1" 2>/dev/null || true
+
+	# The liveness watchdog must declare w1 dead and requeue its cells.
+	local dead=0
+	for _ in $(seq 1 150); do
+		dead=$(metric_val workers_dead)
+		[[ "${dead:-0}" -ge 1 ]] && break
+		sleep 0.1
+	done
+	[[ "${dead:-0}" -ge 1 ]] || fail "dead worker never declared (workers_dead=$dead)"
+	echo "simd-smoke(fabric): w1 declared dead, cells_requeued=$(metric_val cells_requeued)"
+
+	echo "simd-smoke(fabric): SIGTERM worker w2 (graceful drain)"
+	kill -TERM "$W2"
+	local EXIT=0
+	wait "$W2" || EXIT=$?
+	[[ "$EXIT" -eq 0 ]] || fail "worker w2 exited $EXIT on SIGTERM, want 0"
+	grep -q "drained" "$WORK/worker-w2.log" || fail "worker w2 log missing drain message"
+
+	# A fast machine may have finished the sweep already; the run is then
+	# still a valid (no-restart) comparison against the control.
+	local STATE
+	STATE=$(curl -fsS "$BASE/sweep/$ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+	if [[ "$STATE" == "done" ]]; then
+		echo "simd-smoke(fabric): sweep finished before the restart; comparing directly"
+		RESULTS=$(results_of "$(curl -fsS "$BASE/sweep/$ID")")
+		[[ "$RESULTS" == "$CONTROL_RESULTS" ]] || fail "fabric results differ from single-node control"
+		echo "simd-smoke(fabric): results byte-identical to single-node control"
+		return 0
+	fi
+
+	echo "simd-smoke(fabric): restart coordinator over its journal"
+	kill -TERM "$SIMD_PID"
+	EXIT=0
+	wait "$SIMD_PID" || EXIT=$?
+	SIMD_PID=""
+	[[ "$EXIT" -eq 0 ]] || fail "coordinator exited $EXIT on SIGTERM, want 0"
+	"$WORK/simd" -addr "$ADDR" -journal "$JOURNAL" "${FABRIC_FLAGS[@]}" \
+		>>"$WORK/simd.log" 2>&1 &
+	SIMD_PID=$!
+	wait_ready
+	[[ "$(metric_val jobs_resumed)" == "1" ]] || fail "coordinator did not resume the sweep from its journal"
+	echo "simd-smoke(fabric): resumed with cells_restored=$(metric_val cells_restored)"
+
+	# w3 survived the restart (its stale lease gets 410, it re-registers);
+	# a replacement worker joins for the lost capacity.
+	start_worker w4 >/dev/null
+
+	local RESULTS
+	RESULTS=$(results_of "$(wait_done "$ID" "$TICKS")")
+	echo "simd-smoke(fabric): fabric sweep completed"
+
+	if [[ "$RESULTS" != "$CONTROL_RESULTS" ]]; then
+		echo "--- control results (first 40 lines) ---" >&2
+		head -40 <<<"$CONTROL_RESULTS" >&2
+		echo "--- fabric results (first 40 lines) ---" >&2
+		head -40 <<<"$RESULTS" >&2
+		fail "fabric results differ from single-node control"
+	fi
+	echo "simd-smoke(fabric): results byte-identical to single-node control"
+
+	curl -fsS "$BASE/metrics" | sed -n '1,40p'
+
+	echo "simd-smoke(fabric): shutdown"
+	for pid in "$W3" "${WORKER_PIDS[-1]}"; do
+		kill -TERM "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	done
+	kill -TERM "$SIMD_PID"
+	EXIT=0
+	wait "$SIMD_PID" || EXIT=$?
+	SIMD_PID=""
+	[[ "$EXIT" -eq 0 ]] || fail "coordinator exited $EXIT on final SIGTERM"
+}
+
 case "$MODE" in
 graceful) graceful_smoke ;;
 chaos) chaos_smoke ;;
+fabric-chaos) fabric_chaos_smoke ;;
 *)
-	echo "usage: $0 [graceful|chaos]" >&2
+	echo "usage: $0 [graceful|chaos|fabric-chaos]" >&2
 	exit 2
 	;;
 esac
