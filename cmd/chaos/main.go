@@ -1,0 +1,218 @@
+// Command chaos is the deterministic chaos orchestrator (DESIGN.md §16).
+// It runs full coordinator/worker sweeps in-process with every disk and
+// network surface wrapped in seeded failpoints (internal/chaos), checks
+// the fabric's invariants after each run — byte-identity against a
+// fault-free control, no acknowledged result lost, journals consistent
+// with served results, recovery terminates, no spurious quarantines — and
+// shrinks any failing schedule to a minimal repro token.
+//
+// Modes (exactly one):
+//
+//	chaos -seeds N [-seed-base B]   explore N planned schedules (seeds B..B+N-1)
+//	chaos -seed S                   run the single planned schedule for seed S
+//	chaos -replay "seed=S keep=..." replay a repro token printed by a failure
+//	chaos -self-test                prove the detector: a deliberately seeded
+//	                                violation must be caught, replayed
+//	                                bit-identically, and shrunk to its
+//	                                minimal schedule
+//
+// Every schedule is a pure function of its seed, so any failure this tool
+// ever prints is reproducible with -replay and the token alone. On a
+// violation the process exits 1 after shrinking; -out DIR additionally
+// saves the run's journals, snapshots, and report for artifact upload.
+// Infrastructure errors (the harness itself failing) exit 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fgpsim/internal/chaos"
+	"fgpsim/internal/chaos/harness"
+)
+
+type options struct {
+	seeds    int
+	seedBase uint64
+	seed     uint64
+	seedSet  bool
+	replay   string
+	selfTest bool
+
+	workers     int
+	concurrency int
+	maxFaults   int
+	noShrink    bool
+	out         string
+	verbose     bool
+}
+
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.IntVar(&o.seeds, "seeds", 0, "explore N planned fault schedules")
+	fs.Uint64Var(&o.seedBase, "seed-base", 1, "first seed of a -seeds sweep")
+	fs.Func("seed", "run the single planned schedule for this seed", func(v string) error {
+		if _, err := fmt.Sscanf(v, "%d", &o.seed); err != nil {
+			return err
+		}
+		o.seedSet = true
+		return nil
+	})
+	fs.StringVar(&o.replay, "replay", "", `replay a repro token ("seed=N" or "seed=N keep=i,j")`)
+	fs.BoolVar(&o.selfTest, "self-test", false, "run the seeded-violation detector check")
+	fs.IntVar(&o.workers, "workers", 2, "fabric workers per run")
+	fs.IntVar(&o.concurrency, "concurrency", 2, "cell concurrency per worker")
+	fs.IntVar(&o.maxFaults, "max-faults", 0, "faults per planned schedule (0 = profile default)")
+	fs.BoolVar(&o.noShrink, "no-shrink", false, "report violations without shrinking them first")
+	fs.StringVar(&o.out, "out", "", "directory for failing runs' journals and reports (CI artifacts)")
+	fs.BoolVar(&o.verbose, "v", false, "log harness progress to stderr")
+	return o
+}
+
+func (o *options) modes() int {
+	n := 0
+	for _, set := range []bool{o.seeds > 0, o.seedSet, o.replay != "", o.selfTest} {
+		if set {
+			n++
+		}
+	}
+	return n
+}
+
+func (o *options) harnessOptions() harness.Options {
+	h := harness.Options{
+		Workers:     o.workers,
+		Concurrency: o.concurrency,
+		Profile:     chaos.Profile{MaxFaults: o.maxFaults},
+		ArtifactDir: o.out,
+	}
+	if o.verbose {
+		h.Logf = log.Printf
+	}
+	return h
+}
+
+// errViolation distinguishes "an invariant broke" (exit 1, the interesting
+// outcome) from the harness itself failing (exit 2).
+type errViolation struct{ msg string }
+
+func (e *errViolation) Error() string { return e.msg }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaos: ")
+	o := registerFlags(flag.CommandLine)
+	flag.Parse()
+	if err := run(o); err != nil {
+		log.Print(err)
+		if _, ok := err.(*errViolation); ok {
+			os.Exit(1)
+		}
+		os.Exit(2)
+	}
+}
+
+func run(o *options) error {
+	if n := o.modes(); n != 1 {
+		return fmt.Errorf("need exactly one of -seeds, -seed, -replay, -self-test (got %d); see -h", n)
+	}
+	switch {
+	case o.selfTest:
+		start := time.Now()
+		logf := func(string, ...any) {}
+		if o.verbose {
+			logf = log.Printf
+		}
+		if err := harness.SelfTest(logf); err != nil {
+			return &errViolation{fmt.Sprintf("%v", err)}
+		}
+		fmt.Printf("self-test: seeded violation caught, replayed bit-identically, shrunk to minimal schedule (%.1fs)\n",
+			time.Since(start).Seconds())
+		return nil
+	case o.replay != "":
+		seed, keep, err := chaos.ParseRepro(o.replay)
+		if err != nil {
+			return err
+		}
+		sched := harness.PlanFor(o.harnessOptions(), seed)
+		sched.Keep = keep
+		return o.runOne(sched)
+	case o.seedSet:
+		return o.runOne(harness.PlanFor(o.harnessOptions(), o.seed))
+	default:
+		return o.explore()
+	}
+}
+
+// runOne runs a single schedule and reports it in full.
+func (o *options) runOne(sched *chaos.Schedule) error {
+	hopts := o.harnessOptions()
+	rep, err := harness.Run(hopts, sched)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule %s: %d fault(s) fired, %d coordinator restart(s)\n", rep.Repro, len(rep.Fired), rep.Restarts)
+	for _, f := range rep.Fired {
+		fmt.Printf("  fired %s\n", f)
+	}
+	if rep.Violation == "" {
+		fmt.Println("all invariants held")
+		return nil
+	}
+	return o.reportViolation(hopts, sched, rep)
+}
+
+// explore runs o.seeds planned schedules and stops at the first violation.
+func (o *options) explore() error {
+	hopts := o.harnessOptions()
+	start := time.Now()
+	fired := 0
+	for i := 0; i < o.seeds; i++ {
+		seed := o.seedBase + uint64(i)
+		sched := harness.PlanFor(hopts, seed)
+		rep, err := harness.Run(hopts, sched)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		fired += len(rep.Fired)
+		if rep.Violation != "" {
+			return o.reportViolation(hopts, sched, rep)
+		}
+		if o.verbose || (i+1)%25 == 0 || i+1 == o.seeds {
+			log.Printf("%d/%d schedules ok (%d faults fired, %.0fs)", i+1, o.seeds, fired, time.Since(start).Seconds())
+		}
+	}
+	fmt.Printf("%d schedules, %d faults fired, 0 invariant violations (%.0fs)\n", o.seeds, fired, time.Since(start).Seconds())
+	return nil
+}
+
+// reportViolation prints everything a human needs to chase the failure —
+// the invariant, the detail, the fired faults, the repro token — then
+// shrinks the schedule to its minimal form (unless -no-shrink) and returns
+// the exit-1 error carrying the shortest token that still fails.
+func (o *options) reportViolation(hopts harness.Options, sched *chaos.Schedule, rep *harness.Report) error {
+	fmt.Printf("INVARIANT VIOLATION: %s\n%s\n", rep.Violation, rep.Detail)
+	for _, f := range rep.Fired {
+		fmt.Printf("  fired %s\n", f)
+	}
+	fmt.Printf("reproduce with: go run ./cmd/chaos -replay %q -workers %d -concurrency %d\n",
+		rep.Repro, o.workers, o.concurrency)
+	token := rep.Repro
+	if !o.noShrink {
+		log.Printf("shrinking %s ...", rep.Repro)
+		shrunk, best, err := harness.Shrink(hopts, sched)
+		if err != nil {
+			log.Printf("shrink failed (reporting unshrunk schedule): %v", err)
+		} else {
+			token = shrunk.Repro()
+			fmt.Printf("shrunk to %d fault(s): %s (%s)\n", len(shrunk.Active()), token, best.Violation)
+		}
+	}
+	if o.out != "" {
+		fmt.Printf("artifacts saved under %s\n", o.out)
+	}
+	return &errViolation{fmt.Sprintf("invariant %s violated; minimal repro %q", rep.Violation, token)}
+}

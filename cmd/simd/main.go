@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/server"
 )
 
@@ -73,6 +74,12 @@ type options struct {
 	workerURL       string
 	workerID        string
 	heartbeat       time.Duration
+
+	chaosDisk string
+	// disk is the failpoint filesystem -chaos-disk resolved to (nil when
+	// the flag is unset), built once during validate. Declared as the
+	// interface so an unset flag passes a true nil to Config/WorkerOptions.
+	disk chaos.Disk
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
@@ -94,6 +101,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.workerURL, "worker", "", "worker role: pull cells from the coordinator at this base URL (exclusive with -coordinator)")
 	fs.StringVar(&o.workerID, "worker-id", "", "stable worker identity for re-registration after a crash (default hostname-pid; requires -worker)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", time.Second, "worker liveness beacon period; keep well inside -worker-dead-after (requires -worker)")
+	fs.StringVar(&o.chaosDisk, "chaos-disk", "", `mount seeded disk failpoints under the journal/snapshot layer; takes a chaos repro token ("seed=N" or "seed=N keep=i,j"). Soak testing only — never in production`)
 	return o
 }
 
@@ -146,11 +154,20 @@ func (o *options) validate() error {
 			return fmt.Errorf("%s must be >= 0, got %s", d.name, d.val)
 		}
 	}
+	if o.chaosDisk != "" {
+		seed, keep, err := chaos.ParseRepro(o.chaosDisk)
+		if err != nil {
+			return fmt.Errorf("-chaos-disk: %w", err)
+		}
+		sched := chaos.Plan(seed, []chaos.Component{{Name: "daemon/disk", Kinds: chaos.DiskKinds()}}, chaos.Profile{})
+		sched.Keep = keep
+		o.disk = chaos.NewFS(chaos.OS{}, sched, "daemon/disk")
+	}
 	return nil
 }
 
 func (o *options) serverConfig() server.Config {
-	return server.Config{
+	cfg := server.Config{
 		QueueDepth:       o.queue,
 		Concurrency:      o.concurrency,
 		DefaultTimeout:   o.defTimeout,
@@ -164,6 +181,11 @@ func (o *options) serverConfig() server.Config {
 		WorkerDeadAfter:  o.workerDeadAfter,
 		StealAfter:       o.stealAfter,
 	}
+	if o.disk != nil {
+		cfg.Disk = o.disk
+		fmt.Fprintf(os.Stderr, "simd: CHAOS: disk failpoints armed (%s) — journal and snapshot writes will fail on schedule\n", o.chaosDisk)
+	}
+	return cfg
 }
 
 func main() { os.Exit(realMain(os.Args[1:])) }
@@ -197,12 +219,16 @@ func realMain(args []string) int {
 // drain (park in-flight cells at a checkpoint boundary, ship the parked
 // snapshots, deregister) and exit 0.
 func runWorker(o *options) error {
+	if o.disk != nil {
+		fmt.Fprintf(os.Stderr, "simd: CHAOS: disk failpoints armed (%s) — snapshot writes will fail on schedule\n", o.chaosDisk)
+	}
 	w, err := server.NewWorker(server.WorkerOptions{
 		Coordinator: o.workerURL,
 		ID:          o.workerID,
 		Heartbeat:   o.heartbeat,
 		Concurrency: o.concurrency,
 		DrainGrace:  o.drainTimeout,
+		Disk:        o.disk,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -1,0 +1,408 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testComponents() []Component {
+	return []Component{
+		{Name: "coord-disk", Kinds: DiskKinds()},
+		{Name: "w1-disk", Kinds: DiskKinds()},
+		{Name: "w1-net", Kinds: NetKinds()},
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		a := Plan(seed, testComponents(), Profile{})
+		b := Plan(seed, testComponents(), Profile{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ:\n%v\n%v", seed, a.Faults, b.Faults)
+		}
+		if len(a.Faults) == 0 || len(a.Faults) > 5 {
+			t.Fatalf("seed %d: plan size %d outside 1..5", seed, len(a.Faults))
+		}
+		for _, f := range a.Faults {
+			if f.Class == "" || f.N < 1 {
+				t.Fatalf("seed %d: malformed fault %+v", seed, f)
+			}
+			if f.Kind.DiskKind() != strings.HasSuffix(f.Component, "-disk") {
+				t.Fatalf("seed %d: kind %v drawn for component %s", seed, f.Kind, f.Component)
+			}
+		}
+	}
+}
+
+func TestPlanCoversAllKinds(t *testing.T) {
+	seen := map[Kind]bool{}
+	for seed := uint64(0); seed < 500; seed++ {
+		for _, f := range Plan(seed, testComponents(), Profile{}).Faults {
+			seen[f.Kind] = true
+		}
+	}
+	for _, k := range append(DiskKinds(), NetKinds()...) {
+		if !seen[k] {
+			t.Errorf("kind %v never drawn in 500 seeds", k)
+		}
+	}
+}
+
+func TestScheduleKeepAndRepro(t *testing.T) {
+	s := Plan(42, testComponents(), Profile{MaxFaults: 5})
+	if got := s.Repro(); got != "seed=42" {
+		t.Fatalf("full-plan repro = %q", got)
+	}
+	s.Keep = []int{0}
+	if len(s.Active()) != 1 || !reflect.DeepEqual(s.Active()[0], s.Faults[0]) {
+		t.Fatalf("Keep=[0] active = %v", s.Active())
+	}
+	tok := s.Repro()
+	seed, keep, err := ParseRepro(tok)
+	if err != nil || seed != 42 || !reflect.DeepEqual(keep, []int{0}) {
+		t.Fatalf("ParseRepro(%q) = %d %v %v", tok, seed, keep, err)
+	}
+	if _, _, err := ParseRepro("keep=1"); err == nil {
+		t.Fatal("ParseRepro without seed should fail")
+	}
+	if _, _, err := ParseRepro("seed=zzz"); err == nil {
+		t.Fatal("ParseRepro with bad seed should fail")
+	}
+	if seed, keep, err := ParseRepro("seed=7"); err != nil || seed != 7 || keep != nil {
+		t.Fatalf("ParseRepro(seed=7) = %d %v %v", seed, keep, err)
+	}
+}
+
+// manual builds a schedule by hand so FS/Transport tests can pin exact
+// fault sites.
+func manual(faults ...Fault) *Schedule { return &Schedule{Seed: 1, Faults: faults} }
+
+func TestFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	sched := manual(Fault{Component: "d", Kind: TornWrite, Class: "write", N: 2, Arg: 3})
+	fsys := NewFS(OS{}, sched, "d")
+	f, err := fsys.OpenFile(filepath.Join(dir, "j"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first\n")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	n, err := f.Write([]byte("second\n"))
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Kind != TornWrite {
+		t.Fatalf("write 2 = %d, %v; want injected torn-write", n, err)
+	}
+	if n != 3 {
+		t.Fatalf("torn prefix = %d bytes, want Arg%%len = 3", n)
+	}
+	f.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "j"))
+	if string(data) != "first\nsec" {
+		t.Fatalf("on disk: %q", data)
+	}
+	if fsys.Pending() != 0 {
+		t.Fatalf("pending = %d after fire", fsys.Pending())
+	}
+	if len(fsys.Fired()) != 1 {
+		t.Fatalf("fired = %v", fsys.Fired())
+	}
+}
+
+func TestFSSyncFailAndNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	sched := manual(
+		Fault{Component: "d", Kind: SyncFail, Class: "sync", N: 1},
+		Fault{Component: "d", Kind: WriteNoSpace, Class: "write", N: 2},
+	)
+	fsys := NewFS(OS{}, sched, "d")
+	f, _ := fsys.OpenFile(filepath.Join(dir, "j"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	var inj *InjectedError
+	if err := f.Sync(); !errors.As(err, &inj) || inj.Kind != SyncFail {
+		t.Fatalf("sync 1 = %v; want injected sync-fail", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2 (fault drained): %v", err)
+	}
+	if n, err := f.Write([]byte("b")); n != 0 || !errors.As(err, &inj) || inj.Kind != WriteNoSpace {
+		t.Fatalf("write 2 = %d, %v; want injected enospc", n, err)
+	}
+	f.Close()
+}
+
+func TestFSRenameCutAndBitrot(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	sched := manual(
+		Fault{Component: "d", Kind: RenameCut, Class: "rename", N: 1},
+		Fault{Component: "d", Kind: BitrotRead, Class: "read", N: 2, Arg: 13},
+	)
+	fsys := NewFS(OS{}, sched, "d")
+	if err := fsys.WriteFile(a, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var inj *InjectedError
+	if err := fsys.Rename(a, b); !errors.As(err, &inj) || inj.Kind != RenameCut {
+		t.Fatalf("rename = %v; want injected rename-cut", err)
+	}
+	if _, err := os.Stat(b); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("rename-cut must leave target untouched")
+	}
+	if err := fsys.Rename(a, b); err != nil {
+		t.Fatalf("rename 2 (drained): %v", err)
+	}
+	clean, err := fsys.ReadFile(b)
+	if err != nil || string(clean) != "payload" {
+		t.Fatalf("read 1 = %q, %v", clean, err)
+	}
+	rotted, err := fsys.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rotted) == "payload" {
+		t.Fatal("bitrot read returned clean data")
+	}
+	// Exactly one bit differs, at Arg % (len*8).
+	diff := 0
+	for i := range rotted {
+		for bit := 0; bit < 8; bit++ {
+			if (rotted[i]^clean[i])&(1<<bit) != 0 {
+				diff++
+				if wantBit := int(13 % uint64(len(clean)*8)); i*8+bit != wantBit {
+					t.Fatalf("flipped bit %d, want %d", i*8+bit, wantBit)
+				}
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want 1", diff)
+	}
+	// On-disk file is untouched: bitrot is a read-path fault.
+	onDisk, _ := os.ReadFile(b)
+	if string(onDisk) != "payload" {
+		t.Fatal("bitrot must not modify the file")
+	}
+}
+
+func TestFSWriteFileFaults(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	sched := manual(
+		Fault{Component: "d", Kind: TornWrite, Class: "write", N: 1, Arg: 2},
+		Fault{Component: "d", Kind: WriteNoSpace, Class: "write", N: 2},
+	)
+	fsys := NewFS(OS{}, sched, "d")
+	var inj *InjectedError
+	if err := fsys.WriteFile(p, []byte("hello"), 0o644); !errors.As(err, &inj) || inj.Kind != TornWrite {
+		t.Fatalf("WriteFile 1 = %v", err)
+	}
+	if data, _ := os.ReadFile(p); string(data) != "he" {
+		t.Fatalf("torn WriteFile left %q", data)
+	}
+	if err := fsys.WriteFile(p, []byte("hello"), 0o644); !errors.As(err, &inj) || inj.Kind != WriteNoSpace {
+		t.Fatalf("WriteFile 2 = %v", err)
+	}
+	if err := fsys.WriteFile(p, []byte("hello"), 0o644); err != nil {
+		t.Fatalf("WriteFile 3 (drained): %v", err)
+	}
+}
+
+func TestOSSyncDir(t *testing.T) {
+	if err := (OS{}).SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newEchoServer(t *testing.T) (*httptest.Server, *atomic.Int64, *[]string) {
+	t.Helper()
+	var hits atomic.Int64
+	bodies := &[]string{}
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		hits.Add(1)
+		mu.Lock()
+		*bodies = append(*bodies, string(body))
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits, bodies
+}
+
+func post(t *testing.T, c *http.Client, url, body string) (*http.Response, error) {
+	t.Helper()
+	return c.Post(url, "application/json", strings.NewReader(body))
+}
+
+func TestTransportDropAndClassCounting(t *testing.T) {
+	ts, hits, _ := newEchoServer(t)
+	sched := manual(Fault{Component: "n", Kind: NetDrop, Class: "result", N: 2})
+	tr := NewTransport(nil, sched, "n")
+	c := &http.Client{Transport: tr}
+
+	// Polls don't advance the result counter.
+	if _, err := post(t, c, ts.URL+"/fabric/poll", "{}"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := post(t, c, ts.URL+"/fabric/result", "{}"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := post(t, c, ts.URL+"/fabric/result", "{}")
+	if err == nil || !strings.Contains(err.Error(), "net-drop") {
+		t.Fatalf("result 2 = %v; want injected net-drop", err)
+	}
+	if _, err := post(t, c, ts.URL+"/fabric/result", "{}"); err != nil {
+		t.Fatalf("result 3 (drained): %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server hits = %d, want 3 (drop never sent)", hits.Load())
+	}
+}
+
+func TestTransportDupAndTruncate(t *testing.T) {
+	ts, hits, bodies := newEchoServer(t)
+	sched := manual(
+		Fault{Component: "n", Kind: NetDup, Class: "result", N: 1},
+		Fault{Component: "n", Kind: NetTruncate, Class: "result", N: 2, Arg: 2},
+	)
+	tr := NewTransport(nil, sched, "n")
+	c := &http.Client{Transport: tr}
+
+	if _, err := post(t, c, ts.URL+"/fabric/result", `{"a":1}`); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("dup delivered %d times, want 2", hits.Load())
+	}
+	for _, b := range *bodies {
+		if b != `{"a":1}` {
+			t.Fatalf("dup body = %q", b)
+		}
+	}
+	_, err := post(t, c, ts.URL+"/fabric/result", `{"a":2}`)
+	if err == nil || !strings.Contains(err.Error(), "net-truncate") {
+		t.Fatalf("truncate = %v", err)
+	}
+	// The torn request must not have been recorded as a full valid body.
+	for _, b := range *bodies {
+		if b == `{"a":2}` {
+			t.Fatal("truncated request arrived intact")
+		}
+	}
+}
+
+func TestTransportPartitionWindow(t *testing.T) {
+	ts, hits, _ := newEchoServer(t)
+	sched := manual(Fault{Component: "n", Kind: NetPartition, Class: "poll", N: 1, Arg: 1})
+	tr := NewTransport(nil, sched, "n")
+	c := &http.Client{Transport: tr}
+
+	// Arg=1 → window swallows the trigger plus 1+1%4... Arg%4=1 → 2 more.
+	want := 1 + 1 + int(uint64(1)%4)
+	fails := 0
+	for i := 0; i < want+3; i++ {
+		if _, err := post(t, c, ts.URL+"/fabric/poll", "{}"); err != nil {
+			fails++
+		}
+	}
+	if fails != want {
+		t.Fatalf("partition swallowed %d requests, want %d", fails, want)
+	}
+	if hits.Load() != int64(3) {
+		t.Fatalf("server hits = %d, want 3", hits.Load())
+	}
+}
+
+func TestTransportCorruptAndObserver(t *testing.T) {
+	ts, _, bodies := newEchoServer(t)
+	sched := manual(Fault{Component: "n", Kind: NetCorrupt, Class: "result", N: 1, Arg: 5})
+	tr := NewTransport(nil, sched, "n")
+	var observed []string
+	var statuses []int
+	tr.Observe = func(req *http.Request, body []byte, status int) {
+		observed = append(observed, string(body))
+		statuses = append(statuses, status)
+	}
+	c := &http.Client{Transport: tr}
+
+	orig := `{"cell":"x","stats":{"cycles":1234}}`
+	if _, err := post(t, c, ts.URL+"/fabric/result", orig); err != nil {
+		t.Fatal(err)
+	}
+	if len(*bodies) != 1 || (*bodies)[0] == orig {
+		t.Fatalf("corrupt body not mutated: %v", *bodies)
+	}
+	// The mutation is a single digit after "stats", still valid JSON shape.
+	got := (*bodies)[0]
+	if len(got) != len(orig) {
+		t.Fatalf("corrupt changed length: %q", got)
+	}
+	diffs := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diffs++
+			if got[i] < '0' || got[i] > '9' || orig[i] < '0' || orig[i] > '9' {
+				t.Fatalf("corrupt flipped non-digit at %d: %q -> %q", i, orig[i], got[i])
+			}
+			if i <= strings.Index(orig, `"stats"`) {
+				t.Fatalf("corrupt hit byte %d before the stats key", i)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("corrupt changed %d bytes, want 1", diffs)
+	}
+	// Observer saw the delivered (corrupted) body and the 200 ack.
+	if len(observed) != 1 || observed[0] != got || statuses[0] != http.StatusOK {
+		t.Fatalf("observer = %v %v", observed, statuses)
+	}
+}
+
+func TestTransportDelay(t *testing.T) {
+	ts, hits, _ := newEchoServer(t)
+	sched := manual(Fault{Component: "n", Kind: NetDelay, Class: "heartbeat", N: 1, Arg: 1})
+	tr := NewTransport(nil, sched, "n")
+	c := &http.Client{Transport: tr}
+	if _, err := post(t, c, ts.URL+"/fabric/heartbeat", "{}"); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("delayed request must still arrive")
+	}
+}
+
+func TestInjectedCounterAdvances(t *testing.T) {
+	before := Injected()
+	dir := t.TempDir()
+	fsys := NewFS(OS{}, manual(Fault{Component: "d", Kind: WriteNoSpace, Class: "write", N: 1}), "d")
+	_ = fsys.WriteFile(filepath.Join(dir, "x"), []byte("x"), 0o644)
+	if Injected() != before+1 {
+		t.Fatalf("Injected() = %d, want %d", Injected(), before+1)
+	}
+}
+
+func TestMixDistinctLabels(t *testing.T) {
+	if Mix(1, "a") == Mix(1, "b") {
+		t.Fatal("Mix collision across labels")
+	}
+	if Mix(1, "a") != Mix(1, "a") {
+		t.Fatal("Mix not deterministic")
+	}
+}

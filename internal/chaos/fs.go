@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Disk is the filesystem surface the durability layers (exp.Journal,
+// internal/snapshot) go through. OS is the production implementation; FS
+// wraps any Disk with a seeded fault schedule. The method set is exactly
+// what the journal and snapshot code need — not a general VFS.
+type Disk interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Open(name string) (File, error)
+	SyncDir(dir string) error
+}
+
+// File is the open-file surface Disk hands out. Reads through an open File
+// stream are not faulted (BitrotRead targets whole-file ReadFile, where the
+// caller's CRC framing is the defense); the Reader half exists so journal
+// replays can stream through the same seam they write through.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// OS is the passthrough Disk over the real filesystem.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OS) ReadFile(name string) ([]byte, error)                 { return os.ReadFile(name) }
+func (OS) WriteFile(name string, d []byte, p os.FileMode) error { return os.WriteFile(name, d, p) }
+func (OS) Rename(oldpath, newpath string) error                 { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                             { return os.Remove(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)                { return os.Stat(name) }
+func (OS) CreateTemp(dir, pattern string) (File, error)         { return os.CreateTemp(dir, pattern) }
+func (OS) Open(name string) (File, error)                       { return os.Open(name) }
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// FS is a Disk that injects the disk faults of a schedule's plan for one
+// component. Faults arm on the N-th operation of their class ("write",
+// "sync", "rename", "read"); each planned fault fires at most once, so the
+// adversary drains and recovery can be asserted to terminate.
+type FS struct {
+	under Disk
+
+	mu     sync.Mutex
+	counts map[string]int // ops seen per class
+	armed  []plannedDisk
+	fired  []Fired
+}
+
+type plannedDisk struct {
+	f    Fault
+	done bool
+}
+
+// NewFS wraps under with the disk faults sched plans for component.
+// Non-disk faults addressed to the component are ignored (they belong to
+// its Transport).
+func NewFS(under Disk, sched *Schedule, component string) *FS {
+	fsys := &FS{under: under, counts: map[string]int{}}
+	if sched != nil {
+		for _, f := range sched.For(component) {
+			if f.Kind.DiskKind() {
+				fsys.armed = append(fsys.armed, plannedDisk{f: f})
+			}
+		}
+	}
+	return fsys
+}
+
+// Fired returns the faults this FS has injected so far.
+func (c *FS) Fired() []Fired {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Fired(nil), c.fired...)
+}
+
+// Pending reports how many planned faults have not fired yet. A drained
+// adversary (Pending()==0 or pinned beyond the ops that ran) is the
+// precondition for the recovery-terminates invariant.
+func (c *FS) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, p := range c.armed {
+		if !p.done {
+			n++
+		}
+	}
+	return n
+}
+
+// take counts one operation of class and returns the fault armed for this
+// ordinal, if any.
+func (c *FS) take(class, op, path string) (Fault, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[class]++
+	n := c.counts[class]
+	for i := range c.armed {
+		p := &c.armed[i]
+		if !p.done && p.f.Class == class && p.f.N == n {
+			p.done = true
+			c.fired = append(c.fired, Fired{Fault: p.f, Op: op, Path: path})
+			injected.Add(1)
+			return p.f, true
+		}
+	}
+	return Fault{}, false
+}
+
+func (c *FS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := c.under.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, fs: c}, nil
+}
+
+func (c *FS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := c.under.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, fs: c}, nil
+}
+
+func (c *FS) Open(name string) (File, error) { return c.under.Open(name) }
+
+func (c *FS) ReadFile(name string) ([]byte, error) {
+	data, err := c.under.ReadFile(name)
+	if err != nil {
+		return data, err
+	}
+	if f, ok := c.take("read", "ReadFile", name); ok && f.Kind == BitrotRead && len(data) > 0 {
+		// Flip one seeded bit in place on a copy: silent corruption the
+		// caller's CRC frames must catch.
+		rot := append([]byte(nil), data...)
+		bit := f.Arg % uint64(len(rot)*8)
+		rot[bit/8] ^= 1 << (bit % 8)
+		return rot, nil
+	}
+	return data, err
+}
+
+func (c *FS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if f, ok := c.take("write", "WriteFile", name); ok {
+		switch f.Kind {
+		case WriteNoSpace:
+			return &InjectedError{Kind: f.Kind, Op: "WriteFile", Path: name}
+		case TornWrite:
+			n := 0
+			if len(data) > 0 {
+				n = int(f.Arg % uint64(len(data)))
+			}
+			_ = c.under.WriteFile(name, data[:n], perm)
+			return &InjectedError{Kind: f.Kind, Op: "WriteFile", Path: name}
+		}
+	}
+	return c.under.WriteFile(name, data, perm)
+}
+
+func (c *FS) Rename(oldpath, newpath string) error {
+	if f, ok := c.take("rename", "Rename", oldpath); ok && f.Kind == RenameCut {
+		return &InjectedError{Kind: f.Kind, Op: "Rename", Path: oldpath}
+	}
+	return c.under.Rename(oldpath, newpath)
+}
+
+func (c *FS) Remove(name string) error              { return c.under.Remove(name) }
+func (c *FS) Stat(name string) (fs.FileInfo, error) { return c.under.Stat(name) }
+
+func (c *FS) SyncDir(dir string) error {
+	if f, ok := c.take("sync", "SyncDir", dir); ok && f.Kind == SyncFail {
+		return &InjectedError{Kind: f.Kind, Op: "SyncDir", Path: dir}
+	}
+	return c.under.SyncDir(dir)
+}
+
+// faultFile applies write/sync faults to one open file.
+type faultFile struct {
+	f  File
+	fs *FS
+}
+
+func (w *faultFile) Name() string               { return w.f.Name() }
+func (w *faultFile) Close() error               { return w.f.Close() }
+func (w *faultFile) Read(p []byte) (int, error) { return w.f.Read(p) }
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if f, ok := w.fs.take("write", "Write", w.f.Name()); ok {
+		switch f.Kind {
+		case WriteNoSpace:
+			return 0, &InjectedError{Kind: f.Kind, Op: "Write", Path: w.f.Name()}
+		case TornWrite:
+			n := 0
+			if len(p) > 0 {
+				n = int(f.Arg % uint64(len(p)))
+			}
+			if n > 0 {
+				if wn, err := w.f.Write(p[:n]); err != nil {
+					return wn, err
+				}
+			}
+			return n, &InjectedError{Kind: f.Kind, Op: "Write", Path: w.f.Name()}
+		}
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	if f, ok := w.fs.take("sync", "Sync", w.f.Name()); ok && f.Kind == SyncFail {
+		return &InjectedError{Kind: f.Kind, Op: "Sync", Path: w.f.Name()}
+	}
+	return w.f.Sync()
+}
+
+var _ Disk = OS{}
+var _ Disk = (*FS)(nil)
+
+// String summarizes the FS state for harness reports.
+func (c *FS) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("chaos.FS{planned=%d fired=%d}", len(c.armed), len(c.fired))
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// artifactName maps a repro token to a filesystem-safe directory name:
+// "seed=7 keep=1,2" -> "seed-7_keep-1.2".
+func artifactName(repro string) string {
+	return strings.NewReplacer(" ", "_", "=", "-", ",", ".").Replace(repro)
+}
+
+// saveArtifacts copies a violating run's scratch tree (coordinator
+// journals, worker snapshot dirs) plus a report.json into
+// artifactDir/<repro>/, the bundle CI uploads so a failure seen once in a
+// smoke run can be replayed and dissected offline.
+func saveArtifacts(artifactDir string, rep *Report, runDir string) error {
+	dst := filepath.Join(artifactDir, artifactName(rep.Repro))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dst, "report.json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return copyTree(runDir, filepath.Join(dst, "run"))
+}
+
+// copyTree recursively copies src into dst (regular files only — the
+// scratch tree holds nothing else).
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		if !d.Type().IsRegular() {
+			return fmt.Errorf("copyTree: %s: not a regular file", path)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fgpsim/internal/chaos"
+)
+
+// TestInvariantsHoldOverSeeds is the orchestrator's main sweep: planned
+// schedules over the tolerated fault model (disk torn writes, ENOSPC,
+// failed fsync, rename cuts, bitrot; net drops, delays, dups, truncations,
+// partitions) must leave every invariant intact. CI's chaos-smoke job runs
+// hundreds of seeds through cmd/chaos; this is the in-tree slice.
+func TestInvariantsHoldOverSeeds(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	opts := Options{Workers: 2, Concurrency: 2, StallAfter: 0, Logf: t.Logf}
+	reps, err := Explore(opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if rep.Violation != "" {
+			t.Errorf("seed %d (%s): %s\n%s\nfired: %v", seeds[i], rep.Repro, rep.Violation, rep.Detail, rep.Fired)
+			continue
+		}
+		t.Logf("seed %d: ok, %d fault(s) fired, %d restart(s)", seeds[i], len(rep.Fired), rep.Restarts)
+	}
+}
+
+// TestCoordinatorCrashRecovers drives the process-level fault the Fault
+// vocabulary cannot express: the coordinator is killed (no drain) after the
+// first cell settles and rebuilt from its journals on the same address.
+// Recovery must terminate with full byte identity — the crash is invisible
+// in the results.
+func TestCoordinatorCrashRecovers(t *testing.T) {
+	opts := Options{Workers: 2, Concurrency: 2, CrashAfterCells: 1, Logf: t.Logf}
+	rep, err := Run(opts, &chaos.Schedule{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != "" {
+		t.Fatalf("crash-restart run: %s\n%s", rep.Violation, rep.Detail)
+	}
+	if rep.Restarts < 1 {
+		t.Fatalf("coordinator never restarted (restarts=%d); the crash hook did not fire", rep.Restarts)
+	}
+}
+
+// seededViolation is SeededViolation (selftest.go): a hand-pinned schedule
+// whose middle fault corrupts a result payload in transit, flanked by
+// tolerated noise the shrinker has to strip away.
+func seededViolation() *chaos.Schedule { return SeededViolation() }
+
+func firedString(rep *Report) string { return firedFingerprint(rep) }
+
+// TestSeededViolationCaughtReplayedShrunk is the acceptance gate for the
+// whole orchestrator: a deliberately seeded invariant violation must be
+// (a) caught, (b) replayed bit-identically from its seed — same violation,
+// same fired faults, same corrupted results bytes — and (c) shrunk to the
+// minimal schedule containing only the corrupting fault.
+func TestSeededViolationCaughtReplayedShrunk(t *testing.T) {
+	// One worker, one slot: every fault-class counter sees the same
+	// operation sequence on every run, which is what makes (b) exact.
+	opts := Options{Workers: 1, Concurrency: 1, Logf: t.Logf}
+
+	// The first run also exercises the CI artifact path: a violating run
+	// with ArtifactDir set must leave a report plus the run's journals.
+	artDir := t.TempDir()
+	optsArt := opts
+	optsArt.ArtifactDir = artDir
+	rep1, err := Run(optsArt, seededViolation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Violation != "results-differ" {
+		t.Fatalf("seeded corruption: violation %q, want results-differ\n%s", rep1.Violation, rep1.Detail)
+	}
+	if len(rep1.Results) == 0 {
+		t.Fatal("violating run reported no results bytes")
+	}
+	bundle := filepath.Join(artDir, artifactName(rep1.Repro))
+	if _, err := os.Stat(filepath.Join(bundle, "report.json")); err != nil {
+		t.Fatalf("violating run left no artifact report: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(bundle, "run", "journal")); err != nil {
+		t.Fatalf("violating run's journals were not bundled: %v", err)
+	}
+
+	rep2, err := Run(opts, seededViolation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Violation != rep1.Violation {
+		t.Fatalf("replay violation %q != original %q", rep2.Violation, rep1.Violation)
+	}
+	if !bytes.Equal(rep1.Results, rep2.Results) {
+		t.Fatalf("replay results not bit-identical\nfirst:  %s\nreplay: %s", rep1.Results, rep2.Results)
+	}
+	if f1, f2 := firedString(rep1), firedString(rep2); f1 != f2 {
+		t.Fatalf("replay fired different faults\nfirst:\n%sreplay:\n%s", f1, f2)
+	}
+
+	shrunk, best, err := Shrink(opts, seededViolation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := shrunk.Repro(), "seed=7 keep=1"; got != want {
+		t.Fatalf("shrunk repro %q, want %q (only the NetCorrupt fault)", got, want)
+	}
+	if best.Violation != "results-differ" {
+		t.Fatalf("shrunk schedule violation %q, want results-differ", best.Violation)
+	}
+	if !bytes.Equal(best.Results, rep1.Results) {
+		t.Fatalf("shrunk run's corrupted results differ from the full schedule's:\nfull:   %s\nshrunk: %s", rep1.Results, best.Results)
+	}
+
+	// The repro token round-trips: parse it, rebuild the schedule, and the
+	// violation reproduces from nothing but the token.
+	seed, keep, err := chaos.ParseRepro(shrunk.Repro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := &chaos.Schedule{Seed: seed, Faults: seededViolation().Faults, Keep: keep}
+	rep3, err := Run(opts, rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Violation != "results-differ" || !bytes.Equal(rep3.Results, rep1.Results) {
+		t.Fatalf("repro token did not reproduce: violation %q", rep3.Violation)
+	}
+}

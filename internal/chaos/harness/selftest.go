@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"fgpsim/internal/chaos"
+)
+
+// SeededViolation is a hand-pinned schedule whose middle fault corrupts a
+// result payload in transit — outside the fabric's trust model, so it MUST
+// trip the byte-identity invariant. The two flanking faults (a duplicated
+// register, a delayed poll) are tolerated noise the shrinker has to strip
+// away. It is the deliberate bug the orchestrator proves itself against.
+func SeededViolation() *chaos.Schedule {
+	return &chaos.Schedule{Seed: 7, Faults: []chaos.Fault{
+		{Component: "w0/net", Kind: chaos.NetDup, Class: "register", N: 1},
+		{Component: "w0/net", Kind: chaos.NetCorrupt, Class: "result", N: 1, Arg: 5},
+		{Component: "w0/net", Kind: chaos.NetDelay, Class: "poll", N: 1, Arg: 7},
+	}}
+}
+
+func firedFingerprint(rep *Report) string {
+	var b bytes.Buffer
+	for _, f := range rep.Fired {
+		fmt.Fprintf(&b, "%s\n", f)
+	}
+	return b.String()
+}
+
+// SelfTest is the orchestrator's trust check, run ahead of every CI chaos
+// sweep: a deliberately seeded invariant violation (SeededViolation) must
+// be (a) caught, (b) replayed bit-identically from its seed — same
+// violation, same fired faults, same corrupted results bytes — and
+// (c) shrunk to the minimal schedule holding only the corrupting fault.
+// If any leg fails the detector cannot be trusted, and a green chaos sweep
+// means nothing.
+func SelfTest(logf func(format string, args ...any)) error {
+	// One worker, one slot: every fault-class counter sees the same
+	// operation sequence on every run, which is what makes (b) exact.
+	opts := Options{Workers: 1, Concurrency: 1, Logf: logf}
+
+	rep1, err := Run(opts, SeededViolation())
+	if err != nil {
+		return fmt.Errorf("self-test: seeded run: %w", err)
+	}
+	if rep1.Violation != "results-differ" {
+		return fmt.Errorf("self-test: seeded corruption was not caught: violation %q, want results-differ (%s)", rep1.Violation, rep1.Detail)
+	}
+	if len(rep1.Results) == 0 {
+		return fmt.Errorf("self-test: violating run reported no results bytes")
+	}
+
+	rep2, err := Run(opts, SeededViolation())
+	if err != nil {
+		return fmt.Errorf("self-test: replay run: %w", err)
+	}
+	if rep2.Violation != rep1.Violation {
+		return fmt.Errorf("self-test: replay violation %q != original %q", rep2.Violation, rep1.Violation)
+	}
+	if !bytes.Equal(rep1.Results, rep2.Results) {
+		return fmt.Errorf("self-test: replay results not bit-identical\nfirst:  %s\nreplay: %s", rep1.Results, rep2.Results)
+	}
+	if f1, f2 := firedFingerprint(rep1), firedFingerprint(rep2); f1 != f2 {
+		return fmt.Errorf("self-test: replay fired different faults\nfirst:\n%sreplay:\n%s", f1, f2)
+	}
+
+	shrunk, best, err := Shrink(opts, SeededViolation())
+	if err != nil {
+		return fmt.Errorf("self-test: shrink: %w", err)
+	}
+	if got, want := shrunk.Repro(), "seed=7 keep=1"; got != want {
+		return fmt.Errorf("self-test: shrunk repro %q, want %q (only the NetCorrupt fault)", got, want)
+	}
+	if best.Violation != "results-differ" {
+		return fmt.Errorf("self-test: shrunk schedule violation %q, want results-differ", best.Violation)
+	}
+	if !bytes.Equal(best.Results, rep1.Results) {
+		return fmt.Errorf("self-test: shrunk run's corrupted results differ from the full schedule's")
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Observer sees every request a Transport lets through to the real
+// round-tripper, after faults, together with the response status (0 when
+// the request itself failed). The harness uses it to tap acknowledged
+// result posts for the acked-never-lost invariant.
+type Observer func(req *http.Request, body []byte, status int)
+
+// Transport is an http.RoundTripper that injects a schedule's net faults
+// for one component. Faults arm on the N-th request of their class, where
+// the class is derived from the URL path ("result", "poll", "snapshot",
+// "register", "heartbeat" — anything else counts as "other" and is never
+// faulted). Classed counters, not a global ordinal, keep replay exact:
+// heartbeats race polls in wall-clock order, but the N-th result post is
+// the N-th result post on any run.
+type Transport struct {
+	Under    http.RoundTripper
+	Observe  Observer
+	MaxDelay time.Duration // cap for NetDelay sleeps (default 50ms)
+
+	mu        sync.Mutex
+	counts    map[string]int
+	armed     []plannedDisk
+	fired     []Fired
+	partition int // requests remaining in an open partition window
+}
+
+// NewTransport wraps under with the net faults sched plans for component.
+// Disk faults addressed to the component are ignored (they belong to its
+// FS).
+func NewTransport(under http.RoundTripper, sched *Schedule, component string) *Transport {
+	if under == nil {
+		under = http.DefaultTransport
+	}
+	t := &Transport{Under: under, counts: map[string]int{}}
+	if sched != nil {
+		for _, f := range sched.For(component) {
+			if !f.Kind.DiskKind() {
+				t.armed = append(t.armed, plannedDisk{f: f})
+			}
+		}
+	}
+	return t
+}
+
+// Fired returns the faults this Transport has injected so far.
+func (t *Transport) Fired() []Fired {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Fired(nil), t.fired...)
+}
+
+// Pending reports how many planned faults have not fired yet.
+func (t *Transport) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, p := range t.armed {
+		if !p.done {
+			n++
+		}
+	}
+	return n
+}
+
+// ClassOf maps a request path to its fault class.
+func ClassOf(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/fabric/result"):
+		return "result"
+	case strings.HasPrefix(path, "/fabric/poll"):
+		return "poll"
+	case strings.HasPrefix(path, "/fabric/snapshot"):
+		return "snapshot"
+	case strings.HasPrefix(path, "/fabric/register"):
+		return "register"
+	case strings.HasPrefix(path, "/fabric/heartbeat"):
+		return "heartbeat"
+	}
+	return "other"
+}
+
+// take counts one request of class and returns the armed fault, if any.
+// An open partition window claims the request regardless of class.
+func (t *Transport) take(class, path string) (Fault, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.partition > 0 {
+		t.partition--
+		injected.Add(1)
+		f := Fault{Kind: NetPartition, Class: class}
+		t.fired = append(t.fired, Fired{Fault: f, Op: "RoundTrip", Path: path})
+		return f, true
+	}
+	if class == "other" {
+		return Fault{}, false
+	}
+	t.counts[class]++
+	n := t.counts[class]
+	for i := range t.armed {
+		p := &t.armed[i]
+		if !p.done && p.f.Class == class && p.f.N == n {
+			p.done = true
+			t.fired = append(t.fired, Fired{Fault: p.f, Op: "RoundTrip", Path: path})
+			injected.Add(1)
+			if p.f.Kind == NetPartition {
+				// The window swallows this request plus the next 1..4.
+				t.partition = 1 + int(p.f.Arg%4)
+			}
+			return p.f, true
+		}
+	}
+	return Fault{}, false
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body: every fault kind needs to inspect, cut, or resend it,
+	// and fabric payloads are small JSON (snapshots are capped server-side).
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	path := req.URL.Path
+	f, ok := t.take(ClassOf(path), path)
+	if ok {
+		switch f.Kind {
+		case NetDrop, NetPartition:
+			return nil, &InjectedError{Kind: f.Kind, Op: "RoundTrip", Path: path}
+		case NetDelay:
+			max := t.MaxDelay
+			if max <= 0 {
+				max = 50 * time.Millisecond
+			}
+			time.Sleep(time.Duration(f.Arg % uint64(max)))
+		case NetTruncate:
+			if len(body) > 0 {
+				cut := int(f.Arg % uint64(len(body)))
+				// Send a torn body under the original Content-Length so the
+				// server sees an unexpected EOF, like a connection cut
+				// mid-POST — then report the send failed to the caller.
+				resp, _ := t.send(req, body[:cut], int64(len(body)))
+				if resp != nil {
+					resp.Body.Close()
+				}
+			}
+			return nil, &InjectedError{Kind: f.Kind, Op: "RoundTrip", Path: path}
+		case NetDup:
+			if resp, err := t.send(req, body, int64(len(body))); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			// fall through to the real send below
+		case NetCorrupt:
+			body = corruptDigit(body, f.Arg)
+		}
+	}
+	resp, err := t.send(req, body, int64(len(body)))
+	if t.Observe != nil {
+		status := 0
+		if resp != nil {
+			status = resp.StatusCode
+		}
+		t.Observe(req, body, status)
+	}
+	return resp, err
+}
+
+// send issues one copy of the request with the given body bytes.
+func (t *Transport) send(req *http.Request, body []byte, contentLength int64) (*http.Response, error) {
+	r2 := req.Clone(req.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = contentLength
+	r2.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(body)), nil
+	}
+	return t.Under.RoundTrip(r2)
+}
+
+// corruptDigit flips one decimal digit of the body after its `"stats"`
+// key (falling back to the first digit anywhere) to a different digit —
+// a silent payload mutation that changes a reported result without
+// breaking JSON framing.
+func corruptDigit(body []byte, arg uint64) []byte {
+	start := bytes.Index(body, []byte(`"stats"`))
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(body); i++ {
+		if body[i] >= '0' && body[i] <= '9' {
+			out := append([]byte(nil), body...)
+			d := out[i] - '0'
+			out[i] = '0' + (d+1+byte(arg%9))%10 // offset 1..9 mod 10: never the same digit
+			return out
+		}
+	}
+	return body
+}
+
+var _ http.RoundTripper = (*Transport)(nil)

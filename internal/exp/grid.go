@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/core"
 	"fgpsim/internal/loader"
 	"fgpsim/internal/machine"
@@ -97,6 +98,10 @@ type GridOptions struct {
 	// *SweepPreemptedError so the caller can requeue it; the snapshots make
 	// the requeued sweep cheap.
 	Preempt *atomic.Bool
+	// Disk, when non-nil, is the filesystem every journal and snapshot
+	// operation of this sweep goes through (nil = the real one). The chaos
+	// harness substitutes a fault-injecting chaos.FS here.
+	Disk chaos.Disk
 	// Batch groups dynamically scheduled cells that share an image-cache key
 	// (same benchmark, same block mode) into K-lane batched runs
 	// (core.RunBatch): one shared fetch/decode/translate pass serves every
@@ -161,15 +166,19 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 	total := len(jobs)
 	var done atomic.Int64
 
+	disk := opts.Disk
+	if disk == nil {
+		disk = chaos.OS{}
+	}
 	pending := jobs
 	var jw *Journal
 	if opts.Journal != "" {
 		spec := SpecHash(prepared, cfgs)
-		specFound, err := CheckJournalSpec(opts.Journal, spec)
+		specFound, err := CheckJournalSpecOn(disk, opts.Journal, spec)
 		if err != nil {
 			return res, err // *StaleJournalError, or the file is unreadable
 		}
-		prior, err := ReadJournal(opts.Journal)
+		prior, err := ReadJournalOn(disk, opts.Journal)
 		if err != nil {
 			return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
 		}
@@ -187,7 +196,7 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 			}
 			pending = append(pending, j)
 		}
-		jw, err = OpenJournal(opts.Journal)
+		jw, err = OpenJournalOn(disk, opts.Journal)
 		if err != nil {
 			return res, fmt.Errorf("exp: journal %s: %w", opts.Journal, err)
 		}
@@ -428,6 +437,10 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, key Key, 
 	}
 	lim := opts.Limits
 	lim.Preempt = opts.Preempt
+	disk := opts.Disk
+	if disk == nil {
+		disk = chaos.OS{}
+	}
 
 	// The fill unit mutates its image at run time, so its cells cannot be
 	// snapshotted (core returns CheckpointUnsupportedError); they run
@@ -444,21 +457,25 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, key Key, 
 		}
 		fp := snapshot.RunFingerprint(img, p.In0, p.In1, p.Hints)
 		snapPath := CellSnapshotPath(opts.SnapshotDir, key)
-		if prior, rerr := snapshot.ReadLatest(snapPath); rerr == nil && prior.Fingerprint == fp && prior.Engine != nil {
+		if prior, rerr := snapshot.ReadLatestOn(disk, snapPath); rerr == nil && prior.Fingerprint == fp && prior.Engine != nil {
 			lim.Resume = prior.Engine // stale fingerprints fall through to a fresh run
 		}
 		lim.CheckpointEvery = opts.CheckpointEvery
-		save := snapshot.Saver(snapPath, fp, nil)
-		if opts.SnapshotSink == nil {
-			lim.Checkpoint = save
-		} else {
-			lim.Checkpoint = func(st *core.EngineState) error {
-				if serr := save(st); serr != nil {
-					return serr
-				}
-				opts.SnapshotSink(key, snapshot.Encode(&snapshot.Snapshot{Fingerprint: fp, Engine: st}))
+		save := snapshot.SaverOn(disk, snapPath, fp, nil)
+		// Checkpoint persistence is best-effort by design: a snapshot is an
+		// optimization (resume progress), and a full disk or failed fsync
+		// under it must cost at most that progress — never the run. core
+		// aborts the run on a Checkpoint hook error, so disk failures are
+		// absorbed here; the atomic WriteFile rotation guarantees the prior
+		// good snapshot survives a failed save.
+		lim.Checkpoint = func(st *core.EngineState) error {
+			if serr := save(st); serr != nil {
 				return nil
 			}
+			if opts.SnapshotSink != nil {
+				opts.SnapshotSink(key, snapshot.Encode(&snapshot.Snapshot{Fingerprint: fp, Engine: st}))
+			}
+			return nil
 		}
 		s, err = p.runImage(ctx, img, cfg, deg, lim)
 		if err != nil && lim.Resume != nil {
@@ -467,7 +484,7 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, key Key, 
 			// rather than failing the cell on every retry.
 			var re *core.ResumeError
 			if errors.As(err, &re) {
-				snapshot.Remove(snapPath)
+				snapshot.RemoveOn(disk, snapPath)
 				lim.Resume = nil
 				s, err = p.runImage(ctx, img, cfg, deg, lim)
 			}
@@ -478,14 +495,14 @@ func runCellOnce(ctx context.Context, p *Prepared, cfg machine.Config, key Key, 
 				// Best effort: if the park fails the progress is lost, but the
 				// requeued cell still runs correctly from scratch.
 				parked := &snapshot.Snapshot{Fingerprint: fp, Engine: pe.State}
-				if werr := snapshot.WriteFile(snapPath, parked); werr == nil && opts.SnapshotSink != nil {
+				if werr := snapshot.WriteFileOn(disk, snapPath, parked); werr == nil && opts.SnapshotSink != nil {
 					opts.SnapshotSink(key, snapshot.Encode(parked))
 				}
 			}
 			return nil, false, true, nil
 		}
 		if err == nil {
-			snapshot.Remove(snapPath)
+			snapshot.RemoveOn(disk, snapPath)
 		}
 		return s, false, false, err
 	}

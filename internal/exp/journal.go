@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/loader"
 	"fgpsim/internal/machine"
 	"fgpsim/internal/stats"
@@ -29,43 +31,140 @@ import (
 
 // Journal is an append-only, fsync'd JSON-lines file.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	f    chaos.File
+	path string
+	// torn is set when a write failed after possibly landing a prefix with
+	// no trailing newline. Without the guard, the next successful append
+	// would glue its JSON onto that fragment and BOTH lines would fail to
+	// decode on replay — a durably-acknowledged entry silently lost.
+	torn bool
+	// poisoned is set on the first failed fsync and never cleared: once an
+	// fsync fails, the kernel may have dropped the dirty pages and a later
+	// successful fsync proves nothing about them (the PostgreSQL fsync-gate
+	// lesson). Every subsequent Append fails with it; the only recovery is
+	// reopening the journal and re-appending from state known durable.
+	poisoned *PoisonedJournalError
 }
+
+// PoisonedJournalError reports a journal that failed an fsync: nothing
+// appended since the last successful sync is known durable, and the Journal
+// refuses further appends so no caller can mistake a post-failure entry for
+// a durable one.
+type PoisonedJournalError struct {
+	Path  string
+	Cause error
+}
+
+func (e *PoisonedJournalError) Error() string {
+	return fmt.Sprintf("exp: journal %s poisoned by failed fsync: %v", e.Path, e.Cause)
+}
+
+func (e *PoisonedJournalError) Unwrap() error { return e.Cause }
+
+// fsyncFailures counts journal fsync failures process-wide, exported on
+// /metrics as journal_fsync_failures.
+var fsyncFailures atomic.Int64
+
+// JournalFsyncFailures returns the process-wide count of journal fsync
+// failures.
+func JournalFsyncFailures() int64 { return fsyncFailures.Load() }
 
 // OpenJournal opens (creating if needed) a journal for appending.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenJournalOn(chaos.OS{}, path)
+}
+
+// OpenJournalOn is OpenJournal on an explicit disk, the seam the chaos
+// harness injects filesystem faults through.
+func OpenJournalOn(disk chaos.Disk, path string) (*Journal, error) {
+	torn := tailIsTorn(disk, path)
+	f, err := disk.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{f: f}, nil
+	return &Journal{f: f, path: path, torn: torn}, nil
 }
 
+// tailIsTorn reports whether an existing journal ends mid-line — the
+// fragment a writer killed inside write(2) leaves. A journal opened over
+// such a tail starts its first append on a fresh line (the torn guard in
+// Append), otherwise that append — acknowledged durable to its caller —
+// would glue onto the fragment and decode as garbage on replay.
+func tailIsTorn(disk chaos.Disk, path string) bool {
+	f, err := disk.Open(path)
+	if err != nil {
+		return false // missing file: a fresh journal has no tail
+	}
+	defer f.Close()
+	last := byte('\n')
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			last = buf[n-1]
+		}
+		if rerr != nil {
+			return last != '\n'
+		}
+	}
+}
+
+// Path returns the file the journal appends to.
+func (j *Journal) Path() string { return j.path }
+
 // Append marshals v onto one line, writes it with a single write call, and
-// fsyncs before returning: on success the entry is durable.
+// fsyncs before returning: on success the entry is durable. After a failed
+// fsync the journal is poisoned and every Append (including this one)
+// returns a *PoisonedJournalError.
 func (j *Journal) Append(v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(data); err != nil {
+	if j.poisoned != nil {
+		return j.poisoned
+	}
+	var line []byte
+	if j.torn {
+		// Start on a fresh line so a previously torn fragment stays an
+		// isolated undecodable line (replay skips it) instead of swallowing
+		// this entry too. Replay also skips the blank line this produces
+		// when the torn write in fact landed nothing.
+		line = append(line, '\n')
+	}
+	line = append(line, data...)
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		j.torn = true
 		return err
 	}
-	return j.f.Sync()
+	j.torn = false
+	if err := j.f.Sync(); err != nil {
+		fsyncFailures.Add(1)
+		j.poisoned = &PoisonedJournalError{Path: j.path, Cause: err}
+		return j.poisoned
+	}
+	return nil
 }
 
-// Close fsyncs any buffered state and closes the file. Close after Close is
-// an error from the OS, as usual.
+// Close fsyncs any buffered state and closes the file. A poisoned journal
+// closes without syncing (there is nothing left to promise) and returns
+// its poison error. Close after Close is an error from the OS, as usual.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.f.Sync(); err != nil {
+	if j.poisoned != nil {
 		j.f.Close()
-		return err
+		return j.poisoned
+	}
+	if err := j.f.Sync(); err != nil {
+		fsyncFailures.Add(1)
+		j.poisoned = &PoisonedJournalError{Path: j.path, Cause: err}
+		j.f.Close()
+		return j.poisoned
 	}
 	return j.f.Close()
 }
@@ -75,7 +174,12 @@ func (j *Journal) Close() error {
 // skips that line (it is how the torn tail of a killed writer, or any
 // malformed line, is tolerated) — it never aborts the replay.
 func ReplayJournal(path string, fn func(line []byte) error) error {
-	f, err := os.Open(path)
+	return ReplayJournalOn(chaos.OS{}, path, fn)
+}
+
+// ReplayJournalOn is ReplayJournal on an explicit disk.
+func ReplayJournalOn(disk chaos.Disk, path string, fn func(line []byte) error) error {
+	f, err := disk.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -213,8 +317,13 @@ func (h *specFNV) str(s string) { h.blob([]byte(s)) }
 // whether any spec record exists: a missing or empty journal has none and
 // the caller should write one.
 func CheckJournalSpec(path string, spec uint64) (found bool, err error) {
+	return CheckJournalSpecOn(chaos.OS{}, path, spec)
+}
+
+// CheckJournalSpecOn is CheckJournalSpec on an explicit disk.
+func CheckJournalSpecOn(disk chaos.Disk, path string, spec uint64) (found bool, err error) {
 	var got uint64
-	rerr := ReplayJournal(path, func(line []byte) error {
+	rerr := ReplayJournalOn(disk, path, func(line []byte) error {
 		if found {
 			return nil
 		}
@@ -281,8 +390,8 @@ func Supersedes(curAttempt int, curFp uint64, newAttempt int, newFp uint64) bool
 
 // replayCells folds one journal's entries into the winners map under the
 // deterministic dedup order.
-func replayCells(path string, m map[Key]cellWinner) error {
-	return ReplayJournal(path, func(line []byte) error {
+func replayCells(disk chaos.Disk, path string, m map[Key]cellWinner) error {
+	return ReplayJournalOn(disk, path, func(line []byte) error {
 		var e journalEntry
 		if err := json.Unmarshal(line, &e); err != nil {
 			return err
@@ -319,6 +428,11 @@ func ReadJournal(path string) (map[Key]*stats.Run, error) {
 	return MergeJournals(path)
 }
 
+// ReadJournalOn is ReadJournal on an explicit disk.
+func ReadJournalOn(disk chaos.Disk, path string) (map[Key]*stats.Run, error) {
+	return MergeJournalsOn(disk, path)
+}
+
 // MergeJournals reads several cell journals — the shape a sharded sweep
 // produces, one journal per writer or one journal with interleaved writers
 // — into a single result set under the same deterministic dedup as
@@ -328,7 +442,12 @@ func ReadJournal(path string) (map[Key]*stats.Run, error) {
 // merged set is therefore byte-identical to what a single-node run of the
 // same sweep would have journaled.
 func MergeJournals(paths ...string) (map[Key]*stats.Run, error) {
-	recs, err := MergeJournalRecords(paths...)
+	return MergeJournalsOn(chaos.OS{}, paths...)
+}
+
+// MergeJournalsOn is MergeJournals on an explicit disk.
+func MergeJournalsOn(disk chaos.Disk, paths ...string) (map[Key]*stats.Run, error) {
+	recs, err := MergeJournalRecordsOn(disk, paths...)
 	if err != nil {
 		return nil, err
 	}
@@ -350,9 +469,14 @@ type CellRecord struct {
 
 // MergeJournalRecords is MergeJournals keeping each winner's stamp.
 func MergeJournalRecords(paths ...string) (map[Key]CellRecord, error) {
+	return MergeJournalRecordsOn(chaos.OS{}, paths...)
+}
+
+// MergeJournalRecordsOn is MergeJournalRecords on an explicit disk.
+func MergeJournalRecordsOn(disk chaos.Disk, paths ...string) (map[Key]CellRecord, error) {
 	winners := make(map[Key]cellWinner)
 	for _, path := range paths {
-		if err := replayCells(path, winners); err != nil {
+		if err := replayCells(disk, path, winners); err != nil {
 			return nil, err
 		}
 	}

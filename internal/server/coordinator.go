@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/exp"
 	"fgpsim/internal/snapshot"
 )
@@ -79,6 +81,12 @@ type fabricJob struct {
 	j    *job
 	spec SweepSpec
 
+	// jmu guards the journal pointers (not the appends themselves — those
+	// serialize on each Journal's own mutex). It exists for the poison
+	// repair path: a failed fsync permanently poisons a journal, and the
+	// handler that hits it swaps a freshly opened journal in under jmu.
+	jmu           sync.Mutex
+	jclosed       bool         // set by closeJournals; stops post-finish repairs
 	cellJournal   *exp.Journal // results, exp.AppendCell records
 	assignJournal *exp.Journal // assignRecord lines
 
@@ -171,9 +179,10 @@ func (c *coordinator) start(j *job, recovered bool) error {
 		}
 	}
 
+	disk := c.s.cfg.disk()
 	cellPath := c.s.cellJournalPath(j.ID)
 	if cellPath != "" {
-		prior, err := exp.MergeJournalRecords(cellPath)
+		prior, err := exp.MergeJournalRecordsOn(disk, cellPath)
 		if err != nil {
 			return fmt.Errorf("server: fabric journal %s: %w", cellPath, err)
 		}
@@ -189,7 +198,7 @@ func (c *coordinator) start(j *job, recovered bool) error {
 				c.s.met.cellsRestored.Add(1)
 			}
 		}
-		fj.cellJournal, err = exp.OpenJournal(cellPath)
+		fj.cellJournal, err = exp.OpenJournalOn(disk, cellPath)
 		if err != nil {
 			return fmt.Errorf("server: fabric journal %s: %w", cellPath, err)
 		}
@@ -197,7 +206,7 @@ func (c *coordinator) start(j *job, recovered bool) error {
 	if ap := c.assignJournalPath(j.ID); ap != "" {
 		// Restore each cell's attempt high-water mark so post-restart
 		// assignments supersede pre-restart ones in the merge order.
-		exp.ReplayJournal(ap, func(line []byte) error {
+		exp.ReplayJournalOn(disk, ap, func(line []byte) error {
 			var rec assignRecord
 			if err := json.Unmarshal(line, &rec); err != nil {
 				return err
@@ -210,7 +219,7 @@ func (c *coordinator) start(j *job, recovered bool) error {
 			return nil
 		})
 		var err error
-		fj.assignJournal, err = exp.OpenJournal(ap)
+		fj.assignJournal, err = exp.OpenJournalOn(disk, ap)
 		if err != nil {
 			return fmt.Errorf("server: assignment journal %s: %w", ap, err)
 		}
@@ -304,15 +313,16 @@ func (c *coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	}
 	// Durable before visible: the assignment journal line lands (fsync'd)
 	// before the worker can possibly produce a result under it.
-	if fj.assignJournal != nil {
-		fj.assignJournal.Append(rec)
-	}
+	disk := c.s.cfg.disk()
+	fj.appendRepairing(disk, &fj.assignJournal, func(j *exp.Journal) error {
+		return j.Append(rec)
+	})
 	// Attach shipped snapshots so a requeued cell resumes mid-run. Disk IO
 	// deliberately happens outside the coordinator lock.
 	for i := range resp.Cells {
 		path := filepath.Join(c.snapDir, resp.Cells[i].Cell+".snap")
-		if snapshot.Exists(path) {
-			if data, _, err := snapshot.LoadShippable(path); err == nil {
+		if snapshot.ExistsOn(disk, path) {
+			if data, _, err := snapshot.LoadShippableOn(disk, path); err == nil {
 				resp.Cells[i].Snapshot = data
 			}
 		}
@@ -363,8 +373,10 @@ func (c *coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "late": true})
 		return
 	}
-	if req.Stats != nil && fj.cellJournal != nil {
-		if err := fj.cellJournal.AppendCell(cell.key, req.Stats, req.Attempt); err != nil {
+	if req.Stats != nil {
+		if err := fj.appendRepairing(c.s.cfg.disk(), &fj.cellJournal, func(j *exp.Journal) error {
+			return j.AppendCell(cell.key, req.Stats, req.Attempt)
+		}); err != nil {
 			// An append can race the job finishing (the journal closes with
 			// it); that is the same late-straggler case, not a server error.
 			c.mu.Lock()
@@ -481,15 +493,64 @@ func (c *coordinator) finishJob(fj *fabricJob) {
 	failedCount := len(fj.j.failed)
 	fj.j.mu.Unlock()
 	c.s.met.jobsDone.Add(1)
-	if c.s.reqJournal != nil {
-		c.s.reqJournal.Append(journalRecord{Op: "done", ID: fj.j.ID, OK: failedCount == 0})
-	}
+	c.s.appendRequest(journalRecord{Op: "done", ID: fj.j.ID, OK: failedCount == 0})
+	fj.closeJournals()
+}
+
+// closeJournals closes both journals under jmu and marks them closed, so a
+// poison repair racing the finish cannot resurrect a journal for a settled
+// sweep.
+func (fj *fabricJob) closeJournals() {
+	fj.jmu.Lock()
+	defer fj.jmu.Unlock()
+	fj.jclosed = true
 	if fj.cellJournal != nil {
 		fj.cellJournal.Close()
 	}
 	if fj.assignJournal != nil {
 		fj.assignJournal.Close()
 	}
+}
+
+// appendRepairing runs do against the journal at *jp, repairing it once if
+// the append reports a poisoned fsync gate: the poisoned journal is closed,
+// a fresh one opened at the same path, and the append retried through it.
+// The retry is durability-sound because every append fsyncs individually —
+// the only entry of unknown durability is the one the failed fsync covered,
+// and the retry re-appends exactly that entry through a fresh descriptor
+// (fresh dirty pages); if both copies land, the (attempt, fingerprint)
+// merge dedups them. Returns nil when no journal is configured.
+func (fj *fabricJob) appendRepairing(disk chaos.Disk, jp **exp.Journal, do func(*exp.Journal) error) error {
+	fj.jmu.Lock()
+	j := *jp
+	fj.jmu.Unlock()
+	if j == nil {
+		return nil
+	}
+	err := do(j)
+	var pe *exp.PoisonedJournalError
+	if !errors.As(err, &pe) {
+		return err
+	}
+	fresh, oerr := exp.OpenJournalOn(disk, pe.Path)
+	if oerr != nil {
+		return err
+	}
+	fj.jmu.Lock()
+	if fj.jclosed {
+		fj.jmu.Unlock()
+		fresh.Close()
+		return err
+	}
+	if *jp == j {
+		*jp = fresh
+		j.Close() // returns the poison error; the state is already on disk
+	} else {
+		fresh.Close() // a racing handler repaired first; use its journal
+	}
+	j = *jp
+	fj.jmu.Unlock()
+	return do(j)
 }
 
 // cellIDPattern guards the snapshot PUT path segment: exp.CellID is 16 hex
@@ -522,7 +583,7 @@ func (c *coordinator) handleSnapshotPut(w http.ResponseWriter, r *http.Request) 
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	if _, err := snapshot.Store(filepath.Join(c.snapDir, cellID+".snap"), data); err != nil {
+	if _, err := snapshot.StoreOn(c.s.cfg.disk(), filepath.Join(c.snapDir, cellID+".snap"), data); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
@@ -549,11 +610,6 @@ func (c *coordinator) shutdown() {
 		fj.j.state = jobInterrupted
 		fj.j.errText = "interrupted by drain; resumes on restart"
 		fj.j.mu.Unlock()
-		if fj.cellJournal != nil {
-			fj.cellJournal.Close()
-		}
-		if fj.assignJournal != nil {
-			fj.assignJournal.Close()
-		}
+		fj.closeJournals()
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/exp"
 	"fgpsim/internal/machine"
 	"fgpsim/internal/stats"
@@ -178,6 +179,11 @@ func (j *job) status(withResults bool) jobStatus {
 	return st
 }
 
+// KeyString is keyString for external harnesses: the chaos orchestrator
+// renders the same result keys to line journal contents up against a
+// sweep's /sweep/{id} results map.
+func KeyString(k exp.Key) string { return keyString(k) }
+
 // keyString renders an exp.Key as a stable, human-greppable result key.
 func keyString(k exp.Key) string {
 	s := fmt.Sprintf("%s/%s/i%d/%c/%s", k.Bench, k.Disc, k.Issue, k.Mem, k.Branch)
@@ -221,10 +227,10 @@ func specHash(spec *SweepSpec) string {
 // pendingJobs replays a request journal and returns the accepted-but-not-
 // settled specs in acceptance order — the sweeps a crash or drain left
 // unfinished. Torn or malformed lines are skipped (exp.ReplayJournal).
-func pendingJobs(path string) ([]journalRecord, error) {
+func pendingJobs(disk chaos.Disk, path string) ([]journalRecord, error) {
 	var order []string
 	specs := make(map[string]*SweepSpec)
-	err := exp.ReplayJournal(path, func(line []byte) error {
+	err := exp.ReplayJournalOn(disk, path, func(line []byte) error {
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			return err
@@ -268,3 +274,8 @@ func sourceName(src, in0, in1 string) string {
 	h := sha256.Sum256([]byte(src + "\x00" + in0 + "\x00" + in1))
 	return "src-" + hex.EncodeToString(h[:6])
 }
+
+// SourceName is sourceName for external harnesses (the chaos orchestrator
+// derives the same content-addressed benchmark name to compare a fabric
+// sweep's results against a fault-free control of the same spec).
+func SourceName(src, in0, in1 string) string { return sourceName(src, in0, in1) }

@@ -4,9 +4,18 @@ import (
 	"encoding/json"
 	"expvar"
 	"net/http"
+	"sync/atomic"
 
+	"fgpsim/internal/chaos"
+	"fgpsim/internal/exp"
 	"fgpsim/internal/stats"
 )
+
+// shipRetries counts snapshot-ship delivery attempts beyond the first,
+// process-wide: workers are not Servers, so the counter cannot live on a
+// per-server metrics struct, and a coordinator's /metrics reporting every
+// co-resident worker's retries is exactly what an operator wants to see.
+var shipRetries atomic.Int64
 
 // metrics is the daemon's observability surface, served as expvar-style
 // JSON on /metrics. Counters are expvar vars held on the struct (not
@@ -78,6 +87,15 @@ func (m *metrics) snapshot(queueDepth int64, inflight, workersLive int) map[stri
 		"cells_requeued":    m.cellsRequeued.Value(),
 		"workers_dead":      m.workersDead.Value(),
 		"snapshots_shipped": m.snapshotsShipped.Value(),
+
+		// Failure-model counters (DESIGN.md §16). The first two stay useful
+		// in production — a nonzero journal_fsync_failures is an operator
+		// page. chaos_faults_injected is zero outside chaos runs by
+		// construction: only a chaos.FS / chaos.Transport increments it, and
+		// production servers never mount one.
+		"journal_fsync_failures": exp.JournalFsyncFailures(),
+		"ship_retries":           shipRetries.Load(),
+		"chaos_faults_injected":  chaos.Injected(),
 		"run_latency_us": map[string]any{
 			"count": m.latency.Count(),
 			"mean":  m.latency.Mean().Microseconds(),

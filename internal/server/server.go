@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/core"
 	"fgpsim/internal/exp"
 	"fgpsim/internal/machine"
@@ -91,6 +92,18 @@ type Config struct {
 	// StealAfter is how stale an in-flight assignment must be before an
 	// idle worker may duplicate it (default 5s, coordinator only).
 	StealAfter time.Duration
+	// Disk, when non-nil, is the filesystem every journal and snapshot
+	// operation goes through (nil = the real one). The chaos harness
+	// substitutes a fault-injecting chaos.FS here; production never sets it.
+	Disk chaos.Disk
+}
+
+// disk resolves Config.Disk to the real filesystem when unset.
+func (c Config) disk() chaos.Disk {
+	if c.Disk != nil {
+		return c.Disk
+	}
+	return chaos.OS{}
 }
 
 func (c Config) withDefaults() Config {
@@ -133,7 +146,12 @@ type Server struct {
 	prep  *prepCache
 	coord *coordinator // non-nil in coordinator mode
 
-	reqJournal *exp.Journal // nil when persistence is off
+	// reqJournal is nil when persistence is off. reqJMu guards the pointer
+	// for the poison repair path (appendRequest), exactly like
+	// fabricJob.jmu guards the sweep journals.
+	reqJMu     sync.Mutex
+	reqJClosed bool
+	reqJournal *exp.Journal
 
 	// baseCtx parents every sweep (and force-cancels /run work on drain
 	// timeout); baseStop cancels it with errDraining.
@@ -182,12 +200,12 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		path := s.requestJournalPath()
-		recs, err := pendingJobs(path)
+		recs, err := pendingJobs(cfg.disk(), path)
 		if err != nil {
 			return nil, fmt.Errorf("server: request journal: %w", err)
 		}
 		s.recovered = recs
-		s.reqJournal, err = exp.OpenJournal(path)
+		s.reqJournal, err = exp.OpenJournalOn(cfg.disk(), path)
 		if err != nil {
 			return nil, fmt.Errorf("server: request journal: %w", err)
 		}
@@ -279,11 +297,53 @@ func (s *Server) Drain(ctx context.Context) error {
 		if s.coord != nil {
 			s.coord.shutdown()
 		}
+		s.reqJMu.Lock()
+		s.reqJClosed = true
 		if s.reqJournal != nil {
 			s.reqJournal.Close()
 		}
+		s.reqJMu.Unlock()
 	})
 	return nil
+}
+
+// appendRequest appends one record to the request journal, repairing a
+// poisoned journal once: close it, reopen the same path, retry the append.
+// Sound for the same reason fabricJob.appendRepairing is — per-append
+// fsync means only the failing append's durability is unknown, and the
+// retry re-lands exactly that record through a fresh descriptor. Returns
+// nil when persistence is off.
+func (s *Server) appendRequest(rec journalRecord) error {
+	s.reqJMu.Lock()
+	j := s.reqJournal
+	s.reqJMu.Unlock()
+	if j == nil {
+		return nil
+	}
+	err := j.Append(rec)
+	var pe *exp.PoisonedJournalError
+	if !errors.As(err, &pe) {
+		return err
+	}
+	fresh, oerr := exp.OpenJournalOn(s.cfg.disk(), pe.Path)
+	if oerr != nil {
+		return err
+	}
+	s.reqJMu.Lock()
+	if s.reqJClosed {
+		s.reqJMu.Unlock()
+		fresh.Close()
+		return err
+	}
+	if s.reqJournal == j {
+		s.reqJournal = fresh
+		j.Close() // returns the poison error; the state is already on disk
+	} else {
+		fresh.Close() // a racing append repaired first; use its journal
+	}
+	j = s.reqJournal
+	s.reqJMu.Unlock()
+	return j.Append(rec)
 }
 
 // Handler returns the service's HTTP surface.
@@ -520,14 +580,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	// Journal the acceptance before acknowledging it: once the client has
 	// a 202 the sweep must survive a crash.
-	if s.reqJournal != nil {
-		if err := s.reqJournal.Append(journalRecord{Op: "accept", ID: id, Spec: &spec, SpecHash: specHash(&spec)}); err != nil {
-			if t != nil {
-				t.abandon()
-			}
-			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": fmt.Sprintf("journal: %v", err)})
-			return
+	if err := s.appendRequest(journalRecord{Op: "accept", ID: id, Spec: &spec, SpecHash: specHash(&spec)}); err != nil {
+		if t != nil {
+			t.abandon()
 		}
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": fmt.Sprintf("journal: %v", err)})
+		return
 	}
 	j := newJob(id, spec)
 	s.addJob(j)
@@ -607,6 +665,7 @@ func (s *Server) runSweep(j *job, t *ticket) {
 		Workers:    s.admit.lim.clamp(weight),
 		Retries:    j.Spec.Retries,
 		RunTimeout: cellTimeout,
+		Disk:       s.cfg.Disk,
 		Journal:    s.cellJournalPath(j.ID),
 		Limits:     core.Limits{Heartbeat: &j.beat},
 		Progress:   j.setProgress,
@@ -703,13 +762,11 @@ func (s *Server) finishSweep(j *job, state string, err error) {
 	failedCount := len(j.failed)
 	j.mu.Unlock()
 	s.met.jobsDone.Add(1)
-	if s.reqJournal != nil {
-		rec := journalRecord{Op: "done", ID: j.ID, OK: state == jobDone && failedCount == 0}
-		if err != nil {
-			rec.Err = err.Error()
-		}
-		s.reqJournal.Append(rec)
+	rec := journalRecord{Op: "done", ID: j.ID, OK: state == jobDone && failedCount == 0}
+	if err != nil {
+		rec.Err = err.Error()
 	}
+	s.appendRequest(rec)
 }
 
 // resolveSweep prepares the spec's programs and materializes its configs.

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/exp"
 )
 
@@ -360,7 +361,7 @@ func TestSweepJournalResume(t *testing.T) {
 		cancel()
 	}
 
-	if pend, err := pendingJobs(filepath.Join(dir, "requests.journal")); err != nil || len(pend) != 0 {
+	if pend, err := pendingJobs(chaos.OS{}, filepath.Join(dir, "requests.journal")); err != nil || len(pend) != 0 {
 		t.Fatalf("settled sweep still pending: %v, %v", pend, err)
 	}
 	copyFile(t, filepath.Join(dir, "sweep-"+firstID+".cells"), filepath.Join(dir, "sweep-crashed.cells"))
@@ -408,7 +409,7 @@ func TestSweepJournalResume(t *testing.T) {
 	}
 
 	// The resumed sweep settles the journal: a third boot recovers nothing.
-	if pend, err := pendingJobs(filepath.Join(dir, "requests.journal")); err != nil || len(pend) != 0 {
+	if pend, err := pendingJobs(chaos.OS{}, filepath.Join(dir, "requests.journal")); err != nil || len(pend) != 0 {
 		t.Fatalf("resumed sweep left journal unsettled: %v, %v", pend, err)
 	}
 }
@@ -460,7 +461,7 @@ func TestDrainInterruptsSweep(t *testing.T) {
 	case jobInterrupted:
 		// The common case: the drain caught the sweep mid-flight. It must
 		// still be pending in the journal.
-		pend, err := pendingJobs(filepath.Join(dir, "requests.journal"))
+		pend, err := pendingJobs(chaos.OS{}, filepath.Join(dir, "requests.journal"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -485,13 +486,13 @@ func TestDrainInterruptsSweep(t *testing.T) {
 			resp, st := getJSON(t, ts2.URL+"/sweep/"+id)
 			return resp.StatusCode == http.StatusOK && st["state"] == jobDone
 		})
-		if pend, err := pendingJobs(filepath.Join(dir, "requests.journal")); err != nil || len(pend) != 0 {
+		if pend, err := pendingJobs(chaos.OS{}, filepath.Join(dir, "requests.journal")); err != nil || len(pend) != 0 {
 			t.Fatalf("resumed sweep left journal unsettled: %v, %v", pend, err)
 		}
 	case jobDone:
 		// The sweep won the race and finished before the cancel landed;
 		// nothing to resume, the journal must be settled.
-		if pend, _ := pendingJobs(filepath.Join(dir, "requests.journal")); len(pend) != 0 {
+		if pend, _ := pendingJobs(chaos.OS{}, filepath.Join(dir, "requests.journal")); len(pend) != 0 {
 			t.Fatalf("done sweep left journal unsettled: %+v", pend)
 		}
 	default:
@@ -612,7 +613,7 @@ func TestPendingJobsSpecHashGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pend, err := pendingJobs(path)
+	pend, err := pendingJobs(chaos.OS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}

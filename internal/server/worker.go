@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/exp"
 	"fgpsim/internal/machine"
 	"fgpsim/internal/snapshot"
@@ -50,6 +51,10 @@ type WorkerOptions struct {
 	Abandon bool
 	// Client overrides the HTTP client (default: 10s timeout).
 	Client *http.Client
+	// Disk overrides the filesystem the worker's journals and snapshots go
+	// through (nil = the real one; the chaos harness substitutes a
+	// fault-injecting chaos.FS).
+	Disk chaos.Disk
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -60,10 +65,17 @@ type Worker struct {
 	prep    *prepCache
 	logf    func(string, ...any)
 	snapDir string
+	disk    chaos.Disk
 
 	lease   atomic.Uint64
 	preempt atomic.Bool
 	busy    atomic.Int64
+
+	// parked holds encoded snapshots whose ship exhausted its retry budget,
+	// keyed by cell id, awaiting a re-ship from the poll loop or the drain.
+	parkedMu       sync.Mutex
+	parked         map[string][]byte
+	reshipInFlight atomic.Bool
 
 	// CellsRun counts settled cells, for tests and logs.
 	CellsRun atomic.Int64
@@ -101,6 +113,10 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	}
 	if w.logf == nil {
 		w.logf = func(string, ...any) {}
+	}
+	w.disk = opts.Disk
+	if w.disk == nil {
+		w.disk = chaos.OS{}
 	}
 	w.snapDir = opts.SnapshotDir
 	if w.snapDir == "" {
@@ -140,6 +156,7 @@ func (w *Worker) Run(ctx context.Context) error {
 
 poll:
 	for ctx.Err() == nil {
+		w.reshipParkedAsync()
 		free := w.opts.Concurrency - int(w.busy.Load())
 		if free <= 0 {
 			if !sleepCtx(ctx, 20*time.Millisecond) {
@@ -197,6 +214,10 @@ poll:
 		cancelCells()
 		<-done
 	}
+	// Last chance for parked snapshots: after this the coordinator requeues
+	// our cells, and a successfully re-shipped checkpoint is the difference
+	// between the next assignee resuming mid-run and starting over.
+	w.reshipParked()
 	w.deregister()
 	w.logf("worker %s: drained", w.opts.ID)
 	return nil
@@ -260,7 +281,7 @@ func (w *Worker) runCell(ctx context.Context, pr pollResponse, a cellAssignment)
 	if len(a.Snapshot) > 0 {
 		// A previous assignee's shipped progress: store it (re-validated)
 		// where the grid's resume path will find it.
-		if _, serr := snapshot.Store(exp.CellSnapshotPath(w.snapDir, key), a.Snapshot); serr != nil {
+		if _, serr := snapshot.StoreOn(w.disk, exp.CellSnapshotPath(w.snapDir, key), a.Snapshot); serr != nil {
 			w.logf("worker %s: cell %s: shipped snapshot rejected: %v", w.opts.ID, a.Cell, serr)
 		}
 	}
@@ -273,6 +294,7 @@ func (w *Worker) runCell(ctx context.Context, pr pollResponse, a cellAssignment)
 		Workers:    1,
 		Retries:    pr.Retries,
 		RunTimeout: timeout,
+		Disk:       w.opts.Disk,
 		Observer:   func(o exp.CellOutcome) { out = o },
 	}
 	if pr.CheckpointEvery > 0 {
@@ -300,25 +322,124 @@ func (w *Worker) runCell(ctx context.Context, pr pollResponse, a cellAssignment)
 	}
 }
 
-// ship PUTs one encoded snapshot to the coordinator, best-effort: a failed
-// ship only costs resume progress if this worker also dies before the cell
-// settles.
-func (w *Worker) ship(cellID string, encoded []byte) {
+// ShipError is the typed terminal failure of a snapshot ship: the bounded
+// retry budget ran out (or the coordinator rejected the blob outright) and
+// the snapshot was parked for a later re-ship. Status is the last HTTP
+// status seen, 0 when every attempt failed at the transport.
+type ShipError struct {
+	Cell   string
+	Tries  int
+	Status int
+	Err    error
+}
+
+func (e *ShipError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("server: ship %s: gave up after %d tries (last status %d)", e.Cell, e.Tries, e.Status)
+	}
+	return fmt.Sprintf("server: ship %s: gave up after %d tries: %v", e.Cell, e.Tries, e.Err)
+}
+
+func (e *ShipError) Unwrap() error { return e.Err }
+
+// shipMaxTries bounds one ship's delivery attempts; the backoff between
+// them doubles from 50ms and caps at 1s, so a full budget costs under two
+// seconds of waiting — short enough to run inline from the snapshot sink.
+const shipMaxTries = 5
+
+// ship PUTs one encoded snapshot to the coordinator, retrying transient
+// failures with capped exponential backoff. A terminal failure returns a
+// *ShipError and parks the snapshot so the poll loop (and the drain) can
+// re-ship it: a lost checkpoint only costs resume progress, but there is no
+// reason to lose one to a coordinator restart that a later retry outlives.
+func (w *Worker) ship(cellID string, encoded []byte) error {
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	var lastStatus int
+	tries := 0
+	for try := 1; try <= shipMaxTries; try++ {
+		if try > 1 {
+			shipRetries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		tries = try
+		status, err := w.shipOnce(cellID, encoded)
+		if err == nil && status == http.StatusOK {
+			return nil
+		}
+		lastErr, lastStatus = err, status
+		if status == http.StatusBadRequest {
+			// The coordinator rejected the bytes themselves (bad cell id, CRC
+			// mismatch from a transit tear): resending the same blob cannot
+			// succeed, but the NEXT checkpoint of this cell might, so park.
+			break
+		}
+	}
+	serr := &ShipError{Cell: cellID, Tries: tries, Status: lastStatus, Err: lastErr}
+	w.park(cellID, encoded)
+	w.logf("worker %s: %v (snapshot parked for re-ship)", w.opts.ID, serr)
+	return serr
+}
+
+func (w *Worker) shipOnce(cellID string, encoded []byte) (int, error) {
 	req, err := http.NewRequest("PUT", w.opts.Coordinator+"/fabric/snapshot/"+cellID, bytes.NewReader(encoded))
 	if err != nil {
-		return
+		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := w.client.Do(req)
 	if err != nil {
-		w.logf("worker %s: ship %s: %v", w.opts.ID, cellID, err)
-		return
+		return 0, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		w.logf("worker %s: ship %s: coordinator said %d", w.opts.ID, cellID, resp.StatusCode)
+		return resp.StatusCode, fmt.Errorf("server: ship %s: coordinator said %d", cellID, resp.StatusCode)
 	}
+	return resp.StatusCode, nil
+}
+
+// park stows a terminally unshipped snapshot, newest bytes per cell.
+func (w *Worker) park(cellID string, encoded []byte) {
+	w.parkedMu.Lock()
+	if w.parked == nil {
+		w.parked = make(map[string][]byte)
+	}
+	w.parked[cellID] = encoded
+	w.parkedMu.Unlock()
+}
+
+// reshipParked drains the parked set and runs each snapshot through a full
+// ship budget again; ship re-parks whatever still fails. A newer checkpoint
+// of the same cell shipped in the meantime overwrites the coordinator's
+// copy regardless of order — snapshots are resume hints, and the attempt
+// stamps on results keep a stale hint from ever corrupting a winner.
+func (w *Worker) reshipParked() {
+	w.parkedMu.Lock()
+	batch := w.parked
+	w.parked = nil
+	w.parkedMu.Unlock()
+	for cell, encoded := range batch {
+		w.ship(cell, encoded)
+	}
+}
+
+// reshipParkedAsync is the poll loop's entry: one re-ship pass at a time,
+// off the loop's goroutine so a slow coordinator cannot stall polling.
+func (w *Worker) reshipParkedAsync() {
+	w.parkedMu.Lock()
+	empty := len(w.parked) == 0
+	w.parkedMu.Unlock()
+	if empty || !w.reshipInFlight.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer w.reshipInFlight.Store(false)
+		w.reshipParked()
+	}()
 }
 
 // postResult delivers one settled cell, retrying with backoff until the

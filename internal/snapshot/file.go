@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"fgpsim/internal/chaos"
 	"fgpsim/internal/core"
 	"fgpsim/internal/faultinject"
 	"fgpsim/internal/ir"
@@ -28,16 +29,22 @@ const prevSuffix = ".prev"
 // synced last — so a crash anywhere in the sequence leaves either the old
 // snapshot, the new one, or both, never a half-written file at path.
 func WriteFile(path string, s *Snapshot) error {
+	return WriteFileOn(chaos.OS{}, path, s)
+}
+
+// WriteFileOn is WriteFile on an explicit disk, the seam the chaos harness
+// injects filesystem faults through.
+func WriteFileOn(disk chaos.Disk, path string, s *Snapshot) error {
 	data := Encode(s)
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	tmp, err := disk.CreateTemp(dir, ".snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	tmpName := tmp.Name()
 	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		disk.Remove(tmpName)
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
@@ -47,30 +54,21 @@ func WriteFile(path string, s *Snapshot) error {
 		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		disk.Remove(tmpName)
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	if _, err := os.Stat(path); err == nil {
-		if err := os.Rename(path, path+prevSuffix); err != nil {
-			os.Remove(tmpName)
+	if _, err := disk.Stat(path); err == nil {
+		if err := disk.Rename(path, path+prevSuffix); err != nil {
+			disk.Remove(tmpName)
 			return fmt.Errorf("snapshot: rotate: %w", err)
 		}
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := disk.Rename(tmpName, path); err != nil {
+		disk.Remove(tmpName)
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	syncDir(dir)
+	disk.SyncDir(dir) // best-effort: some filesystems refuse directory fsync
 	return nil
-}
-
-// syncDir fsyncs a directory so renames inside it are durable; best-effort
-// (some filesystems refuse directory fsync).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
 }
 
 // ReadLatest loads the newest decodable snapshot for path, trying path
@@ -78,11 +76,16 @@ func syncDir(dir string) {
 // corrupt. os.ErrNotExist is returned (wrapped) only when neither file
 // exists; a decodable-nowhere state reports the primary's corruption.
 func ReadLatest(path string) (*Snapshot, error) {
-	s, errMain := readOne(path)
+	return ReadLatestOn(chaos.OS{}, path)
+}
+
+// ReadLatestOn is ReadLatest on an explicit disk.
+func ReadLatestOn(disk chaos.Disk, path string) (*Snapshot, error) {
+	s, errMain := readOne(disk, path)
 	if errMain == nil {
 		return s, nil
 	}
-	s, errPrev := readOne(path + prevSuffix)
+	s, errPrev := readOne(disk, path+prevSuffix)
 	if errPrev == nil {
 		return s, nil
 	}
@@ -95,8 +98,8 @@ func ReadLatest(path string) (*Snapshot, error) {
 	return nil, errMain
 }
 
-func readOne(path string) (*Snapshot, error) {
-	data, err := os.ReadFile(path)
+func readOne(disk chaos.Disk, path string) (*Snapshot, error) {
+	data, err := disk.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
@@ -106,8 +109,13 @@ func readOne(path string) (*Snapshot, error) {
 // Remove deletes a snapshot and its rotated predecessor; missing files are
 // fine (a finished run cleans up whatever is there).
 func Remove(path string) {
-	os.Remove(path)
-	os.Remove(path + prevSuffix)
+	RemoveOn(chaos.OS{}, path)
+}
+
+// RemoveOn is Remove on an explicit disk.
+func RemoveOn(disk chaos.Disk, path string) {
+	disk.Remove(path)
+	disk.Remove(path + prevSuffix)
 }
 
 // RunFingerprint pins a snapshot to everything that determines a run's
@@ -163,11 +171,16 @@ func (h *fnv64) blob(b []byte) {
 // checkpoint to path under the given fingerprint, capturing the injector's
 // stream position alongside when inj is non-nil.
 func Saver(path string, fingerprint uint64, inj *faultinject.Injector) func(*core.EngineState) error {
+	return SaverOn(chaos.OS{}, path, fingerprint, inj)
+}
+
+// SaverOn is Saver on an explicit disk.
+func SaverOn(disk chaos.Disk, path string, fingerprint uint64, inj *faultinject.Injector) func(*core.EngineState) error {
 	return func(st *core.EngineState) error {
 		s := &Snapshot{Fingerprint: fingerprint, Engine: st}
 		if inj != nil {
 			s.Injector = inj.State()
 		}
-		return WriteFile(path, s)
+		return WriteFileOn(disk, path, s)
 	}
 }

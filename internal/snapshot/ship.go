@@ -2,7 +2,8 @@ package snapshot
 
 import (
 	"fmt"
-	"os"
+
+	"fgpsim/internal/chaos"
 )
 
 // This file is the shipping layer: moving snapshots between machines as
@@ -20,7 +21,12 @@ import (
 // read raw, so what ships is exactly what validated — a file with trailing
 // garbage or a decodable-prefix tear never ships the damage onward.
 func LoadShippable(path string) ([]byte, uint64, error) {
-	s, err := ReadLatest(path)
+	return LoadShippableOn(chaos.OS{}, path)
+}
+
+// LoadShippableOn is LoadShippable on an explicit disk.
+func LoadShippableOn(disk chaos.Disk, path string) ([]byte, uint64, error) {
+	s, err := ReadLatestOn(disk, path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -38,11 +44,16 @@ func Receive(data []byte) (*Snapshot, error) {
 // It returns the validated snapshot's fingerprint so the caller can index
 // the stored file without decoding twice.
 func Store(path string, data []byte) (uint64, error) {
+	return StoreOn(chaos.OS{}, path, data)
+}
+
+// StoreOn is Store on an explicit disk.
+func StoreOn(disk chaos.Disk, path string, data []byte) (uint64, error) {
 	s, err := Decode(data)
 	if err != nil {
 		return 0, fmt.Errorf("snapshot: refusing to store wire bytes: %w", err)
 	}
-	if err := WriteFile(path, s); err != nil {
+	if err := WriteFileOn(disk, path, s); err != nil {
 		return 0, err
 	}
 	return s.Fingerprint, nil
@@ -51,10 +62,15 @@ func Store(path string, data []byte) (uint64, error) {
 // Exists reports whether any snapshot file (current or rotated) is present
 // at path — a cheap pre-check before paying for LoadShippable.
 func Exists(path string) bool {
-	if _, err := os.Stat(path); err == nil {
+	return ExistsOn(chaos.OS{}, path)
+}
+
+// ExistsOn is Exists on an explicit disk.
+func ExistsOn(disk chaos.Disk, path string) bool {
+	if _, err := disk.Stat(path); err == nil {
 		return true
 	}
-	if _, err := os.Stat(path + prevSuffix); err == nil {
+	if _, err := disk.Stat(path + prevSuffix); err == nil {
 		return true
 	}
 	return false

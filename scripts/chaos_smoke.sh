@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — CI entry point for the deterministic chaos orchestrator
+# (cmd/chaos, DESIGN.md §16).
+#
+#   scripts/chaos_smoke.sh [SEEDS] [ARTIFACT_DIR]
+#
+# Two phases:
+#   1. Self-test: a deliberately seeded invariant violation must be caught,
+#      replayed bit-identically from its seed, and shrunk to its minimal
+#      schedule. If the detector cannot find a planted bug, a green sweep
+#      proves nothing, so this gates phase 2.
+#   2. Sweep: SEEDS (default 200) planned disk+network fault schedules,
+#      each a pure function of its seed. Any violation prints a repro
+#      token ("seed=N keep=i,j"), shrinks it, saves the run's journals
+#      under ARTIFACT_DIR (default /tmp/chaos-artifacts) for upload, and
+#      fails the job.
+#
+# Reproduce any failure locally with the printed token:
+#   go run ./cmd/chaos -replay "seed=N keep=i,j"
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-200}"
+OUT="${2:-/tmp/chaos-artifacts}"
+BASE="${CHAOS_SEED_BASE:-1}"
+
+echo "== chaos self-test (seeded violation must be caught, replayed, shrunk) =="
+go run ./cmd/chaos -self-test
+
+echo "== chaos sweep: ${SEEDS} seeded schedules from seed ${BASE} =="
+go run ./cmd/chaos -seeds "${SEEDS}" -seed-base "${BASE}" -out "${OUT}"
