@@ -15,6 +15,10 @@
 //	                                violation must be caught, replayed
 //	                                bit-identically, and shrunk to its
 //	                                minimal schedule
+//	chaos -integrity-smoke          prove the ARMED integrity layer: a lying
+//	                                worker and a corrupting transport must
+//	                                both be quarantined with results served
+//	                                byte-identical to the fault-free control
 //
 // Every schedule is a pure function of its seed, so any failure this tool
 // ever prints is reproducible with -replay and the token alone. On a
@@ -35,12 +39,13 @@ import (
 )
 
 type options struct {
-	seeds    int
-	seedBase uint64
-	seed     uint64
-	seedSet  bool
-	replay   string
-	selfTest bool
+	seeds          int
+	seedBase       uint64
+	seed           uint64
+	seedSet        bool
+	replay         string
+	selfTest       bool
+	integritySmoke bool
 
 	workers     int
 	concurrency int
@@ -63,6 +68,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	})
 	fs.StringVar(&o.replay, "replay", "", `replay a repro token ("seed=N" or "seed=N keep=i,j")`)
 	fs.BoolVar(&o.selfTest, "self-test", false, "run the seeded-violation detector check")
+	fs.BoolVar(&o.integritySmoke, "integrity-smoke", false, "run the armed-integrity-layer check (audits, quarantine, digest gate)")
 	fs.IntVar(&o.workers, "workers", 2, "fabric workers per run")
 	fs.IntVar(&o.concurrency, "concurrency", 2, "cell concurrency per worker")
 	fs.IntVar(&o.maxFaults, "max-faults", 0, "faults per planned schedule (0 = profile default)")
@@ -74,7 +80,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 
 func (o *options) modes() int {
 	n := 0
-	for _, set := range []bool{o.seeds > 0, o.seedSet, o.replay != "", o.selfTest} {
+	for _, set := range []bool{o.seeds > 0, o.seedSet, o.replay != "", o.selfTest, o.integritySmoke} {
 		if set {
 			n++
 		}
@@ -117,7 +123,7 @@ func main() {
 
 func run(o *options) error {
 	if n := o.modes(); n != 1 {
-		return fmt.Errorf("need exactly one of -seeds, -seed, -replay, -self-test (got %d); see -h", n)
+		return fmt.Errorf("need exactly one of -seeds, -seed, -replay, -self-test, -integrity-smoke (got %d); see -h", n)
 	}
 	switch {
 	case o.selfTest:
@@ -130,6 +136,18 @@ func run(o *options) error {
 			return &errViolation{fmt.Sprintf("%v", err)}
 		}
 		fmt.Printf("self-test: seeded violation caught, replayed bit-identically, shrunk to minimal schedule (%.1fs)\n",
+			time.Since(start).Seconds())
+		return nil
+	case o.integritySmoke:
+		start := time.Now()
+		logf := func(string, ...any) {}
+		if o.verbose {
+			logf = log.Printf
+		}
+		if err := harness.IntegritySmoke(logf); err != nil {
+			return &errViolation{fmt.Sprintf("%v", err)}
+		}
+		fmt.Printf("integrity-smoke: lying worker and corrupting transport both quarantined, results byte-identical to control (%.1fs)\n",
 			time.Since(start).Seconds())
 		return nil
 	case o.replay != "":

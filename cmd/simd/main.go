@@ -28,6 +28,7 @@
 //	     [-drain-timeout 30s]
 //	     [-checkpoint-every 0] [-preempt-after 0]
 //	     [-coordinator] [-worker-dead-after 10s] [-steal-after 5s]
+//	     [-audit-rate 0] [-quarantine-strikes 3] [-scrub-interval 0]
 //	simd -worker http://coordinator:8080 [-worker-id NAME] [-heartbeat 1s]
 //	     [-concurrency 0] [-drain-timeout 30s]
 //
@@ -68,12 +69,15 @@ type options struct {
 	checkpointEvery int64
 	preemptAfter    time.Duration
 
-	coordinator     bool
-	workerDeadAfter time.Duration
-	stealAfter      time.Duration
-	workerURL       string
-	workerID        string
-	heartbeat       time.Duration
+	coordinator       bool
+	workerDeadAfter   time.Duration
+	stealAfter        time.Duration
+	auditRate         float64
+	quarantineStrikes int
+	scrubInterval     time.Duration
+	workerURL         string
+	workerID          string
+	heartbeat         time.Duration
 
 	chaosDisk string
 	// disk is the failpoint filesystem -chaos-disk resolved to (nil when
@@ -98,6 +102,9 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.coordinator, "coordinator", false, "coordinator role: shard sweeps across registered fabric workers instead of simulating locally")
 	fs.DurationVar(&o.workerDeadAfter, "worker-dead-after", 10*time.Second, "coordinator declares a silent worker dead and requeues its cells after this long")
 	fs.DurationVar(&o.stealAfter, "steal-after", 5*time.Second, "idle workers may duplicate an in-flight cell older than this (straggler mitigation)")
+	fs.Float64Var(&o.auditRate, "audit-rate", 0, "fraction of completed cells re-executed on a different worker and byte-compared (0 = off; requires -coordinator)")
+	fs.IntVar(&o.quarantineStrikes, "quarantine-strikes", 3, "integrity strikes before a worker's lease is quarantined (requires -coordinator)")
+	fs.DurationVar(&o.scrubInterval, "scrub-interval", 0, "background scrub pass period over on-disk journals and snapshots (0 = off; requires -journal)")
 	fs.StringVar(&o.workerURL, "worker", "", "worker role: pull cells from the coordinator at this base URL (exclusive with -coordinator)")
 	fs.StringVar(&o.workerID, "worker-id", "", "stable worker identity for re-registration after a crash (default hostname-pid; requires -worker)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", time.Second, "worker liveness beacon period; keep well inside -worker-dead-after (requires -worker)")
@@ -125,6 +132,21 @@ func (o *options) validate() error {
 	}
 	if o.coordinator && o.workerURL != "" {
 		return fmt.Errorf("-coordinator and -worker are exclusive: one process plays one fabric role")
+	}
+	if o.auditRate < 0 || o.auditRate > 1 {
+		return fmt.Errorf("-audit-rate must be in [0, 1], got %g", o.auditRate)
+	}
+	if o.auditRate > 0 && !o.coordinator {
+		return fmt.Errorf("-audit-rate requires -coordinator (audits re-assign cells across fabric workers)")
+	}
+	if o.quarantineStrikes <= 0 {
+		return fmt.Errorf("-quarantine-strikes must be > 0, got %d", o.quarantineStrikes)
+	}
+	if o.scrubInterval < 0 {
+		return fmt.Errorf("-scrub-interval must be >= 0, got %s", o.scrubInterval)
+	}
+	if o.scrubInterval > 0 && o.journalDir == "" {
+		return fmt.Errorf("-scrub-interval requires -journal (the scrubber walks the journal directory)")
 	}
 	if o.workerURL == "" {
 		if o.workerID != "" {
@@ -168,18 +190,21 @@ func (o *options) validate() error {
 
 func (o *options) serverConfig() server.Config {
 	cfg := server.Config{
-		QueueDepth:       o.queue,
-		Concurrency:      o.concurrency,
-		DefaultTimeout:   o.defTimeout,
-		MaxTimeout:       o.maxTimeout,
-		WatchdogInterval: o.wdInterval,
-		WatchdogStall:    o.wdStall,
-		JournalDir:       o.journalDir,
-		CheckpointEvery:  o.checkpointEvery,
-		PreemptAfter:     o.preemptAfter,
-		Coordinator:      o.coordinator,
-		WorkerDeadAfter:  o.workerDeadAfter,
-		StealAfter:       o.stealAfter,
+		QueueDepth:        o.queue,
+		Concurrency:       o.concurrency,
+		DefaultTimeout:    o.defTimeout,
+		MaxTimeout:        o.maxTimeout,
+		WatchdogInterval:  o.wdInterval,
+		WatchdogStall:     o.wdStall,
+		JournalDir:        o.journalDir,
+		CheckpointEvery:   o.checkpointEvery,
+		PreemptAfter:      o.preemptAfter,
+		Coordinator:       o.coordinator,
+		WorkerDeadAfter:   o.workerDeadAfter,
+		StealAfter:        o.stealAfter,
+		AuditRate:         o.auditRate,
+		QuarantineStrikes: o.quarantineStrikes,
+		ScrubInterval:     o.scrubInterval,
 	}
 	if o.disk != nil {
 		cfg.Disk = o.disk

@@ -65,10 +65,13 @@ const (
 	NetPartition
 
 	// NetCorrupt silently alters a digit of the request body in transit.
-	// This is OUTSIDE the tolerated fault model (the fabric trusts its
-	// transport's payload integrity end-to-end); it exists to seed a
-	// deliberate invariant violation and prove the chaos orchestrator
-	// catches, replays, and shrinks it.
+	// Since the end-to-end integrity layer landed (content digests on every
+	// result, verified at ingest and at merge — DESIGN.md §17) this is part
+	// of the tolerated fault model: a corrupted payload must be rejected,
+	// the sender struck, and the cell re-served byte-identical from an
+	// honest execution. The orchestrator's self-test still uses it with
+	// digests disarmed to seed a deliberate violation and prove the
+	// catch/replay/shrink loop works.
 	NetCorrupt
 
 	numKinds
@@ -104,10 +107,10 @@ func DiskKinds() []Kind {
 }
 
 // NetKinds is the tolerated network fault set: everything Transport can
-// inject except NetCorrupt, which violates the fabric's trust model by
-// design (see its doc).
+// inject, NetCorrupt included — payload corruption moved inside the trust
+// model when result digests landed (DESIGN.md §17).
 func NetKinds() []Kind {
-	return []Kind{NetDrop, NetDelay, NetDup, NetTruncate, NetPartition}
+	return []Kind{NetDrop, NetDelay, NetDup, NetTruncate, NetPartition, NetCorrupt}
 }
 
 // diskClass maps a disk fault kind to the operation class whose counter

@@ -13,15 +13,26 @@
 //     plans are finite, so the adversary always drains);
 //  2. no quarantined cells — the simulator is deterministic, so pure
 //     durability and delivery faults must never turn into cell failures;
-//  3. byte identity — the merged results render byte-identically to the
+//  3. no corrupted result served — every result post the coordinator
+//     acknowledged with 200 (tapped via chaos.Transport.Observe, AFTER
+//     transit faults mutate the body) carries a content digest that
+//     verifies over its stats: an in-transit corruption (chaos.NetCorrupt,
+//     in-model since DESIGN.md §17) must be rejected at ingest, never
+//     accepted;
+//  4. byte identity — the merged results render byte-identically to the
 //     fault-free control (this also subsumes split-brain: two lease
 //     incarnations disagreeing about a winner cannot both match one
 //     control);
-//  4. acked never lost — every result post a worker saw acknowledged with
-//     200 (tapped via chaos.Transport.Observe) is present in the final
-//     results with the same stats fingerprint;
-//  5. journal-replay equivalence — re-merging the coordinator's cell
-//     journal from disk reproduces exactly the results the live run served.
+//  5. acked never lost — every result post a worker saw acknowledged with
+//     200 is present in the final results with the same stats fingerprint
+//     (skipped under MangleWorker: a lying worker's acked results are
+//     SUPPOSED to be overturned by audits);
+//  6. journal-replay equivalence — re-merging the coordinator's cell
+//     journal from disk reproduces exactly the results the live run served;
+//  7. audited disagreement converges — at settle every audit whose bytes
+//     disagreed with the recorded winner has been resolved by a tie-break
+//     (audits_disagreed == audits_resolved), so together with invariant 3
+//     the served bytes are always the control bytes.
 package harness
 
 import (
@@ -73,6 +84,25 @@ type Options struct {
 	CrashAfterCells int
 	// Profile sizes planned schedules (Plan callers only).
 	Profile chaos.Profile
+	// AuditRate is the coordinator's sampled re-execution audit rate
+	// (default 0.25; negative disables — the self-test needs the integrity
+	// layer disarmed to seed its deliberate violation).
+	AuditRate float64
+	// QuarantineStrikes overrides the coordinator's quarantine threshold
+	// (0 = server default).
+	QuarantineStrikes int
+	// ScrubInterval arms the coordinator's background scrubber (0 = off,
+	// the default: scrub reads consume disk read-class fault ordinals on a
+	// wall-clock timer, which would blur bit-exact replay of read faults).
+	ScrubInterval time.Duration
+	// OmitDigests makes every worker ship results without content digests,
+	// disarming the coordinator's ingest gate. Self-test only.
+	OmitDigests bool
+	// MangleWorker, when set, is applied to each worker's results before
+	// digesting — a simulated lying worker (self-consistent digest, catchable
+	// only by re-execution audits). Return the input unchanged for honest
+	// workers.
+	MangleWorker func(workerID, cellID string, s *stats.Run) *stats.Run
 	// ArtifactDir, when set, receives a per-violation directory (named
 	// after the repro token) holding the run's journals, snapshots, and a
 	// report.json — the bundle CI uploads for offline replay.
@@ -102,6 +132,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRestarts <= 0 {
 		o.MaxRestarts = 2
+	}
+	if o.AuditRate == 0 {
+		o.AuditRate = 0.25
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -139,9 +172,10 @@ int main() {
 
 // Components enumerates the injectable surfaces of an opts-shaped fabric:
 // the coordinator's disk, each worker's disk, and each worker's network
-// path. NetCorrupt is deliberately absent (chaos.NetKinds) — it violates
-// the fabric's trust model and is only ever pinned by hand to seed a
-// violation.
+// path. The full chaos.NetKinds set is in play, NetCorrupt included: since
+// result digests landed (DESIGN.md §17) payload corruption is inside the
+// trust model — the fabric must detect it, strike the sender, and re-serve
+// the cell byte-identically.
 func Components(workers int) []chaos.Component {
 	comps := []chaos.Component{{Name: "coord/disk", Kinds: chaos.DiskKinds()}}
 	for i := 0; i < workers; i++ {
@@ -165,13 +199,22 @@ type Report struct {
 	Fired    []chaos.Fired `json:"fired,omitempty"`
 	Restarts int           `json:"restarts"`
 	// Violation names the first invariant that failed ("" = all held):
-	// "recovery-stalled", "cells-quarantined", "results-differ",
-	// "acked-result-lost", "journal-mismatch".
+	// "recovery-stalled", "cells-quarantined", "corrupt-result-served",
+	// "results-differ", "acked-result-lost", "journal-mismatch",
+	// "audit-diverged".
 	Violation string `json:"violation,omitempty"`
 	Detail    string `json:"detail,omitempty"`
 	// Results is the canonical results JSON the run settled on (nil when it
 	// never settled), the unit replay compares bit-for-bit.
 	Results []byte `json:"results,omitempty"`
+	// Integrity observability (DESIGN.md §17), sampled at settle. The
+	// quarantine count comes from the final coordinator's /metrics, so a
+	// crash-restart resets it.
+	AuditsRun          int   `json:"audits_run,omitempty"`
+	AuditsDisagreed    int   `json:"audits_disagreed,omitempty"`
+	AuditsResolved     int   `json:"audits_resolved,omitempty"`
+	IntegrityFailures  int   `json:"integrity_failures,omitempty"`
+	WorkersQuarantined int64 `json:"workers_quarantined,omitempty"`
 }
 
 // control is a cached fault-free reference for one spec: the canonical
@@ -266,6 +309,11 @@ type sweepStatus struct {
 	Failed  []string              `json:"failed"`
 	Error   string                `json:"error"`
 	Results map[string]*stats.Run `json:"results"`
+
+	AuditsRun         int `json:"audits_run"`
+	AuditsDisagreed   int `json:"audits_disagreed"`
+	AuditsResolved    int `json:"audits_resolved"`
+	IntegrityFailures int `json:"integrity_failures"`
 }
 
 // submitSweep POSTs the spec, retrying briefly: an injected coordinator
@@ -423,13 +471,20 @@ func Run(opts Options, sched *chaos.Schedule) (*Report, error) {
 	// One chaos surface per component, shared across coordinator restarts:
 	// a fault plan is per-RUN, and a restart must not re-arm spent faults.
 	coordDisk := chaos.NewFS(chaos.OS{}, sched, "coord/disk")
+	auditRate := opts.AuditRate
+	if auditRate < 0 {
+		auditRate = 0
+	}
 	coordCfg := server.Config{
-		Coordinator:     true,
-		JournalDir:      filepath.Join(dir, "journal"),
-		CheckpointEvery: opts.CheckpointEvery,
-		WorkerDeadAfter: 2 * time.Second,
-		StealAfter:      time.Second,
-		Disk:            coordDisk,
+		Coordinator:       true,
+		JournalDir:        filepath.Join(dir, "journal"),
+		CheckpointEvery:   opts.CheckpointEvery,
+		WorkerDeadAfter:   2 * time.Second,
+		StealAfter:        time.Second,
+		AuditRate:         auditRate,
+		QuarantineStrikes: opts.QuarantineStrikes,
+		ScrubInterval:     opts.ScrubInterval,
+		Disk:              coordDisk,
 	}
 	coord, err := server.New(coordCfg)
 	if err != nil {
@@ -451,9 +506,13 @@ func Run(opts Options, sched *chaos.Schedule) (*Report, error) {
 
 	// Workers, each with its own chaos disk and chaos transport. The
 	// Observe tap records every acknowledged successful result post for the
-	// acked-never-lost invariant.
+	// acked-never-lost invariant, and — because it sees the body AFTER
+	// transit faults mutate it — checks the corrupt-result-served invariant:
+	// a 200 on a result whose digest does not verify over its stats means
+	// the ingest gate let corruption through.
 	var ackedMu sync.Mutex
 	acked := make(map[string]uint64) // cell id -> stats fingerprint
+	corruptServed := ""              // first offending detail, "" = none
 	var workerFS []*chaos.FS
 	var workerTR []*chaos.Transport
 	wctx, cancelWorkers := context.WithCancel(context.Background())
@@ -470,19 +529,24 @@ func Run(opts Options, sched *chaos.Schedule) (*Report, error) {
 				return
 			}
 			var res struct {
-				Cell  string     `json:"cell"`
-				Stats *stats.Run `json:"stats"`
+				Cell   string     `json:"cell"`
+				Stats  *stats.Run `json:"stats"`
+				Digest string     `json:"digest"`
 			}
 			if json.Unmarshal(body, &res) != nil || res.Stats == nil {
 				return
 			}
 			ackedMu.Lock()
 			acked[res.Cell] = exp.StatsFingerprint(res.Stats)
+			if res.Digest != "" && exp.DigestStats(res.Stats) != res.Digest && corruptServed == "" {
+				corruptServed = fmt.Sprintf("cell %s: 200 ack on digest %s over stats digesting to %s",
+					res.Cell, res.Digest, exp.DigestStats(res.Stats))
+			}
 			ackedMu.Unlock()
 		}
 		workerFS = append(workerFS, wdisk)
 		workerTR = append(workerTR, tr)
-		w, werr := server.NewWorker(server.WorkerOptions{
+		wopts := server.WorkerOptions{
 			Coordinator: baseURL,
 			ID:          fmt.Sprintf("w%d", i),
 			Heartbeat:   100 * time.Millisecond,
@@ -491,7 +555,13 @@ func Run(opts Options, sched *chaos.Schedule) (*Report, error) {
 			DrainGrace:  5 * time.Second,
 			Client:      &http.Client{Transport: tr, Timeout: 10 * time.Second},
 			Disk:        wdisk,
-		})
+			OmitDigests: opts.OmitDigests,
+		}
+		if opts.MangleWorker != nil {
+			mw, wid := opts.MangleWorker, wopts.ID
+			wopts.Mangle = func(cell string, s *stats.Run) *stats.Run { return mw(wid, cell, s) }
+		}
+		w, werr := server.NewWorker(wopts)
 		if werr != nil {
 			return nil, fmt.Errorf("harness: worker %d: %w", i, werr)
 		}
@@ -573,38 +643,55 @@ func Run(opts Options, sched *chaos.Schedule) (*Report, error) {
 		rep.Detail = fmt.Sprintf("state %s, failed %v, err %q", st.State, st.Failed, st.Error)
 		return rep, nil
 	}
+	rep.AuditsRun, rep.AuditsDisagreed = st.AuditsRun, st.AuditsDisagreed
+	rep.AuditsResolved, rep.IntegrityFailures = st.AuditsResolved, st.IntegrityFailures
+	rep.WorkersQuarantined = getMetricInt(baseURL, "workers_quarantined")
+	// Invariant 3 (new with DESIGN.md §17): no corrupted result was ever
+	// served — every 200-acked result post's digest verified over its stats.
+	ackedMu.Lock()
+	corrupt := corruptServed
+	ackedMu.Unlock()
+	if corrupt != "" {
+		rep.Violation = "corrupt-result-served"
+		rep.Detail = corrupt
+		return rep, nil
+	}
 	rep.Results, err = canonicalResults(st.Results)
 	if err != nil {
 		return nil, err
 	}
-	// Invariant 3: byte identity with the fault-free control.
+	// Invariant 4: byte identity with the fault-free control.
 	if string(rep.Results) != string(controlBytes) {
 		rep.Violation = "results-differ"
 		rep.Detail = fmt.Sprintf("fabric:  %s\ncontrol: %s", rep.Results, controlBytes)
 		return rep, nil
 	}
-	// Invariant 4: every acknowledged result survived the merge.
-	ackedMu.Lock()
-	ackedCopy := make(map[string]uint64, len(acked))
-	for k, v := range acked {
-		ackedCopy[k] = v
-	}
-	ackedMu.Unlock()
-	for cell, fp := range ackedCopy {
-		keyStr, ok := idToKey[cell]
-		if !ok {
-			rep.Violation = "acked-result-lost"
-			rep.Detail = fmt.Sprintf("acked cell %s is not a cell of this sweep", cell)
-			return rep, nil
+	// Invariant 5: every acknowledged result survived the merge. Skipped
+	// under MangleWorker: a lying worker's acked results are SUPPOSED to be
+	// overturned (their loss from the final results is the audit working).
+	if opts.MangleWorker == nil {
+		ackedMu.Lock()
+		ackedCopy := make(map[string]uint64, len(acked))
+		for k, v := range acked {
+			ackedCopy[k] = v
 		}
-		got, ok := st.Results[keyStr]
-		if !ok || exp.StatsFingerprint(got) != fp {
-			rep.Violation = "acked-result-lost"
-			rep.Detail = fmt.Sprintf("cell %s (%s): acked fingerprint %016x missing from final results", cell, keyStr, fp)
-			return rep, nil
+		ackedMu.Unlock()
+		for cell, fp := range ackedCopy {
+			keyStr, ok := idToKey[cell]
+			if !ok {
+				rep.Violation = "acked-result-lost"
+				rep.Detail = fmt.Sprintf("acked cell %s is not a cell of this sweep", cell)
+				return rep, nil
+			}
+			got, ok := st.Results[keyStr]
+			if !ok || exp.StatsFingerprint(got) != fp {
+				rep.Violation = "acked-result-lost"
+				rep.Detail = fmt.Sprintf("cell %s (%s): acked fingerprint %016x missing from final results", cell, keyStr, fp)
+				return rep, nil
+			}
 		}
 	}
-	// Invariant 5: the on-disk journal re-merges to the served results.
+	// Invariant 6: the on-disk journal re-merges to the served results.
 	jpath := filepath.Join(coordCfg.JournalDir, "sweep-"+id+".cells")
 	merged, jerr := exp.ReadJournal(jpath)
 	if jerr != nil {
@@ -626,7 +713,31 @@ func Run(opts Options, sched *chaos.Schedule) (*Report, error) {
 			return rep, nil
 		}
 	}
+	// Invariant 7 (new with DESIGN.md §17): audited disagreement converges —
+	// the sweep cannot settle with a digest dispute still dangling.
+	if st.AuditsDisagreed != st.AuditsResolved {
+		rep.Violation = "audit-diverged"
+		rep.Detail = fmt.Sprintf("audits_disagreed %d != audits_resolved %d at settle",
+			st.AuditsDisagreed, st.AuditsResolved)
+		return rep, nil
+	}
 	return rep, nil
+}
+
+// getMetricInt samples one integer counter from /metrics, 0 on any error
+// (observability, not an invariant).
+func getMetricInt(baseURL, name string) int64 {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if json.NewDecoder(resp.Body).Decode(&m) != nil {
+		return 0
+	}
+	v, _ := m[name].(float64)
+	return int64(v)
 }
 
 func statsFpOrZero(s *stats.Run) uint64 {

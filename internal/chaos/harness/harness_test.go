@@ -67,7 +67,13 @@ func firedString(rep *Report) string { return firedFingerprint(rep) }
 func TestSeededViolationCaughtReplayedShrunk(t *testing.T) {
 	// One worker, one slot: every fault-class counter sees the same
 	// operation sequence on every run, which is what makes (b) exact.
-	opts := Options{Workers: 1, Concurrency: 1, Logf: t.Logf}
+	// The integrity layer (DESIGN.md §17) is disarmed — digests omitted,
+	// audits off — because an armed fabric rejects the planted NetCorrupt
+	// at the digest gate and requeues the cell, leaving nothing for the
+	// byte-identity invariant to catch. This check is about the DETECTOR
+	// seeing corruption the fabric cannot repair; cmd/chaos
+	// -integrity-smoke proves the armed layer separately.
+	opts := Options{Workers: 1, Concurrency: 1, Logf: t.Logf, OmitDigests: true, AuditRate: -1}
 
 	// The first run also exercises the CI artifact path: a violating run
 	// with ArtifactDir set must leave a report plus the run's journals.

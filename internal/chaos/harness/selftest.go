@@ -3,15 +3,20 @@ package harness
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"fgpsim/internal/chaos"
+	"fgpsim/internal/server"
+	"fgpsim/internal/stats"
 )
 
 // SeededViolation is a hand-pinned schedule whose middle fault corrupts a
-// result payload in transit — outside the fabric's trust model, so it MUST
-// trip the byte-identity invariant. The two flanking faults (a duplicated
-// register, a delayed poll) are tolerated noise the shrinker has to strip
-// away. It is the deliberate bug the orchestrator proves itself against.
+// result payload in transit. With the integrity layer disarmed (the
+// self-test runs workers with OmitDigests and audits off) the corruption
+// sails through ingest and MUST trip the byte-identity invariant. The two
+// flanking faults (a duplicated register, a delayed poll) are tolerated
+// noise the shrinker has to strip away. It is the deliberate bug the
+// orchestrator proves itself against.
 func SeededViolation() *chaos.Schedule {
 	return &chaos.Schedule{Seed: 7, Faults: []chaos.Fault{
 		{Component: "w0/net", Kind: chaos.NetDup, Class: "register", N: 1},
@@ -38,7 +43,11 @@ func firedFingerprint(rep *Report) string {
 func SelfTest(logf func(format string, args ...any)) error {
 	// One worker, one slot: every fault-class counter sees the same
 	// operation sequence on every run, which is what makes (b) exact.
-	opts := Options{Workers: 1, Concurrency: 1, Logf: logf}
+	// Digests and audits are disarmed — the production integrity layer
+	// would catch the planted corruption at ingest and there would be no
+	// violation left to prove the detector against (IntegritySmoke is where
+	// the armed layer is exercised).
+	opts := Options{Workers: 1, Concurrency: 1, Logf: logf, OmitDigests: true, AuditRate: -1}
 
 	rep1, err := Run(opts, SeededViolation())
 	if err != nil {
@@ -78,5 +87,96 @@ func SelfTest(logf func(format string, args ...any)) error {
 	if !bytes.Equal(best.Results, rep1.Results) {
 		return fmt.Errorf("self-test: shrunk run's corrupted results differ from the full schedule's")
 	}
+	return nil
+}
+
+// IntegritySmoke proves the ARMED integrity layer (DESIGN.md §17) end to
+// end, the inverse of SelfTest's disarmed run:
+//
+// Phase 1 — a lying worker. Worker w0 mangles every result it produces
+// (self-consistent digest, so only re-execution audits can catch it) while
+// every completed cell is audited. The sweep must settle byte-identical to
+// the fault-free control, every audit disagreement must be resolved by a
+// tie-break, and w0 must be quarantined.
+//
+// Phase 2 — a corrupting transport plus disk bitrot. Three NetCorrupt
+// faults on w0's result posts (each a digest-gate rejection and a strike:
+// three strikes is the default quarantine threshold) and a BitrotRead on
+// the coordinator's disk, with the background scrubber armed. The sweep
+// must settle clean — no violation, w0 quarantined, results byte-identical
+// to control (the byte-identity invariant inside Run).
+func IntegritySmoke(logf func(format string, args ...any)) error {
+	// Phase 1: audits catch a worker whose corruption is self-consistent.
+	mangle := func(workerID, cellID string, s *stats.Run) *stats.Run {
+		if workerID != "w0" {
+			return s
+		}
+		m := *s
+		m.Cycles++
+		return &m
+	}
+	// QuarantineStrikes 1: the first lost audit or tie-break quarantines,
+	// so the assertion does not hinge on how many of the sweep's executions
+	// the racing scheduler happens to hand w0.
+	opts := Options{Workers: 3, Concurrency: 1, AuditRate: 1.0,
+		QuarantineStrikes: 1, MangleWorker: mangle, Logf: logf}
+	rep, err := Run(opts, &chaos.Schedule{Seed: 11})
+	if err != nil {
+		return fmt.Errorf("integrity-smoke: lying-worker run: %w", err)
+	}
+	if rep.Violation != "" {
+		return fmt.Errorf("integrity-smoke: lying worker broke invariant %q: %s", rep.Violation, rep.Detail)
+	}
+	if rep.AuditsDisagreed == 0 {
+		return fmt.Errorf("integrity-smoke: lying worker produced no audit disagreements (audits_run %d)", rep.AuditsRun)
+	}
+	if rep.AuditsDisagreed != rep.AuditsResolved {
+		return fmt.Errorf("integrity-smoke: %d disagreements but %d resolved", rep.AuditsDisagreed, rep.AuditsResolved)
+	}
+	if rep.WorkersQuarantined == 0 {
+		return fmt.Errorf("integrity-smoke: lying worker was never quarantined (integrity_failures %d)", rep.IntegrityFailures)
+	}
+	logf("integrity-smoke: lying worker: %d audits, %d disagreed, all resolved, %d quarantine(s)",
+		rep.AuditsRun, rep.AuditsDisagreed, rep.WorkersQuarantined)
+
+	// Phase 2: transit corruption and at-rest bitrot, both in-model. The
+	// three result corruptions are three digest-gate strikes — the default
+	// quarantine threshold — and the armed scrubber walks the journal under
+	// the seeded bitrot read.
+	sched := &chaos.Schedule{Seed: 13, Faults: []chaos.Fault{
+		{Component: "w0/net", Kind: chaos.NetCorrupt, Class: "result", N: 1, Arg: 3},
+		{Component: "w0/net", Kind: chaos.NetCorrupt, Class: "result", N: 2, Arg: 5},
+		{Component: "w0/net", Kind: chaos.NetCorrupt, Class: "result", N: 3, Arg: 7},
+		{Component: "coord/disk", Kind: chaos.BitrotRead, Class: "read", N: 2, Arg: 17},
+	}}
+	// An 8-cell sweep guarantees w0 posts at least three results (the three
+	// strikes) before the work runs out: each rejection requeues its cell,
+	// and an idle w0 always finds pending work in a sweep this wide.
+	spec := DefaultSpec()
+	var cfgs []server.ConfigSpec
+	for _, issue := range []int{2, 4} {
+		for _, c := range spec.Configs {
+			c.Issue = issue
+			cfgs = append(cfgs, c)
+		}
+	}
+	spec.Configs = cfgs
+	opts = Options{Spec: spec, Workers: 2, Concurrency: 1, AuditRate: 0.25,
+		ScrubInterval: 200 * time.Millisecond, Logf: logf}
+	rep, err = Run(opts, sched)
+	if err != nil {
+		return fmt.Errorf("integrity-smoke: corrupt-transit run: %w", err)
+	}
+	if rep.Violation != "" {
+		return fmt.Errorf("integrity-smoke: transit corruption broke invariant %q: %s", rep.Violation, rep.Detail)
+	}
+	if rep.IntegrityFailures == 0 {
+		return fmt.Errorf("integrity-smoke: no digest-gate rejections recorded for 3 corrupted result posts")
+	}
+	if rep.WorkersQuarantined == 0 {
+		return fmt.Errorf("integrity-smoke: corrupting worker was never quarantined (integrity_failures %d)", rep.IntegrityFailures)
+	}
+	logf("integrity-smoke: transit corruption: %d rejection(s), %d quarantine(s), results byte-identical to control",
+		rep.IntegrityFailures, rep.WorkersQuarantined)
 	return nil
 }

@@ -274,7 +274,7 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 						}
 						res.put(j.key, stats[i])
 						if jw != nil {
-							jw.Append(journalEntry{Key: j.key, Stats: stats[i]})
+							jw.appendResult(journalEntry{Key: j.key, Stats: stats[i]})
 						}
 						if opts.Observer != nil {
 							opts.Observer(CellOutcome{Key: j.key, Attempts: 1, Duration: dur, Stats: stats[i]})
@@ -344,7 +344,7 @@ func GridContext(ctx context.Context, prepared []*Prepared, cfgs []machine.Confi
 				}
 				res.put(j.key, s)
 				if jw != nil {
-					jw.Append(journalEntry{Key: j.key, Stats: s})
+					jw.appendResult(journalEntry{Key: j.key, Stats: s})
 				}
 				if opts.Observer != nil {
 					opts.Observer(CellOutcome{Key: j.key, Attempts: attempts, Duration: time.Since(start), Stats: s})

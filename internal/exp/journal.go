@@ -217,14 +217,27 @@ type journalEntry struct {
 	// fabric coordinator increments it on every requeue or steal, so a
 	// higher attempt is by construction the later decision.
 	Attempt int `json:"attempt,omitempty"`
+	// Digest is the record's content digest (entryDigest: CRC32-C + length
+	// over the record with this field cleared). Empty on legacy records.
+	// Verified on every replay; a mismatch rejects the record.
+	Digest string `json:"digest,omitempty"`
+}
+
+// appendResult stamps the record's content digest and appends it. All cell
+// records — fabric and plain sweeps alike — go through here, so every
+// journal written by this version is scrub- and merge-verifiable.
+func (j *Journal) appendResult(e journalEntry) error {
+	e.Digest = entryDigest(e)
+	return j.Append(e)
 }
 
 // AppendCell journals one completed cell under an explicit attempt ordinal,
-// stamping the record with the stats' content fingerprint. This is the
-// multi-writer append used by the fabric coordinator; plain sweeps append
-// unstamped records and rely on last-write-wins.
+// stamping the record with the stats' content fingerprint and a content
+// digest. This is the multi-writer append used by the fabric coordinator;
+// plain sweeps append records without the attempt/fingerprint stamp and
+// rely on last-write-wins.
 func (j *Journal) AppendCell(k Key, s *stats.Run, attempt int) error {
-	return j.Append(journalEntry{Key: k, Stats: s, Fp: fmt.Sprintf("%016x", StatsFingerprint(s)), Attempt: attempt})
+	return j.appendResult(journalEntry{Key: k, Stats: s, Fp: fmt.Sprintf("%016x", StatsFingerprint(s)), Attempt: attempt})
 }
 
 // StatsFingerprint is a content hash of one cell result: FNV-1a over the
@@ -398,6 +411,14 @@ func replayCells(disk chaos.Disk, path string, m map[Key]cellWinner) error {
 		}
 		if e.Stats == nil {
 			return fmt.Errorf("exp: journal line without stats")
+		}
+		// Digest verification happens before BlockSizes normalization: the
+		// digest was computed over the record as written, and a record whose
+		// BlockSizes decoded as nil was written with null — normalizing
+		// first would change the canonical bytes. Legacy records (no digest)
+		// pass unverified; this is the tolerant merge.
+		if got := rawEntryDigest(line, e); e.Digest != "" && got != e.Digest {
+			return &IntegrityError{Path: path, Key: e.Key, Hop: "merge", Want: e.Digest, Got: got}
 		}
 		if e.Stats.BlockSizes == nil {
 			e.Stats.BlockSizes = make(map[int]int64)

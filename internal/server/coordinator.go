@@ -15,6 +15,7 @@ import (
 	"fgpsim/internal/chaos"
 	"fgpsim/internal/exp"
 	"fgpsim/internal/snapshot"
+	"fgpsim/internal/stats"
 )
 
 // coordinator is the fabric's scheduling brain, attached to a Server
@@ -48,6 +49,21 @@ const (
 	cellFailed
 )
 
+// auditState tracks a done cell's re-execution audit (DESIGN.md §17).
+// The values are ordered so that decrementing an inflight state reverts it
+// to its pending form — the requeue path when an auditor dies, is
+// quarantined, or delivers a transit-corrupted result.
+type auditState int
+
+const (
+	auditNone     auditState = iota
+	auditPending             // sampled; waiting for an eligible worker to poll
+	auditInflight            // assigned to auditWorker
+	tiebreakPending
+	tiebreakInflight
+	auditDone
+)
+
 // fabricCell is one grid cell's authoritative state.
 type fabricCell struct {
 	id    string // exp.CellID — the wire identity
@@ -61,10 +77,30 @@ type fabricCell struct {
 	assignees []cellAssignee
 
 	// Winning record, mirrored from the journal's dedup order so live
-	// arrivals and post-restart replays settle identically.
+	// arrivals and post-restart replays settle identically. winWorker and
+	// winDigest feed the audit comparison; both are empty for cells
+	// restored from a journal replay (those are never audited).
 	winAttempt int
 	winFp      uint64
+	winWorker  string
+	winDigest  string
 	errText    string
+
+	// Re-execution audit state. auditExcl lists workers that may not run
+	// the (next) audit: the winner and any auditor whose bytes already
+	// disagreed — anti-affinity is the whole point of re-execution.
+	audit        auditState
+	auditWorker  string
+	auditLease   uint64
+	auditAttempt int
+	auditExcl    []string
+
+	// Candidate record from a disagreeing audit, held until a tie-break
+	// picks between it and the current winner.
+	candWorker string
+	candFp     uint64
+	candDigest string
+	candStats  *stats.Run
 }
 
 type cellAssignee struct {
@@ -97,6 +133,15 @@ type fabricJob struct {
 	doneN    int
 	failedN  int
 	finished bool
+
+	// Audit accounting. auditsPending holds the sweep open (settledLocked)
+	// until every sampled audit reaches a verdict; the others mirror into
+	// the job's status under j.mu (syncIntegrityLocked).
+	auditsPending      int
+	auditsRun          int
+	auditsDisagreed    int
+	auditsResolved     int
+	integrityFailuresN int
 }
 
 func newCoordinator(s *Server) (*coordinator, error) {
@@ -182,7 +227,13 @@ func (c *coordinator) start(j *job, recovered bool) error {
 	disk := c.s.cfg.disk()
 	cellPath := c.s.cellJournalPath(j.ID)
 	if cellPath != "" {
-		prior, err := exp.MergeJournalRecordsOn(disk, cellPath)
+		// Strict digest verification on replay: a bitrotted or torn record
+		// is rejected (counted, logged) and its cell simply requeues —
+		// corruption on disk never becomes a served result.
+		prior, err := exp.MergeJournalRecordsVerifiedOn(disk, func(ie *exp.IntegrityError) {
+			c.s.met.integrityFailures.Add(1)
+			fmt.Fprintf(os.Stderr, "server: fabric journal: %v\n", ie)
+		}, cellPath)
 		if err != nil {
 			return fmt.Errorf("server: fabric journal %s: %w", cellPath, err)
 		}
@@ -194,6 +245,7 @@ func (c *coordinator) start(j *job, recovered bool) error {
 				fj.doneN++
 				j.mu.Lock()
 				j.results[keyString(cell.key)] = rec.Stats
+				j.digests[keyString(cell.key)] = exp.DigestStats(rec.Stats)
 				j.mu.Unlock()
 				c.s.met.cellsRestored.Add(1)
 			}
@@ -246,8 +298,13 @@ func (c *coordinator) start(j *job, recovered bool) error {
 	return nil
 }
 
+// settledLocked reports the sweep ready to finish: every cell settled and
+// every sampled audit resolved. Pending audits are in-memory only — a
+// coordinator crash forgets them and the restarted sweep finishes on its
+// journaled results, which is safe because audits never gate correctness,
+// only detection.
 func (fj *fabricJob) settledLocked() bool {
-	return !fj.finished && fj.doneN+fj.failedN == len(fj.order)
+	return !fj.finished && fj.doneN+fj.failedN == len(fj.order) && fj.auditsPending == 0
 }
 
 // handlePoll hands a worker up to Max cells: its own shard first, then
@@ -273,7 +330,7 @@ func (c *coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	}
 	ent.beat.Add(1)
 	var fj *fabricJob
-	var picked []*fabricCell
+	var picked []pickedCell
 	for _, id := range c.jobOrder {
 		job := c.jobs[id]
 		if job.finished {
@@ -296,14 +353,15 @@ func (c *coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 			Timeout:         fj.spec.Timeout,
 			CheckpointEvery: c.s.cfg.CheckpointEvery,
 		}
-		for _, cell := range picked {
+		for _, p := range picked {
 			resp.Cells = append(resp.Cells, cellAssignment{
-				Cell:    cell.id,
-				Bench:   cell.bench,
-				Config:  cell.spec,
-				Attempt: cell.attempt,
+				Cell:    p.cell.id,
+				Bench:   p.cell.bench,
+				Config:  p.cell.spec,
+				Attempt: p.cell.attempt,
+				Audit:   p.audit,
 			})
-			rec.Cells = append(rec.Cells, assignCell{ID: cell.id, Attempt: cell.attempt})
+			rec.Cells = append(rec.Cells, assignCell{ID: p.cell.id, Attempt: p.cell.attempt})
 		}
 	}
 	c.mu.Unlock()
@@ -318,8 +376,12 @@ func (c *coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 		return j.Append(rec)
 	})
 	// Attach shipped snapshots so a requeued cell resumes mid-run. Disk IO
-	// deliberately happens outside the coordinator lock.
+	// deliberately happens outside the coordinator lock. Audits never get a
+	// snapshot: re-execution must be independent of the bytes it audits.
 	for i := range resp.Cells {
+		if resp.Cells[i].Audit {
+			continue
+		}
 		path := filepath.Join(c.snapDir, resp.Cells[i].Cell+".snap")
 		if snapshot.ExistsOn(disk, path) {
 			if data, _, err := snapshot.LoadShippableOn(disk, path); err == nil {
@@ -344,6 +406,18 @@ func (c *coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	if (req.Stats == nil) == (req.Err == "") {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "exactly one of stats or err required"})
+		return
+	}
+	// Digest gate: recompute the content digest over the stats as decoded
+	// and compare against the one the worker computed at run time. A
+	// mismatch means the payload changed between the worker's engine and
+	// this handler — corruption in flight or at source — so the record is
+	// rejected before it can touch the journal, the producing assignment is
+	// dropped (requeueing the cell), and the sender takes a strike. An
+	// empty digest is a legacy/disarmed worker: trusted as before.
+	if req.Stats != nil && req.Digest != "" && exp.DigestStats(req.Stats) != req.Digest {
+		c.rejectCorrupt(&req)
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "integrity: result digest mismatch"})
 		return
 	}
 	c.mu.Lock()
@@ -371,6 +445,12 @@ func (c *coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		// makes it byte-identical to the recorded winner; acknowledge it so
 		// the worker stops retrying, and drop it.
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "late": true})
+		return
+	}
+	if req.Audit {
+		// An audit re-execution is a verdict, not a settlement: it is never
+		// journaled (unless it wins a tie-break) and never changes doneN.
+		c.handleAuditResult(w, fj, cell, &req)
 		return
 	}
 	if req.Stats != nil {
@@ -443,13 +523,17 @@ func (c *coordinator) settleLocked(fj *fabricJob, cell *fabricCell, req *resultR
 		}
 		cell.state = cellDone
 		cell.winAttempt, cell.winFp = req.Attempt, fp
+		cell.winWorker = req.Worker
+		cell.winDigest = exp.DigestStats(req.Stats)
 		if wasFailed {
 			fj.syncFailedLocked()
 		}
 		fj.j.mu.Lock()
 		fj.j.results[keyString(cell.key)] = req.Stats
+		fj.j.digests[keyString(cell.key)] = cell.winDigest
 		fj.j.done = fj.doneN
 		fj.j.mu.Unlock()
+		c.maybeAuditLocked(fj, cell)
 		return
 	}
 	// Failure: settles the cell only if nothing better has. First failure
@@ -481,6 +565,221 @@ func (fj *fabricJob) syncFailedLocked() {
 	fj.j.mu.Lock()
 	fj.j.failed = failed
 	fj.j.mu.Unlock()
+}
+
+// syncIntegrityLocked mirrors the audit counters into the job so
+// /sweep/{id} renders them. Requires c.mu; takes j.mu.
+func (fj *fabricJob) syncIntegrityLocked() {
+	fj.j.mu.Lock()
+	fj.j.auditsRun = fj.auditsRun
+	fj.j.auditsDisagreed = fj.auditsDisagreed
+	fj.j.auditsResolved = fj.auditsResolved
+	fj.j.integrityFailures = fj.integrityFailuresN
+	fj.j.mu.Unlock()
+}
+
+// maybeAuditLocked samples a freshly settled cell for a re-execution audit
+// (DESIGN.md §17). The sample is a deterministic hash of (sweep, cell)
+// against the configured rate, so a replayed chaos schedule audits the
+// same cells every run. Only live settlements come through here — cells
+// restored from a journal replay were (by induction) already audited or
+// sampled out in their first life. Requires c.mu.
+func (c *coordinator) maybeAuditLocked(fj *fabricJob, cell *fabricCell) {
+	rate := c.s.cfg.AuditRate
+	if rate <= 0 || cell.audit != auditNone || !auditSampled(fj.j.ID, cell.id, rate) {
+		return
+	}
+	cell.audit = auditPending
+	cell.auditExcl = []string{cell.winWorker}
+	fj.auditsPending++
+}
+
+// auditSampled deterministically maps (sweep, cell) to [0,1) and compares
+// against rate. FNV-1a, not math/rand: the decision must be a pure function
+// of its inputs so chaos replays are bit-identical.
+func auditSampled(sweepID, cellID string, rate float64) bool {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range []byte(sweepID + "/" + cellID) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	return float64(h>>11)/float64(uint64(1)<<53) < rate
+}
+
+// handleAuditResult folds one audit re-execution into the cell's audit
+// state machine. First audit: digests agree → done; disagree → hold the
+// candidate and queue a tie-break on a third worker. Tie-break: whichever
+// of winner/candidate the third execution's bytes match loses its producer
+// a strike; matching the candidate additionally adopts the candidate bytes
+// as the cell's winner (journaled under the higher attempt, so a replay
+// supersedes the corrupt record deterministically).
+func (c *coordinator) handleAuditResult(w http.ResponseWriter, fj *fabricJob, cell *fabricCell, req *resultRequest) {
+	c.mu.Lock()
+	if (cell.audit != auditInflight && cell.audit != tiebreakInflight) ||
+		cell.auditAttempt != req.Attempt || cell.auditWorker != req.Worker {
+		// The audit moved on without this delivery — requeued after the
+		// auditor was presumed dead, or already resolved. Ack and drop.
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "late": true})
+		return
+	}
+	if req.Err != "" {
+		// Environmental failure (timeout, bad image cache, ...), not an
+		// integrity verdict: revert to pending for another worker.
+		cell.audit--
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		return
+	}
+	dg := exp.DigestStats(req.Stats)
+	if cell.audit == auditInflight {
+		fj.auditsRun++
+		c.s.met.auditsRun.Add(1)
+		if dg == cell.winDigest {
+			// Independent re-execution reproduced the winner byte for byte.
+			cell.audit = auditDone
+			fj.auditsPending--
+			fj.syncIntegrityLocked()
+			c.finishIfSettledLocked(w, fj)
+			return
+		}
+		// Disagreement: neither side is trustworthy yet. Hold the
+		// candidate and have a third worker — anti-affine to both — break
+		// the tie.
+		fj.auditsDisagreed++
+		fj.integrityFailuresN++
+		c.s.met.auditsDisagreed.Add(1)
+		c.s.met.integrityFailures.Add(1)
+		cell.candWorker, cell.candFp, cell.candDigest, cell.candStats = req.Worker, exp.StatsFingerprint(req.Stats), dg, req.Stats
+		cell.audit = tiebreakPending
+		cell.auditExcl = []string{cell.winWorker, req.Worker}
+		fj.syncIntegrityLocked()
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		return
+	}
+	// Tie-break verdict.
+	switch dg {
+	case cell.winDigest:
+		// The winner stands; the disagreeing auditor produced the bad bytes.
+		loser := cell.candWorker
+		cell.candWorker, cell.candFp, cell.candDigest, cell.candStats = "", 0, "", nil
+		cell.audit = auditDone
+		fj.auditsPending--
+		fj.auditsResolved++
+		c.strikeLocked(loser)
+		fj.syncIntegrityLocked()
+		c.finishIfSettledLocked(w, fj)
+		return
+	case cell.candDigest:
+		// Two independent executions agree against the recorded winner: the
+		// original result was corrupt. Adopt the candidate bytes — journal
+		// first (outside c.mu), under the tie-break's attempt ordinal so the
+		// replay merge supersedes the corrupt record.
+		adopt := *req
+		c.mu.Unlock()
+		if err := fj.appendRepairing(c.s.cfg.disk(), &fj.cellJournal, func(j *exp.Journal) error {
+			return j.AppendCell(cell.key, adopt.Stats, adopt.Attempt)
+		}); err != nil {
+			// The journal refused the adopted record; leave the audit
+			// in flight and make the worker redeliver. auditsPending > 0
+			// keeps the sweep (and its journal) open meanwhile.
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": fmt.Sprintf("journal: %v", err)})
+			return
+		}
+		c.mu.Lock()
+		if cell.audit != tiebreakInflight || cell.auditAttempt != adopt.Attempt || cell.auditWorker != adopt.Worker {
+			// The audit moved on while we journaled. The appended record is
+			// digest-verified candidate bytes, so at worst the re-run
+			// tie-break adopts them again; nothing to undo.
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]any{"ok": true, "late": true})
+			return
+		}
+		loser := cell.winWorker
+		cell.winAttempt, cell.winFp = adopt.Attempt, exp.StatsFingerprint(adopt.Stats)
+		cell.winWorker, cell.winDigest = adopt.Worker, dg
+		cell.candWorker, cell.candFp, cell.candDigest, cell.candStats = "", 0, "", nil
+		cell.audit = auditDone
+		fj.auditsPending--
+		fj.auditsResolved++
+		fj.j.mu.Lock()
+		fj.j.results[keyString(cell.key)] = adopt.Stats
+		fj.j.digests[keyString(cell.key)] = dg
+		fj.j.mu.Unlock()
+		c.strikeLocked(loser)
+		fj.syncIntegrityLocked()
+		c.finishIfSettledLocked(w, fj)
+		return
+	default:
+		// Matches neither: two independent corruptions in play. Exclude
+		// this worker too and re-run the tie-break; no strike, because the
+		// evidence does not say who is lying yet.
+		cell.auditExcl = append(cell.auditExcl, req.Worker)
+		cell.audit = tiebreakPending
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		return
+	}
+}
+
+// finishIfSettledLocked is the audit paths' common epilogue: check the
+// finish condition, release c.mu, finish the job if this verdict was the
+// last thing holding it open, and ack the delivery. Takes ownership of
+// c.mu (locked on entry, released on return).
+func (c *coordinator) finishIfSettledLocked(w http.ResponseWriter, fj *fabricJob) {
+	finished := fj.settledLocked()
+	if finished {
+		fj.finished = true
+	}
+	c.mu.Unlock()
+	if finished {
+		c.finishJob(fj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// rejectCorrupt handles a delivery whose body failed the digest gate: the
+// bytes changed between the worker's engine and this coordinator. The
+// record never touches a journal; the producing assignment is dropped
+// (requeueing the cell when that leaves it unclaimed, or reverting the
+// audit to pending), and the sender takes an integrity strike.
+func (c *coordinator) rejectCorrupt(req *resultRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.met.integrityFailures.Add(1)
+	if fj := c.jobs[req.SweepID]; fj != nil && !fj.finished {
+		fj.integrityFailuresN++
+		if cell := fj.cells[req.Cell]; cell != nil {
+			if req.Audit {
+				if (cell.audit == auditInflight || cell.audit == tiebreakInflight) &&
+					cell.auditAttempt == req.Attempt && cell.auditWorker == req.Worker {
+					cell.audit--
+				}
+			} else {
+				c.dropProducerLocked(fj, cell, req.Worker, req.Attempt)
+			}
+		}
+		fj.syncIntegrityLocked()
+	}
+	c.strikeLocked(req.Worker)
+}
+
+// dropProducerLocked removes the assignment that produced a rejected
+// delivery, requeueing the cell if no other assignee is racing it.
+// Requires c.mu.
+func (c *coordinator) dropProducerLocked(fj *fabricJob, cell *fabricCell, worker string, attempt int) {
+	n := cell.assignees[:0]
+	for _, a := range cell.assignees {
+		if !(a.worker == worker && a.attempt == attempt) {
+			n = append(n, a)
+		}
+	}
+	cell.assignees = n
+	if cell.state == cellInflight && len(cell.assignees) == 0 {
+		cell.state = cellPending
+		fj.pendingN++
+		c.s.met.cellsRequeued.Add(1)
+	}
 }
 
 // finishJob records the terminal state exactly like a single-node
@@ -584,6 +883,16 @@ func (c *coordinator) handleSnapshotPut(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	if _, err := snapshot.StoreOn(c.s.cfg.disk(), filepath.Join(c.snapDir, cellID+".snap"), data); err != nil {
+		// Corrupt ship bodies (CRC tear, bitrot at source) strike the
+		// shipping worker. A transit tear can strike an innocent sender,
+		// which is acceptable: quarantine only revokes the lease, and an
+		// honest worker re-registers and continues.
+		if shipper := r.Header.Get("X-Fgpsim-Worker"); shipper != "" {
+			c.s.met.integrityFailures.Add(1)
+			c.mu.Lock()
+			c.strikeLocked(shipper)
+			c.mu.Unlock()
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}

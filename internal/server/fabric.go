@@ -84,6 +84,12 @@ type cellAssignment struct {
 	// previous assignee (possibly one that is now dead); the worker stores
 	// it locally before running so the cell resumes instead of restarting.
 	Snapshot []byte `json:"snapshot,omitempty"`
+	// Audit marks a re-execution audit of an already-settled cell
+	// (DESIGN.md §17): the worker must run it from scratch — same
+	// checkpoint cadence, but no resume from snapshots — and echo the flag
+	// back so the coordinator compares digests instead of settling the
+	// cell again.
+	Audit bool `json:"audit,omitempty"`
 }
 
 // resultRequest is POST /fabric/result: one settled cell. Exactly one of
@@ -99,6 +105,14 @@ type resultRequest struct {
 	Attempt int        `json:"attempt"`
 	Stats   *stats.Run `json:"stats,omitempty"`
 	Err     string     `json:"err,omitempty"`
+	// Digest is exp.DigestStats over Stats, computed by the worker at run
+	// time. The coordinator recomputes it on arrival: a mismatch means the
+	// result was corrupted in flight (or the worker lied about its own
+	// bytes) and is rejected with a strike instead of journaled.
+	Digest string `json:"digest,omitempty"`
+	// Audit echoes cellAssignment.Audit: this result is an audit
+	// re-execution to compare against the settled winner, not a settlement.
+	Audit bool `json:"audit,omitempty"`
 }
 
 // assignRecord is one line of the coordinator's fsync'd assignment

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestAuditSampledDeterministic: the audit sampler is a pure function of
+// (sweep, cell, rate) — the same cell gets the same verdict on every call
+// and across coordinator restarts — with the edge rates exact and the
+// mid-range rate roughly proportional.
+func TestAuditSampledDeterministic(t *testing.T) {
+	const sweep = "sweep-7f3a"
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		cell := fmt.Sprintf("cell-%d", i)
+		if auditSampled(sweep, cell, 0) {
+			t.Fatalf("rate 0 sampled %s", cell)
+		}
+		if !auditSampled(sweep, cell, 1) {
+			t.Fatalf("rate 1 skipped %s", cell)
+		}
+		picked := auditSampled(sweep, cell, 0.25)
+		if picked != auditSampled(sweep, cell, 0.25) {
+			t.Fatalf("verdict for %s changed between calls", cell)
+		}
+		if picked {
+			hits++
+		}
+	}
+	// Deterministic, so these bounds either always hold or never do;
+	// they pin the hash's uniformity, not luck.
+	if hits < 350 || hits > 650 {
+		t.Errorf("rate 0.25 sampled %d/2000 cells, want ~500", hits)
+	}
+}
+
+// TestDigestGateStrikesAndQuarantines drives the full quarantine arc at the
+// protocol level: a result whose digest disagrees with its stats is
+// rejected with 400 before touching any journal, the cell requeues, and —
+// with the strike threshold at 1 — the sender's lease is revoked on the
+// spot. Re-registration is the re-admission path: a fresh epoch, a clean
+// strike ledger, and the requeued cell offered back at a higher attempt.
+func TestDigestGateStrikesAndQuarantines(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Coordinator:       true,
+		JournalDir:        t.TempDir(),
+		WorkerDeadAfter:   time.Hour,
+		StealAfter:        time.Hour,
+		QuarantineStrikes: 1,
+	})
+	resp, m := postJSON(t, ts.URL+"/sweep", fabricSpec(tinySrc, 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep = %d: %v", resp.StatusCode, m)
+	}
+	sweepID := m["id"].(string)
+
+	resp, m = postJSON(t, ts.URL+"/fabric/register", registerRequest{Worker: "liar"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register = %d: %v", resp.StatusCode, m)
+	}
+	lease := uint64(m["lease"].(float64))
+	poll := func(lease uint64) []cellAssignment {
+		t.Helper()
+		b, _ := json.Marshal(pollRequest{Worker: "liar", Lease: lease, Max: 16})
+		resp, err := http.Post(ts.URL+"/fabric/poll", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll = %d", resp.StatusCode)
+		}
+		var pr pollResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr.Cells
+	}
+	cells := poll(lease)
+	if len(cells) == 0 {
+		t.Fatal("no cells assigned")
+	}
+
+	// Ship stats that do not match their own digest: the gate must reject
+	// the delivery itself (400), not just ignore it.
+	body, _ := json.Marshal(map[string]any{
+		"worker": "liar", "lease": lease, "sweep_id": sweepID,
+		"cell": cells[0].Cell, "attempt": cells[0].Attempt,
+		"stats": map[string]any{"Cycles": 5}, "digest": "00000000:1",
+	})
+	resp, err := http.Post(ts.URL+"/fabric/result", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt result = %d, want 400", resp.StatusCode)
+	}
+	if n := s.met.integrityFailures.Value(); n != 1 {
+		t.Errorf("integrity_failures = %d, want 1", n)
+	}
+	if n := s.met.workersQuarantined.Value(); n != 1 {
+		t.Errorf("workers_quarantined = %d, want 1", n)
+	}
+
+	// The quarantine revoked the lease: heartbeats on it get 410.
+	resp, _ = postJSON(t, ts.URL+"/fabric/heartbeat", heartbeatRequest{Worker: "liar", Lease: lease})
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("heartbeat on quarantined lease = %d, want 410", resp.StatusCode)
+	}
+
+	// Re-admission: register again, get a fresh epoch, and find the
+	// rejected cell requeued at a strictly higher attempt ordinal.
+	resp, m = postJSON(t, ts.URL+"/fabric/register", registerRequest{Worker: "liar"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-register = %d: %v", resp.StatusCode, m)
+	}
+	lease2 := uint64(m["lease"].(float64))
+	if lease2 <= lease {
+		t.Fatalf("re-admission lease %d does not supersede %d", lease2, lease)
+	}
+	requeued := poll(lease2)
+	found := false
+	for _, c := range requeued {
+		if c.Cell == cells[0].Cell {
+			found = true
+			if c.Attempt <= cells[0].Attempt {
+				t.Errorf("requeued attempt %d does not supersede %d", c.Attempt, cells[0].Attempt)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("rejected cell %s was not requeued", cells[0].Cell)
+	}
+}

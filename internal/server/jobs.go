@@ -132,10 +132,21 @@ type job struct {
 	failed   []string
 	errText  string
 	results  map[string]*stats.Run
+	// digests maps the same keys as results to each winner's content digest
+	// (exp.DigestStats), so a status reader can verify the served bytes
+	// end-to-end. Fabric sweeps only; single-node sweeps leave it empty.
+	digests map[string]string
+	// Integrity observability (fabric sweeps): audit verdicts and rejected
+	// corrupt deliveries, mirrored from the coordinator's fabricJob.
+	auditsRun         int
+	auditsDisagreed   int
+	auditsResolved    int
+	integrityFailures int
 }
 
 func newJob(id string, spec SweepSpec) *job {
-	return &job{ID: id, Spec: spec, state: jobQueued, total: spec.cells(), results: make(map[string]*stats.Run)}
+	return &job{ID: id, Spec: spec, state: jobQueued, total: spec.cells(),
+		results: make(map[string]*stats.Run), digests: make(map[string]string)}
 }
 
 func (j *job) setState(s string) {
@@ -166,15 +177,29 @@ type jobStatus struct {
 	Failed   []string              `json:"failed,omitempty"`
 	Error    string                `json:"error,omitempty"`
 	Results  map[string]*stats.Run `json:"results,omitempty"`
+	// Digests carries each result's content digest alongside Results, so a
+	// client can verify the bytes it received against what the coordinator
+	// journaled and audited.
+	Digests map[string]string `json:"digests,omitempty"`
+	// Integrity counters (fabric sweeps, DESIGN.md §17).
+	AuditsRun         int `json:"audits_run,omitempty"`
+	AuditsDisagreed   int `json:"audits_disagreed,omitempty"`
+	AuditsResolved    int `json:"audits_resolved,omitempty"`
+	IntegrityFailures int `json:"integrity_failures,omitempty"`
 }
 
 func (j *job) status(withResults bool) jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := jobStatus{ID: j.ID, State: j.state, Done: j.done, Total: j.total, Requeues: j.requeues,
-		Failed: append([]string(nil), j.failed...), Error: j.errText}
+		Failed: append([]string(nil), j.failed...), Error: j.errText,
+		AuditsRun: j.auditsRun, AuditsDisagreed: j.auditsDisagreed,
+		AuditsResolved: j.auditsResolved, IntegrityFailures: j.integrityFailures}
 	if withResults && (j.state == jobDone || j.state == jobFailed) {
 		st.Results = j.results
+		if len(j.digests) > 0 {
+			st.Digests = j.digests
+		}
 	}
 	return st
 }

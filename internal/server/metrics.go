@@ -44,6 +44,18 @@ type metrics struct {
 	workersDead      expvar.Int // workers declared dead by the liveness watchdog
 	snapshotsShipped expvar.Int // mid-run snapshots received from workers
 
+	// Integrity counters (DESIGN.md §17).
+	auditsRun          expvar.Int // re-execution audits that reached a first verdict
+	auditsDisagreed    expvar.Int // audits whose digest differed from the winner's
+	integrityFailures  expvar.Int // rejected records: digest gate, journal verify, audit disagreement
+	workersQuarantined expvar.Int // workers quarantined past the strike threshold
+
+	// Scrubber counters (scrub.go).
+	scrubPasses         expvar.Int // completed background scrub passes
+	scrubRepaired       expvar.Int // snapshot files repaired from their .prev
+	scrubQuarantined    expvar.Int // files quarantined (renamed *.quarantined)
+	scrubCorruptRecords expvar.Int // journal records failing digest verification
+
 	latency stats.Hist // per-simulation wall clock (/run and sweep cells)
 }
 
@@ -87,6 +99,16 @@ func (m *metrics) snapshot(queueDepth int64, inflight, workersLive int) map[stri
 		"cells_requeued":    m.cellsRequeued.Value(),
 		"workers_dead":      m.workersDead.Value(),
 		"snapshots_shipped": m.snapshotsShipped.Value(),
+
+		// Integrity counters (DESIGN.md §17).
+		"audits_run":            m.auditsRun.Value(),
+		"audits_disagreed":      m.auditsDisagreed.Value(),
+		"integrity_failures":    m.integrityFailures.Value(),
+		"workers_quarantined":   m.workersQuarantined.Value(),
+		"scrub_passes":          m.scrubPasses.Value(),
+		"scrub_repaired":        m.scrubRepaired.Value(),
+		"scrub_quarantined":     m.scrubQuarantined.Value(),
+		"scrub_corrupt_records": m.scrubCorruptRecords.Value(),
 
 		// Failure-model counters (DESIGN.md §16). The first two stay useful
 		// in production — a nonzero journal_fsync_failures is an operator

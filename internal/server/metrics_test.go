@@ -29,6 +29,14 @@ func TestMetricsConcurrentRecording(t *testing.T) {
 				m.cellsRequeued.Add(1)
 				m.workersDead.Add(1)
 				m.snapshotsShipped.Add(1)
+				m.auditsRun.Add(1)
+				m.auditsDisagreed.Add(1)
+				m.integrityFailures.Add(1)
+				m.workersQuarantined.Add(1)
+				m.scrubPasses.Add(1)
+				m.scrubRepaired.Add(1)
+				m.scrubQuarantined.Add(1)
+				m.scrubCorruptRecords.Add(1)
 			}
 		}(w)
 	}
@@ -66,7 +74,9 @@ func TestMetricsConcurrentRecording(t *testing.T) {
 	if got := snap["preempts"].(int64); got != 2000 {
 		t.Errorf("preempts = %d, want 2000", got)
 	}
-	for _, k := range []string{"cells_stolen", "cells_requeued", "workers_dead", "snapshots_shipped"} {
+	for _, k := range []string{"cells_stolen", "cells_requeued", "workers_dead", "snapshots_shipped",
+		"audits_run", "audits_disagreed", "integrity_failures", "workers_quarantined",
+		"scrub_passes", "scrub_repaired", "scrub_quarantined", "scrub_corrupt_records"} {
 		if got := snap[k].(int64); got != 2000 {
 			t.Errorf("%s = %d, want 2000", k, got)
 		}

@@ -22,6 +22,10 @@ type workerEnt struct {
 	// Config.WorkerDeadAfter.
 	beat    atomic.Int64
 	unwatch func()
+	// strikes is the integrity ledger for this lease incarnation: digest
+	// mismatches, lost audits, corrupt snapshot ships. Reaching the
+	// quarantine threshold revokes the lease (strikeLocked).
+	strikes int
 }
 
 // handleRegister is POST /fabric/register. Re-registering an existing
@@ -127,7 +131,9 @@ func (c *coordinator) markDead(id string, lease uint64) {
 // dropAssignmentsLocked removes every assignment held by (worker, lease)
 // across all jobs; cells left with no live assignee go back to pending,
 // to be re-assigned — snapshot attached, if one was shipped — by the next
-// poll. Requires c.mu.
+// poll. An audit in flight on the departing worker reverts to its pending
+// state so another worker re-runs it (a forgotten audit would hold the
+// sweep's finish condition open forever). Requires c.mu.
 func (c *coordinator) dropAssignmentsLocked(worker string, lease uint64) {
 	requeued := 0
 	for _, id := range c.jobOrder {
@@ -146,11 +152,40 @@ func (c *coordinator) dropAssignmentsLocked(worker string, lease uint64) {
 				fj.pendingN++
 				requeued++
 			}
+			if (cell.audit == auditInflight || cell.audit == tiebreakInflight) &&
+				cell.auditWorker == worker && cell.auditLease == lease {
+				cell.audit--
+			}
 		}
 	}
 	if requeued > 0 {
 		c.s.met.cellsRequeued.Add(int64(requeued))
 	}
+}
+
+// strikeLocked charges one integrity strike against a worker's current
+// registration. At Config.QuarantineStrikes the worker is quarantined:
+// lease revoked, liveness watch stopped, in-flight cells requeued — the
+// same teardown as a death verdict, plus the workers_quarantined metric.
+// Strikes are per lease incarnation, so re-admission is exactly one
+// explicit re-register away (a fresh epoch starts clean); a persistently
+// corrupting worker just re-earns its quarantine, incrementing the metric
+// each time, while its cells keep re-serving from honest peers.
+// Requires c.mu.
+func (c *coordinator) strikeLocked(id string) {
+	ent := c.workers[id]
+	if ent == nil {
+		return // already gone (dead, deregistered, or quarantined)
+	}
+	ent.strikes++
+	if ent.strikes < c.s.cfg.QuarantineStrikes {
+		return
+	}
+	ent.unwatch()
+	delete(c.workers, id)
+	c.ring.Remove(id)
+	c.s.met.workersQuarantined.Add(1)
+	c.dropAssignmentsLocked(id, ent.lease)
 }
 
 // workersLive returns the registered worker count (the /metrics gauge).

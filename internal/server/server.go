@@ -92,6 +92,20 @@ type Config struct {
 	// StealAfter is how stale an in-flight assignment must be before an
 	// idle worker may duplicate it (default 5s, coordinator only).
 	StealAfter time.Duration
+	// AuditRate is the fraction of completed fabric cells re-executed on a
+	// different worker and byte-compared against the recorded winner
+	// (DESIGN.md §17). 0 disables audits (the production default until
+	// opted in); the sample is a deterministic hash of (sweep, cell).
+	AuditRate float64
+	// QuarantineStrikes is how many integrity strikes (digest mismatches,
+	// lost audits, corrupt snapshot ships) quarantine a worker's lease
+	// (default 3, coordinator only).
+	QuarantineStrikes int
+	// ScrubInterval, when positive and JournalDir is set, arms the
+	// background scrubber: a low-priority loop re-verifying on-disk cell
+	// journals and snapshots, repairing snapshots from their .prev copies
+	// and quarantining what cannot be repaired. 0 disables.
+	ScrubInterval time.Duration
 	// Disk, when non-nil, is the filesystem every journal and snapshot
 	// operation goes through (nil = the real one). The chaos harness
 	// substitutes a fault-injecting chaos.FS here; production never sets it.
@@ -134,6 +148,9 @@ func (c Config) withDefaults() Config {
 	if c.StealAfter <= 0 {
 		c.StealAfter = 5 * time.Second
 	}
+	if c.QuarantineStrikes <= 0 {
+		c.QuarantineStrikes = 3
+	}
 	return c
 }
 
@@ -162,6 +179,10 @@ type Server struct {
 	drainOnce sync.Once
 	inflight  atomic.Int64
 	wg        sync.WaitGroup
+
+	// scrubStop ends the background scrubber (scrub.go); nil when the
+	// scrubber is disarmed.
+	scrubStop chan struct{}
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -248,6 +269,11 @@ func (s *Server) Start() {
 	if s.coord != nil {
 		s.coord.wd.start()
 	}
+	if s.cfg.ScrubInterval > 0 && s.cfg.JournalDir != "" {
+		s.scrubStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.scrubLoop()
+	}
 	for _, rec := range s.recovered {
 		j := newJob(rec.ID, *rec.Spec)
 		s.addJob(j)
@@ -282,6 +308,9 @@ func (s *Server) Start() {
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.drainOnce.Do(func() {
+		if s.scrubStop != nil {
+			close(s.scrubStop)
+		}
 		done := make(chan struct{})
 		go func() {
 			s.wg.Wait()

@@ -25,9 +25,16 @@ import (
 // copies only burn cycles.
 const maxDuplicates = 3
 
+// pickedCell is one assignment pickLocked chose: a cell, and whether it is
+// a re-execution audit of an already-settled cell rather than real work.
+type pickedCell struct {
+	cell  *fabricCell
+	audit bool
+}
+
 // pickLocked selects up to max cells from fj for worker. Requires c.mu.
-func (c *coordinator) pickLocked(fj *fabricJob, worker string, lease uint64, max int, now time.Time) []*fabricCell {
-	var picked []*fabricCell
+func (c *coordinator) pickLocked(fj *fabricJob, worker string, lease uint64, max int, now time.Time) []pickedCell {
+	var picked []pickedCell
 	if fj.pendingN > 0 {
 		// Pass 1: the worker's own shard, in grid order.
 		for _, cid := range fj.order {
@@ -37,7 +44,7 @@ func (c *coordinator) pickLocked(fj *fabricJob, worker string, lease uint64, max
 			cell := fj.cells[cid]
 			if cell.state == cellPending && c.ring.Owner(cell.shard) == worker {
 				c.assignLocked(fj, cell, worker, lease, now)
-				picked = append(picked, cell)
+				picked = append(picked, pickedCell{cell: cell})
 			}
 		}
 		// Pass 2: anything pending. Cells whose ring owner is another live
@@ -56,7 +63,26 @@ func (c *coordinator) pickLocked(fj *fabricJob, worker string, lease uint64, max
 				c.s.met.cellsStolen.Add(1)
 			}
 			c.assignLocked(fj, cell, worker, lease, now)
-			picked = append(picked, cell)
+			picked = append(picked, pickedCell{cell: cell})
+		}
+	}
+	// Pass 4 (rides along with any pass): fill remaining slots with audit
+	// re-executions this worker is eligible for. Audited cells are already
+	// cellDone, so passes 1-3 never touch them.
+	if fj.auditsPending > 0 {
+		for _, cid := range fj.order {
+			if len(picked) >= max {
+				break
+			}
+			cell := fj.cells[cid]
+			if cell.audit != auditPending && cell.audit != tiebreakPending {
+				continue
+			}
+			if !c.auditEligibleLocked(cell, worker) {
+				continue
+			}
+			c.assignAuditLocked(fj, cell, worker, lease, now)
+			picked = append(picked, pickedCell{cell: cell, audit: true})
 		}
 	}
 	if len(picked) > 0 {
@@ -66,9 +92,44 @@ func (c *coordinator) pickLocked(fj *fabricJob, worker string, lease uint64, max
 	if cell := c.oldestStragglerLocked(fj, worker, now); cell != nil {
 		c.s.met.cellsStolen.Add(1)
 		c.assignLocked(fj, cell, worker, lease, now)
-		picked = append(picked, cell)
+		picked = append(picked, pickedCell{cell: cell})
 	}
 	return picked
+}
+
+// auditEligibleLocked applies audit anti-affinity: the worker that produced
+// the current winner (and any auditor that already disagreed) may not run
+// the audit. When every registered worker is excluded — a one-worker fabric
+// — the rule relaxes rather than deadlocking the sweep: a self-audit still
+// catches nondeterministic corruption (bad RAM, transit flips), just not a
+// consistently lying worker. Requires c.mu.
+func (c *coordinator) auditEligibleLocked(cell *fabricCell, worker string) bool {
+	excluded := func(id string) bool {
+		for _, e := range cell.auditExcl {
+			if e == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !excluded(worker) {
+		return true
+	}
+	for id := range c.workers {
+		if !excluded(id) {
+			return false // an eligible worker exists; wait for it
+		}
+	}
+	return true
+}
+
+// assignAuditLocked hands cell's audit to worker under a fresh attempt
+// ordinal (journaled like any assignment, so the attempt high-water mark
+// survives a restart). Requires c.mu.
+func (c *coordinator) assignAuditLocked(fj *fabricJob, cell *fabricCell, worker string, lease uint64, now time.Time) {
+	cell.attempt++
+	cell.auditWorker, cell.auditLease, cell.auditAttempt = worker, lease, cell.attempt
+	cell.audit++ // auditPending -> auditInflight, tiebreakPending -> tiebreakInflight
 }
 
 // assignLocked hands cell to worker under a fresh attempt ordinal.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,7 @@ import (
 	"fgpsim/internal/exp"
 	"fgpsim/internal/machine"
 	"fgpsim/internal/snapshot"
+	"fgpsim/internal/stats"
 )
 
 // Worker is the fabric's execution half: a pull client that registers with
@@ -57,15 +59,26 @@ type WorkerOptions struct {
 	Disk chaos.Disk
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
+	// OmitDigests suppresses the result content digest, making this worker
+	// look like a pre-digest legacy build. Chaos self-test hook: it disarms
+	// the fabric's integrity layer so the orchestrator can prove it still
+	// catches a planted corruption without it.
+	OmitDigests bool
+	// Mangle, when set, replaces each successful cell result before the
+	// digest is computed — a simulated buggy/lying worker whose corruption
+	// is self-consistent (digest matches the corrupt bytes) and therefore
+	// detectable only by re-execution audits. Chaos harness hook.
+	Mangle func(cell string, s *stats.Run) *stats.Run
 }
 
 type Worker struct {
-	opts    WorkerOptions
-	client  *http.Client
-	prep    *prepCache
-	logf    func(string, ...any)
-	snapDir string
-	disk    chaos.Disk
+	opts     WorkerOptions
+	client   *http.Client
+	prep     *prepCache
+	logf     func(string, ...any)
+	snapDir  string
+	auditDir string
+	disk     chaos.Disk
 
 	lease   atomic.Uint64
 	preempt atomic.Bool
@@ -126,6 +139,13 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 		}
 		w.snapDir = dir
 	} else if err := os.MkdirAll(w.snapDir, 0o755); err != nil {
+		return nil, err
+	}
+	// Audit re-executions checkpoint in their own directory so they can
+	// never resume from a previous run's snapshot of the same cell — an
+	// audit that resumed from the bytes it is auditing would prove nothing.
+	w.auditDir = filepath.Join(w.snapDir, "audit")
+	if err := os.MkdirAll(w.auditDir, 0o755); err != nil {
 		return nil, err
 	}
 	return w, nil
@@ -256,7 +276,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 func (w *Worker) runCell(ctx context.Context, pr pollResponse, a cellAssignment) {
 	fail := func(err error) {
 		w.postResult(resultRequest{Worker: w.opts.ID, Lease: w.lease.Load(),
-			SweepID: pr.SweepID, Cell: a.Cell, Attempt: a.Attempt, Err: err.Error()})
+			SweepID: pr.SweepID, Cell: a.Cell, Attempt: a.Attempt, Err: err.Error(), Audit: a.Audit})
 	}
 	var p *exp.Prepared
 	var name string
@@ -278,9 +298,10 @@ func (w *Worker) runCell(ctx context.Context, pr pollResponse, a cellAssignment)
 		return
 	}
 	key := exp.KeyOf(name, cfg)
-	if len(a.Snapshot) > 0 {
+	if len(a.Snapshot) > 0 && !a.Audit {
 		// A previous assignee's shipped progress: store it (re-validated)
-		// where the grid's resume path will find it.
+		// where the grid's resume path will find it. Audits never resume
+		// from someone else's progress — they exist to reproduce it.
 		if _, serr := snapshot.StoreOn(w.disk, exp.CellSnapshotPath(w.snapDir, key), a.Snapshot); serr != nil {
 			w.logf("worker %s: cell %s: shipped snapshot rejected: %v", w.opts.ID, a.Cell, serr)
 		}
@@ -298,10 +319,18 @@ func (w *Worker) runCell(ctx context.Context, pr pollResponse, a cellAssignment)
 		Observer:   func(o exp.CellOutcome) { out = o },
 	}
 	if pr.CheckpointEvery > 0 {
+		// Audits keep the coordinator's checkpoint cadence — boundary drains
+		// alter the engine trajectory, so byte-comparability requires it —
+		// but checkpoint into the isolated audit dir and never ship: an
+		// audit's progress is nobody's resume hint.
 		opts.CheckpointEvery = pr.CheckpointEvery
 		opts.SnapshotDir = w.snapDir
 		opts.Preempt = &w.preempt
-		opts.SnapshotSink = func(_ exp.Key, encoded []byte) { w.ship(a.Cell, encoded) }
+		if a.Audit {
+			opts.SnapshotDir = w.auditDir
+		} else {
+			opts.SnapshotSink = func(_ exp.Key, encoded []byte) { w.ship(a.Cell, encoded) }
+		}
 	}
 	_, err = exp.GridContext(ctx, []*exp.Prepared{p}, []machine.Config{cfg}, opts)
 	switch {
@@ -310,8 +339,16 @@ func (w *Worker) runCell(ctx context.Context, pr pollResponse, a cellAssignment)
 		// deregister (or are declared dead).
 	case out.Stats != nil:
 		w.CellsRun.Add(1)
-		w.postResult(resultRequest{Worker: w.opts.ID, Lease: w.lease.Load(),
-			SweepID: pr.SweepID, Cell: a.Cell, Attempt: a.Attempt, Stats: out.Stats})
+		st := out.Stats
+		if w.opts.Mangle != nil {
+			st = w.opts.Mangle(a.Cell, st)
+		}
+		res := resultRequest{Worker: w.opts.ID, Lease: w.lease.Load(),
+			SweepID: pr.SweepID, Cell: a.Cell, Attempt: a.Attempt, Stats: st, Audit: a.Audit}
+		if !w.opts.OmitDigests {
+			res.Digest = exp.DigestStats(st)
+		}
+		w.postResult(res)
 	case out.Err != nil:
 		w.CellsRun.Add(1)
 		fail(out.Err)
@@ -390,6 +427,9 @@ func (w *Worker) shipOnce(cellID string, encoded []byte) (int, error) {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	// Identify the shipper: a snapshot that fails coordinator-side
+	// validation (CRC tear, bitrot) earns this worker an integrity strike.
+	req.Header.Set("X-Fgpsim-Worker", w.opts.ID)
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return 0, err
@@ -443,17 +483,27 @@ func (w *Worker) reshipParkedAsync() {
 }
 
 // postResult delivers one settled cell, retrying with backoff until the
-// coordinator acknowledges it (200), rejects it as unknown (404 — the
-// sweep finished or the coordinator restarted past it), or a bounded
-// retry budget runs out. Delivery runs on the background context: results
-// must still flow during a graceful drain.
+// coordinator acknowledges it (200), rejects it (404 — the sweep finished
+// or the coordinator restarted past it; 400 — the digest gate refused it),
+// or a bounded retry budget runs out. Delivery runs on the background
+// context: results must still flow during a graceful drain.
+//
+// The request is marshaled exactly once and the same bytes are resent on
+// every retry: the embedded digest stays valid across attempts, and a
+// duplicate delivery is a true byte-for-byte duplicate. (Results are
+// accepted regardless of lease, so there is no per-attempt lease restamp
+// to force a re-marshal either.)
 func (w *Worker) postResult(res resultRequest) {
+	res.Lease = w.lease.Load()
+	body, err := json.Marshal(res)
+	if err != nil {
+		w.logf("worker %s: result %s unmarshalable: %v", w.opts.ID, res.Cell, err)
+		return
+	}
 	backoff := 100 * time.Millisecond
 	for tries := 0; tries < 30; tries++ {
-		res.Lease = w.lease.Load()
-		var status int
-		err := w.doJSONStatus(context.Background(), "POST", "/fabric/result", res, nil, &status)
-		if err == nil {
+		status, err := w.postRaw(context.Background(), "/fabric/result", body)
+		if err == nil && status == http.StatusOK {
 			return
 		}
 		if status == http.StatusNotFound || status == http.StatusBadRequest {
@@ -466,6 +516,32 @@ func (w *Worker) postResult(res resultRequest) {
 		}
 	}
 	w.logf("worker %s: result %s undeliverable; giving up", w.opts.ID, res.Cell)
+}
+
+// postRaw POSTs pre-marshaled JSON. The caller's bytes are never touched,
+// so every retry through it is byte-identical to the first attempt.
+func (w *Worker) postRaw(ctx context.Context, path string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", w.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, fmt.Errorf("server: POST %s: %d %s", path, resp.StatusCode, e.Error)
+	}
+	return resp.StatusCode, nil
 }
 
 func (w *Worker) register(ctx context.Context) error {
@@ -525,9 +601,6 @@ func (w *Worker) restamp(body any) any {
 		b.Lease = lease
 		return b
 	case heartbeatRequest:
-		b.Lease = lease
-		return b
-	case resultRequest:
 		b.Lease = lease
 		return b
 	}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"fgpsim/internal/exp"
+	"fgpsim/internal/stats"
+)
+
+// TestPostResultRetriesByteIdentical pins the marshal-once contract of the
+// result ship path: postResult serializes the resultRequest exactly once and
+// every retry re-sends those same bytes, so the digest computed at run time
+// stays valid across arbitrarily many transport failures. A re-marshal per
+// attempt would silently break that guarantee the day encoding becomes
+// non-deterministic (map ordering, float formatting), so this test fails the
+// coordinator twice and asserts all three received bodies are bit-identical
+// and self-consistent with their embedded digest.
+func TestPostResultRetriesByteIdentical(t *testing.T) {
+	var mu sync.Mutex
+	var bodies [][]byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/fabric/result" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("read body: %v", err)
+		}
+		mu.Lock()
+		bodies = append(bodies, b)
+		n := len(bodies)
+		mu.Unlock()
+		if n < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	w, err := NewWorker(WorkerOptions{
+		Coordinator: ts.URL,
+		ID:          "retry-w",
+		SnapshotDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := &stats.Run{Cycles: 4242, RetiredNodes: 17}
+	w.postResult(resultRequest{
+		Worker:  "retry-w",
+		SweepID: "s1",
+		Cell:    "c1",
+		Attempt: 1,
+		Stats:   run,
+		Digest:  exp.DigestStats(run),
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 3 {
+		t.Fatalf("coordinator saw %d result posts, want 3 (2 failures + 1 success)", len(bodies))
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("retry %d re-sent different bytes:\n first: %s\n retry: %s", i, bodies[0], bodies[i])
+		}
+	}
+	var got resultRequest
+	if err := json.Unmarshal(bodies[0], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest == "" || got.Digest != exp.DigestStats(got.Stats) {
+		t.Fatalf("shipped digest %q does not match shipped stats (want %q)", got.Digest, exp.DigestStats(got.Stats))
+	}
+	if got.Cell != "c1" || got.Stats.Cycles != 4242 {
+		t.Fatalf("shipped payload mangled: %+v", got)
+	}
+}
